@@ -1,0 +1,32 @@
+//! Microbenchmark: Algorithm 3 — sampling synthetic records from the
+//! fitted copula (multivariate normal draw + Phi + inverse margins), per
+//! dimensionality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpcopula::empirical::MarginalDistribution;
+use dpcopula::sampler::CopulaSampler;
+use mathkit::correlation::ar1_correlation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copula_sampling");
+    g.sample_size(10);
+    for &m in &[2usize, 4, 8] {
+        let margins: Vec<MarginalDistribution> = (0..m)
+            .map(|_| MarginalDistribution::from_noisy_histogram(&vec![1.0; 1000]))
+            .collect();
+        let sampler = CopulaSampler::new(&ar1_correlation(m, 0.6), margins).unwrap();
+        let n = 10_000usize;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("sample_columns", m), &m, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(sampler.sample_columns(n, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmark: the multi-dimensional comparison methods — PSD
+//! publication, lazy Privelet+ query answering, FP publication — at the
+//! evaluation's default scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dphist::fp::FpSummary;
+use dphist::privelet::PriveletPlus;
+use dphist::psd::{Psd, PsdConfig};
+use dphist::RangeCountEstimator;
+use dpmech::Epsilon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn data(n: usize, m: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| (0..n).map(|_| rng.gen_range(0..domain)).collect())
+        .collect()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram_methods");
+    g.sample_size(10);
+    let eps = Epsilon::new(1.0).unwrap();
+
+    let cols2 = data(50_000, 2, 1000, 1);
+    let domains2 = vec![1000usize, 1000];
+    g.bench_function("psd_publish_2d_50k", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            black_box(Psd::publish(
+                &cols2,
+                &domains2,
+                eps,
+                PsdConfig::default(),
+                &mut rng,
+            ))
+        })
+    });
+
+    let cols4 = data(50_000, 4, 1000, 3);
+    let domains4 = vec![1000usize; 4];
+    g.bench_function("psd_publish_4d_50k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            black_box(Psd::publish(
+                &cols4,
+                &domains4,
+                eps,
+                PsdConfig::default(),
+                &mut rng,
+            ))
+        })
+    });
+
+    g.bench_function("privelet_plus_query_2d", |b| {
+        let mut p = PriveletPlus::publish(cols2.clone(), &domains2, eps, 9);
+        let q = [(100u32, 800u32), (250u32, 600u32)];
+        b.iter(|| black_box(p.range_count(&q)))
+    });
+
+    g.bench_function("fp_publish_2d_50k", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(FpSummary::publish(&cols2, &domains2, eps, None, &mut rng)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmark: 1-D DP histogram publication (EFPA, identity,
+//! Privelet, P-HP) on Gaussian-shaped margins — the per-attribute cost of
+//! DPCopula's step 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dphist::efpa::Efpa;
+use dphist::identity::Identity;
+use dphist::php::Php;
+use dphist::privelet::Privelet1d;
+use dphist::Publish1d;
+use dpmech::Epsilon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn margin(bins: usize) -> Vec<f64> {
+    let mid = bins as f64 / 2.0;
+    (0..bins)
+        .map(|i| 50_000.0 * (-((i as f64 - mid) / (bins as f64 / 6.0)).powi(2)).exp())
+        .collect()
+}
+
+fn bench_one<P: Publish1d>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    publisher: &P,
+    counts: &[f64],
+    bins: usize,
+) {
+    let eps = Epsilon::new(0.1).unwrap();
+    g.bench_with_input(BenchmarkId::new(name, bins), &bins, |b, _| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(publisher.publish(counts, eps, &mut rng)))
+    });
+}
+
+fn bench_margins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marginal_histograms");
+    g.sample_size(10);
+    for &bins in &[128usize, 1024] {
+        let counts = margin(bins);
+        bench_one(&mut g, "efpa", &Efpa, &counts, bins);
+        bench_one(&mut g, "identity", &Identity, &counts, bins);
+        bench_one(&mut g, "privelet", &Privelet1d, &counts, bins);
+        bench_one(&mut g, "php", &Php::default(), &counts, bins);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_margins);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Runs the ablation studies (margin method, record sampling, PD-repair
+//! frequency) that back the design choices documented in DESIGN.md and
+//! EXPERIMENTS.md.
+
+use dpcopula_bench::experiments::{
+    emit, run_ablation_margins, run_ablation_pd_repair, run_ablation_rank_correlation,
+    run_ablation_sampling,
+};
+use dpcopula_bench::params::ExperimentParams;
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    println!("running ablations with {params:?}");
+    emit(&run_ablation_pd_repair(&params));
+    emit(&run_ablation_sampling(&params));
+    emit(&run_ablation_rank_correlation(&params));
+    emit(&run_ablation_margins(&params));
+}

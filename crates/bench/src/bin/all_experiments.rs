@@ -1,0 +1,44 @@
+//! Runs the complete evaluation battery — every table and figure of the
+//! paper — and writes one CSV per artefact under `results/`.
+//!
+//! Environment knobs: `QUICK=1` (smoke-test scale), `RUNS=<r>`,
+//! `QUERIES=<q>`, `RESULTS_DIR=<dir>`.
+
+use dpcopula_bench::experiments::{
+    emit, run_ablation_margins, run_ablation_pd_repair, run_ablation_rank_correlation,
+    run_ablation_sampling, run_fig03, run_fig05, run_fig06, run_fig07, run_fig08, run_fig09,
+    run_fig10, run_fig11, run_table02,
+};
+use dpcopula_bench::params::ExperimentParams;
+use std::time::Instant;
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    println!("running full battery with {params:?}");
+    let total = Instant::now();
+
+    type Stage = (&'static str, fn(&ExperimentParams) -> Vec<dpcopula_bench::Table>);
+    let stages: Vec<Stage> = vec![
+        ("table 2 (dataset domains)", run_table02),
+        ("figure 3 (copula vs margins)", run_fig03),
+        ("figure 5 (budget ratio k)", run_fig05),
+        ("figure 8 (query range size)", run_fig08),
+        ("figure 10 (dimensionality)", run_fig10),
+        ("figure 9 (marginal distributions)", run_fig09),
+        ("figure 6 (kendall vs mle)", run_fig06),
+        ("figure 7 (census datasets)", run_fig07),
+        ("figure 11 (scalability)", run_fig11),
+        ("ablation: PD repair frequency", run_ablation_pd_repair),
+        ("ablation: record sampling", run_ablation_sampling),
+        ("ablation: rank correlation", run_ablation_rank_correlation),
+        ("ablation: margin methods", run_ablation_margins),
+    ];
+    for (name, run) in stages {
+        println!("\n########## {name} ##########");
+        let t0 = Instant::now();
+        let tables = run(&params);
+        emit(&tables);
+        println!("{name}: {:.1?}", t0.elapsed());
+    }
+    println!("\nfull battery finished in {:.1?}", total.elapsed());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 3 scatter data and the margin-invariance
+//! table; see `dpcopula_bench::experiments::run_fig03`.
+
+use dpcopula_bench::experiments::{emit, run_fig03};
+use dpcopula_bench::params::ExperimentParams;
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let tables = run_fig03(&params);
+    emit(&tables);
+}

@@ -1,0 +1,12 @@
+//! Regenerates one evaluation artefact of the paper; see
+//! `dpcopula_bench::experiments` for the experiment definition.
+
+use dpcopula_bench::experiments::{emit, run_fig08};
+use dpcopula_bench::params::ExperimentParams;
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    println!("running with {params:?}");
+    let tables = run_fig08(&params);
+    emit(&tables);
+}

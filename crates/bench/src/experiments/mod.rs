@@ -1,0 +1,41 @@
+//! One function per paper table/figure. Each returns the result tables it
+//! produced (already printed and saved to `results/`), so `all_experiments`
+//! can chain them and the integration tests can assert on their shapes.
+
+mod ablation;
+mod fig03;
+mod fig05;
+mod fig06;
+mod fig07;
+mod fig08;
+mod fig09;
+mod fig10;
+mod fig11;
+mod table02;
+
+pub use ablation::{
+    run_ablation_margins, run_ablation_pd_repair, run_ablation_rank_correlation,
+    run_ablation_sampling,
+};
+pub use fig03::run_fig03;
+pub use fig05::run_fig05;
+pub use fig06::run_fig06;
+pub use fig07::run_fig07;
+pub use fig08::run_fig08;
+pub use fig09::run_fig09;
+pub use fig10::run_fig10;
+pub use fig11::run_fig11;
+pub use table02::run_table02;
+
+use crate::report::Table;
+
+/// Prints and saves every table, logging the CSV paths.
+pub fn emit(tables: &[Table]) {
+    for t in tables {
+        t.print();
+        match t.save_csv() {
+            Ok(path) => println!("saved {}", path.display()),
+            Err(e) => eprintln!("could not save {}: {e}", t.name),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # dpcopula-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the DPCopula paper's evaluation
+//! (§5). Each figure has a binary under `src/bin/`; shared machinery lives
+//! here:
+//!
+//! * [`params`] — Table 3's experiment defaults, with environment-variable
+//!   overrides (`RUNS`, `QUERIES`, `QUICK=1`);
+//! * [`methods`] — a uniform interface over all compared methods
+//!   (DPCopula-Kendall/-MLE, PSD, Privelet+, P-HP, FP);
+//! * [`runner`] — run-averaged, optionally timed evaluation of a method
+//!   over a workload;
+//! * [`report`] — console tables and CSV output under `results/`.
+
+pub mod experiments;
+pub mod methods;
+pub mod params;
+pub mod report;
+pub mod runner;
+
+pub use methods::Method;
+pub use params::ExperimentParams;
+pub use report::Table;
+pub use runner::{evaluate, evaluate_timed, EvalOutcome};

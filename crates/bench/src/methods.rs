@@ -1,0 +1,191 @@
+//! A uniform interface over every method the paper compares.
+
+use dpcopula::hybrid::{HybridConfig, HybridSynthesizer};
+use dpcopula::kendall::SamplingStrategy;
+use dpcopula::mle::PartitionStrategy;
+use dpcopula::synthesizer::{CorrelationMethod, DpCopulaConfig};
+use dphist::fp::FpSummary;
+use dphist::histogram::HistogramNd;
+use dphist::php::Php;
+use dphist::prefix::PrefixGrid;
+use dphist::privelet::PriveletPlus;
+use dphist::psd::{Psd, PsdConfig};
+use dphist::{Publish1d, RangeCountEstimator};
+use dpmech::Epsilon;
+use queryeval::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The compared methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// DPCopula-Kendall (hybrid wrapper engages automatically on
+    /// small-domain attributes).
+    DpCopulaKendall,
+    /// DPCopula-MLE (requires a large cardinality at high dimensions).
+    DpCopulaMle,
+    /// Private Spatial Decomposition, KD-hybrid.
+    Psd,
+    /// Privelet+ via the lazy statistically exact estimator.
+    PriveletPlus,
+    /// P-HP on the flattened grid (materialised; low dimensions only).
+    Php,
+    /// Filter Priority sparse summaries.
+    Fp,
+}
+
+impl Method {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::DpCopulaKendall => "DPCopula",
+            Method::DpCopulaMle => "DPCopula-MLE",
+            Method::Psd => "PSD",
+            Method::PriveletPlus => "Privelet+",
+            Method::Php => "P-HP",
+            Method::Fp => "FP",
+        }
+    }
+
+    /// Publishes a DP release of `columns` with budget `eps` and answers
+    /// the workload, returning one estimate per query.
+    ///
+    /// `k_ratio` only affects the DPCopula variants.
+    pub fn answer_workload(
+        self,
+        columns: &[Vec<u32>],
+        domains: &[usize],
+        eps: f64,
+        k_ratio: f64,
+        workload: &Workload,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let epsilon = Epsilon::new(eps).expect("positive epsilon");
+        match self {
+            Method::DpCopulaKendall | Method::DpCopulaMle => {
+                // Margins use NoiseFirst rather than the paper's EFPA: on
+                // our simulated margins EFPA's Fourier truncation biases
+                // range queries, and NoiseFirst measures best across every
+                // budget (see the `ablation_margins` experiment and
+                // EXPERIMENTS.md); the paper's §4.1 explicitly lists
+                // NoiseFirst among the valid margin methods.
+                let mut base = DpCopulaConfig::kendall(epsilon)
+                    .with_k_ratio(k_ratio)
+                    .with_margin(dpcopula::synthesizer::MarginMethod::NoiseFirst);
+                if self == Method::DpCopulaMle {
+                    // The paper's partition rule assumes n = 10^6-scale
+                    // data; fall back to n/100-record blocks when the rule
+                    // cannot be satisfied (documented in EXPERIMENTS.md).
+                    let n = columns[0].len();
+                    let (_, eps2) = epsilon.split_ratio(k_ratio);
+                    let required =
+                        dpcopula::mle::required_partitions(columns.len(), eps2.value());
+                    let strategy = if required * dpcopula::mle::MIN_BLOCK_SIZE <= n {
+                        PartitionStrategy::Auto
+                    } else {
+                        PartitionStrategy::Fixed((n / 100).max(1))
+                    };
+                    base.method = CorrelationMethod::Mle(strategy);
+                } else {
+                    base.method = CorrelationMethod::Kendall(SamplingStrategy::Auto);
+                }
+                let mut hconfig = HybridConfig::new(base);
+                hconfig.count_fraction = 0.05;
+                let hybrid = HybridSynthesizer::new(hconfig);
+                let synth = hybrid
+                    .synthesize(columns, domains, &mut rng)
+                    .expect("synthesis failed");
+                workload.estimate_with(|q| q.count(&synth.columns))
+            }
+            Method::Psd => {
+                let mut psd = Psd::publish(
+                    columns,
+                    domains,
+                    epsilon,
+                    PsdConfig::default(),
+                    &mut rng,
+                );
+                workload.estimate_with(|q| psd.range_count(q.ranges()))
+            }
+            Method::PriveletPlus => {
+                let mut p = PriveletPlus::publish(
+                    columns.to_vec(),
+                    domains,
+                    epsilon,
+                    seed ^ 0x9e37_79b9,
+                );
+                workload.estimate_with(|q| p.range_count(q.ranges()))
+            }
+            Method::Php => {
+                // Flatten the (small) grid, publish, rebuild, prefix-sum.
+                let exact = HistogramNd::from_columns(columns, domains);
+                let noisy = Php::default().publish(exact.counts(), epsilon, &mut rng);
+                drop(exact);
+                let mut grid = HistogramNd::zeros(domains);
+                grid.counts_mut().copy_from_slice(&noisy);
+                drop(noisy);
+                let mut prefix = PrefixGrid::from_histogram(&grid);
+                drop(grid);
+                workload.estimate_with(|q| prefix.range_count(q.ranges()))
+            }
+            Method::Fp => {
+                let mut fp = FpSummary::publish(columns, domains, epsilon, None, &mut rng);
+                workload.estimate_with(|q| fp.range_count(q.ranges()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::synthetic::{MarginKind, SyntheticSpec};
+
+    #[test]
+    fn every_method_answers_a_2d_workload() {
+        let data = SyntheticSpec {
+            records: 2_000,
+            dims: 2,
+            domain: 64,
+            margin: MarginKind::Gaussian,
+            ..Default::default()
+        }
+        .generate();
+        let mut rng = StdRng::seed_from_u64(9);
+        let workload = Workload::random(&data.domains(), 20, &mut rng);
+        let truth = workload.true_counts(data.columns());
+        for method in [
+            Method::DpCopulaKendall,
+            Method::DpCopulaMle,
+            Method::Psd,
+            Method::PriveletPlus,
+            Method::Php,
+            Method::Fp,
+        ] {
+            let answers = method.answer_workload(
+                data.columns(),
+                &data.domains(),
+                5.0,
+                8.0,
+                &workload,
+                42,
+            );
+            assert_eq!(answers.len(), 20, "{}", method.name());
+            assert!(
+                answers.iter().all(|a| a.is_finite()),
+                "{} produced non-finite answers",
+                method.name()
+            );
+            // With eps=5, full-domain-scale queries should be in the right
+            // ballpark: check aggregate mass is not absurd.
+            let sum_a: f64 = answers.iter().sum();
+            let sum_t: f64 = truth.iter().sum();
+            assert!(
+                (sum_a - sum_t).abs() < sum_t.max(200.0) * 2.0,
+                "{}: answers {sum_a} vs truth {sum_t}",
+                method.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Experiment parameters (Table 3 of the paper) with environment
+//! overrides.
+
+/// Table 3 defaults plus run-control knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentParams {
+    /// Number of tuples `n` (default 50 000).
+    pub records: usize,
+    /// Privacy budget `epsilon` (default 1.0).
+    pub epsilon: f64,
+    /// Number of dimensions `m` (default 8).
+    pub dims: usize,
+    /// Sanity bound `s` (default 1).
+    pub sanity: f64,
+    /// Budget ratio `k = eps1/eps2` (default 8).
+    pub k_ratio: f64,
+    /// Per-dimension domain size (default 1000).
+    pub domain: usize,
+    /// Queries per run (paper: 1000).
+    pub queries: usize,
+    /// Runs to average (paper: 5).
+    pub runs: usize,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        Self {
+            records: 50_000,
+            epsilon: 1.0,
+            dims: 8,
+            sanity: 1.0,
+            k_ratio: 8.0,
+            domain: 1000,
+            queries: 1000,
+            runs: 5,
+        }
+    }
+}
+
+impl ExperimentParams {
+    /// Table 3 defaults adjusted by environment variables:
+    /// `RUNS=<r>` and `QUERIES=<q>` override directly; `QUICK=1` drops to
+    /// 2 runs x 200 queries for smoke-testing the harness.
+    pub fn from_env() -> Self {
+        let mut p = Self::default();
+        if std::env::var("QUICK").map(|v| v == "1").unwrap_or(false) {
+            p.runs = 2;
+            p.queries = 200;
+        }
+        if let Ok(r) = std::env::var("RUNS") {
+            if let Ok(r) = r.parse() {
+                p.runs = r;
+            }
+        }
+        if let Ok(q) = std::env::var("QUERIES") {
+            if let Ok(q) = q.parse() {
+                p.queries = q;
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_3() {
+        let p = ExperimentParams::default();
+        assert_eq!(p.records, 50_000);
+        assert_eq!(p.epsilon, 1.0);
+        assert_eq!(p.dims, 8);
+        assert_eq!(p.sanity, 1.0);
+        assert_eq!(p.k_ratio, 8.0);
+        assert_eq!(p.domain, 1000);
+        assert_eq!(p.runs, 5);
+        assert_eq!(p.queries, 1000);
+    }
+}

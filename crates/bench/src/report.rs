@@ -1,0 +1,138 @@
+//! Console tables and CSV files under `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple result table: header plus string rows, printable and savable.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier used for the CSV filename (e.g. `fig07a_us_census`).
+    pub name: String,
+    /// Column names.
+    pub header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// The rows accumulated so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let mut line = String::new();
+        for (w, h) in widths.iter().zip(&self.header) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            line.clear();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Prints the table with its name as a heading.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.name);
+        print!("{}", self.render());
+    }
+
+    /// Saves the table as `results/<name>.csv` (relative to the workspace
+    /// root or cwd) and returns the path.
+    pub fn save_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut body = self.header.join(",");
+        body.push('\n');
+        for row in &self.rows {
+            body.push_str(&row.join(","));
+            body.push('\n');
+        }
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// The output directory for experiment CSVs: `$RESULTS_DIR` or
+/// `./results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Formats a float with 4 significant decimals for table cells.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["method", "err"]);
+        t.push_row(vec!["DPCopula".into(), "0.1".into()]);
+        t.push_row(vec!["PSD".into(), "0.25".into()]);
+        let s = t.render();
+        assert!(s.contains("DPCopula"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.12345), "0.1235");
+        assert_eq!(fmt(5.43219), "5.432");
+        assert_eq!(fmt(1234.5), "1234.5");
+    }
+}

@@ -1,0 +1,184 @@
+//! Run-averaged evaluation of a method over a workload (the paper
+//! averages 5 runs of 1000 queries), with optional wall-clock timing for
+//! the scalability figures. Independent runs execute on scoped threads.
+
+use crate::methods::Method;
+use queryeval::{ErrorSummary, Workload};
+use std::time::{Duration, Instant};
+
+/// Result of an averaged evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOutcome {
+    /// Error summary averaged over runs.
+    pub errors: ErrorSummary,
+    /// Mean wall-clock time of one publish+answer cycle.
+    pub mean_time: Duration,
+}
+
+/// Evaluates `method` on `columns` for `runs` independent releases and
+/// averages the error metrics.
+#[allow(clippy::too_many_arguments)] // experiment surface, mirrors Table 3
+pub fn evaluate(
+    method: Method,
+    columns: &[Vec<u32>],
+    domains: &[usize],
+    eps: f64,
+    k_ratio: f64,
+    workload: &Workload,
+    truth: &[f64],
+    sanity: f64,
+    runs: usize,
+    base_seed: u64,
+) -> EvalOutcome {
+    assert!(runs > 0, "need at least one run");
+    assert_eq!(truth.len(), workload.len(), "truth must pair with the workload");
+
+    let run_one = |seed: u64| -> (ErrorSummary, Duration) {
+        let t0 = Instant::now();
+        let answers = method.answer_workload(columns, domains, eps, k_ratio, workload, seed);
+        let dt = t0.elapsed();
+        (ErrorSummary::from_answers(&answers, truth, sanity), dt)
+    };
+
+    // Two worker threads (the container has 2 cores); chunk the seeds.
+    let seeds: Vec<u64> = (0..runs as u64).map(|r| base_seed.wrapping_add(r * 7919)).collect();
+    let results: Vec<(ErrorSummary, Duration)> = if runs == 1 {
+        vec![run_one(seeds[0])]
+    } else {
+        let mid = runs / 2;
+        let (front, back) = seeds.split_at(mid);
+        crossbeam::thread::scope(|scope| {
+            let handle = scope.spawn(|_| {
+                front.iter().map(|&s| run_one(s)).collect::<Vec<_>>()
+            });
+            let mut out: Vec<(ErrorSummary, Duration)> =
+                back.iter().map(|&s| run_one(s)).collect();
+            let mut first = handle.join().expect("worker thread panicked");
+            first.append(&mut out);
+            first
+        })
+        .expect("crossbeam scope failed")
+    };
+
+    let summaries: Vec<ErrorSummary> = results.iter().map(|(s, _)| *s).collect();
+    let total: Duration = results.iter().map(|(_, d)| *d).sum();
+    EvalOutcome {
+        errors: ErrorSummary::average(&summaries),
+        mean_time: total / runs as u32,
+    }
+}
+
+/// Like [`evaluate`] but runs serially — for the timing figures, where
+/// thread contention on 2 cores would distort wall-clock numbers.
+#[allow(clippy::too_many_arguments)] // experiment surface, mirrors Table 3
+pub fn evaluate_timed(
+    method: Method,
+    columns: &[Vec<u32>],
+    domains: &[usize],
+    eps: f64,
+    k_ratio: f64,
+    workload: &Workload,
+    truth: &[f64],
+    sanity: f64,
+    runs: usize,
+    base_seed: u64,
+) -> EvalOutcome {
+    assert!(runs > 0, "need at least one run");
+    assert_eq!(truth.len(), workload.len(), "truth must pair with the workload");
+    let mut summaries = Vec::with_capacity(runs);
+    let mut total = Duration::ZERO;
+    for r in 0..runs as u64 {
+        let t0 = Instant::now();
+        let answers = method.answer_workload(
+            columns,
+            domains,
+            eps,
+            k_ratio,
+            workload,
+            base_seed.wrapping_add(r * 7919),
+        );
+        total += t0.elapsed();
+        summaries.push(ErrorSummary::from_answers(&answers, truth, sanity));
+    }
+    EvalOutcome {
+        errors: ErrorSummary::average(&summaries),
+        mean_time: total / runs as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::synthetic::SyntheticSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluate_averages_runs() {
+        let data = SyntheticSpec {
+            records: 1_000,
+            dims: 2,
+            domain: 32,
+            ..Default::default()
+        }
+        .generate();
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = Workload::random(&data.domains(), 10, &mut rng);
+        let truth = w.true_counts(data.columns());
+        let out = evaluate(
+            Method::Psd,
+            data.columns(),
+            &data.domains(),
+            1.0,
+            8.0,
+            &w,
+            &truth,
+            1.0,
+            4,
+            123,
+        );
+        assert_eq!(out.errors.queries, 40); // 4 runs x 10 queries
+        assert!(out.errors.mean_relative.is_finite());
+        assert!(out.mean_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_statistically() {
+        // Same seeds => same per-run answers regardless of scheduling.
+        let data = SyntheticSpec {
+            records: 500,
+            dims: 2,
+            domain: 16,
+            ..Default::default()
+        }
+        .generate();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Workload::random(&data.domains(), 5, &mut rng);
+        let truth = w.true_counts(data.columns());
+        let a = evaluate(
+            Method::Psd,
+            data.columns(),
+            &data.domains(),
+            2.0,
+            8.0,
+            &w,
+            &truth,
+            1.0,
+            3,
+            7,
+        );
+        let b = evaluate_timed(
+            Method::Psd,
+            data.columns(),
+            &data.domains(),
+            2.0,
+            8.0,
+            &w,
+            &truth,
+            1.0,
+            3,
+            7,
+        );
+        assert!((a.errors.mean_relative - b.errors.mean_relative).abs() < 1e-12);
+    }
+}

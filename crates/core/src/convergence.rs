@@ -1,0 +1,133 @@
+//! Convergence diagnostics for Theorem 4.3: as the cardinality `n` grows,
+//! the DP synthetic data's margins and dependence converge to the
+//! original's.
+//!
+//! These functions quantify the distance between an original and a
+//! synthetic dataset so the integration tests (and users) can verify the
+//! convergence property empirically.
+
+use crate::kendall::kendall_tau;
+use mathkit::stats::ks_statistic;
+use mathkit::Matrix;
+
+/// Kolmogorov–Smirnov distance between the two datasets' margins
+/// (one value per dimension).
+///
+/// # Panics
+/// Panics when the datasets disagree on dimensionality or are empty.
+pub fn marginal_ks_distances(original: &[Vec<u32>], synthetic: &[Vec<u32>]) -> Vec<f64> {
+    assert_eq!(
+        original.len(),
+        synthetic.len(),
+        "dimensionality mismatch between datasets"
+    );
+    original
+        .iter()
+        .zip(synthetic)
+        .map(|(o, s)| {
+            let of: Vec<f64> = o.iter().map(|&v| f64::from(v)).collect();
+            let sf: Vec<f64> = s.iter().map(|&v| f64::from(v)).collect();
+            ks_statistic(&of, &sf)
+        })
+        .collect()
+}
+
+/// The pairwise Kendall's-tau matrices of both datasets and their maximum
+/// absolute entry-wise difference — a direct measure of how well the
+/// dependence structure survived (the `C_t -> C_0` part of Theorem 4.3).
+pub fn dependence_distance(original: &[Vec<u32>], synthetic: &[Vec<u32>]) -> f64 {
+    assert_eq!(original.len(), synthetic.len(), "dimensionality mismatch");
+    let m = original.len();
+    let mut worst: f64 = 0.0;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let t_o = kendall_tau(&original[i], &original[j]);
+            let t_s = kendall_tau(&synthetic[i], &synthetic[j]);
+            worst = worst.max((t_o - t_s).abs());
+        }
+    }
+    worst
+}
+
+/// Empirical Kendall's-tau matrix of a dataset (diagonal 1).
+pub fn kendall_matrix(columns: &[Vec<u32>]) -> Matrix {
+    let m = columns.len();
+    let mut t = Matrix::identity(m);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let tau = kendall_tau(&columns[i], &columns[j]);
+            t[(i, j)] = tau;
+            t[(j, i)] = tau;
+        }
+    }
+    t
+}
+
+/// A compact convergence report comparing original and synthetic data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceReport {
+    /// Per-dimension KS distances of the margins.
+    pub marginal_ks: Vec<f64>,
+    /// Maximum |tau_original - tau_synthetic| over attribute pairs.
+    pub max_tau_gap: f64,
+}
+
+impl ConvergenceReport {
+    /// Computes the report.
+    pub fn compare(original: &[Vec<u32>], synthetic: &[Vec<u32>]) -> Self {
+        Self {
+            marginal_ks: marginal_ks_distances(original, synthetic),
+            max_tau_gap: dependence_distance(original, synthetic),
+        }
+    }
+
+    /// The worst marginal KS distance.
+    pub fn max_marginal_ks(&self) -> f64 {
+        self.marginal_ks.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_datasets_have_zero_distances() {
+        let cols = vec![vec![1u32, 2, 3, 4, 5], vec![5u32, 4, 3, 2, 1]];
+        let r = ConvergenceReport::compare(&cols, &cols);
+        assert_eq!(r.max_marginal_ks(), 0.0);
+        assert_eq!(r.max_tau_gap, 0.0);
+    }
+
+    #[test]
+    fn shifted_margin_is_detected() {
+        let a = vec![vec![0u32; 100]];
+        let b = vec![vec![50u32; 100]];
+        let ks = marginal_ks_distances(&a, &b);
+        assert_eq!(ks, vec![1.0]);
+    }
+
+    #[test]
+    fn reversed_dependence_is_detected() {
+        let x: Vec<u32> = (0..100).collect();
+        let orig = vec![x.clone(), x.clone()];
+        let synth = vec![x.clone(), x.iter().rev().cloned().collect()];
+        // tau flips from +1 to -1.
+        assert!((dependence_distance(&orig, &synth) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_matrix_shape() {
+        let cols = vec![
+            (0..50u32).collect::<Vec<_>>(),
+            (0..50u32).map(|i| 49 - i).collect::<Vec<_>>(),
+            (0..50u32).map(|i| i / 2).collect::<Vec<_>>(),
+        ];
+        let t = kendall_matrix(&cols);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(0, 0)], 1.0);
+        assert!((t[(0, 1)] + 1.0).abs() < 1e-12);
+        assert!(t[(0, 2)] > 0.9);
+        assert_eq!(t[(1, 2)], t[(2, 1)]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Empirical marginal distributions: the probability-integral transform
+//! (Equations 2–3 of the paper) and the *inverse* DP marginal CDF used by
+//! the sampling step (Algorithm 3, step 2).
+
+use mathkit::stats::ranks;
+
+/// Pseudo-copula transform of one data column (Equations 2–3):
+/// `u_i = rank(x_i) / (n + 1)`, mid-ranks for ties, so every `u_i` lies
+/// strictly inside `(0, 1)`.
+pub fn pseudo_copula_column(values: &[u32]) -> Vec<f64> {
+    let as_f64: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+    let n = values.len() as f64;
+    ranks(&as_f64).iter().map(|r| r / (n + 1.0)).collect()
+}
+
+/// A (possibly noisy) discrete marginal distribution over `0..domain`,
+/// built from histogram counts. Negative noisy counts are clamped to zero
+/// and the result renormalised — the only post-processing DPCopula needs
+/// (free, as it does not touch the data again).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginalDistribution {
+    /// Non-decreasing CDF; `cdf[k] = P(X <= k)`, last entry 1.
+    cdf: Vec<f64>,
+}
+
+impl MarginalDistribution {
+    /// Builds the distribution from (noisy) histogram counts.
+    ///
+    /// If every count is non-positive the distribution falls back to
+    /// uniform — the least-informative valid margin.
+    ///
+    /// # Panics
+    /// Panics on an empty histogram.
+    pub fn from_noisy_histogram(counts: &[f64]) -> Self {
+        assert!(!counts.is_empty(), "empty histogram");
+        let clamped: Vec<f64> = counts.iter().map(|&c| c.max(0.0)).collect();
+        let total: f64 = clamped.iter().sum();
+        let mut cdf = Vec::with_capacity(clamped.len());
+        if total <= 0.0 {
+            // Uniform fallback.
+            let p = 1.0 / clamped.len() as f64;
+            let mut acc = 0.0;
+            for _ in &clamped {
+                acc += p;
+                cdf.push(acc);
+            }
+        } else {
+            let mut acc = 0.0;
+            for &c in &clamped {
+                acc += c / total;
+                cdf.push(acc);
+            }
+        }
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Self { cdf }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `P(X <= k)`; 1 beyond the domain.
+    pub fn cdf(&self, k: u32) -> f64 {
+        let k = k as usize;
+        if k >= self.cdf.len() {
+            1.0
+        } else {
+            self.cdf[k]
+        }
+    }
+
+    /// Probability mass at `k`.
+    pub fn pmf(&self, k: u32) -> f64 {
+        let k = k as usize;
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Inverse CDF: the smallest `k` with `cdf(k) >= u` — the
+    /// `F~^{-1}(T~)` of Algorithm 3 step 2.
+    pub fn quantile(&self, u: f64) -> u32 {
+        let u = u.clamp(0.0, 1.0);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_copula_is_rank_over_n_plus_1() {
+        let u = pseudo_copula_column(&[30, 10, 20]);
+        assert_eq!(u, vec![3.0 / 4.0, 1.0 / 4.0, 2.0 / 4.0]);
+    }
+
+    #[test]
+    fn pseudo_copula_ties_get_midranks() {
+        let u = pseudo_copula_column(&[5, 5, 9]);
+        assert_eq!(u, vec![1.5 / 4.0, 1.5 / 4.0, 3.0 / 4.0]);
+    }
+
+    #[test]
+    fn pseudo_copula_stays_in_open_unit_interval() {
+        let values: Vec<u32> = (0..1000).collect();
+        let u = pseudo_copula_column(&values);
+        assert!(u.iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn marginal_from_clean_histogram() {
+        let m = MarginalDistribution::from_noisy_histogram(&[1.0, 3.0, 0.0, 4.0]);
+        assert!((m.cdf(0) - 0.125).abs() < 1e-12);
+        assert!((m.cdf(1) - 0.5).abs() < 1e-12);
+        assert!((m.cdf(2) - 0.5).abs() < 1e-12);
+        assert_eq!(m.cdf(3), 1.0);
+        assert_eq!(m.cdf(99), 1.0);
+        assert!((m.pmf(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_counts_are_clamped() {
+        let m = MarginalDistribution::from_noisy_histogram(&[-5.0, 2.0, 2.0]);
+        assert_eq!(m.pmf(0), 0.0);
+        assert!((m.pmf(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_falls_back_to_uniform() {
+        let m = MarginalDistribution::from_noisy_histogram(&[-1.0, -2.0, -3.0, -4.0]);
+        for k in 0..4 {
+            assert!((m.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_is_generalised_inverse() {
+        let m = MarginalDistribution::from_noisy_histogram(&[1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(m.quantile(0.0), 0);
+        assert_eq!(m.quantile(0.25), 0);
+        assert_eq!(m.quantile(0.26), 2);
+        assert_eq!(m.quantile(0.5), 2);
+        assert_eq!(m.quantile(0.51), 3);
+        assert_eq!(m.quantile(1.0), 3);
+        // Galois connection: cdf(quantile(u)) >= u.
+        for i in 0..=100 {
+            let u = f64::from(i) / 100.0;
+            assert!(m.cdf(m.quantile(u)) >= u - 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_skips_zero_mass_bins() {
+        let m = MarginalDistribution::from_noisy_histogram(&[0.0, 0.0, 5.0]);
+        assert_eq!(m.quantile(0.001), 2);
+        assert_eq!(m.quantile(0.999), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_histogram_panics() {
+        let _ = MarginalDistribution::from_noisy_histogram(&[]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Error type for the DPCopula pipeline.
+
+use dpmech::BudgetError;
+
+/// Everything that can go wrong while fitting or sampling a DP copula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpCopulaError {
+    /// The input had no attributes or no records.
+    EmptyInput,
+    /// Columns have different lengths.
+    RaggedColumns,
+    /// `columns.len() != domains.len()`.
+    ArityMismatch {
+        /// Number of data columns supplied.
+        columns: usize,
+        /// Number of domain sizes supplied.
+        domains: usize,
+    },
+    /// A value fell outside its declared domain.
+    ValueOutOfDomain {
+        /// Dimension index.
+        dim: usize,
+        /// Offending value.
+        value: u32,
+        /// Domain size of that dimension.
+        domain: usize,
+    },
+    /// Privacy budget problems (invalid epsilon, over-spending).
+    Budget(BudgetError),
+    /// The operation needs more records than the dataset holds (e.g.
+    /// Kendall's tau requires at least two observations).
+    TooFewRecords {
+        /// Records available.
+        records: usize,
+        /// Records required.
+        required: usize,
+    },
+    /// The operation needs more attributes than the dataset has (e.g.
+    /// copula-family selection requires dependence to compare).
+    TooFewAttributes {
+        /// Attributes available.
+        attributes: usize,
+        /// Attributes required.
+        required: usize,
+    },
+    /// DPCopula-MLE needs `l > C(m,2) / (0.025 * eps2)` partitions with at
+    /// least 2 records each; the dataset is too small for the requested
+    /// dimensionality/budget (§4.1 of the paper).
+    InsufficientDataForMle {
+        /// Partitions required.
+        required_partitions: usize,
+        /// Records available.
+        records: usize,
+    },
+}
+
+impl std::fmt::Display for DpCopulaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DpCopulaError::EmptyInput => write!(f, "input data is empty"),
+            DpCopulaError::RaggedColumns => write!(f, "columns have differing lengths"),
+            DpCopulaError::ArityMismatch { columns, domains } => write!(
+                f,
+                "{columns} data columns but {domains} domain sizes supplied"
+            ),
+            DpCopulaError::ValueOutOfDomain { dim, value, domain } => write!(
+                f,
+                "value {value} in dimension {dim} is outside its domain of size {domain}"
+            ),
+            DpCopulaError::Budget(e) => write!(f, "privacy budget error: {e}"),
+            DpCopulaError::TooFewRecords { records, required } => write!(
+                f,
+                "operation requires at least {required} records, got {records}"
+            ),
+            DpCopulaError::TooFewAttributes {
+                attributes,
+                required,
+            } => write!(
+                f,
+                "operation requires at least {required} attributes, got {attributes}"
+            ),
+            DpCopulaError::InsufficientDataForMle {
+                required_partitions,
+                records,
+            } => write!(
+                f,
+                "DPCopula-MLE requires at least {required_partitions} partitions \
+                 of >= 2 records but only {records} records are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DpCopulaError {}
+
+impl From<BudgetError> for DpCopulaError {
+    fn from(e: BudgetError) -> Self {
+        DpCopulaError::Budget(e)
+    }
+}
+
+/// Validates the common columnar-input invariants shared by all
+/// synthesizers.
+pub fn validate_columns(columns: &[Vec<u32>], domains: &[usize]) -> Result<(), DpCopulaError> {
+    if columns.is_empty() {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    if columns.len() != domains.len() {
+        return Err(DpCopulaError::ArityMismatch {
+            columns: columns.len(),
+            domains: domains.len(),
+        });
+    }
+    let n = columns[0].len();
+    if n == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    for col in columns {
+        if col.len() != n {
+            return Err(DpCopulaError::RaggedColumns);
+        }
+    }
+    for (dim, (col, &domain)) in columns.iter().zip(domains).enumerate() {
+        if let Some(&value) = col.iter().find(|&&v| v as usize >= domain) {
+            return Err(DpCopulaError::ValueOutOfDomain { dim, value, domain });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_input() {
+        let cols = vec![vec![0u32, 1, 2], vec![3u32, 4, 5]];
+        assert!(validate_columns(&cols, &[3, 6]).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged() {
+        assert_eq!(validate_columns(&[], &[]), Err(DpCopulaError::EmptyInput));
+        let empty_col = vec![Vec::<u32>::new()];
+        assert_eq!(
+            validate_columns(&empty_col, &[4]),
+            Err(DpCopulaError::EmptyInput)
+        );
+        let ragged = vec![vec![0u32, 1], vec![0u32]];
+        assert_eq!(
+            validate_columns(&ragged, &[2, 2]),
+            Err(DpCopulaError::RaggedColumns)
+        );
+    }
+
+    #[test]
+    fn rejects_arity_and_domain_violations() {
+        let cols = vec![vec![0u32, 5]];
+        assert_eq!(
+            validate_columns(&cols, &[4, 4]),
+            Err(DpCopulaError::ArityMismatch {
+                columns: 1,
+                domains: 2
+            })
+        );
+        assert_eq!(
+            validate_columns(&cols, &[4]),
+            Err(DpCopulaError::ValueOutOfDomain {
+                dim: 0,
+                value: 5,
+                domain: 4
+            })
+        );
+    }
+
+    #[test]
+    fn errors_render_human_readable() {
+        let e = DpCopulaError::InsufficientDataForMle {
+            required_partitions: 100,
+            records: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("5"));
+    }
+}

@@ -1,0 +1,428 @@
+//! DPCopula-Hybrid (Algorithm 6): handling small-domain attributes.
+//!
+//! Kendall's tau (and the copula's continuity assumption) degrade on
+//! attributes with fewer than ~10 values (§4.4 of the paper): a binary
+//! attribute has almost nothing but ties. The hybrid therefore:
+//!
+//! 1. partitions the dataset on the small-domain attributes (the cross
+//!    product of their values);
+//! 2. releases each partition's cardinality with Laplace noise
+//!    (`epsilon_1`; partitions are disjoint, so parallel composition
+//!    applies);
+//! 3. runs plain DPCopula with the remaining `epsilon - epsilon_1` on the
+//!    large-domain attributes *within* each partition (again parallel
+//!    composition across partitions);
+//! 4. concatenates the partitions' synthetic data, re-attaching the
+//!    small-domain values.
+
+use crate::error::{validate_columns, DpCopulaError};
+use crate::synthesizer::{DpCopula, DpCopulaConfig};
+use dpmech::{laplace_noise, Epsilon};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Domain-size threshold below which an attribute is "small" (the paper
+/// uses 10).
+pub const SMALL_DOMAIN_THRESHOLD: usize = 10;
+
+/// How the partition cardinalities of step 2 are released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountMethod {
+    /// Independent `Lap(1/epsilon_1)` per partition (the paper's choice;
+    /// Dwork's method over the disjoint partitions).
+    #[default]
+    Laplace,
+    /// Two-sided geometric noise — integer counts, no rounding step.
+    Geometric,
+    /// Barak et al.'s Fourier contingency table over the small attributes
+    /// (requires them all binary; falls back to Laplace otherwise).
+    /// Marginals of the released counts are mutually consistent.
+    Barak,
+}
+
+/// Configuration of the hybrid synthesizer.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// Configuration of the per-partition DPCopula runs. Its `epsilon` is
+    /// the *total* budget; the hybrid carves `count_fraction` out of it
+    /// for the partition counts.
+    pub base: DpCopulaConfig,
+    /// Fraction of the budget spent on noisy partition counts
+    /// (`epsilon_1` of Algorithm 6).
+    pub count_fraction: f64,
+    /// Attributes with domains strictly smaller than this partition the
+    /// data.
+    pub small_domain_threshold: usize,
+    /// Mechanism releasing the partition cardinalities.
+    pub count_method: CountMethod,
+}
+
+impl HybridConfig {
+    /// Defaults: 10% of the budget on counts, threshold 10, Laplace
+    /// counts.
+    pub fn new(base: DpCopulaConfig) -> Self {
+        Self {
+            base,
+            count_fraction: 0.1,
+            small_domain_threshold: SMALL_DOMAIN_THRESHOLD,
+            count_method: CountMethod::default(),
+        }
+    }
+}
+
+/// Result of a hybrid synthesis.
+#[derive(Debug, Clone)]
+pub struct HybridSynthesis {
+    /// Synthetic records, column-major, in the *original* attribute order
+    /// (small-domain attributes included).
+    pub columns: Vec<Vec<u32>>,
+    /// Number of partitions induced by the small-domain attributes.
+    pub partitions: usize,
+    /// Indices of the attributes that were treated as small-domain.
+    pub small_attributes: Vec<usize>,
+}
+
+/// The hybrid synthesizer of Algorithm 6.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridSynthesizer {
+    config: HybridConfig,
+}
+
+impl HybridSynthesizer {
+    /// Creates the synthesizer.
+    pub fn new(config: HybridConfig) -> Self {
+        assert!(
+            config.count_fraction > 0.0 && config.count_fraction < 1.0,
+            "count fraction must be in (0,1)"
+        );
+        Self { config }
+    }
+
+    /// Runs Algorithm 6.
+    ///
+    /// If no attribute is small-domain this degrades to plain DPCopula
+    /// with the full budget (no count noise is spent).
+    pub fn synthesize<R: Rng + ?Sized>(
+        &self,
+        columns: &[Vec<u32>],
+        domains: &[usize],
+        rng: &mut R,
+    ) -> Result<HybridSynthesis, DpCopulaError> {
+        validate_columns(columns, domains)?;
+        let cfg = &self.config;
+        let m = columns.len();
+
+        let small: Vec<usize> = (0..m)
+            .filter(|&j| domains[j] < cfg.small_domain_threshold)
+            .collect();
+        let large: Vec<usize> = (0..m)
+            .filter(|&j| domains[j] >= cfg.small_domain_threshold)
+            .collect();
+
+        if small.is_empty() {
+            let out = DpCopula::new(cfg.base).synthesize(columns, domains, rng)?;
+            return Ok(HybridSynthesis {
+                columns: out.columns,
+                partitions: 1,
+                small_attributes: Vec::new(),
+            });
+        }
+
+        let eps_total = cfg.base.epsilon;
+        let eps_counts = eps_total.fraction(cfg.count_fraction);
+        let eps_copula =
+            Epsilon::new(eps_total.value() - eps_counts.value()).map_err(DpCopulaError::from)?;
+
+        // Group row indices by their small-attribute combination.
+        let n = columns[0].len();
+        let mut groups: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        #[allow(clippy::needless_range_loop)] // row indexes several columns
+        for row in 0..n {
+            let key: Vec<u32> = small.iter().map(|&j| columns[j][row]).collect();
+            groups.entry(key).or_default().push(row);
+        }
+        // Also include empty combinations so their (pure-noise) counts are
+        // released, as Algorithm 6 prescribes for all prod|A_i| partitions.
+        let mut all_keys: Vec<Vec<u32>> = Vec::new();
+        build_keys(&small, domains, &mut Vec::new(), &mut all_keys);
+
+        // For the Barak count method: one consistent contingency-table
+        // release over the small attributes (all-binary only).
+        let all_binary = small.iter().all(|&j| domains[j] == 2);
+        let barak = if cfg.count_method == CountMethod::Barak && all_binary {
+            let small_cols: Vec<Vec<u32>> =
+                small.iter().map(|&j| columns[j].clone()).collect();
+            Some(dphist::barak::BarakTable::publish(
+                &small_cols,
+                eps_counts,
+                rng,
+            ))
+        } else {
+            None
+        };
+        let geometric = dpmech::GeometricMechanism::new(eps_counts, 1.0);
+
+        let mut out_columns: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut partitions = 0usize;
+        for key in all_keys {
+            partitions += 1;
+            let rows = groups.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+            // Step 2: noisy cardinality (sensitivity 1; disjoint partitions
+            // => parallel composition, each uses the full eps_counts).
+            let n_out = match (&barak, cfg.count_method) {
+                (Some(table), _) => {
+                    let idx: usize = key
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, &v)| (v as usize) << slot)
+                        .sum();
+                    table.cell(idx).round().max(0.0) as usize
+                }
+                (None, CountMethod::Geometric) => {
+                    geometric.release(rows.len() as i64, rng).max(0) as usize
+                }
+                (None, _) => {
+                    let noisy =
+                        rows.len() as f64 + laplace_noise(rng, 1.0 / eps_counts.value());
+                    noisy.round().max(0.0) as usize
+                }
+            };
+            if n_out == 0 {
+                continue;
+            }
+
+            let synth_large: Vec<Vec<u32>> = if large.is_empty() {
+                Vec::new()
+            } else if rows.len() < 2 {
+                // Too few records to fit a copula: emit uniform draws over
+                // the large domains (least-informative fallback; the count
+                // is still correct).
+                large
+                    .iter()
+                    .map(|&j| {
+                        (0..n_out)
+                            .map(|_| rng.gen_range(0..domains[j] as u32))
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                // Step 3: per-partition DPCopula on the large attributes
+                // with the remaining budget.
+                let part_cols: Vec<Vec<u32>> = large
+                    .iter()
+                    .map(|&j| rows.iter().map(|&r| columns[j][r]).collect())
+                    .collect();
+                let part_domains: Vec<usize> = large.iter().map(|&j| domains[j]).collect();
+                let mut base = cfg.base;
+                base.epsilon = eps_copula;
+                base.output_records = Some(n_out);
+                DpCopula::new(base)
+                    .synthesize(&part_cols, &part_domains, rng)?
+                    .columns
+            };
+
+            // Reassemble rows in original attribute order.
+            for (slot, &j) in small.iter().enumerate() {
+                out_columns[j].extend(std::iter::repeat_n(key[slot], n_out));
+            }
+            for (slot, &j) in large.iter().enumerate() {
+                out_columns[j].extend_from_slice(&synth_large[slot]);
+            }
+        }
+
+        Ok(HybridSynthesis {
+            columns: out_columns,
+            partitions,
+            small_attributes: small,
+        })
+    }
+}
+
+/// Enumerates the cross product of the small attributes' domains.
+fn build_keys(
+    small: &[usize],
+    domains: &[usize],
+    prefix: &mut Vec<u32>,
+    out: &mut Vec<Vec<u32>>,
+) {
+    if prefix.len() == small.len() {
+        out.push(prefix.clone());
+        return;
+    }
+    let j = small[prefix.len()];
+    for v in 0..domains[j] as u32 {
+        prefix.push(v);
+        build_keys(small, domains, prefix, out);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmech::Epsilon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Data with one binary attribute and two large attributes whose
+    /// distribution depends on the binary one.
+    fn mixed_data(n: usize, seed: u64) -> (Vec<Vec<u32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gender: Vec<u32> = (0..n).map(|_| u32::from(rng.gen_bool(0.4))).collect();
+        let age: Vec<u32> = gender
+            .iter()
+            .map(|&g| {
+                if g == 0 {
+                    rng.gen_range(0..50u32)
+                } else {
+                    rng.gen_range(40..96u32)
+                }
+            })
+            .collect();
+        let income: Vec<u32> = age.iter().map(|&a| (a * 10).min(999)).collect();
+        (vec![gender, age, income], vec![2, 96, 1000])
+    }
+
+    fn base_config(eps: f64) -> DpCopulaConfig {
+        DpCopulaConfig::kendall(Epsilon::new(eps).unwrap())
+    }
+
+    #[test]
+    fn partitions_on_binary_attribute() {
+        let (cols, domains) = mixed_data(4_000, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = HybridSynthesizer::new(HybridConfig::new(base_config(2.0)));
+        let out = h.synthesize(&cols, &domains, &mut rng).unwrap();
+        assert_eq!(out.partitions, 2);
+        assert_eq!(out.small_attributes, vec![0]);
+        assert_eq!(out.columns.len(), 3);
+        // Cardinality near the original (noisy counts with eps 0.2).
+        let n_out = out.columns[0].len();
+        assert!((n_out as f64 - 4_000.0).abs() < 100.0, "n_out {n_out}");
+        // Group sizes approximately preserved.
+        let g1 = out.columns[0].iter().filter(|&&g| g == 1).count() as f64;
+        assert!((g1 / n_out as f64 - 0.4).abs() < 0.05);
+    }
+
+    #[test]
+    fn per_partition_structure_is_preserved() {
+        let (cols, domains) = mixed_data(8_000, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = HybridSynthesizer::new(HybridConfig::new(base_config(4.0)));
+        let out = h.synthesize(&cols, &domains, &mut rng).unwrap();
+        // Within gender 1, ages concentrate in 40..96.
+        let ages_g1: Vec<u32> = out.columns[1]
+            .iter()
+            .zip(&out.columns[0])
+            .filter(|(_, &g)| g == 1)
+            .map(|(&a, _)| a)
+            .collect();
+        let mean_g1 = ages_g1.iter().map(|&a| f64::from(a)).sum::<f64>()
+            / ages_g1.len() as f64;
+        let ages_g0: Vec<u32> = out.columns[1]
+            .iter()
+            .zip(&out.columns[0])
+            .filter(|(_, &g)| g == 0)
+            .map(|(&a, _)| a)
+            .collect();
+        let mean_g0 = ages_g0.iter().map(|&a| f64::from(a)).sum::<f64>()
+            / ages_g0.len() as f64;
+        assert!(
+            mean_g1 > mean_g0 + 20.0,
+            "group means g1={mean_g1} g0={mean_g0}"
+        );
+    }
+
+    #[test]
+    fn no_small_attributes_degrades_to_plain_dpcopula() {
+        let cols = vec![
+            (0..1000u32).map(|i| i % 50).collect::<Vec<_>>(),
+            (0..1000u32).map(|i| (i * 3) % 50).collect::<Vec<_>>(),
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = HybridSynthesizer::new(HybridConfig::new(base_config(1.0)));
+        let out = h.synthesize(&cols, &[50, 50], &mut rng).unwrap();
+        assert_eq!(out.partitions, 1);
+        assert!(out.small_attributes.is_empty());
+        assert_eq!(out.columns[0].len(), 1000);
+    }
+
+    #[test]
+    fn all_small_attributes_is_a_noisy_contingency_table() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a: Vec<u32> = (0..2000).map(|_| rng.gen_range(0..2)).collect();
+        let b: Vec<u32> = (0..2000).map(|_| rng.gen_range(0..3)).collect();
+        let cols = vec![a, b];
+        let h = HybridSynthesizer::new(HybridConfig::new(base_config(2.0)));
+        let out = h.synthesize(&cols, &[2, 3], &mut rng).unwrap();
+        assert_eq!(out.partitions, 6);
+        // Total cardinality close to 2000.
+        let n_out = out.columns[0].len();
+        assert!((n_out as f64 - 2000.0).abs() < 150.0, "n_out {n_out}");
+    }
+
+    #[test]
+    fn geometric_counts_preserve_cardinality() {
+        let (cols, domains) = mixed_data(3_000, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut cfg = HybridConfig::new(base_config(2.0));
+        cfg.count_method = CountMethod::Geometric;
+        let out = HybridSynthesizer::new(cfg)
+            .synthesize(&cols, &domains, &mut rng)
+            .unwrap();
+        let n_out = out.columns[0].len();
+        assert!((n_out as f64 - 3_000.0).abs() < 100.0, "n_out {n_out}");
+    }
+
+    #[test]
+    fn barak_counts_are_consistent_and_accurate() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // Two binary attributes + one large one.
+        let n = 6_000;
+        let a: Vec<u32> = (0..n).map(|_| u32::from(rng.gen_bool(0.3))).collect();
+        let b: Vec<u32> = (0..n).map(|_| u32::from(rng.gen_bool(0.6))).collect();
+        let big: Vec<u32> = (0..n as u32).map(|i| i % 200).collect();
+        let cols = vec![a.clone(), b, big];
+        let mut cfg = HybridConfig::new(base_config(2.0));
+        cfg.count_method = CountMethod::Barak;
+        let out = HybridSynthesizer::new(cfg)
+            .synthesize(&cols, &[2, 2, 200], &mut rng)
+            .unwrap();
+        assert_eq!(out.partitions, 4);
+        let n_out = out.columns[0].len();
+        assert!((n_out as f64 - n as f64).abs() < 150.0, "n_out {n_out}");
+        // The a=1 rate should track the data.
+        let a1 = out.columns[0].iter().filter(|&&v| v == 1).count() as f64;
+        let truth = a.iter().filter(|&&v| v == 1).count() as f64 / n as f64;
+        assert!(
+            (a1 / n_out as f64 - truth).abs() < 0.05,
+            "a1 rate {} vs {truth}",
+            a1 / n_out as f64
+        );
+    }
+
+    #[test]
+    fn barak_falls_back_for_non_binary_small_attributes() {
+        let mut rng = StdRng::seed_from_u64(14);
+        // A ternary small attribute: Barak cannot apply, Laplace fallback.
+        let n = 2_000;
+        let tri: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let big: Vec<u32> = (0..n as u32).map(|i| i % 100).collect();
+        let mut cfg = HybridConfig::new(base_config(2.0));
+        cfg.count_method = CountMethod::Barak;
+        let out = HybridSynthesizer::new(cfg)
+            .synthesize(&[tri, big], &[3, 100], &mut rng)
+            .unwrap();
+        assert_eq!(out.partitions, 3);
+        let n_out = out.columns[0].len();
+        assert!((n_out as f64 - n as f64).abs() < 100.0, "n_out {n_out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "count fraction")]
+    fn rejects_bad_count_fraction() {
+        let mut cfg = HybridConfig::new(base_config(1.0));
+        cfg.count_fraction = 1.5;
+        let _ = HybridSynthesizer::new(cfg);
+    }
+}

@@ -1,0 +1,359 @@
+//! Kendall's tau rank correlation: an O(n log n) implementation (Knight's
+//! algorithm), a quadratic reference, the differentially private release
+//! of Algorithm 5 (sensitivity `4/(n+1)`, Lemma 4.1), and the
+//! record-sampling speed-up of §4.2.
+
+use dpmech::{laplace_noise, Epsilon};
+use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
+use mathkit::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sample Kendall's tau (the `tau_a` of Definition 3.5: tied pairs
+/// contribute zero) in O(n log n) via Knight's algorithm.
+///
+/// # Panics
+/// Panics when the slices differ in length or have fewer than 2 elements.
+pub fn kendall_tau(x: &[u32], y: &[u32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "kendall_tau length mismatch");
+    let n = x.len();
+    assert!(n >= 2, "kendall_tau needs at least 2 observations");
+
+    // Sort lexicographically by (x, y).
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| x[a].cmp(&x[b]).then(y[a].cmp(&y[b])));
+
+    // Tied-x pairs and tied-(x,y) pairs from the sorted order.
+    let mut t_x: u64 = 0;
+    let mut t_xy: u64 = 0;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && x[idx[j + 1]] == x[idx[i]] {
+                j += 1;
+            }
+            let g = (j - i + 1) as u64;
+            t_x += g * (g - 1) / 2;
+            // Sub-groups tied in y as well.
+            let mut a = i;
+            while a <= j {
+                let mut b = a;
+                while b < j && y[idx[b + 1]] == y[idx[a]] {
+                    b += 1;
+                }
+                let h = (b - a + 1) as u64;
+                t_xy += h * (h - 1) / 2;
+                a = b + 1;
+            }
+            i = j + 1;
+        }
+    }
+
+    // Discordant pairs = strict inversions of the y sequence.
+    let mut ys: Vec<u32> = idx.iter().map(|&i| y[i]).collect();
+    let mut buf = vec![0u32; n];
+    let n_d = count_inversions(&mut ys, &mut buf);
+
+    // Tied-y pairs from the y values alone.
+    let mut sorted_y = y.to_vec();
+    sorted_y.sort_unstable();
+    let mut t_y: u64 = 0;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && sorted_y[j + 1] == sorted_y[i] {
+                j += 1;
+            }
+            let g = (j - i + 1) as u64;
+            t_y += g * (g - 1) / 2;
+            i = j + 1;
+        }
+    }
+
+    let total = (n as u64) * (n as u64 - 1) / 2;
+    let ties = t_x + t_y - t_xy;
+    let n_c = total - n_d - ties;
+    (n_c as f64 - n_d as f64) / total as f64
+}
+
+/// Counts strict inversions (`a[i] > a[j]` for `i < j`) by merge sort.
+fn count_inversions(a: &mut [u32], buf: &mut [u32]) -> u64 {
+    let n = a.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = a.split_at_mut(mid);
+    let mut inv = count_inversions(left, buf) + count_inversions(right, buf);
+    // Merge, counting right-elements that jump over remaining lefts.
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buf[k] = left[i];
+            i += 1;
+        } else {
+            inv += (left.len() - i) as u64;
+            buf[k] = right[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buf[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buf[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    a.copy_from_slice(&buf[..n]);
+    inv
+}
+
+/// Quadratic reference implementation of Definition 3.5, used as the
+/// property-test oracle.
+pub fn kendall_tau_naive(x: &[u32], y: &[u32]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    assert!(n >= 2);
+    let mut s: i64 = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = i64::from(x[i]) - i64::from(x[j]);
+            let dy = i64::from(y[i]) - i64::from(y[j]);
+            s += dx.signum() * dy.signum();
+        }
+    }
+    s as f64 / ((n as u64) * (n as u64 - 1) / 2) as f64
+}
+
+/// The L1 sensitivity of a pairwise Kendall's tau coefficient,
+/// `Delta = 4 / (n + 1)` (Lemma 4.1 of the paper).
+pub fn kendall_sensitivity(n: usize) -> f64 {
+    4.0 / (n as f64 + 1.0)
+}
+
+/// Releases one pairwise Kendall's tau under `epsilon`-DP: the sample
+/// coefficient plus `Lap(4 / ((n+1) * epsilon))` (Algorithm 5, step 1).
+pub fn dp_kendall_tau<R: Rng + ?Sized>(
+    x: &[u32],
+    y: &[u32],
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> f64 {
+    let tau = kendall_tau(x, y);
+    tau + laplace_noise(rng, kendall_sensitivity(x.len()) / epsilon.value())
+}
+
+/// The paper's record-sampling rule: computing tau on
+/// `n_hat > 50 m (m-1) / eps2 - 1` sampled records keeps the (enlarged)
+/// Laplace noise small relative to the coefficient scale while making the
+/// runtime independent of `n` (§4.2, "Computation complexity").
+pub fn recommended_sample_size(m: usize, eps2_total: f64) -> usize {
+    ((50.0 * (m as f64) * (m as f64 - 1.0) / eps2_total) - 1.0).ceil().max(2.0) as usize + 1
+}
+
+/// How many records to use when computing each pairwise tau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingStrategy {
+    /// Use every record (O(n log n) per pair).
+    Full,
+    /// Use `min(n, recommended_sample_size(m, eps2))` records — the
+    /// paper's default for all experiments.
+    Auto,
+    /// Use at most this many records.
+    Fixed(usize),
+}
+
+/// Computes the full DP correlation-matrix estimator of Algorithm 5:
+/// noisy pairwise Kendall's tau on (optionally sampled) records, the
+/// `sin(pi/2 * tau)` map, and the eigenvalue positive-definite repair.
+///
+/// `eps2_total` is the budget for *all* coefficients; each pair spends
+/// `eps2_total / C(m,2)` (sequential composition across pairs).
+pub fn dp_correlation_matrix<R: Rng + ?Sized>(
+    columns: &[Vec<u32>],
+    eps2_total: Epsilon,
+    strategy: SamplingStrategy,
+    rng: &mut R,
+) -> Matrix {
+    let m = columns.len();
+    assert!(m >= 1, "need at least one column");
+    if m == 1 {
+        return Matrix::identity(1);
+    }
+    let n = columns[0].len();
+    let pairs = m * (m - 1) / 2;
+    let eps_pair = eps2_total.divide(pairs);
+
+    let sample_target = match strategy {
+        SamplingStrategy::Full => n,
+        SamplingStrategy::Auto => recommended_sample_size(m, eps2_total.value()).min(n),
+        SamplingStrategy::Fixed(k) => k.clamp(2, n),
+    };
+
+    // One shared row sample for all pairs (records are sampled once, not
+    // per pair, so the per-pair sequential composition still holds on the
+    // sampled sub-dataset).
+    let rows: Vec<usize> = if sample_target < n {
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(rng);
+        all.truncate(sample_target);
+        all
+    } else {
+        (0..n).collect()
+    };
+
+    let sampled: Vec<Vec<u32>> = columns
+        .iter()
+        .map(|col| rows.iter().map(|&r| col[r]).collect())
+        .collect();
+
+    let mut p = Matrix::identity(m);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let tau = dp_kendall_tau(&sampled[i], &sampled[j], eps_pair, rng);
+            let r = (std::f64::consts::FRAC_PI_2 * tau).sin();
+            p[(i, j)] = r;
+            p[(j, i)] = r;
+        }
+    }
+    clamp_to_correlation(&mut p);
+    repair_positive_definite(&p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::cholesky::is_positive_definite;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_concordance_and_discordance() {
+        let x: Vec<u32> = (0..50).collect();
+        let y = x.clone();
+        assert!((kendall_tau(&x, &y) - 1.0).abs() < 1e-12);
+        let yr: Vec<u32> = x.iter().rev().cloned().collect();
+        assert!((kendall_tau(&x, &yr) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_on_small_cases() {
+        let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![1, 2, 3, 4, 5], vec![3, 1, 4, 2, 5]),
+            (vec![1, 1, 2, 2], vec![1, 2, 1, 2]),
+            (vec![5, 5, 5], vec![1, 2, 3]),
+            (vec![1, 2], vec![2, 1]),
+            (vec![0, 0, 0, 0], vec![0, 0, 0, 0]),
+            (vec![9, 1, 9, 1, 5, 5], vec![2, 2, 7, 7, 7, 1]),
+        ];
+        for (x, y) in cases {
+            let fast = kendall_tau(&x, &y);
+            let slow = kendall_tau_naive(&x, &y);
+            assert!(
+                (fast - slow).abs() < 1e-12,
+                "x={x:?} y={y:?}: fast {fast} slow {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..200);
+            let domain = rng.gen_range(2..20u32);
+            let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+            let y: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+            let fast = kendall_tau(&x, &y);
+            let slow = kendall_tau_naive(&x, &y);
+            assert!((fast - slow).abs() < 1e-12, "n={n}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn sensitivity_formula() {
+        assert!((kendall_sensitivity(99) - 0.04).abs() < 1e-12);
+        assert!(kendall_sensitivity(10_000) < 0.0005);
+    }
+
+    #[test]
+    fn dp_tau_concentrates_around_truth_for_large_n() {
+        let n = 5_000;
+        let x: Vec<u32> = (0..n).collect();
+        let y = x.clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        let eps = Epsilon::new(1.0).unwrap();
+        let avg: f64 = (0..50)
+            .map(|_| dp_kendall_tau(&x, &y, eps, &mut rng))
+            .sum::<f64>()
+            / 50.0;
+        // Noise scale 4/(5001 * 1) = 0.0008.
+        assert!((avg - 1.0).abs() < 0.001, "avg {avg}");
+    }
+
+    #[test]
+    fn recommended_sample_size_follows_rule() {
+        // m=8, eps2=1/9 (k=8 split of eps=1): 50*8*7*9 = 25200.
+        let s = recommended_sample_size(8, 1.0 / 9.0);
+        assert!((25_190..=25_210).contains(&s), "s={s}");
+        assert!(recommended_sample_size(2, 10.0) >= 2);
+    }
+
+    #[test]
+    fn dp_matrix_is_positive_definite_correlation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Strongly correlated 3 columns.
+        let base: Vec<u32> = (0..2000).map(|_| rng.gen_range(0..1000)).collect();
+        let cols: Vec<Vec<u32>> = (0..3)
+            .map(|j| {
+                base.iter()
+                    .map(|&v| (v + rng.gen_range(0..100) + j) % 1000)
+                    .collect()
+            })
+            .collect();
+        let p = dp_correlation_matrix(
+            &cols,
+            Epsilon::new(1.0).unwrap(),
+            SamplingStrategy::Full,
+            &mut rng,
+        );
+        assert!(is_positive_definite(&p));
+        assert!(mathkit::correlation::is_correlation_shaped(&p, 1e-9));
+        // Strong positive dependence should survive.
+        assert!(p[(0, 1)] > 0.5, "p01 = {}", p[(0, 1)]);
+    }
+
+    #[test]
+    fn single_column_matrix_is_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = dp_correlation_matrix(
+            &[vec![1u32, 2, 3]],
+            Epsilon::new(1.0).unwrap(),
+            SamplingStrategy::Full,
+            &mut rng,
+        );
+        assert_eq!(p, Matrix::identity(1));
+    }
+
+    #[test]
+    fn sampling_strategy_reduces_rows_but_preserves_signal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+        let y: Vec<u32> = x.iter().map(|&v| (v / 2) + 1).collect();
+        let cols = vec![x, y];
+        let p = dp_correlation_matrix(
+            &cols,
+            Epsilon::new(0.5).unwrap(),
+            SamplingStrategy::Auto,
+            &mut rng,
+        );
+        assert!(p[(0, 1)] > 0.8, "p01 = {}", p[(0, 1)]);
+    }
+}

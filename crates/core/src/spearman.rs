@@ -1,0 +1,219 @@
+//! Spearman's rank correlation under differential privacy — the
+//! alternative the paper *rejects* in §3.2 ("we choose to use Kendall's
+//! tau instead of other correlation metrics such as Pearson or Spearman
+//! ... \[Kendall\] has better statistical properties than Spearman").
+//! Implemented so that the choice can be tested rather than taken on
+//! faith: the `ablation_rank_correlation` experiment compares
+//! DPCopula-Kendall against a DPCopula-Spearman variant built from this
+//! module.
+//!
+//! For elliptical copulas the analogue of `rho = sin(pi/2 tau)` is
+//! `rho = 2 sin(pi/6 rho_s)` (Pearson's 1907 relation for the Gaussian).
+//!
+//! ## Sensitivity
+//!
+//! `rho_s = 1 - 6 * sum d_i^2 / (n^3 - n)` with `d_i` the rank
+//! differences. Adding one record (a) appends a new `d` of magnitude at
+//! most `n`, and (b) shifts every existing rank by at most 1, changing
+//! each `d_i` by at most 2 and therefore `sum d_i^2` by at most
+//! `sum ((|d_i|+2)^2 - d_i^2) = 4 sum |d_i| + 4n <= 4 n^2 / sqrt(...)`.
+//! Using `sum |d_i| <= n^2/2` (loose), the total change of
+//! `6 sum d^2 / (n^3-n)` is at most `6 (n^2 + 2n^2 + 4n) / (n^3 - n)`
+//! plus the denominator shift, bounded overall by `30/(n-1)` for
+//! `n >= 3`. We release with `Delta = 30/(n-1)` — about 7.5x Kendall's
+//! `4/(n+1)`, which is exactly why the paper prefers Kendall. The bound
+//! is verified empirically by a property test.
+
+use dpmech::{laplace_noise, Epsilon};
+use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
+use mathkit::stats::ranks;
+use mathkit::Matrix;
+use rand::Rng;
+
+/// Sample Spearman rank correlation (mid-ranks for ties).
+///
+/// # Panics
+/// Panics when the slices differ in length or have fewer than 2 elements.
+pub fn spearman_rho(x: &[u32], y: &[u32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman_rho length mismatch");
+    let n = x.len();
+    assert!(n >= 2, "spearman_rho needs at least 2 observations");
+    let xf: Vec<f64> = x.iter().map(|&v| f64::from(v)).collect();
+    let yf: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
+    let rx = ranks(&xf);
+    let ry = ranks(&yf);
+    // Pearson correlation of the ranks (correct under ties, reduces to
+    // the 1 - 6 sum d^2 / (n^3 - n) formula without ties).
+    mathkit::stats::pearson(&rx, &ry)
+}
+
+/// The conservative L1 sensitivity bound used for the DP release,
+/// `Delta = 30 / (n - 1)` (see the module docs).
+pub fn spearman_sensitivity(n: usize) -> f64 {
+    assert!(n >= 2, "need at least 2 observations");
+    30.0 / (n as f64 - 1.0)
+}
+
+/// Releases one pairwise Spearman coefficient under `epsilon`-DP.
+pub fn dp_spearman_rho<R: Rng + ?Sized>(
+    x: &[u32],
+    y: &[u32],
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> f64 {
+    spearman_rho(x, y) + laplace_noise(rng, spearman_sensitivity(x.len()) / epsilon.value())
+}
+
+/// The Spearman analogue of Algorithm 5: noisy pairwise `rho_s`, mapped
+/// through `2 sin(pi/6 rho_s)`, clamped and repaired to a positive
+/// definite correlation matrix. `eps2_total` is split over the `C(m,2)`
+/// pairs.
+pub fn dp_correlation_matrix_spearman<R: Rng + ?Sized>(
+    columns: &[Vec<u32>],
+    eps2_total: Epsilon,
+    rng: &mut R,
+) -> Matrix {
+    let m = columns.len();
+    assert!(m >= 1, "need at least one column");
+    if m == 1 {
+        return Matrix::identity(1);
+    }
+    let pairs = m * (m - 1) / 2;
+    let eps_pair = eps2_total.divide(pairs);
+    let mut p = Matrix::identity(m);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let rho_s = dp_spearman_rho(&columns[i], &columns[j], eps_pair, rng);
+            let r = 2.0 * (std::f64::consts::PI / 6.0 * rho_s.clamp(-1.0, 1.0)).sin();
+            p[(i, j)] = r;
+            p[(j, i)] = r;
+        }
+    }
+    clamp_to_correlation(&mut p);
+    repair_positive_definite(&p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kendall::kendall_sensitivity;
+    use mathkit::cholesky::is_positive_definite;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_monotone_relations() {
+        let x: Vec<u32> = (0..50).collect();
+        assert!((spearman_rho(&x, &x) - 1.0).abs() < 1e-12);
+        let rev: Vec<u32> = x.iter().rev().cloned().collect();
+        assert!((spearman_rho(&x, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_classic_formula_without_ties() {
+        // Classic example: d = rank differences.
+        let x = vec![1u32, 2, 3, 4, 5];
+        let y = vec![2u32, 1, 4, 3, 5];
+        // d = (-1, 1, -1, 1, 0); sum d^2 = 4; rho = 1 - 24/120 = 0.8.
+        assert!((spearman_rho(&x, &y) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_gives_zero() {
+        let x = vec![3u32; 10];
+        let y: Vec<u32> = (0..10).collect();
+        assert_eq!(spearman_rho(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn sensitivity_is_larger_than_kendalls() {
+        // The quantitative core of the paper's §3.2 choice.
+        for n in [10usize, 100, 10_000] {
+            assert!(spearman_sensitivity(n) > 5.0 * kendall_sensitivity(n));
+        }
+    }
+
+    #[test]
+    fn empirical_sensitivity_respects_bound() {
+        // Add one record to random datasets and check |delta rho_s| stays
+        // under the 30/(n-1) bound.
+        let mut rng = StdRng::seed_from_u64(1);
+        use rand::Rng as _;
+        for _ in 0..200 {
+            let n = rng.gen_range(3..60);
+            let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+            let y: Vec<u32> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+            let base = spearman_rho(&x, &y);
+            let mut x2 = x.clone();
+            let mut y2 = y.clone();
+            x2.push(rng.gen_range(0..20));
+            y2.push(rng.gen_range(0..20));
+            let grown = spearman_rho(&x2, &y2);
+            assert!(
+                (base - grown).abs() <= spearman_sensitivity(n),
+                "delta {} exceeds bound {} at n={n}",
+                (base - grown).abs(),
+                spearman_sensitivity(n)
+            );
+        }
+    }
+
+    #[test]
+    fn dp_release_concentrates_for_large_n() {
+        let n = 20_000u32;
+        let x: Vec<u32> = (0..n).collect();
+        let y: Vec<u32> = x.iter().map(|&v| v / 3).collect();
+        let exact = spearman_rho(&x, &y);
+        let mut rng = StdRng::seed_from_u64(2);
+        let eps = Epsilon::new(1.0).unwrap();
+        let avg: f64 = (0..30)
+            .map(|_| dp_spearman_rho(&x, &y, eps, &mut rng))
+            .sum::<f64>()
+            / 30.0;
+        assert!((avg - exact).abs() < 0.01, "avg {avg} vs exact {exact}");
+    }
+
+    #[test]
+    fn spearman_matrix_is_valid_correlation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        use rand::Rng as _;
+        let base: Vec<u32> = (0..5_000).map(|_| rng.gen_range(0..500)).collect();
+        let cols: Vec<Vec<u32>> = (0..3)
+            .map(|j| {
+                base.iter()
+                    .map(|&v| (v + rng.gen_range(0..80) + j) % 500)
+                    .collect()
+            })
+            .collect();
+        let p = dp_correlation_matrix_spearman(&cols, Epsilon::new(1.0).unwrap(), &mut rng);
+        assert!(is_positive_definite(&p));
+        assert!(mathkit::correlation::is_correlation_shaped(&p, 1e-9));
+        assert!(p[(0, 1)] > 0.3, "p01 {}", p[(0, 1)]);
+    }
+
+    #[test]
+    fn gaussian_mapping_agrees_with_kendall_mapping() {
+        // On clean Gaussian-copula data both mappings should estimate the
+        // same rho.
+        use mathkit::correlation::equicorrelation;
+        use mathkit::dist::MultivariateNormal;
+        let rho = 0.65;
+        let mvn = MultivariateNormal::new(&equicorrelation(2, rho)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cols: Vec<Vec<u32>> = mvn
+            .sample_columns(&mut rng, 20_000)
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .map(|z| ((mathkit::special::norm_cdf(z) * 1000.0) as u32).min(999))
+                    .collect()
+            })
+            .collect();
+        let rho_s = spearman_rho(&cols[0], &cols[1]);
+        let from_spearman = 2.0 * (std::f64::consts::PI / 6.0 * rho_s).sin();
+        let tau = crate::kendall::kendall_tau(&cols[0], &cols[1]);
+        let from_kendall = (std::f64::consts::FRAC_PI_2 * tau).sin();
+        assert!((from_spearman - rho).abs() < 0.02, "spearman-> {from_spearman}");
+        assert!((from_kendall - rho).abs() < 0.02, "kendall-> {from_kendall}");
+    }
+}

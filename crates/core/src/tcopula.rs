@@ -1,0 +1,386 @@
+//! The Student-t copula — the paper's first future-work item ("we plan to
+//! ... employ other copula families").
+//!
+//! A t copula adds *tail dependence* that the Gaussian copula cannot
+//! express: extreme values co-occur with positive probability even for
+//! moderate correlations. It is parameterised by a correlation matrix `P`
+//! and degrees of freedom `nu`; as `nu -> inf` it converges to the
+//! Gaussian copula.
+//!
+//! DP estimation reuses the machinery of Algorithm 5 unchanged for `P`:
+//! the identity `rho = sin(pi/2 * tau)` holds for **every** elliptical
+//! copula, so the noisy-Kendall estimator and its privacy proof carry
+//! over verbatim. The degrees of freedom are selected from a candidate
+//! grid by subsample-and-aggregate pseudo-likelihood (each disjoint block
+//! votes for its maximising `nu`; the histogram of votes is released
+//! through the Laplace mechanism — parallel composition across blocks,
+//! sensitivity 1 per bin).
+//!
+//! Sampling follows the classic construction: `x = z / sqrt(w / nu)` with
+//! `z ~ N(0, P)` and `w ~ chi^2(nu)`, then `u_j = T_nu(x_j)` and the
+//! inverse DP margins as in Algorithm 3.
+
+use crate::empirical::{pseudo_copula_column, MarginalDistribution};
+use crate::error::DpCopulaError;
+use dpmech::{laplace_noise, Epsilon};
+use mathkit::cholesky::{log_det_spd, solve_spd, CholeskyError};
+use mathkit::dist::{Continuous, Gamma, MultivariateNormal, StudentT};
+use mathkit::special::ln_gamma;
+use mathkit::Matrix;
+use rand::Rng;
+
+/// A Student-t copula with correlation matrix `P` and `nu` degrees of
+/// freedom.
+#[derive(Debug, Clone)]
+pub struct TCopula {
+    p: Matrix,
+    p_inv: Matrix,
+    log_det: f64,
+    nu: f64,
+}
+
+impl TCopula {
+    /// Builds the copula; fails when `P` is not positive definite.
+    ///
+    /// # Panics
+    /// Panics when `nu` is not finite and positive.
+    pub fn new(p: Matrix, nu: f64) -> Result<Self, CholeskyError> {
+        assert!(nu.is_finite() && nu > 0.0, "degrees of freedom must be positive");
+        let log_det = log_det_spd(&p)?;
+        let m = p.rows();
+        let mut p_inv = Matrix::zeros(m, m);
+        let mut e = vec![0.0; m];
+        for j in 0..m {
+            e[j] = 1.0;
+            let col = solve_spd(&p, &e)?;
+            for i in 0..m {
+                p_inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(Self {
+            p,
+            p_inv,
+            log_det,
+            nu,
+        })
+    }
+
+    /// Dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.nu
+    }
+
+    /// The correlation matrix.
+    pub fn correlation(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Log-density of the t copula at `u` in `(0,1)^m`:
+    ///
+    /// `log c(u) = log f_{P,nu}(x) - sum_j log f_nu(x_j)` with
+    /// `x_j = T_nu^{-1}(u_j)`, `f_{P,nu}` the multivariate-t density and
+    /// `f_nu` the univariate one.
+    pub fn log_density(&self, u: &[f64]) -> f64 {
+        assert_eq!(u.len(), self.dim(), "dimension mismatch");
+        let t = StudentT::new(self.nu).expect("validated df");
+        let x: Vec<f64> = u.iter().map(|&ui| t.quantile(ui)).collect();
+        self.log_density_scores(&x)
+    }
+
+    /// Log-density given the t scores `x = T_nu^{-1}(u)`.
+    pub fn log_density_scores(&self, x: &[f64]) -> f64 {
+        let m = self.dim() as f64;
+        let nu = self.nu;
+        // Multivariate t log-density (up to the margin terms).
+        let mut quad = 0.0;
+        for i in 0..x.len() {
+            for j in 0..x.len() {
+                quad += x[i] * self.p_inv[(i, j)] * x[j];
+            }
+        }
+        let lg = |v: f64| ln_gamma(v);
+        let joint = lg((nu + m) / 2.0) - lg(nu / 2.0)
+            - 0.5 * self.log_det
+            - m / 2.0 * (nu * std::f64::consts::PI).ln()
+            - (nu + m) / 2.0 * (1.0 + quad / nu).ln();
+        let marginals: f64 = x
+            .iter()
+            .map(|&xi| {
+                lg((nu + 1.0) / 2.0)
+                    - lg(nu / 2.0)
+                    - 0.5 * (nu * std::f64::consts::PI).ln()
+                    - (nu + 1.0) / 2.0 * (1.0 + xi * xi / nu).ln()
+            })
+            .sum();
+        joint - marginals
+    }
+
+    /// Density (exponentiated log-density).
+    pub fn density(&self, u: &[f64]) -> f64 {
+        self.log_density(u).exp()
+    }
+}
+
+/// Samples synthetic records from a t copula plus DP margins — the
+/// t-copula analogue of Algorithm 3.
+#[derive(Debug, Clone)]
+pub struct TCopulaSampler {
+    mvn: MultivariateNormal,
+    chi2: Gamma,
+    nu: f64,
+    t: StudentT,
+    margins: Vec<MarginalDistribution>,
+}
+
+impl TCopulaSampler {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics on a margin-count mismatch or non-positive `nu`.
+    pub fn new(
+        p: &Matrix,
+        nu: f64,
+        margins: Vec<MarginalDistribution>,
+    ) -> Result<Self, CholeskyError> {
+        assert_eq!(p.rows(), margins.len(), "one margin per dimension");
+        assert!(nu.is_finite() && nu > 0.0, "degrees of freedom must be positive");
+        Ok(Self {
+            mvn: MultivariateNormal::new(p)?,
+            chi2: Gamma::new(nu / 2.0, 2.0).expect("valid chi^2 parameters"),
+            nu,
+            t: StudentT::new(nu).expect("validated df"),
+            margins,
+        })
+    }
+
+    /// Number of attributes.
+    pub fn dims(&self) -> usize {
+        self.margins.len()
+    }
+
+    /// Draws `n` records, column-major.
+    #[allow(clippy::needless_range_loop)] // row indexes several columns
+    pub fn sample_columns<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Vec<u32>> {
+        let d = self.dims();
+        let mut cols = vec![vec![0u32; n]; d];
+        let mut z = vec![0.0; d];
+        for row in 0..n {
+            self.mvn.sample_into(rng, &mut z);
+            let w = self.chi2.sample(rng).max(1e-12);
+            let scale = (self.nu / w).sqrt();
+            for (j, margin) in self.margins.iter().enumerate() {
+                let u = self.t.cdf(z[j] * scale);
+                cols[j][row] = margin.quantile(u);
+            }
+        }
+        cols
+    }
+}
+
+/// Differentially private selection of the degrees of freedom from a
+/// candidate grid by subsample-and-aggregate voting.
+///
+/// Each of `l` disjoint blocks computes its pseudo-copula scores and votes
+/// for the candidate `nu` maximising the block's t-copula pseudo
+/// log-likelihood (with the block's own sample correlation — computed on
+/// block data only). The vote histogram is released with `Lap(1/eps)`
+/// per bin (one record changes one block's single vote: histogram
+/// sensitivity is 2, we calibrate to 2), and the arg-max candidate wins.
+pub fn dp_select_degrees_of_freedom<R: Rng + ?Sized>(
+    columns: &[Vec<u32>],
+    candidates: &[f64],
+    partitions: usize,
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> Result<f64, DpCopulaError> {
+    assert!(!candidates.is_empty(), "need candidate degrees of freedom");
+    assert!(
+        candidates.iter().all(|&v| v.is_finite() && v > 0.0),
+        "candidates must be positive"
+    );
+    let m = columns.len();
+    if m < 2 {
+        // Degrees of freedom are irrelevant without dependence.
+        return Ok(*candidates.last().expect("non-empty"));
+    }
+    let n = columns[0].len();
+    let l = partitions.max(1);
+    let block = n / l;
+    if block < 8 {
+        return Err(DpCopulaError::InsufficientDataForMle {
+            required_partitions: l,
+            records: n,
+        });
+    }
+
+    let mut votes = vec![0.0; candidates.len()];
+    let mut u_cols: Vec<Vec<f64>> = vec![Vec::new(); m];
+    for t in 0..l {
+        let lo = t * block;
+        let hi = lo + block;
+        for (j, col) in columns.iter().enumerate() {
+            u_cols[j] = pseudo_copula_column(&col[lo..hi]);
+        }
+        // Block correlation from normal scores (cheap, block-local).
+        let scores: Vec<Vec<f64>> = u_cols
+            .iter()
+            .map(|u| u.iter().map(|&v| mathkit::special::norm_quantile(v)).collect())
+            .collect();
+        let mut p = Matrix::identity(m);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let r = mathkit::stats::pearson(&scores[i], &scores[j]).clamp(-0.95, 0.95);
+                p[(i, j)] = r;
+                p[(j, i)] = r;
+            }
+        }
+        let p = mathkit::correlation::repair_positive_definite(&p);
+
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (ci, &nu) in candidates.iter().enumerate() {
+            let copula = TCopula::new(p.clone(), nu).expect("repaired matrix is PD");
+            let tdist = StudentT::new(nu).expect("positive df");
+            let mut ll = 0.0;
+            for row in 0..block {
+                let x: Vec<f64> = u_cols.iter().map(|u| tdist.quantile(u[row])).collect();
+                ll += copula.log_density_scores(&x);
+            }
+            if ll > best.1 {
+                best = (ci, ll);
+            }
+        }
+        votes[best.0] += 1.0;
+    }
+
+    // One record flips at most one block's vote: +-1 in two bins.
+    let noisy: Vec<f64> = votes
+        .iter()
+        .map(|&v| v + laplace_noise(rng, 2.0 / epsilon.value()))
+        .collect();
+    let winner = noisy
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite votes"))
+        .map(|(i, _)| i)
+        .expect("non-empty candidates");
+    Ok(candidates[winner])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kendall::kendall_tau;
+    use mathkit::correlation::equicorrelation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_margin(domain: usize) -> MarginalDistribution {
+        MarginalDistribution::from_noisy_histogram(&vec![1.0; domain])
+    }
+
+    #[test]
+    fn independence_copula_density_is_one_at_large_nu() {
+        // As nu grows the t copula approaches the Gaussian; with P = I
+        // the density tends to 1.
+        let c = TCopula::new(Matrix::identity(2), 1e6).unwrap();
+        for u in [[0.5, 0.5], [0.2, 0.7], [0.9, 0.1]] {
+            assert!((c.density(&u) - 1.0).abs() < 0.01, "u={u:?} d={}", c.density(&u));
+        }
+    }
+
+    #[test]
+    fn t_copula_has_heavier_joint_tails_than_gaussian() {
+        use crate::gaussian::GaussianCopula;
+        let p = equicorrelation(2, 0.5);
+        let t = TCopula::new(p.clone(), 3.0).unwrap();
+        let g = GaussianCopula::new(p).unwrap();
+        // Joint extreme corner: the t copula puts more density there.
+        let corner = [0.001, 0.001];
+        assert!(
+            t.density(&corner) > g.density(&corner),
+            "t {} vs gaussian {}",
+            t.density(&corner),
+            g.density(&corner)
+        );
+    }
+
+    #[test]
+    fn sampling_respects_domains_and_dependence() {
+        let p = equicorrelation(2, 0.7);
+        let s = TCopulaSampler::new(&p, 5.0, vec![uniform_margin(300), uniform_margin(300)])
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cols = s.sample_columns(8_000, &mut rng);
+        assert!(cols.iter().flatten().all(|&v| v < 300));
+        // Elliptical copulas share tau = 2/pi asin(rho).
+        let tau = kendall_tau(&cols[0], &cols[1]);
+        let expect = 2.0 / std::f64::consts::PI * 0.7_f64.asin();
+        assert!((tau - expect).abs() < 0.04, "tau {tau} vs {expect}");
+    }
+
+    #[test]
+    fn sampler_rejects_indefinite_matrix() {
+        let p = equicorrelation(3, -0.9);
+        let margins = vec![uniform_margin(4); 3];
+        assert!(TCopulaSampler::new(&p, 4.0, margins).is_err());
+    }
+
+    #[test]
+    fn df_selection_prefers_small_nu_for_t_data() {
+        // Data from a t copula with nu = 3 should vote for small nu.
+        let p = equicorrelation(2, 0.6);
+        let margins = vec![uniform_margin(500), uniform_margin(500)];
+        let gen = TCopulaSampler::new(&p, 3.0, margins).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cols = gen.sample_columns(12_000, &mut rng);
+        let nu = dp_select_degrees_of_freedom(
+            &cols,
+            &[3.0, 10.0, 1e5],
+            60,
+            Epsilon::new(5.0).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(nu, 3.0, "selected nu {nu}");
+    }
+
+    #[test]
+    fn df_selection_prefers_large_nu_for_gaussian_data() {
+        use crate::sampler::CopulaSampler;
+        let p = equicorrelation(2, 0.6);
+        let margins = vec![uniform_margin(500), uniform_margin(500)];
+        let gen = CopulaSampler::new(&p, margins).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cols = gen.sample_columns(12_000, &mut rng);
+        let nu = dp_select_degrees_of_freedom(
+            &cols,
+            &[3.0, 1e5],
+            60,
+            Epsilon::new(5.0).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(nu, 1e5, "selected nu {nu}");
+    }
+
+    #[test]
+    fn df_selection_errors_on_tiny_blocks() {
+        let cols = vec![vec![1u32, 2, 3], vec![3u32, 2, 1]];
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = dp_select_degrees_of_freedom(
+            &cols,
+            &[3.0, 10.0],
+            10,
+            Epsilon::new(1.0).unwrap(),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DpCopulaError::InsufficientDataForMle { .. }));
+    }
+}

@@ -1,0 +1,236 @@
+//! Simulated census datasets — stand-ins for the paper's IPUMS extracts.
+//!
+//! The real evaluation used a 100 000-record US census extract and a
+//! 188 846-record Brazil census extract (Table 2). IPUMS data cannot be
+//! redistributed, so these generators produce synthetic records whose
+//! *attribute domains match Table 2 exactly* and whose marginal shapes and
+//! cross-attribute dependence are chosen to be demographically plausible
+//! (age/income/education correlations, heavy-tailed income, Zipf-ish
+//! occupation codes, binary gender/disability/nativity). DPCopula's
+//! behaviour depends only on these structural properties, so method
+//! ordering and trends are preserved (DESIGN.md §2).
+
+use crate::dataset::{Attribute, Dataset};
+use crate::margin::TableMargin;
+use mathkit::correlation::{correlation_from_upper_triangle, repair_positive_definite};
+use mathkit::dist::MultivariateNormal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of records in the paper's Brazil census extract.
+pub const BRAZIL_CENSUS_RECORDS: usize = 188_846;
+
+/// Number of records in the paper's US census sample.
+pub const US_CENSUS_RECORDS: usize = 100_000;
+
+/// Age margin: plausible population pyramid (piecewise linear density
+/// peaking in the 20s-40s, thinning towards `domain`).
+fn age_margin(domain: usize) -> TableMargin {
+    let weights: Vec<f64> = (0..domain)
+        .map(|a| {
+            let a = a as f64;
+            if a < 20.0 {
+                0.9 + a * 0.01
+            } else if a < 45.0 {
+                1.2
+            } else if a < 65.0 {
+                1.0 - (a - 45.0) * 0.015
+            } else {
+                (0.7 - (a - 65.0) * 0.02).max(0.02)
+            }
+        })
+        .collect();
+    TableMargin::from_weights(&weights)
+}
+
+/// Weekly working-hours margin: mass at 0 (not working), a dominant spike
+/// around 40, and a thin overtime tail.
+fn hours_margin(domain: usize) -> TableMargin {
+    let weights: Vec<f64> = (0..domain)
+        .map(|h| {
+            let h = h as f64;
+            let spike = (-0.5 * ((h - 40.0) / 4.0).powi(2)).exp() * 8.0;
+            let part_time = (-0.5 * ((h - 20.0) / 8.0).powi(2)).exp() * 1.5;
+            let zero = if h < 1.0 { 6.0 } else { 0.0 };
+            0.05 + spike + part_time + zero
+        })
+        .collect();
+    TableMargin::from_weights(&weights)
+}
+
+/// Education margin over `domain` ordered codes: most mass in the middle
+/// codes (completed school), thinning at both extremes.
+fn education_margin(domain: usize) -> TableMargin {
+    let mid = domain as f64 * 0.45;
+    let sd = domain as f64 * 0.22;
+    let weights: Vec<f64> = (0..domain)
+        .map(|e| {
+            let z = (e as f64 - mid) / sd;
+            0.02 + (-0.5 * z * z).exp()
+        })
+        .collect();
+    TableMargin::from_weights(&weights)
+}
+
+/// Years residing at the current location: geometric-ish decay.
+fn residence_margin(domain: usize) -> TableMargin {
+    let weights: Vec<f64> = (0..domain).map(|y| 0.92_f64.powi(y as i32)).collect();
+    TableMargin::from_weights(&weights)
+}
+
+/// The simulated US census: 4 attributes with Table 2(a) domains —
+/// age 96, income 1020, occupation 511, gender 2.
+pub fn us_census(records: usize, seed: u64) -> Dataset {
+    let attributes = vec![
+        Attribute::new("age", 96),
+        Attribute::new("income", 1020),
+        Attribute::new("occupation", 511),
+        Attribute::new("gender", 2),
+    ];
+    let margins = vec![
+        age_margin(96),
+        TableMargin::lognormal(1020, 5.2, 0.9),
+        TableMargin::zipf(511, 0.8),
+        TableMargin::bernoulli(0.49),
+    ];
+    // Gaussian-dependence correlations (age, income, occupation, gender):
+    // age-income 0.35, age-occupation 0.10, age-gender 0.02,
+    // income-occupation -0.30 (low codes = common jobs, lower pay),
+    // income-gender -0.10, occupation-gender 0.05.
+    let p = correlation_from_upper_triangle(
+        4,
+        &[0.35, 0.10, 0.02, -0.30, -0.10, 0.05],
+    );
+    generate(attributes, margins, repair_positive_definite(&p), records, seed)
+}
+
+/// The simulated Brazil census: 8 attributes with Table 2(b) domains —
+/// age 95, gender 2, disability 2, nativity 2, years-residing 31,
+/// education 140, weekly hours 95, annual income 586.
+pub fn brazil_census(records: usize, seed: u64) -> Dataset {
+    let attributes = vec![
+        Attribute::new("age", 95),
+        Attribute::new("gender", 2),
+        Attribute::new("disability", 2),
+        Attribute::new("nativity", 2),
+        Attribute::new("years_residing", 31),
+        Attribute::new("education", 140),
+        Attribute::new("working_hours", 95),
+        Attribute::new("annual_income", 586),
+    ];
+    let margins = vec![
+        age_margin(95),
+        TableMargin::bernoulli(0.51),
+        TableMargin::bernoulli(0.08),
+        TableMargin::bernoulli(0.05),
+        residence_margin(31),
+        education_margin(140),
+        hours_margin(95),
+        TableMargin::lognormal(586, 4.6, 1.0),
+    ];
+    // Upper triangle in pair order (0,1),(0,2),...,(6,7); attributes:
+    // 0 age, 1 gender, 2 disability, 3 nativity, 4 residence,
+    // 5 education, 6 hours, 7 income.
+    let p = correlation_from_upper_triangle(
+        8,
+        &[
+            0.02, 0.25, 0.05, 0.45, -0.15, -0.10, 0.30, // age vs rest
+            0.00, 0.00, 0.00, -0.05, -0.15, -0.10, // gender vs rest
+            0.00, 0.05, -0.10, -0.25, -0.15, // disability vs rest
+            0.05, 0.02, 0.00, 0.00, // nativity vs rest
+            -0.10, -0.05, 0.05, // residence vs rest
+            0.10, 0.50, // education vs hours, income
+            0.35, // hours vs income
+        ],
+    );
+    generate(attributes, margins, repair_positive_definite(&p), records, seed)
+}
+
+fn generate(
+    attributes: Vec<Attribute>,
+    margins: Vec<TableMargin>,
+    p: mathkit::Matrix,
+    records: usize,
+    seed: u64,
+) -> Dataset {
+    let mvn = MultivariateNormal::new(&p).expect("repaired matrix is positive definite");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z_cols = mvn.sample_columns(&mut rng, records);
+    let columns: Vec<Vec<u32>> = z_cols
+        .into_iter()
+        .zip(&margins)
+        .map(|(zc, margin)| zc.into_iter().map(|z| margin.from_normal_score(z)).collect())
+        .collect();
+    Dataset::new(attributes, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::stats::pearson;
+
+    fn as_f(c: &[u32]) -> Vec<f64> {
+        c.iter().map(|&v| f64::from(v)).collect()
+    }
+
+    #[test]
+    fn us_census_matches_table_2a() {
+        let d = us_census(5_000, 1);
+        assert_eq!(d.len(), 5_000);
+        let doms = d.domains();
+        assert_eq!(doms, vec![96, 1020, 511, 2]);
+        for (col, &dom) in d.columns().iter().zip(&doms) {
+            assert!(col.iter().all(|&v| (v as usize) < dom));
+        }
+    }
+
+    #[test]
+    fn brazil_census_matches_table_2b() {
+        let d = brazil_census(5_000, 2);
+        assert_eq!(d.domains(), vec![95, 2, 2, 2, 31, 140, 95, 586]);
+        assert_eq!(
+            d.attributes()[7].name,
+            "annual_income"
+        );
+    }
+
+    #[test]
+    fn us_age_income_positively_correlated() {
+        let d = us_census(30_000, 3);
+        let r = pearson(&as_f(&d.columns()[0]), &as_f(&d.columns()[1]));
+        assert!(r > 0.15, "age-income correlation {r}");
+    }
+
+    #[test]
+    fn brazil_education_income_positively_correlated() {
+        let d = brazil_census(30_000, 4);
+        let r = pearson(&as_f(&d.columns()[5]), &as_f(&d.columns()[7]));
+        assert!(r > 0.25, "education-income correlation {r}");
+    }
+
+    #[test]
+    fn binary_attributes_have_expected_rates() {
+        let d = brazil_census(50_000, 5);
+        let rate = |j: usize| {
+            d.columns()[j].iter().filter(|&&v| v == 1).count() as f64 / d.len() as f64
+        };
+        assert!((rate(1) - 0.51).abs() < 0.02, "gender rate {}", rate(1));
+        assert!((rate(2) - 0.08).abs() < 0.01, "disability rate {}", rate(2));
+        assert!((rate(3) - 0.05).abs() < 0.01, "nativity rate {}", rate(3));
+    }
+
+    #[test]
+    fn income_margin_is_heavy_tailed() {
+        let d = us_census(30_000, 6);
+        let incomes = as_f(&d.columns()[1]);
+        let mean = mathkit::stats::mean(&incomes);
+        let median = mathkit::stats::quantile(&incomes, 0.5);
+        assert!(mean > median, "mean {mean} should exceed median {median}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(us_census(500, 7), us_census(500, 7));
+        assert_ne!(us_census(500, 7), us_census(500, 8));
+    }
+}

@@ -1,0 +1,195 @@
+//! Minimal CSV import/export for [`Dataset`] — enough for the examples to
+//! persist synthetic releases without pulling in a CSV dependency.
+//!
+//! Format: a header row `name:domain,name:domain,...` followed by one
+//! comma-separated row of `u32` values per record.
+
+use crate::dataset::{Attribute, Dataset};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors arising while reading a dataset.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Malformed { line, reason } => {
+                write!(f, "malformed csv at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes the dataset to a writer.
+pub fn write_csv<W: Write>(dataset: &Dataset, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    let header: Vec<String> = dataset
+        .attributes()
+        .iter()
+        .map(|a| format!("{}:{}", a.name, a.domain))
+        .collect();
+    writeln!(w, "{}", header.join(","))?;
+    let n = dataset.len();
+    let cols = dataset.columns();
+    let mut line = String::new();
+    for row in 0..n {
+        line.clear();
+        for (j, col) in cols.iter().enumerate() {
+            if j > 0 {
+                line.push(',');
+            }
+            line.push_str(&col[row].to_string());
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}
+
+/// Writes the dataset to a file path.
+pub fn save_csv(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    write_csv(dataset, std::fs::File::create(path)?)
+}
+
+/// Reads a dataset from a reader.
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset, CsvError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or(CsvError::Malformed {
+            line: 1,
+            reason: "empty file".into(),
+        })??;
+    let mut attributes = Vec::new();
+    for field in header.split(',') {
+        let (name, domain) = field.rsplit_once(':').ok_or_else(|| CsvError::Malformed {
+            line: 1,
+            reason: format!("header field `{field}` missing `:domain`"),
+        })?;
+        let domain: usize = domain.parse().map_err(|_| CsvError::Malformed {
+            line: 1,
+            reason: format!("bad domain in `{field}`"),
+        })?;
+        attributes.push(Attribute::new(name, domain));
+    }
+    let m = attributes.len();
+    let mut columns: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut count = 0;
+        for (j, field) in line.split(',').enumerate() {
+            if j >= m {
+                return Err(CsvError::Malformed {
+                    line: i + 2,
+                    reason: "too many fields".into(),
+                });
+            }
+            let v: u32 = field.parse().map_err(|_| CsvError::Malformed {
+                line: i + 2,
+                reason: format!("bad value `{field}`"),
+            })?;
+            if v as usize >= attributes[j].domain {
+                return Err(CsvError::Malformed {
+                    line: i + 2,
+                    reason: format!(
+                        "value {v} outside domain {} of {}",
+                        attributes[j].domain, attributes[j].name
+                    ),
+                });
+            }
+            columns[j].push(v);
+            count += 1;
+        }
+        if count != m {
+            return Err(CsvError::Malformed {
+                line: i + 2,
+                reason: format!("expected {m} fields, got {count}"),
+            });
+        }
+    }
+    Ok(Dataset::new(attributes, columns))
+}
+
+/// Reads a dataset from a file path.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![Attribute::new("a", 4), Attribute::new("b", 100)],
+            vec![vec![0, 1, 3], vec![42, 0, 99]],
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = toy();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn header_carries_domains() {
+        let mut buf = Vec::new();
+        write_csv(&toy(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("a:4,b:100\n"));
+    }
+
+    #[test]
+    fn rejects_out_of_domain_values() {
+        let csv = "a:4\n7\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let csv = "a:4,b:4\n1,2\n3\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_csv("justaname\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = "a:4\n1\n\n2\n";
+        let d = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Finite discrete margins defined by probability tables.
+//!
+//! Every generator in this crate produces records through the same recipe
+//! the paper's Figure 3 illustrates: draw a Gaussian-dependence vector,
+//! map each component through `Phi` onto `(0,1)`, then through the
+//! margin's quantile onto the attribute domain. [`TableMargin`] is that
+//! quantile: a CDF table with binary-search inversion.
+
+use mathkit::special::norm_cdf;
+
+/// A discrete distribution over `0..domain` given by a CDF table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMargin {
+    cdf: Vec<f64>,
+}
+
+impl TableMargin {
+    /// Builds a margin from unnormalised non-negative weights.
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty, contains negatives/NaN, or sums
+    /// to zero.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "margin needs at least one value");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Self { cdf }
+    }
+
+    /// A uniform margin over `domain` values.
+    pub fn uniform(domain: usize) -> Self {
+        Self::from_weights(&vec![1.0; domain])
+    }
+
+    /// A discretised Gaussian margin over `domain` values, centred at
+    /// `domain/2` with standard deviation `domain/6` (the shape used for
+    /// the paper's synthetic Gaussian margins).
+    pub fn gaussian(domain: usize) -> Self {
+        let mid = domain as f64 / 2.0;
+        let sd = (domain as f64 / 6.0).max(0.5);
+        let weights: Vec<f64> = (0..domain)
+            .map(|i| {
+                let z = (i as f64 - mid) / sd;
+                (-0.5 * z * z).exp()
+            })
+            .collect();
+        Self::from_weights(&weights)
+    }
+
+    /// A Zipf margin with skew `s` over `domain` values.
+    pub fn zipf(domain: usize, s: f64) -> Self {
+        let weights: Vec<f64> = (0..domain)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(s))
+            .collect();
+        Self::from_weights(&weights)
+    }
+
+    /// A discretised log-normal margin (income-like long tail).
+    pub fn lognormal(domain: usize, mu: f64, sigma: f64) -> Self {
+        // Weight of bin i = density of logN at the bin's representative
+        // point (i + 1 to avoid log 0).
+        let weights: Vec<f64> = (0..domain)
+            .map(|i| {
+                let x = (i + 1) as f64;
+                let z = (x.ln() - mu) / sigma;
+                (-0.5 * z * z).exp() / x
+            })
+            .collect();
+        Self::from_weights(&weights)
+    }
+
+    /// A two-point margin: `P(1) = p`, `P(0) = 1-p`.
+    pub fn bernoulli(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        Self::from_weights(&[1.0 - p, p])
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `P(X <= k)`.
+    pub fn cdf(&self, k: u32) -> f64 {
+        let k = k as usize;
+        if k >= self.cdf.len() {
+            1.0
+        } else {
+            self.cdf[k]
+        }
+    }
+
+    /// Smallest `k` with `cdf(k) >= u`.
+    pub fn quantile(&self, u: f64) -> u32 {
+        let u = u.clamp(0.0, 1.0);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) as u32
+    }
+
+    /// Maps a standard-normal score onto the domain:
+    /// `quantile(Phi(z))` — the probability-integral transform used by all
+    /// Gaussian-dependence generators.
+    pub fn from_normal_score(&self, z: f64) -> u32 {
+        self.quantile(norm_cdf(z))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_quantiles_cover_domain() {
+        let m = TableMargin::uniform(4);
+        assert_eq!(m.quantile(0.1), 0);
+        assert_eq!(m.quantile(0.3), 1);
+        assert_eq!(m.quantile(0.6), 2);
+        assert_eq!(m.quantile(0.9), 3);
+    }
+
+    #[test]
+    fn gaussian_peaks_in_the_middle() {
+        let m = TableMargin::gaussian(100);
+        // Median maps near the centre; extreme quantiles near the edges.
+        assert!((i64::from(m.quantile(0.5)) - 50).abs() <= 1);
+        assert!(m.quantile(0.001) < 20);
+        assert!(m.quantile(0.999) > 80);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let m = TableMargin::zipf(1000, 1.2);
+        assert_eq!(m.quantile(0.2), 0);
+        assert!(m.cdf(0) > 0.2);
+        assert!(m.cdf(10) > m.cdf(0));
+    }
+
+    #[test]
+    fn bernoulli_split() {
+        let m = TableMargin::bernoulli(0.3);
+        assert_eq!(m.quantile(0.69), 0);
+        assert_eq!(m.quantile(0.71), 1);
+        assert_eq!(m.domain(), 2);
+    }
+
+    #[test]
+    fn lognormal_has_long_tail() {
+        let m = TableMargin::lognormal(586, 4.0, 1.0);
+        let median = m.quantile(0.5);
+        let p99 = m.quantile(0.99);
+        assert!(p99 > 3 * median, "median {median}, p99 {p99}");
+    }
+
+    #[test]
+    fn normal_score_transform_matches_cdf() {
+        let m = TableMargin::gaussian(50);
+        assert_eq!(m.from_normal_score(0.0), m.quantile(0.5));
+        assert!(m.from_normal_score(-3.0) < m.from_normal_score(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weights() {
+        let _ = TableMargin::from_weights(&[1.0, -0.5]);
+    }
+}

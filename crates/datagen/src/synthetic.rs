@@ -1,0 +1,178 @@
+//! Synthetic datasets with Gaussian dependence — the data of §5.4.
+//!
+//! The paper's synthetic experiments all use the same construction: an
+//! `m`-dimensional Gaussian-dependence structure with configurable
+//! margins (Gaussian by default, uniform and Zipf for Fig 9) over a
+//! configurable per-attribute domain (default 1000) and cardinality
+//! (default 50 000).
+
+use crate::dataset::{Attribute, Dataset};
+use crate::margin::TableMargin;
+use mathkit::correlation::ar1_correlation;
+use mathkit::dist::MultivariateNormal;
+use mathkit::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Marginal family for synthetic data (Fig 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MarginKind {
+    /// Discretised Gaussian centred on the domain.
+    Gaussian,
+    /// Uniform over the domain.
+    Uniform,
+    /// Zipf with the given skew exponent.
+    Zipf(f64),
+}
+
+impl MarginKind {
+    fn build(self, domain: usize) -> TableMargin {
+        match self {
+            MarginKind::Gaussian => TableMargin::gaussian(domain),
+            MarginKind::Uniform => TableMargin::uniform(domain),
+            MarginKind::Zipf(s) => TableMargin::zipf(domain, s),
+        }
+    }
+}
+
+/// Specification of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Number of records (Table 3 default: 50 000).
+    pub records: usize,
+    /// Number of attributes (Table 3 default: 8).
+    pub dims: usize,
+    /// Per-attribute domain size (Table 3 default: 1000).
+    pub domain: usize,
+    /// Marginal family.
+    pub margin: MarginKind,
+    /// Dependence: AR(1) correlation `P_ij = rho^|i-j|`, positive definite
+    /// for any `|rho| < 1`.
+    pub rho: f64,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        Self {
+            records: 50_000,
+            dims: 8,
+            domain: 1000,
+            margin: MarginKind::Gaussian,
+            rho: 0.6,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl SyntheticSpec {
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    /// Panics when `dims == 0`, `domain == 0` or `|rho| >= 1`.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.dims > 0, "need at least one dimension");
+        assert!(self.domain > 0, "need a positive domain");
+        assert!(self.rho.abs() < 1.0, "AR(1) correlation must satisfy |rho| < 1");
+        let p = self.correlation();
+        let mvn = MultivariateNormal::new(&p).expect("AR(1) matrix is positive definite");
+        let margin = self.margin.build(self.domain);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let z_cols = mvn.sample_columns(&mut rng, self.records);
+        let columns: Vec<Vec<u32>> = z_cols
+            .into_iter()
+            .map(|zc| zc.into_iter().map(|z| margin.from_normal_score(z)).collect())
+            .collect();
+        let attributes = (0..self.dims)
+            .map(|j| Attribute::new(format!("x{j}"), self.domain))
+            .collect();
+        Dataset::new(attributes, columns)
+    }
+
+    /// The dependence matrix this spec uses.
+    pub fn correlation(&self) -> Matrix {
+        ar1_correlation(self.dims, self.rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::stats::pearson;
+
+    #[test]
+    fn default_spec_matches_table_3() {
+        let s = SyntheticSpec::default();
+        assert_eq!(s.records, 50_000);
+        assert_eq!(s.dims, 8);
+        assert_eq!(s.domain, 1000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SyntheticSpec {
+            records: 100,
+            dims: 2,
+            ..Default::default()
+        };
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn respects_domain_and_shape() {
+        let spec = SyntheticSpec {
+            records: 5_000,
+            dims: 3,
+            domain: 77,
+            ..Default::default()
+        };
+        let d = spec.generate();
+        assert_eq!(d.len(), 5_000);
+        assert_eq!(d.dims(), 3);
+        assert!(d.columns().iter().flatten().all(|&v| v < 77));
+    }
+
+    #[test]
+    fn adjacent_attributes_are_correlated() {
+        let spec = SyntheticSpec {
+            records: 20_000,
+            dims: 3,
+            rho: 0.7,
+            ..Default::default()
+        };
+        let d = spec.generate();
+        let as_f = |c: &[u32]| c.iter().map(|&v| f64::from(v)).collect::<Vec<_>>();
+        let r01 = pearson(&as_f(&d.columns()[0]), &as_f(&d.columns()[1]));
+        let r02 = pearson(&as_f(&d.columns()[0]), &as_f(&d.columns()[2]));
+        assert!(r01 > 0.55, "r01 {r01}");
+        // AR(1): the 0-2 correlation is rho^2 < rho.
+        assert!(r02 < r01, "r02 {r02} should trail r01 {r01}");
+    }
+
+    #[test]
+    fn zipf_margin_is_skewed_uniform_is_flat() {
+        let base = SyntheticSpec {
+            records: 20_000,
+            dims: 2,
+            domain: 100,
+            ..Default::default()
+        };
+        let zipf = SyntheticSpec {
+            margin: MarginKind::Zipf(1.2),
+            ..base.clone()
+        }
+        .generate();
+        let unif = SyntheticSpec {
+            margin: MarginKind::Uniform,
+            ..base
+        }
+        .generate();
+        let head = |d: &Dataset| {
+            d.columns()[0].iter().filter(|&&v| v == 0).count() as f64 / d.len() as f64
+        };
+        assert!(head(&zipf) > 0.2, "zipf head {}", head(&zipf));
+        assert!(head(&unif) < 0.03, "uniform head {}", head(&unif));
+    }
+}

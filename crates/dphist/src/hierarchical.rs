@@ -1,0 +1,200 @@
+//! Hay's hierarchical histogram with consistency ("Boosting the accuracy
+//! of differentially-private histograms through consistency", Hay,
+//! Rastogi, Miklau, Suciu; VLDB 2010) — reference \[19\] of the DPCopula
+//! paper and another drop-in choice for its DP margins.
+//!
+//! A binary tree is built over the (power-of-two padded) bins; every node
+//! count is released with `Lap(height / epsilon)` (one record touches one
+//! node per level, so the tree has L1 sensitivity = height). The noisy
+//! tree is then projected onto the consistent subspace (children summing
+//! to parents) by Hay's closed-form two-pass least-squares, which is what
+//! "boosts" the accuracy: consistent leaves have variance `O(height^3)`
+//! better than naive leaves for range queries.
+
+use crate::Publish1d;
+use dpmech::{laplace_noise, Epsilon};
+use mathkit::wavelet::pad_to_pow2;
+use rand::Rng;
+
+/// Hay's hierarchical method (binary fan-out).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hierarchical;
+
+/// Index helpers for an implicit perfect binary tree stored as a heap:
+/// root at 1, children of `v` at `2v`/`2v+1`; leaves at `pad..2*pad`.
+fn leaf_count(v: usize, pad: usize) -> usize {
+    // Total leaves divided by the number of nodes at v's depth.
+    let depth = usize::BITS - 1 - v.leading_zeros();
+    pad >> depth
+}
+
+impl Publish1d for Hierarchical {
+    fn publish<R: Rng + ?Sized>(
+        &self,
+        counts: &[f64],
+        epsilon: Epsilon,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        if counts.is_empty() {
+            return Vec::new();
+        }
+        let (padded, orig_len) = pad_to_pow2(counts);
+        let pad = padded.len();
+        if pad == 1 {
+            return vec![counts[0] + laplace_noise(rng, 1.0 / epsilon.value())];
+        }
+        let levels = pad.trailing_zeros() as usize + 1; // root..leaves
+
+        // Exact node sums, heap-indexed (index 0 unused).
+        let mut exact = vec![0.0; 2 * pad];
+        exact[pad..(pad + pad)].copy_from_slice(&padded);
+        for v in (1..pad).rev() {
+            exact[v] = exact[2 * v] + exact[2 * v + 1];
+        }
+
+        // Noisy tree: scale = levels / epsilon.
+        let scale = levels as f64 / epsilon.value();
+        let z: Vec<f64> = exact
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| if v == 0 { 0.0 } else { c + laplace_noise(rng, scale) })
+            .collect();
+
+        // Pass 1 (bottom-up): weighted combination of own noisy count and
+        // children's adjusted sums. For a node whose subtree has l levels
+        // (leaf: l = 1):
+        //   z~[v] = (2^l - 2^(l-1)) / (2^l - 1) * z[v]
+        //         + (2^(l-1) - 1) / (2^l - 1) * (z~[2v] + z~[2v+1]).
+        let mut zt = vec![0.0; 2 * pad];
+        for v in (1..2 * pad).rev() {
+            let m = leaf_count(v, pad); // leaves under v = 2^(l-1)
+            if m == 1 {
+                zt[v] = z[v];
+            } else {
+                let two_l = 2.0 * m as f64; // 2^l
+                let half = m as f64; // 2^(l-1)
+                zt[v] = ((two_l - half) * z[v] + (half - 1.0) * (zt[2 * v] + zt[2 * v + 1]))
+                    / (two_l - 1.0);
+            }
+        }
+
+        // Pass 2 (top-down): enforce children-sum-to-parent.
+        //   h[root] = z~[root];
+        //   h[v] = z~[v] + (h[parent] - z~[sibling] - z~[v]) / 2.
+        let mut h = vec![0.0; 2 * pad];
+        h[1] = zt[1];
+        for v in 2..2 * pad {
+            let parent = v / 2;
+            let sibling = v ^ 1;
+            h[v] = zt[v] + (h[parent] - zt[v] - zt[sibling]) / 2.0;
+        }
+
+        let mut out = h[pad..(pad + pad)].to_vec();
+        out.truncate(orig_len);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram1D;
+    use crate::identity::Identity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn leaf_counts() {
+        assert_eq!(leaf_count(1, 8), 8); // root
+        assert_eq!(leaf_count(2, 8), 4);
+        assert_eq!(leaf_count(3, 8), 4);
+        assert_eq!(leaf_count(7, 8), 2);
+        assert_eq!(leaf_count(8, 8), 1); // first leaf
+        assert_eq!(leaf_count(15, 8), 1); // last leaf
+    }
+
+    #[test]
+    fn output_length_and_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Hierarchical
+            .publish(&[], Epsilon::new(1.0).unwrap(), &mut rng)
+            .is_empty());
+        assert_eq!(
+            Hierarchical
+                .publish(&[7.0], Epsilon::new(1.0).unwrap(), &mut rng)
+                .len(),
+            1
+        );
+        assert_eq!(
+            Hierarchical
+                .publish(&vec![1.0; 100], Epsilon::new(1.0).unwrap(), &mut rng)
+                .len(),
+            100
+        );
+    }
+
+    #[test]
+    fn high_budget_reconstructs() {
+        let counts: Vec<f64> = (0..64).map(|i| f64::from(i % 9) * 20.0).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = Hierarchical.publish(&counts, Epsilon::new(200.0).unwrap(), &mut rng);
+        let max_err = out
+            .iter()
+            .zip(&counts)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(max_err < 2.0, "max err {max_err}");
+    }
+
+    #[test]
+    fn consistency_holds_after_projection() {
+        // Reconstruct the tree from the output leaves: range sums over
+        // dyadic blocks must be internally consistent by construction;
+        // check the stronger statement that consistent leaf noise reduces
+        // large-range variance vs the identity baseline.
+        let counts = vec![50.0; 256];
+        let eps = Epsilon::new(0.2).unwrap();
+        let trials = 60;
+        let mut rng = StdRng::seed_from_u64(3);
+        let sd_of = |publisher: &dyn Fn(&mut StdRng) -> Vec<f64>, rng: &mut StdRng| {
+            let errs: Vec<f64> = (0..trials)
+                .map(|_| {
+                    let noisy = publisher(rng);
+                    let h = Histogram1D::from_counts(noisy);
+                    h.range_sum(0, 255) - 256.0 * 50.0
+                })
+                .collect();
+            let m = errs.iter().sum::<f64>() / errs.len() as f64;
+            (errs.iter().map(|e| (e - m).powi(2)).sum::<f64>() / errs.len() as f64).sqrt()
+        };
+        let sd_hier = sd_of(&|r| Hierarchical.publish(&counts, eps, r), &mut rng);
+        let sd_id = sd_of(&|r| Identity.publish(&counts, eps, r), &mut rng);
+        // Full-range query: identity sums 256 noise terms (sd ~ 16 lam);
+        // the consistent root estimate concentrates far below that.
+        assert!(
+            sd_hier < sd_id / 2.0,
+            "hierarchical sd {sd_hier} vs identity sd {sd_id}"
+        );
+    }
+
+    #[test]
+    fn noise_scales_inversely_with_budget() {
+        let counts = vec![10.0; 128];
+        let mut rng = StdRng::seed_from_u64(4);
+        let l1 = |eps: f64, rng: &mut StdRng| -> f64 {
+            Hierarchical
+                .publish(&counts, Epsilon::new(eps).unwrap(), rng)
+                .iter()
+                .zip(&counts)
+                .map(|(a, b)| (a - b).abs())
+                .sum()
+        };
+        let loose: f64 = (0..5).map(|_| l1(20.0, &mut rng)).sum();
+        let tight: f64 = (0..5).map(|_| l1(0.05, &mut rng)).sum();
+        assert!(tight > 10.0 * loose, "tight {tight} loose {loose}");
+    }
+}

@@ -1,0 +1,309 @@
+//! Exact count histograms: 1-D and (small-domain) N-D, plus range sums.
+//!
+//! Attribute values across the workspace are integers on `0..domain`
+//! (nominal attributes are totally ordered first, as in the paper §5.1).
+
+use crate::DimRange;
+
+/// A one-dimensional count histogram over the domain `0..len`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram1D {
+    counts: Vec<f64>,
+}
+
+impl Histogram1D {
+    /// Builds a histogram of `values` over `0..domain`.
+    ///
+    /// # Panics
+    /// Panics if any value falls outside the domain.
+    pub fn from_values(values: &[u32], domain: usize) -> Self {
+        let mut counts = vec![0.0; domain];
+        for &v in values {
+            let v = v as usize;
+            assert!(v < domain, "value {v} outside domain {domain}");
+            counts[v] += 1.0;
+        }
+        Self { counts }
+    }
+
+    /// Wraps existing (possibly noisy) counts.
+    pub fn from_counts(counts: Vec<f64>) -> Self {
+        Self { counts }
+    }
+
+    /// Domain size (number of bins).
+    pub fn domain(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The counts slice.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of counts over the inclusive range `[lo, hi]`, clipped to the
+    /// domain. Returns 0 for an empty/inverted range.
+    pub fn range_sum(&self, lo: u32, hi: u32) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        let lo = lo as usize;
+        let hi = (hi as usize).min(self.counts.len().saturating_sub(1));
+        if lo >= self.counts.len() {
+            return 0.0;
+        }
+        self.counts[lo..=hi].iter().sum()
+    }
+}
+
+/// A dense N-dimensional count histogram over a small product domain.
+///
+/// Memory is `prod(domains)` f64s, so this is only for genuinely small
+/// grids (the 2-D experiments, the hybrid small-domain partitions). The
+/// scalable methods (PSD, lazy Privelet+, FP) never materialise it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramNd {
+    domains: Vec<usize>,
+    strides: Vec<usize>,
+    counts: Vec<f64>,
+}
+
+impl HistogramNd {
+    /// Creates an empty histogram over the product of `domains`.
+    ///
+    /// # Panics
+    /// Panics if `domains` is empty, any domain is zero, or the product
+    /// exceeds `2^31` cells (guard against accidental multi-GB grids).
+    pub fn zeros(domains: &[usize]) -> Self {
+        assert!(!domains.is_empty(), "need at least one dimension");
+        assert!(domains.iter().all(|&d| d > 0), "zero-sized domain");
+        let cells: usize = domains.iter().product();
+        assert!(
+            cells <= 1 << 31,
+            "refusing to materialise {cells} cells; use a scalable estimator"
+        );
+        // Row-major strides: last dimension contiguous.
+        let mut strides = vec![1usize; domains.len()];
+        for i in (0..domains.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * domains[i + 1];
+        }
+        Self {
+            domains: domains.to_vec(),
+            strides,
+            counts: vec![0.0; cells],
+        }
+    }
+
+    /// Builds the histogram of `rows`, where `rows[j]` is the j-th
+    /// attribute column (all columns equally long).
+    ///
+    /// # Panics
+    /// Panics on ragged columns or out-of-domain values.
+    pub fn from_columns(columns: &[Vec<u32>], domains: &[usize]) -> Self {
+        assert_eq!(columns.len(), domains.len(), "one column per dimension");
+        let mut h = Self::zeros(domains);
+        let n = columns.first().map_or(0, Vec::len);
+        for col in columns {
+            assert_eq!(col.len(), n, "ragged columns");
+        }
+        for row in 0..n {
+            let mut idx = 0usize;
+            for (j, col) in columns.iter().enumerate() {
+                let v = col[row] as usize;
+                assert!(v < domains[j], "value {v} outside domain {}", domains[j]);
+                idx += v * h.strides[j];
+            }
+            h.counts[idx] += 1.0;
+        }
+        h
+    }
+
+    /// Per-dimension domain sizes.
+    pub fn domains(&self) -> &[usize] {
+        &self.domains
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Flat cell counts (row-major).
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Mutable flat cell counts.
+    pub fn counts_mut(&mut self) -> &mut [f64] {
+        &mut self.counts
+    }
+
+    /// Count at the multi-index `idx`.
+    pub fn at(&self, idx: &[usize]) -> f64 {
+        self.counts[self.flat_index(idx)]
+    }
+
+    /// Converts a multi-index into the flat offset.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.domains.len(), "index arity mismatch");
+        idx.iter()
+            .zip(&self.strides)
+            .zip(&self.domains)
+            .map(|((&i, &s), &d)| {
+                assert!(i < d, "index {i} outside domain {d}");
+                i * s
+            })
+            .sum()
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact range-count over the hyper-rectangle `query` (inclusive per
+    /// dimension, clipped to the domain).
+    pub fn range_sum(&self, query: &[DimRange]) -> f64 {
+        assert_eq!(query.len(), self.domains.len(), "query arity mismatch");
+        // Recursive walk over dimensions, summing the contiguous last
+        // dimension directly.
+        fn walk(
+            h: &HistogramNd,
+            query: &[DimRange],
+            dim: usize,
+            base: usize,
+        ) -> f64 {
+            let (lo, hi) = query[dim];
+            if lo > hi {
+                return 0.0;
+            }
+            let lo = lo as usize;
+            let hi = (hi as usize).min(h.domains[dim] - 1);
+            if lo >= h.domains[dim] {
+                return 0.0;
+            }
+            if dim + 1 == h.domains.len() {
+                return h.counts[base + lo..=base + hi].iter().sum();
+            }
+            (lo..=hi)
+                .map(|i| walk(h, query, dim + 1, base + i * h.strides[dim]))
+                .sum()
+        }
+        walk(self, query, 0, 0)
+    }
+
+    /// The 1-D marginal histogram of dimension `dim`.
+    pub fn marginal(&self, dim: usize) -> Histogram1D {
+        assert!(dim < self.domains.len(), "dimension out of range");
+        let mut m = vec![0.0; self.domains[dim]];
+        for (flat, &c) in self.counts.iter().enumerate() {
+            let i = (flat / self.strides[dim]) % self.domains[dim];
+            m[i] += c;
+        }
+        Histogram1D::from_counts(m)
+    }
+}
+
+/// Counts records of a columnar dataset inside a hyper-rectangle by a
+/// direct scan — the ground truth `A_act(q)` of the paper's error metric.
+pub fn scan_range_count(columns: &[Vec<u32>], query: &[DimRange]) -> f64 {
+    assert_eq!(columns.len(), query.len(), "query arity mismatch");
+    let n = columns.first().map_or(0, Vec::len);
+    let mut count = 0usize;
+    'rows: for row in 0..n {
+        for (col, &(lo, hi)) in columns.iter().zip(query) {
+            let v = col[row];
+            if v < lo || v > hi {
+                continue 'rows;
+            }
+        }
+        count += 1;
+    }
+    count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_1d_basics() {
+        let h = Histogram1D::from_values(&[0, 1, 1, 3], 4);
+        assert_eq!(h.counts(), &[1.0, 2.0, 0.0, 1.0]);
+        assert_eq!(h.total(), 4.0);
+        assert_eq!(h.range_sum(1, 2), 2.0);
+        assert_eq!(h.range_sum(0, 3), 4.0);
+        assert_eq!(h.range_sum(2, 1), 0.0);
+        assert_eq!(h.range_sum(1, 100), 3.0); // clipped
+        assert_eq!(h.range_sum(7, 9), 0.0); // outside
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn histogram_1d_rejects_out_of_domain() {
+        let _ = Histogram1D::from_values(&[5], 4);
+    }
+
+    #[test]
+    fn histogram_nd_indexing() {
+        let cols = vec![vec![0u32, 1, 1], vec![2u32, 0, 2]];
+        let h = HistogramNd::from_columns(&cols, &[2, 3]);
+        assert_eq!(h.cells(), 6);
+        assert_eq!(h.at(&[0, 2]), 1.0);
+        assert_eq!(h.at(&[1, 0]), 1.0);
+        assert_eq!(h.at(&[1, 2]), 1.0);
+        assert_eq!(h.at(&[0, 0]), 0.0);
+        assert_eq!(h.total(), 3.0);
+    }
+
+    #[test]
+    fn histogram_nd_range_sum_matches_scan() {
+        let cols = vec![
+            vec![0u32, 1, 2, 3, 2, 1, 0],
+            vec![5u32, 4, 3, 2, 1, 0, 5],
+            vec![1u32, 1, 0, 0, 1, 0, 1],
+        ];
+        let h = HistogramNd::from_columns(&cols, &[4, 6, 2]);
+        let queries: Vec<Vec<DimRange>> = vec![
+            vec![(0, 3), (0, 5), (0, 1)],
+            vec![(1, 2), (1, 4), (1, 1)],
+            vec![(0, 0), (5, 5), (1, 1)],
+            vec![(2, 1), (0, 5), (0, 1)],
+        ];
+        for q in &queries {
+            assert_eq!(h.range_sum(q), scan_range_count(&cols, q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn marginal_projects_correctly() {
+        let cols = vec![vec![0u32, 1, 1, 0], vec![0u32, 0, 1, 2]];
+        let h = HistogramNd::from_columns(&cols, &[2, 3]);
+        let m0 = h.marginal(0);
+        assert_eq!(m0.counts(), &[2.0, 2.0]);
+        let m1 = h.marginal(1);
+        assert_eq!(m1.counts(), &[2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to materialise")]
+    fn nd_guards_against_huge_grids() {
+        let _ = HistogramNd::zeros(&[1 << 16, 1 << 16]);
+    }
+
+    #[test]
+    fn scan_range_count_empty_dataset() {
+        let cols: Vec<Vec<u32>> = vec![vec![], vec![]];
+        assert_eq!(scan_range_count(&cols, &[(0, 1), (0, 1)]), 0.0);
+    }
+}

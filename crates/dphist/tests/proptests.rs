@@ -1,0 +1,122 @@
+//! Property-based tests for the DP histogram substrate: structural
+//! invariants of range sums, the lazy Privelet+ decomposition, the prefix
+//! grid, and the publication algorithms' shape contracts.
+
+use dphist::efpa::Efpa;
+use dphist::histogram::{scan_range_count, Histogram1D, HistogramNd};
+use dphist::php::Php;
+use dphist::prefix::PrefixGrid;
+use dphist::privelet::{Privelet1d, PriveletPlus};
+use dphist::{DimRange, Publish1d, RangeCountEstimator};
+use dpmech::Epsilon;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small random dataset: up to 3 dimensions, domains up to 16.
+fn dataset() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<usize>)> {
+    (1usize..4, 2usize..17, 1usize..60).prop_flat_map(|(dims, domain, n)| {
+        (
+            prop::collection::vec(
+                prop::collection::vec(0u32..domain as u32, n),
+                dims,
+            ),
+            Just(vec![domain; dims]),
+        )
+    })
+}
+
+/// A random query over the given domains.
+fn query_for(domains: &[usize], seed: u64) -> Vec<DimRange> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    domains
+        .iter()
+        .map(|&d| {
+            let a = rng.gen_range(0..d as u32);
+            let b = rng.gen_range(0..d as u32);
+            (a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn histogram_range_sum_matches_scan((cols, domains) in dataset(), qseed in 0u64..500) {
+        let h = HistogramNd::from_columns(&cols, &domains);
+        let q = query_for(&domains, qseed);
+        prop_assert!((h.range_sum(&q) - scan_range_count(&cols, &q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_grid_matches_histogram((cols, domains) in dataset(), qseed in 0u64..500) {
+        let h = HistogramNd::from_columns(&cols, &domains);
+        let p = PrefixGrid::from_histogram(&h);
+        let q = query_for(&domains, qseed);
+        prop_assert!((p.range_sum(&q) - h.range_sum(&q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginals_sum_to_total((cols, domains) in dataset()) {
+        let h = HistogramNd::from_columns(&cols, &domains);
+        for dim in 0..domains.len() {
+            let m = h.marginal(dim);
+            prop_assert!((m.total() - h.total()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn publishers_preserve_length(
+        counts in prop::collection::vec(0.0f64..500.0, 1..200),
+        seed in 0u64..100,
+    ) {
+        let eps = Epsilon::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(Efpa.publish(&counts, eps, &mut rng).len(), counts.len());
+        prop_assert_eq!(Privelet1d.publish(&counts, eps, &mut rng).len(), counts.len());
+        prop_assert_eq!(Php::default().publish(&counts, eps, &mut rng).len(), counts.len());
+    }
+
+    #[test]
+    fn lazy_privelet_with_huge_budget_matches_truth(
+        (cols, domains) in dataset(),
+        qseed in 0u64..200,
+    ) {
+        // At eps = 1e6 the noise is negligible: the lazy decomposition must
+        // reproduce the exact count for any query.
+        let mut p = PriveletPlus::publish(
+            cols.clone(),
+            &domains,
+            Epsilon::new(1e6).unwrap(),
+            qseed,
+        );
+        let q = query_for(&domains, qseed);
+        let truth = scan_range_count(&cols, &q);
+        prop_assert!(
+            (p.range_count(&q) - truth).abs() < 1e-3,
+            "estimate {} vs truth {}", p.range_count(&q), truth
+        );
+    }
+
+    #[test]
+    fn lazy_privelet_is_deterministic_per_release(
+        (cols, domains) in dataset(),
+        qseed in 0u64..200,
+    ) {
+        let mut p1 = PriveletPlus::publish(cols.clone(), &domains, Epsilon::new(0.5).unwrap(), 7);
+        let mut p2 = PriveletPlus::publish(cols, &domains, Epsilon::new(0.5).unwrap(), 7);
+        let q = query_for(&domains, qseed);
+        prop_assert_eq!(p1.range_count(&q), p2.range_count(&q));
+    }
+
+    #[test]
+    fn histogram_1d_range_sums_are_additive(
+        values in prop::collection::vec(0u32..32, 1..100),
+        split in 0u32..31,
+    ) {
+        let h = Histogram1D::from_values(&values, 32);
+        let left = h.range_sum(0, split);
+        let right = h.range_sum(split + 1, 31);
+        prop_assert!((left + right - h.total()).abs() < 1e-9);
+    }
+}

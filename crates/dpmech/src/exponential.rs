@@ -1,0 +1,113 @@
+//! The exponential mechanism (McSherry & Talwar, FOCS 2007).
+//!
+//! Selects an index `i` with probability proportional to
+//! `exp(epsilon * u_i / (2 * Delta_u))` where `u_i` is a utility score
+//! with sensitivity `Delta_u`. Used here by EFPA (choosing how many Fourier
+//! coefficients to keep), PSD (private medians) and P-HP (private bisection
+//! points).
+
+use crate::budget::Epsilon;
+use rand::Rng;
+
+/// Samples an index from `scores` under the exponential mechanism.
+///
+/// Higher scores are preferred. Uses the log-sum-exp trick so widely spread
+/// scores cannot overflow.
+///
+/// # Panics
+/// Panics when `scores` is empty, contains non-finite values, or
+/// `utility_sensitivity <= 0`.
+pub fn exponential_mechanism<R: Rng + ?Sized>(
+    rng: &mut R,
+    scores: &[f64],
+    epsilon: Epsilon,
+    utility_sensitivity: f64,
+) -> usize {
+    assert!(!scores.is_empty(), "exponential mechanism over empty choices");
+    assert!(
+        utility_sensitivity > 0.0 && utility_sensitivity.is_finite(),
+        "utility sensitivity must be positive and finite"
+    );
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "scores must be finite"
+    );
+    let factor = epsilon.value() / (2.0 * utility_sensitivity);
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    // Unnormalised weights, stabilised by the max score.
+    let weights: Vec<f64> = scores.iter().map(|&s| ((s - max) * factor).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefers_high_scores() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scores = [0.0, 0.0, 10.0];
+        let eps = Epsilon::new(2.0).unwrap();
+        let n = 5_000;
+        let picks_best = (0..n)
+            .filter(|_| exponential_mechanism(&mut rng, &scores, eps, 1.0) == 2)
+            .count();
+        // exp(10) dominance: virtually always picks the best.
+        assert!(picks_best as f64 / f64::from(n) > 0.98);
+    }
+
+    #[test]
+    fn uniform_when_scores_equal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let scores = [1.0, 1.0, 1.0, 1.0];
+        let eps = Epsilon::new(1.0).unwrap();
+        let mut counts = [0usize; 4];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[exponential_mechanism(&mut rng, &scores, eps, 1.0)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / f64::from(n);
+            assert!((f - 0.25).abs() < 0.02, "frequency {f}");
+        }
+    }
+
+    #[test]
+    fn small_epsilon_flattens_choice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let scores = [0.0, 1.0];
+        let tight = Epsilon::new(1e-6).unwrap();
+        let n = 20_000;
+        let best = (0..n)
+            .filter(|_| exponential_mechanism(&mut rng, &scores, tight, 1.0) == 1)
+            .count();
+        let f = best as f64 / f64::from(n);
+        assert!((f - 0.5).abs() < 0.02, "frequency {f}");
+    }
+
+    #[test]
+    fn extreme_scores_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let scores = [1e8, -1e8, 0.0];
+        let eps = Epsilon::new(1.0).unwrap();
+        let i = exponential_mechanism(&mut rng, &scores, eps, 1.0);
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_scores_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = exponential_mechanism(&mut rng, &[], Epsilon::new(1.0).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The two-sided geometric mechanism ("discrete Laplace").
+//!
+//! For integer-valued count queries it is sometimes preferable to add
+//! integer noise: `P(k) = (1 - a)/(1 + a) * a^{|k|}` with
+//! `a = exp(-epsilon / Delta)`. The released count is then an integer and
+//! needs no rounding. Included for completeness next to the Laplace
+//! mechanism; the DPCopula hybrid partition counts (Algorithm 6) can use
+//! either.
+
+use crate::budget::Epsilon;
+use rand::Rng;
+
+/// Two-sided geometric mechanism for integer counts.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricMechanism {
+    alpha: f64,
+}
+
+impl GeometricMechanism {
+    /// Creates the mechanism for an integer query with L1 sensitivity
+    /// `sensitivity` (usually 1 for counts).
+    ///
+    /// # Panics
+    /// Panics if the sensitivity is non-positive or non-finite.
+    pub fn new(epsilon: Epsilon, sensitivity: f64) -> Self {
+        assert!(
+            sensitivity > 0.0 && sensitivity.is_finite(),
+            "sensitivity must be positive and finite"
+        );
+        Self {
+            alpha: (-epsilon.value() / sensitivity).exp(),
+        }
+    }
+
+    /// The decay parameter `a = exp(-epsilon/Delta)`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draws one two-sided geometric noise value.
+    pub fn noise<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        // Difference of two one-sided geometrics is two-sided geometric.
+        let g1 = one_sided_geometric(rng, self.alpha);
+        let g2 = one_sided_geometric(rng, self.alpha);
+        g1 - g2
+    }
+
+    /// Releases a noisy count.
+    pub fn release<R: Rng + ?Sized>(&self, count: i64, rng: &mut R) -> i64 {
+        count + self.noise(rng)
+    }
+}
+
+/// Samples `G ~ Geom(1 - a)` supported on `{0, 1, 2, ...}` by inversion.
+fn one_sided_geometric<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> i64 {
+    if alpha <= 0.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / alpha.ln()).floor() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_is_symmetric_and_centered() {
+        let m = GeometricMechanism::new(Epsilon::new(1.0).unwrap(), 1.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 100_000;
+        let sum: i64 = (0..n).map(|_| m.noise(&mut rng)).sum();
+        let mean = sum as f64 / f64::from(n);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn variance_matches_theory() {
+        // Var = 2a / (1-a)^2.
+        let eps = Epsilon::new(0.5).unwrap();
+        let m = GeometricMechanism::new(eps, 1.0);
+        let a = m.alpha();
+        let theory = 2.0 * a / (1.0 - a).powi(2);
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| m.noise(&mut rng) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(
+            (var - theory).abs() / theory < 0.05,
+            "var {var} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn release_shifts_count() {
+        let m = GeometricMechanism::new(Epsilon::new(10.0).unwrap(), 1.0);
+        let mut rng = StdRng::seed_from_u64(23);
+        // Huge epsilon => almost no noise.
+        for _ in 0..100 {
+            let r = m.release(42, &mut rng);
+            assert!((r - 42).abs() <= 3);
+        }
+    }
+
+    #[test]
+    fn tighter_budget_means_wider_noise() {
+        let loose = GeometricMechanism::new(Epsilon::new(2.0).unwrap(), 1.0);
+        let tight = GeometricMechanism::new(Epsilon::new(0.1).unwrap(), 1.0);
+        assert!(tight.alpha() > loose.alpha());
+    }
+}

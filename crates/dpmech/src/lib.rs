@@ -1,0 +1,31 @@
+//! # dpmech — differential-privacy primitives
+//!
+//! The mechanisms and accounting that every DP algorithm in this workspace
+//! builds on:
+//!
+//! * [`budget`] — a validated privacy-budget type ([`Epsilon`]) and an
+//!   accountant enforcing sequential composition (Theorem 3.1 of the
+//!   DPCopula paper);
+//! * [`laplace`] — the Laplace distribution and the Laplace mechanism
+//!   (Dwork et al., the workhorse of Definition 3.2 / the noisy counts in
+//!   Algorithms 2, 5 and 6);
+//! * [`exponential`] — the exponential mechanism (McSherry–Talwar), needed
+//!   by the EFPA coefficient selection and the private splits of PSD and
+//!   P-HP;
+//! * [`geometric`] — the two-sided geometric ("discrete Laplace")
+//!   mechanism, an integer-valued alternative for count queries.
+//!
+//! All mechanisms are generic over `rand::Rng` so experiments can be made
+//! deterministic with a seeded generator.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod exponential;
+pub mod geometric;
+pub mod laplace;
+
+pub use budget::{BudgetAccountant, BudgetError, Epsilon};
+pub use exponential::exponential_mechanism;
+pub use geometric::GeometricMechanism;
+pub use laplace::{laplace_noise, Laplace, LaplaceMechanism};

@@ -1,0 +1,228 @@
+//! Correlation-matrix utilities, including the eigenvalue-based
+//! positive-definite repair (Rousseeuw & Molenberghs 1993) called for by
+//! Algorithm 5 step 3 of the DPCopula paper.
+
+use crate::cholesky::is_positive_definite;
+use crate::eigen::eigen_symmetric;
+use crate::matrix::Matrix;
+
+/// Smallest eigenvalue substituted for non-positive ones during repair.
+pub const PD_REPAIR_FLOOR: f64 = 1e-6;
+
+/// Validates that `m` has the shape of a correlation matrix: square,
+/// symmetric, unit diagonal, and off-diagonals in `[-1, 1]` (within `tol`).
+pub fn is_correlation_shaped(m: &Matrix, tol: f64) -> bool {
+    if !m.is_square() || !m.is_symmetric(tol) {
+        return false;
+    }
+    let n = m.rows();
+    for i in 0..n {
+        if (m[(i, i)] - 1.0).abs() > tol {
+            return false;
+        }
+        for j in 0..n {
+            if m[(i, j)].abs() > 1.0 + tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Clamps every off-diagonal entry into `[-1, 1]` and forces the diagonal
+/// to exactly 1. Useful after adding Laplace noise to coefficients.
+pub fn clamp_to_correlation(m: &mut Matrix) {
+    let n = m.rows();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                m[(i, j)] = 1.0;
+            } else {
+                m[(i, j)] = m[(i, j)].clamp(-1.0, 1.0);
+            }
+        }
+    }
+}
+
+/// Repairs a symmetric, unit-diagonal matrix that may be indefinite into a
+/// positive-definite correlation matrix using the eigenvalue method of
+/// Rousseeuw & Molenberghs (1993), exactly as prescribed by Algorithm 5:
+///
+/// 1. eigendecompose `P~_1 = R D R^T`;
+/// 2. replace non-positive eigenvalues in `D` with a small positive value;
+/// 3. reassemble and renormalise so the diagonal is 1 again.
+///
+/// If the input is already positive definite it is returned with only the
+/// diagonal normalised. The output always passes a Cholesky factorisation.
+pub fn repair_positive_definite(m: &Matrix) -> Matrix {
+    assert!(m.is_square(), "correlation matrix must be square");
+    if is_positive_definite(m) {
+        return m.clone();
+    }
+    let e = eigen_symmetric(m);
+    let n = m.rows();
+    let clamped: Vec<f64> = e
+        .values
+        .iter()
+        .map(|&v| if v <= PD_REPAIR_FLOOR { PD_REPAIR_FLOOR } else { v })
+        .collect();
+    // R * diag(clamped) * R^T
+    let mut vd = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            vd[(i, j)] = e.vectors[(i, j)] * clamped[j];
+        }
+    }
+    let mut repaired = vd.matmul(&e.vectors.transpose());
+    // Renormalise to unit diagonal: P_ij / sqrt(P_ii * P_jj).
+    let diag: Vec<f64> = (0..n).map(|i| repaired[(i, i)]).collect();
+    for i in 0..n {
+        for j in 0..n {
+            repaired[(i, j)] /= (diag[i] * diag[j]).sqrt();
+        }
+    }
+    // Normalisation can re-introduce microscopic asymmetry; symmetrise.
+    for i in 0..n {
+        repaired[(i, i)] = 1.0;
+        for j in (i + 1)..n {
+            let avg = 0.5 * (repaired[(i, j)] + repaired[(j, i)]);
+            repaired[(i, j)] = avg;
+            repaired[(j, i)] = avg;
+        }
+    }
+    // The floor guarantees strict positive definiteness after scaling, but
+    // guard against pathological rounding with one more nudge if needed.
+    if !is_positive_definite(&repaired) {
+        let mut nudged = repaired.clone();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    nudged[(i, j)] *= 1.0 - 1e-6;
+                }
+            }
+        }
+        return nudged;
+    }
+    repaired
+}
+
+/// Builds a correlation matrix from the strict upper triangle given in
+/// row-major pair order `(0,1), (0,2), ..., (0,n-1), (1,2), ...`.
+///
+/// # Panics
+/// Panics if `pairs.len() != n*(n-1)/2`.
+pub fn correlation_from_upper_triangle(n: usize, pairs: &[f64]) -> Matrix {
+    assert_eq!(
+        pairs.len(),
+        n * (n - 1) / 2,
+        "expected {} pairwise coefficients for n={n}",
+        n * (n - 1) / 2
+    );
+    let mut m = Matrix::identity(n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            m[(i, j)] = pairs[k];
+            m[(j, i)] = pairs[k];
+            k += 1;
+        }
+    }
+    m
+}
+
+/// Constant-correlation (equicorrelation) matrix, handy for tests and
+/// synthetic data generation.
+pub fn equicorrelation(n: usize, rho: f64) -> Matrix {
+    let mut m = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                m[(i, j)] = rho;
+            }
+        }
+    }
+    m
+}
+
+/// AR(1)-style correlation matrix with `P_ij = rho^|i-j|`.
+pub fn ar1_correlation(n: usize, rho: f64) -> Matrix {
+    let mut m = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = rho.powi((i as i64 - j as i64).unsigned_abs() as i32);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn already_pd_is_untouched() {
+        let m = equicorrelation(3, 0.4);
+        let r = repair_positive_definite(&m);
+        assert!(r.max_abs_diff(&m) < 1e-15);
+    }
+
+    #[test]
+    fn repairs_indefinite_matrix() {
+        // rho = -0.9 equicorrelation in 3D is indefinite
+        // (min eigenvalue = 1 + 2*(-0.9)*cos stuff < 0).
+        let m = equicorrelation(3, -0.9);
+        assert!(!is_positive_definite(&m));
+        let r = repair_positive_definite(&m);
+        assert!(is_positive_definite(&r));
+        assert!(is_correlation_shaped(&r, 1e-9));
+    }
+
+    #[test]
+    fn repair_preserves_pd_direction() {
+        // The repaired matrix should stay close to the original in the
+        // entries that were not the problem.
+        let m = correlation_from_upper_triangle(3, &[0.95, 0.95, -0.5]);
+        assert!(!is_positive_definite(&m));
+        let r = repair_positive_definite(&m);
+        assert!(is_positive_definite(&r));
+        // Strongly positive pairs should stay strongly positive.
+        assert!(r[(0, 1)] > 0.5);
+        assert!(r[(0, 2)] > 0.5);
+    }
+
+    #[test]
+    fn clamp_fixes_out_of_range() {
+        let mut m = correlation_from_upper_triangle(2, &[1.7]);
+        m[(0, 0)] = 0.9;
+        clamp_to_correlation(&mut m);
+        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!(m[(0, 0)], 1.0);
+        let mut m2 = correlation_from_upper_triangle(2, &[-1.3]);
+        clamp_to_correlation(&mut m2);
+        assert_eq!(m2[(1, 0)], -1.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(is_correlation_shaped(&equicorrelation(4, 0.2), 1e-12));
+        assert!(!is_correlation_shaped(&Matrix::zeros(3, 3), 1e-12));
+        assert!(!is_correlation_shaped(&Matrix::zeros(2, 3), 1e-12));
+    }
+
+    #[test]
+    fn ar1_structure() {
+        let m = ar1_correlation(4, 0.5);
+        assert_eq!(m[(0, 3)], 0.125);
+        assert_eq!(m[(2, 1)], 0.5);
+        assert!(is_positive_definite(&m));
+    }
+
+    #[test]
+    fn upper_triangle_ordering() {
+        let m = correlation_from_upper_triangle(3, &[0.1, 0.2, 0.3]);
+        assert_eq!(m[(0, 1)], 0.1);
+        assert_eq!(m[(0, 2)], 0.2);
+        assert_eq!(m[(1, 2)], 0.3);
+        assert_eq!(m[(2, 1)], 0.3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Orthonormal DCT-II / DCT-III (the inverse pair) used by the DCT
+//! flavour of EFPA.
+//!
+//! The DFT of a histogram implicitly treats it as periodic; a margin that
+//! is high on the left and empty on the right has a jump at the wrap
+//! boundary, so its Fourier coefficients decay slowly and truncation
+//! biases every range query. The DCT's implicit even extension removes
+//! that jump — smooth margins compress into a handful of coefficients.
+//! Orthonormality keeps the L2 sensitivity of the coefficient vector
+//! equal to the histogram's (1), so the EFPA privacy argument carries
+//! over unchanged.
+//!
+//! Implementation: direct `O(n^2)` evaluation. Margins in this workspace
+//! have at most a few thousand bins, for which the direct form is both
+//! fast enough and trivially correct.
+
+/// Orthonormal DCT-II: `X[k] = s(k) * sum_j x[j] cos(pi (j + 1/2) k / n)`
+/// with `s(0) = sqrt(1/n)` and `s(k) = sqrt(2/n)` otherwise.
+pub fn dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    (0..n)
+        .map(|k| {
+            let scale = if k == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
+            let kf = k as f64;
+            scale
+                * x.iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        v * (std::f64::consts::PI * (j as f64 + 0.5) * kf / nf).cos()
+                    })
+                    .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Orthonormal DCT-III — the exact inverse of [`dct2`].
+pub fn dct3(c: &[f64]) -> Vec<f64> {
+    let n = c.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    (0..n)
+        .map(|j| {
+            let jf = j as f64;
+            c.iter()
+                .enumerate()
+                .map(|(k, &v)| {
+                    let scale = if k == 0 {
+                        (1.0 / nf).sqrt()
+                    } else {
+                        (2.0 / nf).sqrt()
+                    };
+                    scale * v * (std::f64::consts::PI * (jf + 0.5) * k as f64 / nf).cos()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for n in [1usize, 2, 3, 7, 64, 100] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 5.0 + 1.0).collect();
+            let back = dct3(&dct2(&x));
+            for (b, orig) in back.iter().zip(&x) {
+                assert!((b - orig).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormal_preserves_energy() {
+        let x: Vec<f64> = (0..50).map(|i| f64::from(i % 11) - 3.0).collect();
+        let c = dct2(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_sum() {
+        let x = [3.0, 1.0, 4.0, 1.0];
+        let c = dct2(&x);
+        assert!((c[0] - 9.0 / 2.0).abs() < 1e-12); // sum / sqrt(n)
+    }
+
+    #[test]
+    fn constant_signal_is_pure_dc() {
+        let c = dct2(&[5.0; 16]);
+        assert!((c[0] - 5.0 * 4.0).abs() < 1e-12);
+        assert!(c[1..].iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn monotone_ramp_compresses_better_in_dct_than_dft() {
+        // The motivating property: a ramp (like a CDF-ish margin) has
+        // most DCT energy in few coefficients, unlike the DFT.
+        let x: Vec<f64> = (0..128).map(f64::from).collect();
+        let c = dct2(&x);
+        let total: f64 = c.iter().map(|v| v * v).sum();
+        let head: f64 = c[..8].iter().map(|v| v * v).sum();
+        assert!(head / total > 0.999, "head fraction {}", head / total);
+
+        let f = crate::fft::fft_real(&x);
+        let ftotal: f64 = f.iter().map(|z| z.abs() * z.abs()).sum();
+        // Same 15 real dof: coefficients 0..8 plus mirrors.
+        let fhead: f64 = f[..8].iter().map(|z| z.abs() * z.abs()).sum::<f64>()
+            + f[121..].iter().map(|z| z.abs() * z.abs()).sum::<f64>();
+        assert!(
+            head / total > fhead / ftotal,
+            "dct {} should beat dft {}",
+            head / total,
+            fhead / ftotal
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dct2(&[]).is_empty());
+        assert!(dct3(&[]).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Exponential distribution (rate parameterisation).
+
+use super::Continuous;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates `Exp(rate)`. Returns `None` for non-positive or non-finite
+    /// rates.
+    pub fn new(rate: f64) -> Option<Self> {
+        (rate > 0.0 && rate.is_finite()).then_some(Self { rate })
+    }
+
+    /// The rate parameter `lambda`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Continuous for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p));
+        -(-p).ln_1p() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_none());
+        assert!(Exponential::new(-3.0).is_none());
+        assert!(Exponential::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let e = Exponential::new(1.5).unwrap();
+        for &p in &[0.001, 0.1, 0.5, 0.9, 0.999] {
+            assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn median_is_ln2_over_rate() {
+        let e = Exponential::new(2.0).unwrap();
+        assert!((e.quantile(0.5) - std::f64::consts::LN_2 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_support_is_zero() {
+        let e = Exponential::new(1.0).unwrap();
+        assert_eq!(e.pdf(-1.0), 0.0);
+        assert_eq!(e.cdf(-1.0), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Gamma distribution (shape/scale parameterisation) and the regularised
+//! lower incomplete gamma function backing its CDF.
+
+use super::{quantile_by_bisection, Continuous};
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// Gamma distribution with shape `k` and scale `theta` (mean `k * theta`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates `Gamma(shape, scale)`. Returns `None` for non-positive or
+    /// non-finite parameters.
+    pub fn new(shape: f64, scale: f64) -> Option<Self> {
+        (shape > 0.0 && scale > 0.0 && shape.is_finite() && scale.is_finite())
+            .then_some(Self { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `theta`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Continuous for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        let t = self.scale;
+        ((k - 1.0) * (x / t).ln() - x / t - ln_gamma(k)).exp() / t
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p));
+        if p == 0.0 {
+            return 0.0;
+        }
+        // Bracket generously: mean + 40 standard deviations covers any
+        // p < 1 - 1e-300 for the shapes used in practice.
+        let hi = self.shape * self.scale
+            + 40.0 * (self.shape.max(1.0)).sqrt() * self.scale
+            + 40.0 * self.scale;
+        quantile_by_bisection(|x| self.cdf(x), p, 0.0, hi)
+    }
+
+    /// Marsaglia–Tsang squeeze method; for `shape < 1` the boosting trick
+    /// `Gamma(a) = Gamma(a+1) * U^{1/a}` is applied.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let a = self.shape;
+        if a < 1.0 {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let boosted = Gamma {
+                shape: a + 1.0,
+                scale: 1.0,
+            };
+            return boosted.sample(rng) * u.powf(1.0 / a) * self.scale;
+        }
+        let d = a - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = super::gaussian::standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+/// Regularised lower incomplete gamma `P(a, x) = gamma(a, x) / Gamma(a)`.
+///
+/// Series expansion for `x < a + 1`, Lentz continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series: P(a,x) = x^a e^-x / Gamma(a) * sum x^n / (a (a+1) ... (a+n))
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-16 {
+                break;
+            }
+        }
+        sum * (a * x.ln() - x - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a,x); P = 1 - Q.
+        const TINY: f64 = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / TINY;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -f64::from(i) * (f64::from(i) - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < TINY {
+                d = TINY;
+            }
+            c = b + an / c;
+            if c.abs() < TINY {
+                c = TINY;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-16 {
+                break;
+            }
+        }
+        let q = (a * x.ln() - x - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_none());
+        assert!(Gamma::new(1.0, -1.0).is_none());
+        assert!(Gamma::new(f64::NAN, 1.0).is_none());
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 - e^-x (exponential CDF).
+        for &x in &[0.1, 1.0, 3.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+        // P(0.5, x) = erf(sqrt(x)).
+        assert!((gamma_p(0.5, 1.0) - crate::special::erf(1.0)).abs() < 1e-12);
+        assert!((gamma_p(0.5, 4.0) - crate::special::erf(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let g = Gamma::new(2.5, 1.3).unwrap();
+        for &p in &[0.01, 0.3, 0.5, 0.8, 0.99] {
+            let x = g.quantile(p);
+            assert!((g.cdf(x) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_mean_and_variance() {
+        let g = Gamma::new(3.0, 2.0).unwrap(); // mean 6, var 12
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 12.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn sampling_small_shape() {
+        let g = Gamma::new(0.5, 1.0).unwrap(); // mean 0.5
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mean: f64 =
+            (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn pdf_matches_cdf_derivative() {
+        let g = Gamma::new(4.0, 0.7).unwrap();
+        let x = 2.2;
+        let dx = 1e-5;
+        let num = (g.cdf(x + dx) - g.cdf(x - dx)) / (2.0 * dx);
+        assert!((num - g.pdf(x)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,113 @@
+//! Univariate Gaussian distribution.
+
+use super::Continuous;
+use crate::special::{norm_cdf, norm_quantile, FRAC_1_SQRT_2PI};
+use rand::Rng;
+
+/// Normal distribution `N(mean, sd^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    sd: f64,
+}
+
+impl Gaussian {
+    /// Creates `N(mean, sd^2)`. Returns `None` when `sd <= 0` or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, sd: f64) -> Option<Self> {
+        (sd > 0.0 && mean.is_finite() && sd.is_finite()).then_some(Self { mean, sd })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mean: 0.0, sd: 1.0 }
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Distribution standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+}
+
+impl Continuous for Gaussian {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        FRAC_1_SQRT_2PI / self.sd * (-0.5 * z * z).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        norm_cdf((x - self.mean) / self.sd)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.sd * norm_quantile(p)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// Draws one standard normal variate with the Marsaglia polar method.
+///
+/// This is the workhorse behind both univariate Gaussian sampling and the
+/// multivariate `N(0, P)` sampler of Algorithm 3.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gaussian::new(0.0, 0.0).is_none());
+        assert!(Gaussian::new(0.0, -1.0).is_none());
+        assert!(Gaussian::new(f64::NAN, 1.0).is_none());
+        assert!(Gaussian::new(0.0, f64::INFINITY).is_none());
+        assert!(Gaussian::new(3.0, 2.0).is_some());
+    }
+
+    #[test]
+    fn pdf_cdf_quantile_consistency() {
+        let g = Gaussian::new(10.0, 3.0).unwrap();
+        assert!((g.cdf(10.0) - 0.5).abs() < 1e-12);
+        assert!((g.quantile(0.5) - 10.0).abs() < 1e-12);
+        for &p in &[0.01, 0.2, 0.5, 0.77, 0.99] {
+            assert!((g.cdf(g.quantile(p)) - p).abs() < 1e-10);
+        }
+        // pdf integrates (roughly) to the cdf increment.
+        let dx = 1e-5;
+        let x = 11.3;
+        let approx = (g.cdf(x + dx) - g.cdf(x - dx)) / (2.0 * dx);
+        assert!((approx - g.pdf(x)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_moments() {
+        let g = Gaussian::new(-2.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        assert!((mean + 2.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.01, "var {var}");
+    }
+}

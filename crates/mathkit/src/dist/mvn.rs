@@ -1,0 +1,129 @@
+//! Multivariate normal sampler `N(0, P)` via Cholesky factorisation —
+//! step 1a of Algorithm 3 in the paper.
+
+use super::gaussian::standard_normal;
+use crate::cholesky::{cholesky, CholeskyError};
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A zero-mean multivariate normal with correlation (or covariance)
+/// matrix `P`, sampled as `x = L g` where `P = L L^T`.
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    chol: Matrix,
+}
+
+impl MultivariateNormal {
+    /// Builds the sampler; fails when `p` is not symmetric positive
+    /// definite.
+    pub fn new(p: &Matrix) -> Result<Self, CholeskyError> {
+        Ok(Self { chol: cholesky(p)? })
+    }
+
+    /// Dimension of the sampled vectors.
+    pub fn dim(&self) -> usize {
+        self.chol.rows()
+    }
+
+    /// Draws one vector into `out`.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != self.dim()`.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        let d = self.dim();
+        assert_eq!(out.len(), d, "output buffer size mismatch");
+        // Work in-place: draw g into out, then apply L from the bottom up
+        // so each output row only reads not-yet-overwritten entries.
+        for v in out.iter_mut() {
+            *v = standard_normal(rng);
+        }
+        for i in (0..d).rev() {
+            let mut acc = 0.0;
+            for (k, &v) in out.iter().enumerate().take(i + 1) {
+                acc += self.chol[(i, k)] * v;
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Draws one vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// Draws `n` vectors as rows of an `n x d` matrix stored column-major
+    /// per attribute (a `Vec` of `d` columns of length `n`), matching the
+    /// columnar layout used across the workspace.
+    pub fn sample_columns<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+    ) -> Vec<Vec<f64>> {
+        let d = self.dim();
+        let mut cols = vec![vec![0.0; n]; d];
+        let mut buf = vec![0.0; d];
+        for row in 0..n {
+            self.sample_into(rng, &mut buf);
+            for (j, col) in cols.iter_mut().enumerate() {
+                col[row] = buf[j];
+            }
+        }
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::equicorrelation;
+    use crate::stats::pearson;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let p = equicorrelation(3, -0.9);
+        assert!(MultivariateNormal::new(&p).is_err());
+    }
+
+    #[test]
+    fn samples_have_requested_correlation() {
+        let p = equicorrelation(2, 0.7);
+        let mvn = MultivariateNormal::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cols = mvn.sample_columns(&mut rng, 40_000);
+        let r = pearson(&cols[0], &cols[1]);
+        assert!((r - 0.7).abs() < 0.02, "sample correlation {r}");
+        // Margins are standard normal.
+        let mean = cols[0].iter().sum::<f64>() / cols[0].len() as f64;
+        let var = cols[0].iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (cols[0].len() - 1) as f64;
+        assert!(mean.abs() < 0.02);
+        assert!((var - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn independent_when_identity() {
+        let p = Matrix::identity(3);
+        let mvn = MultivariateNormal::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cols = mvn.sample_columns(&mut rng, 30_000);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let r = pearson(&cols[i], &cols[j]);
+                assert!(r.abs() < 0.03, "r[{i}{j}] = {r}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn sample_into_checks_buffer() {
+        let mvn = MultivariateNormal::new(&Matrix::identity(2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut buf = vec![0.0; 3];
+        mvn.sample_into(&mut rng, &mut buf);
+    }
+}

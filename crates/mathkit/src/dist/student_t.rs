@@ -1,0 +1,213 @@
+//! Student's t distribution and the regularised incomplete beta function
+//! backing its CDF.
+
+use super::{gamma::Gamma, gaussian::standard_normal, quantile_by_bisection, Continuous};
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// Student's t distribution with `nu` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// Creates a t distribution. Returns `None` for non-positive or
+    /// non-finite degrees of freedom.
+    pub fn new(df: f64) -> Option<Self> {
+        (df > 0.0 && df.is_finite()).then_some(Self { df })
+    }
+
+    /// Degrees of freedom `nu`.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+}
+
+impl Continuous for StudentT {
+    fn pdf(&self, x: f64) -> f64 {
+        let v = self.df;
+        let ln_c = ln_gamma((v + 1.0) / 2.0)
+            - ln_gamma(v / 2.0)
+            - 0.5 * (v * std::f64::consts::PI).ln();
+        (ln_c - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let v = self.df;
+        if x == 0.0 {
+            return 0.5;
+        }
+        let ib = incomplete_beta(v / 2.0, 0.5, v / (v + x * x));
+        if x > 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p));
+        if p == 0.5 {
+            return 0.0;
+        }
+        // Symmetric: solve in one tail.
+        if p < 0.5 {
+            return -self.quantile(1.0 - p);
+        }
+        // Bracket: the t quantile is bounded by a generous multiple of the
+        // normal quantile for p away from 1; expand until bracketed.
+        let mut hi = 1.0;
+        while self.cdf(hi) < p && hi < 1e12 {
+            hi *= 2.0;
+        }
+        quantile_by_bisection(|x| self.cdf(x), p, 0.0, hi)
+    }
+
+    /// Samples as `Z / sqrt(V / nu)` with `V ~ chi^2(nu) = Gamma(nu/2, 2)`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = standard_normal(rng);
+        let chi2 = Gamma::new(self.df / 2.0, 2.0)
+            .expect("df validated at construction")
+            .sample(rng);
+        z / (chi2 / self.df).sqrt()
+    }
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` (Numerical Recipes
+/// `betai` with the modified-Lentz `betacf` continued fraction).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "incomplete_beta requires a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "incomplete_beta requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    const EPS: f64 = 1e-16;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..300 {
+        let m = f64::from(m);
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_df() {
+        assert!(StudentT::new(0.0).is_none());
+        assert!(StudentT::new(-2.0).is_none());
+        assert!(StudentT::new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn incomplete_beta_known_values() {
+        // I_x(1, 1) = x.
+        for &x in &[0.1, 0.5, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+        // I_x(1, b) = 1 - (1-x)^b.
+        assert!(
+            (incomplete_beta(1.0, 3.0, 0.25) - (1.0 - 0.75_f64.powi(3))).abs() < 1e-12
+        );
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+        let v = incomplete_beta(2.3, 1.7, 0.4);
+        let w = 1.0 - incomplete_beta(1.7, 2.3, 0.6);
+        assert!((v - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_cdf_known_values() {
+        let t1 = StudentT::new(1.0).unwrap(); // Cauchy
+        // Cauchy CDF: 1/2 + atan(x)/pi.
+        for &x in &[-2.0_f64, -0.5, 0.0, 1.0, 3.0] {
+            let expect = 0.5 + x.atan() / std::f64::consts::PI;
+            assert!((t1.cdf(x) - expect).abs() < 1e-10, "x={x}");
+        }
+        // t(inf-ish) approaches the normal.
+        let t_big = StudentT::new(1e6).unwrap();
+        assert!((t_big.cdf(1.0) - crate::special::norm_cdf(1.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_round_trip_and_symmetry() {
+        let t = StudentT::new(5.0).unwrap();
+        for &p in &[0.01, 0.25, 0.5, 0.8, 0.99] {
+            assert!((t.cdf(t.quantile(p)) - p).abs() < 1e-9);
+        }
+        assert!((t.quantile(0.25) + t.quantile(0.75)).abs() < 1e-9);
+        // Known value: t_{0.975, 5} = 2.5706.
+        assert!((t.quantile(0.975) - 2.570_581_835_6).abs() < 1e-4);
+    }
+
+    #[test]
+    fn samples_have_heavy_tails_but_centered() {
+        let t = StudentT::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| t.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // Var of t(4) is 4/(4-2) = 2.
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        assert!((var - 2.0).abs() < 0.3, "var {var}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Continuous uniform distribution on `[a, b)`.
+
+use super::Continuous;
+
+/// Uniform distribution on the half-open interval `[a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Creates `U[a, b)`. Returns `None` if `a >= b` or either bound is
+    /// non-finite.
+    pub fn new(a: f64, b: f64) -> Option<Self> {
+        (a < b && a.is_finite() && b.is_finite()).then_some(Self { a, b })
+    }
+
+    /// The unit uniform `U[0, 1)`.
+    pub fn unit() -> Self {
+        Self { a: 0.0, b: 1.0 }
+    }
+
+    /// Lower bound.
+    pub fn low(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound.
+    pub fn high(&self) -> f64 {
+        self.b
+    }
+}
+
+impl Continuous for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.a && x < self.b {
+            1.0 / (self.b - self.a)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.a) / (self.b - self.a)).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.a + p.clamp(0.0, 1.0) * (self.b - self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_interval() {
+        assert!(Uniform::new(1.0, 1.0).is_none());
+        assert!(Uniform::new(2.0, 1.0).is_none());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_none());
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_linear() {
+        let u = Uniform::new(2.0, 6.0).unwrap();
+        assert_eq!(u.cdf(2.0), 0.0);
+        assert_eq!(u.cdf(4.0), 0.5);
+        assert_eq!(u.cdf(6.0), 1.0);
+        assert_eq!(u.cdf(100.0), 1.0);
+        assert_eq!(u.quantile(0.25), 3.0);
+    }
+
+    #[test]
+    fn pdf_is_flat_inside_zero_outside() {
+        let u = Uniform::unit();
+        assert_eq!(u.pdf(0.5), 1.0);
+        assert_eq!(u.pdf(-0.1), 0.0);
+        assert_eq!(u.pdf(1.0), 0.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Complex FFT: iterative radix-2 Cooley–Tukey plus Bluestein's chirp-z
+//! algorithm for arbitrary lengths.
+//!
+//! The EFPA histogram algorithm (used by DPCopula for its DP margins)
+//! perturbs the leading Fourier coefficients of a count histogram; attribute
+//! domains in the paper (e.g. 586, 1020) are not powers of two, so Bluestein
+//! is required for exact-length transforms.
+
+/// A complex number; minimal, since we cannot take `num-complex`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs `re + im*i`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self { re: 0.0, im: 0.0 }
+    }
+
+    /// `e^{i*theta}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+/// Forward DFT: `X[k] = sum_j x[j] e^{-2 pi i jk / n}` for any length.
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        fft_radix2(&mut buf, false);
+        buf
+    } else {
+        bluestein(x, false)
+    }
+}
+
+/// Inverse DFT, normalised by `1/n`, for any length.
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        fft_radix2(&mut buf, true);
+        buf
+    } else {
+        bluestein(x, true)
+    };
+    let scale = 1.0 / n as f64;
+    for v in &mut out {
+        *v = *v * scale;
+    }
+    out
+}
+
+/// Forward DFT of a real signal (convenience for histogram counts).
+pub fn fft_real(x: &[f64]) -> Vec<Complex> {
+    let cx: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    fft(&cx)
+}
+
+/// Inverse DFT returning only the real parts (the imaginary residue of a
+/// round-trip is floating-point noise).
+pub fn ifft_real(x: &[Complex]) -> Vec<f64> {
+    ifft(x).into_iter().map(|c| c.re).collect()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey.
+///
+/// # Panics
+/// Panics when the length is not a power of two.
+fn fft_radix2(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs power-of-two length");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: express an arbitrary-length DFT as a convolution,
+/// evaluated with a padded radix-2 FFT.
+fn bluestein(x: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w[j] = e^{sign * i * pi * j^2 / n}
+    let chirp: Vec<Complex> = (0..n)
+        .map(|j| {
+            // j^2 mod 2n avoids precision loss for large j.
+            let jj = (j * j) % (2 * n);
+            Complex::cis(sign * std::f64::consts::PI * jj as f64 / n as f64)
+        })
+        .collect();
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::zero(); m];
+    let mut b = vec![Complex::zero(); m];
+    for j in 0..n {
+        a[j] = x[j] * chirp[j];
+        b[j] = chirp[j].conj();
+    }
+    for j in 1..n {
+        b[m - j] = chirp[j].conj();
+    }
+    fft_radix2(&mut a, false);
+    fft_radix2(&mut b, false);
+    for j in 0..m {
+        a[j] = a[j] * b[j];
+    }
+    fft_radix2(&mut a, true);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|j| a[j] * scale * chirp[j]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    /// Naive O(n^2) DFT used as the test oracle.
+    fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::zero();
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    acc = acc + v * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 + 1.0, (i as f64 * 0.3).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn radix2_matches_naive() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let x = ramp(n);
+            let got = fft(&x);
+            let want = dft_naive(&x);
+            for (g, w) in got.iter().zip(&want) {
+                close(g.re, w.re, 1e-9 * n as f64);
+                close(g.im, w.im, 1e-9 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive() {
+        for &n in &[3usize, 5, 7, 12, 100, 586] {
+            let x = ramp(n);
+            let got = fft(&x);
+            let want = dft_naive(&x);
+            for (g, w) in got.iter().zip(&want) {
+                close(g.re, w.re, 1e-7 * n as f64);
+                close(g.im, w.im, 1e-7 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_any_length() {
+        for &n in &[1usize, 2, 3, 8, 17, 100, 1020] {
+            let x = ramp(n);
+            let back = ifft(&fft(&x));
+            for (b, orig) in back.iter().zip(&x) {
+                close(b.re, orig.re, 1e-8 * n as f64);
+                close(b.im, orig.im, 1e-8 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_component_is_sum() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let f = fft_real(&x);
+        close(f[0].re, 14.0, 1e-12);
+        close(f[0].im, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x = ramp(37);
+        let f = fft(&x);
+        let tx: f64 = x.iter().map(|c| c.abs() * c.abs()).sum();
+        let tf: f64 = f.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / 37.0;
+        close(tf, tx, 1e-8 * tx);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Fast Walsh–Hadamard transform (WHT) over `{0,1}^d` — the Fourier basis
+//! of the Boolean cube used by Barak et al.'s contingency-table mechanism
+//! (PODS 2007, reference \[2\] of the DPCopula paper).
+//!
+//! Convention: the *orthonormal* involutive transform
+//! `F[a] = 2^{-d/2} * sum_x (-1)^{<a,x>} f[x]`, so applying it twice is
+//! the identity and L2 norms are preserved (which is what makes the
+//! sensitivity accounting of Fourier-domain noise clean).
+
+/// In-place fast Walsh–Hadamard transform, orthonormal scaling.
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two.
+pub fn fwht(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FWHT needs a power-of-two length");
+    let mut h = 1;
+    while h < n {
+        let mut i = 0;
+        while i < n {
+            for j in i..i + h {
+                let x = data[j];
+                let y = data[j + h];
+                data[j] = x + y;
+                data[j + h] = x - y;
+            }
+            i += 2 * h;
+        }
+        h *= 2;
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    for v in data {
+        *v *= scale;
+    }
+}
+
+/// The inverse transform (identical to the forward one: the orthonormal
+/// WHT is an involution).
+pub fn ifwht(data: &mut [f64]) {
+    fwht(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn involution() {
+        let orig = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut data = orig;
+        fwht(&mut data);
+        ifwht(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn preserves_energy() {
+        let mut data = [1.0, -2.0, 3.0, 0.5];
+        let before: f64 = data.iter().map(|v| v * v).sum();
+        fwht(&mut data);
+        let after: f64 = data.iter().map(|v| v * v).sum();
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_definition() {
+        let f = [2.0, 7.0, 1.0, 8.0];
+        let mut got = f;
+        fwht(&mut got);
+        let n = 4;
+        #[allow(clippy::needless_range_loop)] // a is also the Fourier index
+        for a in 0..n {
+            let mut acc = 0.0;
+            for (x, &v) in f.iter().enumerate() {
+                let dot = (a & x).count_ones();
+                let sign = if dot % 2 == 0 { 1.0 } else { -1.0 };
+                acc += sign * v;
+            }
+            let want = acc / (n as f64).sqrt();
+            assert!((got[a] - want).abs() < 1e-12, "a={a}");
+        }
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_total() {
+        let mut data = [5.0; 16];
+        fwht(&mut data);
+        assert!((data[0] - 5.0 * 4.0).abs() < 1e-12); // total / sqrt(16)
+        assert!(data[1..].iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let mut data = [1.0, 2.0, 3.0];
+        fwht(&mut data);
+    }
+}

@@ -1,0 +1,179 @@
+//! Descriptive statistics and sample distances used across the workspace:
+//! means, variances, Pearson correlation, ranks, and the Kolmogorov–Smirnov
+//! statistic used by the convergence diagnostics (§4.3 of the paper).
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Unbiased sample covariance of two equally long slices.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64
+}
+
+/// Pearson linear correlation coefficient; `0.0` when either side is
+/// constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    covariance(xs, ys) / (sx * sy)
+}
+
+/// Mid-ranks of the data (ties get the average of their positions), 1-based
+/// as in classical rank statistics.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in ranks input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // positions i..=j share the mid-rank.
+        let r = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = r;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic `sup_x |F_a(x) - F_b(x)|`.
+///
+/// Used to empirically verify the convergence theorems (Thm 4.3): the KS
+/// distance between original and synthetic margins should shrink as the
+/// cardinality grows.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Empirical quantile with linear interpolation (type-7, the R default).
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut s = xs.to_vec();
+    s.sort_by(|x, y| x.partial_cmp(y).expect("NaN in quantile input"));
+    let h = p * (s.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    s[lo] + (h - lo as f64) * (s[hi] - s[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!((variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_constant() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yn: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &yn) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r2 = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r2, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 11.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn ks_known_half() {
+        // a places all mass at 0 and 2; b all at 1: max gap is 0.5 at x in [0,1).
+        let a = [0.0, 2.0];
+        let b = [1.0, 1.0];
+        assert!((ks_statistic(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the numerical substrate: transform
+//! round-trips, factorisation postconditions, and function inverses must
+//! hold for *arbitrary* well-formed inputs, not just the unit-test cases.
+
+use mathkit::cholesky::{cholesky, is_positive_definite, solve_spd};
+use mathkit::correlation::{
+    clamp_to_correlation, correlation_from_upper_triangle, is_correlation_shaped,
+    repair_positive_definite,
+};
+use mathkit::dist::{Continuous, Exponential, Gamma, Gaussian, Uniform, Zipf};
+use mathkit::eigen::eigen_symmetric;
+use mathkit::fft::{fft, ifft, Complex};
+use mathkit::matrix::Matrix;
+use mathkit::special::{norm_cdf, norm_quantile};
+use mathkit::stats::ranks;
+use mathkit::wavelet::{haar_forward, haar_inverse};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fft_round_trips(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let x: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let back = ifft(&fft(&x));
+        for (b, orig) in back.iter().zip(&x) {
+            prop_assert!((b.re - orig.re).abs() < 1e-6 * (1.0 + orig.re.abs()));
+            prop_assert!(b.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(
+        a in prop::collection::vec(-1e3f64..1e3, 2..64),
+        s in -10.0f64..10.0,
+    ) {
+        let x: Vec<Complex> = a.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let xs: Vec<Complex> = a.iter().map(|&v| Complex::new(v * s, 0.0)).collect();
+        let fx = fft(&x);
+        let fxs = fft(&xs);
+        for (l, r) in fxs.iter().zip(&fx) {
+            prop_assert!((l.re - r.re * s).abs() < 1e-6 * (1.0 + r.re.abs() * s.abs()));
+        }
+    }
+
+    #[test]
+    fn wavelet_round_trips(exp in 0u32..8, seed in 0u64..1000) {
+        let n = 1usize << exp;
+        let mut v = 0.37_f64 + seed as f64;
+        let data: Vec<f64> = (0..n)
+            .map(|_| {
+                v = (v * 997.13).fract();
+                v * 100.0 - 50.0
+            })
+            .collect();
+        let back = haar_inverse(&haar_forward(&data));
+        for (b, d) in back.iter().zip(&data) {
+            prop_assert!((b - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pd_repair_always_produces_pd_correlation(
+        pairs in prop::collection::vec(-1.5f64..1.5, 3),
+    ) {
+        // 3x3 from arbitrary (possibly invalid) coefficients.
+        let mut m = correlation_from_upper_triangle(3, &pairs);
+        clamp_to_correlation(&mut m);
+        let repaired = repair_positive_definite(&m);
+        prop_assert!(is_positive_definite(&repaired));
+        prop_assert!(is_correlation_shaped(&repaired, 1e-6));
+    }
+
+    #[test]
+    fn cholesky_reconstructs(seed in 0u64..500, n in 1usize..6) {
+        // Build SPD as A = B B^T + n*I.
+        let mut v = seed as f64 * 0.123 + 0.5;
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                v = (v * 31.7 + 0.11).fract();
+                b[(i, j)] = v - 0.5;
+            }
+        }
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let l = cholesky(&a).unwrap();
+        prop_assert!(l.matmul(&l.transpose()).max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn spd_solve_inverts(seed in 0u64..200, n in 1usize..5) {
+        let mut v = seed as f64 * 0.377 + 0.1;
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                v = (v * 13.1 + 0.7).fract();
+                b[(i, j)] = v - 0.5;
+            }
+        }
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += 2.0;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+        let rhs = a.matvec(&x_true);
+        let x = solve_spd(&a, &rhs).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn eigen_preserves_trace_and_reconstructs(seed in 0u64..300, n in 2usize..6) {
+        let mut v = seed as f64 * 0.71 + 0.3;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                v = (v * 91.3 + 0.17).fract();
+                let x = v * 4.0 - 2.0;
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let e = eigen_symmetric(&a);
+        prop_assert!(e.reconstruct().max_abs_diff(&a) < 1e-8);
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let lambda_sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - lambda_sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn norm_quantile_inverts_cdf(p in 1e-8f64..1.0) {
+        let p = p.min(1.0 - 1e-8);
+        prop_assert!((norm_cdf(norm_quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_quantiles_invert_cdfs(p in 0.001f64..0.999) {
+        fn check<D: Continuous>(d: &D, p: f64) -> bool {
+            (d.cdf(d.quantile(p)) - p).abs() < 1e-7
+        }
+        prop_assert!(check(&Gaussian::new(3.0, 2.0).unwrap(), p));
+        prop_assert!(check(&Uniform::new(-1.0, 4.0).unwrap(), p));
+        prop_assert!(check(&Exponential::new(0.7).unwrap(), p));
+        prop_assert!(check(&Gamma::new(2.5, 1.4).unwrap(), p));
+    }
+
+    #[test]
+    fn zipf_quantile_is_generalised_inverse(n in 1usize..200, s in 0.0f64..3.0, p in 0.0f64..1.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let k = z.quantile(p);
+        prop_assert!(z.cdf(k) >= p - 1e-12);
+        if k > 0 {
+            prop_assert!(z.cdf(k - 1) < p + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_average(values in prop::collection::vec(-100i32..100, 1..50)) {
+        let xs: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        let r = ranks(&xs);
+        // Ranks sum to n(n+1)/2 regardless of ties.
+        let n = xs.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        // Order-preserving: xs[i] < xs[j] implies rank[i] < rank[j].
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] < xs[j] {
+                    prop_assert!(r[i] < r[j]);
+                }
+            }
+        }
+    }
+}

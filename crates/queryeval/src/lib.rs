@@ -1,0 +1,26 @@
+//! # queryeval — range-count query workloads and utility metrics
+//!
+//! The paper's utility metric (§5.1): generate 1000 random range-count
+//! queries
+//!
+//! ```sql
+//! SELECT COUNT(*) FROM D WHERE A_1 IN I_1 AND ... AND A_m IN I_m
+//! ```
+//!
+//! answer them on the DP release, and report the average *relative error*
+//! `|A_noisy - A_act| / max(A_act, s)` with a sanity bound `s`, plus the
+//! *absolute error* for sparse regimes.
+//!
+//! * [`query`] — query types and random-workload generation (including the
+//!   fixed-range-volume workloads of Fig 8);
+//! * [`metrics`] — error metrics and their aggregation over runs.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod persist;
+pub mod query;
+
+pub use metrics::{absolute_error, relative_error, ErrorSummary};
+pub use persist::{load_workload, save_workload};
+pub use query::{RangeQuery, Workload};

@@ -1,0 +1,122 @@
+//! Error metrics: the paper's relative error with sanity bound, absolute
+//! error, and per-run aggregation.
+
+/// Relative error of one query (§5.1):
+/// `|A_noisy - A_act| / max(A_act, s)` where `s` is the sanity bound
+/// protecting against division by tiny true answers.
+///
+/// # Panics
+/// Panics when `sanity <= 0` (the bound exists to keep the denominator
+/// positive).
+pub fn relative_error(noisy: f64, actual: f64, sanity: f64) -> f64 {
+    assert!(sanity > 0.0, "sanity bound must be positive");
+    (noisy - actual).abs() / actual.max(sanity)
+}
+
+/// Absolute error of one query: `|A_noisy - A_act|`.
+pub fn absolute_error(noisy: f64, actual: f64) -> f64 {
+    (noisy - actual).abs()
+}
+
+/// Aggregated errors of one (or several averaged) workload runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Mean relative error over the workload.
+    pub mean_relative: f64,
+    /// Mean absolute error over the workload.
+    pub mean_absolute: f64,
+    /// Number of queries aggregated.
+    pub queries: usize,
+}
+
+impl ErrorSummary {
+    /// Computes the summary from paired answers.
+    ///
+    /// # Panics
+    /// Panics when the slices differ in length or are empty, or
+    /// `sanity <= 0`.
+    pub fn from_answers(noisy: &[f64], actual: &[f64], sanity: f64) -> Self {
+        assert_eq!(noisy.len(), actual.len(), "answer vectors must pair up");
+        assert!(!noisy.is_empty(), "no answers to summarise");
+        let n = noisy.len() as f64;
+        let mut rel = 0.0;
+        let mut abs = 0.0;
+        for (&e, &a) in noisy.iter().zip(actual) {
+            rel += relative_error(e, a, sanity);
+            abs += absolute_error(e, a);
+        }
+        Self {
+            mean_relative: rel / n,
+            mean_absolute: abs / n,
+            queries: noisy.len(),
+        }
+    }
+
+    /// Averages summaries across runs (the paper averages 5 runs).
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn average(runs: &[ErrorSummary]) -> Self {
+        assert!(!runs.is_empty(), "no runs to average");
+        let n = runs.len() as f64;
+        Self {
+            mean_relative: runs.iter().map(|r| r.mean_relative).sum::<f64>() / n,
+            mean_absolute: runs.iter().map(|r| r.mean_absolute).sum::<f64>() / n,
+            queries: runs.iter().map(|r| r.queries).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_uses_sanity_bound() {
+        // True answer 0 would divide by zero without the bound.
+        assert_eq!(relative_error(5.0, 0.0, 1.0), 5.0);
+        // Large true answers ignore the bound.
+        assert_eq!(relative_error(90.0, 100.0, 1.0), 0.1);
+        // The bound kicks in below s.
+        assert_eq!(relative_error(4.0, 2.0, 10.0), 0.2);
+    }
+
+    #[test]
+    fn absolute_error_is_symmetric() {
+        assert_eq!(absolute_error(3.0, 5.0), 2.0);
+        assert_eq!(absolute_error(5.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = ErrorSummary::from_answers(&[10.0, 0.0], &[8.0, 4.0], 1.0);
+        // rel: 2/8 + 4/4 = 0.25 + 1.0 => mean 0.625; abs: (2+4)/2 = 3.
+        assert!((s.mean_relative - 0.625).abs() < 1e-12);
+        assert!((s.mean_absolute - 3.0).abs() < 1e-12);
+        assert_eq!(s.queries, 2);
+    }
+
+    #[test]
+    fn averaging_runs() {
+        let a = ErrorSummary {
+            mean_relative: 0.2,
+            mean_absolute: 10.0,
+            queries: 100,
+        };
+        let b = ErrorSummary {
+            mean_relative: 0.4,
+            mean_absolute: 20.0,
+            queries: 100,
+        };
+        let avg = ErrorSummary::average(&[a, b]);
+        assert!((avg.mean_relative - 0.3).abs() < 1e-12);
+        assert!((avg.mean_absolute - 15.0).abs() < 1e-12);
+        assert_eq!(avg.queries, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "sanity bound")]
+    fn rejects_non_positive_sanity() {
+        let _ = relative_error(1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Workload persistence: save/load query batches as CSV so a released
+//! evaluation can be re-answered bit-for-bit outside this process (every
+//! figure's workload in `results/` can be archived alongside its errors).
+//!
+//! Format: header `dims=<m>`, then one row per query with `2m` integers
+//! `lo_1,hi_1,...,lo_m,hi_m`.
+
+use crate::query::{RangeQuery, Workload};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from reading a workload file.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Io(e) => write!(f, "io error: {e}"),
+            WorkloadError::Malformed { line, reason } => {
+                write!(f, "malformed workload at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<io::Error> for WorkloadError {
+    fn from(e: io::Error) -> Self {
+        WorkloadError::Io(e)
+    }
+}
+
+/// Writes the workload to a writer.
+pub fn write_workload<W: Write>(workload: &Workload, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    let dims = workload.queries()[0].dims();
+    writeln!(w, "dims={dims}")?;
+    for q in workload.queries() {
+        let cells: Vec<String> = q
+            .ranges()
+            .iter()
+            .flat_map(|&(lo, hi)| [lo.to_string(), hi.to_string()])
+            .collect();
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    w.flush()
+}
+
+/// Saves the workload to a file path.
+pub fn save_workload(workload: &Workload, path: impl AsRef<Path>) -> io::Result<()> {
+    write_workload(workload, std::fs::File::create(path)?)
+}
+
+/// Reads a workload from a reader.
+pub fn read_workload<R: Read>(r: R) -> Result<Workload, WorkloadError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines.next().ok_or(WorkloadError::Malformed {
+        line: 1,
+        reason: "empty file".into(),
+    })??;
+    let dims: usize = header
+        .strip_prefix("dims=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| WorkloadError::Malformed {
+            line: 1,
+            reason: format!("expected `dims=<m>`, got `{header}`"),
+        })?;
+    if dims == 0 {
+        return Err(WorkloadError::Malformed {
+            line: 1,
+            reason: "dims must be positive".into(),
+        });
+    }
+    let mut queries = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let values: Result<Vec<u32>, _> = line.split(',').map(str::parse).collect();
+        let values = values.map_err(|_| WorkloadError::Malformed {
+            line: i + 2,
+            reason: "non-integer field".into(),
+        })?;
+        if values.len() != 2 * dims {
+            return Err(WorkloadError::Malformed {
+                line: i + 2,
+                reason: format!("expected {} fields, got {}", 2 * dims, values.len()),
+            });
+        }
+        let ranges: Vec<(u32, u32)> = values.chunks(2).map(|c| (c[0], c[1])).collect();
+        if ranges.iter().any(|&(lo, hi)| lo > hi) {
+            return Err(WorkloadError::Malformed {
+                line: i + 2,
+                reason: "inverted range".into(),
+            });
+        }
+        queries.push(RangeQuery::new(ranges));
+    }
+    if queries.is_empty() {
+        return Err(WorkloadError::Malformed {
+            line: 2,
+            reason: "no queries".into(),
+        });
+    }
+    Ok(Workload::new(queries))
+}
+
+/// Loads a workload from a file path.
+pub fn load_workload(path: impl AsRef<Path>) -> Result<Workload, WorkloadError> {
+    read_workload(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Workload::random(&[100, 50, 2], 25, &mut rng);
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        let back = read_workload(&buf[..]).unwrap();
+        assert_eq!(back.len(), 25);
+        for (a, b) in back.queries().iter().zip(w.queries()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn header_format() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = Workload::random(&[10, 10], 3, &mut rng);
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("dims=2\n"));
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_rows() {
+        assert!(matches!(
+            read_workload("nope\n1,2\n".as_bytes()).unwrap_err(),
+            WorkloadError::Malformed { line: 1, .. }
+        ));
+        assert!(matches!(
+            read_workload("dims=2\n1,2,3\n".as_bytes()).unwrap_err(),
+            WorkloadError::Malformed { line: 2, .. }
+        ));
+        assert!(matches!(
+            read_workload("dims=1\n5,2\n".as_bytes()).unwrap_err(),
+            WorkloadError::Malformed { line: 2, .. }
+        ));
+        assert!(matches!(
+            read_workload("dims=1\n".as_bytes()).unwrap_err(),
+            WorkloadError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let w = read_workload("dims=1\n1,5\n\n2,3\n".as_bytes()).unwrap();
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Range-count queries and random workload generation.
+
+use rand::Rng;
+
+/// A conjunctive range-count query: one inclusive interval `[lo, hi]` per
+/// attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeQuery {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl RangeQuery {
+    /// Builds a query from per-dimension inclusive ranges.
+    ///
+    /// # Panics
+    /// Panics when empty or any `lo > hi`.
+    pub fn new(ranges: Vec<(u32, u32)>) -> Self {
+        assert!(!ranges.is_empty(), "query needs at least one dimension");
+        for &(lo, hi) in &ranges {
+            assert!(lo <= hi, "inverted range [{lo}, {hi}]");
+        }
+        Self { ranges }
+    }
+
+    /// The per-dimension ranges.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The number of cells covered (`prod (hi - lo + 1)`), as `f64` to
+    /// survive 8-D x 1000-bin domains.
+    pub fn volume(&self) -> f64 {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| f64::from(hi - lo + 1))
+            .product()
+    }
+
+    /// Counts the records of a columnar dataset inside the query — the
+    /// ground truth `A_act(q)`.
+    pub fn count(&self, columns: &[Vec<u32>]) -> f64 {
+        assert_eq!(columns.len(), self.dims(), "query arity mismatch");
+        let n = columns.first().map_or(0, Vec::len);
+        let mut c = 0usize;
+        'rows: for row in 0..n {
+            for (col, &(lo, hi)) in columns.iter().zip(&self.ranges) {
+                let v = col[row];
+                if v < lo || v > hi {
+                    continue 'rows;
+                }
+            }
+            c += 1;
+        }
+        c as f64
+    }
+
+    /// A uniformly random query: each dimension gets an interval with
+    /// independently uniform endpoints (the paper's random predicate
+    /// covering all attributes).
+    pub fn random<R: Rng + ?Sized>(domains: &[usize], rng: &mut R) -> Self {
+        let ranges = domains
+            .iter()
+            .map(|&d| {
+                let a = rng.gen_range(0..d as u32);
+                let b = rng.gen_range(0..d as u32);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        Self::new(ranges)
+    }
+
+    /// A random query with (approximately) fixed *range volume*: each
+    /// dimension gets an interval of length
+    /// `round(domain * volume_fraction^(1/m))` at a random position, so
+    /// the product of range sizes is the same across queries (Fig 8's
+    /// workload).
+    pub fn random_with_volume<R: Rng + ?Sized>(
+        domains: &[usize],
+        volume_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            volume_fraction > 0.0 && volume_fraction <= 1.0,
+            "volume fraction must be in (0, 1]"
+        );
+        let m = domains.len() as f64;
+        let per_dim = volume_fraction.powf(1.0 / m);
+        let ranges = domains
+            .iter()
+            .map(|&d| {
+                let len = ((d as f64 * per_dim).round() as u32).clamp(1, d as u32);
+                let max_start = d as u32 - len;
+                let start = if max_start == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=max_start)
+                };
+                (start, start + len - 1)
+            })
+            .collect();
+        Self::new(ranges)
+    }
+}
+
+/// A batch of queries with shared bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    queries: Vec<RangeQuery>,
+}
+
+impl Workload {
+    /// Wraps existing queries.
+    pub fn new(queries: Vec<RangeQuery>) -> Self {
+        assert!(!queries.is_empty(), "workload needs queries");
+        Self { queries }
+    }
+
+    /// The paper's default workload: `count` uniformly random queries.
+    pub fn random<R: Rng + ?Sized>(domains: &[usize], count: usize, rng: &mut R) -> Self {
+        Self::new(
+            (0..count)
+                .map(|_| RangeQuery::random(domains, rng))
+                .collect(),
+        )
+    }
+
+    /// Fig 8's workload: `count` queries of fixed range volume.
+    pub fn random_with_volume<R: Rng + ?Sized>(
+        domains: &[usize],
+        volume_fraction: f64,
+        count: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(
+            (0..count)
+                .map(|_| RangeQuery::random_with_volume(domains, volume_fraction, rng))
+                .collect(),
+        )
+    }
+
+    /// The queries.
+    pub fn queries(&self) -> &[RangeQuery] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Ground-truth answers on a dataset.
+    pub fn true_counts(&self, columns: &[Vec<u32>]) -> Vec<f64> {
+        self.queries.iter().map(|q| q.count(columns)).collect()
+    }
+
+    /// Answers from an arbitrary estimator closure.
+    pub fn estimate_with<F: FnMut(&RangeQuery) -> f64>(&self, f: F) -> Vec<f64> {
+        self.queries.iter().map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn count_scans_correctly() {
+        let cols = vec![vec![1u32, 5, 9], vec![2u32, 4, 6]];
+        let q = RangeQuery::new(vec![(0, 5), (3, 6)]);
+        assert_eq!(q.count(&cols), 1.0);
+        let all = RangeQuery::new(vec![(0, 9), (0, 9)]);
+        assert_eq!(all.count(&cols), 3.0);
+    }
+
+    #[test]
+    fn random_queries_stay_in_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let q = RangeQuery::random(&[10, 1000, 2], &mut rng);
+            for (&(lo, hi), &d) in q.ranges().iter().zip(&[10usize, 1000, 2]) {
+                assert!(lo <= hi && (hi as usize) < d);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_volume_queries_have_equal_volume() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let domains = [1000usize, 1000];
+        let w = Workload::random_with_volume(&domains, 0.01, 50, &mut rng);
+        let volumes: Vec<f64> = w.queries().iter().map(RangeQuery::volume).collect();
+        let first = volumes[0];
+        assert!(volumes.iter().all(|&v| (v - first).abs() < 1e-9));
+        // 1% of 10^6 cells = 10^4.
+        assert!((first - 10_000.0).abs() / 10_000.0 < 0.05, "volume {first}");
+    }
+
+    #[test]
+    fn volume_of_unit_query() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = RangeQuery::random_with_volume(&[1000, 1000], 1e-6, &mut rng);
+        assert_eq!(q.volume(), 1.0);
+    }
+
+    #[test]
+    fn workload_true_counts_match_individual_counts() {
+        let cols = vec![vec![0u32, 1, 2, 3, 4]];
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Workload::random(&[5], 20, &mut rng);
+        let counts = w.true_counts(&cols);
+        for (q, &c) in w.queries().iter().zip(&counts) {
+            assert_eq!(q.count(&cols), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted range")]
+    fn rejects_inverted_range() {
+        let _ = RangeQuery::new(vec![(5, 2)]);
+    }
+}

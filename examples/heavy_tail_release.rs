@@ -1,0 +1,78 @@
+//! Heavy-tail release: data whose extremes co-occur (tail dependence)
+//! is poorly served by a Gaussian copula. This example uses the adaptive
+//! synthesizer — DP model selection by AIC between the Gaussian and
+//! Student-t families (the paper's future-work extension) — and shows the
+//! t copula winning on t-generated data.
+//!
+//! ```sh
+//! cargo run -p dpcopula-examples --release --bin heavy_tail_release
+//! ```
+
+use dpcopula::empirical::MarginalDistribution;
+use dpcopula::selection::{synthesize_adaptive, AdaptiveConfig};
+use dpcopula::synthesizer::DpCopulaConfig;
+use dpcopula::tcopula::TCopulaSampler;
+use dpcopula_examples::heading;
+use dpmech::Epsilon;
+use mathkit::correlation::equicorrelation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Joint-extreme co-occurrence rate: fraction of records where both
+/// attributes fall in their own top q-quantile — the observable tail
+/// dependence.
+fn joint_tail_rate(cols: &[Vec<u32>], domain: u32, q: f64) -> f64 {
+    let cut = (f64::from(domain) * (1.0 - q)) as u32;
+    let hits = cols[0]
+        .iter()
+        .zip(&cols[1])
+        .filter(|(&a, &b)| a >= cut && b >= cut)
+        .count();
+    hits as f64 / cols[0].len() as f64
+}
+
+fn main() {
+    heading("generating tail-dependent data (t copula, nu = 3)");
+    let domain = 400u32;
+    let n = 15_000;
+    let margins = vec![
+        MarginalDistribution::from_noisy_histogram(&vec![1.0; domain as usize]),
+        MarginalDistribution::from_noisy_histogram(&vec![1.0; domain as usize]),
+    ];
+    let generator =
+        TCopulaSampler::new(&equicorrelation(2, 0.6), 3.0, margins).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let data = generator.sample_columns(n, &mut rng);
+    let tail_orig = joint_tail_rate(&data, domain, 0.02);
+    println!("records: {n}; joint 2%-tail rate: {tail_orig:.4}");
+    println!("(independence would give 0.0004; the excess is tail dependence)");
+
+    heading("adaptive DP synthesis with AIC family selection (epsilon = 2.0)");
+    let config = AdaptiveConfig::new(DpCopulaConfig::kendall(
+        Epsilon::new(2.0).unwrap(),
+    ));
+    let out = synthesize_adaptive(&config, &data, &[domain as usize; 2], &mut rng)
+        .expect("synthesis failed");
+    for s in &out.scores {
+        println!(
+            "  candidate {:<12} noisy AIC block votes = {:.1}",
+            s.family.to_string(),
+            s.noisy_votes
+        );
+    }
+    println!("selected family: {}", out.family);
+
+    heading("tail fidelity of the release");
+    let tail_synth = joint_tail_rate(&out.synthesis.columns, domain, 0.02);
+    println!("joint 2%-tail rate: original {tail_orig:.4} -> synthetic {tail_synth:.4}");
+
+    // Contrast: a plain Gaussian DPCopula release of the same data.
+    let gauss = dpcopula::DpCopula::new(DpCopulaConfig::kendall(
+        Epsilon::new(2.0).unwrap(),
+    ))
+    .synthesize(&data, &[domain as usize; 2], &mut rng)
+    .expect("synthesis failed");
+    let tail_gauss = joint_tail_rate(&gauss.columns, domain, 0.02);
+    println!("plain Gaussian copula release would give {tail_gauss:.4}");
+    println!("\nthe t copula preserves co-extremes the Gaussian flattens.");
+}

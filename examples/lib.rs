@@ -1,0 +1,12 @@
+//! Shared helpers for the example binaries.
+
+/// Prints a section heading.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a slice of `f64` compactly for console output.
+pub fn fmt_vec(values: &[f64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    format!("[{}]", cells.join(", "))
+}

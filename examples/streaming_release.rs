@@ -1,0 +1,69 @@
+//! Streaming release: synthesize arriving data epoch by epoch with the
+//! evolving synthesizer (the paper's future-work item on dynamically
+//! evolving datasets). Each epoch is a disjoint batch, so the whole
+//! stream costs one per-epoch epsilon by parallel composition; the
+//! correlation estimate is smoothed across epochs for free
+//! (post-processing).
+//!
+//! ```sh
+//! cargo run -p dpcopula-examples --release --bin streaming_release
+//! ```
+
+use datagen::stream::{DriftingStream, RhoSchedule};
+use datagen::synthetic::{MarginKind, SyntheticSpec};
+use dpcopula::evolving::EvolvingSynthesizer;
+use dpcopula::kendall::kendall_tau;
+use dpcopula::synthesizer::DpCopulaConfig;
+use dpcopula_examples::heading;
+use dpmech::Epsilon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let epochs = 6;
+    heading("stream with drifting dependence (rho: 0.2 -> 0.8 over 6 epochs)");
+    let stream = DriftingStream::new(
+        SyntheticSpec {
+            records: 4_000,
+            dims: 2,
+            domain: 256,
+            margin: MarginKind::Gaussian,
+            rho: 0.2,
+            seed: 23,
+        },
+        RhoSchedule::Linear {
+            from: 0.2,
+            to: 0.8,
+            epochs,
+        },
+    );
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+    let mut synthesizer = EvolvingSynthesizer::new(config, 0.4);
+    let mut rng = StdRng::seed_from_u64(23);
+
+    println!(
+        "{:>5} {:>10} {:>12} {:>14} {:>14}",
+        "epoch", "true rho", "epoch tau", "released P01", "synthetic tau"
+    );
+    for (e, batch) in stream.take(epochs).enumerate() {
+        let cols = batch.columns();
+        let tau_in = kendall_tau(&cols[0], &cols[1]);
+        let out = synthesizer
+            .process_epoch(cols, &batch.domains(), &mut rng)
+            .expect("epoch synthesis failed");
+        let tau_out = kendall_tau(&out.columns[0], &out.columns[1]);
+        println!(
+            "{:>5} {:>10.2} {:>12.3} {:>14.3} {:>14.3}",
+            e,
+            0.2 + 0.6 * e as f64 / (epochs - 1) as f64,
+            tau_in,
+            out.correlation[(0, 1)],
+            tau_out
+        );
+    }
+    println!(
+        "\nprocessed {} epochs; each record was touched by exactly one DP run,",
+        synthesizer.epochs()
+    );
+    println!("so the whole stream satisfies the per-epoch epsilon (parallel composition).");
+}

@@ -1,0 +1,78 @@
+//! Workload evaluation: compare a DPCopula release against a PSD release
+//! on the same random range-count workload — the paper's §5 methodology
+//! in miniature, using the public APIs only.
+//!
+//! ```sh
+//! cargo run -p dpcopula-examples --release --bin workload_eval
+//! ```
+
+use datagen::synthetic::{MarginKind, SyntheticSpec};
+use dpcopula::synthesizer::{DpCopula, DpCopulaConfig, MarginMethod};
+use dpcopula_examples::heading;
+use dphist::psd::{Psd, PsdConfig};
+use dphist::RangeCountEstimator;
+use dpmech::Epsilon;
+use queryeval::{ErrorSummary, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 6-D, 1000-bin domains: the sparse regime the paper targets
+    // (domain space 10^18 cells holding only 30 000 records).
+    let data = SyntheticSpec {
+        records: 30_000,
+        dims: 6,
+        domain: 1000,
+        margin: MarginKind::Zipf(1.1),
+        ..Default::default()
+    }
+    .generate();
+    heading("dataset");
+    println!(
+        "records: {}, dims: {}, domain space: {:.1e} cells",
+        data.len(),
+        data.dims(),
+        data.domain_space()
+    );
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let workload = Workload::random(&data.domains(), 500, &mut rng);
+    let truth = workload.true_counts(data.columns());
+
+    for eps in [0.1, 1.0] {
+        heading(&format!("epsilon = {eps}"));
+        let epsilon = Epsilon::new(eps).unwrap();
+
+        // DPCopula release -> answer by counting synthetic records.
+        let config = DpCopulaConfig::kendall(epsilon).with_margin(MarginMethod::Php);
+        let mut rng = StdRng::seed_from_u64(50);
+        let synth = DpCopula::new(config)
+            .synthesize(data.columns(), &data.domains(), &mut rng)
+            .expect("synthesis failed");
+        let answers = workload.estimate_with(|q| q.count(&synth.columns));
+        let dpcopula = ErrorSummary::from_answers(&answers, &truth, 1.0);
+
+        // PSD release -> answer from the noisy KD tree.
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut psd = Psd::publish(
+            data.columns(),
+            &data.domains(),
+            epsilon,
+            PsdConfig::default(),
+            &mut rng,
+        );
+        let answers = workload.estimate_with(|q| psd.range_count(q.ranges()));
+        let psd_summary = ErrorSummary::from_answers(&answers, &truth, 1.0);
+
+        println!(
+            "DPCopula: mean relative error {:.4}, mean absolute error {:.2}",
+            dpcopula.mean_relative, dpcopula.mean_absolute
+        );
+        println!(
+            "PSD:      mean relative error {:.4}, mean absolute error {:.2}",
+            psd_summary.mean_relative, psd_summary.mean_absolute
+        );
+    }
+    println!("\n(the gap in DPCopula's favour grows as epsilon shrinks and");
+    println!(" dimensionality rises — the paper's headline result)");
+}

@@ -1,0 +1,14 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! small utilities (seeded RNG construction, tolerance assertions) reused
+//! across them.
+
+/// Asserts that `a` and `b` differ by at most `tol`, with a readable message.
+pub fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+    assert!(
+        (a - b).abs() <= tol,
+        "{what}: expected {b} +/- {tol}, got {a} (delta {})",
+        (a - b).abs()
+    );
+}
