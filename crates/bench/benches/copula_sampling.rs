@@ -2,12 +2,13 @@
 //! fitted copula (multivariate normal draw + Phi + inverse margins), per
 //! dimensionality.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use testkit::bench::{BenchmarkId, Criterion, Throughput};
+use testkit::{criterion_group, criterion_main};
 use dpcopula::empirical::MarginalDistribution;
 use dpcopula::sampler::CopulaSampler;
 use mathkit::correlation::ar1_correlation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 use std::hint::black_box;
 
 fn bench_sampling(c: &mut Criterion) {

@@ -1,13 +1,14 @@
 //! Microbenchmark: the complete DPCopula pipeline (margins + correlation
 //! + sampling) at 2-D and 8-D, Kendall and MLE flavours.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use datagen::synthetic::{MarginKind, SyntheticSpec};
 use dpcopula::mle::PartitionStrategy;
 use dpcopula::synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig};
 use dpmech::Epsilon;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 use std::hint::black_box;
 
 fn bench_end_to_end(c: &mut Criterion) {

@@ -2,14 +2,15 @@
 //! publication, lazy Privelet+ query answering, FP publication — at the
 //! evaluation's default scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::Criterion;
+use testkit::{criterion_group, criterion_main};
 use dphist::fp::FpSummary;
 use dphist::privelet::PriveletPlus;
 use dphist::psd::{Psd, PsdConfig};
 use dphist::RangeCountEstimator;
 use dpmech::Epsilon;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rngkit::rngs::StdRng;
+use rngkit::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn data(n: usize, m: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {

@@ -2,11 +2,12 @@
 //! quadratic reference, plus the DP release. Backs the paper's
 //! "fast Kendall's tau computation" complexity claim (§4.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use dpcopula::kendall::{dp_kendall_tau, kendall_tau, kendall_tau_naive};
 use dpmech::Epsilon;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rngkit::rngs::StdRng;
+use rngkit::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn columns(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
@@ -14,7 +15,7 @@ fn columns(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
     let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
     let y: Vec<u32> = x
         .iter()
-        .map(|&v| (v + rng.gen_range(0..200)) % 1000)
+        .map(|&v| (v + rng.gen_range(0u32..200)) % 1000)
         .collect();
     (x, y)
 }

@@ -2,15 +2,16 @@
 //! Privelet, P-HP) on Gaussian-shaped margins — the per-attribute cost of
 //! DPCopula's step 1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use dphist::efpa::Efpa;
 use dphist::identity::Identity;
 use dphist::php::Php;
 use dphist::privelet::Privelet1d;
 use dphist::Publish1d;
 use dpmech::Epsilon;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 use std::hint::black_box;
 
 fn margin(bins: usize) -> Vec<f64> {
@@ -21,7 +22,7 @@ fn margin(bins: usize) -> Vec<f64> {
 }
 
 fn bench_one<P: Publish1d>(
-    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    g: &mut testkit::bench::BenchmarkGroup<'_>,
     name: &str,
     publisher: &P,
     counts: &[f64],

@@ -22,8 +22,8 @@ use mathkit::cholesky::is_positive_definite;
 use mathkit::correlation::clamp_to_correlation;
 use mathkit::Matrix;
 use queryeval::{ErrorSummary, Workload};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// Margin-method ablation on the simulated US census.
 pub fn run_ablation_margins(params: &ExperimentParams) -> Vec<Table> {

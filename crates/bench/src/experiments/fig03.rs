@@ -14,8 +14,8 @@ use mathkit::correlation::equicorrelation;
 use mathkit::dist::{Continuous, Exponential, Gamma, MultivariateNormal, StudentT, Uniform};
 use mathkit::special::norm_cdf;
 use mathkit::stats::{pearson, ranks};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// The shared Gaussian-dependence correlation of Figure 3.
 pub const FIG03_RHO: f64 = 0.7;

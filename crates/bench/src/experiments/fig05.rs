@@ -11,8 +11,8 @@ use crate::report::{fmt, Table};
 use crate::runner::evaluate;
 use datagen::synthetic::{MarginKind, SyntheticSpec};
 use queryeval::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// The swept `k` values.
 pub const K_VALUES: [f64; 11] = [

@@ -16,8 +16,8 @@ use crate::report::{fmt, Table};
 use crate::runner::evaluate_timed;
 use datagen::synthetic::{MarginKind, SyntheticSpec};
 use queryeval::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// Records for this figure: the paper's 10^6 (QUICK mode: 10^5).
 pub fn fig06_records() -> usize {

@@ -18,8 +18,8 @@ use crate::report::{fmt, Table};
 use crate::runner::evaluate;
 use datagen::census::{brazil_census, us_census, BRAZIL_CENSUS_RECORDS, US_CENSUS_RECORDS};
 use queryeval::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// The swept privacy budgets.
 pub const EPSILONS: [f64; 4] = [0.1, 0.25, 0.5, 1.0];

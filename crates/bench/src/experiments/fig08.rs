@@ -12,8 +12,8 @@ use crate::report::{fmt, Table};
 use crate::runner::evaluate;
 use datagen::synthetic::{MarginKind, SyntheticSpec};
 use queryeval::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// Swept range volumes as fractions of the full (10^6-cell) domain.
 pub const VOLUME_FRACTIONS: [f64; 6] = [1e-6, 1e-4, 1e-3, 1e-2, 0.05, 0.25];

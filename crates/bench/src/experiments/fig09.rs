@@ -12,8 +12,8 @@ use crate::report::{fmt, Table};
 use crate::runner::evaluate;
 use datagen::synthetic::{MarginKind, SyntheticSpec};
 use queryeval::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// The swept privacy budgets.
 pub const EPSILONS: [f64; 3] = [0.1, 0.5, 1.0];

@@ -17,8 +17,8 @@ use crate::runner::evaluate_timed;
 use datagen::census::us_census;
 use datagen::synthetic::{MarginKind, SyntheticSpec};
 use queryeval::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// Cardinalities swept in panel (a).
 pub const CARDINALITIES: [usize; 5] = [25_000, 50_000, 100_000, 200_000, 400_000];

@@ -13,8 +13,8 @@ use dphist::psd::{Psd, PsdConfig};
 use dphist::{Publish1d, RangeCountEstimator};
 use dpmech::Epsilon;
 use queryeval::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// The compared methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,6 +1,6 @@
 //! Run-averaged evaluation of a method over a workload (the paper
 //! averages 5 runs of 1000 queries), with optional wall-clock timing for
-//! the scalability figures. Independent runs execute on scoped threads.
+//! the scalability figures. Independent runs execute on `std::thread::scope` worker threads.
 
 use crate::methods::Method;
 use queryeval::{ErrorSummary, Workload};
@@ -47,8 +47,8 @@ pub fn evaluate(
     } else {
         let mid = runs / 2;
         let (front, back) = seeds.split_at(mid);
-        crossbeam::thread::scope(|scope| {
-            let handle = scope.spawn(|_| {
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
                 front.iter().map(|&s| run_one(s)).collect::<Vec<_>>()
             });
             let mut out: Vec<(ErrorSummary, Duration)> =
@@ -57,7 +57,6 @@ pub fn evaluate(
             first.append(&mut out);
             first
         })
-        .expect("crossbeam scope failed")
     };
 
     let summaries: Vec<ErrorSummary> = results.iter().map(|(s, _)| *s).collect();
@@ -110,8 +109,8 @@ pub fn evaluate_timed(
 mod tests {
     use super::*;
     use datagen::synthetic::SyntheticSpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn evaluate_averages_runs() {

@@ -126,8 +126,8 @@ mod tests {
     fn pairwise_likelihood_peaks_near_true_correlation() {
         // Synthetic scores with known correlation 0.5.
         use mathkit::dist::MultivariateNormal;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use rngkit::rngs::StdRng;
+        use rngkit::SeedableRng;
         let mvn = MultivariateNormal::new(&equicorrelation(2, 0.5)).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let cols = mvn.sample_columns(&mut rng, 5_000);

@@ -18,7 +18,7 @@
 use crate::error::{validate_columns, DpCopulaError};
 use crate::synthesizer::{DpCopula, DpCopulaConfig};
 use dpmech::{laplace_noise, Epsilon};
-use rand::Rng;
+use rngkit::Rng;
 use std::collections::HashMap;
 
 /// Domain-size threshold below which an attribute is "small" (the paper
@@ -261,8 +261,8 @@ fn build_keys(
 mod tests {
     use super::*;
     use dpmech::Epsilon;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     /// Data with one binary attribute and two large attributes whose
     /// distribution depends on the binary one.

@@ -6,8 +6,8 @@
 use dpmech::{laplace_noise, Epsilon};
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::Matrix;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use rngkit::seq::SliceRandom;
+use rngkit::Rng;
 
 /// Sample Kendall's tau (the `tau_a` of Definition 3.5: tied pairs
 /// contribute zero) in O(n log n) via Knight's algorithm.
@@ -230,8 +230,8 @@ pub fn dp_correlation_matrix<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use mathkit::cholesky::is_positive_definite;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn perfect_concordance_and_discordance() {
@@ -313,7 +313,7 @@ mod tests {
         let cols: Vec<Vec<u32>> = (0..3)
             .map(|j| {
                 base.iter()
-                    .map(|&v| (v + rng.gen_range(0..100) + j) % 1000)
+                    .map(|&v| (v + rng.gen_range(0u32..100) + j) % 1000)
                     .collect()
             })
             .collect();

@@ -25,12 +25,12 @@
 //! ```
 //! use dpcopula::synthesizer::{DpCopula, DpCopulaConfig};
 //! use dpmech::Epsilon;
-//! use rand::SeedableRng;
+//! use rngkit::SeedableRng;
 //!
 //! // A toy 2-attribute dataset on domains 50 x 50.
 //! let col_a: Vec<u32> = (0..500).map(|i| i % 50).collect();
 //! let col_b: Vec<u32> = col_a.iter().map(|&v| (v * 7 % 50)).collect();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = rngkit::rngs::StdRng::seed_from_u64(1);
 //!
 //! let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
 //! let synth = DpCopula::new(config)

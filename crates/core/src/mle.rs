@@ -16,7 +16,7 @@ use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::special::norm_quantile;
 use mathkit::stats::pearson;
 use mathkit::Matrix;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Diameter of the correlation-coefficient parameter space `[-1, 1]`.
 pub const COEFFICIENT_DIAMETER: f64 = 2.0;
@@ -194,8 +194,8 @@ mod tests {
     use mathkit::cholesky::is_positive_definite;
     use mathkit::correlation::equicorrelation;
     use mathkit::dist::MultivariateNormal;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     fn correlated_columns(rho: f64, m: usize, n: usize, seed: u64) -> Vec<Vec<u32>> {
         let mvn = MultivariateNormal::new(&equicorrelation(m, rho)).unwrap();

@@ -11,7 +11,7 @@ use mathkit::cholesky::CholeskyError;
 use mathkit::dist::MultivariateNormal;
 use mathkit::special::norm_cdf;
 use mathkit::Matrix;
-use rand::Rng;
+use rngkit::Rng;
 
 /// A ready-to-sample DP copula model: DP correlation matrix plus DP
 /// marginal distributions.
@@ -85,8 +85,8 @@ mod tests {
     use super::*;
     use crate::kendall::kendall_tau;
     use mathkit::correlation::equicorrelation;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     fn uniform_margin(domain: usize) -> MarginalDistribution {
         MarginalDistribution::from_noisy_histogram(&vec![1.0; domain])

@@ -34,7 +34,7 @@ use mathkit::dist::Continuous as _;
 use mathkit::special::norm_quantile;
 use mathkit::stats::pearson;
 use mathkit::Matrix;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Clamp applied to per-record log-densities so the AIC release has
 /// bounded sensitivity.
@@ -364,8 +364,8 @@ mod tests {
     use super::*;
     use crate::empirical::MarginalDistribution;
     use mathkit::correlation::equicorrelation;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     fn uniform_margin(domain: usize) -> MarginalDistribution {
         MarginalDistribution::from_noisy_histogram(&vec![1.0; domain])

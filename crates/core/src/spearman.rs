@@ -28,7 +28,7 @@ use dpmech::{laplace_noise, Epsilon};
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::stats::ranks;
 use mathkit::Matrix;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Sample Spearman rank correlation (mid-ranks for ties).
 ///
@@ -98,8 +98,8 @@ mod tests {
     use super::*;
     use crate::kendall::kendall_sensitivity;
     use mathkit::cholesky::is_positive_definite;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn perfect_monotone_relations() {
@@ -138,7 +138,7 @@ mod tests {
         // Add one record to random datasets and check |delta rho_s| stays
         // under the 30/(n-1) bound.
         let mut rng = StdRng::seed_from_u64(1);
-        use rand::Rng as _;
+        use rngkit::Rng as _;
         for _ in 0..200 {
             let n = rng.gen_range(3..60);
             let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..20)).collect();
@@ -176,12 +176,12 @@ mod tests {
     #[test]
     fn spearman_matrix_is_valid_correlation() {
         let mut rng = StdRng::seed_from_u64(3);
-        use rand::Rng as _;
+        use rngkit::Rng as _;
         let base: Vec<u32> = (0..5_000).map(|_| rng.gen_range(0..500)).collect();
         let cols: Vec<Vec<u32>> = (0..3)
             .map(|j| {
                 base.iter()
-                    .map(|&v| (v + rng.gen_range(0..80) + j) % 500)
+                    .map(|&v| (v + rng.gen_range(0u32..80) + j) % 500)
                     .collect()
             })
             .collect();

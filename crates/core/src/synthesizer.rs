@@ -30,7 +30,7 @@ use dphist::structurefirst::StructureFirst;
 use dphist::Publish1d;
 use dpmech::{BudgetAccountant, Epsilon};
 use mathkit::Matrix;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Which algorithm estimates the DP correlation matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -265,8 +265,8 @@ mod tests {
     use crate::kendall::kendall_tau;
     use mathkit::correlation::equicorrelation;
     use mathkit::dist::MultivariateNormal;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     /// Gaussian-dependence data with uniform-ish margins on `0..domain`.
     fn test_data(rho: f64, m: usize, n: usize, domain: usize, seed: u64) -> Vec<Vec<u32>> {

@@ -27,7 +27,7 @@ use mathkit::cholesky::{log_det_spd, solve_spd, CholeskyError};
 use mathkit::dist::{Continuous, Gamma, MultivariateNormal, StudentT};
 use mathkit::special::ln_gamma;
 use mathkit::Matrix;
-use rand::Rng;
+use rngkit::Rng;
 
 /// A Student-t copula with correlation matrix `P` and `nu` degrees of
 /// freedom.
@@ -277,8 +277,8 @@ mod tests {
     use super::*;
     use crate::kendall::kendall_tau;
     use mathkit::correlation::equicorrelation;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     fn uniform_margin(domain: usize) -> MarginalDistribution {
         MarginalDistribution::from_noisy_histogram(&vec![1.0; domain])

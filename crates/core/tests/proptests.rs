@@ -8,14 +8,14 @@ use dpcopula::sampler::CopulaSampler;
 use dpcopula::synthesizer::{DpCopula, DpCopulaConfig};
 use dpmech::Epsilon;
 use mathkit::correlation::{clamp_to_correlation, correlation_from_upper_triangle, repair_positive_definite};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
+use testkit::prop::vec;
+use testkit::{prop_assert, prop_assert_eq, property_tests};
 
-proptest! {
-    #[test]
+property_tests! {
     fn kendall_fast_equals_naive(
-        pairs in prop::collection::vec((0u32..20, 0u32..20), 2..120),
+        pairs in vec((0u32..20, 0u32..20), 2..120),
     ) {
         let x: Vec<u32> = pairs.iter().map(|&(a, _)| a).collect();
         let y: Vec<u32> = pairs.iter().map(|&(_, b)| b).collect();
@@ -24,9 +24,8 @@ proptest! {
         prop_assert!((fast - slow).abs() < 1e-12, "fast {fast} slow {slow}");
     }
 
-    #[test]
     fn kendall_is_within_unit_interval(
-        pairs in prop::collection::vec((0u32..1000, 0u32..1000), 2..200),
+        pairs in vec((0u32..1000, 0u32..1000), 2..200),
     ) {
         let x: Vec<u32> = pairs.iter().map(|&(a, _)| a).collect();
         let y: Vec<u32> = pairs.iter().map(|&(_, b)| b).collect();
@@ -37,9 +36,8 @@ proptest! {
     /// Lemma 4.1: adding one record changes tau by at most 4/(n+1).
     /// (Empirical spot-check of the proof, on the *larger* dataset's n as
     /// the bound is stated for the neighbouring pair.)
-    #[test]
     fn kendall_sensitivity_bound_holds(
-        pairs in prop::collection::vec((0u32..15, 0u32..15), 3..60),
+        pairs in vec((0u32..15, 0u32..15), 3..60),
         extra in (0u32..15, 0u32..15),
     ) {
         let x: Vec<u32> = pairs.iter().map(|&(a, _)| a).collect();
@@ -59,9 +57,8 @@ proptest! {
         );
     }
 
-    #[test]
     fn pseudo_copula_stays_in_open_unit_interval(
-        values in prop::collection::vec(0u32..10_000, 1..200),
+        values in vec(0u32..10_000, 1..200),
     ) {
         let u = pseudo_copula_column(&values);
         prop_assert!(u.iter().all(|&v| v > 0.0 && v < 1.0));
@@ -75,9 +72,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn marginal_distribution_invariants(
-        counts in prop::collection::vec(-50.0f64..500.0, 1..100),
+        counts in vec(-50.0f64..500.0, 1..100),
         p in 0.0f64..1.0,
     ) {
         let m = MarginalDistribution::from_noisy_histogram(&counts);
@@ -95,12 +91,8 @@ proptest! {
         prop_assert!((k as usize) < m.domain());
     }
 
-    #[test]
     fn sampler_respects_domains_for_arbitrary_margins(
-        hists in prop::collection::vec(
-            prop::collection::vec(0.0f64..100.0, 1..30),
-            2..4,
-        ),
+        hists in vec(vec(0.0f64..100.0, 1..30), 2..4),
         rho in -0.9f64..0.9,
         seed in 0u64..100,
     ) {
@@ -122,7 +114,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn synthesizer_output_contract(
         n in 20usize..200,
         domain in 12usize..64,

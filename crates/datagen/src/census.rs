@@ -14,8 +14,8 @@ use crate::dataset::{Attribute, Dataset};
 use crate::margin::TableMargin;
 use mathkit::correlation::{correlation_from_upper_triangle, repair_positive_definite};
 use mathkit::dist::MultivariateNormal;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// Number of records in the paper's Brazil census extract.
 pub const BRAZIL_CENSUS_RECORDS: usize = 188_846;

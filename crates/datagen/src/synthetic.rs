@@ -11,8 +11,8 @@ use crate::margin::TableMargin;
 use mathkit::correlation::ar1_correlation;
 use mathkit::dist::MultivariateNormal;
 use mathkit::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// Marginal family for synthetic data (Fig 9).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -21,7 +21,7 @@
 use crate::{DimRange, RangeCountEstimator};
 use dpmech::{laplace_noise, Epsilon};
 use mathkit::hadamard::{fwht, ifwht};
-use rand::Rng;
+use rngkit::Rng;
 
 /// Maximum number of binary attributes (2^20 cells ~ 8 MB).
 pub const MAX_BINARY_ATTRIBUTES: usize = 20;
@@ -147,12 +147,12 @@ impl RangeCountEstimator for BarakTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     fn binary_data(n: usize, seed: u64) -> Vec<Vec<u32>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        use rand::Rng as _;
+        use rngkit::Rng as _;
         let a: Vec<u32> = (0..n).map(|_| u32::from(rng.gen_bool(0.3))).collect();
         // b correlated with a.
         let b: Vec<u32> = a

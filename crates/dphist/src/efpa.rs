@@ -15,7 +15,7 @@
 use crate::Publish1d;
 use dpmech::{exponential_mechanism, laplace_noise, Epsilon};
 use mathkit::fft::{fft_real, ifft_real, Complex};
-use rand::Rng;
+use rngkit::Rng;
 
 /// EFPA publication algorithm.
 #[derive(Debug, Clone, Copy, Default)]
@@ -124,8 +124,8 @@ impl Publish1d for Efpa {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     fn smooth_hist(a: usize, n: f64) -> Vec<f64> {
         // A smooth unimodal histogram — the regime where EFPA shines.
@@ -165,7 +165,7 @@ mod tests {
         let eps = Epsilon::new(0.05).unwrap();
         let mut efpa_err = 0.0;
         let mut id_err = 0.0;
-        for _ in 0..5 {
+        for _ in 0..50 {
             let e = Efpa.publish(&h, eps, &mut rng);
             efpa_err += e
                 .iter()

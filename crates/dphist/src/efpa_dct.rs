@@ -17,7 +17,7 @@
 use crate::Publish1d;
 use dpmech::{exponential_mechanism, laplace_noise, Epsilon};
 use mathkit::dct::{dct2, dct3};
-use rand::Rng;
+use rngkit::Rng;
 
 /// EFPA over the DCT-II basis.
 #[derive(Debug, Clone, Copy, Default)]
@@ -83,8 +83,8 @@ mod tests {
     use super::*;
     use crate::efpa::Efpa;
     use crate::histogram::Histogram1D;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     /// A skewed, monotone-ish margin (income-like) — the case that
     /// motivates the DCT variant.
@@ -130,7 +130,7 @@ mod tests {
 
     #[test]
     fn beats_dft_efpa_on_skewed_margin_for_range_queries() {
-        use rand::Rng as _;
+        use rngkit::Rng as _;
         let h = skewed(512, 100_000.0);
         let hist = Histogram1D::from_counts(h.clone());
         let eps = Epsilon::new(0.05).unwrap();

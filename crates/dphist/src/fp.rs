@@ -22,7 +22,7 @@
 
 use crate::{DimRange, RangeCountEstimator};
 use dpmech::{laplace_noise, Epsilon};
-use rand::Rng;
+use rngkit::Rng;
 use std::collections::HashMap;
 
 /// A published FP summary.
@@ -170,8 +170,8 @@ impl RangeCountEstimator for FpSummary {
 mod tests {
     use super::*;
     use crate::histogram::scan_range_count;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     fn sparse_data(n: usize, seed: u64) -> Vec<Vec<u32>> {
         let mut rng = StdRng::seed_from_u64(seed);

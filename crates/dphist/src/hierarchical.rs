@@ -14,7 +14,7 @@
 use crate::Publish1d;
 use dpmech::{laplace_noise, Epsilon};
 use mathkit::wavelet::pad_to_pow2;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Hay's hierarchical method (binary fan-out).
 #[derive(Debug, Clone, Copy, Default)]
@@ -104,8 +104,8 @@ mod tests {
     use super::*;
     use crate::histogram::Histogram1D;
     use crate::identity::Identity;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn leaf_counts() {

@@ -9,7 +9,7 @@
 use crate::histogram::HistogramNd;
 use crate::{DimRange, Publish1d, RangeCountEstimator};
 use dpmech::{Epsilon, LaplaceMechanism};
-use rand::Rng;
+use rngkit::Rng;
 
 /// The Laplace-per-bin baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -70,8 +70,8 @@ impl RangeCountEstimator for NoisyGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn preserves_length_and_roughly_counts() {

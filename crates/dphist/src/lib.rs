@@ -46,7 +46,7 @@ pub mod structurefirst;
 pub use histogram::{Histogram1D, HistogramNd};
 
 use dpmech::Epsilon;
-use rand::Rng;
+use rngkit::Rng;
 
 /// A 1-D DP histogram publication algorithm: consumes exact counts, spends
 /// `epsilon`, returns noisy counts of the same length.

@@ -19,7 +19,7 @@
 
 use crate::Publish1d;
 use dpmech::{laplace_noise, Epsilon};
-use rand::Rng;
+use rngkit::Rng;
 
 /// NoiseFirst publication algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -166,8 +166,8 @@ impl Publish1d for NoiseFirst {
 mod tests {
     use super::*;
     use crate::identity::Identity;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn output_length_and_degenerate_inputs() {

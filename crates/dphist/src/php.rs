@@ -22,7 +22,7 @@
 
 use crate::Publish1d;
 use dpmech::{exponential_mechanism, laplace_noise, Epsilon};
-use rand::Rng;
+use rngkit::Rng;
 
 /// Tuning parameters for [`Php`].
 #[derive(Debug, Clone, Copy)]
@@ -180,8 +180,8 @@ fn private_bisection<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn prefix_sums_are_consistent() {

@@ -112,8 +112,8 @@ impl RangeCountEstimator for PrefixGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rngkit::rngs::StdRng;
+    use rngkit::{Rng, SeedableRng};
 
     #[test]
     fn matches_direct_range_sum_1d() {

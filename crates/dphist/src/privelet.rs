@@ -26,7 +26,7 @@ use crate::histogram::scan_range_count;
 use crate::{DimRange, Publish1d, RangeCountEstimator};
 use dpmech::{laplace_noise, Epsilon};
 use mathkit::wavelet::{haar_forward, haar_inverse, pad_to_pow2};
-use rand::Rng;
+use rngkit::Rng;
 
 /// Materialised 1-D Privelet.
 #[derive(Debug, Clone, Copy, Default)]
@@ -303,8 +303,8 @@ impl RangeCountEstimator for PriveletPlus {
 mod tests {
     use super::*;
     use crate::histogram::Histogram1D;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn weights_follow_levels() {

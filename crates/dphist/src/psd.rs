@@ -15,7 +15,7 @@
 
 use crate::{DimRange, RangeCountEstimator};
 use dpmech::{exponential_mechanism, laplace_noise, Epsilon};
-use rand::Rng;
+use rngkit::Rng;
 
 /// Tuning parameters for [`Psd`].
 #[derive(Debug, Clone, Copy)]
@@ -268,13 +268,13 @@ impl RangeCountEstimator for Psd {
 mod tests {
     use super::*;
     use crate::histogram::scan_range_count;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     fn grid_data(n: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {
         // Two clustered columns.
         let mut rng = StdRng::seed_from_u64(seed);
-        use rand::Rng as _;
+        use rngkit::Rng as _;
         let c0: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain / 4)).collect();
         let c1: Vec<u32> = (0..n)
             .map(|_| rng.gen_range(3 * domain / 4..domain))
@@ -353,7 +353,7 @@ mod tests {
     fn works_in_higher_dimensions() {
         // The whole point of PSD in the paper: it scales past 2-D.
         let mut rng = StdRng::seed_from_u64(8);
-        use rand::Rng as _;
+        use rngkit::Rng as _;
         let n = 3_000;
         let cols: Vec<Vec<u32>> = (0..6)
             .map(|_| (0..n).map(|_| rng.gen_range(0..1000u32)).collect())

@@ -15,7 +15,7 @@
 
 use crate::Publish1d;
 use dpmech::{exponential_mechanism, laplace_noise, Epsilon};
-use rand::Rng;
+use rngkit::Rng;
 
 /// StructureFirst publication algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -149,8 +149,8 @@ impl Publish1d for StructureFirst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn output_length_and_degenerate_inputs() {

@@ -9,26 +9,23 @@ use dphist::prefix::PrefixGrid;
 use dphist::privelet::{Privelet1d, PriveletPlus};
 use dphist::{DimRange, Publish1d, RangeCountEstimator};
 use dpmech::Epsilon;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
+use testkit::prop::{just, vec, Gen, IntoGen};
+use testkit::{prop_assert, prop_assert_eq, property_tests};
 
 /// A small random dataset: up to 3 dimensions, domains up to 16.
-fn dataset() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<usize>)> {
-    (1usize..4, 2usize..17, 1usize..60).prop_flat_map(|(dims, domain, n)| {
-        (
-            prop::collection::vec(
-                prop::collection::vec(0u32..domain as u32, n),
-                dims,
-            ),
-            Just(vec![domain; dims]),
-        )
-    })
+fn dataset() -> Gen<(Vec<Vec<u32>>, Vec<usize>)> {
+    (1usize..4, 2usize..17, 1usize..60)
+        .into_gen()
+        .flat_map(|(dims, domain, n)| {
+            (vec(vec(0u32..domain as u32, n), dims), just(vec![domain; dims])).into_gen()
+        })
 }
 
 /// A random query over the given domains.
 fn query_for(domains: &[usize], seed: u64) -> Vec<DimRange> {
-    use rand::Rng;
+    use rngkit::Rng;
     let mut rng = StdRng::seed_from_u64(seed);
     domains
         .iter()
@@ -40,15 +37,13 @@ fn query_for(domains: &[usize], seed: u64) -> Vec<DimRange> {
         .collect()
 }
 
-proptest! {
-    #[test]
+property_tests! {
     fn histogram_range_sum_matches_scan((cols, domains) in dataset(), qseed in 0u64..500) {
         let h = HistogramNd::from_columns(&cols, &domains);
         let q = query_for(&domains, qseed);
         prop_assert!((h.range_sum(&q) - scan_range_count(&cols, &q)).abs() < 1e-9);
     }
 
-    #[test]
     fn prefix_grid_matches_histogram((cols, domains) in dataset(), qseed in 0u64..500) {
         let h = HistogramNd::from_columns(&cols, &domains);
         let p = PrefixGrid::from_histogram(&h);
@@ -56,7 +51,6 @@ proptest! {
         prop_assert!((p.range_sum(&q) - h.range_sum(&q)).abs() < 1e-9);
     }
 
-    #[test]
     fn marginals_sum_to_total((cols, domains) in dataset()) {
         let h = HistogramNd::from_columns(&cols, &domains);
         for dim in 0..domains.len() {
@@ -65,9 +59,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn publishers_preserve_length(
-        counts in prop::collection::vec(0.0f64..500.0, 1..200),
+        counts in vec(0.0f64..500.0, 1..200),
         seed in 0u64..100,
     ) {
         let eps = Epsilon::new(1.0).unwrap();
@@ -77,7 +70,6 @@ proptest! {
         prop_assert_eq!(Php::default().publish(&counts, eps, &mut rng).len(), counts.len());
     }
 
-    #[test]
     fn lazy_privelet_with_huge_budget_matches_truth(
         (cols, domains) in dataset(),
         qseed in 0u64..200,
@@ -98,7 +90,6 @@ proptest! {
         );
     }
 
-    #[test]
     fn lazy_privelet_is_deterministic_per_release(
         (cols, domains) in dataset(),
         qseed in 0u64..200,
@@ -109,9 +100,8 @@ proptest! {
         prop_assert_eq!(p1.range_count(&q), p2.range_count(&q));
     }
 
-    #[test]
     fn histogram_1d_range_sums_are_additive(
-        values in prop::collection::vec(0u32..32, 1..100),
+        values in vec(0u32..32, 1..100),
         split in 0u32..31,
     ) {
         let h = Histogram1D::from_values(&values, 32);

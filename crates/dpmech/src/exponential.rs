@@ -7,7 +7,7 @@
 //! points).
 
 use crate::budget::Epsilon;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Samples an index from `scores` under the exponential mechanism.
 ///
@@ -50,8 +50,8 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn prefers_high_scores() {

@@ -8,7 +8,7 @@
 //! either.
 
 use crate::budget::Epsilon;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Two-sided geometric mechanism for integer counts.
 #[derive(Debug, Clone, Copy)]
@@ -63,8 +63,8 @@ fn one_sided_geometric<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn noise_is_symmetric_and_centered() {

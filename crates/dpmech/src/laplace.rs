@@ -6,7 +6,7 @@
 //! distribution and a convenience mechanism wrapper.
 
 use crate::budget::Epsilon;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Laplace distribution with location `mu` and scale `b` (variance
 /// `2 b^2`).
@@ -129,8 +129,8 @@ impl LaplaceMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn laplace_validation() {

@@ -15,7 +15,7 @@
 //! * [`geometric`] — the two-sided geometric ("discrete Laplace")
 //!   mechanism, an integer-valued alternative for count queries.
 //!
-//! All mechanisms are generic over `rand::Rng` so experiments can be made
+//! All mechanisms are generic over `rngkit::Rng` so experiments can be made
 //! deterministic with a seeded generator.
 
 #![warn(missing_docs)]

@@ -3,7 +3,7 @@
 
 use super::{quantile_by_bisection, Continuous};
 use crate::special::ln_gamma;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Gamma distribution with shape `k` and scale `theta` (mean `k * theta`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,8 +147,8 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn rejects_bad_parameters() {

@@ -2,7 +2,7 @@
 
 use super::Continuous;
 use crate::special::{norm_cdf, norm_quantile, FRAC_1_SQRT_2PI};
-use rand::Rng;
+use rngkit::Rng;
 
 /// Normal distribution `N(mean, sd^2)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,8 +71,8 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn rejects_bad_parameters() {

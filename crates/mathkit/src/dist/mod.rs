@@ -30,7 +30,7 @@ pub use student_t::StudentT;
 pub use uniform::Uniform;
 pub use zipf::Zipf;
 
-use rand::Rng;
+use rngkit::Rng;
 
 /// A univariate continuous distribution.
 pub trait Continuous {
@@ -76,8 +76,8 @@ pub(crate) fn quantile_by_bisection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn default_sampling_respects_distribution_mean() {

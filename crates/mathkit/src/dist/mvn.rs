@@ -4,7 +4,7 @@
 use super::gaussian::standard_normal;
 use crate::cholesky::{cholesky, CholeskyError};
 use crate::matrix::Matrix;
-use rand::Rng;
+use rngkit::Rng;
 
 /// A zero-mean multivariate normal with correlation (or covariance)
 /// matrix `P`, sampled as `x = L g` where `P = L L^T`.
@@ -79,8 +79,8 @@ mod tests {
     use super::*;
     use crate::correlation::equicorrelation;
     use crate::stats::pearson;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn rejects_indefinite_matrix() {

@@ -3,7 +3,7 @@
 
 use super::{gamma::Gamma, gaussian::standard_normal, quantile_by_bisection, Continuous};
 use crate::special::ln_gamma;
-use rand::Rng;
+use rngkit::Rng;
 
 /// Student's t distribution with `nu` degrees of freedom.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,8 +147,8 @@ fn betacf(a: f64, b: f64, x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn rejects_bad_df() {

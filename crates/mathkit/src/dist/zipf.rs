@@ -6,7 +6,7 @@
 //! (domains are at most a few thousand bins in the evaluation) so sampling
 //! and quantiles are exact.
 
-use rand::Rng;
+use rngkit::Rng;
 
 /// Zipf distribution on `{0, ..., n-1}` with `P(k) ~ 1 / (k+1)^s`.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,8 +85,8 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn rejects_bad_parameters() {

@@ -1,0 +1,114 @@
+//! Golden-value tests for the special functions: hard-coded
+//! double-precision references (cross-checked against an independent
+//! libm implementation) pin `erf`, `norm_cdf`, `norm_quantile` and
+//! `ln_gamma` to 1e-12. These guard the numerical substrate against
+//! regressions that property tests (which only check identities) would
+//! miss.
+
+use mathkit::special::{erf, ln_gamma, norm_cdf, norm_quantile};
+
+fn assert_close(name: &str, x: f64, got: f64, want: f64, tol: f64) {
+    let err = (got - want).abs();
+    assert!(
+        err <= tol,
+        "{name}({x}) = {got:?}, want {want:?} (|err| = {err:e} > {tol:e})"
+    );
+}
+
+#[test]
+fn erf_matches_references() {
+    // (x, erf(x)) — IEEE-754 double references.
+    let refs = [
+        (-3.0, -0.9999779095030014),
+        (-2.0, -0.9953222650189527),
+        (-1.5, -0.9661051464753108),
+        (-1.0, -0.8427007929497149),
+        (-0.5, -0.5204998778130465),
+        (-0.1, -0.1124629160182849),
+        (0.0, 0.0),
+        (0.1, 0.1124629160182849),
+        (0.5, 0.5204998778130465),
+        (1.0, 0.8427007929497149),
+        (1.5, 0.9661051464753108),
+        (2.0, 0.9953222650189527),
+        (3.0, 0.9999779095030014),
+        (5.0, 0.9999999999984626),
+    ];
+    for (x, want) in refs {
+        assert_close("erf", x, erf(x), want, 1e-12);
+    }
+}
+
+#[test]
+fn norm_cdf_matches_references() {
+    // (x, Phi(x)) — standard normal CDF, double references.
+    let refs = [
+        (-3.0, 0.0013498980316300957),
+        (-2.0, 0.02275013194817922),
+        (-1.5, 0.06680720126885809),
+        (-1.0, 0.15865525393145707),
+        (-0.5, 0.3085375387259869),
+        (-0.1, 0.460172162722971),
+        (0.0, 0.5),
+        (0.1, 0.539827837277029),
+        (0.5, 0.6914624612740131),
+        (1.0, 0.8413447460685429),
+        (1.5, 0.9331927987311419),
+        (2.0, 0.9772498680518208),
+        (3.0, 0.9986501019683699),
+        (5.0, 0.9999997133484281),
+    ];
+    for (x, want) in refs {
+        assert_close("norm_cdf", x, norm_cdf(x), want, 1e-12);
+    }
+}
+
+#[test]
+fn norm_quantile_matches_references() {
+    // (p, Phi^{-1}(p)) — classic quantile constants (Wichura AS241 is
+    // good to ~1e-15 relative; the references themselves are the
+    // correctly-rounded doubles).
+    let refs = [
+        (0.001, -3.090232306167813),
+        (0.025, -1.959963984540054),
+        (0.05, -1.6448536269514722),
+        (0.1, -1.2815515655446004),
+        (0.25, -0.6744897501960817),
+        (0.5, 0.0),
+        (0.75, 0.6744897501960817),
+        (0.9, 1.2815515655446004),
+        (0.95, 1.6448536269514722),
+        (0.975, 1.959963984540054),
+        (0.99, 2.3263478740408408),
+        (0.995, 2.5758293035489004),
+        (0.999, 3.090232306167813),
+    ];
+    for (p, want) in refs {
+        assert_close("norm_quantile", p, norm_quantile(p), want, 1e-12);
+    }
+}
+
+#[test]
+fn ln_gamma_matches_references() {
+    // (x, lnGamma(x)) — double references; tolerance is relative for the
+    // large arguments where lnGamma itself is large.
+    let refs: [(f64, f64); 13] = [
+        (0.1, 2.2527126517342055),
+        (0.5, 0.5723649429247004),
+        (1.0, 0.0),
+        (1.5, -0.12078223763524543),
+        (2.0, 0.0),
+        (2.5, 0.2846828704729196),
+        (3.0, 0.693147180559945),
+        (4.5, 2.453736570842443),
+        (7.0, 6.579251212010102),
+        (10.0, 12.801827480081467),
+        (15.5, 26.53691449111561),
+        (30.0, 71.257038967168),
+        (100.0, 359.1342053695754),
+    ];
+    for (x, want) in refs {
+        let tol = 1e-12 * want.abs().max(1.0);
+        assert_close("ln_gamma", x, ln_gamma(x), want, tol);
+    }
+}

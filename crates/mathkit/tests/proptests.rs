@@ -1,6 +1,9 @@
 //! Property-based tests for the numerical substrate: transform
 //! round-trips, factorisation postconditions, and function inverses must
 //! hold for *arbitrary* well-formed inputs, not just the unit-test cases.
+//!
+//! Runs on `testkit::prop`: every failure prints the seed that
+//! regenerates the counterexample (`TESTKIT_SEED=<seed> cargo test ...`).
 
 use mathkit::cholesky::{cholesky, is_positive_definite, solve_spd};
 use mathkit::correlation::{
@@ -14,11 +17,11 @@ use mathkit::matrix::Matrix;
 use mathkit::special::{norm_cdf, norm_quantile};
 use mathkit::stats::ranks;
 use mathkit::wavelet::{haar_forward, haar_inverse};
-use proptest::prelude::*;
+use testkit::prop::vec;
+use testkit::{prop_assert, property_tests};
 
-proptest! {
-    #[test]
-    fn fft_round_trips(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+property_tests! {
+    fn fft_round_trips(values in vec(-1e6f64..1e6, 1..300)) {
         let x: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
         let back = ifft(&fft(&x));
         for (b, orig) in back.iter().zip(&x) {
@@ -27,9 +30,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn fft_is_linear(
-        a in prop::collection::vec(-1e3f64..1e3, 2..64),
+        a in vec(-1e3f64..1e3, 2..64),
         s in -10.0f64..10.0,
     ) {
         let x: Vec<Complex> = a.iter().map(|&v| Complex::new(v, 0.0)).collect();
@@ -41,7 +43,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn wavelet_round_trips(exp in 0u32..8, seed in 0u64..1000) {
         let n = 1usize << exp;
         let mut v = 0.37_f64 + seed as f64;
@@ -57,9 +58,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn pd_repair_always_produces_pd_correlation(
-        pairs in prop::collection::vec(-1.5f64..1.5, 3),
+        pairs in vec(-1.5f64..1.5, 3),
     ) {
         // 3x3 from arbitrary (possibly invalid) coefficients.
         let mut m = correlation_from_upper_triangle(3, &pairs);
@@ -69,7 +69,6 @@ proptest! {
         prop_assert!(is_correlation_shaped(&repaired, 1e-6));
     }
 
-    #[test]
     fn cholesky_reconstructs(seed in 0u64..500, n in 1usize..6) {
         // Build SPD as A = B B^T + n*I.
         let mut v = seed as f64 * 0.123 + 0.5;
@@ -88,7 +87,6 @@ proptest! {
         prop_assert!(l.matmul(&l.transpose()).max_abs_diff(&a) < 1e-9);
     }
 
-    #[test]
     fn spd_solve_inverts(seed in 0u64..200, n in 1usize..5) {
         let mut v = seed as f64 * 0.377 + 0.1;
         let mut b = Matrix::zeros(n, n);
@@ -110,7 +108,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn eigen_preserves_trace_and_reconstructs(seed in 0u64..300, n in 2usize..6) {
         let mut v = seed as f64 * 0.71 + 0.3;
         let mut a = Matrix::zeros(n, n);
@@ -129,13 +126,11 @@ proptest! {
         prop_assert!((trace - lambda_sum).abs() < 1e-8);
     }
 
-    #[test]
     fn norm_quantile_inverts_cdf(p in 1e-8f64..1.0) {
         let p = p.min(1.0 - 1e-8);
         prop_assert!((norm_cdf(norm_quantile(p)) - p).abs() < 1e-9);
     }
 
-    #[test]
     fn continuous_quantiles_invert_cdfs(p in 0.001f64..0.999) {
         fn check<D: Continuous>(d: &D, p: f64) -> bool {
             (d.cdf(d.quantile(p)) - p).abs() < 1e-7
@@ -146,7 +141,6 @@ proptest! {
         prop_assert!(check(&Gamma::new(2.5, 1.4).unwrap(), p));
     }
 
-    #[test]
     fn zipf_quantile_is_generalised_inverse(n in 1usize..200, s in 0.0f64..3.0, p in 0.0f64..1.0) {
         let z = Zipf::new(n, s).unwrap();
         let k = z.quantile(p);
@@ -156,8 +150,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn ranks_are_a_permutation_average(values in prop::collection::vec(-100i32..100, 1..50)) {
+    fn ranks_are_a_permutation_average(values in vec(-100i32..100, 1..50)) {
         let xs: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
         let r = ranks(&xs);
         // Ranks sum to n(n+1)/2 regardless of ties.

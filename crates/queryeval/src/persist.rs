@@ -126,8 +126,8 @@ pub fn load_workload(path: impl AsRef<Path>) -> Result<Workload, WorkloadError> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn round_trip() {

@@ -1,6 +1,6 @@
 //! Range-count queries and random workload generation.
 
-use rand::Rng;
+use rngkit::Rng;
 
 /// A conjunctive range-count query: one inclusive interval `[lo, hi]` per
 /// attribute.
@@ -172,8 +172,8 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rngkit::rngs::StdRng;
+    use rngkit::SeedableRng;
 
     #[test]
     fn count_scans_correctly() {

@@ -1,0 +1,238 @@
+//! Self-contained pseudo-random substrate for the DPCopula workspace.
+//!
+//! The crate replaces the external `rand` dependency with an in-repo
+//! implementation so the workspace builds offline and every stochastic
+//! run is byte-reproducible from a single `u64` seed:
+//!
+//! * [`SplitMix64`] — the seeding generator: expands one `u64` into the
+//!   256-bit state of the main generator (and nothing else — it is too
+//!   weak to drive simulations on its own);
+//! * [`Xoshiro256PlusPlus`] — the workhorse generator (Blackman & Vigna),
+//!   with `jump()`/`long_jump()` for guaranteed-disjoint parallel streams
+//!   and [`Xoshiro256PlusPlus::split`] for cheap per-thread substreams;
+//! * [`Rng`] — the user-facing extension trait: `gen`, `gen_range`,
+//!   `gen_bool`, `fill`, mirroring the subset of the `rand 0.8` API this
+//!   workspace uses so call sites rewire with a one-line import change;
+//! * [`seq::SliceRandom`] — Fisher–Yates [`shuffle`](seq::SliceRandom::shuffle)
+//!   and [`choose`](seq::SliceRandom::choose);
+//! * [`rngs::StdRng`] — alias for [`Xoshiro256PlusPlus`], keeping the
+//!   `rand`-era type name at the 100+ existing `StdRng::seed_from_u64`
+//!   call sites.
+//!
+//! ```
+//! use rngkit::rngs::StdRng;
+//! use rngkit::{Rng, RngCore, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let u: f64 = rng.gen();            // uniform in [0, 1)
+//! let k = rng.gen_range(0..10u32);   // uniform integer, unbiased
+//! assert!((0.0..1.0).contains(&u) && k < 10);
+//!
+//! // Same seed, same stream — the reproducibility contract.
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+#![warn(missing_docs)]
+
+mod range;
+pub mod rngs;
+pub mod seq;
+mod splitmix;
+mod xoshiro;
+
+pub use range::SampleRange;
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256PlusPlus;
+
+/// The object-safe generator core: a source of uniformly distributed
+/// `u64` words. Everything else ([`Rng`]) is derived from this.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns 32 uniformly distributed bits (the *upper* half of a
+    /// `next_u64` draw — xoshiro's low bits are its weakest).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniformly distributed bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a seed; mirrors `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (the full generator state, little-endian bytes).
+    type Seed;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a single `u64`, expanded to full state
+    /// via [`SplitMix64`] — the recommended constructor everywhere in
+    /// this workspace: any failed test or experiment reproduces from the
+    /// one number this was called with.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types drawable uniformly from a generator's raw bits via
+/// [`Rng::gen`]; mirrors `rand`'s `Standard` distribution.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 random mantissa bits.
+    #[inline]
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // Sign bit of a u64 draw.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// The user-facing generator API, blanket-implemented for every
+/// [`RngCore`]. Import it (`use rngkit::Rng;`) to get `gen`,
+/// `gen_range`, `gen_bool` and `fill` on any generator.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its natural uniform distribution
+    /// (`f64`/`f32` in `[0, 1)`, integers over their full range).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+
+    /// Draws a value uniformly from `range` (`a..b` or `a..=b`), without
+    /// modulo bias for integers.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0, 1], got {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with independent [`Standard`] draws.
+    fn fill<T: Standard>(&mut self, dest: &mut [T]) {
+        for slot in dest {
+            *slot = T::generate(self);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate was {rate}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_writes_every_slot() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0.0f64; 64];
+        rng.fill(&mut buf);
+        assert!(buf.iter().all(|&v| (0.0..1.0).contains(&v)));
+        // 64 independent U[0,1) draws are never all identical.
+        assert!(buf.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn fill_bytes_covers_non_multiple_of_eight() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn trait_works_through_mut_reference_and_unsized() {
+        fn mean_of<R: Rng + ?Sized>(rng: &mut R, n: u32) -> f64 {
+            (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n)
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = mean_of(&mut rng, 50_000);
+        assert!((m - 0.5).abs() < 0.01, "mean was {m}");
+    }
+}

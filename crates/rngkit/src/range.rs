@@ -1,0 +1,196 @@
+//! Uniform sampling from `a..b` / `a..=b` ranges — the implementation
+//! behind [`Rng::gen_range`](crate::Rng::gen_range).
+//!
+//! Integer ranges use Lemire's multiply-shift rejection method
+//! (*Fast Random Integer Generation in an Interval*, 2019): one 128-bit
+//! multiply in the common case, exactly uniform over any span.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A range that [`Rng::gen_range`](crate::Rng::gen_range) can sample
+/// uniformly; mirrors `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` via Lemire rejection; `span == 0` means
+/// the full 2^64 range.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    let mut lo = m as u64;
+    if lo < span {
+        // Reject draws in the biased low zone: threshold = 2^64 mod span.
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty => $unsigned:ty),+ $(,)?) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as $unsigned).wrapping_sub(self.start as $unsigned);
+                let offset = uniform_below(rng, u64::from(span)) as $unsigned;
+                (self.start as $unsigned).wrapping_add(offset) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                // span = end - start + 1; wraps to 0 on the full range,
+                // which uniform_below treats as "no restriction".
+                let span = (end as $unsigned)
+                    .wrapping_sub(start as $unsigned)
+                    .wrapping_add(1);
+                let offset = uniform_below(rng, u64::from(span)) as $unsigned;
+                (start as $unsigned).wrapping_add(offset) as $ty
+            }
+        }
+    )+};
+}
+
+impl_int_range!(
+    u8 => u8, u16 => u16, u32 => u32,
+    i8 => u8, i16 => u16, i32 => u32,
+);
+
+macro_rules! impl_wide_int_range {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(uniform_below(rng, span)) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                (start as u64).wrapping_add(uniform_below(rng, span)) as $ty
+            }
+        }
+    )+};
+}
+
+impl_wide_int_range!(u64, i64, usize, isize);
+
+macro_rules! impl_float_range {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(
+                    self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+                    "gen_range requires a non-empty finite range"
+                );
+                let u = <$ty as crate::Standard>::generate(rng);
+                // u in [0, 1) keeps the draw strictly below `end` except
+                // for rounding at extreme spans; clamp restores the
+                // half-open contract.
+                let v = self.start + (self.end - self.start) * u;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(
+                    start <= end && start.is_finite() && end.is_finite(),
+                    "gen_range requires a non-empty finite range"
+                );
+                let u = <$ty as crate::Standard>::generate(rng);
+                (start + (end - start) * u).min(end)
+            }
+        }
+    )+};
+}
+
+impl_float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..60u32);
+            assert!((3..60).contains(&v));
+            let w = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+            let u = rng.gen_range(0..7usize);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn integer_range_is_unbiased_across_buckets() {
+        // span 3 over u64 draws: Lemire rejection must equalise counts.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 3];
+        for _ in 0..90_000 {
+            counts[rng.gen_range(0..3usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((f64::from(c) - 30_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn unit_width_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| rng.gen_range(7..8u32) == 7));
+        assert!((0..100).all(|_| rng.gen_range(7..=7u32) == 7));
+    }
+
+    #[test]
+    fn float_range_respects_half_open_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.5..2.5f64);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_accepted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = rng.gen_range(0..=u64::MAX);
+        let b = rng.gen_range(0..=u64::MAX);
+        assert_ne!(a, b); // 2^-64 collision chance
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = rng.gen_range(5..5u32);
+    }
+}

@@ -1,0 +1,15 @@
+//! Named generator aliases, mirroring `rand::rngs`.
+
+/// The workspace's standard generator — an alias for
+/// [`Xoshiro256PlusPlus`](crate::Xoshiro256PlusPlus).
+///
+/// The `rand`-era name is kept so the `StdRng::seed_from_u64(..)` idiom
+/// at existing call sites survives the dependency swap unchanged. Unlike
+/// `rand`'s `StdRng` this generator is *not* cryptographically secure;
+/// every use in this workspace is simulation sampling, where statistical
+/// quality and reproducibility are the requirements.
+pub type StdRng = crate::Xoshiro256PlusPlus;
+
+/// Explicit alias for code that wants to name the deterministic-seeding
+/// contract rather than the "standard generator" role.
+pub type SmallRng = crate::Xoshiro256PlusPlus;

@@ -1,0 +1,96 @@
+//! Sequence operations over a generator, mirroring `rand::seq`.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices: Fisher–Yates [`shuffle`](Self::shuffle)
+/// and uniform [`choose`](Self::choose).
+pub trait SliceRandom {
+    /// The element type of the sequence.
+    type Item;
+
+    /// Shuffles the sequence in place with the Fisher–Yates algorithm:
+    /// every one of the `n!` permutations is equally likely, using
+    /// exactly `n - 1` range draws.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle fixing every point is ~impossible");
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<u32> = (0..50).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn shuffle_positions_are_roughly_uniform() {
+        // Element 0's final position averaged over many shuffles should
+        // be near the middle of a 10-slot array.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let mut v: Vec<u32> = (0..10).collect();
+            v.shuffle(&mut rng);
+            sum += v.iter().position(|&x| x == 0).unwrap();
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 4.5).abs() < 0.1, "mean position {mean}");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = [1u32, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[(*v.choose(&mut rng).unwrap() - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

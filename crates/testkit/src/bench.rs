@@ -1,0 +1,251 @@
+//! Minimal micro-benchmark harness — the in-repo replacement for the
+//! `criterion` dependency.
+//!
+//! Each benchmark routine is warmed up, then timed for N samples (a
+//! sample is one routine call, or an adaptively sized batch when a call
+//! is fast enough for timer noise to matter); the report prints min,
+//! median, p95, max and, when a [`Throughput`] is set, elements per
+//! second from the median.
+//!
+//! The API mirrors the subset of Criterion the `crates/bench/benches`
+//! files use — `Criterion`, `benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! plus the [`criterion_group!`](crate::criterion_group) and
+//! [`criterion_main!`](crate::criterion_main) macros — so porting a
+//! bench file is an import swap.
+//!
+//! Environment knobs: `TESTKIT_BENCH_SAMPLES` overrides every group's
+//! sample count (set it to 1 for a smoke run).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context; owns default settings.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let mut g = self.benchmark_group("ungrouped");
+        g.bench_function(id.to_string(), f);
+        g.finish();
+    }
+}
+
+/// A named parameterised benchmark identifier, `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Work-per-iteration declaration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per call.
+    Elements(u64),
+    /// The routine processes this many bytes per call.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the work one routine call performs, enabling a rate in
+    /// the report.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let samples = std::env::var("TESTKIT_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.sample_size);
+        let mut bencher = Bencher {
+            samples,
+            per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), &bencher.per_iter, self.throughput);
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through — Criterion's
+    /// parameterised-benchmark shape.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (reports are printed eagerly; this is for API
+    /// compatibility and symmetry).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark routine; [`iter`](Self::iter) runs and times
+/// the measurement loop.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: warms up, picks a batch size so one sample takes
+    /// ≥ ~1 ms (shielding fast routines from timer granularity), then
+    /// records per-iteration durations for the configured sample count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup: at least one call, at most 5 calls or 200 ms.
+        let warmup_start = Instant::now();
+        let mut one_call = Duration::ZERO;
+        for i in 0..5 {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            one_call = t0.elapsed();
+            if i > 0 && warmup_start.elapsed() > Duration::from_millis(200) {
+                break;
+            }
+        }
+
+        let batch = if one_call < Duration::from_micros(50) {
+            (Duration::from_millis(1).as_nanos() / one_call.as_nanos().max(1)).max(1) as u32
+        } else {
+            1
+        };
+
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.per_iter.push(t0.elapsed() / batch);
+        }
+    }
+}
+
+/// Prints one benchmark's summary line.
+fn report(group: &str, id: &str, per_iter: &[Duration], throughput: Option<Throughput>) {
+    if per_iter.is_empty() {
+        println!("{group}/{id}: no samples recorded (routine never called iter)");
+        return;
+    }
+    let mut sorted = per_iter.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+    let max = sorted[sorted.len() - 1];
+    let rate = throughput.map(|t| {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let per_sec = n as f64 / median.as_secs_f64();
+        format!("  [{per_sec:.3e} {unit}]")
+    });
+    println!(
+        "{group}/{id}: min {min:?}  median {median:?}  p95 {p95:?}  max {max:?}{}",
+        rate.unwrap_or_default()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: 7,
+            per_iter: Vec::new(),
+        };
+        b.iter(|| std::thread::sleep(Duration::from_micros(100)));
+        assert_eq!(b.per_iter.len(), 7);
+        assert!(b.per_iter.iter().all(|d| *d >= Duration::from_micros(50)));
+    }
+
+    #[test]
+    fn fast_routines_are_batched() {
+        let mut b = Bencher {
+            samples: 5,
+            per_iter: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.per_iter.len(), 5);
+    }
+
+    #[test]
+    fn group_api_round_trips() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("id", 42), &42usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("knight", 1000).to_string(), "knight/1000");
+    }
+}

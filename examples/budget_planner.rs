@@ -14,8 +14,8 @@ use dpcopula::synthesizer::{DpCopula, DpCopulaConfig, MarginMethod};
 use dpcopula_examples::heading;
 use dpmech::{BudgetAccountant, Epsilon};
 use queryeval::{ErrorSummary, Workload};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 fn main() {
     let data = SyntheticSpec {

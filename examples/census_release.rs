@@ -14,8 +14,8 @@ use dpcopula::hybrid::{HybridConfig, HybridSynthesizer};
 use dpcopula::synthesizer::{DpCopulaConfig, MarginMethod};
 use dpcopula_examples::heading;
 use dpmech::Epsilon;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 fn main() {
     heading("loading the (simulated) Brazil census");

@@ -15,8 +15,8 @@ use dpcopula::tcopula::TCopulaSampler;
 use dpcopula_examples::heading;
 use dpmech::Epsilon;
 use mathkit::correlation::equicorrelation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 /// Joint-extreme co-occurrence rate: fraction of records where both
 /// attributes fall in their own top q-quantile — the observable tail

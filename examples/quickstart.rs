@@ -13,8 +13,8 @@ use dpmech::Epsilon;
 use mathkit::correlation::equicorrelation;
 use mathkit::dist::MultivariateNormal;
 use mathkit::special::norm_cdf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 fn main() {
     // 1. Make a toy dataset: two attributes on a domain of 200 values,

@@ -16,8 +16,8 @@ use dpcopula::kendall::kendall_tau;
 use dpcopula::synthesizer::DpCopulaConfig;
 use dpcopula_examples::heading;
 use dpmech::Epsilon;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 fn main() {
     let epochs = 6;

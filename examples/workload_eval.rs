@@ -13,8 +13,8 @@ use dphist::psd::{Psd, PsdConfig};
 use dphist::RangeCountEstimator;
 use dpmech::Epsilon;
 use queryeval::{ErrorSummary, Workload};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 fn main() {
     // 6-D, 1000-bin domains: the sparse regime the paper targets

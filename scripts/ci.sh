@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate for the DPCopula workspace. Mirrors the tier-1 verify:
+# release build, full test suite, and a smoke run of the experiment
+# harness. Everything runs --offline: the workspace has zero registry
+# dependencies (rngkit/testkit are in-repo), so this works in a hermetic
+# container with no crates.io access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline
+
+echo "==> cargo test -q (offline)"
+cargo test -q --offline
+
+echo "==> bench-target compile check (offline)"
+cargo check --workspace --all-targets --offline
+
+echo "==> experiment-harness smoke: table02_domains"
+QUICK=1 cargo run -p dpcopula-bench --release --offline --bin table02_domains
+
+echo "==> ci.sh: all green"

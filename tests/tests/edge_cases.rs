@@ -10,8 +10,8 @@ use dpcopula::sampler::CopulaSampler;
 use dpcopula::synthesizer::{DpCopula, DpCopulaConfig, MarginMethod};
 use dpmech::Epsilon;
 use mathkit::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 fn all_margin_methods() -> Vec<MarginMethod> {
     vec![

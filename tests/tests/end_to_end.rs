@@ -8,8 +8,8 @@ use dpcopula::hybrid::{HybridConfig, HybridSynthesizer};
 use dpcopula::synthesizer::{DpCopula, DpCopulaConfig, MarginMethod};
 use dpmech::Epsilon;
 use queryeval::{ErrorSummary, Workload};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 fn assert_valid_release(columns: &[Vec<u32>], domains: &[usize], expect_n: usize, tol: f64) {
     assert_eq!(columns.len(), domains.len());

@@ -11,8 +11,8 @@ use dphist::psd::{Psd, PsdConfig};
 use dphist::{DimRange, RangeCountEstimator};
 use dpmech::Epsilon;
 use queryeval::{RangeQuery, Workload};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rngkit::rngs::StdRng;
+use rngkit::{Rng, SeedableRng};
 
 fn clustered_data(n: usize, m: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -10,8 +10,8 @@ use dpcopula::synthesizer::{DpCopulaConfig, MarginMethod};
 use dpcopula::tcopula::TCopulaSampler;
 use dpmech::Epsilon;
 use mathkit::correlation::equicorrelation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 fn uniform_margin(domain: usize) -> MarginalDistribution {
     MarginalDistribution::from_noisy_histogram(&vec![1.0; domain])

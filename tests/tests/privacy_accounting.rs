@@ -3,8 +3,8 @@
 
 use dpcopula::synthesizer::{DpCopula, DpCopulaConfig};
 use dpmech::{BudgetAccountant, BudgetError, Epsilon};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 
 #[test]
 fn synthesizer_budget_sums_to_total_for_any_split() {
