@@ -2,14 +2,14 @@
 //! fitted copula (multivariate normal draw + Phi + inverse margins), per
 //! dimensionality.
 
-use testkit::bench::{BenchmarkId, Criterion, Throughput};
-use testkit::{criterion_group, criterion_main};
 use dpcopula::empirical::MarginalDistribution;
 use dpcopula::sampler::CopulaSampler;
 use mathkit::correlation::ar1_correlation;
 use rngkit::rngs::StdRng;
 use rngkit::SeedableRng;
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion, Throughput};
+use testkit::{criterion_group, criterion_main};
 
 fn bench_sampling(c: &mut Criterion) {
     let mut g = c.benchmark_group("copula_sampling");

@@ -1,8 +1,6 @@
 //! Microbenchmark: the complete DPCopula pipeline (margins + correlation
 //! + sampling) at 2-D and 8-D, Kendall and MLE flavours.
 
-use testkit::bench::{BenchmarkId, Criterion};
-use testkit::{criterion_group, criterion_main};
 use datagen::synthetic::{MarginKind, SyntheticSpec};
 use dpcopula::mle::PartitionStrategy;
 use dpcopula::synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig};
@@ -10,6 +8,8 @@ use dpmech::Epsilon;
 use rngkit::rngs::StdRng;
 use rngkit::SeedableRng;
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");

@@ -2,8 +2,6 @@
 //! publication, lazy Privelet+ query answering, FP publication — at the
 //! evaluation's default scale.
 
-use testkit::bench::Criterion;
-use testkit::{criterion_group, criterion_main};
 use dphist::fp::FpSummary;
 use dphist::privelet::PriveletPlus;
 use dphist::psd::{Psd, PsdConfig};
@@ -12,6 +10,8 @@ use dpmech::Epsilon;
 use rngkit::rngs::StdRng;
 use rngkit::{Rng, SeedableRng};
 use std::hint::black_box;
+use testkit::bench::Criterion;
+use testkit::{criterion_group, criterion_main};
 
 fn data(n: usize, m: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -2,13 +2,13 @@
 //! quadratic reference, plus the DP release. Backs the paper's
 //! "fast Kendall's tau computation" complexity claim (§4.2).
 
-use testkit::bench::{BenchmarkId, Criterion};
-use testkit::{criterion_group, criterion_main};
 use dpcopula::kendall::{dp_kendall_tau, kendall_tau, kendall_tau_naive};
 use dpmech::Epsilon;
 use rngkit::rngs::StdRng;
 use rngkit::{Rng, SeedableRng};
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 
 fn columns(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
     let mut rng = StdRng::seed_from_u64(seed);

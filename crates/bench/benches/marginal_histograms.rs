@@ -2,8 +2,6 @@
 //! Privelet, P-HP) on Gaussian-shaped margins — the per-attribute cost of
 //! DPCopula's step 1.
 
-use testkit::bench::{BenchmarkId, Criterion};
-use testkit::{criterion_group, criterion_main};
 use dphist::efpa::Efpa;
 use dphist::identity::Identity;
 use dphist::php::Php;
@@ -13,6 +11,8 @@ use dpmech::Epsilon;
 use rngkit::rngs::StdRng;
 use rngkit::SeedableRng;
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 
 fn margin(bins: usize) -> Vec<f64> {
     let mid = bins as f64 / 2.0;

@@ -17,7 +17,10 @@ fn main() {
     println!("running full battery with {params:?}");
     let total = Instant::now();
 
-    type Stage = (&'static str, fn(&ExperimentParams) -> Vec<dpcopula_bench::Table>);
+    type Stage = (
+        &'static str,
+        fn(&ExperimentParams) -> Vec<dpcopula_bench::Table>,
+    );
     let stages: Vec<Stage> = vec![
         ("table 2 (dataset domains)", run_table02),
         ("figure 3 (copula vs margins)", run_fig03),

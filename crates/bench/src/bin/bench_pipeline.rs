@@ -1,0 +1,175 @@
+//! Emits `BENCH_pipeline.json`: machine-readable per-stage wall-clock
+//! statistics (min/median/p95 seconds) of the staged synthesis engine at
+//! worker counts {1, 2, 4} on fig11-sized census data, plus the legacy
+//! serial correlation estimator (`dp_correlation_matrix`, per-pair sorts,
+//! single-threaded) as the reference the correlation-stage speedup is
+//! measured against.
+//!
+//! `QUICK=1` shrinks the input and sample count for smoke runs.
+
+use datagen::census::us_census;
+use dpcopula::kendall::{dp_correlation_matrix, SamplingStrategy};
+use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions};
+use dpmech::Epsilon;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// min/median/p95 over a set of timing samples, in seconds.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    min: f64,
+    median: f64,
+    p95: f64,
+}
+
+fn stats(samples: &[f64]) -> Stats {
+    assert!(!samples.is_empty());
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let pick = |p: f64| s[((s.len() - 1) as f64 * p).round() as usize];
+    Stats {
+        min: s[0],
+        median: pick(0.5),
+        p95: pick(0.95),
+    }
+}
+
+fn json_stats(s: Stats) -> String {
+    format!(
+        "{{\"min_s\": {:.6}, \"median_s\": {:.6}, \"p95_s\": {:.6}}}",
+        s.min, s.median, s.p95
+    )
+}
+
+const STAGE_NAMES: [&str; 5] = [
+    "budget_plan",
+    "margins",
+    "correlation",
+    "pd_repair",
+    "sampling",
+];
+
+fn main() {
+    let quick = std::env::var("QUICK").map(|v| v == "1").unwrap_or(false);
+    let n = if quick { 10_000 } else { 100_000 };
+    let samples = if quick { 3 } else { 7 };
+    let epsilon = 1.0;
+    let k_ratio = 8.0;
+    let worker_counts = [1usize, 2, 4];
+
+    let data = us_census(n, 0xbe9c);
+    let m = data.domains().len();
+    let eps = Epsilon::new(epsilon).expect("positive epsilon");
+    let config = DpCopulaConfig::kendall(eps).with_k_ratio(k_ratio);
+    let (_, eps2) = eps.split_ratio(k_ratio);
+
+    // Reference: the legacy serial correlation estimator, exactly as the
+    // pre-engine pipeline ran it (per-pair lexicographic sorts, one
+    // thread, repair included).
+    let mut legacy = Vec::with_capacity(samples);
+    for s in 0..samples {
+        let mut rng = StdRng::seed_from_u64(0xaced + s as u64);
+        let t0 = Instant::now();
+        let p = dp_correlation_matrix(data.columns(), eps2, SamplingStrategy::Auto, &mut rng);
+        legacy.push(t0.elapsed().as_secs_f64());
+        assert_eq!(p.rows(), m);
+    }
+    let legacy_stats = stats(&legacy);
+    println!(
+        "legacy serial correlation: median {:.4}s over {samples} samples",
+        legacy_stats.median
+    );
+
+    // The staged engine at each worker count: per-stage duration vectors.
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"pipeline_stages\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"records\": {n}, \"dims\": {m}, \"epsilon\": {epsilon}, \
+         \"k_ratio\": {k_ratio}, \"samples\": {samples}, \"quick\": {quick}, \
+         \"host_cores\": {}}},",
+        std::thread::available_parallelism().map_or(1, |c| c.get())
+    );
+    let _ = writeln!(
+        out,
+        "  \"legacy_serial_correlation\": {},",
+        json_stats(legacy_stats)
+    );
+
+    let _ = writeln!(out, "  \"workers\": [");
+    let mut correlation_medians = Vec::new();
+    for (wi, &workers) in worker_counts.iter().enumerate() {
+        let mut per_stage: Vec<Vec<f64>> = (0..5).map(|_| Vec::with_capacity(samples)).collect();
+        let mut totals = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let (_, report) = DpCopula::new(config)
+                .synthesize_staged(
+                    data.columns(),
+                    &data.domains(),
+                    0xf00d + s as u64,
+                    &EngineOptions::with_workers(workers),
+                )
+                .expect("census synthesis succeeds");
+            for (bucket, (_, d)) in per_stage.iter_mut().zip(report.timings.stages()) {
+                bucket.push(d.as_secs_f64());
+            }
+            totals.push(report.timings.total().as_secs_f64());
+        }
+        let corr = stats(&per_stage[2]);
+        correlation_medians.push(corr.median);
+        println!(
+            "engine workers={workers}: total median {:.4}s, correlation median {:.4}s",
+            stats(&totals).median,
+            corr.median
+        );
+
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"workers\": {workers},");
+        let _ = writeln!(out, "      \"stages\": {{");
+        for (si, name) in STAGE_NAMES.iter().enumerate() {
+            let comma = if si + 1 < STAGE_NAMES.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        \"{name}\": {}{comma}",
+                json_stats(stats(&per_stage[si]))
+            );
+        }
+        let _ = writeln!(out, "      }},");
+        let _ = writeln!(out, "      \"total\": {}", json_stats(stats(&totals)));
+        let comma = if wi + 1 < worker_counts.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+
+    // Correlation-stage speedup of the engine over the legacy serial
+    // estimator, at each worker count (medians).
+    let _ = writeln!(out, "  \"correlation_speedup_vs_legacy\": {{");
+    for (wi, &workers) in worker_counts.iter().enumerate() {
+        let comma = if wi + 1 < worker_counts.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    \"{workers}\": {:.3}{comma}",
+            legacy_stats.median / correlation_medians[wi]
+        );
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, &out).expect("write BENCH_pipeline.json");
+    println!("wrote {path}");
+    println!(
+        "correlation speedup vs legacy at 4 workers: {:.2}x",
+        legacy_stats.median / correlation_medians[worker_counts.len() - 1]
+    );
+}

@@ -97,7 +97,13 @@ pub fn run_ablation_sampling(params: &ExperimentParams) -> Vec<Table> {
 
     let mut t = Table::new(
         "ablation_sampling",
-        &["epsilon", "full_rel_err", "sampled_rel_err", "full_s", "sampled_s"],
+        &[
+            "epsilon",
+            "full_rel_err",
+            "sampled_rel_err",
+            "full_s",
+            "sampled_s",
+        ],
     );
     for eps in [0.1, 1.0] {
         let mut cells = vec![eps.to_string()];
@@ -115,7 +121,8 @@ pub fn run_ablation_sampling(params: &ExperimentParams) -> Vec<Table> {
                     .synthesize(data.columns(), &data.domains(), &mut rng)
                     .expect("synthesis failed");
                 let answers = workload.estimate_with(|q| q.count(&out.columns));
-                rel += ErrorSummary::from_answers(&answers, &truth, sanity_of(params)).mean_relative;
+                rel +=
+                    ErrorSummary::from_answers(&answers, &truth, sanity_of(params)).mean_relative;
             }
             let dt = t0.elapsed().as_secs_f64() / runs as f64;
             let rel = rel / runs as f64;
@@ -171,8 +178,7 @@ pub fn run_ablation_rank_correlation(params: &ExperimentParams) -> Vec<Table> {
                     .synthesize(data.columns(), &data.domains(), &mut rng)
                     .expect("synthesis failed");
                 let answers = workload.estimate_with(|q| q.count(&out.columns));
-                rel += ErrorSummary::from_answers(&answers, &truth, params.sanity)
-                    .mean_relative;
+                rel += ErrorSummary::from_answers(&answers, &truth, params.sanity).mean_relative;
             }
             let rel = rel / runs as f64;
             println!("ablation_rank_correlation: eps={eps} {method:?} -> {rel:.4}");
@@ -186,10 +192,7 @@ pub fn run_ablation_rank_correlation(params: &ExperimentParams) -> Vec<Table> {
 /// PD-repair frequency: how often the raw noisy correlation matrix is
 /// indefinite, by epsilon and dimensionality.
 pub fn run_ablation_pd_repair(_params: &ExperimentParams) -> Vec<Table> {
-    let mut t = Table::new(
-        "ablation_pd_repair",
-        &["m", "eps2", "indefinite_fraction"],
-    );
+    let mut t = Table::new("ablation_pd_repair", &["m", "eps2", "indefinite_fraction"]);
     let mut rng = StdRng::seed_from_u64(0xab3a);
     for m in [4usize, 8] {
         let data = SyntheticSpec {

@@ -50,14 +50,23 @@ pub fn run_fig03(_params: &ExperimentParams) -> Vec<Table> {
     // Panel (b): exponential + gamma margins.
     let expo = Exponential::new(1.0).unwrap();
     let gamma = Gamma::new(2.0, 1.5).unwrap();
-    let xb: Vec<f64> = u1.iter().map(|&u| expo.quantile(u.clamp(1e-12, 1.0 - 1e-12))).collect();
-    let yb: Vec<f64> = u2.iter().map(|&u| gamma.quantile(u.clamp(1e-12, 1.0 - 1e-12))).collect();
+    let xb: Vec<f64> = u1
+        .iter()
+        .map(|&u| expo.quantile(u.clamp(1e-12, 1.0 - 1e-12)))
+        .collect();
+    let yb: Vec<f64> = u2
+        .iter()
+        .map(|&u| gamma.quantile(u.clamp(1e-12, 1.0 - 1e-12)))
+        .collect();
 
     // Panel (d): uniform + t margins.
     let unif = Uniform::new(0.0, 1.0).unwrap();
     let t3 = StudentT::new(3.0).unwrap();
     let xd: Vec<f64> = u1.iter().map(|&u| unif.quantile(u)).collect();
-    let yd: Vec<f64> = u2.iter().map(|&u| t3.quantile(u.clamp(1e-9, 1.0 - 1e-9))).collect();
+    let yd: Vec<f64> = u2
+        .iter()
+        .map(|&u| t3.quantile(u.clamp(1e-9, 1.0 - 1e-9)))
+        .collect();
 
     // Scatter CSVs.
     let mut scatter_b = Table::new("fig03b_exp_gamma_scatter", &["x", "y"]);
@@ -70,10 +79,7 @@ pub fn run_fig03(_params: &ExperimentParams) -> Vec<Table> {
     }
 
     // The invariance table: tau identical across margins, Pearson not.
-    let mut inv = Table::new(
-        "fig03_invariance",
-        &["margins", "kendall_tau", "pearson_r"],
-    );
+    let mut inv = Table::new("fig03_invariance", &["margins", "kendall_tau", "pearson_r"]);
     let sub = 600.min(n); // tau is O(n^2); a subsample is plenty
     inv.push_row(vec![
         "copula (uniform,uniform)".into(),

@@ -44,8 +44,7 @@ pub fn run_fig08(params: &ExperimentParams) -> Vec<Table> {
 
     for &vol in &VOLUME_FRACTIONS {
         let mut rng = StdRng::seed_from_u64(0xf18);
-        let workload =
-            Workload::random_with_volume(&data.domains(), vol, params.queries, &mut rng);
+        let workload = Workload::random_with_volume(&data.domains(), vol, params.queries, &mut rng);
         let truth = workload.true_counts(data.columns());
         let mut rel_row = vec![format!("{vol}")];
         let mut abs_row = vec![format!("{vol}")];

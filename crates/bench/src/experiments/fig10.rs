@@ -19,14 +19,8 @@ pub const DIMS: [usize; 4] = [2, 4, 6, 8];
 
 /// Runs the experiment; returns relative- and absolute-error tables.
 pub fn run_fig10(params: &ExperimentParams) -> Vec<Table> {
-    let mut rel = Table::new(
-        "fig10a_dimensionality_relative",
-        &["m", "DPCopula", "PSD"],
-    );
-    let mut abs = Table::new(
-        "fig10b_dimensionality_absolute",
-        &["m", "DPCopula", "PSD"],
-    );
+    let mut rel = Table::new("fig10a_dimensionality_relative", &["m", "DPCopula", "PSD"]);
+    let mut abs = Table::new("fig10b_dimensionality_absolute", &["m", "DPCopula", "PSD"]);
     for &m in &DIMS {
         let data = SyntheticSpec {
             records: params.records,

@@ -16,6 +16,8 @@ use crate::report::{fmt, Table};
 use crate::runner::evaluate_timed;
 use datagen::census::us_census;
 use datagen::synthetic::{MarginKind, SyntheticSpec};
+use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions};
+use dpmech::Epsilon;
 use queryeval::Workload;
 use rngkit::rngs::StdRng;
 use rngkit::SeedableRng;
@@ -59,7 +61,11 @@ pub fn run_fig11(params: &ExperimentParams) -> Vec<Table> {
                 1,
                 0x11a0,
             );
-            println!("fig11a: n={n} {} -> {:.3}s", method.name(), out.mean_time.as_secs_f64());
+            println!(
+                "fig11a: n={n} {} -> {:.3}s",
+                method.name(),
+                out.mean_time.as_secs_f64()
+            );
             row.push(fmt(out.mean_time.as_secs_f64()));
         }
         ta.push_row(row);
@@ -93,10 +99,60 @@ pub fn run_fig11(params: &ExperimentParams) -> Vec<Table> {
                 1,
                 0x11b0,
             );
-            println!("fig11b: m={m} {} -> {:.3}s", method.name(), out.mean_time.as_secs_f64());
+            println!(
+                "fig11b: m={m} {} -> {:.3}s",
+                method.name(),
+                out.mean_time.as_secs_f64()
+            );
             row.push(fmt(out.mean_time.as_secs_f64()));
         }
         tb.push_row(row);
     }
-    vec![ta, tb]
+
+    // Panel (c) — extension beyond the paper: per-stage wall time of the
+    // staged engine on fig11-sized census data at 1/2/4 workers. The
+    // determinism contract guarantees the *released bytes* are identical
+    // across rows; only the timings move.
+    let mut tc = Table::new(
+        "fig11c_stage_times",
+        &[
+            "workers",
+            "budget_plan_s",
+            "margins_s",
+            "correlation_s",
+            "pd_repair_s",
+            "sampling_s",
+            "total_s",
+        ],
+    );
+    let n = if quick { 25_000 } else { 100_000 };
+    let data = us_census(n, 0x11c);
+    let config = DpCopulaConfig::kendall(
+        Epsilon::new(params.epsilon).expect("experiment epsilon is positive"),
+    )
+    .with_k_ratio(params.k_ratio);
+    for workers in [1usize, 2, 4] {
+        let (_, report) = DpCopula::new(config)
+            .synthesize_staged(
+                data.columns(),
+                &data.domains(),
+                0x11c0,
+                &EngineOptions::with_workers(workers),
+            )
+            .expect("census synthesis succeeds");
+        let t = report.timings;
+        println!(
+            "fig11c: workers={workers} total={:.3}s correlation={:.3}s",
+            t.total().as_secs_f64(),
+            t.correlation.as_secs_f64()
+        );
+        let mut row = vec![workers.to_string()];
+        for (_, d) in t.stages() {
+            row.push(fmt(d.as_secs_f64()));
+        }
+        row.push(fmt(t.total().as_secs_f64()));
+        tc.push_row(row);
+    }
+
+    vec![ta, tb, tc]
 }

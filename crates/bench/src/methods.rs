@@ -79,8 +79,7 @@ impl Method {
                     // cannot be satisfied (documented in EXPERIMENTS.md).
                     let n = columns[0].len();
                     let (_, eps2) = epsilon.split_ratio(k_ratio);
-                    let required =
-                        dpcopula::mle::required_partitions(columns.len(), eps2.value());
+                    let required = dpcopula::mle::required_partitions(columns.len(), eps2.value());
                     let strategy = if required * dpcopula::mle::MIN_BLOCK_SIZE <= n {
                         PartitionStrategy::Auto
                     } else {
@@ -99,22 +98,13 @@ impl Method {
                 workload.estimate_with(|q| q.count(&synth.columns))
             }
             Method::Psd => {
-                let mut psd = Psd::publish(
-                    columns,
-                    domains,
-                    epsilon,
-                    PsdConfig::default(),
-                    &mut rng,
-                );
+                let mut psd =
+                    Psd::publish(columns, domains, epsilon, PsdConfig::default(), &mut rng);
                 workload.estimate_with(|q| psd.range_count(q.ranges()))
             }
             Method::PriveletPlus => {
-                let mut p = PriveletPlus::publish(
-                    columns.to_vec(),
-                    domains,
-                    epsilon,
-                    seed ^ 0x9e37_79b9,
-                );
+                let mut p =
+                    PriveletPlus::publish(columns.to_vec(), domains, epsilon, seed ^ 0x9e37_79b9);
                 workload.estimate_with(|q| p.range_count(q.ranges()))
             }
             Method::Php => {
@@ -163,14 +153,8 @@ mod tests {
             Method::Php,
             Method::Fp,
         ] {
-            let answers = method.answer_workload(
-                data.columns(),
-                &data.domains(),
-                5.0,
-                8.0,
-                &workload,
-                42,
-            );
+            let answers =
+                method.answer_workload(data.columns(), &data.domains(), 5.0, 8.0, &workload, 42);
             assert_eq!(answers.len(), 20, "{}", method.name());
             assert!(
                 answers.iter().all(|a| a.is_finite()),

@@ -1,6 +1,8 @@
 //! Run-averaged evaluation of a method over a workload (the paper
 //! averages 5 runs of 1000 queries), with optional wall-clock timing for
-//! the scalability figures. Independent runs execute on `std::thread::scope` worker threads.
+//! the scalability figures. Independent runs fan out through
+//! [`parkit::par_map`], keyed by run index, so the averaged numbers are
+//! identical at any worker count.
 
 use crate::methods::Method;
 use queryeval::{ErrorSummary, Workload};
@@ -31,33 +33,24 @@ pub fn evaluate(
     base_seed: u64,
 ) -> EvalOutcome {
     assert!(runs > 0, "need at least one run");
-    assert_eq!(truth.len(), workload.len(), "truth must pair with the workload");
+    assert_eq!(
+        truth.len(),
+        workload.len(),
+        "truth must pair with the workload"
+    );
 
-    let run_one = |seed: u64| -> (ErrorSummary, Duration) {
-        let t0 = Instant::now();
-        let answers = method.answer_workload(columns, domains, eps, k_ratio, workload, seed);
-        let dt = t0.elapsed();
-        (ErrorSummary::from_answers(&answers, truth, sanity), dt)
-    };
-
-    // Two worker threads (the container has 2 cores); chunk the seeds.
-    let seeds: Vec<u64> = (0..runs as u64).map(|r| base_seed.wrapping_add(r * 7919)).collect();
-    let results: Vec<(ErrorSummary, Duration)> = if runs == 1 {
-        vec![run_one(seeds[0])]
-    } else {
-        let mid = runs / 2;
-        let (front, back) = seeds.split_at(mid);
-        std::thread::scope(|scope| {
-            let handle = scope.spawn(|| {
-                front.iter().map(|&s| run_one(s)).collect::<Vec<_>>()
-            });
-            let mut out: Vec<(ErrorSummary, Duration)> =
-                back.iter().map(|&s| run_one(s)).collect();
-            let mut first = handle.join().expect("worker thread panicked");
-            first.append(&mut out);
-            first
-        })
-    };
+    // One task per run, fanned out through parkit; each run's seed is a
+    // pure function of its index, so results never depend on scheduling.
+    let seeds: Vec<u64> = (0..runs as u64)
+        .map(|r| base_seed.wrapping_add(r * 7919))
+        .collect();
+    let results: Vec<(ErrorSummary, Duration)> =
+        parkit::par_map(parkit::default_workers(), &seeds, |_, &seed| {
+            let t0 = Instant::now();
+            let answers = method.answer_workload(columns, domains, eps, k_ratio, workload, seed);
+            let dt = t0.elapsed();
+            (ErrorSummary::from_answers(&answers, truth, sanity), dt)
+        });
 
     let summaries: Vec<ErrorSummary> = results.iter().map(|(s, _)| *s).collect();
     let total: Duration = results.iter().map(|(_, d)| *d).sum();
@@ -83,7 +76,11 @@ pub fn evaluate_timed(
     base_seed: u64,
 ) -> EvalOutcome {
     assert!(runs > 0, "need at least one run");
-    assert_eq!(truth.len(), workload.len(), "truth must pair with the workload");
+    assert_eq!(
+        truth.len(),
+        workload.len(),
+        "truth must pair with the workload"
+    );
     let mut summaries = Vec::with_capacity(runs);
     let mut total = Duration::ZERO;
     for r in 0..runs as u64 {

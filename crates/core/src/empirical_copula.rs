@@ -167,8 +167,7 @@ mod tests {
     fn sup_distance_detects_dependence_flip() {
         let x: Vec<u32> = (0..200).collect();
         let up = EmpiricalCopula::from_columns(&[x.clone(), x.clone()]);
-        let down =
-            EmpiricalCopula::from_columns(&[x.clone(), x.iter().rev().cloned().collect()]);
+        let down = EmpiricalCopula::from_columns(&[x.clone(), x.iter().rev().cloned().collect()]);
         // Comonotone vs countermonotone: sup distance approaches 0.5.
         let d = up.sup_distance(&down, 8);
         assert!(d > 0.4, "distance {d}");

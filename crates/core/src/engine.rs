@@ -1,0 +1,368 @@
+//! The staged parallel synthesis engine.
+//!
+//! [`DpCopula::synthesize`] runs the pipeline of Figure 4 as one opaque
+//! serial pass. This module decomposes it into five explicit stages —
+//! budget plan → margins → correlation → PD repair → sampling — each
+//! individually timed, with the three data-parallel stages fanned out
+//! through [`parkit`]:
+//!
+//! * **margins** — one task per attribute (`C(m,1)` tasks);
+//! * **correlation** — one task per attribute pair (`C(m,2)` tasks),
+//!   over cached per-column rank structures;
+//! * **sampling** — one task per row chunk of
+//!   [`EngineOptions::sample_chunk`] records.
+//!
+//! ## The determinism contract
+//!
+//! Every stochastic task derives its generator with
+//! [`parkit::stream_rng`]`(base_seed, STREAM_*, index)` where `index` is
+//! the task's *logical* identity — attribute id, pair id, row-chunk id —
+//! never a thread id. The output is therefore a pure function of
+//! `(data, config, base_seed)`: bit-identical at any worker count, which
+//! `crates/core/tests/parallel_equivalence.rs` pins down.
+//!
+//! The `STREAM_*` constants below partition the derivation space so no
+//! two stages can collide on a generator even when their indices overlap.
+
+use crate::empirical::MarginalDistribution;
+use crate::error::{validate_columns, DpCopulaError};
+use crate::kendall::dp_tau_matrix_par;
+use crate::mle::dp_mle_matrix_par;
+use crate::sampler::CopulaSampler;
+use crate::spearman::dp_spearman_matrix_par;
+use crate::synthesizer::{CorrelationMethod, DpCopula, Synthesis};
+use dphist::histogram::Histogram1D;
+use dphist::MarginRegistry;
+use dpmech::BudgetAccountant;
+use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
+use mathkit::Matrix;
+use std::time::{Duration, Instant};
+
+/// RNG stream for margin publication (index = attribute id).
+pub const STREAM_MARGINS: u64 = 1;
+/// RNG stream for the Kendall row subsample (index = 0).
+pub const STREAM_KENDALL_SAMPLE: u64 = 2;
+/// RNG stream for per-pair Kendall noise (index = pair id).
+pub const STREAM_KENDALL_NOISE: u64 = 3;
+/// RNG stream for per-pair MLE aggregate noise (index = pair id).
+pub const STREAM_MLE_NOISE: u64 = 4;
+/// RNG stream for per-pair Spearman noise (index = pair id).
+pub const STREAM_SPEARMAN_NOISE: u64 = 5;
+/// RNG stream for copula sampling (index = row-chunk id).
+pub const STREAM_SAMPLER: u64 = 6;
+
+/// Execution knobs for the staged engine. Orthogonal to
+/// [`crate::synthesizer::DpCopulaConfig`]: the config decides *what* is
+/// released, the options decide *how fast* — by the determinism contract
+/// they can never change the released bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Worker threads for the fan-out stages. `1` runs everything inline
+    /// on the caller's thread; any value yields identical output.
+    pub workers: usize,
+    /// Rows per sampling task. Smaller chunks balance better across
+    /// workers but spend more on per-chunk generator setup. Part of the
+    /// released value's identity (chunk boundaries key the sampling
+    /// streams), so changing it changes the sampled records — unlike
+    /// `workers`, which never does.
+    pub sample_chunk: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            workers: parkit::default_workers(),
+            sample_chunk: 8192,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options pinned to a specific worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// Wall-clock time spent in each pipeline stage of one staged run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Input validation, budget split, and accounting.
+    pub budget_plan: Duration,
+    /// DP marginal histogram publication (parallel over attributes).
+    pub margins: Duration,
+    /// DP correlation-matrix estimation (parallel over pairs).
+    pub correlation: Duration,
+    /// Clamping + eigenvalue positive-definite repair.
+    pub pd_repair: Duration,
+    /// Copula sampling (parallel over row chunks).
+    pub sampling: Duration,
+}
+
+impl StageTimings {
+    /// Sum over all five stages.
+    pub fn total(&self) -> Duration {
+        self.budget_plan + self.margins + self.correlation + self.pd_repair + self.sampling
+    }
+
+    /// `(stage name, duration)` pairs in pipeline order, for reports.
+    pub fn stages(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("budget_plan", self.budget_plan),
+            ("margins", self.margins),
+            ("correlation", self.correlation),
+            ("pd_repair", self.pd_repair),
+            ("sampling", self.sampling),
+        ]
+    }
+}
+
+/// What one staged run did, beyond the released [`Synthesis`].
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Worker count the fan-out stages ran with.
+    pub workers: usize,
+    /// The base seed every stream generator was derived from.
+    pub base_seed: u64,
+}
+
+impl DpCopula {
+    /// Runs the full pipeline as five explicit stages, fanning the
+    /// data-parallel ones out across `opts.workers` threads.
+    ///
+    /// Releases exactly the same kind of [`Synthesis`] as
+    /// [`DpCopula::synthesize`] (which delegates here), plus a
+    /// [`PipelineReport`] with per-stage timings. All randomness is
+    /// derived from `base_seed` via index-keyed streams, so for a fixed
+    /// `(data, config, base_seed, sample_chunk)` the output is
+    /// bit-identical at any worker count.
+    pub fn synthesize_staged(
+        &self,
+        columns: &[Vec<u32>],
+        domains: &[usize],
+        base_seed: u64,
+        opts: &EngineOptions,
+    ) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
+        let workers = opts.workers.max(1);
+        let mut timings = StageTimings::default();
+
+        // Stage 1: budget plan.
+        let t0 = Instant::now();
+        validate_columns(columns, domains)?;
+        let m = columns.len();
+        let n = columns[0].len();
+        if m > 1 && n < 2 {
+            // Pairwise correlation (Kendall/Spearman/MLE) needs >= 2
+            // observations.
+            return Err(DpCopulaError::TooFewRecords {
+                records: n,
+                required: 2,
+            });
+        }
+        let cfg = self.config();
+        let (eps1, eps2) = cfg.epsilon.split_ratio(cfg.k_ratio);
+        let mut accountant = BudgetAccountant::new(cfg.epsilon);
+        let eps_margin = eps1.divide(m);
+        timings.budget_plan = t0.elapsed();
+
+        // Stage 2: DP margins — one task per attribute, eps1/m each.
+        let t0 = Instant::now();
+        let margin_name = cfg.margin.registry_name();
+        let inputs: Vec<(usize, &Vec<u32>)> = columns.iter().enumerate().collect();
+        let noisy_margins: Vec<Vec<f64>> = parkit::par_map(workers, &inputs, |j, &(_, col)| {
+            let exact = Histogram1D::from_values(col, domains[j]);
+            let mut rng = parkit::stream_rng(base_seed, STREAM_MARGINS, j as u64);
+            MarginRegistry::builtin()
+                .publish(margin_name, exact.counts(), eps_margin, &mut rng)
+                .expect("builtin registry covers every MarginMethod")
+        });
+        for _ in 0..m {
+            accountant.spend(eps_margin)?;
+        }
+        let margins: Vec<MarginalDistribution> = noisy_margins
+            .iter()
+            .map(|noisy| MarginalDistribution::from_noisy_histogram(noisy))
+            .collect();
+        timings.margins = t0.elapsed();
+
+        // Stage 3: DP correlation matrix (raw, pre-repair) with eps2.
+        let t0 = Instant::now();
+        let raw = if m == 1 {
+            Matrix::identity(1)
+        } else {
+            match cfg.method {
+                CorrelationMethod::Kendall(strategy) => {
+                    dp_tau_matrix_par(columns, eps2, strategy, base_seed, workers)?
+                }
+                CorrelationMethod::Mle(strategy) => {
+                    dp_mle_matrix_par(columns, eps2, strategy, base_seed, workers)?
+                }
+                CorrelationMethod::Spearman => {
+                    dp_spearman_matrix_par(columns, eps2, base_seed, workers)?
+                }
+            }
+        };
+        if m > 1 {
+            accountant.spend(eps2)?;
+        }
+        timings.correlation = t0.elapsed();
+
+        // Stage 4: clamp + positive-definite repair (post-processing).
+        let t0 = Instant::now();
+        let correlation = if m == 1 {
+            raw
+        } else {
+            let mut p = raw;
+            clamp_to_correlation(&mut p);
+            repair_positive_definite(&p)
+        };
+        timings.pd_repair = t0.elapsed();
+
+        // Stage 5: copula sampling — one task per row chunk
+        // (post-processing, no budget).
+        let t0 = Instant::now();
+        let sampler = CopulaSampler::new(&correlation, margins)?;
+        let n_out = cfg.output_records.unwrap_or(n);
+        let out_columns =
+            sampler.sample_columns_chunked(n_out, base_seed, workers, opts.sample_chunk);
+        timings.sampling = t0.elapsed();
+
+        Ok((
+            Synthesis {
+                columns: out_columns,
+                correlation,
+                noisy_margins,
+                epsilon_margins: eps1.value(),
+                epsilon_correlations: if m > 1 { eps2.value() } else { 0.0 },
+            },
+            PipelineReport {
+                timings,
+                workers,
+                base_seed,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kendall::SamplingStrategy;
+    use crate::mle::PartitionStrategy;
+    use crate::synthesizer::{DpCopulaConfig, MarginMethod};
+    use dpmech::Epsilon;
+    use rngkit::rngs::StdRng;
+    use rngkit::{Rng, SeedableRng};
+
+    fn test_columns(m: usize, n: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+        (0..m)
+            .map(|j| {
+                base.iter()
+                    .map(|&v| (v + rng.gen_range(0..domain / 4) + j as u32) % domain)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn staged_output_is_worker_count_invariant() {
+        let cols = test_columns(3, 2_000, 64, 1);
+        let domains = vec![64usize; 3];
+        let mut config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+        config.method = CorrelationMethod::Kendall(SamplingStrategy::Fixed(500));
+        let dp = DpCopula::new(config);
+
+        let (base, report) = dp
+            .synthesize_staged(&cols, &domains, 42, &EngineOptions::with_workers(1))
+            .unwrap();
+        assert_eq!(report.workers, 1);
+        for workers in [2, 7] {
+            let (out, report) = dp
+                .synthesize_staged(&cols, &domains, 42, &EngineOptions::with_workers(workers))
+                .unwrap();
+            assert_eq!(report.workers, workers);
+            assert_eq!(out.columns, base.columns, "workers={workers}");
+            assert_eq!(out.correlation, base.correlation, "workers={workers}");
+            assert_eq!(out.noisy_margins, base.noisy_margins, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn staged_report_times_every_stage() {
+        let cols = test_columns(2, 3_000, 32, 2);
+        let dp = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()));
+        let (_, report) = dp
+            .synthesize_staged(&cols, &[32, 32], 7, &EngineOptions::default())
+            .unwrap();
+        let t = report.timings;
+        // Margins, correlation and sampling do real work; the plan and
+        // repair stages may round to zero but must not exceed the total.
+        assert!(t.margins > Duration::ZERO);
+        assert!(t.correlation > Duration::ZERO);
+        assert!(t.sampling > Duration::ZERO);
+        assert_eq!(
+            t.total(),
+            t.stages().iter().map(|(_, d)| *d).sum::<Duration>()
+        );
+    }
+
+    #[test]
+    fn staged_runs_every_correlation_method() {
+        let cols = test_columns(3, 4_000, 40, 3);
+        let domains = vec![40usize; 3];
+        for method in [
+            CorrelationMethod::Kendall(SamplingStrategy::Auto),
+            CorrelationMethod::Mle(PartitionStrategy::Fixed(80)),
+            CorrelationMethod::Spearman,
+        ] {
+            let mut config = DpCopulaConfig::kendall(Epsilon::new(2.0).unwrap());
+            config.method = method;
+            let (one, _) = DpCopula::new(config)
+                .synthesize_staged(&cols, &domains, 5, &EngineOptions::with_workers(1))
+                .unwrap();
+            let (two, _) = DpCopula::new(config)
+                .synthesize_staged(&cols, &domains, 5, &EngineOptions::with_workers(2))
+                .unwrap();
+            assert_eq!(one.columns, two.columns, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn staged_single_attribute_short_circuits_correlation() {
+        let cols = vec![(0..500u32).map(|i| i % 40).collect::<Vec<_>>()];
+        let dp = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()));
+        let (out, _) = dp
+            .synthesize_staged(&cols, &[40], 9, &EngineOptions::default())
+            .unwrap();
+        assert_eq!(out.correlation, Matrix::identity(1));
+        assert_eq!(out.epsilon_correlations, 0.0);
+    }
+
+    #[test]
+    fn registry_backed_margins_cover_every_method() {
+        let cols = test_columns(2, 1_500, 32, 4);
+        for margin in [
+            MarginMethod::Efpa,
+            MarginMethod::EfpaDct,
+            MarginMethod::Identity,
+            MarginMethod::Privelet,
+            MarginMethod::Php,
+            MarginMethod::Hierarchical,
+            MarginMethod::NoiseFirst,
+            MarginMethod::StructureFirst,
+        ] {
+            let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()).with_margin(margin);
+            let (out, _) = DpCopula::new(config)
+                .synthesize_staged(&cols, &[32, 32], 11, &EngineOptions::default())
+                .unwrap();
+            assert_eq!(out.noisy_margins.len(), 2, "margin {margin:?}");
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Error type for the DPCopula pipeline.
 
 use dpmech::BudgetError;
+use mathkit::cholesky::CholeskyError;
 
 /// Everything that can go wrong while fitting or sampling a DP copula.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +53,10 @@ pub enum DpCopulaError {
         /// Records available.
         records: usize,
     },
+    /// A correlation matrix failed the Cholesky factorisation even after
+    /// the eigenvalue repair — numerically it is not positive definite,
+    /// so no copula can be sampled from it.
+    NotPositiveDefinite(CholeskyError),
 }
 
 impl std::fmt::Display for DpCopulaError {
@@ -87,6 +92,9 @@ impl std::fmt::Display for DpCopulaError {
                 "DPCopula-MLE requires at least {required_partitions} partitions \
                  of >= 2 records but only {records} records are available"
             ),
+            DpCopulaError::NotPositiveDefinite(e) => {
+                write!(f, "correlation matrix is not positive definite: {e}")
+            }
         }
     }
 }
@@ -96,6 +104,12 @@ impl std::error::Error for DpCopulaError {}
 impl From<BudgetError> for DpCopulaError {
     fn from(e: BudgetError) -> Self {
         DpCopulaError::Budget(e)
+    }
+}
+
+impl From<CholeskyError> for DpCopulaError {
+    fn from(e: CholeskyError) -> Self {
+        DpCopulaError::NotPositiveDefinite(e)
     }
 }
 

@@ -150,8 +150,7 @@ impl HybridSynthesizer {
         // release over the small attributes (all-binary only).
         let all_binary = small.iter().all(|&j| domains[j] == 2);
         let barak = if cfg.count_method == CountMethod::Barak && all_binary {
-            let small_cols: Vec<Vec<u32>> =
-                small.iter().map(|&j| columns[j].clone()).collect();
+            let small_cols: Vec<Vec<u32>> = small.iter().map(|&j| columns[j].clone()).collect();
             Some(dphist::barak::BarakTable::publish(
                 &small_cols,
                 eps_counts,
@@ -182,8 +181,7 @@ impl HybridSynthesizer {
                     geometric.release(rows.len() as i64, rng).max(0) as usize
                 }
                 (None, _) => {
-                    let noisy =
-                        rows.len() as f64 + laplace_noise(rng, 1.0 / eps_counts.value());
+                    let noisy = rows.len() as f64 + laplace_noise(rng, 1.0 / eps_counts.value());
                     noisy.round().max(0.0) as usize
                 }
             };
@@ -239,12 +237,7 @@ impl HybridSynthesizer {
 }
 
 /// Enumerates the cross product of the small attributes' domains.
-fn build_keys(
-    small: &[usize],
-    domains: &[usize],
-    prefix: &mut Vec<u32>,
-    out: &mut Vec<Vec<u32>>,
-) {
+fn build_keys(small: &[usize], domains: &[usize], prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
     if prefix.len() == small.len() {
         out.push(prefix.clone());
         return;
@@ -317,16 +310,14 @@ mod tests {
             .filter(|(_, &g)| g == 1)
             .map(|(&a, _)| a)
             .collect();
-        let mean_g1 = ages_g1.iter().map(|&a| f64::from(a)).sum::<f64>()
-            / ages_g1.len() as f64;
+        let mean_g1 = ages_g1.iter().map(|&a| f64::from(a)).sum::<f64>() / ages_g1.len() as f64;
         let ages_g0: Vec<u32> = out.columns[1]
             .iter()
             .zip(&out.columns[0])
             .filter(|(_, &g)| g == 0)
             .map(|(&a, _)| a)
             .collect();
-        let mean_g0 = ages_g0.iter().map(|&a| f64::from(a)).sum::<f64>()
-            / ages_g0.len() as f64;
+        let mean_g0 = ages_g0.iter().map(|&a| f64::from(a)).sum::<f64>() / ages_g0.len() as f64;
         assert!(
             mean_g1 > mean_g0 + 20.0,
             "group means g1={mean_g1} g0={mean_g0}"

@@ -3,6 +3,8 @@
 //! of Algorithm 5 (sensitivity `4/(n+1)`, Lemma 4.1), and the
 //! record-sampling speed-up of §4.2.
 
+use crate::engine::{STREAM_KENDALL_NOISE, STREAM_KENDALL_SAMPLE};
+use crate::error::DpCopulaError;
 use dpmech::{laplace_noise, Epsilon};
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::Matrix;
@@ -139,12 +141,7 @@ pub fn kendall_sensitivity(n: usize) -> f64 {
 
 /// Releases one pairwise Kendall's tau under `epsilon`-DP: the sample
 /// coefficient plus `Lap(4 / ((n+1) * epsilon))` (Algorithm 5, step 1).
-pub fn dp_kendall_tau<R: Rng + ?Sized>(
-    x: &[u32],
-    y: &[u32],
-    epsilon: Epsilon,
-    rng: &mut R,
-) -> f64 {
+pub fn dp_kendall_tau<R: Rng + ?Sized>(x: &[u32], y: &[u32], epsilon: Epsilon, rng: &mut R) -> f64 {
     let tau = kendall_tau(x, y);
     tau + laplace_noise(rng, kendall_sensitivity(x.len()) / epsilon.value())
 }
@@ -153,8 +150,202 @@ pub fn dp_kendall_tau<R: Rng + ?Sized>(
 /// `n_hat > 50 m (m-1) / eps2 - 1` sampled records keeps the (enlarged)
 /// Laplace noise small relative to the coefficient scale while making the
 /// runtime independent of `n` (§4.2, "Computation complexity").
+///
+/// With fewer than two attributes there are no pairs to estimate, so the
+/// formula degenerates; the function returns the floor of 2 records (the
+/// minimum any tau computation needs) instead of evaluating it.
 pub fn recommended_sample_size(m: usize, eps2_total: f64) -> usize {
-    ((50.0 * (m as f64) * (m as f64 - 1.0) / eps2_total) - 1.0).ceil().max(2.0) as usize + 1
+    if m <= 1 {
+        return 2;
+    }
+    ((50.0 * (m as f64) * (m as f64 - 1.0) / eps2_total) - 1.0)
+        .ceil()
+        .max(2.0) as usize
+        + 1
+}
+
+/// Cached per-column rank structure for batched tau computation.
+///
+/// Computing Kendall's tau for every pair `(i, j)` from scratch re-sorts
+/// both columns per pair. This cache does the expensive per-column work
+/// once — the stable sort order, the tied-group boundaries in that order,
+/// dense tie-ranks, and the tied-pair count — so each of the `C(m,2)`
+/// pairs runs sort-free in O(n log d) (d = distinct values).
+/// [`kendall_tau_cached`] reproduces [`kendall_tau`] bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct RankedColumn {
+    values: Vec<u32>,
+    /// Indices of `values` in ascending value order (stable).
+    order: Vec<u32>,
+    /// Start offsets of tied runs in `order`, terminated by `n`.
+    group_starts: Vec<u32>,
+    /// Dense tie-rank per original index: `dense[i] = g` iff `values[i]`
+    /// falls in the `g`-th tied run. Compresses the value range to
+    /// `0..num_groups` so pair computations can index arrays by rank.
+    dense: Vec<u32>,
+    /// Number of tied pairs `C(g,2)` summed over tied groups.
+    tie_pairs: u64,
+}
+
+impl RankedColumn {
+    /// Builds the cache, taking ownership of the column values.
+    ///
+    /// Uses a counting sort when the value range is small relative to the
+    /// column length (the common case for categorical attributes),
+    /// otherwise a stable comparison sort.
+    pub fn new(values: Vec<u32>) -> Self {
+        let n = values.len();
+        let max = values.iter().copied().max().unwrap_or(0) as usize;
+        let order: Vec<u32> = if max < 4 * n.max(16) {
+            // Stable counting sort: prefix sums give each value its first
+            // slot; scanning indices in order keeps ties in input order.
+            let mut starts = vec![0u32; max + 2];
+            for &v in &values {
+                starts[v as usize + 1] += 1;
+            }
+            for k in 1..starts.len() {
+                starts[k] += starts[k - 1];
+            }
+            let mut order = vec![0u32; n];
+            for (i, &v) in values.iter().enumerate() {
+                let slot = &mut starts[v as usize];
+                order[*slot as usize] = i as u32;
+                *slot += 1;
+            }
+            order
+        } else {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_by_key(|&i| values[i as usize]);
+            order
+        };
+
+        let mut group_starts = Vec::new();
+        let mut dense = vec![0u32; n];
+        let mut tie_pairs = 0u64;
+        let mut i = 0usize;
+        while i < n {
+            group_starts.push(i as u32);
+            let v = values[order[i] as usize];
+            let mut j = i + 1;
+            while j < n && values[order[j] as usize] == v {
+                j += 1;
+            }
+            let rank = (group_starts.len() - 1) as u32;
+            for &idx in &order[i..j] {
+                dense[idx as usize] = rank;
+            }
+            let g = (j - i) as u64;
+            tie_pairs += g * (g - 1) / 2;
+            i = j;
+        }
+        group_starts.push(n as u32);
+
+        Self {
+            values,
+            order,
+            group_starts,
+            dense,
+            tie_pairs,
+        }
+    }
+
+    /// Number of distinct values (tied runs).
+    pub fn num_groups(&self) -> usize {
+        self.group_starts.len() - 1
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of tied pairs in this column.
+    pub fn tie_pairs(&self) -> u64 {
+        self.tie_pairs
+    }
+
+    /// The raw column values.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+}
+
+/// Kendall's tau from two cached columns — bit-identical to
+/// [`kendall_tau`] on the same data, but reusing the per-column rank
+/// structure so each pair needs no sorting at all.
+///
+/// Discordant pairs have `x_a < x_b` and `y_a > y_b`: walking x's tied
+/// groups in ascending order while folding earlier groups' dense y ranks
+/// into a Fenwick tree counts, for each element, how many smaller-x
+/// elements carry a strictly greater y. That integer equals the strict
+/// inversion count `kendall_tau` extracts from its merge sort (within-
+/// group pairs are tied in x and contribute no inversions there either),
+/// so the final division produces the same f64 bit pattern.
+///
+/// # Panics
+/// Panics when the columns differ in length or have fewer than 2 elements.
+pub fn kendall_tau_cached(x: &RankedColumn, y: &RankedColumn) -> f64 {
+    let n = x.len();
+    assert_eq!(n, y.len(), "kendall_tau length mismatch");
+    assert!(n >= 2, "kendall_tau needs at least 2 observations");
+
+    let gy = y.num_groups();
+    // 1-indexed Fenwick tree over dense y ranks of all smaller-x elements.
+    let mut fenwick = vec![0u32; gy + 1];
+    let prefix = |f: &[u32], mut k: usize| -> u64 {
+        let mut s = 0u64;
+        while k > 0 {
+            s += u64::from(f[k]);
+            k &= k - 1;
+        }
+        s
+    };
+
+    let mut n_d = 0u64;
+    let mut t_xy = 0u64;
+    let mut seen = 0u64;
+    // Scratch tallies per dense y rank within the current x group, with a
+    // touched-list reset so each group costs O(group size): summing the
+    // running tally before each increment accumulates C(c,2) per tied
+    // (x, y) cell, i.e. exactly `kendall_tau`'s t_xy.
+    let mut counts = vec![0u32; gy];
+    let mut touched: Vec<u32> = Vec::new();
+    for w in x.group_starts.windows(2) {
+        let (a, b) = (w[0] as usize, w[1] as usize);
+        for &idx in &x.order[a..b] {
+            let r = y.dense[idx as usize] as usize;
+            n_d += seen - prefix(&fenwick, r + 1);
+            t_xy += u64::from(counts[r]);
+            if counts[r] == 0 {
+                touched.push(r as u32);
+            }
+            counts[r] += 1;
+        }
+        // The whole group enters the tree only after it is scored, so
+        // tied-x pairs never count as discordant.
+        for &idx in &x.order[a..b] {
+            let mut k = y.dense[idx as usize] as usize + 1;
+            while k <= gy {
+                fenwick[k] += 1;
+                k += k & k.wrapping_neg();
+            }
+        }
+        seen += (b - a) as u64;
+        for &r in &touched {
+            counts[r as usize] = 0;
+        }
+        touched.clear();
+    }
+
+    let total = (n as u64) * (n as u64 - 1) / 2;
+    let ties = x.tie_pairs + y.tie_pairs - t_xy;
+    let n_c = total - n_d - ties;
+    (n_c as f64 - n_d as f64) / total as f64
 }
 
 /// How many records to use when computing each pairwise tau.
@@ -224,6 +415,81 @@ pub fn dp_correlation_matrix<R: Rng + ?Sized>(
     }
     clamp_to_correlation(&mut p);
     repair_positive_definite(&p)
+}
+
+/// The staged-engine version of Algorithm 5's estimator: noisy pairwise
+/// Kendall's tau computed from cached per-column rank structures
+/// ([`RankedColumn`]) and fanned out across `workers` threads, returning
+/// the **raw** `sin(pi/2 * tau)` matrix. Clamping and the
+/// positive-definite repair are a separate pipeline stage (see
+/// [`crate::engine`]), so they are *not* applied here.
+///
+/// Determinism: the row subsample is drawn from
+/// `stream_rng(base_seed, STREAM_KENDALL_SAMPLE, 0)` and pair `k`'s
+/// Laplace noise from `stream_rng(base_seed, STREAM_KENDALL_NOISE, k)` —
+/// both pure functions of logical indices — so the result is
+/// bit-identical at any worker count.
+pub fn dp_tau_matrix_par(
+    columns: &[Vec<u32>],
+    eps2_total: Epsilon,
+    strategy: SamplingStrategy,
+    base_seed: u64,
+    workers: usize,
+) -> Result<Matrix, DpCopulaError> {
+    let m = columns.len();
+    if m == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    if m == 1 {
+        return Ok(Matrix::identity(1));
+    }
+    let n = columns[0].len();
+    if n < 2 {
+        return Err(DpCopulaError::TooFewRecords {
+            records: n,
+            required: 2,
+        });
+    }
+    let pairs = m * (m - 1) / 2;
+    let eps_pair = eps2_total.divide(pairs);
+
+    let sample_target = match strategy {
+        SamplingStrategy::Full => n,
+        SamplingStrategy::Auto => recommended_sample_size(m, eps2_total.value()).min(n),
+        SamplingStrategy::Fixed(k) => k.clamp(2, n),
+    };
+    let rows: Vec<usize> = if sample_target < n {
+        let mut rng = parkit::stream_rng(base_seed, STREAM_KENDALL_SAMPLE, 0);
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(&mut rng);
+        all.truncate(sample_target);
+        all
+    } else {
+        (0..n).collect()
+    };
+
+    // Per-column rank caches — pure, keyed by attribute index.
+    let ranked: Vec<RankedColumn> = parkit::par_map(workers, columns, |_, col| {
+        RankedColumn::new(rows.iter().map(|&r| col[r]).collect())
+    });
+    let n_s = ranked[0].len();
+
+    let pair_ids: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+        .collect();
+    let coeffs = parkit::par_map(workers, &pair_ids, |k, &(i, j)| {
+        let tau = kendall_tau_cached(&ranked[i], &ranked[j]);
+        let mut rng = parkit::stream_rng(base_seed, STREAM_KENDALL_NOISE, k as u64);
+        let noisy = tau + laplace_noise(&mut rng, kendall_sensitivity(n_s) / eps_pair.value());
+        (std::f64::consts::FRAC_PI_2 * noisy).sin()
+    });
+
+    let mut p = Matrix::identity(m);
+    for (&(i, j), &r) in pair_ids.iter().zip(&coeffs) {
+        p[(i, j)] = r;
+        p[(j, i)] = r;
+    }
+    Ok(p)
 }
 
 #[cfg(test)]
@@ -339,6 +605,78 @@ mod tests {
             &mut rng,
         );
         assert_eq!(p, Matrix::identity(1));
+    }
+
+    #[test]
+    fn cached_tau_matches_plain_implementation_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..300);
+            // Mix small domains (counting sort, heavy ties) and large ones
+            // (comparison sort, few ties).
+            let domain = if rng.gen_range(0..2) == 0 {
+                rng.gen_range(2..8u32)
+            } else {
+                rng.gen_range(1_000..1_000_000u32)
+            };
+            let x: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+            let y: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+            let plain = kendall_tau(&x, &y);
+            let rx = RankedColumn::new(x);
+            let ry = RankedColumn::new(y);
+            let cached = kendall_tau_cached(&rx, &ry);
+            assert_eq!(plain.to_bits(), cached.to_bits(), "n={n} domain={domain}");
+        }
+    }
+
+    #[test]
+    fn ranked_column_counts_ties() {
+        let r = RankedColumn::new(vec![3, 1, 3, 3, 1]);
+        // Groups {1,1} and {3,3,3}: C(2,2) + C(3,2) = 1 + 3.
+        assert_eq!(r.tie_pairs(), 4);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn recommended_sample_size_guards_degenerate_arity() {
+        assert_eq!(recommended_sample_size(0, 1.0), 2);
+        assert_eq!(recommended_sample_size(1, 1.0), 2);
+    }
+
+    #[test]
+    fn par_tau_matrix_is_worker_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cols: Vec<Vec<u32>> = (0..4)
+            .map(|_| (0..800).map(|_| rng.gen_range(0..50u32)).collect())
+            .collect();
+        let eps = Epsilon::new(1.0).unwrap();
+        let base = dp_tau_matrix_par(&cols, eps, SamplingStrategy::Fixed(300), 99, 1).unwrap();
+        for workers in [2, 7] {
+            let p =
+                dp_tau_matrix_par(&cols, eps, SamplingStrategy::Fixed(300), 99, workers).unwrap();
+            assert_eq!(p, base, "workers={workers}");
+        }
+        // Different seed, different matrix.
+        let other = dp_tau_matrix_par(&cols, eps, SamplingStrategy::Fixed(300), 100, 1).unwrap();
+        assert_ne!(other, base);
+    }
+
+    #[test]
+    fn par_tau_matrix_rejects_degenerate_inputs() {
+        let eps = Epsilon::new(1.0).unwrap();
+        assert_eq!(
+            dp_tau_matrix_par(&[], eps, SamplingStrategy::Full, 1, 1).unwrap_err(),
+            DpCopulaError::EmptyInput
+        );
+        let one_record = vec![vec![1u32], vec![2u32]];
+        assert!(matches!(
+            dp_tau_matrix_par(&one_record, eps, SamplingStrategy::Full, 1, 1).unwrap_err(),
+            DpCopulaError::TooFewRecords { .. }
+        ));
+        let single =
+            dp_tau_matrix_par(&[vec![1u32, 2, 3]], eps, SamplingStrategy::Full, 1, 4).unwrap();
+        assert_eq!(single, Matrix::identity(1));
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod convergence;
 pub mod empirical;
 pub mod empirical_copula;
+pub mod engine;
 pub mod error;
 pub mod evolving;
 pub mod gaussian;
@@ -57,5 +58,6 @@ pub mod spearman;
 pub mod synthesizer;
 pub mod tcopula;
 
+pub use engine::{EngineOptions, PipelineReport, StageTimings};
 pub use error::DpCopulaError;
 pub use synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod, Synthesis};

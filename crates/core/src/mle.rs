@@ -10,6 +10,7 @@
 //! `Lambda / l` — which is exactly what the noise is calibrated to.
 
 use crate::empirical::pseudo_copula_column;
+use crate::engine::STREAM_MLE_NOISE;
 use crate::error::DpCopulaError;
 use dpmech::{laplace_noise, Epsilon};
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
@@ -121,7 +122,9 @@ pub fn dp_correlation_matrix_mle<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Matrix, DpCopulaError> {
     let m = columns.len();
-    assert!(m >= 1, "need at least one column");
+    if m == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
     if m == 1 {
         return Ok(Matrix::identity(1));
     }
@@ -171,8 +174,7 @@ pub fn dp_correlation_matrix_mle<R: Rng + ?Sized>(
     }
 
     // Average + Laplace noise per coefficient.
-    let noise_scale =
-        (pairs as f64) * COEFFICIENT_DIAMETER / ((l as f64) * eps2_total.value());
+    let noise_scale = (pairs as f64) * COEFFICIENT_DIAMETER / ((l as f64) * eps2_total.value());
     let mut p = Matrix::identity(m);
     let mut k = 0;
     for i in 0..m {
@@ -186,6 +188,101 @@ pub fn dp_correlation_matrix_mle<R: Rng + ?Sized>(
     }
     clamp_to_correlation(&mut p);
     Ok(repair_positive_definite(&p))
+}
+
+/// The staged-engine version of Algorithm 2: block MLEs fanned out
+/// across `workers` threads (one task per block — pure, no randomness),
+/// summed in block order so the floating-point reduction is fixed, then
+/// released with per-pair Laplace noise from index-keyed streams.
+/// Returns the **raw** noisy matrix; clamping and the positive-definite
+/// repair are a separate pipeline stage (see [`crate::engine`]).
+///
+/// Bit-identical at any worker count: block results are keyed by block
+/// id, pair `k`'s noise comes from
+/// `stream_rng(base_seed, STREAM_MLE_NOISE, k)`.
+pub fn dp_mle_matrix_par(
+    columns: &[Vec<u32>],
+    eps2_total: Epsilon,
+    strategy: PartitionStrategy,
+    base_seed: u64,
+    workers: usize,
+) -> Result<Matrix, DpCopulaError> {
+    let m = columns.len();
+    if m == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    if m == 1 {
+        return Ok(Matrix::identity(1));
+    }
+    let n = columns[0].len();
+    let pairs = m * (m - 1) / 2;
+
+    let l = match strategy {
+        PartitionStrategy::Auto => {
+            let req = required_partitions(m, eps2_total.value());
+            if req * MIN_BLOCK_SIZE > n {
+                return Err(DpCopulaError::InsufficientDataForMle {
+                    required_partitions: req,
+                    records: n,
+                });
+            }
+            req
+        }
+        PartitionStrategy::Fixed(l) => l.max(1),
+    };
+    let block = n / l;
+    if block < MIN_BLOCK_SIZE {
+        return Err(DpCopulaError::InsufficientDataForMle {
+            required_partitions: l,
+            records: n,
+        });
+    }
+
+    // One pure task per block: its per-pair MLE vector.
+    let block_ids: Vec<usize> = (0..l).collect();
+    let per_block: Vec<Vec<f64>> = parkit::par_map(workers, &block_ids, |_, &t| {
+        let lo = t * block;
+        let hi = lo + block; // the remainder tail (< block) is dropped
+        let scores: Vec<Vec<f64>> = columns
+            .iter()
+            .map(|col| {
+                pseudo_copula_column(&col[lo..hi])
+                    .iter()
+                    .map(|&u| norm_quantile(u))
+                    .collect()
+            })
+            .collect();
+        let mut v = Vec::with_capacity(pairs);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                v.push(pairwise_mle(&scores[i], &scores[j]));
+            }
+        }
+        v
+    });
+
+    // Fixed-order reduction: summing blocks 0..l keeps the f64 result
+    // independent of which worker computed which block.
+    let mut sums = vec![0.0; pairs];
+    for v in &per_block {
+        for (s, &x) in sums.iter_mut().zip(v) {
+            *s += x;
+        }
+    }
+
+    let noise_scale = (pairs as f64) * COEFFICIENT_DIAMETER / ((l as f64) * eps2_total.value());
+    let mut p = Matrix::identity(m);
+    let mut k = 0;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let mut rng = parkit::stream_rng(base_seed, STREAM_MLE_NOISE, k as u64);
+            let noisy = sums[k] / l as f64 + laplace_noise(&mut rng, noise_scale);
+            p[(i, j)] = noisy;
+            p[(j, i)] = noisy;
+            k += 1;
+        }
+    }
+    Ok(p)
 }
 
 #[cfg(test)]
@@ -265,13 +362,37 @@ mod tests {
         assert!(is_positive_definite(&p));
         for i in 0..3 {
             for j in (i + 1)..3 {
-                assert!(
-                    (p[(i, j)] - 0.7).abs() < 0.15,
-                    "p[{i}{j}] = {}",
-                    p[(i, j)]
-                );
+                assert!((p[(i, j)] - 0.7).abs() < 0.15, "p[{i}{j}] = {}", p[(i, j)]);
             }
         }
+    }
+
+    #[test]
+    fn par_mle_matrix_is_worker_count_invariant() {
+        let cols = correlated_columns(0.6, 3, 6_000, 7);
+        let eps = Epsilon::new(2.0).unwrap();
+        let base = dp_mle_matrix_par(&cols, eps, PartitionStrategy::Fixed(50), 31, 1).unwrap();
+        for workers in [2, 7] {
+            let p =
+                dp_mle_matrix_par(&cols, eps, PartitionStrategy::Fixed(50), 31, workers).unwrap();
+            assert_eq!(p, base, "workers={workers}");
+        }
+        // The raw release still carries the signal.
+        assert!(base[(0, 1)] > 0.3, "p01 {}", base[(0, 1)]);
+    }
+
+    #[test]
+    fn par_mle_matrix_rejects_degenerate_inputs() {
+        let eps = Epsilon::new(1.0).unwrap();
+        assert_eq!(
+            dp_mle_matrix_par(&[], eps, PartitionStrategy::Auto, 1, 1).unwrap_err(),
+            DpCopulaError::EmptyInput
+        );
+        let tiny = vec![vec![1u32, 2, 3], vec![3u32, 2, 1]];
+        assert!(matches!(
+            dp_mle_matrix_par(&tiny, eps, PartitionStrategy::Fixed(1), 1, 1).unwrap_err(),
+            DpCopulaError::InsufficientDataForMle { .. }
+        ));
     }
 
     #[test]

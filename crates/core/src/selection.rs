@@ -139,8 +139,7 @@ pub fn dp_mean_log_likelihood<R: Rng + ?Sized>(
                 let c = TCopula::new(p, df).expect("repaired matrix is PD");
                 let t = mathkit::dist::StudentT::new(df).expect("positive df");
                 for row in 0..block {
-                    let x: Vec<f64> =
-                        u_cols.iter().map(|u| t.quantile(u[row])).collect();
+                    let x: Vec<f64> = u_cols.iter().map(|u| t.quantile(u[row])).collect();
                     block_ll += c.log_density_scores(&x).clamp(-LL_CLAMP, LL_CLAMP);
                 }
             }
@@ -216,8 +215,7 @@ pub fn dp_select_family<R: Rng + ?Sized>(
                     let c = TCopula::new(p.clone(), df).expect("repaired matrix is PD");
                     let tdist = mathkit::dist::StudentT::new(df).expect("positive df");
                     for row in 0..block {
-                        let x: Vec<f64> =
-                            u_cols.iter().map(|u| tdist.quantile(u[row])).collect();
+                        let x: Vec<f64> = u_cols.iter().map(|u| tdist.quantile(u[row])).collect();
                         ll += c.log_density_scores(&x).clamp(-LL_CLAMP, LL_CLAMP);
                     }
                 }
@@ -242,7 +240,11 @@ pub fn dp_select_family<R: Rng + ?Sized>(
         .collect();
     let best = scores
         .iter()
-        .max_by(|a, b| a.noisy_votes.partial_cmp(&b.noisy_votes).expect("finite votes"))
+        .max_by(|a, b| {
+            a.noisy_votes
+                .partial_cmp(&b.noisy_votes)
+                .expect("finite votes")
+        })
         .expect("non-empty");
     Ok((best.family, scores.clone()))
 }
@@ -338,12 +340,12 @@ pub fn synthesize_adaptive<R: Rng + ?Sized>(
 
     let n_out = config.base.output_records.unwrap_or(n);
     let columns_out = match family {
-        CopulaFamily::Gaussian => CopulaSampler::new(&correlation, margins)
-            .expect("repaired matrix is PD")
-            .sample_columns(n_out, rng),
-        CopulaFamily::StudentT { df } => TCopulaSampler::new(&correlation, df, margins)
-            .expect("repaired matrix is PD")
-            .sample_columns(n_out, rng),
+        CopulaFamily::Gaussian => {
+            CopulaSampler::new(&correlation, margins)?.sample_columns(n_out, rng)
+        }
+        CopulaFamily::StudentT { df } => {
+            TCopulaSampler::new(&correlation, df, margins)?.sample_columns(n_out, rng)
+        }
     };
 
     Ok(AdaptiveSynthesis {
@@ -373,16 +375,15 @@ mod tests {
 
     fn gaussian_data(n: usize, seed: u64) -> Vec<Vec<u32>> {
         let p = equicorrelation(2, 0.6);
-        let s = CopulaSampler::new(&p, vec![uniform_margin(400), uniform_margin(400)])
-            .unwrap();
+        let s = CopulaSampler::new(&p, vec![uniform_margin(400), uniform_margin(400)]).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         s.sample_columns(n, &mut rng)
     }
 
     fn t_data(n: usize, seed: u64) -> Vec<Vec<u32>> {
         let p = equicorrelation(2, 0.6);
-        let s = TCopulaSampler::new(&p, 3.0, vec![uniform_margin(400), uniform_margin(400)])
-            .unwrap();
+        let s =
+            TCopulaSampler::new(&p, 3.0, vec![uniform_margin(400), uniform_margin(400)]).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         s.sample_columns(n, &mut rng)
     }
@@ -426,23 +427,14 @@ mod tests {
     fn adaptive_synthesis_runs_end_to_end() {
         let cols = t_data(8_000, 5);
         let mut rng = StdRng::seed_from_u64(6);
-        let config = AdaptiveConfig::new(DpCopulaConfig::kendall(
-            Epsilon::new(5.0).unwrap(),
-        ));
+        let config = AdaptiveConfig::new(DpCopulaConfig::kendall(Epsilon::new(5.0).unwrap()));
         let out = synthesize_adaptive(&config, &cols, &[400, 400], &mut rng).unwrap();
         assert_eq!(out.synthesis.columns.len(), 2);
         assert_eq!(out.synthesis.columns[0].len(), 8_000);
-        assert!(out
-            .synthesis
-            .columns
-            .iter()
-            .flatten()
-            .all(|&v| v < 400));
+        assert!(out.synthesis.columns.iter().flatten().all(|&v| v < 400));
         assert_eq!(out.scores.len(), 3);
         // Budget: selection 10% + (margins + correlations) = total.
-        let spent = 0.5
-            + out.synthesis.epsilon_margins
-            + out.synthesis.epsilon_correlations;
+        let spent = 0.5 + out.synthesis.epsilon_margins + out.synthesis.epsilon_correlations;
         assert!((spent - 5.0).abs() < 1e-9, "spent {spent}");
     }
 

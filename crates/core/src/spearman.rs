@@ -24,6 +24,8 @@
 //! `4/(n+1)`, which is exactly why the paper prefers Kendall. The bound
 //! is verified empirically by a property test.
 
+use crate::engine::STREAM_SPEARMAN_NOISE;
+use crate::error::DpCopulaError;
 use dpmech::{laplace_noise, Epsilon};
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::stats::ranks;
@@ -91,6 +93,62 @@ pub fn dp_correlation_matrix_spearman<R: Rng + ?Sized>(
     }
     clamp_to_correlation(&mut p);
     repair_positive_definite(&p)
+}
+
+/// The staged-engine version of the Spearman estimator: per-column rank
+/// vectors are computed once (one pure task per attribute) instead of
+/// per pair, then the `C(m,2)` coefficients fan out across `workers`
+/// threads with per-pair noise streams. Returns the **raw**
+/// `2 sin(pi/6 rho_s)` matrix; clamping and the positive-definite repair
+/// are a separate pipeline stage (see [`crate::engine`]).
+///
+/// Bit-identical at any worker count: pair `k`'s noise comes from
+/// `stream_rng(base_seed, STREAM_SPEARMAN_NOISE, k)`.
+pub fn dp_spearman_matrix_par(
+    columns: &[Vec<u32>],
+    eps2_total: Epsilon,
+    base_seed: u64,
+    workers: usize,
+) -> Result<Matrix, DpCopulaError> {
+    let m = columns.len();
+    if m == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    if m == 1 {
+        return Ok(Matrix::identity(1));
+    }
+    let n = columns[0].len();
+    if n < 2 {
+        return Err(DpCopulaError::TooFewRecords {
+            records: n,
+            required: 2,
+        });
+    }
+    let pairs = m * (m - 1) / 2;
+    let eps_pair = eps2_total.divide(pairs);
+
+    // Rank each column once — `spearman_rho` would redo this per pair.
+    let rank_cols: Vec<Vec<f64>> = parkit::par_map(workers, columns, |_, col| {
+        let f: Vec<f64> = col.iter().map(|&v| f64::from(v)).collect();
+        ranks(&f)
+    });
+
+    let pair_ids: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+        .collect();
+    let coeffs = parkit::par_map(workers, &pair_ids, |k, &(i, j)| {
+        let rho_s = mathkit::stats::pearson(&rank_cols[i], &rank_cols[j]);
+        let mut rng = parkit::stream_rng(base_seed, STREAM_SPEARMAN_NOISE, k as u64);
+        let noisy = rho_s + laplace_noise(&mut rng, spearman_sensitivity(n) / eps_pair.value());
+        2.0 * (std::f64::consts::PI / 6.0 * noisy.clamp(-1.0, 1.0)).sin()
+    });
+
+    let mut p = Matrix::identity(m);
+    for (&(i, j), &r) in pair_ids.iter().zip(&coeffs) {
+        p[(i, j)] = r;
+        p[(j, i)] = r;
+    }
+    Ok(p)
 }
 
 #[cfg(test)]
@@ -192,6 +250,44 @@ mod tests {
     }
 
     #[test]
+    fn par_spearman_matrix_is_worker_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(17);
+        use rngkit::Rng as _;
+        let base: Vec<u32> = (0..3_000).map(|_| rng.gen_range(0..200)).collect();
+        let cols: Vec<Vec<u32>> = (0..4)
+            .map(|j| {
+                base.iter()
+                    .map(|&v| (v + rng.gen_range(0u32..40) + j) % 200)
+                    .collect()
+            })
+            .collect();
+        let eps = Epsilon::new(1.0).unwrap();
+        let one = dp_spearman_matrix_par(&cols, eps, 23, 1).unwrap();
+        for workers in [2, 7] {
+            let p = dp_spearman_matrix_par(&cols, eps, 23, workers).unwrap();
+            assert_eq!(p, one, "workers={workers}");
+        }
+        assert!(one[(0, 1)] > 0.2, "p01 {}", one[(0, 1)]);
+    }
+
+    #[test]
+    fn par_spearman_matrix_rejects_degenerate_inputs() {
+        let eps = Epsilon::new(1.0).unwrap();
+        assert_eq!(
+            dp_spearman_matrix_par(&[], eps, 1, 1).unwrap_err(),
+            DpCopulaError::EmptyInput
+        );
+        assert!(matches!(
+            dp_spearman_matrix_par(&[vec![1u32], vec![2u32]], eps, 1, 1).unwrap_err(),
+            DpCopulaError::TooFewRecords { .. }
+        ));
+        assert_eq!(
+            dp_spearman_matrix_par(&[vec![1u32, 2]], eps, 1, 1).unwrap(),
+            Matrix::identity(1)
+        );
+    }
+
+    #[test]
     fn gaussian_mapping_agrees_with_kendall_mapping() {
         // On clean Gaussian-copula data both mappings should estimate the
         // same rho.
@@ -213,7 +309,13 @@ mod tests {
         let from_spearman = 2.0 * (std::f64::consts::PI / 6.0 * rho_s).sin();
         let tau = crate::kendall::kendall_tau(&cols[0], &cols[1]);
         let from_kendall = (std::f64::consts::FRAC_PI_2 * tau).sin();
-        assert!((from_spearman - rho).abs() < 0.02, "spearman-> {from_spearman}");
-        assert!((from_kendall - rho).abs() < 0.02, "kendall-> {from_kendall}");
+        assert!(
+            (from_spearman - rho).abs() < 0.02,
+            "spearman-> {from_spearman}"
+        );
+        assert!(
+            (from_kendall - rho).abs() < 0.02,
+            "kendall-> {from_kendall}"
+        );
     }
 }

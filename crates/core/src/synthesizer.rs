@@ -13,24 +13,14 @@
 //! 4. sample synthetic records from the resulting Gaussian copula
 //!    (Algorithm 3).
 
-use crate::empirical::MarginalDistribution;
-use crate::error::{validate_columns, DpCopulaError};
-use crate::kendall::{dp_correlation_matrix, SamplingStrategy};
-use crate::mle::{dp_correlation_matrix_mle, PartitionStrategy};
-use crate::sampler::CopulaSampler;
-use dphist::efpa::Efpa;
-use dphist::efpa_dct::EfpaDct;
-use dphist::hierarchical::Hierarchical;
-use dphist::histogram::Histogram1D;
-use dphist::identity::Identity;
-use dphist::noisefirst::NoiseFirst;
-use dphist::php::Php;
-use dphist::privelet::Privelet1d;
-use dphist::structurefirst::StructureFirst;
-use dphist::Publish1d;
-use dpmech::{BudgetAccountant, Epsilon};
+use crate::engine::EngineOptions;
+use crate::error::DpCopulaError;
+use crate::kendall::SamplingStrategy;
+use crate::mle::PartitionStrategy;
+use dphist::MarginRegistry;
+use dpmech::Epsilon;
 use mathkit::Matrix;
-use rngkit::Rng;
+use rngkit::{Rng, RngCore};
 
 /// Which algorithm estimates the DP correlation matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,25 +60,33 @@ pub enum MarginMethod {
 }
 
 impl MarginMethod {
-    /// Publishes one marginal histogram with the chosen algorithm.
-    pub fn publish<R: Rng + ?Sized>(
-        self,
-        counts: &[f64],
-        eps: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    /// The [`MarginRegistry`] name this variant resolves to. The enum is
+    /// only a typed façade over the registry — publication behaviour
+    /// lives with each method's [`dphist::Publish1d`] impl, and the
+    /// constructor lives in [`MarginRegistry::builtin`].
+    pub fn registry_name(self) -> &'static str {
         match self {
-            MarginMethod::Efpa => Efpa.publish(counts, eps, rng),
-            MarginMethod::EfpaDct => EfpaDct.publish(counts, eps, rng),
-            MarginMethod::Identity => Identity.publish(counts, eps, rng),
-            MarginMethod::Privelet => Privelet1d.publish(counts, eps, rng),
-            MarginMethod::Php => Php::default().publish(counts, eps, rng),
-            MarginMethod::Hierarchical => Hierarchical.publish(counts, eps, rng),
-            MarginMethod::NoiseFirst => NoiseFirst::default().publish(counts, eps, rng),
-            MarginMethod::StructureFirst => {
-                StructureFirst::default().publish(counts, eps, rng)
-            }
+            MarginMethod::Efpa => "efpa",
+            MarginMethod::EfpaDct => "efpa-dct",
+            MarginMethod::Identity => "identity",
+            MarginMethod::Privelet => "privelet",
+            MarginMethod::Php => "php",
+            MarginMethod::Hierarchical => "hierarchical",
+            MarginMethod::NoiseFirst => "noisefirst",
+            MarginMethod::StructureFirst => "structurefirst",
         }
+    }
+
+    /// Publishes one marginal histogram with the chosen algorithm,
+    /// dispatching through the builtin [`MarginRegistry`].
+    pub fn publish<R: Rng + ?Sized>(self, counts: &[f64], eps: Epsilon, rng: &mut R) -> Vec<f64> {
+        // `&mut R` is Sized and implements RngCore, so `&mut &mut R`
+        // coerces to the `&mut dyn RngCore` the registry dispatches on.
+        let mut reborrow: &mut R = rng;
+        let dyn_rng: &mut dyn RngCore = &mut reborrow;
+        MarginRegistry::builtin()
+            .publish(self.registry_name(), counts, eps, dyn_rng)
+            .expect("builtin registry covers every MarginMethod")
     }
 }
 
@@ -187,75 +185,22 @@ impl DpCopula {
 
     /// Runs the full pipeline on a columnar dataset (`columns[j]` is
     /// attribute `j` on the integer domain `0..domains[j]`).
+    ///
+    /// Draws one base seed from `rng` and delegates to
+    /// [`DpCopula::synthesize_staged`] with default engine options, so
+    /// the serial API and the staged parallel engine release identical
+    /// kinds of output (and the same seed always reproduces the same
+    /// synthesis regardless of the machine's core count).
     pub fn synthesize<R: Rng + ?Sized>(
         &self,
         columns: &[Vec<u32>],
         domains: &[usize],
         rng: &mut R,
     ) -> Result<Synthesis, DpCopulaError> {
-        validate_columns(columns, domains)?;
-        let m = columns.len();
-        let n = columns[0].len();
-        if m > 1 && n < 2 {
-            // Pairwise correlation (Kendall/Spearman/MLE) needs >= 2
-            // observations.
-            return Err(DpCopulaError::TooFewRecords {
-                records: n,
-                required: 2,
-            });
-        }
-        let cfg = &self.config;
-
-        // Budget split and accounting (Theorem 4.2: the pieces must
-        // compose to epsilon).
-        let (eps1, eps2) = cfg.epsilon.split_ratio(cfg.k_ratio);
-        let mut accountant = BudgetAccountant::new(cfg.epsilon);
-
-        // Step 1: DP marginal histograms, eps1/m each.
-        let eps_margin = eps1.divide(m);
-        let mut noisy_margins = Vec::with_capacity(m);
-        let mut margins = Vec::with_capacity(m);
-        for (col, &domain) in columns.iter().zip(domains) {
-            let exact = Histogram1D::from_values(col, domain);
-            let noisy = cfg.margin.publish(exact.counts(), eps_margin, rng);
-            accountant.spend(eps_margin)?;
-            margins.push(MarginalDistribution::from_noisy_histogram(&noisy));
-            noisy_margins.push(noisy);
-        }
-
-        // Step 2: DP correlation matrix with eps2.
-        let correlation = if m == 1 {
-            Matrix::identity(1)
-        } else {
-            match cfg.method {
-                CorrelationMethod::Kendall(strategy) => {
-                    dp_correlation_matrix(columns, eps2, strategy, rng)
-                }
-                CorrelationMethod::Mle(strategy) => {
-                    dp_correlation_matrix_mle(columns, eps2, strategy, rng)?
-                }
-                CorrelationMethod::Spearman => {
-                    crate::spearman::dp_correlation_matrix_spearman(columns, eps2, rng)
-                }
-            }
-        };
-        if m > 1 {
-            accountant.spend(eps2)?;
-        }
-
-        // Step 3: sample synthetic data (post-processing — no budget).
-        let sampler = CopulaSampler::new(&correlation, margins)
-            .expect("repaired correlation matrix must be positive definite");
-        let n_out = cfg.output_records.unwrap_or(n);
-        let columns = sampler.sample_columns(n_out, rng);
-
-        Ok(Synthesis {
-            columns,
-            correlation,
-            noisy_margins,
-            epsilon_margins: eps1.value(),
-            epsilon_correlations: if m > 1 { eps2.value() } else { 0.0 },
-        })
+        let base_seed = rng.next_u64();
+        let (synthesis, _report) =
+            self.synthesize_staged(columns, domains, base_seed, &EngineOptions::default())?;
+        Ok(synthesis)
     }
 }
 
@@ -308,9 +253,7 @@ mod tests {
         );
 
         // Budget accounting adds up.
-        assert!(
-            (out.epsilon_margins + out.epsilon_correlations - 2.0).abs() < 1e-9
-        );
+        assert!((out.epsilon_margins + out.epsilon_correlations - 2.0).abs() < 1e-9);
         assert!((out.epsilon_margins / out.epsilon_correlations - 8.0).abs() < 1e-6);
     }
 
@@ -324,15 +267,18 @@ mod tests {
         let out = DpCopula::new(config)
             .synthesize(&cols, &[domain, domain], &mut rng)
             .unwrap();
-        assert!(out.correlation[(0, 1)] > 0.2, "corr {}", out.correlation[(0, 1)]);
+        assert!(
+            out.correlation[(0, 1)] > 0.2,
+            "corr {}",
+            out.correlation[(0, 1)]
+        );
     }
 
     #[test]
     fn output_records_override() {
         let cols = test_data(0.3, 2, 1_000, 50, 5);
         let mut rng = StdRng::seed_from_u64(6);
-        let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap())
-            .with_output_records(123);
+        let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()).with_output_records(123);
         let out = DpCopula::new(config)
             .synthesize(&cols, &[50, 50], &mut rng)
             .unwrap();
@@ -344,7 +290,9 @@ mod tests {
         let cols = vec![(0..500u32).map(|i| i % 40).collect::<Vec<_>>()];
         let mut rng = StdRng::seed_from_u64(7);
         let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
-        let out = DpCopula::new(config).synthesize(&cols, &[40], &mut rng).unwrap();
+        let out = DpCopula::new(config)
+            .synthesize(&cols, &[40], &mut rng)
+            .unwrap();
         assert_eq!(out.correlation, Matrix::identity(1));
         assert_eq!(out.epsilon_correlations, 0.0);
         assert!(out.columns[0].iter().all(|&v| v < 40));
@@ -374,8 +322,7 @@ mod tests {
             MarginMethod::StructureFirst,
         ] {
             let mut rng = StdRng::seed_from_u64(10);
-            let config =
-                DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()).with_margin(margin);
+            let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()).with_margin(margin);
             let out = DpCopula::new(config)
                 .synthesize(&cols, &[64, 64], &mut rng)
                 .unwrap();

@@ -45,7 +45,10 @@ impl TCopula {
     /// # Panics
     /// Panics when `nu` is not finite and positive.
     pub fn new(p: Matrix, nu: f64) -> Result<Self, CholeskyError> {
-        assert!(nu.is_finite() && nu > 0.0, "degrees of freedom must be positive");
+        assert!(
+            nu.is_finite() && nu > 0.0,
+            "degrees of freedom must be positive"
+        );
         let log_det = log_det_spd(&p)?;
         let m = p.rows();
         let mut p_inv = Matrix::zeros(m, m);
@@ -105,7 +108,8 @@ impl TCopula {
             }
         }
         let lg = |v: f64| ln_gamma(v);
-        let joint = lg((nu + m) / 2.0) - lg(nu / 2.0)
+        let joint = lg((nu + m) / 2.0)
+            - lg(nu / 2.0)
             - 0.5 * self.log_det
             - m / 2.0 * (nu * std::f64::consts::PI).ln()
             - (nu + m) / 2.0 * (1.0 + quad / nu).ln();
@@ -149,7 +153,10 @@ impl TCopulaSampler {
         margins: Vec<MarginalDistribution>,
     ) -> Result<Self, CholeskyError> {
         assert_eq!(p.rows(), margins.len(), "one margin per dimension");
-        assert!(nu.is_finite() && nu > 0.0, "degrees of freedom must be positive");
+        assert!(
+            nu.is_finite() && nu > 0.0,
+            "degrees of freedom must be positive"
+        );
         Ok(Self {
             mvn: MultivariateNormal::new(p)?,
             chi2: Gamma::new(nu / 2.0, 2.0).expect("valid chi^2 parameters"),
@@ -230,7 +237,11 @@ pub fn dp_select_degrees_of_freedom<R: Rng + ?Sized>(
         // Block correlation from normal scores (cheap, block-local).
         let scores: Vec<Vec<f64>> = u_cols
             .iter()
-            .map(|u| u.iter().map(|&v| mathkit::special::norm_quantile(v)).collect())
+            .map(|u| {
+                u.iter()
+                    .map(|&v| mathkit::special::norm_quantile(v))
+                    .collect()
+            })
             .collect();
         let mut p = Matrix::identity(m);
         for i in 0..m {
@@ -244,7 +255,7 @@ pub fn dp_select_degrees_of_freedom<R: Rng + ?Sized>(
 
         let mut best = (0usize, f64::NEG_INFINITY);
         for (ci, &nu) in candidates.iter().enumerate() {
-            let copula = TCopula::new(p.clone(), nu).expect("repaired matrix is PD");
+            let copula = TCopula::new(p.clone(), nu)?;
             let tdist = StudentT::new(nu).expect("positive df");
             let mut ll = 0.0;
             for row in 0..block {
@@ -290,7 +301,11 @@ mod tests {
         // the density tends to 1.
         let c = TCopula::new(Matrix::identity(2), 1e6).unwrap();
         for u in [[0.5, 0.5], [0.2, 0.7], [0.9, 0.1]] {
-            assert!((c.density(&u) - 1.0).abs() < 0.01, "u={u:?} d={}", c.density(&u));
+            assert!(
+                (c.density(&u) - 1.0).abs() < 0.01,
+                "u={u:?} d={}",
+                c.density(&u)
+            );
         }
     }
 
@@ -313,8 +328,8 @@ mod tests {
     #[test]
     fn sampling_respects_domains_and_dependence() {
         let p = equicorrelation(2, 0.7);
-        let s = TCopulaSampler::new(&p, 5.0, vec![uniform_margin(300), uniform_margin(300)])
-            .unwrap();
+        let s =
+            TCopulaSampler::new(&p, 5.0, vec![uniform_margin(300), uniform_margin(300)]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let cols = s.sample_columns(8_000, &mut rng);
         assert!(cols.iter().flatten().all(|&v| v < 300));

@@ -7,7 +7,9 @@ use dpcopula::kendall::{kendall_sensitivity, kendall_tau, kendall_tau_naive};
 use dpcopula::sampler::CopulaSampler;
 use dpcopula::synthesizer::{DpCopula, DpCopulaConfig};
 use dpmech::Epsilon;
-use mathkit::correlation::{clamp_to_correlation, correlation_from_upper_triangle, repair_positive_definite};
+use mathkit::correlation::{
+    clamp_to_correlation, correlation_from_upper_triangle, repair_positive_definite,
+};
 use rngkit::rngs::StdRng;
 use rngkit::SeedableRng;
 use testkit::prop::vec;

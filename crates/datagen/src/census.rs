@@ -97,11 +97,14 @@ pub fn us_census(records: usize, seed: u64) -> Dataset {
     // age-income 0.35, age-occupation 0.10, age-gender 0.02,
     // income-occupation -0.30 (low codes = common jobs, lower pay),
     // income-gender -0.10, occupation-gender 0.05.
-    let p = correlation_from_upper_triangle(
-        4,
-        &[0.35, 0.10, 0.02, -0.30, -0.10, 0.05],
-    );
-    generate(attributes, margins, repair_positive_definite(&p), records, seed)
+    let p = correlation_from_upper_triangle(4, &[0.35, 0.10, 0.02, -0.30, -0.10, 0.05]);
+    generate(
+        attributes,
+        margins,
+        repair_positive_definite(&p),
+        records,
+        seed,
+    )
 }
 
 /// The simulated Brazil census: 8 attributes with Table 2(b) domains —
@@ -143,7 +146,13 @@ pub fn brazil_census(records: usize, seed: u64) -> Dataset {
             0.35, // hours vs income
         ],
     );
-    generate(attributes, margins, repair_positive_definite(&p), records, seed)
+    generate(
+        attributes,
+        margins,
+        repair_positive_definite(&p),
+        records,
+        seed,
+    )
 }
 
 fn generate(
@@ -159,7 +168,11 @@ fn generate(
     let columns: Vec<Vec<u32>> = z_cols
         .into_iter()
         .zip(&margins)
-        .map(|(zc, margin)| zc.into_iter().map(|z| margin.from_normal_score(z)).collect())
+        .map(|(zc, margin)| {
+            zc.into_iter()
+                .map(|z| margin.from_normal_score(z))
+                .collect()
+        })
         .collect();
     Dataset::new(attributes, columns)
 }
@@ -188,10 +201,7 @@ mod tests {
     fn brazil_census_matches_table_2b() {
         let d = brazil_census(5_000, 2);
         assert_eq!(d.domains(), vec![95, 2, 2, 2, 31, 140, 95, 586]);
-        assert_eq!(
-            d.attributes()[7].name,
-            "annual_income"
-        );
+        assert_eq!(d.attributes()[7].name, "annual_income");
     }
 
     #[test]
@@ -211,9 +221,8 @@ mod tests {
     #[test]
     fn binary_attributes_have_expected_rates() {
         let d = brazil_census(50_000, 5);
-        let rate = |j: usize| {
-            d.columns()[j].iter().filter(|&&v| v == 1).count() as f64 / d.len() as f64
-        };
+        let rate =
+            |j: usize| d.columns()[j].iter().filter(|&&v| v == 1).count() as f64 / d.len() as f64;
         assert!((rate(1) - 0.51).abs() < 0.02, "gender rate {}", rate(1));
         assert!((rate(2) - 0.08).abs() < 0.01, "disability rate {}", rate(2));
         assert!((rate(3) - 0.05).abs() < 0.01, "nativity rate {}", rate(3));

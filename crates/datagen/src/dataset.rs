@@ -35,11 +35,7 @@ impl Dataset {
     /// # Panics
     /// Panics on ragged columns, arity mismatch, or out-of-domain values.
     pub fn new(attributes: Vec<Attribute>, columns: Vec<Vec<u32>>) -> Self {
-        assert_eq!(
-            attributes.len(),
-            columns.len(),
-            "one column per attribute"
-        );
+        assert_eq!(attributes.len(), columns.len(), "one column per attribute");
         assert!(!attributes.is_empty(), "dataset needs attributes");
         let n = columns[0].len();
         for (attr, col) in attributes.iter().zip(&columns) {
@@ -97,11 +93,7 @@ impl Dataset {
         let n = n.min(self.len());
         Dataset {
             attributes: self.attributes.clone(),
-            columns: self
-                .columns
-                .iter()
-                .map(|c| c[..n].to_vec())
-                .collect(),
+            columns: self.columns.iter().map(|c| c[..n].to_vec()).collect(),
         }
     }
 
@@ -145,10 +137,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside domain")]
     fn rejects_out_of_domain() {
-        let _ = Dataset::new(
-            vec![Attribute::new("a", 2)],
-            vec![vec![0, 5]],
-        );
+        let _ = Dataset::new(vec![Attribute::new("a", 2)], vec![vec![0, 5]]);
     }
 
     #[test]

@@ -74,12 +74,10 @@ pub fn save_csv(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
 /// Reads a dataset from a reader.
 pub fn read_csv<R: Read>(r: R) -> Result<Dataset, CsvError> {
     let mut lines = BufReader::new(r).lines();
-    let header = lines
-        .next()
-        .ok_or(CsvError::Malformed {
-            line: 1,
-            reason: "empty file".into(),
-        })??;
+    let header = lines.next().ok_or(CsvError::Malformed {
+        line: 1,
+        reason: "empty file".into(),
+    })??;
     let mut attributes = Vec::new();
     for field in header.split(',') {
         let (name, domain) = field.rsplit_once(':').ok_or_else(|| CsvError::Malformed {

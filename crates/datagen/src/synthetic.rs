@@ -74,7 +74,10 @@ impl SyntheticSpec {
     pub fn generate(&self) -> Dataset {
         assert!(self.dims > 0, "need at least one dimension");
         assert!(self.domain > 0, "need a positive domain");
-        assert!(self.rho.abs() < 1.0, "AR(1) correlation must satisfy |rho| < 1");
+        assert!(
+            self.rho.abs() < 1.0,
+            "AR(1) correlation must satisfy |rho| < 1"
+        );
         let p = self.correlation();
         let mvn = MultivariateNormal::new(&p).expect("AR(1) matrix is positive definite");
         let margin = self.margin.build(self.domain);
@@ -83,7 +86,11 @@ impl SyntheticSpec {
         let z_cols = mvn.sample_columns(&mut rng, self.records);
         let columns: Vec<Vec<u32>> = z_cols
             .into_iter()
-            .map(|zc| zc.into_iter().map(|z| margin.from_normal_score(z)).collect())
+            .map(|zc| {
+                zc.into_iter()
+                    .map(|z| margin.from_normal_score(z))
+                    .collect()
+            })
             .collect();
         let attributes = (0..self.dims)
             .map(|j| Attribute::new(format!("x{j}"), self.domain))

@@ -48,11 +48,7 @@ impl BarakTable {
     /// # Panics
     /// Panics when a column is not binary, columns are ragged/empty, or
     /// `columns.len() > MAX_BINARY_ATTRIBUTES`.
-    pub fn publish<R: Rng + ?Sized>(
-        columns: &[Vec<u32>],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Self {
+    pub fn publish<R: Rng + ?Sized>(columns: &[Vec<u32>], epsilon: Epsilon, rng: &mut R) -> Self {
         let d = columns.len();
         assert!(d >= 1, "need at least one attribute");
         assert!(
@@ -210,8 +206,8 @@ mod tests {
         // P(a=1) computed two ways: directly, and as sum over b of
         // P(a=1, b).
         let direct = t.marginal_one(0);
-        let via_b = t.range_count(&[(1, 1), (0, 0), (0, 1)])
-            + t.range_count(&[(1, 1), (1, 1), (0, 1)]);
+        let via_b =
+            t.range_count(&[(1, 1), (0, 0), (0, 1)]) + t.range_count(&[(1, 1), (1, 1), (0, 1)]);
         assert!((direct - via_b).abs() < 1e-9);
     }
 

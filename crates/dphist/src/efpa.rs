@@ -15,7 +15,7 @@
 use crate::Publish1d;
 use dpmech::{exponential_mechanism, laplace_noise, Epsilon};
 use mathkit::fft::{fft_real, ifft_real, Complex};
-use rngkit::Rng;
+use rngkit::RngCore;
 
 /// EFPA publication algorithm.
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,12 +39,7 @@ impl Efpa {
 }
 
 impl Publish1d for Efpa {
-    fn publish<R: Rng + ?Sized>(
-        &self,
-        counts: &[f64],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    fn publish(&self, counts: &[f64], epsilon: Epsilon, rng: &mut dyn RngCore) -> Vec<f64> {
         let a = counts.len();
         if a == 0 {
             return Vec::new();
@@ -167,17 +162,9 @@ mod tests {
         let mut id_err = 0.0;
         for _ in 0..50 {
             let e = Efpa.publish(&h, eps, &mut rng);
-            efpa_err += e
-                .iter()
-                .zip(&h)
-                .map(|(a, b)| (a - b).powi(2))
-                .sum::<f64>();
+            efpa_err += e.iter().zip(&h).map(|(a, b)| (a - b).powi(2)).sum::<f64>();
             let i = crate::identity::Identity.publish(&h, eps, &mut rng);
-            id_err += i
-                .iter()
-                .zip(&h)
-                .map(|(a, b)| (a - b).powi(2))
-                .sum::<f64>();
+            id_err += i.iter().zip(&h).map(|(a, b)| (a - b).powi(2)).sum::<f64>();
         }
         assert!(
             efpa_err < id_err,

@@ -17,7 +17,7 @@
 use crate::Publish1d;
 use dpmech::{exponential_mechanism, laplace_noise, Epsilon};
 use mathkit::dct::{dct2, dct3};
-use rngkit::Rng;
+use rngkit::RngCore;
 
 /// EFPA over the DCT-II basis.
 #[derive(Debug, Clone, Copy, Default)]
@@ -34,12 +34,7 @@ impl EfpaDct {
 }
 
 impl Publish1d for EfpaDct {
-    fn publish<R: Rng + ?Sized>(
-        &self,
-        counts: &[f64],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    fn publish(&self, counts: &[f64], epsilon: Epsilon, rng: &mut dyn RngCore) -> Vec<f64> {
         let a = counts.len();
         if a == 0 {
             return Vec::new();

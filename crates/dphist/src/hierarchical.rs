@@ -14,7 +14,7 @@
 use crate::Publish1d;
 use dpmech::{laplace_noise, Epsilon};
 use mathkit::wavelet::pad_to_pow2;
-use rngkit::Rng;
+use rngkit::RngCore;
 
 /// Hay's hierarchical method (binary fan-out).
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,12 +29,7 @@ fn leaf_count(v: usize, pad: usize) -> usize {
 }
 
 impl Publish1d for Hierarchical {
-    fn publish<R: Rng + ?Sized>(
-        &self,
-        counts: &[f64],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    fn publish(&self, counts: &[f64], epsilon: Epsilon, rng: &mut dyn RngCore) -> Vec<f64> {
         if counts.is_empty() {
             return Vec::new();
         }
@@ -57,7 +52,13 @@ impl Publish1d for Hierarchical {
         let z: Vec<f64> = exact
             .iter()
             .enumerate()
-            .map(|(v, &c)| if v == 0 { 0.0 } else { c + laplace_noise(rng, scale) })
+            .map(|(v, &c)| {
+                if v == 0 {
+                    0.0
+                } else {
+                    c + laplace_noise(rng, scale)
+                }
+            })
             .collect();
 
         // Pass 1 (bottom-up): weighted combination of own noisy count and

@@ -177,12 +177,7 @@ impl HistogramNd {
         assert_eq!(query.len(), self.domains.len(), "query arity mismatch");
         // Recursive walk over dimensions, summing the contiguous last
         // dimension directly.
-        fn walk(
-            h: &HistogramNd,
-            query: &[DimRange],
-            dim: usize,
-            base: usize,
-        ) -> f64 {
+        fn walk(h: &HistogramNd, query: &[DimRange], dim: usize, base: usize) -> f64 {
             let (lo, hi) = query[dim];
             if lo > hi {
                 return 0.0;

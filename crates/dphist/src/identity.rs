@@ -9,19 +9,14 @@
 use crate::histogram::HistogramNd;
 use crate::{DimRange, Publish1d, RangeCountEstimator};
 use dpmech::{Epsilon, LaplaceMechanism};
-use rngkit::Rng;
+use rngkit::{Rng, RngCore};
 
 /// The Laplace-per-bin baseline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Identity;
 
 impl Publish1d for Identity {
-    fn publish<R: Rng + ?Sized>(
-        &self,
-        counts: &[f64],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    fn publish(&self, counts: &[f64], epsilon: Epsilon, rng: &mut dyn RngCore) -> Vec<f64> {
         LaplaceMechanism::new(epsilon, 1.0).release_vec(counts, rng)
     }
 
@@ -38,11 +33,7 @@ pub struct NoisyGrid {
 
 impl NoisyGrid {
     /// Publishes the full grid with `Lap(1/epsilon)` per cell.
-    pub fn publish<R: Rng + ?Sized>(
-        exact: &HistogramNd,
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Self {
+    pub fn publish<R: Rng + ?Sized>(exact: &HistogramNd, epsilon: Epsilon, rng: &mut R) -> Self {
         let mech = LaplaceMechanism::new(epsilon, 1.0);
         let mut hist = exact.clone();
         for c in hist.counts_mut() {

@@ -41,23 +41,27 @@ pub mod php;
 pub mod prefix;
 pub mod privelet;
 pub mod psd;
+pub mod registry;
 pub mod structurefirst;
 
 pub use histogram::{Histogram1D, HistogramNd};
+pub use registry::{MarginCtor, MarginRegistry};
 
 use dpmech::Epsilon;
-use rngkit::Rng;
+use rngkit::RngCore;
 
 /// A 1-D DP histogram publication algorithm: consumes exact counts, spends
 /// `epsilon`, returns noisy counts of the same length.
+///
+/// The trait is object-safe (the generator is passed as `&mut dyn
+/// RngCore`, which carries the full [`rngkit::Rng`] API through rngkit's
+/// blanket impl) so publishers can be boxed and dispatched from the
+/// [`registry::MarginRegistry`]. Concrete generators coerce at the call
+/// site: `Efpa.publish(&counts, eps, &mut rng)` works for any
+/// `rng: impl RngCore`.
 pub trait Publish1d {
     /// Publishes a DP version of the exact `counts` under `epsilon`-DP.
-    fn publish<R: Rng + ?Sized>(
-        &self,
-        counts: &[f64],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64>;
+    fn publish(&self, counts: &[f64], epsilon: Epsilon, rng: &mut dyn RngCore) -> Vec<f64>;
 
     /// Human-readable algorithm name for experiment reports.
     fn name(&self) -> &'static str;

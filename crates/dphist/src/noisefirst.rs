@@ -19,7 +19,7 @@
 
 use crate::Publish1d;
 use dpmech::{laplace_noise, Epsilon};
-use rngkit::Rng;
+use rngkit::RngCore;
 
 /// NoiseFirst publication algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -66,12 +66,7 @@ impl Prefix {
 }
 
 impl Publish1d for NoiseFirst {
-    fn publish<R: Rng + ?Sized>(
-        &self,
-        counts: &[f64],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    fn publish(&self, counts: &[f64], epsilon: Epsilon, rng: &mut dyn RngCore) -> Vec<f64> {
         let b = counts.len();
         if b == 0 {
             return Vec::new();
@@ -92,7 +87,9 @@ impl Publish1d for NoiseFirst {
         let k_max = self.max_segments.min(b);
         let prefix = Prefix::new(&noisy);
         // cost[j] for current k; parent pointers to rebuild boundaries.
-        let mut prev: Vec<f64> = (0..=b).map(|j| if j == 0 { 0.0 } else { prefix.sse(0, j) }).collect();
+        let mut prev: Vec<f64> = (0..=b)
+            .map(|j| if j == 0 { 0.0 } else { prefix.sse(0, j) })
+            .collect();
         let noise_var = 2.0 * lambda * lambda;
         let overfit = 2.0 * (b as f64).ln().max(1.0) * noise_var;
         let estimate =

@@ -22,7 +22,7 @@
 
 use crate::Publish1d;
 use dpmech::{exponential_mechanism, laplace_noise, Epsilon};
-use rngkit::Rng;
+use rngkit::{Rng, RngCore};
 
 /// Tuning parameters for [`Php`].
 #[derive(Debug, Clone, Copy)]
@@ -91,12 +91,7 @@ impl PrefixSums {
 }
 
 impl Publish1d for Php {
-    fn publish<R: Rng + ?Sized>(
-        &self,
-        counts: &[f64],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    fn publish(&self, counts: &[f64], epsilon: Epsilon, rng: &mut dyn RngCore) -> Vec<f64> {
         let a = counts.len();
         if a == 0 {
             return Vec::new();
@@ -202,14 +197,7 @@ mod tests {
         counts.extend(vec![0.0; 64]);
         let prefix = PrefixSums::new(&counts);
         let mut rng = StdRng::seed_from_u64(1);
-        let split = private_bisection(
-            &prefix,
-            0,
-            127,
-            128,
-            Epsilon::new(100.0).unwrap(),
-            &mut rng,
-        );
+        let split = private_bisection(&prefix, 0, 127, 128, Epsilon::new(100.0).unwrap(), &mut rng);
         assert!((60..=66).contains(&split), "split {split}");
     }
 

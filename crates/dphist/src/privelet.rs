@@ -26,19 +26,14 @@ use crate::histogram::scan_range_count;
 use crate::{DimRange, Publish1d, RangeCountEstimator};
 use dpmech::{laplace_noise, Epsilon};
 use mathkit::wavelet::{haar_forward, haar_inverse, pad_to_pow2};
-use rngkit::Rng;
+use rngkit::RngCore;
 
 /// Materialised 1-D Privelet.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Privelet1d;
 
 impl Publish1d for Privelet1d {
-    fn publish<R: Rng + ?Sized>(
-        &self,
-        counts: &[f64],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    fn publish(&self, counts: &[f64], epsilon: Epsilon, rng: &mut dyn RngCore) -> Vec<f64> {
         if counts.is_empty() {
             return Vec::new();
         }
@@ -173,12 +168,7 @@ impl PriveletPlus {
     ///
     /// `seed` fixes the noisy transform; two estimators with the same data
     /// and seed answer identically.
-    pub fn publish(
-        columns: Vec<Vec<u32>>,
-        domains: &[usize],
-        epsilon: Epsilon,
-        seed: u64,
-    ) -> Self {
+    pub fn publish(columns: Vec<Vec<u32>>, domains: &[usize], epsilon: Epsilon, seed: u64) -> Self {
         assert_eq!(columns.len(), domains.len(), "one column per dimension");
         assert!(!columns.is_empty(), "need at least one dimension");
         // Coefficient indexes are packed 16 bits per dimension into the
@@ -188,7 +178,10 @@ impl PriveletPlus {
             domains.iter().all(|&d| d <= 1 << 16),
             "Privelet+ supports per-attribute domains up to 65536"
         );
-        let pads: Vec<usize> = domains.iter().map(|&d| d.max(1).next_power_of_two()).collect();
+        let pads: Vec<usize> = domains
+            .iter()
+            .map(|&d| d.max(1).next_power_of_two())
+            .collect();
         let rho: f64 = pads
             .iter()
             .map(|&p| f64::from(p.trailing_zeros()) + 1.0)
@@ -363,12 +356,7 @@ mod tests {
     #[test]
     fn lazy_privelet_is_consistent_across_repeated_queries() {
         let cols = vec![vec![1u32, 5, 9, 3, 7], vec![2u32, 4, 6, 8, 0]];
-        let mut p = PriveletPlus::publish(
-            cols,
-            &[10, 10],
-            Epsilon::new(1.0).unwrap(),
-            42,
-        );
+        let mut p = PriveletPlus::publish(cols, &[10, 10], Epsilon::new(1.0).unwrap(), 42);
         let q = vec![(0u32, 6u32), (2u32, 9u32)];
         let a1 = p.range_count(&q);
         let a2 = p.range_count(&q);
@@ -381,12 +369,8 @@ mod tests {
             (0..200u32).map(|i| i % 32).collect::<Vec<_>>(),
             (0..200u32).map(|i| (i * 7) % 32).collect::<Vec<_>>(),
         ];
-        let mut p = PriveletPlus::publish(
-            cols.clone(),
-            &[32, 32],
-            Epsilon::new(1_000.0).unwrap(),
-            7,
-        );
+        let mut p =
+            PriveletPlus::publish(cols.clone(), &[32, 32], Epsilon::new(1_000.0).unwrap(), 7);
         for q in [
             vec![(0u32, 31u32), (0u32, 31u32)],
             vec![(5, 20), (8, 30)],
@@ -447,12 +431,8 @@ mod tests {
             .collect();
         let lazy_errs: Vec<f64> = (0..trials)
             .map(|s| {
-                let mut p = PriveletPlus::publish(
-                    vec![values.clone()],
-                    &[64],
-                    eps,
-                    s as u64 * 7 + 1,
-                );
+                let mut p =
+                    PriveletPlus::publish(vec![values.clone()], &[64], eps, s as u64 * 7 + 1);
                 p.range_count(&[(q_lo, q_hi)]) - truth
             })
             .collect();
@@ -470,8 +450,7 @@ mod tests {
     #[test]
     fn empty_query_range_returns_zero() {
         let cols = vec![vec![1u32, 2, 3]];
-        let mut p =
-            PriveletPlus::publish(cols, &[10], Epsilon::new(1.0).unwrap(), 1);
+        let mut p = PriveletPlus::publish(cols, &[10], Epsilon::new(1.0).unwrap(), 1);
         assert_eq!(p.range_count(&[(5, 2)]), 0.0);
     }
 }

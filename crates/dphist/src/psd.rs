@@ -136,9 +136,7 @@ fn build_node<R: Rng + ?Sized>(
         .filter(|(_, &(lo, hi))| hi > lo)
         .map(|(d, _)| d)
         .collect();
-    if level >= max_depth
-        || noisy_count < config.min_node_size as f64
-        || splittable_dims.is_empty()
+    if level >= max_depth || noisy_count < config.min_node_size as f64 || splittable_dims.is_empty()
     {
         return Node {
             bounds,

@@ -15,7 +15,7 @@
 
 use crate::Publish1d;
 use dpmech::{exponential_mechanism, laplace_noise, Epsilon};
-use rngkit::Rng;
+use rngkit::RngCore;
 
 /// StructureFirst publication algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -69,12 +69,7 @@ impl Prefix {
 }
 
 impl Publish1d for StructureFirst {
-    fn publish<R: Rng + ?Sized>(
-        &self,
-        counts: &[f64],
-        epsilon: Epsilon,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    fn publish(&self, counts: &[f64], epsilon: Epsilon, rng: &mut dyn RngCore) -> Vec<f64> {
         let b = counts.len();
         if b == 0 {
             return Vec::new();
@@ -101,10 +96,7 @@ impl Publish1d for StructureFirst {
         for _ in 0..(k - 1) {
             // Candidate scores: for every interior position, the SSE of
             // the segmentation refined by a cut there.
-            let base_sse: f64 = boundaries
-                .windows(2)
-                .map(|w| prefix.sse(w[0], w[1]))
-                .sum();
+            let base_sse: f64 = boundaries.windows(2).map(|w| prefix.sse(w[0], w[1])).sum();
             let mut scores = Vec::with_capacity(b - 1);
             let mut positions = Vec::with_capacity(b - 1);
             for cut in 1..b {
@@ -200,8 +192,7 @@ mod tests {
         let counts: Vec<f64> = (0..200).map(|i| f64::from(i % 13) * 5.0).collect();
         let total: f64 = counts.iter().sum();
         let mut rng = StdRng::seed_from_u64(4);
-        let out =
-            StructureFirst::default().publish(&counts, Epsilon::new(1.0).unwrap(), &mut rng);
+        let out = StructureFirst::default().publish(&counts, Epsilon::new(1.0).unwrap(), &mut rng);
         let noisy: f64 = out.iter().sum();
         // 32 segments each Lap(2): total sd ~ sqrt(32 * 8) ~ 16.
         assert!((noisy - total).abs() < 200.0, "total {noisy} vs {total}");

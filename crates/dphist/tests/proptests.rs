@@ -19,7 +19,11 @@ fn dataset() -> Gen<(Vec<Vec<u32>>, Vec<usize>)> {
     (1usize..4, 2usize..17, 1usize..60)
         .into_gen()
         .flat_map(|(dims, domain, n)| {
-            (vec(vec(0u32..domain as u32, n), dims), just(vec![domain; dims])).into_gen()
+            (
+                vec(vec(0u32..domain as u32, n), dims),
+                just(vec![domain; dims]),
+            )
+                .into_gen()
         })
 }
 

@@ -33,7 +33,10 @@ impl Epsilon {
     /// # Panics
     /// Panics if `k` is not finite and positive.
     pub fn split_ratio(self, k: f64) -> (Epsilon, Epsilon) {
-        assert!(k.is_finite() && k > 0.0, "ratio k must be positive, got {k}");
+        assert!(
+            k.is_finite() && k > 0.0,
+            "ratio k must be positive, got {k}"
+        );
         let e2 = self.0 / (k + 1.0);
         let e1 = self.0 - e2;
         (Epsilon(e1), Epsilon(e2))
@@ -222,7 +225,8 @@ mod tests {
     #[test]
     fn parallel_spend_counts_once() {
         let mut acc = BudgetAccountant::new(Epsilon::new(1.0).unwrap());
-        acc.spend_parallel(Epsilon::new(0.9).unwrap(), 1000).unwrap();
+        acc.spend_parallel(Epsilon::new(0.9).unwrap(), 1000)
+            .unwrap();
         assert!((acc.spent() - 0.9).abs() < 1e-12);
     }
 }

@@ -23,7 +23,10 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
     epsilon: Epsilon,
     utility_sensitivity: f64,
 ) -> usize {
-    assert!(!scores.is_empty(), "exponential mechanism over empty choices");
+    assert!(
+        !scores.is_empty(),
+        "exponential mechanism over empty choices"
+    );
     assert!(
         utility_sensitivity > 0.0 && utility_sensitivity.is_finite(),
         "utility sensitivity must be positive and finite"

@@ -158,8 +158,7 @@ mod tests {
         let n = 100_000;
         let xs: Vec<f64> = (0..n).map(|_| l.sample(&mut rng)).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         // Var = 2 b^2 = 4.5.
         assert!((var - 4.5).abs() < 0.15, "var {var}");
@@ -181,8 +180,14 @@ mod tests {
         let out = m.release_vec(&[10.0, 20.0, 30.0], &mut rng);
         assert_eq!(out.len(), 3);
         // With scale 1 noise, outputs should be near but not equal.
-        assert!(out.iter().zip([10.0, 20.0, 30.0]).all(|(o, v)| (o - v).abs() < 30.0));
-        assert!(out.iter().zip([10.0, 20.0, 30.0]).any(|(o, v)| (o - v).abs() > 1e-9));
+        assert!(out
+            .iter()
+            .zip([10.0, 20.0, 30.0])
+            .all(|(o, v)| (o - v).abs() < 30.0));
+        assert!(out
+            .iter()
+            .zip([10.0, 20.0, 30.0])
+            .any(|(o, v)| (o - v).abs() > 1e-9));
     }
 
     #[test]

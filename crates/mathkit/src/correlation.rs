@@ -64,7 +64,13 @@ pub fn repair_positive_definite(m: &Matrix) -> Matrix {
     let clamped: Vec<f64> = e
         .values
         .iter()
-        .map(|&v| if v <= PD_REPAIR_FLOOR { PD_REPAIR_FLOOR } else { v })
+        .map(|&v| {
+            if v <= PD_REPAIR_FLOOR {
+                PD_REPAIR_FLOOR
+            } else {
+                v
+            }
+        })
         .collect();
     // R * diag(clamped) * R^T
     let mut vd = Matrix::zeros(n, n);

@@ -33,9 +33,7 @@ pub fn dct2(x: &[f64]) -> Vec<f64> {
             scale
                 * x.iter()
                     .enumerate()
-                    .map(|(j, &v)| {
-                        v * (std::f64::consts::PI * (j as f64 + 0.5) * kf / nf).cos()
-                    })
+                    .map(|(j, &v)| v * (std::f64::consts::PI * (j as f64 + 0.5) * kf / nf).cos())
                     .sum::<f64>()
         })
         .collect()

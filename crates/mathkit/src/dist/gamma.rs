@@ -184,8 +184,7 @@ mod tests {
         let n = 50_000;
         let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
         assert!((var - 12.0).abs() < 0.5, "var {var}");
     }
@@ -195,8 +194,7 @@ mod tests {
         let g = Gamma::new(0.5, 1.0).unwrap(); // mean 0.5
         let mut rng = StdRng::seed_from_u64(5);
         let n = 50_000;
-        let mean: f64 =
-            (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / f64::from(n);
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 

@@ -105,8 +105,7 @@ mod tests {
         let n = 50_000;
         let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((mean + 2.0).abs() < 0.01, "mean {mean}");
         assert!((var - 0.25).abs() < 0.01, "var {var}");
     }

@@ -44,7 +44,9 @@ pub trait Continuous {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // gen::<f64>() is in [0, 1); nudge away from the closed endpoints
         // so quantile never sees exactly 0 or 1.
-        let u: f64 = rng.gen::<f64>().clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+        let u: f64 = rng
+            .gen::<f64>()
+            .clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
         self.quantile(u)
     }
 }
@@ -84,8 +86,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let d = Exponential::new(2.0).unwrap();
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / f64::from(n);
         // Mean of Exp(rate=2) is 0.5.
         assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
     }

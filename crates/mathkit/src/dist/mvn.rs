@@ -56,11 +56,7 @@ impl MultivariateNormal {
     /// Draws `n` vectors as rows of an `n x d` matrix stored column-major
     /// per attribute (a `Vec` of `d` columns of length `n`), matching the
     /// columnar layout used across the workspace.
-    pub fn sample_columns<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        n: usize,
-    ) -> Vec<Vec<f64>> {
+    pub fn sample_columns<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Vec<f64>> {
         let d = self.dim();
         let mut cols = vec![vec![0.0; n]; d];
         let mut buf = vec![0.0; d];
@@ -98,8 +94,8 @@ mod tests {
         assert!((r - 0.7).abs() < 0.02, "sample correlation {r}");
         // Margins are standard normal.
         let mean = cols[0].iter().sum::<f64>() / cols[0].len() as f64;
-        let var = cols[0].iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (cols[0].len() - 1) as f64;
+        let var =
+            cols[0].iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (cols[0].len() - 1) as f64;
         assert!(mean.abs() < 0.02);
         assert!((var - 1.0).abs() < 0.03);
     }

@@ -27,9 +27,8 @@ impl StudentT {
 impl Continuous for StudentT {
     fn pdf(&self, x: f64) -> f64 {
         let v = self.df;
-        let ln_c = ln_gamma((v + 1.0) / 2.0)
-            - ln_gamma(v / 2.0)
-            - 0.5 * (v * std::f64::consts::PI).ln();
+        let ln_c =
+            ln_gamma((v + 1.0) / 2.0) - ln_gamma(v / 2.0) - 0.5 * (v * std::f64::consts::PI).ln();
         (ln_c - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
     }
 
@@ -78,15 +77,17 @@ impl Continuous for StudentT {
 /// `betai` with the modified-Lentz `betacf` continued fraction).
 pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "incomplete_beta requires a, b > 0");
-    assert!((0.0..=1.0).contains(&x), "incomplete_beta requires x in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "incomplete_beta requires x in [0,1]"
+    );
     if x == 0.0 {
         return 0.0;
     }
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * betacf(a, b, x) / a
@@ -164,9 +165,7 @@ mod tests {
             assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
         }
         // I_x(1, b) = 1 - (1-x)^b.
-        assert!(
-            (incomplete_beta(1.0, 3.0, 0.25) - (1.0 - 0.75_f64.powi(3))).abs() < 1e-12
-        );
+        assert!((incomplete_beta(1.0, 3.0, 0.25) - (1.0 - 0.75_f64.powi(3))).abs() < 1e-12);
         // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
         let v = incomplete_beta(2.3, 1.7, 0.4);
         let w = 1.0 - incomplete_beta(1.7, 2.3, 0.6);
@@ -176,7 +175,7 @@ mod tests {
     #[test]
     fn t_cdf_known_values() {
         let t1 = StudentT::new(1.0).unwrap(); // Cauchy
-        // Cauchy CDF: 1/2 + atan(x)/pi.
+                                              // Cauchy CDF: 1/2 + atan(x)/pi.
         for &x in &[-2.0_f64, -0.5, 0.0, 1.0, 3.0] {
             let expect = 0.5 + x.atan() / std::f64::consts::PI;
             assert!((t1.cdf(x) - expect).abs() < 1e-10, "x={x}");
@@ -206,8 +205,7 @@ mod tests {
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         // Var of t(4) is 4/(4-2) = 2.
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((var - 2.0).abs() < 0.3, "var {var}");
     }
 }

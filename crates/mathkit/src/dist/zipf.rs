@@ -138,6 +138,10 @@ mod tests {
         let zeros = (0..n).filter(|_| z.sample(&mut rng) == 0).count();
         let frac = zeros as f64 / f64::from(n);
         // P(0) for s=1.5 over 1000 values is ~ 1/zeta(1.5) ~= 0.385.
-        assert!((frac - z.pmf(0)).abs() < 0.02, "frac {frac} vs {}", z.pmf(0));
+        assert!(
+            (frac - z.pmf(0)).abs() < 0.02,
+            "frac {frac} vs {}",
+            z.pmf(0)
+        );
     }
 }

@@ -139,11 +139,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -0.5],
-            &[1.0, 3.0, 0.25],
-            &[-0.5, 0.25, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -0.5], &[1.0, 3.0, 0.25], &[-0.5, 0.25, 2.0]]);
         let e = eigen_symmetric(&a);
         let vtv = e.vectors.transpose().matmul(&e.vectors);
         assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-12);

@@ -127,8 +127,7 @@ impl Matrix {
                     continue;
                 }
                 let orow = other.row(k);
-                let dst =
-                    &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (d, &b) in dst.iter_mut().zip(orow) {
                     *d += a * b;
                 }
@@ -144,13 +143,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v)
-                    .map(|(&a, &b)| a * b)
-                    .sum()
-            })
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
             .collect()
     }
 

@@ -189,9 +189,7 @@ pub fn norm_quantile(p: f64) -> f64 {
 
     #[inline]
     fn poly(coef: &[f64; 8], x: f64) -> f64 {
-        coef.iter()
-            .rev()
-            .fold(0.0, |acc, &c| acc * x + c)
+        coef.iter().rev().fold(0.0, |acc, &c| acc * x + c)
     }
 
     let q = p - 0.5;

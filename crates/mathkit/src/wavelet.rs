@@ -18,7 +18,10 @@
 /// [`pad_to_pow2`]).
 pub fn haar_forward(data: &[f64]) -> Vec<f64> {
     let n = data.len();
-    assert!(n.is_power_of_two(), "haar_forward needs power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "haar_forward needs power-of-two length"
+    );
     let mut avg = data.to_vec();
     let mut out = vec![0.0; n];
     let mut len = n;
@@ -44,7 +47,10 @@ pub fn haar_forward(data: &[f64]) -> Vec<f64> {
 /// Panics if `coeffs.len()` is not a power of two.
 pub fn haar_inverse(coeffs: &[f64]) -> Vec<f64> {
     let n = coeffs.len();
-    assert!(n.is_power_of_two(), "haar_inverse needs power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "haar_inverse needs power-of-two length"
+    );
     let mut data = vec![0.0; n];
     data[0] = coeffs[0];
     let mut len = 1;

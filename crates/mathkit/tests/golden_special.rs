@@ -99,7 +99,7 @@ fn ln_gamma_matches_references() {
         (1.5, -0.12078223763524543),
         (2.0, 0.0),
         (2.5, 0.2846828704729196),
-        (3.0, 0.693147180559945),
+        (3.0, std::f64::consts::LN_2), // lnGamma(3) = ln 2! = ln 2
         (4.5, 2.453736570842443),
         (7.0, 6.579251212010102),
         (10.0, 12.801827480081467),

@@ -1,0 +1,289 @@
+//! # parkit — deterministic scoped-thread parallelism
+//!
+//! The workspace's parallel substrate: a work-stealing parallel map built
+//! on [`std::thread::scope`] (no external dependencies) whose output is
+//! **bit-identical at any worker count**, plus the index-keyed RNG stream
+//! derivation that makes stochastic stages reproducible in parallel.
+//!
+//! ## The determinism contract
+//!
+//! Two rules make a parallel pipeline reproduce its serial output exactly:
+//!
+//! 1. **Results are keyed by logical index.** [`par_map`] returns
+//!    `out[i] = f(i, &items[i])` in input order no matter which worker ran
+//!    task `i` or in what order tasks finished.
+//! 2. **Randomness is keyed by logical index, never by thread.** A task
+//!    that needs noise derives its generator with [`stream_rng`] from
+//!    `(base_seed, stream, index)` — attribute id, pair id, row-chunk id —
+//!    so the draw sequence a task sees is a pure function of *what* it
+//!    computes, not *where* it runs.
+//!
+//! Under these rules `workers = 1` and `workers = 64` produce the same
+//! bytes, which is what the serial-vs-parallel equivalence tests in
+//! `crates/core` pin down.
+//!
+//! ```
+//! let squares = parkit::par_map(4, &[1u64, 2, 3, 4, 5], |i, &v| (i as u64, v * v));
+//! assert_eq!(squares, vec![(0, 1), (1, 4), (2, 9), (3, 16), (4, 25)]);
+//! ```
+
+#![warn(missing_docs)]
+
+use rngkit::rngs::StdRng;
+use rngkit::{RngCore, SeedableRng, SplitMix64};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: the `PARKIT_WORKERS` environment variable when
+/// set (and positive), otherwise [`std::thread::available_parallelism`].
+pub fn default_workers() -> usize {
+    if let Some(n) = std::env::var("PARKIT_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Derives the generator for logical task `index` of logical `stream`
+/// under `base_seed`.
+///
+/// The derivation is three chained SplitMix64 scrambles (the same
+/// seeding discipline as [`StdRng::seed_from_u64`]), so nearby
+/// `(stream, index)` pairs land on statistically independent xoshiro
+/// states. It is a pure function — independent of worker count,
+/// scheduling, and call order — which is what the parallel pipeline's
+/// determinism contract rests on.
+pub fn stream_rng(base_seed: u64, stream: u64, index: u64) -> StdRng {
+    let mut sm = SplitMix64::new(base_seed);
+    let root = sm.next_u64();
+    let mut sm = SplitMix64::new(root ^ stream);
+    let branch = sm.next_u64();
+    let mut sm = SplitMix64::new(branch ^ index);
+    StdRng::seed_from_u64(sm.next_u64())
+}
+
+/// Splits `0..n` into contiguous ranges of at most `chunk` elements (the
+/// last range may be shorter). `chunk == 0` is treated as 1; `n == 0`
+/// yields no ranges.
+pub fn chunk_ranges(n: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n.div_ceil(chunk));
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + chunk).min(n);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// Applies `f(index, &items[index])` to every item on up to `workers`
+/// scoped threads and returns the results **in input order**.
+///
+/// Tasks are claimed from a shared atomic counter (work stealing), so an
+/// expensive item does not serialise the items behind it; each result is
+/// slotted back by its index, making the output independent of worker
+/// count and scheduling. `workers <= 1`, an empty input, or a single item
+/// run inline on the caller's thread with no spawn overhead.
+///
+/// # Panics
+/// Re-raises the first worker panic on the calling thread.
+pub fn par_map<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, f(i, &items[i])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, u) in bucket {
+            debug_assert!(slots[i].is_none(), "task {i} computed twice");
+            slots[i] = Some(u);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index claimed exactly once"))
+        .collect()
+}
+
+/// Fallible [`par_map`]: runs every task to completion and returns either
+/// all results in input order or the error of the **lowest-indexed**
+/// failing task — deterministic even when several tasks fail.
+pub fn try_par_map<T, U, E, F>(workers: usize, items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    let mut first_err: Option<(usize, E)> = None;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, r) in par_map(workers, items, f).into_iter().enumerate() {
+        match r {
+            Ok(u) => out.push(u),
+            Err(e) => {
+                if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_err = Some((i, e));
+                }
+            }
+        }
+    }
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngkit::RngCore;
+
+    #[test]
+    fn par_map_matches_serial_at_any_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| i as u64 * 3 + v)
+            .collect();
+        for workers in [1, 2, 3, 7, 16, 1000] {
+            let par = par_map(workers, &items, |i, &v| i as u64 * 3 + v);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map(8, &empty, |_, &v| v), Vec::<u32>::new());
+        assert_eq!(par_map(8, &[9u32], |i, &v| v + i as u32), vec![9]);
+    }
+
+    #[test]
+    fn uneven_task_durations_do_not_reorder_output() {
+        // Early indices sleep longest; a finish-order bug would reverse.
+        let items: Vec<u64> = (0..24).collect();
+        let out = par_map(4, &items, |i, &v| {
+            std::thread::sleep(std::time::Duration::from_micros(
+                (items.len() - i) as u64 * 50,
+            ));
+            v * 10
+        });
+        assert_eq!(out, items.iter().map(|v| v * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "task panic propagates")]
+    fn worker_panics_propagate() {
+        let items = vec![0u32; 16];
+        let _ = par_map(4, &items, |i, _| {
+            if i == 7 {
+                panic!("task panic propagates");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn try_par_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1, 3, 8] {
+            let r: Result<Vec<usize>, usize> =
+                try_par_map(
+                    workers,
+                    &items,
+                    |i, &v| {
+                        if i % 10 == 3 {
+                            Err(i)
+                        } else {
+                            Ok(v)
+                        }
+                    },
+                );
+            assert_eq!(r.unwrap_err(), 3, "workers={workers}");
+        }
+        let ok: Result<Vec<usize>, usize> = try_par_map(4, &items, |_, &v| Ok(v));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn stream_rng_is_pure_and_separates_streams() {
+        let a1 = stream_rng(42, 1, 0).next_u64();
+        let a2 = stream_rng(42, 1, 0).next_u64();
+        assert_eq!(a1, a2, "same key, same stream");
+        assert_ne!(a1, stream_rng(42, 1, 1).next_u64(), "index separates");
+        assert_ne!(a1, stream_rng(42, 2, 0).next_u64(), "stream separates");
+        assert_ne!(a1, stream_rng(43, 1, 0).next_u64(), "seed separates");
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for (n, chunk) in [
+            (0usize, 4usize),
+            (1, 4),
+            (4, 4),
+            (5, 4),
+            (1000, 256),
+            (3, 0),
+        ] {
+            let ranges = chunk_ranges(n, chunk);
+            let mut covered = vec![0u32; n];
+            for r in &ranges {
+                assert!(r.end <= n && r.start < r.end || n == 0);
+                for i in r.clone() {
+                    covered[i] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "n={n} chunk={chunk}");
+            if n > 0 {
+                assert_eq!(ranges.len(), n.div_ceil(chunk.max(1)));
+            } else {
+                assert!(ranges.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the parkit determinism contract: the parallel map
+//! must preserve input ordering and match the serial map bit-for-bit at
+//! every worker count, and chunking must partition the index space.
+
+use testkit::prop::vec;
+use testkit::{prop_assert, prop_assert_eq, property_tests};
+
+property_tests! {
+    /// `par_map` preserves input ordering: out[i] is f(i, items[i]), for
+    /// arbitrary inputs and worker counts (including workers > tasks).
+    fn par_map_preserves_input_ordering(
+        items in vec(0u64..1_000_000, 0..80),
+        workers in 1usize..12,
+    ) {
+        let serial: Vec<(usize, u64)> =
+            items.iter().enumerate().map(|(i, &v)| (i, v.wrapping_mul(31))).collect();
+        let par = parkit::par_map(workers, &items, |i, &v| (i, v.wrapping_mul(31)));
+        prop_assert_eq!(par, serial);
+    }
+
+    /// Per-task RNG draws depend only on the logical index, so the noise
+    /// a task sees is identical at any worker count.
+    fn stream_rng_draws_are_worker_count_invariant(
+        n in 1usize..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        use rngkit::RngCore;
+        let items: Vec<u64> = (0..n as u64).collect();
+        let draw = |_i: usize, &idx: &u64| parkit::stream_rng(seed, 7, idx).next_u64();
+        let one = parkit::par_map(1, &items, draw);
+        let many = parkit::par_map(5, &items, draw);
+        prop_assert_eq!(one, many);
+    }
+
+    /// `chunk_ranges` partitions 0..n: every index covered exactly once,
+    /// in order, with every chunk at most `chunk` long.
+    fn chunk_ranges_partition_the_index_space(
+        n in 0usize..5_000,
+        chunk in 0usize..600,
+    ) {
+        let ranges = parkit::chunk_ranges(n, chunk);
+        let mut expect = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, expect);
+            prop_assert!(r.end > r.start, "empty chunk");
+            prop_assert!(r.end - r.start <= chunk.max(1), "oversized chunk");
+            expect = r.end;
+        }
+        prop_assert_eq!(expect, n);
+    }
+}

@@ -165,7 +165,10 @@ pub trait Rng: RngCore {
     /// Panics if `p` is not in `[0, 1]`.
     #[inline]
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool requires p in [0, 1], got {p}"
+        );
         self.gen::<f64>() < p
     }
 

@@ -50,7 +50,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 100-element shuffle fixing every point is ~impossible");
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle fixing every point is ~impossible"
+        );
     }
 
     #[test]

@@ -118,7 +118,12 @@ impl BenchmarkGroup<'_> {
             per_iter: Vec::new(),
         };
         f(&mut bencher);
-        report(&self.name, &id.to_string(), &bencher.per_iter, self.throughput);
+        report(
+            &self.name,
+            &id.to_string(),
+            &bencher.per_iter,
+            self.throughput,
+        );
     }
 
     /// Benchmarks `f` under `id`, passing `input` through — Criterion's

@@ -89,7 +89,10 @@ macro_rules! prop_assert_eq {
         if l != r {
             return Err(format!(
                 "assertion failed at {}:{}: {:?} != {:?}",
-                file!(), line!(), l, r
+                file!(),
+                line!(),
+                l,
+                r
             ));
         }
     }};

@@ -32,11 +32,15 @@ use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
 
+/// A shrinker: proposes smaller variants of a failing input (empty
+/// `Vec` for "cannot shrink").
+type Shrinker<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A generator of test inputs: a sampling function plus a shrinker that
 /// proposes smaller variants of a failing input.
 pub struct Gen<T> {
     sample: Rc<dyn Fn(&mut StdRng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    shrink: Shrinker<T>,
 }
 
 impl<T> Clone for Gen<T> {
@@ -296,11 +300,7 @@ pub struct Config {
 impl Config {
     /// Reads `TESTKIT_CASES` and `TESTKIT_SEED` from the environment.
     pub fn from_env() -> Self {
-        let parse = |name: &str| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse::<u64>().ok())
-        };
+        let parse = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
         Self {
             cases: parse("TESTKIT_CASES").unwrap_or(64),
             max_shrink_evals: 1000,
@@ -401,10 +401,15 @@ mod tests {
     #[test]
     fn passing_property_runs_all_cases() {
         let seen = std::cell::Cell::new(0u32);
-        run("t::always_true", &test_cfg(), (0u32..100).into_gen(), |_| {
-            seen.set(seen.get() + 1);
-            Ok(())
-        });
+        run(
+            "t::always_true",
+            &test_cfg(),
+            (0u32..100).into_gen(),
+            |_| {
+                seen.set(seen.get() + 1);
+                Ok(())
+            },
+        );
         assert_eq!(seen.get(), 64);
     }
 
@@ -431,15 +436,10 @@ mod tests {
     fn explicit_seed_reproduces_input() {
         let capture = |cfg: &Config| {
             let got = std::cell::Cell::new(0u64);
-            run(
-                "t::capture",
-                cfg,
-                (0u64..u64::MAX).into_gen(),
-                |&v| {
-                    got.set(v);
-                    Ok(())
-                },
-            );
+            run("t::capture", cfg, (0u64..u64::MAX).into_gen(), |&v| {
+                got.set(v);
+                Ok(())
+            });
             got.get()
         };
         let with_seed = Config {
@@ -482,9 +482,7 @@ mod tests {
 
     #[test]
     fn flat_map_builds_dependent_inputs() {
-        let g = (1usize..5)
-            .into_gen()
-            .flat_map(|n| vec(0u32..10, n));
+        let g = (1usize..5).into_gen().flat_map(|n| vec(0u32..10, n));
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..100 {
             let v = g.sample(&mut rng);

@@ -31,7 +31,10 @@ fn main() {
     let truth = workload.true_counts(data.columns());
 
     heading("error grid: epsilon x budget-ratio k");
-    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "eps\\k", "0.5", "2", "8", "32");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8}",
+        "eps\\k", "0.5", "2", "8", "32"
+    );
     for eps in [0.1, 0.5, 1.0, 2.0] {
         let mut row = format!("{eps:>8}");
         for k in [0.5, 2.0, 8.0, 32.0] {

@@ -26,8 +26,7 @@ fn main() {
     }
 
     heading("hybrid DPCopula synthesis (epsilon = 1.0)");
-    let base = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap())
-        .with_margin(MarginMethod::Php);
+    let base = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()).with_margin(MarginMethod::Php);
     let synthesizer = HybridSynthesizer::new(HybridConfig::new(base));
     let mut rng = StdRng::seed_from_u64(11);
     let out = synthesizer

@@ -39,8 +39,7 @@ fn main() {
         MarginalDistribution::from_noisy_histogram(&vec![1.0; domain as usize]),
         MarginalDistribution::from_noisy_histogram(&vec![1.0; domain as usize]),
     ];
-    let generator =
-        TCopulaSampler::new(&equicorrelation(2, 0.6), 3.0, margins).unwrap();
+    let generator = TCopulaSampler::new(&equicorrelation(2, 0.6), 3.0, margins).unwrap();
     let mut rng = StdRng::seed_from_u64(17);
     let data = generator.sample_columns(n, &mut rng);
     let tail_orig = joint_tail_rate(&data, domain, 0.02);
@@ -48,9 +47,7 @@ fn main() {
     println!("(independence would give 0.0004; the excess is tail dependence)");
 
     heading("adaptive DP synthesis with AIC family selection (epsilon = 2.0)");
-    let config = AdaptiveConfig::new(DpCopulaConfig::kendall(
-        Epsilon::new(2.0).unwrap(),
-    ));
+    let config = AdaptiveConfig::new(DpCopulaConfig::kendall(Epsilon::new(2.0).unwrap()));
     let out = synthesize_adaptive(&config, &data, &[domain as usize; 2], &mut rng)
         .expect("synthesis failed");
     for s in &out.scores {
@@ -67,11 +64,9 @@ fn main() {
     println!("joint 2%-tail rate: original {tail_orig:.4} -> synthetic {tail_synth:.4}");
 
     // Contrast: a plain Gaussian DPCopula release of the same data.
-    let gauss = dpcopula::DpCopula::new(DpCopulaConfig::kendall(
-        Epsilon::new(2.0).unwrap(),
-    ))
-    .synthesize(&data, &[domain as usize; 2], &mut rng)
-    .expect("synthesis failed");
+    let gauss = dpcopula::DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(2.0).unwrap()))
+        .synthesize(&data, &[domain as usize; 2], &mut rng)
+        .expect("synthesis failed");
     let tail_gauss = joint_tail_rate(&gauss.columns, domain, 0.02);
     println!("plain Gaussian copula release would give {tail_gauss:.4}");
     println!("\nthe t copula preserves co-extremes the Gaussian flattens.");

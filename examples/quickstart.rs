@@ -64,7 +64,11 @@ fn main() {
         report.max_tau_gap
     );
 
-    for (lo_a, hi_a, lo_b, hi_b) in [(0u32, 99u32, 0u32, 99u32), (50, 150, 50, 150), (0, 20, 180, 199)] {
+    for (lo_a, hi_a, lo_b, hi_b) in [
+        (0u32, 99u32, 0u32, 99u32),
+        (50, 150, 50, 150),
+        (0, 20, 180, 199),
+    ] {
         let truth = count(&columns, lo_a, hi_a, lo_b, hi_b);
         let synth = count(&synthesis.columns, lo_a, hi_a, lo_b, hi_b);
         println!(

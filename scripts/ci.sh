@@ -7,6 +7,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (offline, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo build --release (offline)"
 cargo build --release --offline
 

@@ -26,8 +26,8 @@ fn report_at(n: usize) -> ConvergenceReport {
     let runs = 3;
     for s in 0..runs {
         let mut rng = StdRng::seed_from_u64(1000 + s);
-        let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap())
-            .with_margin(MarginMethod::Php);
+        let config =
+            DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()).with_margin(MarginMethod::Php);
         let out = DpCopula::new(config)
             .synthesize(data.columns(), &data.domains(), &mut rng)
             .unwrap();
@@ -60,8 +60,15 @@ fn margins_and_dependence_converge_with_n() {
         large.max_tau_gap
     );
     // At 20k records and eps=1, both distances should be genuinely small.
-    assert!(large.max_marginal_ks() < 0.1, "KS {}", large.max_marginal_ks());
-    assert!(large.max_tau_gap < 0.12, "tau gap {}", large.max_tau_gap);
+    // The tau bound leaves ~3x headroom over the per-pair noise scale
+    // (4/(n_hat+1) / eps_pair ~ 0.04 under Auto sampling) so it holds for
+    // any fixed seeding discipline, not just a lucky draw.
+    assert!(
+        large.max_marginal_ks() < 0.1,
+        "KS {}",
+        large.max_marginal_ks()
+    );
+    assert!(large.max_tau_gap < 0.15, "tau gap {}", large.max_tau_gap);
 }
 
 #[test]

@@ -91,7 +91,9 @@ fn jump_separated_streams_do_not_overlap_in_a_million_draws() {
     back2.jump();
 
     let wf = draw_window(&mut front);
-    let overlap = (0..WINDOW).filter(|_| wf.contains(&back.next_u64())).count();
+    let overlap = (0..WINDOW)
+        .filter(|_| wf.contains(&back.next_u64()))
+        .count();
     assert_eq!(overlap, 0, "jump streams overlapped {overlap} times");
     assert_eq!(back2.next_u64(), {
         let mut b = StdRng::seed_from_u64(0xBEEF);

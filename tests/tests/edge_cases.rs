@@ -34,7 +34,10 @@ fn single_record_multi_attribute_errors_cleanly() {
     let err = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()))
         .synthesize(&cols, &[2, 2], &mut rng)
         .unwrap_err();
-    assert!(matches!(err, DpCopulaError::TooFewRecords { records: 1, .. }));
+    assert!(matches!(
+        err,
+        DpCopulaError::TooFewRecords { records: 1, .. }
+    ));
     // Single attribute with one record is fine (margins only).
     let ok = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()))
         .synthesize(&[vec![3u32]], &[5], &mut rng)
@@ -88,15 +91,20 @@ fn every_margin_method_survives_pathological_histograms() {
     let mut rng = StdRng::seed_from_u64(4);
     let eps = Epsilon::new(0.5).unwrap();
     let cases: Vec<Vec<f64>> = vec![
-        vec![0.0; 17],                    // all-empty bins
-        vec![1e9, 0.0, 0.0, 0.0],         // one giant spike
-        vec![5.0],                        // single bin
+        vec![0.0; 17],                                       // all-empty bins
+        vec![1e9, 0.0, 0.0, 0.0],                            // one giant spike
+        vec![5.0],                                           // single bin
         (0..1020).map(|i| f64::from(i % 2) * 3.0).collect(), // oscillating
     ];
     for counts in &cases {
         for method in all_margin_methods() {
             let out = method.publish(counts, eps, &mut rng);
-            assert_eq!(out.len(), counts.len(), "{method:?} on {} bins", counts.len());
+            assert_eq!(
+                out.len(),
+                counts.len(),
+                "{method:?} on {} bins",
+                counts.len()
+            );
             assert!(
                 out.iter().all(|v| v.is_finite()),
                 "{method:?} produced non-finite output"
@@ -169,8 +177,7 @@ fn domain_of_one_is_degenerate_but_valid() {
 fn output_records_zero_produces_empty_release() {
     let cols = vec![vec![0u32, 1, 2], vec![2u32, 1, 0]];
     let mut rng = StdRng::seed_from_u64(9);
-    let config =
-        DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()).with_output_records(0);
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()).with_output_records(0);
     let out = DpCopula::new(config)
         .synthesize(&cols, &[3, 3], &mut rng)
         .unwrap();

@@ -26,7 +26,11 @@ fn assert_valid_release(columns: &[Vec<u32>], domains: &[usize], expect_n: usize
 
 #[test]
 fn synthetic_families_round_trip() {
-    for margin in [MarginKind::Gaussian, MarginKind::Uniform, MarginKind::Zipf(1.2)] {
+    for margin in [
+        MarginKind::Gaussian,
+        MarginKind::Uniform,
+        MarginKind::Zipf(1.2),
+    ] {
         let data = SyntheticSpec {
             records: 3_000,
             dims: 4,
@@ -60,8 +64,7 @@ fn us_census_hybrid_release() {
 #[test]
 fn brazil_census_hybrid_release() {
     let data = brazil_census(20_000, 4);
-    let base = DpCopulaConfig::kendall(Epsilon::new(2.0).unwrap())
-        .with_margin(MarginMethod::Php);
+    let base = DpCopulaConfig::kendall(Epsilon::new(2.0).unwrap()).with_margin(MarginMethod::Php);
     let mut rng = StdRng::seed_from_u64(5);
     let out = HybridSynthesizer::new(HybridConfig::new(base))
         .synthesize(data.columns(), &data.domains(), &mut rng)
@@ -86,8 +89,8 @@ fn generous_budget_gives_low_query_error() {
     let workload = Workload::random(&data.domains(), 200, &mut rng);
     let truth = workload.true_counts(data.columns());
 
-    let config = DpCopulaConfig::kendall(Epsilon::new(10.0).unwrap())
-        .with_margin(MarginMethod::Php);
+    let config =
+        DpCopulaConfig::kendall(Epsilon::new(10.0).unwrap()).with_margin(MarginMethod::Php);
     let out = DpCopula::new(config)
         .synthesize(data.columns(), &data.domains(), &mut rng)
         .unwrap();
@@ -118,8 +121,8 @@ fn error_grows_as_budget_shrinks() {
         let mut total = 0.0;
         for s in 0..3u64 {
             let mut rng = StdRng::seed_from_u64(70 + s);
-            let config = DpCopulaConfig::kendall(Epsilon::new(eps).unwrap())
-                .with_margin(MarginMethod::Php);
+            let config =
+                DpCopulaConfig::kendall(Epsilon::new(eps).unwrap()).with_margin(MarginMethod::Php);
             let out = DpCopula::new(config)
                 .synthesize(data.columns(), &data.domains(), &mut rng)
                 .unwrap();

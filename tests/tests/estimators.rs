@@ -70,7 +70,13 @@ fn all_estimators_converge_with_huge_budget() {
         ),
         (
             "psd",
-            Box::new(Psd::publish(&cols, &domains, eps, PsdConfig::default(), &mut rng)),
+            Box::new(Psd::publish(
+                &cols,
+                &domains,
+                eps,
+                PsdConfig::default(),
+                &mut rng,
+            )),
         ),
         (
             "privelet+",
@@ -78,7 +84,13 @@ fn all_estimators_converge_with_huge_budget() {
         ),
         (
             "fp",
-            Box::new(FpSummary::publish(&cols, &domains, eps, Some(0.5), &mut rng)),
+            Box::new(FpSummary::publish(
+                &cols,
+                &domains,
+                eps,
+                Some(0.5),
+                &mut rng,
+            )),
         ),
     ];
     for (name, est) in &mut estimators {
@@ -88,8 +100,7 @@ fn all_estimators_converge_with_huge_budget() {
             // noise: partially-overlapped leaves are answered under a
             // uniformity assumption (the paper's "estimation error").
             // Assert aggregate quality instead of per-query exactness.
-            let summary =
-                queryeval::ErrorSummary::from_answers(&answers, &truth, 50.0);
+            let summary = queryeval::ErrorSummary::from_answers(&answers, &truth, 50.0);
             assert!(
                 summary.mean_relative < 1.0,
                 "psd aggregate relative error {}",
@@ -116,7 +127,10 @@ fn estimators_report_dims() {
         Psd::publish(&cols, &domains, eps, PsdConfig::default(), &mut rng).dims(),
         4
     );
-    assert_eq!(PriveletPlus::publish(cols.clone(), &domains, eps, 1).dims(), 4);
+    assert_eq!(
+        PriveletPlus::publish(cols.clone(), &domains, eps, 1).dims(),
+        4
+    );
     assert_eq!(
         FpSummary::publish(&cols, &domains, eps, None, &mut rng).dims(),
         4

@@ -23,14 +23,12 @@ fn adaptive_synthesizer_preserves_empirical_copula() {
     // empirical-copula distance between original and release is small —
     // the cross-module sanity check tying selection + sampling together.
     let p = equicorrelation(2, 0.6);
-    let gen = TCopulaSampler::new(&p, 4.0, vec![uniform_margin(300), uniform_margin(300)])
-        .unwrap();
+    let gen = TCopulaSampler::new(&p, 4.0, vec![uniform_margin(300), uniform_margin(300)]).unwrap();
     let mut rng = StdRng::seed_from_u64(1);
     let data = gen.sample_columns(10_000, &mut rng);
 
     let config = AdaptiveConfig::new(
-        DpCopulaConfig::kendall(Epsilon::new(4.0).unwrap())
-            .with_margin(MarginMethod::Php),
+        DpCopulaConfig::kendall(Epsilon::new(4.0).unwrap()).with_margin(MarginMethod::Php),
     );
     let out = synthesize_adaptive(&config, &data, &[300, 300], &mut rng).unwrap();
 
@@ -43,15 +41,12 @@ fn adaptive_synthesizer_preserves_empirical_copula() {
 #[test]
 fn family_selection_is_part_of_the_budget() {
     let p = equicorrelation(2, 0.5);
-    let gen = TCopulaSampler::new(&p, 5.0, vec![uniform_margin(100), uniform_margin(100)])
-        .unwrap();
+    let gen = TCopulaSampler::new(&p, 5.0, vec![uniform_margin(100), uniform_margin(100)]).unwrap();
     let mut rng = StdRng::seed_from_u64(2);
     let data = gen.sample_columns(5_000, &mut rng);
 
     let total = 2.0;
-    let mut config = AdaptiveConfig::new(DpCopulaConfig::kendall(
-        Epsilon::new(total).unwrap(),
-    ));
+    let mut config = AdaptiveConfig::new(DpCopulaConfig::kendall(Epsilon::new(total).unwrap()));
     config.selection_fraction = 0.25;
     let out = synthesize_adaptive(&config, &data, &[100, 100], &mut rng).unwrap();
     let downstream = out.synthesis.epsilon_margins + out.synthesis.epsilon_correlations;
@@ -86,21 +81,19 @@ fn evolving_stream_is_structurally_valid_per_epoch() {
 #[test]
 fn gaussian_data_keeps_gaussian_family_end_to_end() {
     let p = equicorrelation(2, 0.5);
-    let gen = dpcopula::sampler::CopulaSampler::new(
-        &p,
-        vec![uniform_margin(200), uniform_margin(200)],
-    )
-    .unwrap();
+    let gen =
+        dpcopula::sampler::CopulaSampler::new(&p, vec![uniform_margin(200), uniform_margin(200)])
+            .unwrap();
     let mut rng = StdRng::seed_from_u64(4);
     let data = gen.sample_columns(12_000, &mut rng);
-    let mut config = AdaptiveConfig::new(DpCopulaConfig::kendall(
-        Epsilon::new(8.0).unwrap(),
-    ));
+    let mut config = AdaptiveConfig::new(DpCopulaConfig::kendall(Epsilon::new(8.0).unwrap()));
     // Only two sharply separated candidates to keep selection noise low.
-    config.candidates = vec![
-        CopulaFamily::Gaussian,
-        CopulaFamily::StudentT { df: 2.5 },
-    ];
+    config.candidates = vec![CopulaFamily::Gaussian, CopulaFamily::StudentT { df: 2.5 }];
     let out = synthesize_adaptive(&config, &data, &[200, 200], &mut rng).unwrap();
-    assert_eq!(out.family, CopulaFamily::Gaussian, "scores {:?}", out.scores);
+    assert_eq!(
+        out.family,
+        CopulaFamily::Gaussian,
+        "scores {:?}",
+        out.scores
+    );
 }

@@ -16,8 +16,7 @@ fn synthesizer_budget_sums_to_total_for_any_split() {
     for eps in [0.1, 1.0, 3.0] {
         for k in [0.5, 1.0, 8.0, 20.0] {
             let mut rng = StdRng::seed_from_u64(1);
-            let config =
-                DpCopulaConfig::kendall(Epsilon::new(eps).unwrap()).with_k_ratio(k);
+            let config = DpCopulaConfig::kendall(Epsilon::new(eps).unwrap()).with_k_ratio(k);
             let out = DpCopula::new(config)
                 .synthesize(&cols, &[50, 50, 50], &mut rng)
                 .unwrap();
