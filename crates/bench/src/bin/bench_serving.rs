@@ -1,0 +1,114 @@
+//! Emits `BENCH_serving.json`: fit-once/sample-many serving costs — how
+//! long a fit takes versus how cheaply its saved artifact is encoded,
+//! loaded (with full validation) and served, with sampling throughput at
+//! worker counts {1, 2, 4}. The point of the artifact store in numbers:
+//! the budgeted fit happens once, while each served window costs
+//! milliseconds and no epsilon.
+//!
+//! `QUICK=1` shrinks the input and sample counts for smoke runs.
+
+use datagen::census::us_census;
+use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions, FittedModel};
+use dpmech::Epsilon;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[(samples.len() - 1) / 2]
+}
+
+fn main() {
+    let quick = std::env::var("QUICK").map(|v| v == "1").unwrap_or(false);
+    let n = if quick { 10_000 } else { 100_000 };
+    let serve_rows = if quick { 20_000 } else { 200_000 };
+    let samples = if quick { 3 } else { 7 };
+    let worker_counts = [1usize, 2, 4];
+
+    let data = us_census(n, 0xcafe);
+    let dp = DpCopula::new(DpCopulaConfig::kendall(
+        Epsilon::new(1.0).expect("positive epsilon"),
+    ));
+    let opts = EngineOptions::with_workers(4);
+
+    // The one budgeted step: fit.
+    let t0 = Instant::now();
+    let (model, _) = dp
+        .fit_staged(data.columns(), &data.domains(), 0xfeed, &opts)
+        .expect("census fit succeeds");
+    let fit_s = t0.elapsed().as_secs_f64();
+    println!(
+        "fit: {fit_s:.4}s over {n} records x {} attributes",
+        model.dims()
+    );
+
+    // Encode / decode+validate medians, in memory (no disk noise).
+    let mut encode = Vec::with_capacity(samples);
+    let mut bytes = Vec::new();
+    for _ in 0..samples {
+        let t = Instant::now();
+        bytes = model.artifact().encode();
+        encode.push(t.elapsed().as_secs_f64());
+    }
+    let mut load = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        let artifact = modelstore::decode(&bytes).expect("artifact decodes");
+        let served = FittedModel::from_artifact(artifact).expect("artifact validates");
+        load.push(t.elapsed().as_secs_f64());
+        assert_eq!(served.dims(), model.dims());
+    }
+    let encode_s = median(&mut encode);
+    let load_s = median(&mut load);
+    println!(
+        "artifact: {} bytes, encode median {encode_s:.6}s, load+validate median {load_s:.6}s",
+        bytes.len()
+    );
+
+    // Serving throughput per worker count.
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"model_serving\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"records\": {n}, \"dims\": {}, \"serve_rows\": {serve_rows}, \
+         \"samples\": {samples}, \"quick\": {quick}, \"host_cores\": {}}},",
+        model.dims(),
+        std::thread::available_parallelism().map_or(1, |c| c.get())
+    );
+    let _ = writeln!(out, "  \"fit_s\": {fit_s:.6},");
+    let _ = writeln!(out, "  \"artifact_bytes\": {},", bytes.len());
+    let _ = writeln!(out, "  \"encode_median_s\": {encode_s:.6},");
+    let _ = writeln!(out, "  \"load_validate_median_s\": {load_s:.6},");
+    let _ = writeln!(out, "  \"serving\": [");
+    for (wi, &workers) in worker_counts.iter().enumerate() {
+        let mut times = Vec::with_capacity(samples);
+        for s in 0..samples {
+            // Rotate the window so runs do not share chunk boundaries.
+            let offset = s * serve_rows;
+            let t = Instant::now();
+            let cols = model.sample_range(offset, serve_rows, workers);
+            times.push(t.elapsed().as_secs_f64());
+            assert_eq!(cols[0].len(), serve_rows);
+        }
+        let med = median(&mut times);
+        let rows_per_s = serve_rows as f64 / med;
+        println!("serve workers={workers}: median {med:.4}s ({rows_per_s:.0} rows/s)");
+        let comma = if wi + 1 < worker_counts.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"workers\": {workers}, \"median_s\": {med:.6}, \
+             \"rows_per_s\": {rows_per_s:.1}}}{comma}"
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+
+    let path = "BENCH_serving.json";
+    std::fs::write(path, &out).expect("write BENCH_serving.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,360 @@
+//! `dpcopula-cli` — fit-once/sample-many front-end over `.dpcm` model
+//! artifacts.
+//!
+//! The binary wires the workspace end to end: `gen` writes a census CSV,
+//! `fit` spends the privacy budget once and persists the released model
+//! as a `.dpcm` artifact, `inspect` prints what an artifact contains
+//! without sampling from it, `sample` serves any row window from a saved
+//! artifact (free post-processing), `synth` runs the classic one-shot
+//! fit-and-sample pipeline in process, and `eval` scores a synthetic CSV
+//! against a reference with random range-count queries.
+//!
+//! Determinism contract: `fit` + `sample --offset 0 --rows n` produces
+//! byte-for-byte the CSV `synth` emits for the same input, seed, and
+//! engine options — which `scripts/ci.sh` checks with a literal `diff`.
+
+use dpcopula::kendall::SamplingStrategy;
+use dpcopula::mle::PartitionStrategy;
+use dpcopula::synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod};
+use dpcopula::{EngineOptions, FittedModel};
+use dpmech::Epsilon;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dpcopula-cli — differentially private data synthesis over .dpcm artifacts
+
+USAGE:
+  dpcopula-cli gen     --out FILE [--dataset us-census|brazil-census]
+                       [--records N] [--seed S]
+  dpcopula-cli fit     --input FILE --out FILE [--epsilon E] [--seed S]
+                       [--method kendall|mle|spearman] [--margin NAME]
+                       [--k RATIO] [--workers W] [--chunk C]
+  dpcopula-cli inspect --model FILE
+  dpcopula-cli sample  --model FILE --out FILE --rows N [--offset O]
+                       [--workers W]
+  dpcopula-cli synth   --input FILE --out FILE [--rows N] [--epsilon E]
+                       [--seed S] [--method M] [--margin NAME] [--k RATIO]
+                       [--workers W] [--chunk C]
+  dpcopula-cli eval    --synthetic FILE --reference FILE [--queries N]
+                       [--seed S] [--sanity B]
+
+`fit` then `sample --offset 0 --rows N` reproduces `synth --rows N`
+byte-for-byte for the same input/seed/options: sampling a saved artifact
+is pure post-processing of the one budgeted release.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "gen" => Flags::parse(rest).and_then(|f| cmd_gen(&f)),
+        "fit" => Flags::parse(rest).and_then(|f| cmd_fit(&f)),
+        "inspect" => Flags::parse(rest).and_then(|f| cmd_inspect(&f)),
+        "sample" => Flags::parse(rest).and_then(|f| cmd_sample(&f)),
+        "synth" => Flags::parse(rest).and_then(|f| cmd_synth(&f)),
+        "eval" => Flags::parse(rest).and_then(|f| cmd_eval(&f)),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--name value` flag pairs, hand-parsed (the workspace takes no
+/// dependencies, so no clap).
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value `{v}` for --{name}")),
+        }
+    }
+}
+
+fn parse_method(s: &str) -> Result<CorrelationMethod, String> {
+    match s {
+        "kendall" => Ok(CorrelationMethod::Kendall(SamplingStrategy::Auto)),
+        "mle" => Ok(CorrelationMethod::Mle(PartitionStrategy::Auto)),
+        "spearman" => Ok(CorrelationMethod::Spearman),
+        other => Err(format!(
+            "unknown correlation method `{other}` (kendall, mle, spearman)"
+        )),
+    }
+}
+
+fn parse_margin(s: &str) -> Result<MarginMethod, String> {
+    Ok(match s {
+        "efpa" => MarginMethod::Efpa,
+        "efpa-dct" => MarginMethod::EfpaDct,
+        "identity" => MarginMethod::Identity,
+        "privelet" => MarginMethod::Privelet,
+        "php" => MarginMethod::Php,
+        "hierarchical" => MarginMethod::Hierarchical,
+        "noisefirst" => MarginMethod::NoiseFirst,
+        "structurefirst" => MarginMethod::StructureFirst,
+        other => return Err(format!("unknown margin method `{other}`")),
+    })
+}
+
+/// The shared fit configuration of `fit` and `synth`.
+fn parse_config(flags: &Flags) -> Result<(DpCopulaConfig, EngineOptions, u64), String> {
+    let epsilon =
+        Epsilon::new(flags.parsed("epsilon", 1.0)?).map_err(|e| format!("bad --epsilon: {e}"))?;
+    let mut config = DpCopulaConfig::kendall(epsilon);
+    config.method = parse_method(flags.get("method").unwrap_or("kendall"))?;
+    config = config.with_margin(parse_margin(flags.get("margin").unwrap_or("efpa"))?);
+    if let Some(k) = flags.get("k") {
+        let k: f64 = k.parse().map_err(|_| format!("bad value `{k}` for --k"))?;
+        if !k.is_finite() || k <= 0.0 {
+            return Err("--k must be positive and finite".into());
+        }
+        config = config.with_k_ratio(k);
+    }
+    let mut opts = EngineOptions::with_workers(flags.parsed("workers", 1usize)?);
+    opts.sample_chunk = flags.parsed("chunk", opts.sample_chunk)?;
+    if opts.sample_chunk == 0 {
+        return Err("--chunk must be positive".into());
+    }
+    let seed = flags.parsed("seed", 42u64)?;
+    Ok((config, opts, seed))
+}
+
+fn load_dataset(path: &str) -> Result<datagen::Dataset, String> {
+    datagen::io::load_csv(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn save_dataset(dataset: &datagen::Dataset, path: &str) -> Result<(), String> {
+    datagen::io::save_csv(dataset, path).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let out = flags.require("out")?;
+    let records = flags.parsed("records", 10_000usize)?;
+    let seed = flags.parsed("seed", 42u64)?;
+    let dataset = match flags.get("dataset").unwrap_or("us-census") {
+        "us-census" => datagen::census::us_census(records, seed),
+        "brazil-census" => datagen::census::brazil_census(records, seed),
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (us-census, brazil-census)"
+            ))
+        }
+    };
+    save_dataset(&dataset, out)?;
+    println!(
+        "wrote {} records x {} attributes to {out}",
+        dataset.len(),
+        dataset.dims()
+    );
+    Ok(())
+}
+
+fn cmd_fit(flags: &Flags) -> Result<(), String> {
+    let input = flags.require("input")?;
+    let out = flags.require("out")?;
+    let (config, opts, seed) = parse_config(flags)?;
+    let dataset = load_dataset(input)?;
+    let (mut model, report) = DpCopula::new(config)
+        .fit_staged(dataset.columns(), &dataset.domains(), seed, &opts)
+        .map_err(|e| format!("fit failed: {e}"))?;
+    let names: Vec<&str> = dataset
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    model.set_attribute_names(&names);
+    model.save(out).map_err(|e| format!("writing {out}: {e}"))?;
+    let ledger = &model.artifact().ledger;
+    println!(
+        "fitted {} attributes from {} records in {:?} (seed {seed}, workers {})",
+        model.dims(),
+        dataset.len(),
+        report.timings.total(),
+        report.workers,
+    );
+    println!(
+        "spent epsilon {:.6} of {:.6}; artifact: {out}",
+        ledger.spent(),
+        ledger.total
+    );
+    Ok(())
+}
+
+fn cmd_inspect(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("model")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let sections = modelstore::probe(&bytes).map_err(|e| e.to_string())?;
+    let artifact = modelstore::decode(&bytes).map_err(|e| e.to_string())?;
+    println!(
+        "{path}: {} bytes, format v{}, {} sections",
+        bytes.len(),
+        modelstore::FORMAT_VERSION,
+        sections.len()
+    );
+    for s in &sections {
+        println!(
+            "  {:<12} offset {:>6}  len {:>7}  crc32 {:08x}",
+            s.name, s.payload_offset, s.payload_len, s.crc
+        );
+    }
+    println!("schema: {} attributes", artifact.dims());
+    for attr in &artifact.schema {
+        let binned = if attr.bin_edges.is_empty() {
+            String::new()
+        } else {
+            format!("  ({} bin edges)", attr.bin_edges.len())
+        };
+        println!("  {:<20} domain {:>6}{binned}", attr.name, attr.domain);
+    }
+    println!(
+        "margin method: {}\ncopula family: {}",
+        artifact.margin_method,
+        artifact.family.name()
+    );
+    let ledger = &artifact.ledger;
+    println!(
+        "budget: total epsilon {:.6}, spent {:.6}",
+        ledger.total,
+        ledger.spent()
+    );
+    for entry in &ledger.entries {
+        println!("  {:<12} epsilon {:.6}", entry.label, entry.epsilon);
+    }
+    let p = &artifact.provenance;
+    println!(
+        "provenance: seed {}, chunk {}, stream {}, scheme {}",
+        p.base_seed, p.sample_chunk, p.sampler_stream, p.scheme
+    );
+    println!("correlation:");
+    let m = artifact.correlation.rows();
+    for i in 0..m {
+        let row: Vec<String> = (0..m)
+            .map(|j| format!("{:>7.4}", artifact.correlation[(i, j)]))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_sample(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("model")?;
+    let out = flags.require("out")?;
+    let rows: usize = flags
+        .require("rows")?
+        .parse()
+        .map_err(|_| "bad value for --rows".to_string())?;
+    let offset = flags.parsed("offset", 0usize)?;
+    let workers = flags.parsed("workers", 1usize)?;
+    let model = FittedModel::load(path).map_err(|e| e.to_string())?;
+    let columns = model.sample_range(offset, rows, workers);
+    let attributes: Vec<datagen::Attribute> = model
+        .artifact()
+        .schema
+        .iter()
+        .map(|a| datagen::Attribute::new(a.name.clone(), a.domain))
+        .collect();
+    save_dataset(&datagen::Dataset::new(attributes, columns), out)?;
+    println!(
+        "served rows [{offset}, {}) from {path} to {out}",
+        offset + rows
+    );
+    Ok(())
+}
+
+fn cmd_synth(flags: &Flags) -> Result<(), String> {
+    let input = flags.require("input")?;
+    let out = flags.require("out")?;
+    let (mut config, opts, seed) = parse_config(flags)?;
+    let dataset = load_dataset(input)?;
+    if let Some(rows) = flags.get("rows") {
+        let rows: usize = rows
+            .parse()
+            .map_err(|_| "bad value for --rows".to_string())?;
+        config = config.with_output_records(rows);
+    }
+    let (synthesis, report) = DpCopula::new(config)
+        .synthesize_staged(dataset.columns(), &dataset.domains(), seed, &opts)
+        .map_err(|e| format!("synthesis failed: {e}"))?;
+    let attributes = dataset.attributes().to_vec();
+    let released = datagen::Dataset::new(attributes, synthesis.columns);
+    save_dataset(&released, out)?;
+    println!(
+        "synthesized {} records x {} attributes to {out} in {:?} (seed {seed})",
+        released.len(),
+        released.dims(),
+        report.timings.total(),
+    );
+    Ok(())
+}
+
+fn cmd_eval(flags: &Flags) -> Result<(), String> {
+    let synthetic = load_dataset(flags.require("synthetic")?)?;
+    let reference = load_dataset(flags.require("reference")?)?;
+    if synthetic.domains() != reference.domains() {
+        return Err(format!(
+            "schema mismatch: synthetic domains {:?} vs reference {:?}",
+            synthetic.domains(),
+            reference.domains()
+        ));
+    }
+    let queries = flags.parsed("queries", 1_000usize)?;
+    let seed = flags.parsed("seed", 42u64)?;
+    let sanity = flags.parsed("sanity", 1.0f64)?;
+    if sanity <= 0.0 {
+        return Err("--sanity must be positive".into());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload = queryeval::Workload::random(&reference.domains(), queries, &mut rng);
+    let summary =
+        queryeval::evaluate_columns(&workload, synthetic.columns(), reference.columns(), sanity);
+    println!(
+        "queries {}  mean relative error {:.6}  mean absolute error {:.3}",
+        summary.queries, summary.mean_relative, summary.mean_absolute
+    );
+    Ok(())
+}

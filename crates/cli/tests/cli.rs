@@ -1,0 +1,255 @@
+//! End-to-end tests of the `dpcopula-cli` binary: the full
+//! gen → fit → inspect → sample → eval loop through real files and real
+//! process boundaries, including the bit-identity contract between
+//! serving a saved artifact and in-process synthesis.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dpcopula-cli"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("spawn dpcopula-cli")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "`dpcopula-cli {}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// A scratch directory removed on drop, unique per test.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dpcopula_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_str().unwrap().to_string()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn gen_small(dir: &Scratch, name: &str) -> String {
+    let csv = dir.path(name);
+    run_ok(&["gen", "--out", &csv, "--records", "1500", "--seed", "7"]);
+    csv
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_is_an_error() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_writes_a_readable_census_csv() {
+    let dir = Scratch::new("gen");
+    let csv = gen_small(&dir, "census.csv");
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let header = text.lines().next().unwrap();
+    assert!(header.contains(':'), "header carries domains: {header}");
+    assert_eq!(text.lines().count(), 1501, "header + 1500 rows");
+}
+
+#[test]
+fn fit_sample_matches_synth_byte_for_byte() {
+    let dir = Scratch::new("roundtrip");
+    let csv = gen_small(&dir, "census.csv");
+    let model = dir.path("model.dpcm");
+    let served = dir.path("served.csv");
+    let synthed = dir.path("synthed.csv");
+    let common = ["--epsilon", "1.0", "--seed", "99"];
+
+    run_ok(&[&["fit", "--input", &csv, "--out", &model][..], &common[..]].concat());
+    run_ok(&[
+        "sample",
+        "--model",
+        &model,
+        "--out",
+        &served,
+        "--rows",
+        "1000",
+        "--workers",
+        "3",
+    ]);
+    run_ok(
+        &[
+            &[
+                "synth", "--input", &csv, "--out", &synthed, "--rows", "1000",
+            ][..],
+            &common[..],
+        ]
+        .concat(),
+    );
+
+    let a = std::fs::read(&served).unwrap();
+    let b = std::fs::read(&synthed).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "served artifact rows must equal in-process synthesis");
+}
+
+#[test]
+fn sample_windows_stitch_across_separate_invocations() {
+    let dir = Scratch::new("windows");
+    let csv = gen_small(&dir, "census.csv");
+    let model = dir.path("model.dpcm");
+    run_ok(&["fit", "--input", &csv, "--out", &model, "--seed", "5"]);
+    let whole = dir.path("whole.csv");
+    let head = dir.path("head.csv");
+    let tail = dir.path("tail.csv");
+    run_ok(&[
+        "sample", "--model", &model, "--out", &whole, "--rows", "800",
+    ]);
+    run_ok(&[
+        "sample",
+        "--model",
+        &model,
+        "--out",
+        &head,
+        "--rows",
+        "300",
+        "--workers",
+        "2",
+    ]);
+    run_ok(&[
+        "sample",
+        "--model",
+        &model,
+        "--out",
+        &tail,
+        "--rows",
+        "500",
+        "--offset",
+        "300",
+        "--workers",
+        "7",
+    ]);
+
+    let whole = std::fs::read_to_string(&whole).unwrap();
+    let head = std::fs::read_to_string(&head).unwrap();
+    let tail = std::fs::read_to_string(&tail).unwrap();
+    let stitched: Vec<&str> = head
+        .lines()
+        .chain(tail.lines().skip(1)) // second header
+        .collect();
+    let expected: Vec<&str> = whole.lines().collect();
+    assert_eq!(stitched, expected, "shards must stitch to the whole window");
+}
+
+#[test]
+fn inspect_reports_sections_and_budget() {
+    let dir = Scratch::new("inspect");
+    let csv = gen_small(&dir, "census.csv");
+    let model = dir.path("model.dpcm");
+    run_ok(&["fit", "--input", &csv, "--out", &model, "--epsilon", "0.5"]);
+    let report = run_ok(&["inspect", "--model", &model]);
+    for needle in [
+        "format v1",
+        "schema",
+        "margins",
+        "correlation",
+        "budget",
+        "provenance",
+        "margin method: efpa",
+        "copula family: gaussian",
+        "spent 0.500000",
+    ] {
+        assert!(report.contains(needle), "missing `{needle}` in:\n{report}");
+    }
+}
+
+#[test]
+fn corrupt_artifact_is_rejected_with_precise_error() {
+    let dir = Scratch::new("corrupt");
+    let csv = gen_small(&dir, "census.csv");
+    let model = dir.path("model.dpcm");
+    run_ok(&["fit", "--input", &csv, "--out", &model]);
+
+    let mut bytes = std::fs::read(&model).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&model, &bytes).unwrap();
+
+    for args in [
+        vec![
+            "sample",
+            "--model",
+            &model,
+            "--out",
+            &dir.path("x.csv"),
+            "--rows",
+            "10",
+        ],
+        vec!["inspect", "--model", &model],
+    ] {
+        let args: Vec<&str> = args.iter().map(|s| s.as_ref()).collect();
+        let out = run(&args);
+        assert!(!out.status.success(), "corrupt model must be refused");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("offset") || stderr.contains("checksum"),
+            "error should localise the damage: {stderr}"
+        );
+    }
+    assert!(
+        !Path::new(&dir.path("x.csv")).exists(),
+        "no output from a refused model"
+    );
+}
+
+#[test]
+fn eval_scores_a_release_against_its_source() {
+    let dir = Scratch::new("eval");
+    let csv = gen_small(&dir, "census.csv");
+    let synthed = dir.path("synthed.csv");
+    run_ok(&[
+        "synth",
+        "--input",
+        &csv,
+        "--out",
+        &synthed,
+        "--epsilon",
+        "2.0",
+        "--seed",
+        "3",
+    ]);
+    let report = run_ok(&[
+        "eval",
+        "--synthetic",
+        &synthed,
+        "--reference",
+        &csv,
+        "--queries",
+        "50",
+        "--seed",
+        "1",
+    ]);
+    assert!(report.contains("queries 50"), "{report}");
+    assert!(report.contains("mean relative error"), "{report}");
+}

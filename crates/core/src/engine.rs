@@ -131,23 +131,35 @@ pub struct PipelineReport {
     pub base_seed: u64,
 }
 
+/// The fitted model pieces stages 1–4 produce — everything of a run
+/// except the sampled rows. `DpCopula::fit_staged` packages this into a
+/// durable [`crate::model::FittedModel`]; [`DpCopula::synthesize_staged`]
+/// feeds it straight into the sampling stage.
+pub(crate) struct FitParts {
+    /// Ready-to-sample marginal distributions (CDFs from noisy counts).
+    pub margins: Vec<MarginalDistribution>,
+    /// The published noisy marginal counts.
+    pub noisy_margins: Vec<Vec<f64>>,
+    /// The clamped + PD-repaired DP correlation matrix.
+    pub correlation: Matrix,
+    /// Budget spent on margins (`epsilon_1`).
+    pub epsilon_margins: f64,
+    /// Budget spent on correlations (`epsilon_2`; 0 for one attribute).
+    pub epsilon_correlations: f64,
+}
+
 impl DpCopula {
-    /// Runs the full pipeline as five explicit stages, fanning the
-    /// data-parallel ones out across `opts.workers` threads.
-    ///
-    /// Releases exactly the same kind of [`Synthesis`] as
-    /// [`DpCopula::synthesize`] (which delegates here), plus a
-    /// [`PipelineReport`] with per-stage timings. All randomness is
-    /// derived from `base_seed` via index-keyed streams, so for a fixed
-    /// `(data, config, base_seed, sample_chunk)` the output is
-    /// bit-identical at any worker count.
-    pub fn synthesize_staged(
+    /// Runs stages 1–4 of the pipeline (budget plan → margins →
+    /// correlation → PD repair) — the *fit*, which is everything that
+    /// touches the raw data and the privacy budget. Sampling from the
+    /// result is free post-processing.
+    pub(crate) fn fit_parts(
         &self,
         columns: &[Vec<u32>],
         domains: &[usize],
         base_seed: u64,
         opts: &EngineOptions,
-    ) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
+    ) -> Result<(FitParts, StageTimings), DpCopulaError> {
         let workers = opts.workers.max(1);
         let mut timings = StageTimings::default();
 
@@ -223,11 +235,42 @@ impl DpCopula {
         };
         timings.pd_repair = t0.elapsed();
 
+        Ok((
+            FitParts {
+                margins,
+                noisy_margins,
+                correlation,
+                epsilon_margins: eps1.value(),
+                epsilon_correlations: if m > 1 { eps2.value() } else { 0.0 },
+            },
+            timings,
+        ))
+    }
+
+    /// Runs the full pipeline as five explicit stages, fanning the
+    /// data-parallel ones out across `opts.workers` threads.
+    ///
+    /// Releases exactly the same kind of [`Synthesis`] as
+    /// [`DpCopula::synthesize`] (which delegates here), plus a
+    /// [`PipelineReport`] with per-stage timings. All randomness is
+    /// derived from `base_seed` via index-keyed streams, so for a fixed
+    /// `(data, config, base_seed, sample_chunk)` the output is
+    /// bit-identical at any worker count.
+    pub fn synthesize_staged(
+        &self,
+        columns: &[Vec<u32>],
+        domains: &[usize],
+        base_seed: u64,
+        opts: &EngineOptions,
+    ) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
+        let workers = opts.workers.max(1);
+        let (parts, mut timings) = self.fit_parts(columns, domains, base_seed, opts)?;
+
         // Stage 5: copula sampling — one task per row chunk
         // (post-processing, no budget).
         let t0 = Instant::now();
-        let sampler = CopulaSampler::new(&correlation, margins)?;
-        let n_out = cfg.output_records.unwrap_or(n);
+        let sampler = CopulaSampler::new(&parts.correlation, parts.margins)?;
+        let n_out = self.config().output_records.unwrap_or(columns[0].len());
         let out_columns =
             sampler.sample_columns_chunked(n_out, base_seed, workers, opts.sample_chunk);
         timings.sampling = t0.elapsed();
@@ -235,10 +278,10 @@ impl DpCopula {
         Ok((
             Synthesis {
                 columns: out_columns,
-                correlation,
-                noisy_margins,
-                epsilon_margins: eps1.value(),
-                epsilon_correlations: if m > 1 { eps2.value() } else { 0.0 },
+                correlation: parts.correlation,
+                noisy_margins: parts.noisy_margins,
+                epsilon_margins: parts.epsilon_margins,
+                epsilon_correlations: parts.epsilon_correlations,
             },
             PipelineReport {
                 timings,

@@ -57,6 +57,23 @@ pub enum DpCopulaError {
     /// the eigenvalue repair — numerically it is not positive definite,
     /// so no copula can be sampled from it.
     NotPositiveDefinite(CholeskyError),
+    /// A stored model artifact failed decoding or its on-load validation
+    /// (checksums, unit diagonal, symmetry, positive-definiteness) —
+    /// serving it would produce garbage or panic downstream, so the load
+    /// is refused instead.
+    CorruptModel {
+        /// What failed, as precisely as the layer that caught it knows
+        /// (section name + byte offset for codec damage, the violated
+        /// invariant for semantic damage).
+        reason: String,
+    },
+    /// The artifact is well-formed but this serving layer cannot sample
+    /// its model (e.g. a copula family reserved in the format that has
+    /// no sampler yet).
+    UnsupportedModel {
+        /// What is unsupported.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for DpCopulaError {
@@ -95,6 +112,12 @@ impl std::fmt::Display for DpCopulaError {
             DpCopulaError::NotPositiveDefinite(e) => {
                 write!(f, "correlation matrix is not positive definite: {e}")
             }
+            DpCopulaError::CorruptModel { reason } => {
+                write!(f, "corrupt model artifact: {reason}")
+            }
+            DpCopulaError::UnsupportedModel { reason } => {
+                write!(f, "unsupported model artifact: {reason}")
+            }
         }
     }
 }
@@ -110,6 +133,14 @@ impl From<BudgetError> for DpCopulaError {
 impl From<CholeskyError> for DpCopulaError {
     fn from(e: CholeskyError) -> Self {
         DpCopulaError::NotPositiveDefinite(e)
+    }
+}
+
+impl From<modelstore::StoreError> for DpCopulaError {
+    fn from(e: modelstore::StoreError) -> Self {
+        DpCopulaError::CorruptModel {
+            reason: e.to_string(),
+        }
     }
 }
 

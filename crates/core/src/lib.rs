@@ -52,6 +52,7 @@ pub mod gaussian;
 pub mod hybrid;
 pub mod kendall;
 pub mod mle;
+pub mod model;
 pub mod sampler;
 pub mod selection;
 pub mod spearman;
@@ -60,4 +61,5 @@ pub mod tcopula;
 
 pub use engine::{EngineOptions, PipelineReport, StageTimings};
 pub use error::DpCopulaError;
+pub use model::FittedModel;
 pub use synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod, Synthesis};

@@ -1,0 +1,516 @@
+//! Fit-once / sample-many serving: [`FittedModel`] wraps a
+//! [`ModelArtifact`] with a validated, ready-to-sample copula, so a
+//! deployment fits a model one time (spending its ε budget), persists it
+//! as a `.dpcm` artifact, and thereafter serves unbounded synthetic rows
+//! — on any machine, at any worker count — without ever touching the raw
+//! data or the budget again.
+//!
+//! ## Why serving is free (the DP argument)
+//!
+//! Differential privacy is closed under post-processing: any function of
+//! an ε-DP release is itself ε-DP at no additional cost. The artifact
+//! stores exactly the two ε-budgeted releases of the fit — the noisy
+//! marginal histograms and the noisy (repaired) correlation matrix — and
+//! sampling reads *only* those. However many rows are served, from
+//! however many artifact copies, the privacy guarantee stays the ledger's
+//! recorded ε.
+//!
+//! ## Deterministic row windows
+//!
+//! [`FittedModel::sample_range`] generates the absolute row window
+//! `[offset, offset + n)` of a conceptually infinite synthetic row space.
+//! Rows are gridded into fixed chunks (`provenance.sample_chunk` rows);
+//! chunk `c` draws from `parkit::stream_rng(base_seed, sampler_stream,
+//! c)`, so every row is a pure function of the artifact plus its absolute
+//! index. Horizontally sharded servers that each own a disjoint row range
+//! therefore produce disjoint, non-overlapping rows that concatenate to
+//! exactly the single-machine output — and `sample_range(0, n)`
+//! reproduces `synthesize_staged`'s released rows bit-for-bit.
+
+use crate::empirical::MarginalDistribution;
+use crate::engine::{EngineOptions, PipelineReport, STREAM_SAMPLER};
+use crate::error::DpCopulaError;
+use crate::sampler::CopulaSampler;
+use crate::synthesizer::DpCopula;
+use crate::tcopula::TCopulaSampler;
+use dphist::MarginRegistry;
+use mathkit::correlation::is_correlation_shaped;
+use modelstore::{
+    AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance,
+    StoreError,
+};
+use std::path::Path;
+
+/// The stream-key derivation scheme recorded in artifact provenance —
+/// pins `parkit::stream_rng`'s triple-SplitMix64 derivation over
+/// xoshiro256++ states.
+pub const STREAM_SCHEME: &str = "splitmix64x3/xoshiro256++";
+
+/// Tolerance for the on-load unit-diagonal / symmetry / range check of
+/// the stored correlation matrix. The fit writes exact repaired values,
+/// so anything beyond tiny float formatting noise is damage.
+const CORRELATION_TOL: f64 = 1e-8;
+
+/// A loaded (or freshly fitted) model, validated and ready to serve.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    artifact: ModelArtifact,
+    sampler: ServingSampler,
+}
+
+/// The family-specific sampling back-end.
+#[derive(Debug, Clone)]
+enum ServingSampler {
+    Gaussian(CopulaSampler),
+    StudentT(TCopulaSampler),
+}
+
+impl FittedModel {
+    /// Validates an artifact and builds the serving model.
+    ///
+    /// On-load validation re-checks everything sampling will rely on,
+    /// refusing with [`DpCopulaError::CorruptModel`] instead of letting a
+    /// damaged model panic (or silently mis-sample) downstream:
+    ///
+    /// * schema non-empty; one margin histogram per attribute, each with
+    ///   exactly its domain's bin count;
+    /// * margin-method provenance resolves in the builtin
+    ///   [`MarginRegistry`];
+    /// * correlation matrix has unit diagonal, symmetry and entries in
+    ///   `[-1, 1]`;
+    /// * the matrix is positive definite — checked by the same Cholesky
+    ///   path sampling uses (Algorithm 5's repair guarantees this for
+    ///   anything the fit actually wrote).
+    pub fn from_artifact(artifact: ModelArtifact) -> Result<Self, DpCopulaError> {
+        let corrupt = |reason: String| DpCopulaError::CorruptModel { reason };
+        let m = artifact.schema.len();
+        if m == 0 {
+            return Err(corrupt("schema has no attributes".into()));
+        }
+        if artifact.margins.len() != m {
+            return Err(corrupt(format!(
+                "{} margins for {m} schema attributes",
+                artifact.margins.len()
+            )));
+        }
+        for (attr, counts) in artifact.schema.iter().zip(&artifact.margins) {
+            if counts.len() != attr.domain {
+                return Err(corrupt(format!(
+                    "margin of `{}` has {} bins for domain {}",
+                    attr.name,
+                    counts.len(),
+                    attr.domain
+                )));
+            }
+            if counts.iter().any(|c| !c.is_finite()) {
+                return Err(corrupt(format!(
+                    "margin of `{}` contains non-finite counts",
+                    attr.name
+                )));
+            }
+        }
+        if !MarginRegistry::builtin().contains(&artifact.margin_method) {
+            return Err(corrupt(format!(
+                "margin method `{}` is not a known MarginRegistry name",
+                artifact.margin_method
+            )));
+        }
+        let p = &artifact.correlation;
+        if p.rows() != m || p.cols() != m {
+            return Err(corrupt(format!(
+                "{}x{} correlation matrix for {m} attributes",
+                p.rows(),
+                p.cols()
+            )));
+        }
+        if !is_correlation_shaped(p, CORRELATION_TOL) {
+            return Err(corrupt(
+                "correlation matrix is not unit-diagonal symmetric with entries in [-1, 1]".into(),
+            ));
+        }
+        let margins: Vec<MarginalDistribution> = artifact
+            .margins
+            .iter()
+            .map(|noisy| MarginalDistribution::from_noisy_histogram(noisy))
+            .collect();
+        let sampler = match artifact.family {
+            CopulaFamily::Gaussian => {
+                ServingSampler::Gaussian(CopulaSampler::new(p, margins).map_err(|e| {
+                    corrupt(format!("correlation matrix is not positive definite: {e}"))
+                })?)
+            }
+            CopulaFamily::StudentT { dof } => {
+                if !dof.is_finite() || dof <= 0.0 {
+                    return Err(corrupt(format!(
+                        "student-t copula with invalid degrees of freedom {dof}"
+                    )));
+                }
+                ServingSampler::StudentT(TCopulaSampler::new(p, dof, margins).map_err(|e| {
+                    corrupt(format!("correlation matrix is not positive definite: {e}"))
+                })?)
+            }
+            CopulaFamily::Hybrid { .. } => {
+                return Err(DpCopulaError::UnsupportedModel {
+                    reason: "hybrid-family artifacts cannot be served yet (the v1 format \
+                             reserves the tag, but the histogram component is not stored)"
+                        .into(),
+                });
+            }
+        };
+        if artifact.provenance.sample_chunk == 0 {
+            return Err(corrupt("provenance sample_chunk must be positive".into()));
+        }
+        Ok(Self { artifact, sampler })
+    }
+
+    /// Loads and validates a `.dpcm` artifact from disk. Codec damage
+    /// (bad checksum, truncation, unknown version) and semantic damage
+    /// (indefinite matrix, shape mismatches) both surface as
+    /// [`DpCopulaError::CorruptModel`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, DpCopulaError> {
+        Self::from_artifact(ModelArtifact::load(path)?)
+    }
+
+    /// Persists the model as a `.dpcm` artifact.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        self.artifact.save(path)
+    }
+
+    /// The underlying artifact (schema, margins, matrix, ledger,
+    /// provenance).
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// Number of attributes.
+    pub fn dims(&self) -> usize {
+        self.artifact.schema.len()
+    }
+
+    /// Per-attribute domain sizes.
+    pub fn domains(&self) -> Vec<usize> {
+        self.artifact.domains()
+    }
+
+    /// Renames the schema's attributes (e.g. to the CSV header names the
+    /// fit input carried).
+    ///
+    /// # Panics
+    /// Panics when `names.len() != self.dims()`.
+    pub fn set_attribute_names<S: AsRef<str>>(&mut self, names: &[S]) {
+        assert_eq!(names.len(), self.dims(), "one name per attribute");
+        for (attr, name) in self.artifact.schema.iter_mut().zip(names) {
+            attr.name = name.as_ref().to_string();
+        }
+    }
+
+    /// Draws the absolute row window `[offset, offset + n)`, column-major,
+    /// fanned out across `workers` threads.
+    ///
+    /// Bit-identical at any worker count and under any window split:
+    /// `sample_range(0, N)` equals `sample_range(0, k)` concatenated with
+    /// `sample_range(k, N - k)` for every `k` — each worker of a sharded
+    /// deployment owns a window and the shards jointly reproduce the
+    /// one-machine output. `sample_range(0, n)` also reproduces
+    /// `synthesize_staged`'s sampled rows for the same seed and chunk.
+    pub fn sample_range(&self, offset: usize, n: usize, workers: usize) -> Vec<Vec<u32>> {
+        let prov = &self.artifact.provenance;
+        let chunk = prov.sample_chunk as usize;
+        match &self.sampler {
+            ServingSampler::Gaussian(s) => s.sample_columns_window(
+                offset,
+                n,
+                prov.base_seed,
+                prov.sampler_stream,
+                workers,
+                chunk,
+            ),
+            ServingSampler::StudentT(s) => {
+                let d = self.dims();
+                let windows = parkit::chunk_windows(offset, n, chunk);
+                let pieces: Vec<Vec<Vec<u32>>> = parkit::par_map(workers, &windows, |_, w| {
+                    let mut rng =
+                        parkit::stream_rng(prov.base_seed, prov.sampler_stream, w.id as u64);
+                    let mut cols = vec![Vec::with_capacity(w.take); d];
+                    let mut buf = vec![0u32; d];
+                    for _ in 0..w.skip {
+                        s.sample_record(&mut rng, &mut buf);
+                    }
+                    for _ in 0..w.take {
+                        s.sample_record(&mut rng, &mut buf);
+                        for (col, &v) in cols.iter_mut().zip(&buf) {
+                            col.push(v);
+                        }
+                    }
+                    cols
+                });
+                let mut out = vec![Vec::with_capacity(n); d];
+                for piece in pieces {
+                    for (col, mut part) in out.iter_mut().zip(piece) {
+                        col.append(&mut part);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Convenience for `sample_range(0, n, workers)`.
+    pub fn sample_columns(&self, n: usize, workers: usize) -> Vec<Vec<u32>> {
+        self.sample_range(0, n, workers)
+    }
+}
+
+impl DpCopula {
+    /// Fits the model — stages 1–4 of the staged pipeline, everything
+    /// that touches the raw data and spends budget — and packages the
+    /// releases as a durable, self-describing [`FittedModel`].
+    ///
+    /// The returned report's sampling stage is zero: sampling is the
+    /// caller's post-processing, via [`FittedModel::sample_range`] now or
+    /// after a save/load round-trip, and
+    /// `fit_staged(..).sample_range(0, n)` is bit-identical to
+    /// `synthesize_staged(..)` with `output_records = n` at the same
+    /// `(base_seed, sample_chunk)`.
+    pub fn fit_staged(
+        &self,
+        columns: &[Vec<u32>],
+        domains: &[usize],
+        base_seed: u64,
+        opts: &EngineOptions,
+    ) -> Result<(FittedModel, PipelineReport), DpCopulaError> {
+        let workers = opts.workers.max(1);
+        let (parts, timings) = self.fit_parts(columns, domains, base_seed, opts)?;
+        let cfg = self.config();
+        let mut entries = vec![BudgetEntry {
+            label: "margins".into(),
+            epsilon: parts.epsilon_margins,
+        }];
+        if parts.epsilon_correlations > 0.0 {
+            entries.push(BudgetEntry {
+                label: "correlation".into(),
+                epsilon: parts.epsilon_correlations,
+            });
+        }
+        let artifact = ModelArtifact {
+            schema: domains
+                .iter()
+                .enumerate()
+                .map(|(j, &d)| AttributeSpec::new(format!("attr{j}"), d))
+                .collect(),
+            margin_method: cfg.margin.registry_name().to_string(),
+            margins: parts.noisy_margins,
+            correlation: parts.correlation,
+            family: CopulaFamily::Gaussian,
+            ledger: BudgetLedger {
+                total: cfg.epsilon.value(),
+                entries,
+            },
+            provenance: RngProvenance {
+                base_seed,
+                sample_chunk: opts.sample_chunk.max(1) as u64,
+                sampler_stream: STREAM_SAMPLER,
+                scheme: STREAM_SCHEME.into(),
+            },
+        };
+        let model = FittedModel::from_artifact(artifact)?;
+        Ok((
+            model,
+            PipelineReport {
+                timings,
+                workers,
+                base_seed,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesizer::DpCopulaConfig;
+    use dpmech::Epsilon;
+    use rngkit::rngs::StdRng;
+    use rngkit::{Rng, SeedableRng};
+
+    fn test_columns(m: usize, n: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+        (0..m)
+            .map(|j| {
+                base.iter()
+                    .map(|&v| (v + rng.gen_range(0..domain / 4) + j as u32) % domain)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn fitted(seed: u64) -> FittedModel {
+        let cols = test_columns(3, 2_000, 32, seed);
+        let dp = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()));
+        let (model, _) = dp
+            .fit_staged(&cols, &[32, 32, 32], seed, &EngineOptions::with_workers(2))
+            .unwrap();
+        model
+    }
+
+    #[test]
+    fn fit_then_sample_matches_synthesize_staged() {
+        let cols = test_columns(3, 2_000, 32, 1);
+        let domains = vec![32usize; 3];
+        let dp = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()));
+        let opts = EngineOptions::with_workers(2);
+        let (synth, _) = dp.synthesize_staged(&cols, &domains, 42, &opts).unwrap();
+        let (model, report) = dp.fit_staged(&cols, &domains, 42, &opts).unwrap();
+        assert_eq!(report.timings.sampling, std::time::Duration::ZERO);
+        assert_eq!(model.sample_range(0, 2_000, 4), synth.columns);
+        assert_eq!(model.artifact().correlation, synth.correlation);
+        assert_eq!(model.artifact().margins, synth.noisy_margins);
+        let ledger = &model.artifact().ledger;
+        assert!((ledger.spent() - 1.0).abs() < 1e-9);
+        assert_eq!(ledger.total, 1.0);
+    }
+
+    #[test]
+    fn save_load_serve_round_trips_bit_identically() {
+        let model = fitted(7);
+        let dir = std::env::temp_dir().join(format!("dpcm_model_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.dpcm");
+        model.save(&path).unwrap();
+        let served = FittedModel::load(&path).unwrap();
+        assert_eq!(served.artifact(), model.artifact());
+        assert_eq!(
+            served.sample_range(0, 500, 3),
+            model.sample_range(0, 500, 1)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sample_range_shards_are_disjoint_and_seamless() {
+        let model = fitted(9);
+        let whole = model.sample_range(0, 3_000, 1);
+        // Three disjoint shards, different worker counts, stitched.
+        let shards = [
+            model.sample_range(0, 1_000, 2),
+            model.sample_range(1_000, 1_000, 7),
+            model.sample_range(2_000, 1_000, 3),
+        ];
+        for j in 0..model.dims() {
+            let stitched: Vec<u32> = shards.iter().flat_map(|s| s[j].iter().copied()).collect();
+            assert_eq!(stitched, whole[j], "column {j}");
+        }
+    }
+
+    #[test]
+    fn attribute_names_round_trip() {
+        let mut model = fitted(3);
+        model.set_attribute_names(&["age", "income", "hours"]);
+        let names: Vec<&str> = model
+            .artifact()
+            .schema
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["age", "income", "hours"]);
+    }
+
+    #[test]
+    fn corrupt_matrix_is_rejected_on_load() {
+        let model = fitted(5);
+        // Asymmetric matrix.
+        let mut bad = model.artifact().clone();
+        bad.correlation[(0, 1)] = 0.9;
+        bad.correlation[(1, 0)] = -0.9;
+        assert!(matches!(
+            FittedModel::from_artifact(bad).unwrap_err(),
+            DpCopulaError::CorruptModel { .. }
+        ));
+        // Non-unit diagonal.
+        let mut bad = model.artifact().clone();
+        bad.correlation[(2, 2)] = 1.5;
+        assert!(matches!(
+            FittedModel::from_artifact(bad).unwrap_err(),
+            DpCopulaError::CorruptModel { .. }
+        ));
+        // Symmetric, unit diagonal, in range — but indefinite.
+        let mut bad = model.artifact().clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                bad.correlation[(i, j)] = if i == j { 1.0 } else { -0.9 };
+            }
+        }
+        let err = FittedModel::from_artifact(bad).unwrap_err();
+        match err {
+            DpCopulaError::CorruptModel { reason } => {
+                assert!(reason.contains("positive definite"), "{reason}")
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_margins_and_unknown_method_are_rejected() {
+        let model = fitted(2);
+        let mut bad = model.artifact().clone();
+        bad.margins[0].push(1.0);
+        assert!(matches!(
+            FittedModel::from_artifact(bad).unwrap_err(),
+            DpCopulaError::CorruptModel { .. }
+        ));
+        let mut bad = model.artifact().clone();
+        bad.margin_method = "no-such-method".into();
+        assert!(matches!(
+            FittedModel::from_artifact(bad).unwrap_err(),
+            DpCopulaError::CorruptModel { .. }
+        ));
+    }
+
+    #[test]
+    fn student_t_artifacts_serve_deterministic_windows() {
+        let model = fitted(11);
+        let mut artifact = model.artifact().clone();
+        artifact.family = CopulaFamily::StudentT { dof: 5.0 };
+        let t_model = FittedModel::from_artifact(artifact).unwrap();
+        let whole = t_model.sample_range(0, 1_000, 1);
+        let head = t_model.sample_range(0, 321, 4);
+        let tail = t_model.sample_range(321, 679, 2);
+        for j in 0..t_model.dims() {
+            let stitched: Vec<u32> = head[j].iter().chain(&tail[j]).copied().collect();
+            assert_eq!(stitched, whole[j], "column {j}");
+        }
+        // t sampling differs from the Gaussian path.
+        assert_ne!(whole, model.sample_range(0, 1_000, 1));
+    }
+
+    #[test]
+    fn hybrid_artifacts_are_refused_as_unsupported() {
+        let mut artifact = fitted(4).artifact().clone();
+        artifact.family = CopulaFamily::Hybrid { threshold: 8 };
+        assert!(matches!(
+            FittedModel::from_artifact(artifact).unwrap_err(),
+            DpCopulaError::UnsupportedModel { .. }
+        ));
+    }
+
+    #[test]
+    fn corrupt_file_surfaces_precise_reason() {
+        let model = fitted(6);
+        let dir = std::env::temp_dir().join(format!("dpcm_corrupt_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.dpcm");
+        model.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match FittedModel::load(&path).unwrap_err() {
+            DpCopulaError::CorruptModel { reason } => {
+                assert!(reason.contains("offset"), "{reason}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -95,13 +95,48 @@ impl CopulaSampler {
         workers: usize,
         chunk: usize,
     ) -> Vec<Vec<u32>> {
+        self.sample_columns_window(
+            0,
+            n,
+            base_seed,
+            crate::engine::STREAM_SAMPLER,
+            workers,
+            chunk,
+        )
+    }
+
+    /// Draws the absolute row window `[offset, offset + n)` of the
+    /// infinite synthetic row space keyed by `(base_seed, stream)`,
+    /// fanned out across `workers` threads.
+    ///
+    /// Rows are gridded into fixed chunks of `chunk` records; chunk `c`
+    /// (covering rows `c*chunk .. (c+1)*chunk`) draws from
+    /// `stream_rng(base_seed, stream, c)`, and rows of a chunk before
+    /// the window are generated and discarded. Row `r` is therefore a
+    /// pure function of `(model, base_seed, stream, chunk, r)` — the
+    /// same bytes whether it is produced by one call, any split of
+    /// calls, or any worker count. This is what lets horizontally
+    /// sharded servers each own a disjoint row range of one model and
+    /// still jointly reproduce the single-machine output.
+    pub fn sample_columns_window(
+        &self,
+        offset: usize,
+        n: usize,
+        base_seed: u64,
+        stream: u64,
+        workers: usize,
+        chunk: usize,
+    ) -> Vec<Vec<u32>> {
         let d = self.dims();
-        let ranges = parkit::chunk_ranges(n, chunk);
-        let pieces: Vec<Vec<Vec<u32>>> = parkit::par_map(workers, &ranges, |ci, range| {
-            let mut rng = parkit::stream_rng(base_seed, crate::engine::STREAM_SAMPLER, ci as u64);
-            let mut cols = vec![Vec::with_capacity(range.len()); d];
+        let windows = parkit::chunk_windows(offset, n, chunk);
+        let pieces: Vec<Vec<Vec<u32>>> = parkit::par_map(workers, &windows, |_, w| {
+            let mut rng = parkit::stream_rng(base_seed, stream, w.id as u64);
+            let mut cols = vec![Vec::with_capacity(w.take); d];
             let mut buf = vec![0u32; d];
-            for _ in range.clone() {
+            for _ in 0..w.skip {
+                self.sample_record(&mut rng, &mut buf);
+            }
+            for _ in 0..w.take {
                 self.sample_record(&mut rng, &mut buf);
                 for (col, &v) in cols.iter_mut().zip(&buf) {
                     col.push(v);
@@ -208,6 +243,32 @@ mod tests {
         );
         assert_eq!(s.sample_columns_chunked(5, 1, 4, 64)[0].len(), 5);
         assert_eq!(s.sample_columns_chunked(3, 1, 16, 0)[0].len(), 3);
+    }
+
+    #[test]
+    fn window_sampling_splits_seamlessly_at_any_point() {
+        let margins = vec![uniform_margin(60), uniform_margin(60)];
+        let s = CopulaSampler::new(&equicorrelation(2, 0.4), margins).unwrap();
+        let stream = crate::engine::STREAM_SAMPLER;
+        let whole = s.sample_columns_window(0, 1_000, 5, stream, 3, 128);
+        assert_eq!(whole, s.sample_columns_chunked(1_000, 5, 3, 128));
+        // Splits at chunk-aligned and unaligned points both reproduce
+        // the one-call bytes.
+        for k in [1usize, 127, 128, 129, 500, 999] {
+            let head = s.sample_columns_window(0, k, 5, stream, 2, 128);
+            let tail = s.sample_columns_window(k, 1_000 - k, 5, stream, 7, 128);
+            let stitched: Vec<Vec<u32>> = head
+                .iter()
+                .zip(&tail)
+                .map(|(h, t)| h.iter().chain(t).copied().collect())
+                .collect();
+            assert_eq!(stitched, whole, "split at {k}");
+        }
+        // An interior window equals the matching slice of the whole.
+        let mid = s.sample_columns_window(300, 150, 5, stream, 4, 128);
+        for (j, col) in mid.iter().enumerate() {
+            assert_eq!(col[..], whole[j][300..450], "column {j}");
+        }
     }
 
     #[test]

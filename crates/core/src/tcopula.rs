@@ -171,19 +171,31 @@ impl TCopulaSampler {
         self.margins.len()
     }
 
+    /// Draws one synthetic record into `out`.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != self.dims()`.
+    pub fn sample_record<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
+        assert_eq!(out.len(), self.dims(), "output buffer size mismatch");
+        let mut z = vec![0.0; self.dims()];
+        self.mvn.sample_into(rng, &mut z);
+        let w = self.chi2.sample(rng).max(1e-12);
+        let scale = (self.nu / w).sqrt();
+        for (j, margin) in self.margins.iter().enumerate() {
+            let u = self.t.cdf(z[j] * scale);
+            out[j] = margin.quantile(u);
+        }
+    }
+
     /// Draws `n` records, column-major.
-    #[allow(clippy::needless_range_loop)] // row indexes several columns
     pub fn sample_columns<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Vec<u32>> {
         let d = self.dims();
         let mut cols = vec![vec![0u32; n]; d];
-        let mut z = vec![0.0; d];
+        let mut buf = vec![0u32; d];
         for row in 0..n {
-            self.mvn.sample_into(rng, &mut z);
-            let w = self.chi2.sample(rng).max(1e-12);
-            let scale = (self.nu / w).sqrt();
-            for (j, margin) in self.margins.iter().enumerate() {
-                let u = self.t.cdf(z[j] * scale);
-                cols[j][row] = margin.quantile(u);
+            self.sample_record(rng, &mut buf);
+            for (j, col) in cols.iter_mut().enumerate() {
+                col[row] = buf[j];
             }
         }
         cols

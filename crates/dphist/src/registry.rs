@@ -96,6 +96,13 @@ impl MarginRegistry {
         self.entries.iter().map(|(n, _)| *n).collect()
     }
 
+    /// Whether a method is registered under `name` — the check a model
+    /// artifact's recorded margin-method provenance is validated against
+    /// at load time.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| *n == name)
+    }
+
     /// Number of registered methods.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -1,0 +1,158 @@
+//! The fitted-model data: everything a DPCopula fit releases, as plain
+//! owned values with no behaviour attached. The serving layer in
+//! `dpcopula::model` turns this into a ready-to-sample `FittedModel`; the
+//! format layer ([`crate::format`]) turns it into `.dpcm` bytes and back.
+
+use mathkit::Matrix;
+
+/// One attribute of the released schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeSpec {
+    /// Human-readable attribute name.
+    pub name: String,
+    /// Integer domain size: values live on `0..domain`.
+    pub domain: usize,
+    /// Optional bin edges mapping the integer domain back to a continuous
+    /// attribute (`domain + 1` monotone values). Empty means the domain
+    /// *is* the attribute: unit-width integer bins.
+    pub bin_edges: Vec<f64>,
+}
+
+impl AttributeSpec {
+    /// An integer-domain attribute (no bin edges).
+    pub fn new(name: impl Into<String>, domain: usize) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            bin_edges: Vec::new(),
+        }
+    }
+}
+
+/// Which copula family the correlation matrix parameterises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CopulaFamily {
+    /// Gaussian copula — the paper's model (Algorithm 3).
+    Gaussian,
+    /// Student-t copula with the given degrees of freedom (extension).
+    StudentT {
+        /// Degrees of freedom `nu > 0`.
+        dof: f64,
+    },
+    /// Hybrid: small domains via multi-dimensional histogram, the rest
+    /// via the Gaussian copula (Algorithm 6). `threshold` is the domain
+    /// size below which an attribute went to the histogram side.
+    Hybrid {
+        /// Small-domain threshold.
+        threshold: u32,
+    },
+}
+
+impl CopulaFamily {
+    /// Stable wire tag of the family.
+    pub fn tag(self) -> u8 {
+        match self {
+            CopulaFamily::Gaussian => 0,
+            CopulaFamily::StudentT { .. } => 1,
+            CopulaFamily::Hybrid { .. } => 2,
+        }
+    }
+
+    /// Family parameters as a flat list (the wire representation).
+    pub fn params(self) -> Vec<f64> {
+        match self {
+            CopulaFamily::Gaussian => Vec::new(),
+            CopulaFamily::StudentT { dof } => vec![dof],
+            CopulaFamily::Hybrid { threshold } => vec![f64::from(threshold)],
+        }
+    }
+
+    /// Short human-readable family name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CopulaFamily::Gaussian => "gaussian",
+            CopulaFamily::StudentT { .. } => "student-t",
+            CopulaFamily::Hybrid { .. } => "hybrid",
+        }
+    }
+}
+
+/// One privacy-budget expenditure of the fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetEntry {
+    /// What the budget bought (e.g. `margins`, `correlation`).
+    pub label: String,
+    /// Epsilon spent on it.
+    pub epsilon: f64,
+}
+
+/// The spent-budget ledger: the DP accounting the artifact carries so a
+/// consumer can audit what the release cost. Sampling from the artifact
+/// spends nothing — it is post-processing of these expenditures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetLedger {
+    /// Total budget the fit was configured with.
+    pub total: f64,
+    /// Individual expenditures, in spend order.
+    pub entries: Vec<BudgetEntry>,
+}
+
+impl BudgetLedger {
+    /// Sum of all recorded expenditures.
+    pub fn spent(&self) -> f64 {
+        self.entries.iter().map(|e| e.epsilon).sum()
+    }
+}
+
+/// How the fit's randomness was derived, recorded so that serving — at
+/// any later time, on any machine, at any worker count — reproduces the
+/// exact bytes the fit would have sampled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RngProvenance {
+    /// The base seed every stream generator derives from.
+    pub base_seed: u64,
+    /// Rows per sampling chunk. Chunk boundaries key the sampling
+    /// streams, so this is part of the released value's identity.
+    pub sample_chunk: u64,
+    /// The stream id sampling chunks derive under (`STREAM_SAMPLER`).
+    pub sampler_stream: u64,
+    /// The stream-key scheme, e.g. `splitmix64x3/xoshiro256++` — a
+    /// human-readable pin of the derivation in `parkit::stream_rng`.
+    pub scheme: String,
+}
+
+/// A fitted DPCopula model: the ε-budgeted published marginals plus the
+/// repaired correlation matrix, with enough metadata to be fully
+/// self-describing. Everything derivable from these fields (CDFs,
+/// Cholesky factors, synthetic rows) is free post-processing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Released schema, one spec per attribute.
+    pub schema: Vec<AttributeSpec>,
+    /// `MarginRegistry` name of the 1-D publisher that produced the
+    /// margins (provenance; the counts themselves are already noisy).
+    pub margin_method: String,
+    /// Published noisy marginal counts, one histogram per attribute
+    /// (pre-normalisation — the CDF is derived, so nothing is lost).
+    pub margins: Vec<Vec<f64>>,
+    /// The repaired DP correlation matrix `P~` (Algorithm 5 output).
+    pub correlation: Matrix,
+    /// Copula family the matrix parameterises.
+    pub family: CopulaFamily,
+    /// Spent-budget ledger.
+    pub ledger: BudgetLedger,
+    /// RNG provenance for reproducible serving.
+    pub provenance: RngProvenance,
+}
+
+impl ModelArtifact {
+    /// Number of attributes.
+    pub fn dims(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Per-attribute domain sizes.
+    pub fn domains(&self) -> Vec<usize> {
+        self.schema.iter().map(|a| a.domain).collect()
+    }
+}

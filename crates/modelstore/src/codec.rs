@@ -1,0 +1,243 @@
+//! Hand-rolled little-endian byte codec — the primitive layer under the
+//! `.dpcm` section payloads (house style: `crates/queryeval/src/persist.rs`
+//! does the same for workload CSVs, just in text).
+//!
+//! [`ByteWriter`] appends fixed-width little-endian scalars and
+//! length-prefixed strings to a growable buffer; [`ByteReader`] walks a
+//! byte slice with an explicit cursor and reports *where* a read fell off
+//! the end, so the format layer can turn that into a section-precise
+//! error.
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer into its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16` little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its little-endian IEEE-754 bit pattern —
+    /// lossless, so round-tripping preserves NaN payloads and signed
+    /// zeros bit-for-bit.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a UTF-8 string as a `u32` byte length followed by the
+    /// bytes.
+    ///
+    /// # Panics
+    /// Panics on strings longer than `u32::MAX` bytes.
+    pub fn put_str(&mut self, s: &str) {
+        let len = u32::try_from(s.len()).expect("string fits u32 length prefix");
+        self.put_u32(len);
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// A failed primitive read: the absolute cursor position within the slice
+/// being decoded plus what was being read there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// Byte offset (within the reader's slice) where the read started.
+    pub offset: usize,
+    /// What the reader was trying to decode.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failed to read {} at byte offset {}",
+            self.what, self.offset
+        )
+    }
+}
+
+/// Cursor-based little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current cursor position (bytes consumed so far).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the cursor has consumed the whole slice.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ReadError> {
+        if self.remaining() < n {
+            return Err(ReadError {
+                offset: self.pos,
+                what,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, ReadError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, ReadError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, ReadError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, ReadError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its little-endian bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, ReadError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<String, ReadError> {
+        let start = self.pos;
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ReadError {
+            offset: start,
+            what,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("margins §2");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 0xBEEF);
+        assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64("f").unwrap().is_nan());
+        assert_eq!(r.str("g").unwrap(), "margins §2");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0x0102_0304);
+        assert_eq!(w.into_bytes(), vec![0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn reads_past_the_end_report_offset() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        r.u16("head").unwrap();
+        let err = r.u32("tail").unwrap_err();
+        assert_eq!(
+            err,
+            ReadError {
+                offset: 2,
+                what: "tail"
+            }
+        );
+        assert!(err.to_string().contains("offset 2"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected_at_the_string_start() {
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let err = ByteReader::new(&bytes).str("name").unwrap_err();
+        assert_eq!(err.offset, 0);
+    }
+}

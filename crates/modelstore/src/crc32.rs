@@ -1,0 +1,71 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
+//! workspace is dependency-free by design, so the checksum every `.dpcm`
+//! section carries is computed here rather than by a crates.io crate.
+//!
+//! A CRC-32 detects *every* single-bit and single-byte error, which is
+//! exactly the integrity guarantee the artifact format promises: flip any
+//! one byte of a stored model and the load rejects it.
+
+/// The standard reflected polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (init `0xFFFFFFFF`, final xor `0xFFFFFFFF` — the
+/// same convention as zlib/PNG/Ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // The canonical check value of the CRC-32/ISO-HDLC family.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn detects_every_single_byte_flip() {
+        let data: Vec<u8> = (0..257u16).map(|i| (i * 31 % 251) as u8).collect();
+        let clean = crc32(&data);
+        for pos in 0..data.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = data.clone();
+                corrupt[pos] ^= flip;
+                assert_ne!(crc32(&corrupt), clean, "pos={pos} flip={flip:#x}");
+            }
+        }
+    }
+}

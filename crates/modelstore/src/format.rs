@@ -1,0 +1,701 @@
+//! The `.dpcm` wire format: a versioned, checksummed, fully
+//! self-describing binary container for a [`ModelArtifact`].
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! header (12 bytes):
+//!   0   magic          4 bytes   "DPCM"
+//!   4   version        u16       format version (currently 1)
+//!   6   section count  u16       6 in version 1
+//!   8   header CRC     u32       CRC-32 of bytes 0..8
+//! then `section count` sections, each:
+//!   +0  tag            4 bytes   ASCII section name
+//!   +4  payload length u64
+//!   +12 payload        `length` bytes
+//!   +β  payload CRC    u32       CRC-32 of the payload
+//! ```
+//!
+//! Version-1 sections, in fixed order: `SCHM` (schema), `MRGN` (published
+//! marginal counts), `CORR` (repaired correlation matrix), `COPL` (copula
+//! family + params), `BDGT` (spent-budget ledger), `PROV` (RNG
+//! provenance). Every section carries its own CRC, so a single flipped
+//! byte anywhere in the file is rejected at load with the section name
+//! and byte offset of the damage.
+//!
+//! ## Versioning policy
+//!
+//! The version is bumped whenever a change would make old readers decode
+//! wrong values (new/removed/reordered sections, payload layout changes).
+//! Readers reject versions they don't know rather than guessing —
+//! a model artifact is a privacy-bearing release, so "best effort"
+//! parsing is never acceptable.
+
+use crate::artifact::{
+    AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance,
+};
+use crate::codec::{ByteReader, ByteWriter, ReadError};
+use crate::crc32::crc32;
+use mathkit::Matrix;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+/// File magic: the first four bytes of every `.dpcm` artifact.
+pub const MAGIC: [u8; 4] = *b"DPCM";
+
+/// Current format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Section tags of version 1, in their required file order.
+const SECTION_ORDER: [&[u8; 4]; 6] = [b"SCHM", b"MRGN", b"CORR", b"COPL", b"BDGT", b"PROV"];
+
+/// Human-readable names matching [`SECTION_ORDER`] (used in errors).
+const SECTION_NAMES: [&str; 6] = [
+    "schema",
+    "margins",
+    "correlation",
+    "copula",
+    "budget",
+    "provenance",
+];
+
+/// Everything that can go wrong while decoding a `.dpcm` artifact. Where
+/// a failure is localised, the error names the section and the absolute
+/// byte offset of the damage.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the `DPCM` magic.
+    BadMagic {
+        /// The four bytes actually found (zero-padded if shorter).
+        found: [u8; 4],
+    },
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The header failed its own CRC — the fixed 12-byte prelude is
+    /// damaged.
+    HeaderChecksum {
+        /// CRC stored in the file.
+        expected: u32,
+        /// CRC recomputed over the header bytes.
+        actual: u32,
+    },
+    /// The file ended before a section's declared extent.
+    Truncated {
+        /// Section being read.
+        section: &'static str,
+        /// Absolute byte offset where reading stopped.
+        offset: usize,
+    },
+    /// A section tag was not the one the fixed v1 order requires.
+    UnexpectedSection {
+        /// Tag the order requires here.
+        expected: &'static str,
+        /// Tag actually present.
+        found: [u8; 4],
+        /// Absolute byte offset of the tag.
+        offset: usize,
+    },
+    /// A section's payload failed its CRC — the payload bytes are
+    /// damaged.
+    SectionChecksum {
+        /// Damaged section.
+        section: &'static str,
+        /// Absolute byte offset of the section's payload.
+        offset: usize,
+        /// CRC stored in the file.
+        expected: u32,
+        /// CRC recomputed over the payload.
+        actual: u32,
+    },
+    /// A payload passed its CRC but does not decode to a valid value
+    /// (impossible via [`encode`]; means a logically inconsistent writer).
+    Malformed {
+        /// Offending section.
+        section: &'static str,
+        /// Absolute byte offset of the offending field.
+        offset: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Bytes remain after the last section.
+    TrailingBytes {
+        /// Absolute byte offset of the first trailing byte.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a .dpcm artifact: magic {found:?} != {MAGIC:?}")
+            }
+            StoreError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported .dpcm version {found} (this reader understands <= {FORMAT_VERSION})"
+            ),
+            StoreError::HeaderChecksum { expected, actual } => write!(
+                f,
+                "header checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+            StoreError::Truncated { section, offset } => {
+                write!(
+                    f,
+                    "truncated in section `{section}` at byte offset {offset}"
+                )
+            }
+            StoreError::UnexpectedSection {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "expected section `{expected}` at byte offset {offset}, found tag {found:?}"
+            ),
+            StoreError::SectionChecksum {
+                section,
+                offset,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in section `{section}` (payload at byte offset {offset}): \
+                 stored {expected:#010x}, computed {actual:#010x}"
+            ),
+            StoreError::Malformed {
+                section,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "malformed section `{section}` at byte offset {offset}: {reason}"
+            ),
+            StoreError::TrailingBytes { offset } => {
+                write!(
+                    f,
+                    "trailing bytes after final section at byte offset {offset}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Location and extent of one section inside an encoded artifact, as
+/// reported by [`probe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Human-readable section name.
+    pub name: &'static str,
+    /// Absolute byte offset of the section's payload.
+    pub payload_offset: usize,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// The payload's CRC-32 as stored.
+    pub crc: u32,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn encode_schema(a: &ModelArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(a.schema.len() as u32);
+    for attr in &a.schema {
+        w.put_str(&attr.name);
+        w.put_u64(attr.domain as u64);
+        w.put_u32(attr.bin_edges.len() as u32);
+        for &e in &attr.bin_edges {
+            w.put_f64(e);
+        }
+    }
+    w.into_bytes()
+}
+
+fn encode_margins(a: &ModelArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(&a.margin_method);
+    w.put_u32(a.margins.len() as u32);
+    for counts in &a.margins {
+        w.put_u64(counts.len() as u64);
+        for &c in counts {
+            w.put_f64(c);
+        }
+    }
+    w.into_bytes()
+}
+
+fn encode_correlation(a: &ModelArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(a.correlation.rows() as u64);
+    for &v in a.correlation.as_slice() {
+        w.put_f64(v);
+    }
+    w.into_bytes()
+}
+
+fn encode_copula(a: &ModelArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(a.family.tag());
+    let params = a.family.params();
+    w.put_u32(params.len() as u32);
+    for p in params {
+        w.put_f64(p);
+    }
+    w.into_bytes()
+}
+
+fn encode_budget(a: &ModelArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_f64(a.ledger.total);
+    w.put_u32(a.ledger.entries.len() as u32);
+    for e in &a.ledger.entries {
+        w.put_str(&e.label);
+        w.put_f64(e.epsilon);
+    }
+    w.into_bytes()
+}
+
+fn encode_provenance(a: &ModelArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(a.provenance.base_seed);
+    w.put_u64(a.provenance.sample_chunk);
+    w.put_u64(a.provenance.sampler_stream);
+    w.put_str(&a.provenance.scheme);
+    w.into_bytes()
+}
+
+/// Encodes the artifact into `.dpcm` bytes. Deterministic: the same
+/// artifact always produces the same bytes (there is no timestamp or
+/// other ambient state in the format).
+pub fn encode(a: &ModelArtifact) -> Vec<u8> {
+    let payloads: [Vec<u8>; 6] = [
+        encode_schema(a),
+        encode_margins(a),
+        encode_correlation(a),
+        encode_copula(a),
+        encode_budget(a),
+        encode_provenance(a),
+    ];
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u16(FORMAT_VERSION);
+    w.put_u16(SECTION_ORDER.len() as u16);
+    let header_crc = {
+        let mut head = Vec::with_capacity(8);
+        head.extend_from_slice(&MAGIC);
+        head.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        head.extend_from_slice(&(SECTION_ORDER.len() as u16).to_le_bytes());
+        crc32(&head)
+    };
+    w.put_u32(header_crc);
+    for (tag, payload) in SECTION_ORDER.iter().zip(&payloads) {
+        w.put_bytes(*tag);
+        w.put_u64(payload.len() as u64);
+        w.put_bytes(payload);
+        w.put_u32(crc32(payload));
+    }
+    w.into_bytes()
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Maps a primitive read failure inside a section payload to a
+/// file-absolute [`StoreError::Malformed`].
+fn field_err(section: &'static str, payload_offset: usize) -> impl Fn(ReadError) -> StoreError {
+    move |e: ReadError| StoreError::Malformed {
+        section,
+        offset: payload_offset + e.offset,
+        reason: format!("unreadable field `{}`", e.what),
+    }
+}
+
+/// Validates header + section framing, returning each section's payload
+/// slice and location without decoding payload contents.
+fn split_sections(bytes: &[u8]) -> Result<Vec<(SectionInfo, &[u8])>, StoreError> {
+    if bytes.len() < 12 {
+        return Err(StoreError::Truncated {
+            section: "header",
+            offset: bytes.len(),
+        });
+    }
+    let magic = &bytes[0..4];
+    if magic != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(magic);
+        return Err(StoreError::BadMagic { found });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let stored_crc = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let actual_crc = crc32(&bytes[0..8]);
+    if stored_crc != actual_crc {
+        return Err(StoreError::HeaderChecksum {
+            expected: stored_crc,
+            actual: actual_crc,
+        });
+    }
+    let count = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
+    if count != SECTION_ORDER.len() {
+        return Err(StoreError::Malformed {
+            section: "header",
+            offset: 6,
+            reason: format!(
+                "version {FORMAT_VERSION} requires {} sections, header declares {count}",
+                SECTION_ORDER.len()
+            ),
+        });
+    }
+
+    let mut out = Vec::with_capacity(count);
+    let mut pos = 12usize;
+    for (tag, name) in SECTION_ORDER.iter().zip(SECTION_NAMES) {
+        if bytes.len() - pos < 12 {
+            return Err(StoreError::Truncated {
+                section: name,
+                offset: bytes.len(),
+            });
+        }
+        let found = &bytes[pos..pos + 4];
+        if found != *tag {
+            let mut f = [0u8; 4];
+            f.copy_from_slice(found);
+            return Err(StoreError::UnexpectedSection {
+                expected: name,
+                found: f,
+                offset: pos,
+            });
+        }
+        let len_bytes: [u8; 8] = bytes[pos + 4..pos + 12].try_into().expect("8 bytes");
+        let len = u64::from_le_bytes(len_bytes) as usize;
+        let payload_offset = pos + 12;
+        if bytes.len() - payload_offset < len + 4 {
+            return Err(StoreError::Truncated {
+                section: name,
+                offset: bytes.len(),
+            });
+        }
+        let payload = &bytes[payload_offset..payload_offset + len];
+        let crc_at = payload_offset + len;
+        let stored = u32::from_le_bytes(bytes[crc_at..crc_at + 4].try_into().expect("4 bytes"));
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(StoreError::SectionChecksum {
+                section: name,
+                offset: payload_offset,
+                expected: stored,
+                actual,
+            });
+        }
+        out.push((
+            SectionInfo {
+                name,
+                payload_offset,
+                payload_len: len,
+                crc: stored,
+            },
+            payload,
+        ));
+        pos = crc_at + 4;
+    }
+    if pos != bytes.len() {
+        return Err(StoreError::TrailingBytes { offset: pos });
+    }
+    Ok(out)
+}
+
+/// Lists the sections of an encoded artifact after validating all
+/// framing and checksums — the integrity check without the decode.
+pub fn probe(bytes: &[u8]) -> Result<Vec<SectionInfo>, StoreError> {
+    Ok(split_sections(bytes)?.into_iter().map(|(i, _)| i).collect())
+}
+
+fn decode_schema(payload: &[u8], base: usize) -> Result<Vec<AttributeSpec>, StoreError> {
+    let err = field_err("schema", base);
+    let mut r = ByteReader::new(payload);
+    let m = r.u32("attribute count").map_err(&err)? as usize;
+    let mut schema = Vec::with_capacity(m);
+    for _ in 0..m {
+        let name = r.str("attribute name").map_err(&err)?;
+        let domain_at = r.position();
+        let domain = r.u64("attribute domain").map_err(&err)? as usize;
+        if domain == 0 {
+            return Err(StoreError::Malformed {
+                section: "schema",
+                offset: base + domain_at,
+                reason: format!("attribute `{name}` has an empty domain"),
+            });
+        }
+        let edges_at = r.position();
+        let n_edges = r.u32("bin edge count").map_err(&err)? as usize;
+        if n_edges != 0 && n_edges != domain + 1 {
+            return Err(StoreError::Malformed {
+                section: "schema",
+                offset: base + edges_at,
+                reason: format!(
+                    "attribute `{name}`: {n_edges} bin edges for domain {domain} \
+                     (want 0 or {})",
+                    domain + 1
+                ),
+            });
+        }
+        let mut bin_edges = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            bin_edges.push(r.f64("bin edge").map_err(&err)?);
+        }
+        schema.push(AttributeSpec {
+            name,
+            domain,
+            bin_edges,
+        });
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed {
+            section: "schema",
+            offset: base + r.position(),
+            reason: "unconsumed bytes at end of payload".into(),
+        });
+    }
+    Ok(schema)
+}
+
+fn decode_margins(
+    payload: &[u8],
+    base: usize,
+    schema: &[AttributeSpec],
+) -> Result<(String, Vec<Vec<f64>>), StoreError> {
+    let err = field_err("margins", base);
+    let mut r = ByteReader::new(payload);
+    let method = r.str("margin method").map_err(&err)?;
+    let m_at = r.position();
+    let m = r.u32("margin count").map_err(&err)? as usize;
+    if m != schema.len() {
+        return Err(StoreError::Malformed {
+            section: "margins",
+            offset: base + m_at,
+            reason: format!("{m} margins for {} schema attributes", schema.len()),
+        });
+    }
+    let mut margins = Vec::with_capacity(m);
+    for attr in schema {
+        let len_at = r.position();
+        let len = r.u64("margin length").map_err(&err)? as usize;
+        if len != attr.domain {
+            return Err(StoreError::Malformed {
+                section: "margins",
+                offset: base + len_at,
+                reason: format!(
+                    "margin of `{}` has {len} bins for domain {}",
+                    attr.name, attr.domain
+                ),
+            });
+        }
+        let mut counts = Vec::with_capacity(len);
+        for _ in 0..len {
+            counts.push(r.f64("margin count").map_err(&err)?);
+        }
+        margins.push(counts);
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed {
+            section: "margins",
+            offset: base + r.position(),
+            reason: "unconsumed bytes at end of payload".into(),
+        });
+    }
+    Ok((method, margins))
+}
+
+fn decode_correlation(payload: &[u8], base: usize, dims: usize) -> Result<Matrix, StoreError> {
+    let err = field_err("correlation", base);
+    let mut r = ByteReader::new(payload);
+    let dim = r.u64("matrix dimension").map_err(&err)? as usize;
+    if dim != dims {
+        return Err(StoreError::Malformed {
+            section: "correlation",
+            offset: base,
+            reason: format!("{dim}x{dim} matrix for {dims} schema attributes"),
+        });
+    }
+    let mut data = Vec::with_capacity(dim * dim);
+    for _ in 0..dim * dim {
+        data.push(r.f64("matrix entry").map_err(&err)?);
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed {
+            section: "correlation",
+            offset: base + r.position(),
+            reason: "unconsumed bytes at end of payload".into(),
+        });
+    }
+    Ok(Matrix::from_vec(dim, dim, data))
+}
+
+fn decode_copula(payload: &[u8], base: usize) -> Result<CopulaFamily, StoreError> {
+    let err = field_err("copula", base);
+    let mut r = ByteReader::new(payload);
+    let tag = r.u8("family tag").map_err(&err)?;
+    let count_at = r.position();
+    let n_params = r.u32("param count").map_err(&err)? as usize;
+    let mut params = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        params.push(r.f64("family param").map_err(&err)?);
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed {
+            section: "copula",
+            offset: base + r.position(),
+            reason: "unconsumed bytes at end of payload".into(),
+        });
+    }
+    let wrong_arity = |want: usize| StoreError::Malformed {
+        section: "copula",
+        offset: base + count_at,
+        reason: format!("family tag {tag} takes {want} params, got {n_params}"),
+    };
+    match tag {
+        0 => {
+            if n_params != 0 {
+                return Err(wrong_arity(0));
+            }
+            Ok(CopulaFamily::Gaussian)
+        }
+        1 => {
+            if n_params != 1 {
+                return Err(wrong_arity(1));
+            }
+            Ok(CopulaFamily::StudentT { dof: params[0] })
+        }
+        2 => {
+            if n_params != 1 {
+                return Err(wrong_arity(1));
+            }
+            Ok(CopulaFamily::Hybrid {
+                threshold: params[0] as u32,
+            })
+        }
+        other => Err(StoreError::Malformed {
+            section: "copula",
+            offset: base,
+            reason: format!("unknown copula family tag {other}"),
+        }),
+    }
+}
+
+fn decode_budget(payload: &[u8], base: usize) -> Result<BudgetLedger, StoreError> {
+    let err = field_err("budget", base);
+    let mut r = ByteReader::new(payload);
+    let total = r.f64("budget total").map_err(&err)?;
+    let n = r.u32("ledger entry count").map_err(&err)? as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let label = r.str("ledger label").map_err(&err)?;
+        let epsilon = r.f64("ledger epsilon").map_err(&err)?;
+        entries.push(BudgetEntry { label, epsilon });
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed {
+            section: "budget",
+            offset: base + r.position(),
+            reason: "unconsumed bytes at end of payload".into(),
+        });
+    }
+    Ok(BudgetLedger { total, entries })
+}
+
+fn decode_provenance(payload: &[u8], base: usize) -> Result<RngProvenance, StoreError> {
+    let err = field_err("provenance", base);
+    let mut r = ByteReader::new(payload);
+    let base_seed = r.u64("base seed").map_err(&err)?;
+    let sample_chunk = r.u64("sample chunk").map_err(&err)?;
+    let sampler_stream = r.u64("sampler stream").map_err(&err)?;
+    let scheme = r.str("stream scheme").map_err(&err)?;
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed {
+            section: "provenance",
+            offset: base + r.position(),
+            reason: "unconsumed bytes at end of payload".into(),
+        });
+    }
+    Ok(RngProvenance {
+        base_seed,
+        sample_chunk,
+        sampler_stream,
+        scheme,
+    })
+}
+
+/// Decodes `.dpcm` bytes into a [`ModelArtifact`], validating all
+/// checksums and structural invariants.
+pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, StoreError> {
+    let sections = split_sections(bytes)?;
+    let at = |i: usize| (sections[i].1, sections[i].0.payload_offset);
+
+    let (p, o) = at(0);
+    let schema = decode_schema(p, o)?;
+    let (p, o) = at(1);
+    let (margin_method, margins) = decode_margins(p, o, &schema)?;
+    let (p, o) = at(2);
+    let correlation = decode_correlation(p, o, schema.len())?;
+    let (p, o) = at(3);
+    let family = decode_copula(p, o)?;
+    let (p, o) = at(4);
+    let ledger = decode_budget(p, o)?;
+    let (p, o) = at(5);
+    let provenance = decode_provenance(p, o)?;
+
+    Ok(ModelArtifact {
+        schema,
+        margin_method,
+        margins,
+        correlation,
+        family,
+        ledger,
+        provenance,
+    })
+}
+
+impl ModelArtifact {
+    /// Encodes into `.dpcm` bytes (see [`encode`]).
+    pub fn encode(&self) -> Vec<u8> {
+        encode(self)
+    }
+
+    /// Decodes from `.dpcm` bytes (see [`decode`]).
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        decode(bytes)
+    }
+
+    /// Writes the encoded artifact to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.encode())?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Reads and decodes an artifact from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        decode(&bytes)
+    }
+}

@@ -1,0 +1,233 @@
+//! Property tests for the `.dpcm` codec: randomized artifacts round-trip
+//! losslessly, and **any** single flipped byte of the encoding is
+//! rejected at decode with a precise (section, offset) error.
+
+use mathkit::Matrix;
+use modelstore::format::StoreError;
+use modelstore::{
+    probe, AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance,
+};
+use rngkit::rngs::StdRng;
+use rngkit::{Rng, SeedableRng};
+use testkit::{prop_assert, prop_assert_eq, property_tests};
+
+/// Builds a randomized artifact: 1–5 attributes, domains 1–8, random
+/// names/edges/family/ledger — every format feature exercised.
+fn random_artifact(seed: u64) -> ModelArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = rng.gen_range(1..6usize);
+    let schema: Vec<AttributeSpec> = (0..m)
+        .map(|j| {
+            let domain = rng.gen_range(1..9usize);
+            let bin_edges = if rng.gen_range(0..2u32) == 0 {
+                Vec::new()
+            } else {
+                (0..=domain)
+                    .map(|e| e as f64 * rng.gen_range(0.5..2.0))
+                    .collect()
+            };
+            AttributeSpec {
+                name: format!("attr_{j}_{}", rng.gen_range(0..1000u32)),
+                domain,
+                bin_edges,
+            }
+        })
+        .collect();
+    let margins: Vec<Vec<f64>> = schema
+        .iter()
+        .map(|a| (0..a.domain).map(|_| rng.gen_range(-3.0..50.0)).collect())
+        .collect();
+    let mut correlation = Matrix::identity(m);
+    for i in 0..m {
+        for j in 0..i {
+            let r = rng.gen_range(-0.9..0.9);
+            correlation[(i, j)] = r;
+            correlation[(j, i)] = r;
+        }
+    }
+    let family = match rng.gen_range(0..3u32) {
+        0 => CopulaFamily::Gaussian,
+        1 => CopulaFamily::StudentT {
+            dof: rng.gen_range(1.0..30.0),
+        },
+        _ => CopulaFamily::Hybrid {
+            threshold: rng.gen_range(2..16u32),
+        },
+    };
+    ModelArtifact {
+        schema,
+        margin_method: ["efpa", "identity", "privelet"][rng.gen_range(0..3usize)].into(),
+        margins,
+        correlation,
+        family,
+        ledger: BudgetLedger {
+            total: rng.gen_range(0.1..4.0),
+            entries: vec![
+                BudgetEntry {
+                    label: "margins".into(),
+                    epsilon: rng.gen_range(0.01..2.0),
+                },
+                BudgetEntry {
+                    label: "correlation".into(),
+                    epsilon: rng.gen_range(0.01..2.0),
+                },
+            ],
+        },
+        provenance: RngProvenance {
+            base_seed: rng.gen_range(0..u64::MAX),
+            sample_chunk: rng.gen_range(1..65536u64),
+            sampler_stream: 6,
+            scheme: "splitmix64x3/xoshiro256++".into(),
+        },
+    }
+}
+
+property_tests! {
+    fn round_trip_is_lossless(seed in 0u64..100_000) {
+        let artifact = random_artifact(seed);
+        let bytes = artifact.encode();
+        let back = ModelArtifact::decode(&bytes).expect("clean bytes decode");
+        prop_assert_eq!(back, artifact);
+        // Encoding is deterministic: decode→encode reproduces the bytes.
+        prop_assert_eq!(ModelArtifact::decode(&bytes).unwrap().encode(), bytes);
+    }
+
+    fn any_single_byte_flip_is_rejected(
+        seed in 0u64..100_000,
+        pos_pick in 0u64..1_000_000,
+        bit in 0u32..8,
+    ) {
+        let artifact = random_artifact(seed);
+        let mut bytes = artifact.encode();
+        let pos = (pos_pick % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        let err = match ModelArtifact::decode(&bytes) {
+            Ok(_) => panic!("flip at byte {pos} went undetected"),
+            Err(e) => e,
+        };
+        // The error is a structural diagnosis, never a bare I/O error,
+        // and its rendering always locates the damage.
+        let msg = err.to_string();
+        prop_assert!(!matches!(err, StoreError::Io(_)), "got io error: {msg}");
+        prop_assert!(!msg.is_empty());
+    }
+
+    fn truncation_at_any_point_is_rejected(seed in 0u64..100_000, cut_pick in 0u64..1_000_000) {
+        let artifact = random_artifact(seed);
+        let bytes = artifact.encode();
+        let cut = (cut_pick % bytes.len() as u64) as usize;
+        prop_assert!(ModelArtifact::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+}
+
+/// Pins the *kind* and precision of the error for damage in each region
+/// of the file: the reported section and offset must bracket the flip.
+#[test]
+fn corruption_errors_name_section_and_offset() {
+    let artifact = random_artifact(7);
+    let clean = artifact.encode();
+    let sections = probe(&clean).unwrap();
+
+    // Flip one payload byte of every section: the error must name that
+    // section and report the payload's own offset.
+    for info in &sections {
+        if info.payload_len == 0 {
+            continue;
+        }
+        let flip_at = info.payload_offset + info.payload_len / 2;
+        let mut bytes = clean.clone();
+        bytes[flip_at] ^= 0x40;
+        match ModelArtifact::decode(&bytes).unwrap_err() {
+            StoreError::SectionChecksum {
+                section, offset, ..
+            } => {
+                assert_eq!(section, info.name, "flip at {flip_at}");
+                assert_eq!(offset, info.payload_offset);
+            }
+            other => panic!("section {}: unexpected error {other}", info.name),
+        }
+    }
+
+    // Header regions map to their dedicated errors.
+    let mut bad_magic = clean.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        ModelArtifact::decode(&bad_magic).unwrap_err(),
+        StoreError::BadMagic { .. }
+    ));
+
+    let mut bad_version = clean.clone();
+    bad_version[4] ^= 0x01;
+    assert!(matches!(
+        ModelArtifact::decode(&bad_version).unwrap_err(),
+        StoreError::UnsupportedVersion { .. }
+    ));
+
+    let mut bad_count = clean.clone();
+    bad_count[6] ^= 0x01; // section count — caught by the header CRC
+    assert!(matches!(
+        ModelArtifact::decode(&bad_count).unwrap_err(),
+        StoreError::HeaderChecksum { .. }
+    ));
+
+    let mut bad_header_crc = clean.clone();
+    bad_header_crc[9] ^= 0x10;
+    assert!(matches!(
+        ModelArtifact::decode(&bad_header_crc).unwrap_err(),
+        StoreError::HeaderChecksum { .. }
+    ));
+
+    // A flipped section tag reports which section was expected there.
+    let tag_at = sections[1].payload_offset - 12;
+    let mut bad_tag = clean.clone();
+    bad_tag[tag_at] ^= 0x20;
+    match ModelArtifact::decode(&bad_tag).unwrap_err() {
+        StoreError::UnexpectedSection {
+            expected, offset, ..
+        } => {
+            assert_eq!(expected, "margins");
+            assert_eq!(offset, tag_at);
+        }
+        other => panic!("unexpected error {other}"),
+    }
+
+    // Appending bytes is rejected too.
+    let mut padded = clean.clone();
+    padded.push(0);
+    match ModelArtifact::decode(&padded).unwrap_err() {
+        StoreError::TrailingBytes { offset } => assert_eq!(offset, clean.len()),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+/// File-level save/load round-trip through a real temp file.
+#[test]
+fn save_load_round_trips_on_disk() {
+    let artifact = random_artifact(11);
+    let dir = std::env::temp_dir().join(format!("modelstore_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.dpcm");
+    artifact.save(&path).unwrap();
+    let back = ModelArtifact::load(&path).unwrap();
+    assert_eq!(back, artifact);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `probe` validates framing without decoding and lists the v1 sections
+/// in order.
+#[test]
+fn probe_lists_sections_in_order() {
+    let bytes = random_artifact(3).encode();
+    let names: Vec<&str> = probe(&bytes).unwrap().iter().map(|s| s.name).collect();
+    assert_eq!(
+        names,
+        vec![
+            "schema",
+            "margins",
+            "correlation",
+            "copula",
+            "budget",
+            "provenance"
+        ]
+    );
+}

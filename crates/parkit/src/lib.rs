@@ -85,6 +85,54 @@ pub fn chunk_ranges(n: usize, chunk: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// One sampling task of a row *window*: the intersection of the absolute
+/// chunk `id` (rows `id*chunk .. (id+1)*chunk` of the conceptually
+/// infinite row space) with a requested window, as produced by
+/// [`chunk_windows`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkWindow {
+    /// Absolute chunk id — the value that keys the chunk's RNG stream.
+    pub id: usize,
+    /// Rows of this chunk to generate-and-discard before the window
+    /// starts (the window begins mid-chunk).
+    pub skip: usize,
+    /// Rows of this chunk inside the window.
+    pub take: usize,
+}
+
+/// Splits the absolute row window `[offset, offset + n)` into the
+/// chunk-aligned tasks of the fixed-`chunk` grid over `0..`. Each task
+/// names its absolute chunk `id` plus how many leading rows of that
+/// chunk fall before the window (`skip`) and how many are inside it
+/// (`take`).
+///
+/// Because ids are absolute, a window's rows are the same bytes whether
+/// they are produced by one call over `[0, N)` or any split
+/// `[0, k)` + `[k, N)` — the foundation of the fit-once/sample-many
+/// serving contract. `chunk == 0` is treated as 1; `n == 0` yields no
+/// windows.
+pub fn chunk_windows(offset: usize, n: usize, chunk: usize) -> Vec<ChunkWindow> {
+    let chunk = chunk.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let end = offset + n;
+    let first = offset / chunk;
+    let last = (end - 1) / chunk;
+    let mut out = Vec::with_capacity(last - first + 1);
+    for id in first..=last {
+        let chunk_start = id * chunk;
+        let lo = chunk_start.max(offset);
+        let hi = (chunk_start + chunk).min(end);
+        out.push(ChunkWindow {
+            id,
+            skip: lo - chunk_start,
+            take: hi - lo,
+        });
+    }
+    out
+}
+
 /// Applies `f(index, &items[index])` to every item on up to `workers`
 /// scoped threads and returns the results **in input order**.
 ///
@@ -279,6 +327,72 @@ mod tests {
             } else {
                 assert!(ranges.is_empty());
             }
+        }
+    }
+
+    #[test]
+    fn chunk_windows_cover_the_window_exactly() {
+        for (offset, n, chunk) in [
+            (0usize, 10usize, 4usize),
+            (3, 10, 4),
+            (4, 8, 4),
+            (5, 1, 4),
+            (1000, 513, 256),
+            (7, 0, 4),
+            (2, 3, 0),
+        ] {
+            let windows = chunk_windows(offset, n, chunk);
+            let c = chunk.max(1);
+            // Reconstruct covered rows; they must be offset..offset+n.
+            let mut covered = Vec::new();
+            for w in &windows {
+                assert!(w.skip + w.take <= c, "window exceeds chunk size");
+                let start = w.id * c + w.skip;
+                covered.extend(start..start + w.take);
+            }
+            let expect: Vec<usize> = (offset..offset + n).collect();
+            assert_eq!(covered, expect, "offset={offset} n={n} chunk={chunk}");
+            if n == 0 {
+                assert!(windows.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_windows_agree_with_chunk_ranges_at_offset_zero() {
+        // At offset 0 the window grid is exactly the chunk_ranges grid:
+        // same ids, no skips, same lengths.
+        for (n, chunk) in [(10usize, 4usize), (4, 4), (1000, 256), (5, 64)] {
+            let windows = chunk_windows(0, n, chunk);
+            let ranges = chunk_ranges(n, chunk);
+            assert_eq!(windows.len(), ranges.len());
+            for (w, r) in windows.iter().zip(&ranges) {
+                assert_eq!(w.id * chunk, r.start);
+                assert_eq!(w.skip, 0);
+                assert_eq!(w.take, r.len());
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_windows_split_is_seamless() {
+        // Any split point produces the same chunk ids/rows as one call.
+        let whole = chunk_windows(0, 100, 8);
+        for k in [1usize, 7, 8, 9, 50, 99] {
+            let mut rows_split = Vec::new();
+            for w in chunk_windows(0, k, 8)
+                .iter()
+                .chain(&chunk_windows(k, 100 - k, 8))
+            {
+                let start = w.id * 8 + w.skip;
+                rows_split.extend(start..start + w.take);
+            }
+            let mut rows_whole = Vec::new();
+            for w in &whole {
+                let start = w.id * 8 + w.skip;
+                rows_whole.extend(start..start + w.take);
+            }
+            assert_eq!(rows_split, rows_whole, "split at {k}");
         }
     }
 

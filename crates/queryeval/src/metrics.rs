@@ -1,6 +1,8 @@
 //! Error metrics: the paper's relative error with sanity bound, absolute
 //! error, and per-run aggregation.
 
+use crate::query::Workload;
+
 /// Relative error of one query (§5.1):
 /// `|A_noisy - A_act| / max(A_act, s)` where `s` is the sanity bound
 /// protecting against division by tiny true answers.
@@ -67,9 +69,29 @@ impl ErrorSummary {
     }
 }
 
+/// Answers `workload` on a synthetic release and on the reference data it
+/// stands in for, and summarises the synthetic answers' error against the
+/// reference's true counts — the one-call form of the paper's §5.1
+/// evaluation loop.
+///
+/// # Panics
+/// Panics when the workload is empty or `sanity <= 0` (via
+/// [`ErrorSummary::from_answers`]).
+pub fn evaluate_columns(
+    workload: &Workload,
+    synthetic: &[Vec<u32>],
+    reference: &[Vec<u32>],
+    sanity: f64,
+) -> ErrorSummary {
+    let actual = workload.true_counts(reference);
+    let noisy = workload.true_counts(synthetic);
+    ErrorSummary::from_answers(&noisy, &actual, sanity)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::RangeQuery;
 
     #[test]
     fn relative_error_uses_sanity_bound() {
@@ -118,5 +140,26 @@ mod tests {
     #[should_panic(expected = "sanity bound")]
     fn rejects_non_positive_sanity() {
         let _ = relative_error(1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn evaluate_columns_compares_releases() {
+        let workload = Workload::new(vec![
+            RangeQuery::new(vec![(0, 1)]),
+            RangeQuery::new(vec![(2, 3)]),
+        ]);
+        let reference = vec![vec![0u32, 1, 2, 3]];
+        // Identical data: zero error.
+        let s = evaluate_columns(&workload, &reference, &reference, 1.0);
+        assert_eq!(s.mean_relative, 0.0);
+        assert_eq!(s.mean_absolute, 0.0);
+        assert_eq!(s.queries, 2);
+        // A shifted release: each query loses/gains one hit.
+        let synthetic = vec![vec![0u32, 0, 2, 2]];
+        let s = evaluate_columns(&workload, &synthetic, &reference, 1.0);
+        assert_eq!(s.mean_absolute, 0.0);
+        let synthetic = vec![vec![0u32, 1, 1, 3]];
+        let s = evaluate_columns(&workload, &synthetic, &reference, 1.0);
+        assert!((s.mean_absolute - 1.0).abs() < 1e-12);
     }
 }
