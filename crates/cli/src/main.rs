@@ -290,8 +290,10 @@ fn cmd_sample(flags: &Flags) -> Result<(), String> {
         .map_err(|_| "bad value for --rows".to_string())?;
     let offset = flags.parsed("offset", 0usize)?;
     let workers = flags.parsed("workers", 1usize)?;
-    let model = FittedModel::load(path).map_err(|e| e.to_string())?;
-    let columns = model.sample_range(offset, rows, workers);
+    let model = FittedModel::load(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let columns = model
+        .try_sample_range(offset, rows, workers)
+        .map_err(|e| e.to_string())?;
     let attributes: Vec<datagen::Attribute> = model
         .artifact()
         .schema

@@ -253,3 +253,134 @@ fn eval_scores_a_release_against_its_source() {
     assert!(report.contains("queries 50"), "{report}");
     assert!(report.contains("mean relative error"), "{report}");
 }
+
+#[test]
+fn eval_refuses_a_schema_mismatch() {
+    let dir = Scratch::new("eval_schema");
+    // Two real generators with incompatible schemas: 4 US-census
+    // attributes vs 8 Brazil-census attributes.
+    let us = dir.path("us.csv");
+    let br = dir.path("br.csv");
+    run_ok(&["gen", "--out", &us, "--records", "400", "--seed", "1"]);
+    run_ok(&[
+        "gen",
+        "--out",
+        &br,
+        "--dataset",
+        "brazil-census",
+        "--records",
+        "400",
+        "--seed",
+        "1",
+    ]);
+    let out = run(&["eval", "--synthetic", &us, "--reference", &br]);
+    assert!(!out.status.success(), "mismatched schemas must be refused");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("schema mismatch"),
+        "error should name the problem: {stderr}"
+    );
+}
+
+#[test]
+fn missing_input_files_fail_with_the_path_in_the_message() {
+    let dir = Scratch::new("missing");
+    let ghost = dir.path("does_not_exist");
+    for args in [
+        vec!["fit", "--input", &ghost, "--out", &dir.path("m.dpcm")],
+        vec![
+            "sample",
+            "--model",
+            &ghost,
+            "--out",
+            &dir.path("x.csv"),
+            "--rows",
+            "10",
+        ],
+        vec!["inspect", "--model", &ghost],
+        vec!["synth", "--input", &ghost, "--out", &dir.path("y.csv")],
+        vec!["eval", "--synthetic", &ghost, "--reference", &ghost],
+    ] {
+        let args: Vec<&str> = args.iter().map(|s| s.as_ref()).collect();
+        let out = run(&args);
+        assert!(
+            !out.status.success(),
+            "{:?} with a missing file must fail",
+            args[0]
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("does_not_exist"),
+            "`{}` error should name the missing path: {stderr}",
+            args[0]
+        );
+    }
+}
+
+#[test]
+fn truncated_artifact_is_refused_with_a_section_name() {
+    let dir = Scratch::new("truncated");
+    let csv = gen_small(&dir, "census.csv");
+    let model = dir.path("model.dpcm");
+    run_ok(&["fit", "--input", &csv, "--out", &model, "--seed", "5"]);
+
+    // Cut the file mid-payload: the loader must report the section it
+    // ran out of bytes in, not panic or misparse.
+    let mut bytes = std::fs::read(&model).unwrap();
+    bytes.truncate(bytes.len() / 3);
+    std::fs::write(&model, &bytes).unwrap();
+
+    for args in [
+        vec![
+            "sample",
+            "--model",
+            &model,
+            "--out",
+            &dir.path("x.csv"),
+            "--rows",
+            "10",
+        ],
+        vec!["inspect", "--model", &model],
+    ] {
+        let args: Vec<&str> = args.iter().map(|s| s.as_ref()).collect();
+        let out = run(&args);
+        assert!(!out.status.success(), "truncated model must be refused");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("truncated") && stderr.contains("section"),
+            "error should name the truncated section: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn overflowing_sample_window_is_a_clean_error() {
+    let dir = Scratch::new("overflow");
+    let csv = gen_small(&dir, "census.csv");
+    let model = dir.path("model.dpcm");
+    run_ok(&["fit", "--input", &csv, "--out", &model, "--seed", "5"]);
+
+    // offset + rows wraps usize: must surface as a diagnosable error,
+    // never a panic or a silently wrapped window.
+    let out = run(&[
+        "sample",
+        "--model",
+        &model,
+        "--out",
+        &dir.path("x.csv"),
+        "--rows",
+        "100",
+        "--offset",
+        "18446744073709551615",
+    ]);
+    assert!(!out.status.success(), "overflowing window must be refused");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("overflows the addressable row space"),
+        "error should explain the overflow: {stderr}"
+    );
+    assert!(
+        !Path::new(&dir.path("x.csv")).exists(),
+        "no output from a refused window"
+    );
+}

@@ -74,6 +74,15 @@ pub enum DpCopulaError {
         /// What is unsupported.
         reason: String,
     },
+    /// A requested serving window `[offset, offset + n)` overflows the
+    /// addressable synthetic row space — serving it would wrap around and
+    /// silently return the wrong rows.
+    RowWindowOverflow {
+        /// Window start (absolute row index).
+        offset: usize,
+        /// Requested window length.
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for DpCopulaError {
@@ -118,6 +127,10 @@ impl std::fmt::Display for DpCopulaError {
             DpCopulaError::UnsupportedModel { reason } => {
                 write!(f, "unsupported model artifact: {reason}")
             }
+            DpCopulaError::RowWindowOverflow { offset, n } => write!(
+                f,
+                "row window [{offset}, {offset} + {n}) overflows the addressable row space"
+            ),
         }
     }
 }
@@ -133,6 +146,15 @@ impl From<BudgetError> for DpCopulaError {
 impl From<CholeskyError> for DpCopulaError {
     fn from(e: CholeskyError) -> Self {
         DpCopulaError::NotPositiveDefinite(e)
+    }
+}
+
+impl From<parkit::WindowOverflow> for DpCopulaError {
+    fn from(e: parkit::WindowOverflow) -> Self {
+        DpCopulaError::RowWindowOverflow {
+            offset: e.offset,
+            n: e.n,
+        }
     }
 }
 

@@ -255,6 +255,23 @@ impl FittedModel {
         }
     }
 
+    /// Checked variant of [`sample_range`](Self::sample_range) for
+    /// windows that come from untrusted input (CLI flags, RPC requests):
+    /// a window whose end would overflow the addressable row space is
+    /// refused with [`DpCopulaError::RowWindowOverflow`] instead of
+    /// panicking inside the chunk-grid math.
+    pub fn try_sample_range(
+        &self,
+        offset: usize,
+        n: usize,
+        workers: usize,
+    ) -> Result<Vec<Vec<u32>>, DpCopulaError> {
+        if offset.checked_add(n).is_none() {
+            return Err(DpCopulaError::RowWindowOverflow { offset, n });
+        }
+        Ok(self.sample_range(offset, n, workers))
+    }
+
     /// Convenience for `sample_range(0, n, workers)`.
     pub fn sample_columns(&self, n: usize, workers: usize) -> Vec<Vec<u32>> {
         self.sample_range(0, n, workers)
@@ -401,6 +418,25 @@ mod tests {
             let stitched: Vec<u32> = shards.iter().flat_map(|s| s[j].iter().copied()).collect();
             assert_eq!(stitched, whole[j], "column {j}");
         }
+    }
+
+    #[test]
+    fn overflowing_serving_windows_are_refused() {
+        let model = fitted(8);
+        let err = model.try_sample_range(usize::MAX - 5, 100, 2).unwrap_err();
+        assert_eq!(
+            err,
+            DpCopulaError::RowWindowOverflow {
+                offset: usize::MAX - 5,
+                n: 100
+            }
+        );
+        assert!(err.to_string().contains("overflows"), "{err}");
+        // In-range windows behave exactly like the infallible path.
+        assert_eq!(
+            model.try_sample_range(10, 50, 2).unwrap(),
+            model.sample_range(10, 50, 2)
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod registry;
 pub mod structurefirst;
 
 pub use histogram::{Histogram1D, HistogramNd};
-pub use registry::{MarginCtor, MarginRegistry};
+pub use registry::{MarginCtor, MarginRegistry, RegistryError};
 
 use dpmech::Epsilon;
 use rngkit::RngCore;

@@ -37,6 +37,31 @@ use rngkit::RngCore;
 /// synchronisation.
 pub type MarginCtor = fn() -> Box<dyn Publish1d>;
 
+/// Errors from registry mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A method is already registered under this name. Silently replacing
+    /// it would let two subsystems fight over a name and whichever
+    /// registered last would win — a provenance hazard for model
+    /// artifacts, which validate their recorded margin method by name.
+    DuplicateMethod {
+        /// The contested name.
+        name: &'static str,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::DuplicateMethod { name } => {
+                write!(f, "margin method `{name}` is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
 /// A name-indexed collection of margin-publisher constructors.
 #[derive(Clone)]
 pub struct MarginRegistry {
@@ -63,24 +88,36 @@ impl MarginRegistry {
     /// **This list is the single place a new in-tree method is added.**
     pub fn builtin() -> Self {
         let mut r = Self::empty();
-        r.register("efpa", || Box::new(Efpa));
-        r.register("efpa-dct", || Box::new(EfpaDct));
-        r.register("identity", || Box::new(Identity));
-        r.register("privelet", || Box::new(Privelet1d));
-        r.register("php", || Box::new(Php::default()));
-        r.register("hierarchical", || Box::new(Hierarchical));
-        r.register("noisefirst", || Box::new(NoiseFirst::default()));
-        r.register("structurefirst", || Box::new(StructureFirst::default()));
+        for (name, ctor) in [
+            (
+                "efpa",
+                (|| Box::new(Efpa) as Box<dyn Publish1d>) as MarginCtor,
+            ),
+            ("efpa-dct", || Box::new(EfpaDct)),
+            ("identity", || Box::new(Identity)),
+            ("privelet", || Box::new(Privelet1d)),
+            ("php", || Box::new(Php::default())),
+            ("hierarchical", || Box::new(Hierarchical)),
+            ("noisefirst", || Box::new(NoiseFirst::default())),
+            ("structurefirst", || Box::new(StructureFirst::default())),
+        ] {
+            r.register(name, ctor)
+                .expect("builtin names are pairwise distinct");
+        }
         r
     }
 
-    /// Adds (or replaces) a method under `name`.
-    pub fn register(&mut self, name: &'static str, ctor: MarginCtor) {
-        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
-            slot.1 = ctor;
-        } else {
-            self.entries.push((name, ctor));
+    /// Adds a method under `name`. A name can be registered only once:
+    /// registering a second constructor under an existing name fails with
+    /// [`RegistryError::DuplicateMethod`] and leaves the registry
+    /// unchanged, so no consumer can silently hijack a method another
+    /// subsystem (or a stored artifact's provenance) resolves by name.
+    pub fn register(&mut self, name: &'static str, ctor: MarginCtor) -> Result<(), RegistryError> {
+        if self.contains(name) {
+            return Err(RegistryError::DuplicateMethod { name });
         }
+        self.entries.push((name, ctor));
+        Ok(())
     }
 
     /// Constructs the publisher registered under `name`.
@@ -166,13 +203,19 @@ mod tests {
     }
 
     #[test]
-    fn register_replaces_and_extends() {
+    fn duplicate_registration_is_rejected() {
         let mut r = MarginRegistry::empty();
         assert!(r.is_empty());
-        r.register("identity", || Box::new(Identity));
-        r.register("identity", || Box::new(Identity));
+        r.register("identity", || Box::new(Identity)).unwrap();
+        // A second registration under the same name must fail loudly
+        // (the old behaviour silently replaced the constructor, letting
+        // the last writer win) and must not disturb the registry.
+        let err = r.register("identity", || Box::new(Efpa)).unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateMethod { name: "identity" });
+        assert!(err.to_string().contains("identity"), "{err}");
         assert_eq!(r.len(), 1);
-        r.register("efpa", || Box::new(Efpa));
+        assert_eq!(r.get("identity").unwrap().name(), "identity");
+        r.register("efpa", || Box::new(Efpa)).unwrap();
         assert_eq!(r.names(), vec!["identity", "efpa"]);
     }
 

@@ -1,7 +1,7 @@
 //! Student's t distribution and the regularised incomplete beta function
 //! backing its CDF.
 
-use super::{gamma::Gamma, gaussian::standard_normal, quantile_by_bisection, Continuous};
+use super::{gamma::Gamma, gaussian::standard_normal, Continuous};
 use crate::special::ln_gamma;
 use rngkit::Rng;
 
@@ -47,20 +47,48 @@ impl Continuous for StudentT {
 
     fn quantile(&self, p: f64) -> f64 {
         debug_assert!((0.0..=1.0).contains(&p));
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
         if p == 0.5 {
             return 0.0;
         }
-        // Symmetric: solve in one tail.
-        if p < 0.5 {
-            return -self.quantile(1.0 - p);
-        }
-        // Bracket: the t quantile is bounded by a generous multiple of the
-        // normal quantile for p away from 1; expand until bracketed.
-        let mut hi = 1.0;
-        while self.cdf(hi) < p && hi < 1e12 {
+        // Solve on the survival function in the upper tail, by symmetry.
+        // Targeting the tail mass `q` directly — rather than bisecting
+        // `cdf(x) = p` — keeps full relative precision for extreme p: the
+        // CDF saturates to 1 (so p = 1 - 1e-12 is indistinguishable from
+        // nearby values), while sf(x) = 0.5 * I_{v/(v+x^2)}(v/2, 1/2)
+        // stays well-scaled however deep the tail. For p >= 0.5 the
+        // subtraction 1 - p is exact (Sterbenz lemma: p and 1 are within
+        // a factor of two), so no target precision is lost either.
+        let (q, sign) = if p < 0.5 { (p, -1.0) } else { (1.0 - p, 1.0) };
+        let v = self.df;
+        let sf = |x: f64| 0.5 * incomplete_beta(v / 2.0, 0.5, v / (v + x * x));
+        // sf decreases from 0.5 at x = 0; expand until it drops below q.
+        // (At huge x, x*x overflows to +inf, sf gives exactly 0, and the
+        // expansion stops — heavy tails like df = 1 at q = 1e-12 sit near
+        // 3e11 and are bracketed long before that.)
+        let mut lo = 0.0_f64;
+        let mut hi = 1.0_f64;
+        while sf(hi) > q && hi < 1e300 {
+            lo = hi;
             hi *= 2.0;
         }
-        quantile_by_bisection(|x| self.cdf(x), p, 0.0, hi)
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if mid <= lo || mid >= hi {
+                break;
+            }
+            if sf(mid) > q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        sign * 0.5 * (lo + hi)
     }
 
     /// Samples as `Z / sqrt(V / nu)` with `V ~ chi^2(nu) = Gamma(nu/2, 2)`.

@@ -5,6 +5,7 @@
 //! regressions that property tests (which only check identities) would
 //! miss.
 
+use mathkit::dist::{Continuous, StudentT};
 use mathkit::special::{erf, ln_gamma, norm_cdf, norm_quantile};
 
 fn assert_close(name: &str, x: f64, got: f64, want: f64, tol: f64) {
@@ -85,6 +86,102 @@ fn norm_quantile_matches_references() {
     ];
     for (p, want) in refs {
         assert_close("norm_quantile", p, norm_quantile(p), want, 1e-12);
+    }
+}
+
+/// Extreme-tail quantiles, p in {1e-12, 1 - 1e-12}: the copula sampler
+/// feeds uniform draws straight into these inverses, so a synthetic row
+/// landing this deep in a tail must still map to a finite value with the
+/// right magnitude instead of saturating or going non-finite.
+///
+/// Note on the upper-tail references: `1.0 - 1e-12` rounds to the double
+/// whose exact tail mass is 9.999778782798785e-13 — slightly *less* than
+/// 1e-12 — so the upper-tail goldens are evaluated at that representable
+/// tail, not at the unrepresentable "exactly 1e-12 below one". That is
+/// also why the upper quantiles are slightly *larger* in magnitude than
+/// their lower-tail mirrors: the asymmetry is the input rounding, not a
+/// solver defect.
+#[test]
+fn norm_quantile_tails_match_references() {
+    assert_close(
+        "norm_quantile",
+        1e-12,
+        norm_quantile(1e-12),
+        -7.034483825301132,
+        1e-8,
+    );
+    assert_close(
+        "norm_quantile",
+        1.0 - 1e-12,
+        norm_quantile(1.0 - 1e-12),
+        7.0344869100478356,
+        1e-8,
+    );
+    // The two tails agree to the input-rounding asymmetry and no more.
+    let lo = norm_quantile(1e-12);
+    let hi = norm_quantile(1.0 - 1e-12);
+    assert!(
+        (lo + hi).abs() < 1e-5,
+        "tail asymmetry too large: {lo} {hi}"
+    );
+}
+
+#[test]
+fn student_t_quantile_tails_match_references() {
+    // (df, lower = t^{-1}(1e-12), upper = t^{-1}(1 - 1e-12)) — computed
+    // from the closed forms for df in {1, 2, 4} (t_1 = cot(pi q) etc.)
+    // at the exact tail masses of the two representable inputs.
+    let refs: [(f64, f64, f64); 3] = [
+        (1.0, -318309886183.7907, 318316927901.77966),
+        (2.0, -707106.7811854869, 707114.6025244079),
+        (4.0, -1316.0727465592565, 1316.0800251221378),
+    ];
+    for (df, lower, upper) in refs {
+        let t = StudentT::new(df).unwrap();
+        let tol_lo = 1e-9 * lower.abs();
+        let tol_hi = 1e-6 * upper.abs();
+        assert_close(
+            &format!("t{df}_quantile"),
+            1e-12,
+            t.quantile(1e-12),
+            lower,
+            tol_lo,
+        );
+        assert_close(
+            &format!("t{df}_quantile"),
+            1.0 - 1e-12,
+            t.quantile(1.0 - 1e-12),
+            upper,
+            tol_hi,
+        );
+    }
+    // Interior sanity at double precision: t_{0.975, 4} closed form.
+    let t4 = StudentT::new(4.0).unwrap();
+    assert_close(
+        "t4_quantile",
+        0.975,
+        t4.quantile(0.975),
+        2.7764451051977943,
+        1e-9,
+    );
+    // Exact endpoints saturate to infinities, never NaN.
+    for df in [1.0, 2.0, 4.0, 7.5] {
+        let t = StudentT::new(df).unwrap();
+        assert_eq!(t.quantile(0.0), f64::NEG_INFINITY, "df={df}");
+        assert_eq!(t.quantile(1.0), f64::INFINITY, "df={df}");
+    }
+    // Deep-tail round trip for a df with no closed form: the solved
+    // quantile must map back onto its target mass.
+    let t5 = StudentT::new(5.0).unwrap();
+    for p in [1e-12, 1e-9, 1e-4, 0.3, 0.7, 1.0 - 1e-9] {
+        let x = t5.quantile(p);
+        assert!(x.is_finite(), "t5.quantile({p}) = {x}");
+        let back = t5.cdf(x);
+        let scale = p.min(1.0 - p).max(1e-13);
+        assert!(
+            (back - p).abs() <= 1e-5 * scale + 1e-15,
+            "round trip p={p}: cdf(quantile) = {back}"
+        );
     }
 }
 

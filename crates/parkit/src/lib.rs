@@ -100,6 +100,32 @@ pub struct ChunkWindow {
     pub take: usize,
 }
 
+/// The row window `[offset, offset + n)` does not fit the `usize` row
+/// space: `offset + n` overflows. Before this guard, the unchecked
+/// addition panicked in debug builds and silently wrapped in release —
+/// a wrapped `end` made [`chunk_windows`] return windows for the wrong
+/// rows (or none at all), which a sharded deployment would serve as
+/// data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowOverflow {
+    /// Start of the requested window.
+    pub offset: usize,
+    /// Requested row count.
+    pub n: usize,
+}
+
+impl std::fmt::Display for WindowOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "row window [{}, {} + {}) overflows the addressable row space",
+            self.offset, self.offset, self.n
+        )
+    }
+}
+
+impl std::error::Error for WindowOverflow {}
+
 /// Splits the absolute row window `[offset, offset + n)` into the
 /// chunk-aligned tasks of the fixed-`chunk` grid over `0..`. Each task
 /// names its absolute chunk `id` plus how many leading rows of that
@@ -110,27 +136,45 @@ pub struct ChunkWindow {
 /// they are produced by one call over `[0, N)` or any split
 /// `[0, k)` + `[k, N)` — the foundation of the fit-once/sample-many
 /// serving contract. `chunk == 0` is treated as 1; `n == 0` yields no
-/// windows.
-pub fn chunk_windows(offset: usize, n: usize, chunk: usize) -> Vec<ChunkWindow> {
+/// windows (including at `offset == usize::MAX`, the
+/// offset-exactly-at-the-end edge); a window whose end `offset + n`
+/// would overflow `usize` is rejected instead of wrapping.
+pub fn try_chunk_windows(
+    offset: usize,
+    n: usize,
+    chunk: usize,
+) -> Result<Vec<ChunkWindow>, WindowOverflow> {
     let chunk = chunk.max(1);
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let end = offset + n;
+    let end = offset.checked_add(n).ok_or(WindowOverflow { offset, n })?;
     let first = offset / chunk;
     let last = (end - 1) / chunk;
     let mut out = Vec::with_capacity(last - first + 1);
     for id in first..=last {
         let chunk_start = id * chunk;
         let lo = chunk_start.max(offset);
-        let hi = (chunk_start + chunk).min(end);
+        let hi = chunk_start.saturating_add(chunk).min(end);
         out.push(ChunkWindow {
             id,
             skip: lo - chunk_start,
             take: hi - lo,
         });
     }
-    out
+    Ok(out)
+}
+
+/// Infallible [`try_chunk_windows`] for windows known to fit the row
+/// space (every in-tree caller bounds `offset + n` by a dataset size).
+///
+/// # Panics
+/// Panics with a descriptive message when `offset + n` overflows, in
+/// debug *and* release builds — never wraps. Callers taking untrusted
+/// window requests (the CLI, serving front-ends) should use
+/// [`try_chunk_windows`] and surface the error instead.
+pub fn chunk_windows(offset: usize, n: usize, chunk: usize) -> Vec<ChunkWindow> {
+    try_chunk_windows(offset, n, chunk).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Applies `f(index, &items[index])` to every item on up to `workers`
@@ -394,6 +438,30 @@ mod tests {
             }
             assert_eq!(rows_split, rows_whole, "split at {k}");
         }
+    }
+
+    #[test]
+    fn try_chunk_windows_rejects_overflowing_windows() {
+        let err = try_chunk_windows(usize::MAX - 3, 10, 8).unwrap_err();
+        assert_eq!(
+            err,
+            WindowOverflow {
+                offset: usize::MAX - 3,
+                n: 10
+            }
+        );
+        assert!(err.to_string().contains("overflows"), "{err}");
+        // Zero-length at the very end, and a window ending exactly at
+        // usize::MAX, are both representable.
+        assert!(try_chunk_windows(usize::MAX, 0, 8).unwrap().is_empty());
+        let fit = try_chunk_windows(usize::MAX - 4, 4, 8).unwrap();
+        assert_eq!(fit.iter().map(|w| w.take).sum::<usize>(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the addressable row space")]
+    fn chunk_windows_panics_instead_of_wrapping() {
+        let _ = chunk_windows(usize::MAX, 2, 8);
     }
 
     #[test]

@@ -48,4 +48,76 @@ property_tests! {
         }
         prop_assert_eq!(expect, n);
     }
+
+    /// `chunk_windows` covers exactly the rows [offset, offset + n), in
+    /// order, each window staying inside its chunk of the absolute grid.
+    fn chunk_windows_cover_the_window_in_order(
+        offset in 0usize..100_000,
+        n in 0usize..5_000,
+        chunk in 0usize..600,
+    ) {
+        let c = chunk.max(1);
+        let windows = parkit::try_chunk_windows(offset, n, chunk).unwrap();
+        let mut expect = offset;
+        for w in &windows {
+            prop_assert!(w.take > 0, "empty window task");
+            prop_assert!(w.skip + w.take <= c, "window exceeds its chunk");
+            prop_assert_eq!(w.id * c + w.skip, expect);
+            expect += w.take;
+        }
+        prop_assert_eq!(expect, offset + n);
+        if n == 0 {
+            prop_assert!(windows.is_empty(), "zero-length window yields tasks");
+        }
+    }
+
+    /// Splitting a window at any interior point produces the same chunk
+    /// tasks (ids, skips, takes) as covering it whole — the serving
+    /// contract that lets shards stitch bit-identically.
+    fn chunk_windows_split_is_seamless_anywhere(
+        offset in 0usize..10_000,
+        n in 1usize..2_000,
+        chunk in 1usize..300,
+        cut in 0usize..2_000,
+    ) {
+        let cut = cut.min(n);
+        let whole = parkit::try_chunk_windows(offset, n, chunk).unwrap();
+        let head = parkit::try_chunk_windows(offset, cut, chunk).unwrap();
+        let tail = parkit::try_chunk_windows(offset + cut, n - cut, chunk).unwrap();
+        let rows = |ws: &[parkit::ChunkWindow]| -> Vec<usize> {
+            ws.iter()
+                .flat_map(|w| {
+                    let start = w.id * chunk + w.skip;
+                    start..start + w.take
+                })
+                .collect()
+        };
+        let mut stitched = rows(&head);
+        stitched.extend(rows(&tail));
+        prop_assert_eq!(stitched, rows(&whole));
+    }
+
+    /// Edge cases near the end of the addressable row space: a window
+    /// whose end would overflow is rejected (never wraps into serving
+    /// the wrong rows), while a window ending exactly at `usize::MAX`
+    /// and any zero-length window at the very end are fine.
+    fn chunk_windows_guard_the_row_space_end(
+        back in 1usize..5_000,
+        n in 0usize..10_000,
+        chunk in 0usize..600,
+    ) {
+        let offset = usize::MAX - back;
+        let r = parkit::try_chunk_windows(offset, n, chunk);
+        if n > back {
+            prop_assert_eq!(r.unwrap_err(), parkit::WindowOverflow { offset, n });
+        } else {
+            let windows = r.unwrap();
+            let covered: usize = windows.iter().map(|w| w.take).sum();
+            prop_assert_eq!(covered, n);
+        }
+        // Offset exactly at the end of the row space: empty is fine,
+        // any positive length overflows.
+        prop_assert!(parkit::try_chunk_windows(usize::MAX, 0, chunk).unwrap().is_empty());
+        prop_assert!(parkit::try_chunk_windows(usize::MAX, 1, chunk).is_err());
+    }
 }

@@ -1,0 +1,205 @@
+//! Goodness-of-fit primitives with in-crate critical values.
+//!
+//! Everything here is closed-form or computed from mathkit's special
+//! functions — no external statistical tables, so the crate stays
+//! dependency-free and the values are pinned by golden tests below.
+
+use mathkit::dist::{Continuous, Gamma};
+use mathkit::Matrix;
+
+/// One-sample Kolmogorov–Smirnov statistic: the supremum distance
+/// between the empirical CDF of `sample` and the hypothesised continuous
+/// CDF `cdf`.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn ks_statistic(sample: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!sample.is_empty(), "KS needs at least one observation");
+    let mut xs = sample.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+    let n = xs.len() as f64;
+    let mut d = 0.0_f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Asymptotic one-sample KS critical value at significance `alpha`:
+/// `c(alpha) / sqrt(n)` with `c(alpha) = sqrt(-ln(alpha / 2) / 2)` — the
+/// inverse of the Kolmogorov tail bound `P(D > d) ≈ 2 exp(-2 n d²)`.
+/// Good for `n ≳ 35`, the only regime the harness uses it in.
+///
+/// # Panics
+/// Panics unless `0 < alpha < 1` and `n > 0`.
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0, "KS critical value needs n > 0");
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+    (-(alpha / 2.0).ln() / 2.0).sqrt() / (n as f64).sqrt()
+}
+
+/// Pearson chi-square statistic `Σ (O - E)² / E` over bins with
+/// `expected > 0`; bins with non-positive expectation are pooled into
+/// their neighbour on the left (or right, for the first bin) so sparse
+/// tails don't blow the statistic up.
+///
+/// # Panics
+/// Panics when lengths differ, when fewer than two bins are given, or
+/// when the total expectation is not positive.
+pub fn chi_square_statistic(observed: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "one expectation per bin");
+    assert!(observed.len() >= 2, "chi-square needs at least two bins");
+    assert!(
+        expected.iter().sum::<f64>() > 0.0,
+        "expected counts must have positive mass"
+    );
+    // Pool zero-expectation bins forward so every term divides by > 0.
+    let mut stat = 0.0;
+    let mut o_acc = 0.0;
+    let mut e_acc = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        o_acc += o;
+        e_acc += e;
+        if e_acc > 0.0 {
+            let d = o_acc - e_acc;
+            stat += d * d / e_acc;
+            o_acc = 0.0;
+            e_acc = 0.0;
+        }
+    }
+    // A trailing run of empty expectation pools backwards into the last
+    // counted bin; its observed mass still has to be charged somewhere.
+    if e_acc == 0.0 && o_acc > 0.0 {
+        stat += o_acc * o_acc / expected.iter().sum::<f64>();
+    }
+    stat
+}
+
+/// Upper critical value of the chi-square distribution with `df` degrees
+/// of freedom at significance `alpha`: the `1 - alpha` quantile of
+/// `χ²(df) = Gamma(df/2, scale 2)`.
+///
+/// # Panics
+/// Panics unless `df > 0` and `0 < alpha < 1`.
+pub fn chi_square_critical(df: usize, alpha: f64) -> f64 {
+    assert!(df > 0, "chi-square needs df > 0");
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+    Gamma::new(df as f64 / 2.0, 2.0)
+        .expect("df/2 > 0")
+        .quantile(1.0 - alpha)
+}
+
+/// Rank-correlation recovery metric: mean absolute difference of the
+/// off-diagonal entries of two square matrices — the distance between a
+/// recovered dependence structure and the generator's truth. Returns 0
+/// for 1×1 matrices (no off-diagonal entries to compare).
+///
+/// # Panics
+/// Panics when the matrices are not square with equal dimensions.
+pub fn correlation_mean_abs_error(truth: &Matrix, estimate: &Matrix) -> f64 {
+    let m = truth.rows();
+    assert_eq!(truth.cols(), m, "truth must be square");
+    assert_eq!(
+        (estimate.rows(), estimate.cols()),
+        (m, m),
+        "estimate must match the truth's shape"
+    );
+    if m < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut terms = 0usize;
+    for i in 0..m {
+        for j in 0..m {
+            if i != j {
+                sum += (truth[(i, j)] - estimate[(i, j)]).abs();
+                terms += 1;
+            }
+        }
+    }
+    sum / terms as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngkit::rngs::StdRng;
+    use rngkit::{Rng, SeedableRng};
+
+    #[test]
+    fn ks_critical_matches_asymptotic_table() {
+        // c(alpha) for the classic significance levels, times 1/sqrt(n).
+        let pins = [(0.10, 1.22387), (0.05, 1.35810), (0.01, 1.62762)];
+        for (alpha, c) in pins {
+            let got = ks_critical(100, alpha) * 10.0;
+            assert!((got - c).abs() < 1e-5, "alpha={alpha}: {got} vs {c}");
+        }
+        // Scales as 1/sqrt(n).
+        let r = ks_critical(400, 0.05) / ks_critical(100, 0.05);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_accepts_true_distribution_rejects_shifted() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let sample: Vec<f64> = (0..2_000).map(|_| rng.gen::<f64>()).collect();
+        let uniform_cdf = |x: f64| x.clamp(0.0, 1.0);
+        let d = ks_statistic(&sample, uniform_cdf);
+        assert!(d < ks_critical(sample.len(), 0.01), "d = {d}");
+        // The same draws against a mis-located CDF must reject.
+        let shifted_cdf = |x: f64| (x - 0.1).clamp(0.0, 1.0);
+        let d_bad = ks_statistic(&sample, shifted_cdf);
+        assert!(d_bad > ks_critical(sample.len(), 0.01), "d_bad = {d_bad}");
+    }
+
+    #[test]
+    fn chi_square_critical_matches_table() {
+        // (df, alpha, critical) — standard chi-square table doubles.
+        let pins = [
+            (1, 0.05, 3.841458821),
+            (5, 0.05, 11.07049769),
+            (10, 0.05, 18.30703805),
+            (10, 0.01, 23.20925116),
+            (31, 0.05, 44.98534328),
+            (63, 0.05, 82.52872654),
+        ];
+        for (df, alpha, want) in pins {
+            let got = chi_square_critical(df, alpha);
+            assert!(
+                (got - want).abs() < 1e-5 * want,
+                "chi2({df}, {alpha}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn chi_square_statistic_handles_exact_and_empty_bins() {
+        // Perfect fit: zero statistic.
+        let e = [10.0, 20.0, 30.0];
+        assert_eq!(chi_square_statistic(&e, &e), 0.0);
+        // Known value: sum (O-E)^2/E.
+        let o = [12.0, 18.0, 30.0];
+        let want = 4.0 / 10.0 + 4.0 / 20.0;
+        assert!((chi_square_statistic(&o, &e) - want).abs() < 1e-12);
+        // A zero-expectation bin pools into the next instead of dividing
+        // by zero: the [5, 5] observed mass meets the pooled e = 10.
+        let o = [5.0, 5.0, 30.0];
+        let e = [0.0, 10.0, 30.0];
+        let s = chi_square_statistic(&o, &e);
+        assert!(s.is_finite() && s.abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn correlation_error_is_zero_on_truth_and_positive_off_it() {
+        let truth = mathkit::correlation::ar1_correlation(3, 0.6);
+        assert_eq!(correlation_mean_abs_error(&truth, &truth), 0.0);
+        let mut off = truth.clone();
+        off[(0, 1)] += 0.3;
+        off[(1, 0)] += 0.3;
+        let e = correlation_mean_abs_error(&truth, &off);
+        assert!((e - 0.6 / 6.0).abs() < 1e-12, "e = {e}");
+    }
+}

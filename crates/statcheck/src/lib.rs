@@ -1,0 +1,55 @@
+//! # statcheck — statistical acceptance harness + empirical DP auditor
+//!
+//! Every other test tier in this workspace pins *determinism*:
+//! bit-identical fan-out, `.dpcm` round-trips, seed-stable releases.
+//! None of it verifies the *statistics* — that Laplace noise has the
+//! promised scale, that published margins and repaired correlation
+//! matrices actually converge on the truth as ε grows, or that a
+//! mechanism doesn't leak more than its declared budget. DPCopula's
+//! whole evaluation (Li et al., EDBT 2014, Figs 3–11) is statistical,
+//! and empirical privacy audits of exactly this copula pipeline have
+//! found real leakage in published variants — the class of bug this
+//! crate exists to catch in CI.
+//!
+//! Three layers, all deterministic given a base seed (randomness flows
+//! exclusively through [`parkit::stream_rng`]):
+//!
+//! * [`gof`] — goodness-of-fit primitives: one-sample
+//!   Kolmogorov–Smirnov, chi-square against expected counts, and a
+//!   rank-correlation recovery metric, with critical values computed
+//!   in-crate (no external tables or deps) and pinned by golden tests;
+//! * [`audit`] — the empirical DP auditor: runs any
+//!   [`dphist::Publish1d`] (or any scalar mechanism) on crafted
+//!   neighboring datasets over many seeded trials, histograms the
+//!   outputs, and computes an empirical privacy-loss **lower bound**
+//!   that must stay below the declared ε (times a small slack). A
+//!   mechanism that double-spends its budget or mis-states its
+//!   sensitivity — modelled by [`audit::BrokenLaplace`], which
+//!   calibrates noise to half the true sensitivity — reads ≈ 2ε and is
+//!   flagged;
+//! * [`trend`] — monotone-trend assertions (error must *shrink* as ε
+//!   grows) so acceptance tests bind the direction of the statistics,
+//!   which is stable under the fixed seeds, instead of point values,
+//!   which are not.
+//!
+//! The `statcheck` binary sweeps every method in
+//! [`dphist::MarginRegistry`] through the auditor, verifies the broken
+//! mechanism is caught, and emits `BENCH_statcheck.json` with
+//! per-mechanism empirical-ε margins; `scripts/ci.sh` runs it as a fast
+//! smoke tier and `STATCHECK_FULL=1` (or `scripts/statcheck_full.sh`)
+//! deepens the trial counts. The tier-2 acceptance sweeps live in
+//! `tests/acceptance.rs`.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod gof;
+pub mod report;
+pub mod trend;
+
+pub use audit::{audit_mechanism, audit_publisher, AuditConfig, AuditResult, BrokenLaplace};
+pub use gof::{
+    chi_square_critical, chi_square_statistic, correlation_mean_abs_error, ks_critical,
+    ks_statistic,
+};
+pub use trend::{is_decreasing_trend, ols_slope};

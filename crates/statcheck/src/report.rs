@@ -1,0 +1,110 @@
+//! Minimal JSON emission for `BENCH_statcheck.json`.
+//!
+//! The workspace has zero registry dependencies, so — like the bench
+//! crate — the report is written by hand. This module keeps the
+//! formatting in one place and escapes strings properly instead of
+//! trusting ad-hoc `writeln!` calls.
+
+use crate::audit::AuditResult;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats one audit result as a JSON object line.
+pub fn audit_json(r: &AuditResult) -> String {
+    format!(
+        "{{\"mechanism\": {}, \"declared_epsilon\": {:.4}, \"empirical_epsilon\": {:.6}, \
+         \"margin\": {:.6}, \"slack\": {:.4}, \"trials\": {}, \"qualified_bins\": {}, \
+         \"pass\": {}}}",
+        json_string(&r.mechanism),
+        r.declared_epsilon,
+        r.empirical_epsilon,
+        r.margin(),
+        r.slack,
+        r.trials,
+        r.qualified_bins,
+        r.passes()
+    )
+}
+
+/// Assembles the full `BENCH_statcheck.json` document: the audited
+/// mechanisms (in run order) plus the negative control, under a config
+/// header.
+pub fn render_report(
+    full: bool,
+    results: &[AuditResult],
+    negative_control: &AuditResult,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"statcheck_audit\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"mode\": {}, \"mechanisms\": {}}},",
+        json_string(if full { "full" } else { "smoke" }),
+        results.len()
+    );
+    let _ = writeln!(out, "  \"audits\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", audit_json(r));
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"negative_control\": {}",
+        audit_json(negative_control)
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_shape_is_valid_enough() {
+        let r = AuditResult {
+            mechanism: "identity".into(),
+            declared_epsilon: 1.0,
+            empirical_epsilon: 0.8,
+            qualified_bins: 12,
+            trials: 100,
+            slack: 1.35,
+        };
+        let doc = render_report(false, std::slice::from_ref(&r), &r);
+        assert!(doc.starts_with("{\n") && doc.ends_with("}\n"));
+        assert!(doc.contains("\"mechanism\": \"identity\""));
+        assert!(doc.contains("\"pass\": true"));
+        // Balanced braces/brackets (cheap structural sanity).
+        let count = |c: char| doc.matches(c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
+    }
+}

@@ -1,0 +1,61 @@
+//! Monotone-trend assertions for error-vs-ε sweeps.
+//!
+//! Point values of a DP release are noise; asserting them makes tests
+//! flaky or meaningless. What the theory *does* pin — for every
+//! mechanism in this workspace — is the direction: more budget, less
+//! error. A sweep at fixed seeds is deterministic, so "the error
+//! sequence trends down" is a stable assertion that still binds the
+//! statistics (a double-spent budget or mis-scaled noise shifts the
+//! whole curve and usually flattens or inverts it).
+
+/// Ordinary-least-squares slope of `ys` against the index `0..n`.
+/// Returns 0 for fewer than two points.
+pub fn ols_slope(ys: &[f64]) -> f64 {
+    let n = ys.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let x_mean = (nf - 1.0) / 2.0;
+    let y_mean = ys.iter().sum::<f64>() / nf;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in ys.iter().enumerate() {
+        let dx = i as f64 - x_mean;
+        num += dx * (y - y_mean);
+        den += dx * dx;
+    }
+    num / den
+}
+
+/// Whether `ys` (error at increasing ε, in sweep order) trends down:
+/// the final value must improve on the first *and* the OLS slope must be
+/// negative. Tolerating interior wobble — adjacent ε levels of a noisy
+/// method may invert — while still rejecting flat or rising curves is
+/// exactly the seed-stable contract acceptance tests need.
+pub fn is_decreasing_trend(ys: &[f64]) -> bool {
+    ys.len() >= 2 && ys[ys.len() - 1] < ys[0] && ols_slope(ys) < 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_a_line_is_exact() {
+        let ys = [7.0, 5.0, 3.0, 1.0];
+        assert!((ols_slope(&ys) + 2.0).abs() < 1e-12);
+        assert_eq!(ols_slope(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn trend_tolerates_wobble_but_rejects_flat_and_rising() {
+        assert!(is_decreasing_trend(&[10.0, 11.0, 4.0, 2.0]));
+        assert!(is_decreasing_trend(&[5.0, 1.0]));
+        assert!(!is_decreasing_trend(&[2.0, 2.0, 2.0]));
+        assert!(!is_decreasing_trend(&[1.0, 2.0, 3.0]));
+        // Last below first but overall rising mass: slope decides.
+        assert!(!is_decreasing_trend(&[5.0, 1.0, 9.0, 4.9]));
+        assert!(!is_decreasing_trend(&[1.0]));
+    }
+}

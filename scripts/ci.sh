@@ -39,4 +39,10 @@ trap 'rm -rf "$SMOKE"' EXIT
 diff "$SMOKE/served.csv" "$SMOKE/synthed.csv"
 echo "    served rows are byte-identical to in-process synthesis"
 
+echo "==> statcheck smoke: empirical DP audit of every margin method"
+# Exits nonzero if any registered mechanism exceeds its declared epsilon
+# empirically, or if the broken-Laplace negative control goes undetected.
+# STATCHECK_FULL=1 (or scripts/statcheck_full.sh) runs the deep sweep.
+cargo run -p statcheck --release --offline --bin statcheck
+
 echo "==> ci.sh: all green"

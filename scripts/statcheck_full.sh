@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Deep statistical acceptance sweep. The smoke tier in scripts/ci.sh
+# audits every margin method at one epsilon with ~1.5k trials per arm;
+# this wrapper re-runs the auditor at three epsilon levels with 15k
+# trials per arm (tighter empirical-epsilon lower bounds), then runs the
+# tier-2 statistical acceptance tests. Exits nonzero on any empirical
+# budget violation or an undetected negative control.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> statcheck full sweep (3 epsilon levels, 15k trials/arm)"
+STATCHECK_FULL=1 cargo run -p statcheck --release --offline --bin statcheck
+
+echo "==> statcheck tier-2 acceptance tests"
+cargo test -p statcheck --release --offline -q
+
+echo "==> statcheck_full.sh: all green (see BENCH_statcheck.json)"
