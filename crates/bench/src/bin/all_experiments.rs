@@ -10,12 +10,12 @@ use dpcopula_bench::experiments::{
     run_fig10, run_fig11, run_table02,
 };
 use dpcopula_bench::params::ExperimentParams;
-use std::time::Instant;
+use obskit::Stopwatch;
 
 fn main() {
     let params = ExperimentParams::from_env();
     println!("running full battery with {params:?}");
-    let total = Instant::now();
+    let total = Stopwatch::start();
 
     type Stage = (
         &'static str,
@@ -38,7 +38,7 @@ fn main() {
     ];
     for (name, run) in stages {
         println!("\n########## {name} ##########");
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let tables = run(&params);
         emit(&tables);
         println!("{name}: {:.1?}", t0.elapsed());

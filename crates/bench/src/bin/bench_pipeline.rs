@@ -11,10 +11,10 @@ use datagen::census::us_census;
 use dpcopula::kendall::{dp_correlation_matrix, SamplingStrategy};
 use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions};
 use dpmech::Epsilon;
+use obskit::Stopwatch;
 use rngkit::rngs::StdRng;
 use rngkit::SeedableRng;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// min/median/p95 over a set of timing samples, in seconds.
 #[derive(Debug, Clone, Copy)]
@@ -71,7 +71,7 @@ fn main() {
     let mut legacy = Vec::with_capacity(samples);
     for s in 0..samples {
         let mut rng = StdRng::seed_from_u64(0xaced + s as u64);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let p = dp_correlation_matrix(data.columns(), eps2, SamplingStrategy::Auto, &mut rng);
         legacy.push(t0.elapsed().as_secs_f64());
         assert_eq!(p.rows(), m);

@@ -10,8 +10,8 @@
 use datagen::census::us_census;
 use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions, FittedModel};
 use dpmech::Epsilon;
+use obskit::Stopwatch;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 fn median(samples: &mut [f64]) -> f64 {
     assert!(!samples.is_empty());
@@ -33,7 +33,7 @@ fn main() {
     let opts = EngineOptions::with_workers(4);
 
     // The one budgeted step: fit.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let (model, _) = dp
         .fit_staged(data.columns(), &data.domains(), 0xfeed, &opts)
         .expect("census fit succeeds");
@@ -47,13 +47,13 @@ fn main() {
     let mut encode = Vec::with_capacity(samples);
     let mut bytes = Vec::new();
     for _ in 0..samples {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         bytes = model.artifact().encode();
         encode.push(t.elapsed().as_secs_f64());
     }
     let mut load = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let artifact = modelstore::decode(&bytes).expect("artifact decodes");
         let served = FittedModel::from_artifact(artifact).expect("artifact validates");
         load.push(t.elapsed().as_secs_f64());
@@ -86,7 +86,7 @@ fn main() {
         for s in 0..samples {
             // Rotate the window so runs do not share chunk boundaries.
             let offset = s * serve_rows;
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let cols = model.sample_range(offset, serve_rows, workers);
             times.push(t.elapsed().as_secs_f64());
             assert_eq!(cols[0].len(), serve_rows);

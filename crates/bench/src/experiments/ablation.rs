@@ -110,7 +110,7 @@ pub fn run_ablation_sampling(params: &ExperimentParams) -> Vec<Table> {
         let mut times = Vec::new();
         for strategy in [SamplingStrategy::Full, SamplingStrategy::Auto] {
             let mut rel = 0.0;
-            let t0 = std::time::Instant::now();
+            let t0 = obskit::Stopwatch::start();
             for s in 0..runs as u64 {
                 let mut rng = StdRng::seed_from_u64(0xab20 + s);
                 let mut base = DpCopulaConfig::kendall(Epsilon::new(eps).unwrap())

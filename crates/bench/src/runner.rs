@@ -5,8 +5,9 @@
 //! identical at any worker count.
 
 use crate::methods::Method;
+use obskit::Stopwatch;
 use queryeval::{ErrorSummary, Workload};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of an averaged evaluation.
 #[derive(Debug, Clone, Copy)]
@@ -46,7 +47,7 @@ pub fn evaluate(
         .collect();
     let results: Vec<(ErrorSummary, Duration)> =
         parkit::par_map(parkit::default_workers(), &seeds, |_, &seed| {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let answers = method.answer_workload(columns, domains, eps, k_ratio, workload, seed);
             let dt = t0.elapsed();
             (ErrorSummary::from_answers(&answers, truth, sanity), dt)
@@ -84,7 +85,7 @@ pub fn evaluate_timed(
     let mut summaries = Vec::with_capacity(runs);
     let mut total = Duration::ZERO;
     for r in 0..runs as u64 {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let answers = method.answer_workload(
             columns,
             domains,

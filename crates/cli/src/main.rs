@@ -15,12 +15,14 @@
 
 use dpcopula::kendall::SamplingStrategy;
 use dpcopula::mle::PartitionStrategy;
-use dpcopula::synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod};
-use dpcopula::{EngineOptions, FittedModel};
+use dpcopula::synthesizer::{CorrelationMethod, DpCopulaConfig, MarginMethod};
+use dpcopula::{EngineOptions, FittedModel, SynthesisRequest};
 use dpmech::Epsilon;
+use obskit::{MetricsRegistry, MetricsSink};
 use rngkit::rngs::StdRng;
 use rngkit::SeedableRng;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 dpcopula-cli — differentially private data synthesis over .dpcm artifacts
@@ -40,9 +42,16 @@ USAGE:
   dpcopula-cli eval    --synthetic FILE --reference FILE [--queries N]
                        [--seed S] [--sanity B]
 
+Every subcommand also takes [--metrics json|prom|off] (default off) and
+[--metrics-out FILE]. With metrics on, the full obskit taxonomy is
+pre-registered and a snapshot is written next to the result file
+(`RESULT.metrics.json` / `.prom`), to --metrics-out when given, or to
+stdout when the command writes no file.
+
 `fit` then `sample --offset 0 --rows N` reproduces `synth --rows N`
 byte-for-byte for the same input/seed/options: sampling a saved artifact
-is pure post-processing of the one budgeted release.";
+is pure post-processing of the one budgeted release — with or without
+metrics, which only observe and never perturb a release.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -113,6 +122,77 @@ impl Flags {
                 .parse()
                 .map_err(|_| format!("bad value `{v}` for --{name}")),
         }
+    }
+}
+
+/// Which rendering `--metrics` asked for.
+enum MetricsMode {
+    Off,
+    Json,
+    Prom,
+}
+
+/// The metrics side-channel of one CLI invocation: a private registry
+/// with the full taxonomy pre-registered (so a snapshot always lists
+/// every series, zeros included), plus where to write the snapshot.
+struct Metrics {
+    mode: MetricsMode,
+    registry: Arc<MetricsRegistry>,
+    out: Option<String>,
+}
+
+impl Metrics {
+    fn parse(flags: &Flags) -> Result<Self, String> {
+        let mode = match flags.get("metrics").unwrap_or("off") {
+            "off" => MetricsMode::Off,
+            "json" => MetricsMode::Json,
+            "prom" => MetricsMode::Prom,
+            other => {
+                return Err(format!(
+                    "unknown --metrics mode `{other}` (json, prom, off)"
+                ))
+            }
+        };
+        let registry = Arc::new(MetricsRegistry::new());
+        if !matches!(mode, MetricsMode::Off) {
+            obskit::names::register_taxonomy(&registry);
+        }
+        Ok(Self {
+            mode,
+            registry,
+            out: flags.get("metrics-out").map(str::to_string),
+        })
+    }
+
+    /// The sink instrumented code records through — disabled (one branch
+    /// per would-be record) unless `--metrics` asked for a rendering.
+    fn sink(&self) -> MetricsSink {
+        match self.mode {
+            MetricsMode::Off => MetricsSink::off(),
+            _ => MetricsSink::to_registry(self.registry.clone()),
+        }
+    }
+
+    /// Renders and writes the snapshot: to `--metrics-out` when given,
+    /// else alongside the command's result file, else to stdout.
+    fn write(&self, result_path: Option<&str>) -> Result<(), String> {
+        let (rendered, ext) = match self.mode {
+            MetricsMode::Off => return Ok(()),
+            MetricsMode::Json => (self.registry.snapshot().to_json(), "metrics.json"),
+            MetricsMode::Prom => (self.registry.snapshot().to_prometheus(), "metrics.prom"),
+        };
+        let path = self
+            .out
+            .clone()
+            .or_else(|| result_path.map(|p| format!("{p}.{ext}")));
+        match path {
+            Some(p) => {
+                std::fs::write(&p, rendered).map_err(|e| format!("writing {p}: {e}"))?;
+                println!("metrics snapshot: {p}");
+            }
+            None => print!("{rendered}"),
+        }
+        Ok(())
     }
 }
 
@@ -191,6 +271,7 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
         dataset.len(),
         dataset.dims()
     );
+    Metrics::parse(flags)?.write(Some(out))?;
     Ok(())
 }
 
@@ -198,9 +279,14 @@ fn cmd_fit(flags: &Flags) -> Result<(), String> {
     let input = flags.require("input")?;
     let out = flags.require("out")?;
     let (config, opts, seed) = parse_config(flags)?;
+    let metrics = Metrics::parse(flags)?;
     let dataset = load_dataset(input)?;
-    let (mut model, report) = DpCopula::new(config)
-        .fit_staged(dataset.columns(), &dataset.domains(), seed, &opts)
+    let domains = dataset.domains();
+    let (mut model, report) = SynthesisRequest::from_config(dataset.columns(), &domains, config)
+        .engine(opts)
+        .seed(seed)
+        .metrics(metrics.sink())
+        .fit()
         .map_err(|e| format!("fit failed: {e}"))?;
     let names: Vec<&str> = dataset
         .attributes()
@@ -222,14 +308,17 @@ fn cmd_fit(flags: &Flags) -> Result<(), String> {
         ledger.spent(),
         ledger.total
     );
+    metrics.write(Some(out))?;
     Ok(())
 }
 
 fn cmd_inspect(flags: &Flags) -> Result<(), String> {
     let path = flags.require("model")?;
+    let metrics = Metrics::parse(flags)?;
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     let sections = modelstore::probe(&bytes).map_err(|e| e.to_string())?;
-    let artifact = modelstore::decode(&bytes).map_err(|e| e.to_string())?;
+    let artifact =
+        modelstore::decode_observed(&bytes, &metrics.sink()).map_err(|e| e.to_string())?;
     println!(
         "{path}: {} bytes, format v{}, {} sections",
         bytes.len(),
@@ -278,6 +367,7 @@ fn cmd_inspect(flags: &Flags) -> Result<(), String> {
             .collect();
         println!("  {}", row.join(" "));
     }
+    metrics.write(None)?;
     Ok(())
 }
 
@@ -290,7 +380,9 @@ fn cmd_sample(flags: &Flags) -> Result<(), String> {
         .map_err(|_| "bad value for --rows".to_string())?;
     let offset = flags.parsed("offset", 0usize)?;
     let workers = flags.parsed("workers", 1usize)?;
-    let model = FittedModel::load(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let metrics = Metrics::parse(flags)?;
+    let model = FittedModel::load_observed(path, &metrics.sink())
+        .map_err(|e| format!("reading {path}: {e}"))?;
     let columns = model
         .try_sample_range(offset, rows, workers)
         .map_err(|e| e.to_string())?;
@@ -305,6 +397,7 @@ fn cmd_sample(flags: &Flags) -> Result<(), String> {
         "served rows [{offset}, {}) from {path} to {out}",
         offset + rows
     );
+    metrics.write(Some(out))?;
     Ok(())
 }
 
@@ -312,6 +405,7 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
     let input = flags.require("input")?;
     let out = flags.require("out")?;
     let (mut config, opts, seed) = parse_config(flags)?;
+    let metrics = Metrics::parse(flags)?;
     let dataset = load_dataset(input)?;
     if let Some(rows) = flags.get("rows") {
         let rows: usize = rows
@@ -319,8 +413,12 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
             .map_err(|_| "bad value for --rows".to_string())?;
         config = config.with_output_records(rows);
     }
-    let (synthesis, report) = DpCopula::new(config)
-        .synthesize_staged(dataset.columns(), &dataset.domains(), seed, &opts)
+    let domains = dataset.domains();
+    let (synthesis, report) = SynthesisRequest::from_config(dataset.columns(), &domains, config)
+        .engine(opts)
+        .seed(seed)
+        .metrics(metrics.sink())
+        .run()
         .map_err(|e| format!("synthesis failed: {e}"))?;
     let attributes = dataset.attributes().to_vec();
     let released = datagen::Dataset::new(attributes, synthesis.columns);
@@ -331,6 +429,7 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
         released.dims(),
         report.timings.total(),
     );
+    metrics.write(Some(out))?;
     Ok(())
 }
 
@@ -350,13 +449,21 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
     if sanity <= 0.0 {
         return Err("--sanity must be positive".into());
     }
+    let metrics = Metrics::parse(flags)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let workload = queryeval::Workload::random(&reference.domains(), queries, &mut rng);
-    let summary =
-        queryeval::evaluate_columns(&workload, synthetic.columns(), reference.columns(), sanity);
-    println!(
-        "queries {}  mean relative error {:.6}  mean absolute error {:.3}",
-        summary.queries, summary.mean_relative, summary.mean_absolute
+    let report = queryeval::evaluate(
+        &workload,
+        &queryeval::Synthetic::new(synthetic.columns(), reference.columns()).sanity(sanity),
     );
+    let summary = report.summary;
+    println!(
+        "queries {}  mean relative error {:.6}  mean absolute error {:.3}  max relative error {:.6}",
+        summary.queries,
+        summary.mean_relative,
+        summary.mean_absolute,
+        report.max_relative()
+    );
+    metrics.write(None)?;
     Ok(())
 }

@@ -36,7 +36,9 @@ use dphist::MarginRegistry;
 use dpmech::BudgetAccountant;
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::Matrix;
-use std::time::{Duration, Instant};
+use obskit::names::{ENGINE_WORKERS, PIPELINE_ROWS_OUT_TOTAL, PIPELINE_RUNS_TOTAL};
+use obskit::{MetricsSink, Unit};
+use std::time::Duration;
 
 /// RNG stream for margin publication (index = attribute id).
 pub const STREAM_MARGINS: u64 = 1;
@@ -50,6 +52,23 @@ pub const STREAM_MLE_NOISE: u64 = 4;
 pub const STREAM_SPEARMAN_NOISE: u64 = 5;
 /// RNG stream for copula sampling (index = row-chunk id).
 pub const STREAM_SAMPLER: u64 = 6;
+
+/// Runs `f` and publishes the noise draws it made (on this thread) as
+/// `noise_draws_total{stage, mech}` counters. Uses the thread-local draw
+/// tally in [`dpmech::draws`], so it must wrap the code that draws on the
+/// same thread it runs on — inside a `par_map` task, not around it.
+/// Disabled sinks skip the tally snapshots entirely.
+pub(crate) fn harvest_draws<T>(sink: &MetricsSink, stage: &str, f: impl FnOnce() -> T) -> T {
+    if !sink.enabled() {
+        return f();
+    }
+    let before = dpmech::draws::snapshot();
+    let out = f();
+    dpmech::draws::snapshot()
+        .since(&before)
+        .record_into(sink, stage);
+    out
+}
 
 /// Execution knobs for the staged engine. Orthogonal to
 /// [`crate::synthesizer::DpCopulaConfig`]: the config decides *what* is
@@ -118,6 +137,30 @@ impl StageTimings {
             ("sampling", self.sampling),
         ]
     }
+
+    /// Rebuilds stage timings from the `span_ns{span="pipeline/<stage>"}`
+    /// series of a metrics snapshot. The engine records each stage
+    /// exactly once per run through the same spans that produce the
+    /// [`PipelineReport`], so for a single-run snapshot this is the same
+    /// report viewed through the metrics layer — there is no second
+    /// clock to disagree with.
+    pub fn from_snapshot(snap: &obskit::Snapshot) -> Self {
+        let stage_ns = |stage: &str| {
+            let path = format!("pipeline/{stage}");
+            let id = obskit::series_id(obskit::SPAN_NS, &[("span", &path)]);
+            snap.get(&id)
+                .and_then(|e| e.value.as_hist())
+                .map(|h| Duration::from_nanos(h.sum))
+                .unwrap_or_default()
+        };
+        Self {
+            budget_plan: stage_ns("budget_plan"),
+            margins: stage_ns("margins"),
+            correlation: stage_ns("correlation"),
+            pd_repair: stage_ns("pd_repair"),
+            sampling: stage_ns("sampling"),
+        }
+    }
 }
 
 /// What one staged run did, beyond the released [`Synthesis`].
@@ -159,12 +202,13 @@ impl DpCopula {
         domains: &[usize],
         base_seed: u64,
         opts: &EngineOptions,
+        sink: &MetricsSink,
     ) -> Result<(FitParts, StageTimings), DpCopulaError> {
         let workers = opts.workers.max(1);
         let mut timings = StageTimings::default();
 
         // Stage 1: budget plan.
-        let t0 = Instant::now();
+        let span = sink.span("budget_plan");
         validate_columns(columns, domains)?;
         let m = columns.len();
         let n = columns[0].len();
@@ -180,52 +224,55 @@ impl DpCopula {
         let (eps1, eps2) = cfg.epsilon.split_ratio(cfg.k_ratio);
         let mut accountant = BudgetAccountant::new(cfg.epsilon);
         let eps_margin = eps1.divide(m);
-        timings.budget_plan = t0.elapsed();
+        timings.budget_plan = span.finish();
 
         // Stage 2: DP margins — one task per attribute, eps1/m each.
-        let t0 = Instant::now();
+        let span = sink.span("margins");
         let margin_name = cfg.margin.registry_name();
         let inputs: Vec<(usize, &Vec<u32>)> = columns.iter().enumerate().collect();
-        let noisy_margins: Vec<Vec<f64>> = parkit::par_map(workers, &inputs, |j, &(_, col)| {
-            let exact = Histogram1D::from_values(col, domains[j]);
-            let mut rng = parkit::stream_rng(base_seed, STREAM_MARGINS, j as u64);
-            MarginRegistry::builtin()
-                .publish(margin_name, exact.counts(), eps_margin, &mut rng)
-                .expect("builtin registry covers every MarginMethod")
-        });
+        let noisy_margins: Vec<Vec<f64>> =
+            parkit::par_map_observed(workers, &inputs, sink, "margins", |j, &(_, col)| {
+                harvest_draws(sink, "margins", || {
+                    let exact = Histogram1D::from_values(col, domains[j]);
+                    let mut rng = parkit::stream_rng(base_seed, STREAM_MARGINS, j as u64);
+                    MarginRegistry::builtin()
+                        .publish(margin_name, exact.counts(), eps_margin, &mut rng)
+                        .expect("builtin registry covers every MarginMethod")
+                })
+            });
         for _ in 0..m {
-            accountant.spend(eps_margin)?;
+            accountant.spend_tracked(eps_margin, "margins", sink)?;
         }
         let margins: Vec<MarginalDistribution> = noisy_margins
             .iter()
             .map(|noisy| MarginalDistribution::from_noisy_histogram(noisy))
             .collect();
-        timings.margins = t0.elapsed();
+        timings.margins = span.finish();
 
         // Stage 3: DP correlation matrix (raw, pre-repair) with eps2.
-        let t0 = Instant::now();
+        let span = sink.span("correlation");
         let raw = if m == 1 {
             Matrix::identity(1)
         } else {
             match cfg.method {
                 CorrelationMethod::Kendall(strategy) => {
-                    dp_tau_matrix_par(columns, eps2, strategy, base_seed, workers)?
+                    dp_tau_matrix_par(columns, eps2, strategy, base_seed, workers, sink)?
                 }
                 CorrelationMethod::Mle(strategy) => {
-                    dp_mle_matrix_par(columns, eps2, strategy, base_seed, workers)?
+                    dp_mle_matrix_par(columns, eps2, strategy, base_seed, workers, sink)?
                 }
                 CorrelationMethod::Spearman => {
-                    dp_spearman_matrix_par(columns, eps2, base_seed, workers)?
+                    dp_spearman_matrix_par(columns, eps2, base_seed, workers, sink)?
                 }
             }
         };
         if m > 1 {
-            accountant.spend(eps2)?;
+            accountant.spend_tracked(eps2, "correlation", sink)?;
         }
-        timings.correlation = t0.elapsed();
+        timings.correlation = span.finish();
 
         // Stage 4: clamp + positive-definite repair (post-processing).
-        let t0 = Instant::now();
+        let span = sink.span("pd_repair");
         let correlation = if m == 1 {
             raw
         } else {
@@ -233,7 +280,7 @@ impl DpCopula {
             clamp_to_correlation(&mut p);
             repair_positive_definite(&p)
         };
-        timings.pd_repair = t0.elapsed();
+        timings.pd_repair = span.finish();
 
         Ok((
             FitParts {
@@ -256,6 +303,11 @@ impl DpCopula {
     /// derived from `base_seed` via index-keyed streams, so for a fixed
     /// `(data, config, base_seed, sample_chunk)` the output is
     /// bit-identical at any worker count.
+    ///
+    /// *Soft-deprecated:* prefer [`crate::request::SynthesisRequest`],
+    /// which adds a metrics sink to the same run; this wrapper delegates
+    /// to the identical internal path with metrics off and releases
+    /// byte-identical output (`DESIGN.md` §10).
     pub fn synthesize_staged(
         &self,
         columns: &[Vec<u32>],
@@ -263,17 +315,45 @@ impl DpCopula {
         base_seed: u64,
         opts: &EngineOptions,
     ) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
+        self.synthesize_staged_with(columns, domains, base_seed, opts, &MetricsSink::off())
+    }
+
+    /// [`DpCopula::synthesize_staged`] with a metrics sink: every stage
+    /// runs under a `pipeline/<stage>` span, the fan-outs publish
+    /// per-task latency, and the budget ledger and noise mechanisms
+    /// publish their counters. With a disabled sink this is exactly
+    /// `synthesize_staged` — same bytes, no recording.
+    pub(crate) fn synthesize_staged_with(
+        &self,
+        columns: &[Vec<u32>],
+        domains: &[usize],
+        base_seed: u64,
+        opts: &EngineOptions,
+        sink: &MetricsSink,
+    ) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
         let workers = opts.workers.max(1);
-        let (parts, mut timings) = self.fit_parts(columns, domains, base_seed, opts)?;
+        let pipeline = sink.span("pipeline");
+        let (parts, mut timings) = self.fit_parts(columns, domains, base_seed, opts, sink)?;
 
         // Stage 5: copula sampling — one task per row chunk
         // (post-processing, no budget).
-        let t0 = Instant::now();
+        let span = sink.span("sampling");
         let sampler = CopulaSampler::new(&parts.correlation, parts.margins)?;
         let n_out = self.config().output_records.unwrap_or(columns[0].len());
-        let out_columns =
-            sampler.sample_columns_chunked(n_out, base_seed, workers, opts.sample_chunk);
-        timings.sampling = t0.elapsed();
+        let out_columns = sampler.sample_columns_chunked_observed(
+            n_out,
+            base_seed,
+            workers,
+            opts.sample_chunk,
+            sink,
+            "sampling",
+        );
+        timings.sampling = span.finish();
+
+        sink.add(PIPELINE_RUNS_TOTAL, Unit::Count, 1);
+        sink.add(PIPELINE_ROWS_OUT_TOTAL, Unit::Count, n_out as u64);
+        sink.gauge_set(ENGINE_WORKERS, Unit::Info, workers as u64);
+        drop(pipeline);
 
         Ok((
             Synthesis {

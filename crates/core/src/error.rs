@@ -4,7 +4,11 @@ use dpmech::BudgetError;
 use mathkit::cholesky::CholeskyError;
 
 /// Everything that can go wrong while fitting or sampling a DP copula.
+///
+/// Non-exhaustive: new pipeline stages and serving paths will add
+/// failure modes, so downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum DpCopulaError {
     /// The input had no attributes or no records.
     EmptyInput,

@@ -429,12 +429,18 @@ pub fn dp_correlation_matrix<R: Rng + ?Sized>(
 /// Laplace noise from `stream_rng(base_seed, STREAM_KENDALL_NOISE, k)` —
 /// both pure functions of logical indices — so the result is
 /// bit-identical at any worker count.
+///
+/// Observability: fan-outs are recorded under
+/// `parkit_*{stage="correlation"}` and per-pair noise draws under
+/// `noise_draws_total{stage="correlation"}`; pass
+/// [`obskit::MetricsSink::off`] to skip all recording.
 pub fn dp_tau_matrix_par(
     columns: &[Vec<u32>],
     eps2_total: Epsilon,
     strategy: SamplingStrategy,
     base_seed: u64,
     workers: usize,
+    sink: &obskit::MetricsSink,
 ) -> Result<Matrix, DpCopulaError> {
     let m = columns.len();
     if m == 0 {
@@ -469,19 +475,22 @@ pub fn dp_tau_matrix_par(
     };
 
     // Per-column rank caches — pure, keyed by attribute index.
-    let ranked: Vec<RankedColumn> = parkit::par_map(workers, columns, |_, col| {
-        RankedColumn::new(rows.iter().map(|&r| col[r]).collect())
-    });
+    let ranked: Vec<RankedColumn> =
+        parkit::par_map_observed(workers, columns, sink, "correlation", |_, col| {
+            RankedColumn::new(rows.iter().map(|&r| col[r]).collect())
+        });
     let n_s = ranked[0].len();
 
     let pair_ids: Vec<(usize, usize)> = (0..m)
         .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
         .collect();
-    let coeffs = parkit::par_map(workers, &pair_ids, |k, &(i, j)| {
-        let tau = kendall_tau_cached(&ranked[i], &ranked[j]);
-        let mut rng = parkit::stream_rng(base_seed, STREAM_KENDALL_NOISE, k as u64);
-        let noisy = tau + laplace_noise(&mut rng, kendall_sensitivity(n_s) / eps_pair.value());
-        (std::f64::consts::FRAC_PI_2 * noisy).sin()
+    let coeffs = parkit::par_map_observed(workers, &pair_ids, sink, "correlation", |k, &(i, j)| {
+        crate::engine::harvest_draws(sink, "correlation", || {
+            let tau = kendall_tau_cached(&ranked[i], &ranked[j]);
+            let mut rng = parkit::stream_rng(base_seed, STREAM_KENDALL_NOISE, k as u64);
+            let noisy = tau + laplace_noise(&mut rng, kendall_sensitivity(n_s) / eps_pair.value());
+            (std::f64::consts::FRAC_PI_2 * noisy).sin()
+        })
     });
 
     let mut p = Matrix::identity(m);
@@ -651,14 +660,37 @@ mod tests {
             .map(|_| (0..800).map(|_| rng.gen_range(0..50u32)).collect())
             .collect();
         let eps = Epsilon::new(1.0).unwrap();
-        let base = dp_tau_matrix_par(&cols, eps, SamplingStrategy::Fixed(300), 99, 1).unwrap();
+        let base = dp_tau_matrix_par(
+            &cols,
+            eps,
+            SamplingStrategy::Fixed(300),
+            99,
+            1,
+            &obskit::MetricsSink::off(),
+        )
+        .unwrap();
         for workers in [2, 7] {
-            let p =
-                dp_tau_matrix_par(&cols, eps, SamplingStrategy::Fixed(300), 99, workers).unwrap();
+            let p = dp_tau_matrix_par(
+                &cols,
+                eps,
+                SamplingStrategy::Fixed(300),
+                99,
+                workers,
+                &obskit::MetricsSink::off(),
+            )
+            .unwrap();
             assert_eq!(p, base, "workers={workers}");
         }
         // Different seed, different matrix.
-        let other = dp_tau_matrix_par(&cols, eps, SamplingStrategy::Fixed(300), 100, 1).unwrap();
+        let other = dp_tau_matrix_par(
+            &cols,
+            eps,
+            SamplingStrategy::Fixed(300),
+            100,
+            1,
+            &obskit::MetricsSink::off(),
+        )
+        .unwrap();
         assert_ne!(other, base);
     }
 
@@ -666,16 +698,39 @@ mod tests {
     fn par_tau_matrix_rejects_degenerate_inputs() {
         let eps = Epsilon::new(1.0).unwrap();
         assert_eq!(
-            dp_tau_matrix_par(&[], eps, SamplingStrategy::Full, 1, 1).unwrap_err(),
+            dp_tau_matrix_par(
+                &[],
+                eps,
+                SamplingStrategy::Full,
+                1,
+                1,
+                &obskit::MetricsSink::off()
+            )
+            .unwrap_err(),
             DpCopulaError::EmptyInput
         );
         let one_record = vec![vec![1u32], vec![2u32]];
         assert!(matches!(
-            dp_tau_matrix_par(&one_record, eps, SamplingStrategy::Full, 1, 1).unwrap_err(),
+            dp_tau_matrix_par(
+                &one_record,
+                eps,
+                SamplingStrategy::Full,
+                1,
+                1,
+                &obskit::MetricsSink::off()
+            )
+            .unwrap_err(),
             DpCopulaError::TooFewRecords { .. }
         ));
-        let single =
-            dp_tau_matrix_par(&[vec![1u32, 2, 3]], eps, SamplingStrategy::Full, 1, 4).unwrap();
+        let single = dp_tau_matrix_par(
+            &[vec![1u32, 2, 3]],
+            eps,
+            SamplingStrategy::Full,
+            1,
+            4,
+            &obskit::MetricsSink::off(),
+        )
+        .unwrap();
         assert_eq!(single, Matrix::identity(1));
     }
 

@@ -53,6 +53,7 @@ pub mod hybrid;
 pub mod kendall;
 pub mod mle;
 pub mod model;
+pub mod request;
 pub mod sampler;
 pub mod selection;
 pub mod spearman;
@@ -62,4 +63,5 @@ pub mod tcopula;
 pub use engine::{EngineOptions, PipelineReport, StageTimings};
 pub use error::DpCopulaError;
 pub use model::FittedModel;
+pub use request::SynthesisRequest;
 pub use synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod, Synthesis};

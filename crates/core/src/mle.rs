@@ -200,12 +200,18 @@ pub fn dp_correlation_matrix_mle<R: Rng + ?Sized>(
 /// Bit-identical at any worker count: block results are keyed by block
 /// id, pair `k`'s noise comes from
 /// `stream_rng(base_seed, STREAM_MLE_NOISE, k)`.
+///
+/// Observability: the block fan-out is recorded under
+/// `parkit_*{stage="correlation"}` and the release-time noise draws
+/// under `noise_draws_total{stage="correlation"}`; pass
+/// [`obskit::MetricsSink::off`] to skip all recording.
 pub fn dp_mle_matrix_par(
     columns: &[Vec<u32>],
     eps2_total: Epsilon,
     strategy: PartitionStrategy,
     base_seed: u64,
     workers: usize,
+    sink: &obskit::MetricsSink,
 ) -> Result<Matrix, DpCopulaError> {
     let m = columns.len();
     if m == 0 {
@@ -240,26 +246,27 @@ pub fn dp_mle_matrix_par(
 
     // One pure task per block: its per-pair MLE vector.
     let block_ids: Vec<usize> = (0..l).collect();
-    let per_block: Vec<Vec<f64>> = parkit::par_map(workers, &block_ids, |_, &t| {
-        let lo = t * block;
-        let hi = lo + block; // the remainder tail (< block) is dropped
-        let scores: Vec<Vec<f64>> = columns
-            .iter()
-            .map(|col| {
-                pseudo_copula_column(&col[lo..hi])
-                    .iter()
-                    .map(|&u| norm_quantile(u))
-                    .collect()
-            })
-            .collect();
-        let mut v = Vec::with_capacity(pairs);
-        for i in 0..m {
-            for j in (i + 1)..m {
-                v.push(pairwise_mle(&scores[i], &scores[j]));
+    let per_block: Vec<Vec<f64>> =
+        parkit::par_map_observed(workers, &block_ids, sink, "correlation", |_, &t| {
+            let lo = t * block;
+            let hi = lo + block; // the remainder tail (< block) is dropped
+            let scores: Vec<Vec<f64>> = columns
+                .iter()
+                .map(|col| {
+                    pseudo_copula_column(&col[lo..hi])
+                        .iter()
+                        .map(|&u| norm_quantile(u))
+                        .collect()
+                })
+                .collect();
+            let mut v = Vec::with_capacity(pairs);
+            for i in 0..m {
+                for j in (i + 1)..m {
+                    v.push(pairwise_mle(&scores[i], &scores[j]));
+                }
             }
-        }
-        v
-    });
+            v
+        });
 
     // Fixed-order reduction: summing blocks 0..l keeps the f64 result
     // independent of which worker computed which block.
@@ -271,17 +278,20 @@ pub fn dp_mle_matrix_par(
     }
 
     let noise_scale = (pairs as f64) * COEFFICIENT_DIAMETER / ((l as f64) * eps2_total.value());
-    let mut p = Matrix::identity(m);
-    let mut k = 0;
-    for i in 0..m {
-        for j in (i + 1)..m {
-            let mut rng = parkit::stream_rng(base_seed, STREAM_MLE_NOISE, k as u64);
-            let noisy = sums[k] / l as f64 + laplace_noise(&mut rng, noise_scale);
-            p[(i, j)] = noisy;
-            p[(j, i)] = noisy;
-            k += 1;
+    let p = crate::engine::harvest_draws(sink, "correlation", || {
+        let mut p = Matrix::identity(m);
+        let mut k = 0;
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let mut rng = parkit::stream_rng(base_seed, STREAM_MLE_NOISE, k as u64);
+                let noisy = sums[k] / l as f64 + laplace_noise(&mut rng, noise_scale);
+                p[(i, j)] = noisy;
+                p[(j, i)] = noisy;
+                k += 1;
+            }
         }
-    }
+        p
+    });
     Ok(p)
 }
 
@@ -371,10 +381,25 @@ mod tests {
     fn par_mle_matrix_is_worker_count_invariant() {
         let cols = correlated_columns(0.6, 3, 6_000, 7);
         let eps = Epsilon::new(2.0).unwrap();
-        let base = dp_mle_matrix_par(&cols, eps, PartitionStrategy::Fixed(50), 31, 1).unwrap();
+        let base = dp_mle_matrix_par(
+            &cols,
+            eps,
+            PartitionStrategy::Fixed(50),
+            31,
+            1,
+            &obskit::MetricsSink::off(),
+        )
+        .unwrap();
         for workers in [2, 7] {
-            let p =
-                dp_mle_matrix_par(&cols, eps, PartitionStrategy::Fixed(50), 31, workers).unwrap();
+            let p = dp_mle_matrix_par(
+                &cols,
+                eps,
+                PartitionStrategy::Fixed(50),
+                31,
+                workers,
+                &obskit::MetricsSink::off(),
+            )
+            .unwrap();
             assert_eq!(p, base, "workers={workers}");
         }
         // The raw release still carries the signal.
@@ -385,12 +410,28 @@ mod tests {
     fn par_mle_matrix_rejects_degenerate_inputs() {
         let eps = Epsilon::new(1.0).unwrap();
         assert_eq!(
-            dp_mle_matrix_par(&[], eps, PartitionStrategy::Auto, 1, 1).unwrap_err(),
+            dp_mle_matrix_par(
+                &[],
+                eps,
+                PartitionStrategy::Auto,
+                1,
+                1,
+                &obskit::MetricsSink::off()
+            )
+            .unwrap_err(),
             DpCopulaError::EmptyInput
         );
         let tiny = vec![vec![1u32, 2, 3], vec![3u32, 2, 1]];
         assert!(matches!(
-            dp_mle_matrix_par(&tiny, eps, PartitionStrategy::Fixed(1), 1, 1).unwrap_err(),
+            dp_mle_matrix_par(
+                &tiny,
+                eps,
+                PartitionStrategy::Fixed(1),
+                1,
+                1,
+                &obskit::MetricsSink::off()
+            )
+            .unwrap_err(),
             DpCopulaError::InsufficientDataForMle { .. }
         ));
     }

@@ -39,6 +39,10 @@ use modelstore::{
     AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance,
     StoreError,
 };
+use obskit::names::{
+    MODELSTORE_CORRUPTION_REJECTS_TOTAL, SERVE_ROWS_TOTAL, SERVE_WINDOWS_TOTAL, STAGE_SERVE,
+};
+use obskit::{MetricsSink, Unit};
 use std::path::Path;
 
 /// The stream-key derivation scheme recorded in artifact provenance —
@@ -56,6 +60,7 @@ const CORRELATION_TOL: f64 = 1e-8;
 pub struct FittedModel {
     artifact: ModelArtifact,
     sampler: ServingSampler,
+    sink: MetricsSink,
 }
 
 /// The family-specific sampling back-end.
@@ -160,7 +165,11 @@ impl FittedModel {
         if artifact.provenance.sample_chunk == 0 {
             return Err(corrupt("provenance sample_chunk must be positive".into()));
         }
-        Ok(Self { artifact, sampler })
+        Ok(Self {
+            artifact,
+            sampler,
+            sink: MetricsSink::off(),
+        })
     }
 
     /// Loads and validates a `.dpcm` artifact from disk. Codec damage
@@ -169,6 +178,44 @@ impl FittedModel {
     /// [`DpCopulaError::CorruptModel`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, DpCopulaError> {
         Self::from_artifact(ModelArtifact::load(path)?)
+    }
+
+    /// [`FittedModel::load`] with serving observability: byte and
+    /// section-parse metrics from the decoder, `serve/load` /
+    /// `serve/validate` spans, and a corruption-reject counter that
+    /// covers semantic validation failures as well as codec damage. The
+    /// loaded model keeps `sink` for its serving-path metrics.
+    pub fn load_observed(
+        path: impl AsRef<Path>,
+        sink: &MetricsSink,
+    ) -> Result<Self, DpCopulaError> {
+        let span = sink.span("serve/load");
+        let bytes = std::fs::read(path).map_err(StoreError::from);
+        drop(span);
+        let artifact = modelstore::decode_observed(&bytes?, sink)?;
+        let span = sink.span("serve/validate");
+        let model = Self::from_artifact(artifact);
+        drop(span);
+        match model {
+            Ok(mut m) => {
+                m.sink = sink.clone();
+                Ok(m)
+            }
+            Err(e) => {
+                // Codec damage is already counted inside the decoder;
+                // this counts models that decoded cleanly but failed
+                // semantic validation.
+                sink.add(MODELSTORE_CORRUPTION_REJECTS_TOTAL, Unit::Count, 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Routes this model's serving metrics (window spans, rows served,
+    /// per-chunk latency) to `sink`. Freshly validated models start with
+    /// a disabled sink.
+    pub fn set_metrics_sink(&mut self, sink: MetricsSink) {
+        self.sink = sink;
     }
 
     /// Persists the model as a `.dpcm` artifact.
@@ -214,36 +261,43 @@ impl FittedModel {
     /// one-machine output. `sample_range(0, n)` also reproduces
     /// `synthesize_staged`'s sampled rows for the same seed and chunk.
     pub fn sample_range(&self, offset: usize, n: usize, workers: usize) -> Vec<Vec<u32>> {
+        let sink = &self.sink;
+        let span = sink.span("serve/window");
+        sink.add(SERVE_WINDOWS_TOTAL, Unit::Count, 1);
+        sink.add(SERVE_ROWS_TOTAL, Unit::Count, n as u64);
         let prov = &self.artifact.provenance;
         let chunk = prov.sample_chunk as usize;
-        match &self.sampler {
-            ServingSampler::Gaussian(s) => s.sample_columns_window(
+        let out = match &self.sampler {
+            ServingSampler::Gaussian(s) => s.sample_columns_window_observed(
                 offset,
                 n,
                 prov.base_seed,
                 prov.sampler_stream,
                 workers,
                 chunk,
+                sink,
+                STAGE_SERVE,
             ),
             ServingSampler::StudentT(s) => {
                 let d = self.dims();
                 let windows = parkit::chunk_windows(offset, n, chunk);
-                let pieces: Vec<Vec<Vec<u32>>> = parkit::par_map(workers, &windows, |_, w| {
-                    let mut rng =
-                        parkit::stream_rng(prov.base_seed, prov.sampler_stream, w.id as u64);
-                    let mut cols = vec![Vec::with_capacity(w.take); d];
-                    let mut buf = vec![0u32; d];
-                    for _ in 0..w.skip {
-                        s.sample_record(&mut rng, &mut buf);
-                    }
-                    for _ in 0..w.take {
-                        s.sample_record(&mut rng, &mut buf);
-                        for (col, &v) in cols.iter_mut().zip(&buf) {
-                            col.push(v);
+                let pieces: Vec<Vec<Vec<u32>>> =
+                    parkit::par_map_observed(workers, &windows, sink, STAGE_SERVE, |_, w| {
+                        let mut rng =
+                            parkit::stream_rng(prov.base_seed, prov.sampler_stream, w.id as u64);
+                        let mut cols = vec![Vec::with_capacity(w.take); d];
+                        let mut buf = vec![0u32; d];
+                        for _ in 0..w.skip {
+                            s.sample_record(&mut rng, &mut buf);
                         }
-                    }
-                    cols
-                });
+                        for _ in 0..w.take {
+                            s.sample_record(&mut rng, &mut buf);
+                            for (col, &v) in cols.iter_mut().zip(&buf) {
+                                col.push(v);
+                            }
+                        }
+                        cols
+                    });
                 let mut out = vec![Vec::with_capacity(n); d];
                 for piece in pieces {
                     for (col, mut part) in out.iter_mut().zip(piece) {
@@ -252,7 +306,9 @@ impl FittedModel {
                 }
                 out
             }
-        }
+        };
+        drop(span);
+        out
     }
 
     /// Checked variant of [`sample_range`](Self::sample_range) for
@@ -296,8 +352,25 @@ impl DpCopula {
         base_seed: u64,
         opts: &EngineOptions,
     ) -> Result<(FittedModel, PipelineReport), DpCopulaError> {
+        self.fit_staged_with(columns, domains, base_seed, opts, &MetricsSink::off())
+    }
+
+    /// [`DpCopula::fit_staged`] with a metrics sink: the four fit stages
+    /// run under `pipeline/<stage>` spans and the fitted model keeps
+    /// `sink` for its serving-path metrics. With a disabled sink this is
+    /// exactly `fit_staged`.
+    pub(crate) fn fit_staged_with(
+        &self,
+        columns: &[Vec<u32>],
+        domains: &[usize],
+        base_seed: u64,
+        opts: &EngineOptions,
+        sink: &MetricsSink,
+    ) -> Result<(FittedModel, PipelineReport), DpCopulaError> {
         let workers = opts.workers.max(1);
-        let (parts, timings) = self.fit_parts(columns, domains, base_seed, opts)?;
+        let pipeline = sink.span("pipeline");
+        let (parts, timings) = self.fit_parts(columns, domains, base_seed, opts, sink)?;
+        drop(pipeline);
         let cfg = self.config();
         let mut entries = vec![BudgetEntry {
             label: "margins".into(),
@@ -330,7 +403,8 @@ impl DpCopula {
                 scheme: STREAM_SCHEME.into(),
             },
         };
-        let model = FittedModel::from_artifact(artifact)?;
+        let mut model = FittedModel::from_artifact(artifact)?;
+        model.sink = sink.clone();
         Ok((
             model,
             PipelineReport {

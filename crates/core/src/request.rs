@@ -1,0 +1,322 @@
+//! [`SynthesisRequest`] — the single front door to the DPCopula
+//! pipeline.
+//!
+//! The workspace grew four entry points (`DpCopula::synthesize`,
+//! `synthesize_staged`, `fit_staged`, `selection::synthesize_adaptive`),
+//! each with its own parameter list, and adding the metrics sink to all
+//! of them would have doubled that surface again. A `SynthesisRequest`
+//! gathers everything one run needs — data and schema, the ε budget and
+//! its `k` split, the correlation estimator, the margin method, worker
+//! count, base seed, and the metrics sink — behind one builder, and
+//! finishes with:
+//!
+//! * [`SynthesisRequest::run`] — the full five-stage pipeline, returning
+//!   the usual `(Synthesis, PipelineReport)`;
+//! * [`SynthesisRequest::fit`] — stages 1–4 only, returning a durable
+//!   `(FittedModel, PipelineReport)` for fit-once/sample-many serving;
+//! * [`SynthesisRequest::run_adaptive`] — DP copula-family selection
+//!   (§3.2's AIC remark) followed by the pipeline with the winner.
+//!
+//! The legacy entry points delegate here (or share the same internal
+//! path), so for equal inputs the request API releases **byte-identical**
+//! output — switching call styles never changes a published synthesis.
+//! See `DESIGN.md` §10 for the migration path and deprecation policy.
+
+use crate::engine::{EngineOptions, PipelineReport};
+use crate::error::DpCopulaError;
+use crate::model::FittedModel;
+use crate::selection::{synthesize_adaptive, AdaptiveConfig, AdaptiveSynthesis};
+use crate::synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod, Synthesis};
+use dpmech::Epsilon;
+use obskit::MetricsSink;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
+
+/// A fully-described synthesis run: data, schema, privacy budget,
+/// estimator choices, execution knobs, seed, and metrics sink.
+///
+/// Borrows the input columns and domains (the pipeline never mutates
+/// them); everything else is owned. The builder methods are
+/// by-value-chainable and each has a sensible default, so the minimal
+/// request is just data + schema + ε.
+#[derive(Debug, Clone)]
+pub struct SynthesisRequest<'d> {
+    columns: &'d [Vec<u32>],
+    domains: &'d [usize],
+    config: DpCopulaConfig,
+    opts: EngineOptions,
+    base_seed: u64,
+    sink: MetricsSink,
+}
+
+impl<'d> SynthesisRequest<'d> {
+    /// A request with the paper's default configuration
+    /// ([`DpCopulaConfig::kendall`]: EFPA margins, Kendall estimator,
+    /// `k = 8`), default engine options, base seed 0, and metrics off.
+    pub fn new(columns: &'d [Vec<u32>], domains: &'d [usize], epsilon: Epsilon) -> Self {
+        Self::from_config(columns, domains, DpCopulaConfig::kendall(epsilon))
+    }
+
+    /// A request around an existing [`DpCopulaConfig`].
+    pub fn from_config(
+        columns: &'d [Vec<u32>],
+        domains: &'d [usize],
+        config: DpCopulaConfig,
+    ) -> Self {
+        Self {
+            columns,
+            domains,
+            config,
+            opts: EngineOptions::default(),
+            base_seed: 0,
+            sink: MetricsSink::off(),
+        }
+    }
+
+    /// Overrides the budget ratio `k = eps1 / eps2` between margins and
+    /// correlations.
+    pub fn k_ratio(mut self, k: f64) -> Self {
+        self.config = self.config.with_k_ratio(k);
+        self
+    }
+
+    /// Overrides the correlation estimator.
+    pub fn estimator(mut self, method: CorrelationMethod) -> Self {
+        self.config.method = method;
+        self
+    }
+
+    /// Overrides the margin publication method.
+    pub fn margin(mut self, margin: MarginMethod) -> Self {
+        self.config.margin = margin;
+        self
+    }
+
+    /// Overrides the output cardinality (default: input cardinality).
+    pub fn output_records(mut self, n: usize) -> Self {
+        self.config.output_records = Some(n);
+        self
+    }
+
+    /// Overrides the worker count for the fan-out stages. By the
+    /// determinism contract this can never change the released bytes.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.opts.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the sampling chunk size. Part of the released value's
+    /// identity (chunk boundaries key the sampling streams).
+    pub fn sample_chunk(mut self, chunk: usize) -> Self {
+        self.opts.sample_chunk = chunk;
+        self
+    }
+
+    /// Replaces both engine knobs at once.
+    pub fn engine(mut self, opts: EngineOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the base seed every stream generator derives from. For a
+    /// fixed `(data, config, seed, sample_chunk)` the release is
+    /// bit-identical at any worker count.
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Routes the run's metrics (stage spans, per-task latency, budget
+    /// ledger, noise-draw counters) to `sink`. Defaults to a disabled
+    /// sink, which costs one branch per would-be record.
+    pub fn metrics(mut self, sink: MetricsSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The effective pipeline configuration.
+    pub fn config(&self) -> &DpCopulaConfig {
+        &self.config
+    }
+
+    /// The effective engine options.
+    pub fn engine_options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Runs the full five-stage pipeline. Equivalent to
+    /// [`DpCopula::synthesize_staged`] with this request's parameters —
+    /// same bytes, plus whatever the metrics sink records.
+    pub fn run(&self) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
+        DpCopula::new(self.config).synthesize_staged_with(
+            self.columns,
+            self.domains,
+            self.base_seed,
+            &self.opts,
+            &self.sink,
+        )
+    }
+
+    /// Runs stages 1–4 and packages the releases as a durable
+    /// [`FittedModel`] (equivalent to [`DpCopula::fit_staged`]). The
+    /// model keeps this request's sink for its serving-path metrics.
+    pub fn fit(&self) -> Result<(FittedModel, PipelineReport), DpCopulaError> {
+        DpCopula::new(self.config).fit_staged_with(
+            self.columns,
+            self.domains,
+            self.base_seed,
+            &self.opts,
+            &self.sink,
+        )
+    }
+
+    /// Runs DP copula-family selection and then the pipeline with the
+    /// winning family, using [`AdaptiveConfig::new`]'s candidate set
+    /// around this request's configuration. The selection path is
+    /// inherently sequential, so it derives its generator from this
+    /// request's seed; equal seeds reproduce equal releases.
+    pub fn run_adaptive(&self) -> Result<AdaptiveSynthesis, DpCopulaError> {
+        self.run_adaptive_with(&AdaptiveConfig::new(self.config))
+    }
+
+    /// [`SynthesisRequest::run_adaptive`] with explicit candidates,
+    /// selection fraction, and partition count. `config.base` is
+    /// ignored in favour of this request's configuration.
+    pub fn run_adaptive_with(
+        &self,
+        config: &AdaptiveConfig,
+    ) -> Result<AdaptiveSynthesis, DpCopulaError> {
+        let config = AdaptiveConfig {
+            base: self.config,
+            candidates: config.candidates.clone(),
+            selection_fraction: config.selection_fraction,
+            partitions: config.partitions,
+        };
+        let mut rng = StdRng::seed_from_u64(self.base_seed);
+        synthesize_adaptive(&config, self.columns, self.domains, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obskit::names::{PIPELINE_ROWS_OUT_TOTAL, PIPELINE_RUNS_TOTAL};
+    use obskit::{MetricValue, MetricsRegistry};
+    use std::sync::Arc;
+
+    fn test_columns(m: usize, n: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {
+        use rngkit::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+        (0..m)
+            .map(|j| {
+                base.iter()
+                    .map(|&v| (v + rng.gen_range(0..domain / 4) + j as u32) % domain)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_is_byte_identical_to_synthesize_staged() {
+        let cols = test_columns(3, 2_000, 32, 1);
+        let domains = vec![32usize; 3];
+        let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+        let opts = EngineOptions::with_workers(2);
+        let (legacy, legacy_report) = DpCopula::new(config)
+            .synthesize_staged(&cols, &domains, 42, &opts)
+            .unwrap();
+        let (req, req_report) = SynthesisRequest::from_config(&cols, &domains, config)
+            .workers(2)
+            .seed(42)
+            .run()
+            .unwrap();
+        assert_eq!(req.columns, legacy.columns);
+        assert_eq!(req.correlation, legacy.correlation);
+        assert_eq!(req.noisy_margins, legacy.noisy_margins);
+        assert_eq!(req_report.base_seed, legacy_report.base_seed);
+        assert_eq!(req_report.workers, legacy_report.workers);
+    }
+
+    #[test]
+    fn fit_is_byte_identical_to_fit_staged() {
+        let cols = test_columns(3, 2_000, 32, 2);
+        let domains = vec![32usize; 3];
+        let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+        let (legacy, _) = DpCopula::new(config)
+            .fit_staged(&cols, &domains, 7, &EngineOptions::with_workers(2))
+            .unwrap();
+        let (req, _) = SynthesisRequest::from_config(&cols, &domains, config)
+            .workers(2)
+            .seed(7)
+            .fit()
+            .unwrap();
+        assert_eq!(req.artifact(), legacy.artifact());
+        assert_eq!(req.sample_range(0, 500, 3), legacy.sample_range(0, 500, 1));
+    }
+
+    #[test]
+    fn run_adaptive_is_reproducible_per_seed() {
+        let cols = test_columns(2, 4_000, 64, 3);
+        let domains = vec![64usize; 2];
+        let request = SynthesisRequest::new(&cols, &domains, Epsilon::new(5.0).unwrap()).seed(9);
+        let a = request.run_adaptive().unwrap();
+        let b = request.run_adaptive().unwrap();
+        assert_eq!(a.synthesis.columns, b.synthesis.columns);
+        assert_eq!(a.family, b.family);
+        // And it matches the legacy free function fed the same generator.
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = AdaptiveConfig::new(*request.config());
+        let legacy = synthesize_adaptive(&config, &cols, &domains, &mut rng).unwrap();
+        assert_eq!(a.synthesis.columns, legacy.synthesis.columns);
+        assert_eq!(a.family, legacy.family);
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_config() {
+        let cols = test_columns(2, 100, 16, 4);
+        let domains = vec![16usize; 2];
+        let request = SynthesisRequest::new(&cols, &domains, Epsilon::new(1.0).unwrap())
+            .k_ratio(4.0)
+            .margin(MarginMethod::Identity)
+            .output_records(50)
+            .workers(3)
+            .sample_chunk(1024)
+            .seed(11);
+        assert_eq!(request.config().k_ratio, 4.0);
+        assert_eq!(request.config().margin, MarginMethod::Identity);
+        assert_eq!(request.config().output_records, Some(50));
+        assert_eq!(request.engine_options().workers, 3);
+        assert_eq!(request.engine_options().sample_chunk, 1024);
+        let (out, report) = request.run().unwrap();
+        assert_eq!(out.columns[0].len(), 50);
+        assert_eq!(report.workers, 3);
+    }
+
+    #[test]
+    fn metrics_sink_observes_the_run() {
+        let cols = test_columns(2, 1_000, 32, 5);
+        let domains = vec![32usize; 2];
+        let registry = Arc::new(MetricsRegistry::new());
+        let (_, _) = SynthesisRequest::new(&cols, &domains, Epsilon::new(1.0).unwrap())
+            .metrics(MetricsSink::to_registry(registry.clone()))
+            .seed(13)
+            .run()
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get(PIPELINE_RUNS_TOTAL).unwrap().value,
+            MetricValue::Counter(1)
+        );
+        assert_eq!(
+            snap.get(PIPELINE_ROWS_OUT_TOTAL).unwrap().value,
+            MetricValue::Counter(1_000)
+        );
+        // Every pipeline stage span was recorded.
+        for stage in obskit::names::STAGES {
+            let id = obskit::series_id(obskit::SPAN_NS, &[("span", &format!("pipeline/{stage}"))]);
+            let hist = snap.get(&id).unwrap().value.as_hist().unwrap().clone();
+            assert_eq!(hist.count, 1, "{stage}");
+        }
+    }
+}

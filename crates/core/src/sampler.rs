@@ -105,6 +105,30 @@ impl CopulaSampler {
         )
     }
 
+    /// [`CopulaSampler::sample_columns_chunked`] with per-chunk task
+    /// metrics published to `sink` under the given `stage` label. Same
+    /// bytes as the unobserved call for any sink.
+    pub fn sample_columns_chunked_observed(
+        &self,
+        n: usize,
+        base_seed: u64,
+        workers: usize,
+        chunk: usize,
+        sink: &obskit::MetricsSink,
+        stage: &str,
+    ) -> Vec<Vec<u32>> {
+        self.sample_columns_window_observed(
+            0,
+            n,
+            base_seed,
+            crate::engine::STREAM_SAMPLER,
+            workers,
+            chunk,
+            sink,
+            stage,
+        )
+    }
+
     /// Draws the absolute row window `[offset, offset + n)` of the
     /// infinite synthetic row space keyed by `(base_seed, stream)`,
     /// fanned out across `workers` threads.
@@ -127,23 +151,52 @@ impl CopulaSampler {
         workers: usize,
         chunk: usize,
     ) -> Vec<Vec<u32>> {
+        self.sample_columns_window_observed(
+            offset,
+            n,
+            base_seed,
+            stream,
+            workers,
+            chunk,
+            &obskit::MetricsSink::off(),
+            "sampling",
+        )
+    }
+
+    /// [`CopulaSampler::sample_columns_window`] with per-chunk task
+    /// metrics (`parkit_*{stage=..}` series) published to `sink`. The
+    /// sampled bytes are identical for any sink — observation is pure
+    /// post-processing on the side.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_columns_window_observed(
+        &self,
+        offset: usize,
+        n: usize,
+        base_seed: u64,
+        stream: u64,
+        workers: usize,
+        chunk: usize,
+        sink: &obskit::MetricsSink,
+        stage: &str,
+    ) -> Vec<Vec<u32>> {
         let d = self.dims();
         let windows = parkit::chunk_windows(offset, n, chunk);
-        let pieces: Vec<Vec<Vec<u32>>> = parkit::par_map(workers, &windows, |_, w| {
-            let mut rng = parkit::stream_rng(base_seed, stream, w.id as u64);
-            let mut cols = vec![Vec::with_capacity(w.take); d];
-            let mut buf = vec![0u32; d];
-            for _ in 0..w.skip {
-                self.sample_record(&mut rng, &mut buf);
-            }
-            for _ in 0..w.take {
-                self.sample_record(&mut rng, &mut buf);
-                for (col, &v) in cols.iter_mut().zip(&buf) {
-                    col.push(v);
+        let pieces: Vec<Vec<Vec<u32>>> =
+            parkit::par_map_observed(workers, &windows, sink, stage, |_, w| {
+                let mut rng = parkit::stream_rng(base_seed, stream, w.id as u64);
+                let mut cols = vec![Vec::with_capacity(w.take); d];
+                let mut buf = vec![0u32; d];
+                for _ in 0..w.skip {
+                    self.sample_record(&mut rng, &mut buf);
                 }
-            }
-            cols
-        });
+                for _ in 0..w.take {
+                    self.sample_record(&mut rng, &mut buf);
+                    for (col, &v) in cols.iter_mut().zip(&buf) {
+                        col.push(v);
+                    }
+                }
+                cols
+            });
         let mut out = vec![Vec::with_capacity(n); d];
         for piece in pieces {
             for (col, mut part) in out.iter_mut().zip(piece) {

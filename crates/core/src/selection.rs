@@ -293,6 +293,12 @@ pub struct AdaptiveSynthesis {
 /// Runs family selection and then the full DPCopula pipeline with the
 /// winning family. Budget: `selection_fraction * eps` on selection, the
 /// rest split between margins and correlations as usual.
+///
+/// *Soft-deprecated:* prefer
+/// [`crate::request::SynthesisRequest::run_adaptive`], which derives the
+/// generator from the request's seed and shares the front-door builder;
+/// for a generator seeded identically it releases byte-identical output
+/// (`DESIGN.md` §10).
 pub fn synthesize_adaptive<R: Rng + ?Sized>(
     config: &AdaptiveConfig,
     columns: &[Vec<u32>],

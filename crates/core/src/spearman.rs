@@ -104,11 +104,17 @@ pub fn dp_correlation_matrix_spearman<R: Rng + ?Sized>(
 ///
 /// Bit-identical at any worker count: pair `k`'s noise comes from
 /// `stream_rng(base_seed, STREAM_SPEARMAN_NOISE, k)`.
+///
+/// Observability: fan-outs are recorded under
+/// `parkit_*{stage="correlation"}` and per-pair noise draws under
+/// `noise_draws_total{stage="correlation"}`; pass
+/// [`obskit::MetricsSink::off`] to skip all recording.
 pub fn dp_spearman_matrix_par(
     columns: &[Vec<u32>],
     eps2_total: Epsilon,
     base_seed: u64,
     workers: usize,
+    sink: &obskit::MetricsSink,
 ) -> Result<Matrix, DpCopulaError> {
     let m = columns.len();
     if m == 0 {
@@ -128,19 +134,22 @@ pub fn dp_spearman_matrix_par(
     let eps_pair = eps2_total.divide(pairs);
 
     // Rank each column once — `spearman_rho` would redo this per pair.
-    let rank_cols: Vec<Vec<f64>> = parkit::par_map(workers, columns, |_, col| {
-        let f: Vec<f64> = col.iter().map(|&v| f64::from(v)).collect();
-        ranks(&f)
-    });
+    let rank_cols: Vec<Vec<f64>> =
+        parkit::par_map_observed(workers, columns, sink, "correlation", |_, col| {
+            let f: Vec<f64> = col.iter().map(|&v| f64::from(v)).collect();
+            ranks(&f)
+        });
 
     let pair_ids: Vec<(usize, usize)> = (0..m)
         .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
         .collect();
-    let coeffs = parkit::par_map(workers, &pair_ids, |k, &(i, j)| {
-        let rho_s = mathkit::stats::pearson(&rank_cols[i], &rank_cols[j]);
-        let mut rng = parkit::stream_rng(base_seed, STREAM_SPEARMAN_NOISE, k as u64);
-        let noisy = rho_s + laplace_noise(&mut rng, spearman_sensitivity(n) / eps_pair.value());
-        2.0 * (std::f64::consts::PI / 6.0 * noisy.clamp(-1.0, 1.0)).sin()
+    let coeffs = parkit::par_map_observed(workers, &pair_ids, sink, "correlation", |k, &(i, j)| {
+        crate::engine::harvest_draws(sink, "correlation", || {
+            let rho_s = mathkit::stats::pearson(&rank_cols[i], &rank_cols[j]);
+            let mut rng = parkit::stream_rng(base_seed, STREAM_SPEARMAN_NOISE, k as u64);
+            let noisy = rho_s + laplace_noise(&mut rng, spearman_sensitivity(n) / eps_pair.value());
+            2.0 * (std::f64::consts::PI / 6.0 * noisy.clamp(-1.0, 1.0)).sin()
+        })
     });
 
     let mut p = Matrix::identity(m);
@@ -262,9 +271,10 @@ mod tests {
             })
             .collect();
         let eps = Epsilon::new(1.0).unwrap();
-        let one = dp_spearman_matrix_par(&cols, eps, 23, 1).unwrap();
+        let one = dp_spearman_matrix_par(&cols, eps, 23, 1, &obskit::MetricsSink::off()).unwrap();
         for workers in [2, 7] {
-            let p = dp_spearman_matrix_par(&cols, eps, 23, workers).unwrap();
+            let p = dp_spearman_matrix_par(&cols, eps, 23, workers, &obskit::MetricsSink::off())
+                .unwrap();
             assert_eq!(p, one, "workers={workers}");
         }
         assert!(one[(0, 1)] > 0.2, "p01 {}", one[(0, 1)]);
@@ -274,15 +284,23 @@ mod tests {
     fn par_spearman_matrix_rejects_degenerate_inputs() {
         let eps = Epsilon::new(1.0).unwrap();
         assert_eq!(
-            dp_spearman_matrix_par(&[], eps, 1, 1).unwrap_err(),
+            dp_spearman_matrix_par(&[], eps, 1, 1, &obskit::MetricsSink::off()).unwrap_err(),
             DpCopulaError::EmptyInput
         );
         assert!(matches!(
-            dp_spearman_matrix_par(&[vec![1u32], vec![2u32]], eps, 1, 1).unwrap_err(),
+            dp_spearman_matrix_par(
+                &[vec![1u32], vec![2u32]],
+                eps,
+                1,
+                1,
+                &obskit::MetricsSink::off()
+            )
+            .unwrap_err(),
             DpCopulaError::TooFewRecords { .. }
         ));
         assert_eq!(
-            dp_spearman_matrix_par(&[vec![1u32, 2]], eps, 1, 1).unwrap(),
+            dp_spearman_matrix_par(&[vec![1u32, 2]], eps, 1, 1, &obskit::MetricsSink::off())
+                .unwrap(),
             Matrix::identity(1)
         );
     }

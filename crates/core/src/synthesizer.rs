@@ -186,11 +186,17 @@ impl DpCopula {
     /// Runs the full pipeline on a columnar dataset (`columns[j]` is
     /// attribute `j` on the integer domain `0..domains[j]`).
     ///
-    /// Draws one base seed from `rng` and delegates to
-    /// [`DpCopula::synthesize_staged`] with default engine options, so
-    /// the serial API and the staged parallel engine release identical
+    /// Draws one base seed from `rng` and delegates to a
+    /// [`crate::request::SynthesisRequest`] with default engine options,
+    /// so the serial API and the staged parallel engine release identical
     /// kinds of output (and the same seed always reproduces the same
     /// synthesis regardless of the machine's core count).
+    ///
+    /// *Soft-deprecated:* prefer building a
+    /// [`crate::request::SynthesisRequest`] — the single front door that
+    /// also carries engine options and a metrics sink. This wrapper is
+    /// kept for source compatibility and releases byte-identical output
+    /// (`DESIGN.md` §10 has the migration table).
     pub fn synthesize<R: Rng + ?Sized>(
         &self,
         columns: &[Vec<u32>],
@@ -199,7 +205,10 @@ impl DpCopula {
     ) -> Result<Synthesis, DpCopulaError> {
         let base_seed = rng.next_u64();
         let (synthesis, _report) =
-            self.synthesize_staged(columns, domains, base_seed, &EngineOptions::default())?;
+            crate::request::SynthesisRequest::from_config(columns, domains, self.config)
+                .engine(EngineOptions::default())
+                .seed(base_seed)
+                .run()?;
         Ok(synthesis)
     }
 }

@@ -13,10 +13,16 @@ use dpcopula::mle::{dp_mle_matrix_par, PartitionStrategy};
 use dpcopula::spearman::dp_spearman_matrix_par;
 use dpcopula::synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod};
 use dpmech::Epsilon;
+use obskit::MetricsSink;
 use rngkit::rngs::StdRng;
 use rngkit::{Rng, SeedableRng};
 
 const WORKER_COUNTS: [usize; 2] = [2, 7];
+
+/// A disabled sink: the estimator fns take one, equivalence doesn't record.
+fn off() -> MetricsSink {
+    MetricsSink::off()
+}
 
 /// Dependent integer columns with mixed domain sizes.
 fn dataset(m: usize, n: usize, seed: u64) -> (Vec<Vec<u32>>, Vec<usize>) {
@@ -83,9 +89,9 @@ fn kendall_matrix_is_bitwise_equal_across_worker_counts() {
         SamplingStrategy::Auto,
         SamplingStrategy::Fixed(700),
     ] {
-        let serial = dp_tau_matrix_par(&columns, eps, strategy, 202, 1).unwrap();
+        let serial = dp_tau_matrix_par(&columns, eps, strategy, 202, 1, &off()).unwrap();
         for workers in WORKER_COUNTS {
-            let par = dp_tau_matrix_par(&columns, eps, strategy, 202, workers).unwrap();
+            let par = dp_tau_matrix_par(&columns, eps, strategy, 202, workers, &off()).unwrap();
             assert_eq!(par, serial, "strategy={strategy:?} workers={workers}");
         }
     }
@@ -95,10 +101,18 @@ fn kendall_matrix_is_bitwise_equal_across_worker_counts() {
 fn mle_matrix_is_bitwise_equal_across_worker_counts() {
     let (columns, _) = dataset(4, 6_000, 3);
     let eps = Epsilon::new(2.0).unwrap();
-    let serial = dp_mle_matrix_par(&columns, eps, PartitionStrategy::Fixed(120), 303, 1).unwrap();
+    let serial =
+        dp_mle_matrix_par(&columns, eps, PartitionStrategy::Fixed(120), 303, 1, &off()).unwrap();
     for workers in WORKER_COUNTS {
-        let par =
-            dp_mle_matrix_par(&columns, eps, PartitionStrategy::Fixed(120), 303, workers).unwrap();
+        let par = dp_mle_matrix_par(
+            &columns,
+            eps,
+            PartitionStrategy::Fixed(120),
+            303,
+            workers,
+            &off(),
+        )
+        .unwrap();
         assert_eq!(par, serial, "workers={workers}");
     }
 }
@@ -107,9 +121,9 @@ fn mle_matrix_is_bitwise_equal_across_worker_counts() {
 fn spearman_matrix_is_bitwise_equal_across_worker_counts() {
     let (columns, _) = dataset(5, 3_000, 4);
     let eps = Epsilon::new(1.0).unwrap();
-    let serial = dp_spearman_matrix_par(&columns, eps, 404, 1).unwrap();
+    let serial = dp_spearman_matrix_par(&columns, eps, 404, 1, &off()).unwrap();
     for workers in WORKER_COUNTS {
-        let par = dp_spearman_matrix_par(&columns, eps, 404, workers).unwrap();
+        let par = dp_spearman_matrix_par(&columns, eps, 404, workers, &off()).unwrap();
         assert_eq!(par, serial, "workers={workers}");
     }
 }

@@ -38,7 +38,11 @@ use rngkit::RngCore;
 pub type MarginCtor = fn() -> Box<dyn Publish1d>;
 
 /// Errors from registry mutation.
+///
+/// Non-exhaustive: registry growth (aliases, capability checks) may add
+/// variants, so downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RegistryError {
     /// A method is already registered under this name. Silently replacing
     /// it would let two subsystems fight over a name and whichever

@@ -70,6 +70,7 @@ impl std::fmt::Display for Epsilon {
 
 /// Errors from budget validation or accounting.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum BudgetError {
     /// The epsilon value was non-finite or non-positive.
     InvalidEpsilon(f64),
@@ -156,6 +157,42 @@ impl BudgetAccountant {
         let _ = count; // parallel composition: cost independent of count
         self.spend(eps)
     }
+
+    /// [`BudgetAccountant::spend`] that also publishes the debit to the
+    /// observability sink: one `budget_spends_total{stage}` event and
+    /// the amount in `budget_eps_spent_neps{stage}`, quantised to
+    /// integer nano-ε (`round(ε · 1e9)`) so parallel pipelines
+    /// accumulate the ledger with order-independent integer adds.
+    /// Nothing is published when the spend fails.
+    pub fn spend_tracked(
+        &mut self,
+        eps: Epsilon,
+        stage: &str,
+        sink: &obskit::MetricsSink,
+    ) -> Result<(), BudgetError> {
+        self.spend(eps)?;
+        if sink.enabled() {
+            let labels = [("stage", stage)];
+            sink.add_labeled(
+                obskit::names::BUDGET_SPENDS_TOTAL,
+                &labels,
+                obskit::Unit::Count,
+                1,
+            );
+            sink.add_labeled(
+                obskit::names::BUDGET_EPS_SPENT_NEPS,
+                &labels,
+                obskit::Unit::NanoEps,
+                nano_eps(eps),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Quantises a budget to integer nano-ε for metric accumulation.
+pub fn nano_eps(eps: Epsilon) -> u64 {
+    (eps.value() * 1e9).round() as u64
 }
 
 #[cfg(test)]
@@ -228,5 +265,42 @@ mod tests {
         acc.spend_parallel(Epsilon::new(0.9).unwrap(), 1000)
             .unwrap();
         assert!((acc.spent() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spend_tracked_publishes_ledger_series() {
+        use std::sync::Arc;
+        let registry = Arc::new(obskit::MetricsRegistry::new());
+        let sink = obskit::MetricsSink::to_registry(registry.clone());
+        let mut acc = BudgetAccountant::new(Epsilon::new(1.0).unwrap());
+        acc.spend_tracked(Epsilon::new(0.25).unwrap(), "margins", &sink)
+            .unwrap();
+        acc.spend_tracked(Epsilon::new(0.25).unwrap(), "margins", &sink)
+            .unwrap();
+        acc.spend_tracked(Epsilon::new(0.5).unwrap(), "correlation", &sink)
+            .unwrap();
+        // A failing spend publishes nothing.
+        assert!(acc
+            .spend_tracked(Epsilon::new(0.5).unwrap(), "correlation", &sink)
+            .is_err());
+        let snap = registry.snapshot();
+        let get = |id: &str| snap.get(id).and_then(|e| e.value.as_u64());
+        assert_eq!(get(r#"budget_spends_total{stage="margins"}"#), Some(2));
+        assert_eq!(
+            get(r#"budget_eps_spent_neps{stage="margins"}"#),
+            Some(500_000_000)
+        );
+        assert_eq!(get(r#"budget_spends_total{stage="correlation"}"#), Some(1));
+        assert_eq!(
+            get(r#"budget_eps_spent_neps{stage="correlation"}"#),
+            Some(500_000_000)
+        );
+    }
+
+    #[test]
+    fn nano_eps_quantisation() {
+        assert_eq!(nano_eps(Epsilon::new(1.0).unwrap()), 1_000_000_000);
+        assert_eq!(nano_eps(Epsilon::new(0.1).unwrap()), 100_000_000);
+        assert_eq!(nano_eps(Epsilon::new(1e-9).unwrap()), 1);
     }
 }

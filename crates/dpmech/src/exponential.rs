@@ -35,6 +35,7 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
         scores.iter().all(|s| s.is_finite()),
         "scores must be finite"
     );
+    crate::draws::note_exponential();
     let factor = epsilon.value() / (2.0 * utility_sensitivity);
     let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     // Unnormalised weights, stabilised by the max score.

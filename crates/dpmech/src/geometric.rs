@@ -39,6 +39,7 @@ impl GeometricMechanism {
 
     /// Draws one two-sided geometric noise value.
     pub fn noise<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        crate::draws::note_geometric();
         // Difference of two one-sided geometrics is two-sided geometric.
         let g1 = one_sided_geometric(rng, self.alpha);
         let g2 = one_sided_geometric(rng, self.alpha);

@@ -60,6 +60,7 @@ impl Laplace {
 
     /// Draws one sample by inverse transform.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        crate::draws::note_laplace();
         // u in (-0.5, 0.5]; avoid u = -0.5 exactly.
         let u: f64 = rng.gen::<f64>() - 0.5;
         let u = if u == -0.5 { -0.5 + f64::EPSILON } else { u };

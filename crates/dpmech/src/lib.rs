@@ -13,7 +13,9 @@
 //!   by the EFPA coefficient selection and the private splits of PSD and
 //!   P-HP;
 //! * [`geometric`] — the two-sided geometric ("discrete Laplace")
-//!   mechanism, an integer-valued alternative for count queries.
+//!   mechanism, an integer-valued alternative for count queries;
+//! * [`draws`] — per-thread tallies of primitive noise draws, harvested
+//!   by the observability layer into `noise_draws_total{stage,mech}`.
 //!
 //! All mechanisms are generic over `rngkit::Rng` so experiments can be made
 //! deterministic with a seeded generator.
@@ -21,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod draws;
 pub mod exponential;
 pub mod geometric;
 pub mod laplace;
 
-pub use budget::{BudgetAccountant, BudgetError, Epsilon};
+pub use budget::{nano_eps, BudgetAccountant, BudgetError, Epsilon};
+pub use draws::DrawCounts;
 pub use exponential::exponential_mechanism;
 pub use geometric::GeometricMechanism;
 pub use laplace::{laplace_noise, Laplace, LaplaceMechanism};

@@ -62,7 +62,11 @@ const SECTION_NAMES: [&str; 6] = [
 /// Everything that can go wrong while decoding a `.dpcm` artifact. Where
 /// a failure is localised, the error names the section and the absolute
 /// byte offset of the damage.
+///
+/// Non-exhaustive: future format versions may add failure modes, so
+/// downstream matches must keep a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum StoreError {
     /// Underlying file I/O failure.
     Io(std::io::Error),
@@ -646,21 +650,74 @@ fn decode_provenance(payload: &[u8], base: usize) -> Result<RngProvenance, Store
 /// Decodes `.dpcm` bytes into a [`ModelArtifact`], validating all
 /// checksums and structural invariants.
 pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, StoreError> {
+    decode_inner(bytes, &obskit::MetricsSink::off())
+}
+
+/// [`decode`] with observability: records the artifact size in
+/// `modelstore_load_bytes_total`, per-section decode latency in
+/// `modelstore_section_parse_ns{section}` (tag names `SCHM`…`PROV`),
+/// and the outcome in `modelstore_loads_total` /
+/// `modelstore_corruption_rejects_total`. A disabled sink makes this
+/// exactly [`decode`].
+pub fn decode_observed(
+    bytes: &[u8],
+    sink: &obskit::MetricsSink,
+) -> Result<ModelArtifact, StoreError> {
+    if sink.enabled() {
+        sink.add(
+            obskit::names::MODELSTORE_LOAD_BYTES_TOTAL,
+            obskit::Unit::Bytes,
+            bytes.len() as u64,
+        );
+    }
+    let result = decode_inner(bytes, sink);
+    if sink.enabled() {
+        let outcome = match result {
+            Ok(_) => obskit::names::MODELSTORE_LOADS_TOTAL,
+            Err(_) => obskit::names::MODELSTORE_CORRUPTION_REJECTS_TOTAL,
+        };
+        sink.add(outcome, obskit::Unit::Count, 1);
+    }
+    result
+}
+
+/// Times one section decode into
+/// `modelstore_section_parse_ns{section=<tag>}`.
+fn timed_section<T>(
+    sink: &obskit::MetricsSink,
+    tag: &'static str,
+    f: impl FnOnce() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    if !sink.enabled() {
+        return f();
+    }
+    let watch = obskit::Stopwatch::start();
+    let out = f();
+    sink.observe_labeled(
+        obskit::names::MODELSTORE_SECTION_PARSE_NS,
+        &[("section", tag)],
+        obskit::Unit::Nanos,
+        watch.elapsed_ns(),
+    );
+    out
+}
+
+fn decode_inner(bytes: &[u8], sink: &obskit::MetricsSink) -> Result<ModelArtifact, StoreError> {
     let sections = split_sections(bytes)?;
     let at = |i: usize| (sections[i].1, sections[i].0.payload_offset);
 
     let (p, o) = at(0);
-    let schema = decode_schema(p, o)?;
+    let schema = timed_section(sink, "SCHM", || decode_schema(p, o))?;
     let (p, o) = at(1);
-    let (margin_method, margins) = decode_margins(p, o, &schema)?;
+    let (margin_method, margins) = timed_section(sink, "MRGN", || decode_margins(p, o, &schema))?;
     let (p, o) = at(2);
-    let correlation = decode_correlation(p, o, schema.len())?;
+    let correlation = timed_section(sink, "CORR", || decode_correlation(p, o, schema.len()))?;
     let (p, o) = at(3);
-    let family = decode_copula(p, o)?;
+    let family = timed_section(sink, "COPL", || decode_copula(p, o))?;
     let (p, o) = at(4);
-    let ledger = decode_budget(p, o)?;
+    let ledger = timed_section(sink, "BDGT", || decode_budget(p, o))?;
     let (p, o) = at(5);
-    let provenance = decode_provenance(p, o)?;
+    let provenance = timed_section(sink, "PROV", || decode_provenance(p, o))?;
 
     Ok(ModelArtifact {
         schema,

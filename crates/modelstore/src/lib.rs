@@ -56,4 +56,6 @@ pub mod format;
 pub use artifact::{
     AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance,
 };
-pub use format::{decode, encode, probe, SectionInfo, StoreError, FORMAT_VERSION, MAGIC};
+pub use format::{
+    decode, decode_observed, encode, probe, SectionInfo, StoreError, FORMAT_VERSION, MAGIC,
+};

@@ -1,0 +1,333 @@
+//! Log-linear (HDR-style) histograms over `u64` values.
+//!
+//! Values below [`SUBBUCKETS`] land in exact width-1 buckets; above that,
+//! each power-of-two octave is split into [`SUBBUCKETS`] equal sub-buckets,
+//! bounding the relative quantisation error of any recorded value by
+//! `1 / SUBBUCKETS` (6.25%). The bucket index of a value is a pure
+//! function of the value, and a histogram is just a vector of bucket
+//! counts — so merging histograms is bucket-wise integer addition:
+//! associative, commutative, and therefore **deterministic** no matter
+//! how a parallel run partitions its observations across workers.
+//!
+//! Recording is lock-free (one relaxed atomic increment per bucket plus
+//! count/sum/min/max upkeep), so worker threads share one histogram
+//! without coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two octave (and the width of the exact
+/// linear region at the bottom of the value range).
+pub const SUBBUCKETS: usize = 16;
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros();
+/// Total bucket count: the linear region plus `64 - SUB_BITS` octaves of
+/// `SUBBUCKETS` each (the top octave is partially unreachable but cheap).
+pub const NUM_BUCKETS: usize = SUBBUCKETS + (64 - SUB_BITS as usize) * SUBBUCKETS;
+
+/// Bucket index of `value` — a pure function of the value.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUBBUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = (msb - SUB_BITS) as usize;
+    let sub = ((value >> (msb - SUB_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+    SUBBUCKETS + octave * SUBBUCKETS + sub
+}
+
+/// Smallest value mapping to bucket `index` (saturating at `u64::MAX`
+/// past the top of the representable range).
+pub fn bucket_lower(index: usize) -> u64 {
+    if index < SUBBUCKETS {
+        return index as u64;
+    }
+    let octave = ((index - SUBBUCKETS) / SUBBUCKETS) as u32;
+    let sub = ((index - SUBBUCKETS) % SUBBUCKETS) as u64;
+    (SUBBUCKETS as u64 + sub)
+        .checked_shl(octave)
+        .unwrap_or(u64::MAX)
+}
+
+/// Largest value mapping to bucket `index` (the percentile convention:
+/// "p95 is at most this").
+pub fn bucket_upper(index: usize) -> u64 {
+    if index + 1 >= NUM_BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower(index + 1).saturating_sub(1)
+}
+
+/// A concurrent log-linear histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; safe to call from any number
+    /// of threads.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable snapshot with percentiles extracted.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i, c));
+            }
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Immutable bucket counts of one histogram, plus summary statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping is the caller's concern;
+    /// nanosecond timings would need ~585 years of recorded time).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistSnapshot {
+    /// The value at quantile `q in [0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th smallest observation ("at most
+    /// this"), exact for values inside the width-1 linear region. Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges `other` into `self` — bucket-wise addition, so the result
+    /// is independent of merge order and of how observations were
+    /// partitioned (the determinism contract of parallel snapshots).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged: Vec<(usize, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        b.next();
+                    } else {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..SUBBUCKETS as u64 {
+            let i = bucket_index(v);
+            assert_eq!(i, v as usize);
+            assert_eq!(bucket_lower(i), v);
+            assert_eq!(bucket_upper(i), v);
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        // Every probe value's bucket must contain it.
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 40,
+            (1 << 40) + 12345,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} for {v}");
+            assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+            assert!(v <= bucket_upper(i), "upper({i}) < {v}");
+        }
+        // Bucket boundaries are contiguous and increasing.
+        for i in 0..1_000.min(NUM_BUCKETS - 1) {
+            assert!(bucket_lower(i + 1) > bucket_lower(i), "at {i}");
+            assert_eq!(bucket_upper(i), bucket_lower(i + 1) - 1, "at {i}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Above the linear region, bucket width / lower bound <= 1/16.
+        for i in SUBBUCKETS..NUM_BUCKETS - SUBBUCKETS {
+            let lo = bucket_lower(i);
+            let hi = bucket_upper(i);
+            if hi == u64::MAX {
+                break;
+            }
+            let width = hi - lo + 1;
+            assert!(
+                (width as f64) / (lo as f64) <= 1.0 / SUBBUCKETS as f64 + 1e-12,
+                "bucket {i}: width {width} lower {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.sum, 5050);
+        // p50 falls in the bucket holding value 50: [48, 51].
+        let p50 = s.p50();
+        assert!((48..=51).contains(&p50), "p50 {p50}");
+        assert!(s.p99() >= 96);
+        assert!(s.quantile(1.0) == 100);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistSnapshot::default());
+        assert_eq!(s.p50(), 0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let all = Histogram::new();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..1_000u64 {
+            let v = v * v % 7919;
+            all.record(v);
+            if v % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+}

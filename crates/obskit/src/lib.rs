@@ -1,0 +1,39 @@
+//! `obskit` — dependency-free observability for the DPCopula workspace.
+//!
+//! One small layer provides everything the stack reports about itself:
+//!
+//! * **Counters and gauges** — relaxed atomics behind a
+//!   [`MetricsRegistry`].
+//! * **Histograms** — log-linear (HDR-style) `u64` distributions with
+//!   p50/p95/p99 extraction and order-independent merges
+//!   ([`Histogram`], [`HistSnapshot`]).
+//! * **Spans** — scoped timers with parent/child nesting recorded as
+//!   `span_ns{span="parent/child"}` ([`Span`], opened via
+//!   [`MetricsSink::span`]).
+//! * **Snapshots** — point-in-time copies rendering to line-oriented
+//!   JSON or Prometheus text exposition format ([`Snapshot`]), with a
+//!   [`Snapshot::deterministic`] view containing only series that must
+//!   be bit-identical across worker counts.
+//!
+//! Instrumented code takes a [`MetricsSink`] — a cheap cloneable handle
+//! over a [`Recorder`]. The disabled sink ([`MetricsSink::off`]) costs
+//! one branch per call; `bench_obskit` pins that overhead. Binaries
+//! that want one ambient registry use [`global_registry`] /
+//! [`MetricsSink::global`]; library code should accept an injected
+//! sink.
+//!
+//! The full metric taxonomy (names, labels, units) lives in [`names`]
+//! and is documented in DESIGN.md §10.
+
+pub mod hist;
+pub mod names;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use registry::{
+    global_registry, series_id, MetricsRegistry, MetricsSink, NoopRecorder, Recorder, Unit,
+};
+pub use snapshot::{MetricEntry, MetricValue, Snapshot};
+pub use span::{Span, Stopwatch, SPAN_NS};

@@ -1,0 +1,155 @@
+//! The workspace metric taxonomy: every metric name, label key, and
+//! label value the instrumented crates emit, plus
+//! [`register_taxonomy`] to pre-create the full series set at zero so a
+//! snapshot always carries every name even when a code path didn't run
+//! (what the CI metric-name manifest diffs against).
+//!
+//! Naming rules (documented in DESIGN.md §10): counters end in
+//! `_total`, nanosecond series end in `_ns`, byte counters in
+//! `_bytes_total`, nano-ε counters in `_neps`; label keys are `stage`,
+//! `mech`, `section`, `span`.
+
+use crate::registry::{MetricsRegistry, Unit};
+use crate::span::SPAN_NS;
+
+/// The five pipeline stages, in execution order — the `stage` label
+/// values used by engine, parkit, and dpmech series.
+pub const STAGES: [&str; 5] = [
+    "budget_plan",
+    "margins",
+    "correlation",
+    "pd_repair",
+    "sampling",
+];
+
+/// `stage` label value for model-serving work outside the fit pipeline.
+pub const STAGE_SERVE: &str = "serve";
+
+/// Completed pipeline runs (fit or full synthesis).
+pub const PIPELINE_RUNS_TOTAL: &str = "pipeline_runs_total";
+/// Synthetic rows produced by pipeline sampling.
+pub const PIPELINE_ROWS_OUT_TOTAL: &str = "pipeline_rows_out_total";
+/// Worker threads the engine was configured with (environment fact).
+pub const ENGINE_WORKERS: &str = "engine_workers";
+
+/// Logical tasks executed by a parkit fan-out, by `stage`.
+pub const PARKIT_TASKS_TOTAL: &str = "parkit_tasks_total";
+/// Per-task latency histogram, by `stage`.
+pub const PARKIT_TASK_NS: &str = "parkit_task_ns";
+/// Total nanoseconds workers spent executing tasks, by `stage`.
+pub const PARKIT_WORKER_BUSY_NS: &str = "parkit_worker_busy_ns";
+/// Total nanoseconds workers spent outside tasks (queue wait, spawn
+/// and join overhead), by `stage`.
+pub const PARKIT_WORKER_IDLE_NS: &str = "parkit_worker_idle_ns";
+
+/// Budget ledger debits, by `stage`.
+pub const BUDGET_SPENDS_TOTAL: &str = "budget_spends_total";
+/// Privacy budget debited, in integer nano-ε, by `stage`.
+pub const BUDGET_EPS_SPENT_NEPS: &str = "budget_eps_spent_neps";
+/// Primitive noise draws, by `stage` and `mech`.
+pub const NOISE_DRAWS_TOTAL: &str = "noise_draws_total";
+/// The `mech` label values of [`NOISE_DRAWS_TOTAL`].
+pub const MECHS: [&str; 3] = ["laplace", "geometric", "exponential"];
+
+/// Successful model artifact loads.
+pub const MODELSTORE_LOADS_TOTAL: &str = "modelstore_loads_total";
+/// Bytes of model artifacts decoded.
+pub const MODELSTORE_LOAD_BYTES_TOTAL: &str = "modelstore_load_bytes_total";
+/// Artifacts rejected at load (checksum, magic, or structural damage).
+pub const MODELSTORE_CORRUPTION_REJECTS_TOTAL: &str = "modelstore_corruption_rejects_total";
+/// Per-section decode latency, by `section`.
+pub const MODELSTORE_SECTION_PARSE_NS: &str = "modelstore_section_parse_ns";
+/// The `section` label values of [`MODELSTORE_SECTION_PARSE_NS`] —
+/// the `.dpcm` sections in wire order.
+pub const SECTIONS: [&str; 6] = ["SCHM", "MRGN", "CORR", "COPL", "BDGT", "PROV"];
+
+/// Rows served from a fitted model via `sample_range`.
+pub const SERVE_ROWS_TOTAL: &str = "serve_rows_total";
+/// Row windows served from a fitted model.
+pub const SERVE_WINDOWS_TOTAL: &str = "serve_windows_total";
+
+/// Span paths the instrumented pipeline and serving layer produce.
+pub const SPAN_PATHS: [&str; 10] = [
+    "pipeline",
+    "pipeline/budget_plan",
+    "pipeline/margins",
+    "pipeline/correlation",
+    "pipeline/pd_repair",
+    "pipeline/sampling",
+    "serve/load",
+    "serve/decode",
+    "serve/validate",
+    "serve/window",
+];
+
+/// Pre-creates every series in the taxonomy at zero, so snapshots carry
+/// the complete name set regardless of which code paths ran.
+pub fn register_taxonomy(registry: &MetricsRegistry) {
+    registry.ensure_counter(PIPELINE_RUNS_TOTAL, &[], Unit::Count);
+    registry.ensure_counter(PIPELINE_ROWS_OUT_TOTAL, &[], Unit::Count);
+    registry.ensure_gauge(ENGINE_WORKERS, &[], Unit::Info);
+
+    for stage in STAGES.iter().chain([STAGE_SERVE].iter()) {
+        let labels = [("stage", *stage)];
+        registry.ensure_counter(PARKIT_TASKS_TOTAL, &labels, Unit::Count);
+        registry.ensure_hist(PARKIT_TASK_NS, &labels, Unit::Nanos);
+        registry.ensure_counter(PARKIT_WORKER_BUSY_NS, &labels, Unit::Nanos);
+        registry.ensure_counter(PARKIT_WORKER_IDLE_NS, &labels, Unit::Nanos);
+        registry.ensure_counter(BUDGET_SPENDS_TOTAL, &labels, Unit::Count);
+        registry.ensure_counter(BUDGET_EPS_SPENT_NEPS, &labels, Unit::NanoEps);
+        for mech in MECHS {
+            registry.ensure_counter(
+                NOISE_DRAWS_TOTAL,
+                &[("stage", stage), ("mech", mech)],
+                Unit::Count,
+            );
+        }
+    }
+
+    registry.ensure_counter(MODELSTORE_LOADS_TOTAL, &[], Unit::Count);
+    registry.ensure_counter(MODELSTORE_LOAD_BYTES_TOTAL, &[], Unit::Bytes);
+    registry.ensure_counter(MODELSTORE_CORRUPTION_REJECTS_TOTAL, &[], Unit::Count);
+    for section in SECTIONS {
+        registry.ensure_hist(
+            MODELSTORE_SECTION_PARSE_NS,
+            &[("section", section)],
+            Unit::Nanos,
+        );
+    }
+
+    registry.ensure_counter(SERVE_ROWS_TOTAL, &[], Unit::Count);
+    registry.ensure_counter(SERVE_WINDOWS_TOTAL, &[], Unit::Count);
+
+    for span in SPAN_PATHS {
+        registry.ensure_hist(SPAN_NS, &[("span", span)], Unit::Nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_nonempty_and_idempotent() {
+        let r = MetricsRegistry::new();
+        register_taxonomy(&r);
+        let first = r.snapshot();
+        assert!(first.entries.len() > 40, "{}", first.entries.len());
+        register_taxonomy(&r);
+        assert_eq!(r.snapshot(), first);
+    }
+
+    #[test]
+    fn taxonomy_series_start_at_zero() {
+        let r = MetricsRegistry::new();
+        register_taxonomy(&r);
+        for e in r.snapshot().entries {
+            match e.value {
+                crate::MetricValue::Counter(v) | crate::MetricValue::Gauge(v) => {
+                    assert_eq!(v, 0, "{}", e.id)
+                }
+                crate::MetricValue::Hist(h) => assert_eq!(h.count, 0, "{}", e.id),
+            }
+        }
+    }
+}

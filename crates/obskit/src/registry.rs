@@ -1,0 +1,441 @@
+//! Metric registry, recorder trait, and the cloneable [`MetricsSink`]
+//! handle that instrumented code records through.
+//!
+//! Everything funnels through the [`Recorder`] trait: the real
+//! implementation is [`MetricsRegistry`]; the disabled path is
+//! [`NoopRecorder`]. A [`MetricsSink`] caches the recorder's enabled
+//! flag so the disabled fast path is a single predictable branch — no
+//! virtual call, no allocation, no lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::Histogram;
+use crate::snapshot::{MetricEntry, MetricValue, Snapshot};
+use crate::span::Span;
+
+/// What a metric's `u64` value means. Units drive formatting and the
+/// deterministic-snapshot filter: wall-clock (`Nanos`) and environment
+/// (`Info`) series are excluded from [`Snapshot::deterministic`]
+/// because their values legitimately differ between runs, while
+/// `Count`/`Bytes`/`NanoEps` series must be bit-identical at any worker
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    /// Wall-clock nanoseconds (timings; run-dependent).
+    Nanos,
+    /// A plain count of events or items (deterministic).
+    Count,
+    /// Byte sizes (deterministic).
+    Bytes,
+    /// Privacy budget in integer nano-ε: `round(ε · 1e9)` (deterministic;
+    /// integers so parallel accumulation is order-independent).
+    NanoEps,
+    /// Environment facts such as worker count (run-dependent settings,
+    /// excluded from determinism comparison).
+    Info,
+}
+
+impl Unit {
+    /// Whether series of this unit must be bit-identical across runs
+    /// with the same seed, at any worker count.
+    pub fn is_deterministic(self) -> bool {
+        matches!(self, Unit::Count | Unit::Bytes | Unit::NanoEps)
+    }
+
+    /// Lower-case unit name used in snapshots.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Unit::Nanos => "nanos",
+            Unit::Count => "count",
+            Unit::Bytes => "bytes",
+            Unit::NanoEps => "nano_eps",
+            Unit::Info => "info",
+        }
+    }
+}
+
+/// Builds the canonical series id `name{k="v",...}` (or just `name`
+/// when there are no labels). Ids are the registry's BTreeMap keys, so
+/// snapshot order is the lexicographic order of these strings.
+pub fn series_id(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut id = String::with_capacity(name.len() + 16 * labels.len());
+    id.push_str(name);
+    id.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            id.push(',');
+        }
+        id.push_str(k);
+        id.push_str("=\"");
+        id.push_str(v);
+        id.push('"');
+    }
+    id.push('}');
+    id
+}
+
+/// The backend behind a [`MetricsSink`].
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// When false, sinks skip all recording work up front.
+    fn enabled(&self) -> bool;
+    /// Adds `delta` to the counter series `name{labels}`.
+    fn add(&self, name: &str, labels: &[(&str, &str)], unit: Unit, delta: u64);
+    /// Sets the gauge series `name{labels}` to `value`.
+    fn gauge_set(&self, name: &str, labels: &[(&str, &str)], unit: Unit, value: u64);
+    /// Records `value` into the histogram series `name{labels}`.
+    fn observe(&self, name: &str, labels: &[(&str, &str)], unit: Unit, value: u64);
+}
+
+/// Recorder that drops everything. [`MetricsSink::off`] short-circuits
+/// before even reaching it, so its methods are unreachable in practice
+/// but harmless if called.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn add(&self, _: &str, _: &[(&str, &str)], _: Unit, _: u64) {}
+    fn gauge_set(&self, _: &str, _: &[(&str, &str)], _: Unit, _: u64) {}
+    fn observe(&self, _: &str, _: &[(&str, &str)], _: Unit, _: u64) {}
+}
+
+#[derive(Debug)]
+enum Series {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Hist(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    unit: Unit,
+    series: Series,
+}
+
+/// A set of named metric series, snapshotted on demand.
+///
+/// Series are created lazily on first touch (or eagerly via the
+/// `ensure_*` methods, which [`crate::names::register_taxonomy`] uses
+/// so every snapshot carries the full name set even when a code path
+/// didn't run). Lookup takes a mutex, but the hot values themselves are
+/// atomics shared out by `Arc`, so snapshots never block recorders for
+/// long.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_series<R>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        unit: Unit,
+        make: impl FnOnce() -> Series,
+        use_series: impl FnOnce(&Series) -> R,
+    ) -> R {
+        let id = series_id(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let entry = inner.entry(id).or_insert_with(|| Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            unit,
+            series: make(),
+        });
+        use_series(&entry.series)
+    }
+
+    /// Creates the counter series `name{labels}` at zero if absent.
+    pub fn ensure_counter(&self, name: &str, labels: &[(&str, &str)], unit: Unit) {
+        self.with_series(
+            name,
+            labels,
+            unit,
+            || Series::Counter(Arc::new(AtomicU64::new(0))),
+            |_| (),
+        );
+    }
+
+    /// Creates the gauge series `name{labels}` at zero if absent.
+    pub fn ensure_gauge(&self, name: &str, labels: &[(&str, &str)], unit: Unit) {
+        self.with_series(
+            name,
+            labels,
+            unit,
+            || Series::Gauge(Arc::new(AtomicU64::new(0))),
+            |_| (),
+        );
+    }
+
+    /// Creates the empty histogram series `name{labels}` if absent.
+    pub fn ensure_hist(&self, name: &str, labels: &[(&str, &str)], unit: Unit) {
+        self.with_series(
+            name,
+            labels,
+            unit,
+            || Series::Hist(Arc::new(Histogram::new())),
+            |_| (),
+        );
+    }
+
+    /// An ordered, immutable copy of every series.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let entries = inner
+            .iter()
+            .map(|(id, e)| MetricEntry {
+                id: id.clone(),
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                unit: e.unit,
+                value: match &e.series {
+                    Series::Counter(v) => MetricValue::Counter(v.load(Ordering::Relaxed)),
+                    Series::Gauge(v) => MetricValue::Gauge(v.load(Ordering::Relaxed)),
+                    Series::Hist(h) => MetricValue::Hist(h.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, name: &str, labels: &[(&str, &str)], unit: Unit, delta: u64) {
+        self.with_series(
+            name,
+            labels,
+            unit,
+            || Series::Counter(Arc::new(AtomicU64::new(0))),
+            |s| {
+                if let Series::Counter(v) = s {
+                    v.fetch_add(delta, Ordering::Relaxed);
+                }
+            },
+        );
+    }
+
+    fn gauge_set(&self, name: &str, labels: &[(&str, &str)], unit: Unit, value: u64) {
+        self.with_series(
+            name,
+            labels,
+            unit,
+            || Series::Gauge(Arc::new(AtomicU64::new(0))),
+            |s| {
+                if let Series::Gauge(v) = s {
+                    v.store(value, Ordering::Relaxed);
+                }
+            },
+        );
+    }
+
+    fn observe(&self, name: &str, labels: &[(&str, &str)], unit: Unit, value: u64) {
+        let hist = self.with_series(
+            name,
+            labels,
+            unit,
+            || Series::Hist(Arc::new(Histogram::new())),
+            |s| match s {
+                Series::Hist(h) => Some(h.clone()),
+                _ => None,
+            },
+        );
+        if let Some(h) = hist {
+            h.record(value);
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+
+/// The process-wide registry, created on first use. Library code should
+/// prefer an injected sink; this exists for binaries that want one
+/// ambient registry without threading it everywhere.
+pub fn global_registry() -> &'static Arc<MetricsRegistry> {
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+}
+
+/// Cheap cloneable handle instrumented code records through.
+///
+/// The `enabled` flag is cached at construction, so every recording
+/// method on a disabled sink is one branch and an immediate return —
+/// this is what makes `--metrics off` (the default) near-free.
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    recorder: Arc<dyn Recorder>,
+    enabled: bool,
+}
+
+impl MetricsSink {
+    /// A disabled sink: records nothing, costs one branch per call.
+    pub fn off() -> Self {
+        Self {
+            recorder: Arc::new(NoopRecorder),
+            enabled: false,
+        }
+    }
+
+    /// A sink writing into `registry`.
+    pub fn to_registry(registry: Arc<MetricsRegistry>) -> Self {
+        Self {
+            recorder: registry,
+            enabled: true,
+        }
+    }
+
+    /// A sink writing into the process-wide [`global_registry`].
+    pub fn global() -> Self {
+        Self::to_registry(global_registry().clone())
+    }
+
+    /// A sink over any custom recorder.
+    pub fn to_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        let enabled = recorder.enabled();
+        Self { recorder, enabled }
+    }
+
+    /// Whether recording does anything. Callers may use this to skip
+    /// building expensive label values.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `delta` to the unlabelled counter `name`.
+    pub fn add(&self, name: &str, unit: Unit, delta: u64) {
+        if self.enabled {
+            self.recorder.add(name, &[], unit, delta);
+        }
+    }
+
+    /// Adds `delta` to the counter `name{labels}`.
+    pub fn add_labeled(&self, name: &str, labels: &[(&str, &str)], unit: Unit, delta: u64) {
+        if self.enabled {
+            self.recorder.add(name, labels, unit, delta);
+        }
+    }
+
+    /// Sets the unlabelled gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, unit: Unit, value: u64) {
+        if self.enabled {
+            self.recorder.gauge_set(name, &[], unit, value);
+        }
+    }
+
+    /// Sets the gauge `name{labels}` to `value`.
+    pub fn gauge_set_labeled(&self, name: &str, labels: &[(&str, &str)], unit: Unit, value: u64) {
+        if self.enabled {
+            self.recorder.gauge_set(name, labels, unit, value);
+        }
+    }
+
+    /// Records `value` into the unlabelled histogram `name`.
+    pub fn observe(&self, name: &str, unit: Unit, value: u64) {
+        if self.enabled {
+            self.recorder.observe(name, &[], unit, value);
+        }
+    }
+
+    /// Records `value` into the histogram `name{labels}`.
+    pub fn observe_labeled(&self, name: &str, labels: &[(&str, &str)], unit: Unit, value: u64) {
+        if self.enabled {
+            self.recorder.observe(name, labels, unit, value);
+        }
+    }
+
+    /// Opens a nested [`Span`] named `name`; see [`Span::enter`].
+    pub fn span(&self, name: &str) -> Span {
+        Span::enter(self, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_ids_render_labels() {
+        assert_eq!(series_id("x_total", &[]), "x_total");
+        assert_eq!(
+            series_id("x_total", &[("stage", "margins"), ("kind", "laplace")]),
+            r#"x_total{stage="margins",kind="laplace"}"#
+        );
+    }
+
+    #[test]
+    fn counters_gauges_hists_roundtrip() {
+        let r = MetricsRegistry::new();
+        r.add("a_total", &[("stage", "s1")], Unit::Count, 2);
+        r.add("a_total", &[("stage", "s1")], Unit::Count, 3);
+        r.gauge_set("g", &[], Unit::Info, 7);
+        r.observe("h_ns", &[], Unit::Nanos, 100);
+        r.observe("h_ns", &[], Unit::Nanos, 200);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.get(r#"a_total{stage="s1"}"#).unwrap().value.as_u64(),
+            Some(5)
+        );
+        assert_eq!(snap.get("g").unwrap().value.as_u64(), Some(7));
+        let h = snap.get("h_ns").unwrap().value.as_hist().unwrap();
+        assert_eq!((h.count, h.sum), (2, 300));
+    }
+
+    #[test]
+    fn ensure_preregisters_zero_series() {
+        let r = MetricsRegistry::new();
+        r.ensure_counter("c_total", &[("stage", "x")], Unit::Count);
+        r.ensure_gauge("g", &[], Unit::Info);
+        r.ensure_hist("h_ns", &[], Unit::Nanos);
+        let snap = r.snapshot();
+        assert_eq!(snap.entries.len(), 3);
+        assert_eq!(
+            snap.get(r#"c_total{stage="x"}"#).unwrap().value.as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn snapshot_order_is_lexicographic_and_stable() {
+        let r = MetricsRegistry::new();
+        r.add("z_total", &[], Unit::Count, 1);
+        r.add("a_total", &[("k", "2")], Unit::Count, 1);
+        r.add("a_total", &[("k", "1")], Unit::Count, 1);
+        let ids: Vec<String> = r.snapshot().entries.into_iter().map(|e| e.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                r#"a_total{k="1"}"#.to_string(),
+                r#"a_total{k="2"}"#.to_string(),
+                "z_total".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn off_sink_records_nothing() {
+        let sink = MetricsSink::off();
+        assert!(!sink.enabled());
+        sink.add("x", Unit::Count, 1);
+        sink.observe("y", Unit::Nanos, 1);
+        sink.gauge_set("z", Unit::Info, 1);
+    }
+}

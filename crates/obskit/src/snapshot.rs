@@ -1,0 +1,278 @@
+//! Immutable snapshots of a [`crate::MetricsRegistry`] and their two
+//! text renderings: line-oriented JSON and Prometheus text exposition
+//! format.
+//!
+//! Snapshots hold entries sorted by series id, so two snapshots with
+//! equal contents render to byte-identical text — the property the
+//! determinism tests and the CI metric-name manifest rely on.
+
+use crate::hist::HistSnapshot;
+use crate::registry::Unit;
+
+/// The value of one metric series at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonically increasing event count.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(u64),
+    /// Full distribution of observed values.
+    Hist(HistSnapshot),
+}
+
+impl MetricValue {
+    /// The scalar value of a counter or gauge.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(*v),
+            MetricValue::Hist(_) => None,
+        }
+    }
+
+    /// The distribution of a histogram series.
+    pub fn as_hist(&self) -> Option<&HistSnapshot> {
+        match self {
+            MetricValue::Hist(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn type_str(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Hist(_) => "histogram",
+        }
+    }
+}
+
+/// One series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricEntry {
+    /// Canonical series id, `name{k="v",...}`.
+    pub id: String,
+    /// Metric name without labels.
+    pub name: String,
+    /// Label key/value pairs in declaration order.
+    pub labels: Vec<(String, String)>,
+    /// What the values mean (drives the deterministic filter).
+    pub unit: Unit,
+    /// The recorded value.
+    pub value: MetricValue,
+}
+
+/// An ordered, immutable copy of every series in a registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// All series, sorted by id.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    /// Looks up a series by its canonical id.
+    pub fn get(&self, id: &str) -> Option<&MetricEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// The sorted series ids — what the CI manifest diff compares.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.id.clone()).collect()
+    }
+
+    /// The subset of series whose [`Unit::is_deterministic`] — i.e.
+    /// everything that must be bit-identical across runs with the same
+    /// seed at any worker count. Timings (`Nanos`) and environment
+    /// gauges (`Info`) are excluded.
+    pub fn deterministic(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.unit.is_deterministic())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot as JSON, one metric object per line inside
+    /// a `"metrics"` array. Scalars carry `"value"`; histograms carry
+    /// count/sum/min/max and p50/p95/p99.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"metrics\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\"id\":\"");
+            push_json_escaped(&mut out, &e.id);
+            out.push_str("\",\"type\":\"");
+            out.push_str(e.value.type_str());
+            out.push_str("\",\"unit\":\"");
+            out.push_str(e.unit.as_str());
+            out.push('"');
+            match &e.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(&format!(",\"value\":{v}"));
+                }
+                MetricValue::Hist(h) => {
+                    out.push_str(&format!(
+                        ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.p50(),
+                        h.p95(),
+                        h.p99()
+                    ));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    /// Histograms are exported summary-style: `quantile` series plus
+    /// `_sum`/`_count`, which needs no bucket-boundary agreement with
+    /// the scraper.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for e in &self.entries {
+            if last_name != Some(e.name.as_str()) {
+                let prom_type = match e.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Hist(_) => "summary",
+                };
+                out.push_str(&format!("# TYPE {} {prom_type}\n", e.name));
+                last_name = Some(e.name.as_str());
+            }
+            match &e.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(&e.name);
+                    push_prom_labels(&mut out, &e.labels, None);
+                    out.push_str(&format!(" {v}\n"));
+                }
+                MetricValue::Hist(h) => {
+                    for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                        out.push_str(&e.name);
+                        push_prom_labels(&mut out, &e.labels, Some(q));
+                        out.push_str(&format!(" {v}\n"));
+                    }
+                    out.push_str(&format!("{}_sum", e.name));
+                    push_prom_labels(&mut out, &e.labels, None);
+                    out.push_str(&format!(" {}\n", h.sum));
+                    out.push_str(&format!("{}_count", e.name));
+                    push_prom_labels(&mut out, &e.labels, None);
+                    out.push_str(&format!(" {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_prom_labels(out: &mut String, labels: &[(String, String)], quantile: Option<f64>) {
+    if labels.is_empty() && quantile.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{k}=\"{v}\""));
+    }
+    if let Some(q) = quantile {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("quantile=\"{q}\""));
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut h = HistSnapshot::default();
+        let hist = crate::hist::Histogram::new();
+        for v in [10u64, 20, 30] {
+            hist.record(v);
+        }
+        h.merge(&hist.snapshot());
+        Snapshot {
+            entries: vec![
+                MetricEntry {
+                    id: r#"budget_spends_total{stage="margins"}"#.into(),
+                    name: "budget_spends_total".into(),
+                    labels: vec![("stage".into(), "margins".into())],
+                    unit: Unit::Count,
+                    value: MetricValue::Counter(4),
+                },
+                MetricEntry {
+                    id: "engine_workers".into(),
+                    name: "engine_workers".into(),
+                    labels: vec![],
+                    unit: Unit::Info,
+                    value: MetricValue::Gauge(7),
+                },
+                MetricEntry {
+                    id: r#"span_ns{span="pipeline"}"#.into(),
+                    name: "span_ns".into(),
+                    labels: vec![("span".into(), "pipeline".into())],
+                    unit: Unit::Nanos,
+                    value: MetricValue::Hist(h),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_line_oriented_and_escaped() {
+        let s = sample().to_json();
+        assert!(s.contains(r#"{"id":"budget_spends_total{stage=\"margins\"}","type":"counter","unit":"count","value":4}"#));
+        assert!(s.contains(r#"{"id":"engine_workers","type":"gauge","unit":"info","value":7}"#));
+        assert!(s.contains(r#""type":"histogram","unit":"nanos","count":3,"sum":60"#));
+        assert!(s.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn prometheus_rendering_has_types_and_quantiles() {
+        let s = sample().to_prometheus();
+        assert!(s.contains("# TYPE budget_spends_total counter\n"));
+        assert!(s.contains("budget_spends_total{stage=\"margins\"} 4\n"));
+        assert!(s.contains("# TYPE engine_workers gauge\n"));
+        assert!(s.contains("# TYPE span_ns summary\n"));
+        assert!(s.contains("span_ns{span=\"pipeline\",quantile=\"0.5\"}"));
+        assert!(s.contains("span_ns_sum{span=\"pipeline\"} 60\n"));
+        assert!(s.contains("span_ns_count{span=\"pipeline\"} 3\n"));
+    }
+
+    #[test]
+    fn deterministic_filter_drops_nanos_and_info() {
+        let det = sample().deterministic();
+        assert_eq!(det.entries.len(), 1);
+        assert_eq!(det.entries[0].name, "budget_spends_total");
+    }
+}

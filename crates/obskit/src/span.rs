@@ -1,0 +1,181 @@
+//! Scoped span timers with parent/child nesting, plus a plain
+//! [`Stopwatch`] for code that needs raw elapsed time.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and its
+//! `finish()` (or drop) and records the elapsed nanoseconds into the
+//! sink's `span_ns` histogram, labelled with the `/`-joined path of all
+//! enclosing spans on the same thread: starting `"pipeline"` and then
+//! `"margins"` inside it records `span_ns{span="pipeline/margins"}`.
+//! Nesting is tracked per thread with a thread-local name stack, so
+//! spans cost nothing to coordinate and never lock.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::MetricsSink;
+
+/// Histogram that receives every finished span's elapsed nanoseconds.
+pub const SPAN_NS: &str = "span_ns";
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A monotonic elapsed-time source. This is the one sanctioned wrapper
+/// around `Instant` in the workspace; benches and instrumentation take
+/// timings through it so CI can grep for stray ad-hoc timing.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since `start()`.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        let d = self.start.elapsed();
+        d.as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(d.subsec_nanos()))
+    }
+}
+
+/// A scoped timer that records into `span_ns{span=<path>}` when
+/// finished or dropped.
+#[derive(Debug)]
+pub struct Span {
+    sink: MetricsSink,
+    path: String,
+    watch: Stopwatch,
+    finished: bool,
+}
+
+impl Span {
+    /// Opens a span named `name`, nested under whatever spans are
+    /// currently open on this thread. Prefer [`MetricsSink::span`].
+    pub fn enter(sink: &MetricsSink, name: &str) -> Self {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Self {
+            sink: sink.clone(),
+            path,
+            watch: Stopwatch::start(),
+            finished: false,
+        }
+    }
+
+    /// The `/`-joined path of this span, e.g. `"pipeline/margins"`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Closes the span, records its duration, and returns the elapsed
+    /// time **as recorded** (built back from the nanosecond value sent
+    /// to the sink, so a report derived from the return value agrees
+    /// with the snapshot to the nanosecond).
+    pub fn finish(mut self) -> std::time::Duration {
+        let ns = self.close();
+        std::time::Duration::from_nanos(ns)
+    }
+
+    fn close(&mut self) -> u64 {
+        self.finished = true;
+        let ns = self.watch.elapsed_ns();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop our own frame; tolerate a foreign top if a child span
+            // leaked across an unwind.
+            if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                stack.truncate(pos);
+            }
+        });
+        self.sink
+            .observe_labeled(SPAN_NS, &[("span", &self.path)], crate::Unit::Nanos, ns);
+        ns
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::to_registry(registry.clone());
+        {
+            let outer = Span::enter(&sink, "pipeline");
+            assert_eq!(outer.path(), "pipeline");
+            {
+                let inner = Span::enter(&sink, "margins");
+                assert_eq!(inner.path(), "pipeline/margins");
+                inner.finish();
+            }
+            let sibling = Span::enter(&sink, "sampling");
+            assert_eq!(sibling.path(), "pipeline/sampling");
+            drop(sibling);
+            outer.finish();
+        }
+        let fresh = Span::enter(&sink, "serve");
+        assert_eq!(fresh.path(), "serve");
+        drop(fresh);
+
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.id.as_str()).collect();
+        assert!(names.contains(&r#"span_ns{span="pipeline"}"#), "{names:?}");
+        assert!(names.contains(&r#"span_ns{span="pipeline/margins"}"#));
+        assert!(names.contains(&r#"span_ns{span="pipeline/sampling"}"#));
+        assert!(names.contains(&r#"span_ns{span="serve"}"#));
+    }
+
+    #[test]
+    fn finish_duration_matches_recorded_ns() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::to_registry(registry.clone());
+        let span = Span::enter(&sink, "unit");
+        let d = span.finish();
+        let snap = registry.snapshot();
+        let entry = snap
+            .entries
+            .iter()
+            .find(|e| e.id.starts_with("span_ns"))
+            .expect("span recorded");
+        let hist = entry.value.as_hist().expect("histogram");
+        assert_eq!(hist.sum, d.as_nanos() as u64);
+    }
+
+    #[test]
+    fn disabled_sink_spans_are_cheap_and_silent() {
+        let sink = MetricsSink::off();
+        let span = Span::enter(&sink, "noop");
+        span.finish();
+    }
+}

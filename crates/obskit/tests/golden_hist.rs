@@ -1,0 +1,127 @@
+//! Golden tests for the log-linear histogram: exact bucket boundaries
+//! at the linear/exponential transitions, and percentile values pinned
+//! against hand-computed references.
+
+use obskit::hist::{bucket_index, bucket_lower, bucket_upper, NUM_BUCKETS, SUBBUCKETS};
+use obskit::Histogram;
+
+#[test]
+fn golden_bucket_boundaries() {
+    // Linear region: one bucket per value, 0..16.
+    let golden_linear: [(u64, usize); 4] = [(0, 0), (1, 1), (15, 15), (16, 16)];
+    for (value, index) in golden_linear {
+        assert_eq!(bucket_index(value), index, "value {value}");
+    }
+    // First exponential octave [16, 32): width-1 sub-buckets (16 values
+    // over 16 sub-buckets), so still exact.
+    assert_eq!(bucket_index(17), 17);
+    assert_eq!(bucket_index(31), 31);
+    // Second octave [32, 64): width-2 sub-buckets.
+    assert_eq!(bucket_index(32), 32);
+    assert_eq!(bucket_index(33), 32);
+    assert_eq!(bucket_index(34), 33);
+    assert_eq!(bucket_lower(32), 32);
+    assert_eq!(bucket_upper(32), 33);
+    // Octave [1024, 2048): width-64 sub-buckets.
+    assert_eq!(bucket_lower(bucket_index(1024)), 1024);
+    assert_eq!(bucket_upper(bucket_index(1024)), 1087);
+    assert_eq!(bucket_index(1087), bucket_index(1024));
+    assert_ne!(bucket_index(1088), bucket_index(1024));
+    // Top of the range saturates instead of overflowing.
+    assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+}
+
+#[test]
+fn golden_full_coverage_sweep() {
+    // Exhaustively verify lower <= v <= upper and boundary adjacency for
+    // every value up to 4096 (covers the linear region and 8 octaves).
+    let mut prev = bucket_index(0);
+    for v in 0..=4096u64 {
+        let i = bucket_index(v);
+        assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "value {v}");
+        assert!(i == prev || i == prev + 1, "index jumped at {v}");
+        prev = i;
+    }
+}
+
+#[test]
+fn golden_percentiles_uniform_1_to_1000() {
+    let h = Histogram::new();
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 1000);
+    assert_eq!(s.sum, 500_500);
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, 1000);
+    // Rank 500 is value 500, inside octave [512)? No: 500 lies in octave
+    // [256, 512), sub-bucket width 16: bucket [496, 511] → p50 = 511.
+    assert_eq!(s.p50(), 511);
+    // Rank 950 is value 950, octave [512, 1024), width 32: bucket
+    // [928, 959] → p95 = 959.
+    assert_eq!(s.p95(), 959);
+    // Rank 990 is value 990, bucket [960, 991] → p99 = 991.
+    assert_eq!(s.p99(), 991);
+    // q=1.0 is clamped by the recorded max.
+    assert_eq!(s.quantile(1.0), 1000);
+    // q=0 clamps to rank 1 (the minimum's bucket upper bound).
+    assert_eq!(s.quantile(0.0), 1);
+}
+
+#[test]
+fn golden_percentiles_small_exact_region() {
+    // All values inside the width-1 region: percentiles are exact order
+    // statistics.
+    let h = Histogram::new();
+    for v in [2u64, 4, 4, 8, 15] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.p50(), 4); // rank ceil(0.5*5)=3 → second 4
+    assert_eq!(s.p95(), 15); // rank ceil(0.95*5)=5
+    assert_eq!(s.quantile(0.2), 2); // rank 1
+}
+
+#[test]
+fn golden_single_value_histogram() {
+    let h = Histogram::new();
+    h.record(1_000_000);
+    let s = h.snapshot();
+    assert_eq!(
+        (s.count, s.min, s.max, s.sum),
+        (1, 1_000_000, 1_000_000, 1_000_000)
+    );
+    // Every quantile of a single observation is that observation's
+    // bucket, clamped to max.
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(s.quantile(q), 1_000_000, "q={q}");
+    }
+    assert_eq!(s.buckets.len(), 1);
+}
+
+#[test]
+fn quantile_upper_bound_never_understates() {
+    // The reported quantile must be >= the true order statistic (the
+    // "at most this" convention): check against a sorted reference.
+    let values: Vec<u64> = (0..500u64).map(|i| (i * i * 7 + 13) % 100_000).collect();
+    let h = Histogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    let s = h.snapshot();
+    for q in [0.5, 0.9, 0.95, 0.99] {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = s.quantile(q);
+        assert!(est >= truth, "q={q}: est {est} < truth {truth}");
+        // And within the 1/16 relative error bound.
+        assert!(
+            est as f64 <= truth as f64 * (1.0 + 1.0 / SUBBUCKETS as f64) + 1.0,
+            "q={q}: est {est} too far above truth {truth}"
+        );
+    }
+}

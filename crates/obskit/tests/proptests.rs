@@ -1,0 +1,141 @@
+//! Property tests for the obskit determinism contract: histogram
+//! merges and registry snapshots must be independent of how
+//! observations were partitioned across workers and of merge order.
+
+use obskit::hist::{bucket_index, bucket_lower, bucket_upper, NUM_BUCKETS};
+use obskit::{Histogram, MetricsRegistry, Recorder, Unit};
+use testkit::prop::vec;
+use testkit::{prop_assert, prop_assert_eq, property_tests};
+
+property_tests! {
+    /// Every value lands in a bucket whose [lower, upper] range
+    /// contains it.
+    fn buckets_contain_their_values(value in 0u64..u64::MAX) {
+        let i = bucket_index(value);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower(i) <= value, "lower({i}) > {value}");
+        prop_assert!(value <= bucket_upper(i), "upper({i}) < {value}");
+    }
+
+    /// Partitioning a stream of observations into any number of
+    /// per-worker histograms and merging them reproduces the snapshot
+    /// of recording everything into one histogram — the property that
+    /// makes parallel metric collection deterministic.
+    fn partitioned_merge_equals_single_histogram(
+        values in vec(0u64..1 << 48, 0..300),
+        parts in 1usize..8,
+    ) {
+        let whole = Histogram::new();
+        let shards: Vec<Histogram> = (0..parts).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            shards[i % parts].record(v);
+        }
+        let mut merged = shards[0].snapshot();
+        for shard in &shards[1..] {
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+
+    /// Merge is commutative: A+B == B+A.
+    fn merge_is_commutative(
+        xs in vec(0u64..1 << 40, 0..150),
+        ys in vec(0u64..1 << 40, 0..150),
+    ) {
+        let (ha, hb) = (Histogram::new(), Histogram::new());
+        for &v in &xs { ha.record(v); }
+        for &v in &ys { hb.record(v); }
+        let (sa, sb) = (ha.snapshot(), hb.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (A+B)+C == A+(B+C).
+    fn merge_is_associative(
+        xs in vec(0u64..1 << 40, 0..100),
+        ys in vec(0u64..1 << 40, 0..100),
+        zs in vec(0u64..1 << 40, 0..100),
+    ) {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals { h.record(v); }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (mk(&xs), mk(&ys), mk(&zs));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Quantiles never understate: the reported value is an upper bound
+    /// on the true order statistic, within the 1/16 relative error
+    /// bound of the bucket layout.
+    fn quantiles_bound_true_order_statistics(
+        values in vec(1u64..1 << 32, 1..200),
+        qnum in 1u64..100,
+    ) {
+        let q = qnum as f64 / 100.0;
+        let h = Histogram::new();
+        for &v in &values { h.record(v); }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.snapshot().quantile(q);
+        prop_assert!(est >= truth, "q={q}: {est} < {truth}");
+        prop_assert!(
+            est as f64 <= truth as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+            "q={q}: {est} too far above {truth}"
+        );
+    }
+
+    /// Registry counters are partition-independent: splitting the same
+    /// labelled increments across interleaved recording orders yields
+    /// identical snapshots (integer adds commute).
+    fn registry_snapshot_is_recording_order_independent(
+        deltas in vec(0u64..1000, 1..60),
+        rot in 0usize..60,
+    ) {
+        let stages = ["margins", "correlation", "sampling"];
+        let (ra, rb) = (MetricsRegistry::new(), MetricsRegistry::new());
+        let n = deltas.len();
+        for (k, &d) in deltas.iter().enumerate() {
+            ra.add("x_total", &[("stage", stages[k % 3])], Unit::Count, d);
+        }
+        // Same multiset of increments, rotated order.
+        for i in 0..n {
+            let j = (i + rot) % n;
+            rb.add("x_total", &[("stage", stages[j % 3])], Unit::Count, deltas[j]);
+        }
+        prop_assert_eq!(ra.snapshot(), rb.snapshot());
+    }
+
+    /// The deterministic view of a snapshot is stable under adding
+    /// wall-clock noise: recording arbitrary Nanos observations never
+    /// changes `deterministic()`.
+    fn deterministic_view_ignores_timing_series(
+        counts in vec(0u64..100, 1..20),
+        timings in vec(0u64..1 << 30, 0..50),
+    ) {
+        let r = MetricsRegistry::new();
+        for (i, &c) in counts.iter().enumerate() {
+            let stage = if i % 2 == 0 { "margins" } else { "sampling" };
+            r.add("rows_total", &[("stage", stage)], Unit::Count, c);
+        }
+        let before = r.snapshot().deterministic();
+        for &t in &timings {
+            r.observe("lat_ns", &[], Unit::Nanos, t);
+            r.gauge_set("engine_workers", &[], Unit::Info, t % 16);
+        }
+        prop_assert_eq!(r.snapshot().deterministic(), before);
+    }
+}

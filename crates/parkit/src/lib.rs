@@ -29,10 +29,14 @@
 
 #![warn(missing_docs)]
 
+use obskit::names::{
+    PARKIT_TASKS_TOTAL, PARKIT_TASK_NS, PARKIT_WORKER_BUSY_NS, PARKIT_WORKER_IDLE_NS,
+};
+use obskit::{MetricsSink, Stopwatch, Unit};
 use rngkit::rngs::StdRng;
 use rngkit::{RngCore, SeedableRng, SplitMix64};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Default worker count: the `PARKIT_WORKERS` environment variable when
 /// set (and positive), otherwise [`std::thread::available_parallelism`].
@@ -234,6 +238,58 @@ where
         .into_iter()
         .map(|s| s.expect("every task index claimed exactly once"))
         .collect()
+}
+
+/// [`par_map`] with per-chunk observability: records, into `sink` under
+/// the `stage` label, the logical task count (`parkit_tasks_total`), a
+/// per-task latency histogram (`parkit_task_ns`), total busy
+/// nanoseconds across workers (`parkit_worker_busy_ns`), and the
+/// residual idle/queue/spawn time (`parkit_worker_idle_ns` — effective
+/// workers × fan-out wall time, minus busy time).
+///
+/// The mapping itself is exactly [`par_map`] — same output, same
+/// determinism contract. Only the `Count`-unit task counter is part of
+/// the deterministic snapshot; latencies are wall-clock. A disabled
+/// sink skips straight to [`par_map`] with no timing reads at all.
+pub fn par_map_observed<T, U, F>(
+    workers: usize,
+    items: &[T],
+    sink: &MetricsSink,
+    stage: &str,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if !sink.enabled() {
+        return par_map(workers, items, f);
+    }
+    let n = items.len();
+    let labels = [("stage", stage)];
+    sink.add_labeled(PARKIT_TASKS_TOTAL, &labels, Unit::Count, n as u64);
+    let busy_ns = AtomicU64::new(0);
+    let wall = Stopwatch::start();
+    let out = par_map(workers, items, |i, t| {
+        let task = Stopwatch::start();
+        let u = f(i, t);
+        let ns = task.elapsed_ns();
+        busy_ns.fetch_add(ns, Ordering::Relaxed);
+        sink.observe_labeled(PARKIT_TASK_NS, &labels, Unit::Nanos, ns);
+        u
+    });
+    let wall_ns = wall.elapsed_ns();
+    let effective = workers.clamp(1, n.max(1)) as u64;
+    let busy = busy_ns.load(Ordering::Relaxed);
+    sink.add_labeled(PARKIT_WORKER_BUSY_NS, &labels, Unit::Nanos, busy);
+    sink.add_labeled(
+        PARKIT_WORKER_IDLE_NS,
+        &labels,
+        Unit::Nanos,
+        effective.saturating_mul(wall_ns).saturating_sub(busy),
+    );
+    out
 }
 
 /// Fallible [`par_map`]: runs every task to completion and returns either
@@ -467,5 +523,43 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn par_map_observed_matches_par_map_and_records() {
+        use std::sync::Arc;
+        let items: Vec<u64> = (0..37).collect();
+        let plain = par_map(4, &items, |i, &v| i as u64 + v * v);
+
+        // Disabled sink: identical output, nothing recorded.
+        let off = MetricsSink::off();
+        assert_eq!(
+            par_map_observed(4, &items, &off, "margins", |i, &v| i as u64 + v * v),
+            plain
+        );
+
+        let registry = Arc::new(obskit::MetricsRegistry::new());
+        let sink = MetricsSink::to_registry(registry.clone());
+        for workers in [1usize, 3, 8] {
+            let observed =
+                par_map_observed(workers, &items, &sink, "margins", |i, &v| i as u64 + v * v);
+            assert_eq!(observed, plain, "workers={workers}");
+        }
+        let snap = registry.snapshot();
+        let tasks = snap
+            .get(r#"parkit_tasks_total{stage="margins"}"#)
+            .and_then(|e| e.value.as_u64());
+        assert_eq!(tasks, Some(3 * items.len() as u64));
+        let lat = snap
+            .get(r#"parkit_task_ns{stage="margins"}"#)
+            .and_then(|e| e.value.as_hist())
+            .expect("latency histogram recorded");
+        assert_eq!(lat.count, 3 * items.len() as u64);
+        assert!(snap
+            .get(r#"parkit_worker_busy_ns{stage="margins"}"#)
+            .is_some());
+        assert!(snap
+            .get(r#"parkit_worker_idle_ns{stage="margins"}"#)
+            .is_some());
     }
 }

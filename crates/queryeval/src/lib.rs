@@ -21,6 +21,8 @@ pub mod metrics;
 pub mod persist;
 pub mod query;
 
-pub use metrics::{absolute_error, evaluate_columns, relative_error, ErrorSummary};
+pub use metrics::{
+    absolute_error, evaluate, evaluate_columns, relative_error, ErrorSummary, EvalReport, Synthetic,
+};
 pub use persist::{load_workload, save_workload};
 pub use query::{RangeQuery, Workload};

@@ -74,6 +74,10 @@ impl ErrorSummary {
 /// reference's true counts — the one-call form of the paper's §5.1
 /// evaluation loop.
 ///
+/// Thin wrapper over [`evaluate`]; prefer that for new code — it returns
+/// the full [`EvalReport`] (per-query errors included), of which this
+/// summary is one field.
+///
 /// # Panics
 /// Panics when the workload is empty or `sanity <= 0` (via
 /// [`ErrorSummary::from_answers`]).
@@ -83,9 +87,106 @@ pub fn evaluate_columns(
     reference: &[Vec<u32>],
     sanity: f64,
 ) -> ErrorSummary {
-    let actual = workload.true_counts(reference);
-    let noisy = workload.true_counts(synthetic);
-    ErrorSummary::from_answers(&noisy, &actual, sanity)
+    evaluate(
+        workload,
+        &Synthetic::new(synthetic, reference).sanity(sanity),
+    )
+    .summary
+}
+
+/// A synthetic release paired with the reference data it stands in for,
+/// plus the sanity bound its relative errors are computed with — the
+/// subject of an [`evaluate`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Synthetic<'a> {
+    /// The synthetic columns (the DP release under evaluation).
+    pub columns: &'a [Vec<u32>],
+    /// The reference columns (ground truth the release stands in for).
+    pub reference: &'a [Vec<u32>],
+    /// Sanity bound `s` of the relative error (§5.1). Default 1.0: one
+    /// record, so empty true answers score the full miss.
+    pub sanity: f64,
+}
+
+impl<'a> Synthetic<'a> {
+    /// Pairs a release with its reference, with the default sanity
+    /// bound of 1.0.
+    pub fn new(columns: &'a [Vec<u32>], reference: &'a [Vec<u32>]) -> Self {
+        Self {
+            columns,
+            reference,
+            sanity: 1.0,
+        }
+    }
+
+    /// Overrides the sanity bound (the paper uses 0.1% of the dataset
+    /// cardinality for its figures).
+    ///
+    /// # Panics
+    /// Panics when `sanity <= 0`.
+    pub fn sanity(mut self, sanity: f64) -> Self {
+        assert!(sanity > 0.0, "sanity bound must be positive");
+        self.sanity = sanity;
+        self
+    }
+}
+
+/// Everything one workload evaluation produced: the aggregate
+/// [`ErrorSummary`] plus the per-query answer and error vectors the
+/// aggregate collapses (queries in workload order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Aggregate errors over the workload.
+    pub summary: ErrorSummary,
+    /// True count of each query on the reference data.
+    pub actual: Vec<f64>,
+    /// Count of each query on the synthetic release.
+    pub synthetic: Vec<f64>,
+    /// Per-query relative error (with the sanity bound applied).
+    pub relative: Vec<f64>,
+    /// Per-query absolute error.
+    pub absolute: Vec<f64>,
+    /// The sanity bound the relative errors used.
+    pub sanity: f64,
+}
+
+impl EvalReport {
+    /// The worst per-query relative error.
+    pub fn max_relative(&self) -> f64 {
+        self.relative.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Evaluates a synthetic release against `workload` — the one coherent
+/// entry point of this crate. Answers every query on both the release
+/// and its reference, and returns the per-query answers, per-query
+/// errors, and their [`ErrorSummary`] aggregate in one [`EvalReport`].
+///
+/// # Panics
+/// Panics when the workload arity does not match the column count (via
+/// [`crate::query::RangeQuery::count`]).
+pub fn evaluate(workload: &Workload, synthetic: &Synthetic<'_>) -> EvalReport {
+    let actual = workload.true_counts(synthetic.reference);
+    let released = workload.true_counts(synthetic.columns);
+    let relative: Vec<f64> = released
+        .iter()
+        .zip(&actual)
+        .map(|(&e, &a)| relative_error(e, a, synthetic.sanity))
+        .collect();
+    let absolute: Vec<f64> = released
+        .iter()
+        .zip(&actual)
+        .map(|(&e, &a)| absolute_error(e, a))
+        .collect();
+    let summary = ErrorSummary::from_answers(&released, &actual, synthetic.sanity);
+    EvalReport {
+        summary,
+        actual,
+        synthetic: released,
+        relative,
+        absolute,
+        sanity: synthetic.sanity,
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +241,39 @@ mod tests {
     #[should_panic(expected = "sanity bound")]
     fn rejects_non_positive_sanity() {
         let _ = relative_error(1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn evaluate_reports_per_query_and_aggregate() {
+        let workload = Workload::new(vec![
+            RangeQuery::new(vec![(0, 1)]),
+            RangeQuery::new(vec![(2, 3)]),
+        ]);
+        let reference = vec![vec![0u32, 1, 2, 3]];
+        let synthetic_cols = vec![vec![0u32, 1, 1, 3]];
+        let report = evaluate(&workload, &Synthetic::new(&synthetic_cols, &reference));
+        assert_eq!(report.actual, vec![2.0, 2.0]);
+        assert_eq!(report.synthetic, vec![3.0, 1.0]);
+        assert_eq!(report.absolute, vec![1.0, 1.0]);
+        assert_eq!(report.relative, vec![0.5, 0.5]);
+        assert_eq!(report.max_relative(), 0.5);
+        assert_eq!(report.sanity, 1.0);
+        // The summary is exactly the aggregate of the per-query vectors,
+        // and matches the legacy one-summary entry point.
+        assert_eq!(report.summary.queries, 2);
+        assert!((report.summary.mean_relative - 0.5).abs() < 1e-12);
+        assert!((report.summary.mean_absolute - 1.0).abs() < 1e-12);
+        assert_eq!(
+            report.summary,
+            evaluate_columns(&workload, &synthetic_cols, &reference, 1.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sanity bound")]
+    fn synthetic_rejects_non_positive_sanity() {
+        let cols = vec![vec![0u32]];
+        let _ = Synthetic::new(&cols, &cols).sanity(-1.0);
     }
 
     #[test]

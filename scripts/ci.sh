@@ -39,6 +39,39 @@ trap 'rm -rf "$SMOKE"' EXIT
 diff "$SMOKE/served.csv" "$SMOKE/synthed.csv"
 echo "    served rows are byte-identical to in-process synthesis"
 
+echo "==> observability: CLI metrics smoke vs golden manifest"
+# synth with a JSON snapshot; the emitted metric *names* must match the
+# checked-in manifest exactly (taxonomy drift lands with a manifest
+# update, never silently). Metrics must not perturb the release either.
+"$CLI" synth --input "$SMOKE/census.csv" --out "$SMOKE/obs.csv" --rows 1000 \
+    --epsilon 1.0 --seed 99 --metrics json --metrics-out "$SMOKE/obs.metrics.json"
+diff "$SMOKE/obs.csv" "$SMOKE/synthed.csv"
+echo "    synthesis with metrics on is byte-identical to metrics off"
+sed -n 's/.*"id":"\([a-z_]*\).*/\1/p' "$SMOKE/obs.metrics.json" | sort -u \
+    > "$SMOKE/metric_names.txt"
+diff scripts/metrics_manifest.txt "$SMOKE/metric_names.txt"
+echo "    metric names match scripts/metrics_manifest.txt"
+# Prometheus rendering smoke: serving counters move and the exposition
+# format carries TYPE headers.
+"$CLI" sample --model "$SMOKE/model.dpcm" --out "$SMOKE/obs-served.csv" --rows 500 \
+    --workers 2 --metrics prom --metrics-out "$SMOKE/obs.metrics.prom"
+grep -q '^# TYPE serve_rows_total counter' "$SMOKE/obs.metrics.prom"
+grep -q '^serve_rows_total 500' "$SMOKE/obs.metrics.prom"
+echo "    prometheus exposition carries live serving counters"
+
+echo "==> observability: stray-timing grep gate"
+# All wall-clock timing flows through obskit (Stopwatch/Span); testkit's
+# bench harness predates it and is the only other sanctioned caller.
+if grep -rn --include='*.rs' 'Instant::now()' crates \
+    | grep -v '^crates/obskit/' | grep -v '^crates/testkit/'; then
+    echo "    stray Instant::now() outside obskit/testkit (use obskit::Stopwatch)" >&2
+    exit 1
+fi
+echo "    no stray Instant::now() outside obskit/testkit"
+
+echo "==> observability: disabled-sink overhead gate"
+QUICK=1 cargo run -p dpcopula-bench --release --offline --bin bench_obskit
+
 echo "==> statcheck smoke: empirical DP audit of every margin method"
 # Exits nonzero if any registered mechanism exceeds its declared epsilon
 # empirically, or if the broken-Laplace negative control goes undetected.

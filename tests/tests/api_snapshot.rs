@@ -1,0 +1,166 @@
+//! Pins the public API surface of the workspace's exported crates.
+//!
+//! A plain-text snapshot (`tests/api_snapshot.txt`) lists every `pub`
+//! item declared in the sources of `core`, `dpmech`, `modelstore` and
+//! `obskit`. Renaming, removing, or adding a public item makes this test
+//! fail with a readable diff, so API changes are deliberate and land
+//! together with their snapshot update. Bless an intentional change with
+//!
+//! ```text
+//! API_SNAPSHOT_UPDATE=1 cargo test -p integration-tests api_snapshot
+//! ```
+//!
+//! The scan is a line-level parse: it records `pub fn|struct|enum|
+//! const|static|trait|type|mod NAME` declarations (methods in `impl`
+//! blocks included) and skips `pub(crate)`/`pub(super)` items, which
+//! never leave the crate. Macro-generated items would be invisible to
+//! it — the workspace defines none.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// The crates whose API the snapshot pins, as `(name, src dir)` pairs
+/// relative to the workspace root.
+const CRATES: [(&str, &str); 4] = [
+    ("dpcopula", "crates/core/src"),
+    ("dpmech", "crates/dpmech/src"),
+    ("modelstore", "crates/modelstore/src"),
+    ("obskit", "crates/obskit/src"),
+];
+
+const KINDS: [&str; 8] = [
+    "fn", "struct", "enum", "const", "static", "trait", "type", "mod",
+];
+
+fn workspace_root() -> PathBuf {
+    // integration-tests lives at <root>/tests.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate sits inside the workspace")
+        .to_path_buf()
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = std::fs::read_dir(dir).expect("crate src dir exists");
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts `kind name` from one line if it declares a fully-public
+/// item, else `None`.
+fn public_item(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    // `pub(crate)` / `pub(super)` / `pub(in ...)` are not public API.
+    let rest = trimmed.strip_prefix("pub ")?;
+    // Strip qualifiers that may precede the item keyword.
+    let mut rest = rest.trim_start();
+    for qualifier in ["unsafe ", "async ", "const ", "extern \"C\" "] {
+        if let Some(r) = rest.strip_prefix(qualifier) {
+            // `pub const NAME` is itself an item; only strip `const`
+            // when a `fn` follows (`pub const fn`).
+            if qualifier != "const " || r.trim_start().starts_with("fn ") {
+                rest = r.trim_start();
+            }
+        }
+    }
+    for kind in KINDS {
+        if let Some(r) = rest.strip_prefix(kind) {
+            let r = r.strip_prefix(' ').or_else(|| r.strip_prefix('\t'))?;
+            let name: String = r
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                return None;
+            }
+            return Some(format!("{kind} {name}"));
+        }
+    }
+    None
+}
+
+fn scan() -> BTreeSet<String> {
+    let root = workspace_root();
+    let mut items = BTreeSet::new();
+    for (krate, src) in CRATES {
+        let mut files = Vec::new();
+        rust_files(&root.join(src), &mut files);
+        for file in files {
+            let rel = file
+                .strip_prefix(root.join(src))
+                .expect("file under src dir")
+                .display()
+                .to_string();
+            let text = std::fs::read_to_string(&file).expect("readable source file");
+            let mut in_test_mod = false;
+            let mut depth = 0usize;
+            for line in text.lines() {
+                if line.trim_start().starts_with("#[cfg(test)]") {
+                    in_test_mod = true;
+                    depth = 0;
+                }
+                if in_test_mod {
+                    depth += line.matches('{').count();
+                    depth = depth.saturating_sub(line.matches('}').count());
+                    if depth == 0 && line.contains('}') {
+                        in_test_mod = false;
+                    }
+                    continue;
+                }
+                if let Some(item) = public_item(line) {
+                    items.insert(format!("{krate}/{rel}: {item}"));
+                }
+            }
+        }
+    }
+    items
+}
+
+#[test]
+fn public_api_matches_snapshot() {
+    let snapshot_path = workspace_root().join("tests/api_snapshot.txt");
+    let actual: Vec<String> = scan().into_iter().collect();
+    let rendered = format!("{}\n", actual.join("\n"));
+
+    if std::env::var("API_SNAPSHOT_UPDATE").as_deref() == Ok("1") {
+        std::fs::write(&snapshot_path, &rendered).expect("write api_snapshot.txt");
+        println!(
+            "blessed {} items into {}",
+            actual.len(),
+            snapshot_path.display()
+        );
+        return;
+    }
+
+    let expected_text = std::fs::read_to_string(&snapshot_path).unwrap_or_else(|e| {
+        panic!(
+            "missing {} ({e}); bless it with API_SNAPSHOT_UPDATE=1",
+            snapshot_path.display()
+        )
+    });
+    let expected: BTreeSet<&str> = expected_text.lines().filter(|l| !l.is_empty()).collect();
+    let actual_set: BTreeSet<&str> = actual.iter().map(String::as_str).collect();
+
+    let missing: Vec<&&str> = expected.difference(&actual_set).collect();
+    let added: Vec<&&str> = actual_set.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && added.is_empty(),
+        "public API drifted from tests/api_snapshot.txt\n\
+         removed ({}):\n  {}\nadded ({}):\n  {}\n\
+         if intentional, bless with API_SNAPSHOT_UPDATE=1 cargo test -p integration-tests api_snapshot",
+        missing.len(),
+        missing
+            .iter()
+            .map(|s| **s)
+            .collect::<Vec<_>>()
+            .join("\n  "),
+        added.len(),
+        added.iter().map(|s| **s).collect::<Vec<_>>().join("\n  "),
+    );
+}
