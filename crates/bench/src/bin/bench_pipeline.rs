@@ -3,13 +3,14 @@
 //! worker counts {1, 2, 4} on fig11-sized census data, plus the legacy
 //! serial correlation estimator (`dp_correlation_matrix`, per-pair sorts,
 //! single-threaded) as the reference the correlation-stage speedup is
-//! measured against.
+//! measured against, and the sampling stage timed under both sampling
+//! profiles (`reference` vs the ziggurat/table `fast` hot path).
 //!
 //! `QUICK=1` shrinks the input and sample count for smoke runs.
 
 use datagen::census::us_census;
 use dpcopula::kendall::{dp_correlation_matrix, SamplingStrategy};
-use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions};
+use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions, SamplingProfile};
 use dpmech::Epsilon;
 use obskit::Stopwatch;
 use rngkit::rngs::StdRng;
@@ -146,6 +147,49 @@ fn main() {
         let _ = writeln!(out, "    }}{comma}");
     }
     let _ = writeln!(out, "  ],");
+
+    // The sampling stage under each profile, full engine at 4 workers:
+    // same fitted model shape, different hot path.
+    let _ = writeln!(out, "  \"sampling_profiles\": {{");
+    let profiles = [SamplingProfile::Reference, SamplingProfile::Fast];
+    for (pi, &profile) in profiles.iter().enumerate() {
+        let mut sampling = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let (_, report) = DpCopula::new(config.with_profile(profile))
+                .synthesize_staged(
+                    data.columns(),
+                    &data.domains(),
+                    0xf00d + s as u64,
+                    &EngineOptions::with_workers(4),
+                )
+                .expect("census synthesis succeeds");
+            let (_, d) = report
+                .timings
+                .stages()
+                .into_iter()
+                .find(|(name, _)| *name == "sampling")
+                .expect("sampling stage timed");
+            sampling.push(d.as_secs_f64());
+        }
+        let st = stats(&sampling);
+        let rows_per_s = n as f64 / st.median;
+        println!(
+            "sampling profile={}: median {:.4}s ({rows_per_s:.0} rows/s)",
+            profile.name(),
+            st.median
+        );
+        let comma = if pi + 1 < profiles.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"min_s\": {:.6}, \"median_s\": {:.6}, \"p95_s\": {:.6}, \
+             \"rows_per_s\": {rows_per_s:.1}}}{comma}",
+            profile.name(),
+            st.min,
+            st.median,
+            st.p95
+        );
+    }
+    let _ = writeln!(out, "  }},");
 
     // Correlation-stage speedup of the engine over the legacy serial
     // estimator, at each worker count (medians).

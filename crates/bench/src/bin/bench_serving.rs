@@ -1,17 +1,29 @@
 //! Emits `BENCH_serving.json`: fit-once/sample-many serving costs — how
 //! long a fit takes versus how cheaply its saved artifact is encoded,
 //! loaded (with full validation) and served, with sampling throughput at
-//! worker counts {1, 2, 4}. The point of the artifact store in numbers:
-//! the budgeted fit happens once, while each served window costs
-//! milliseconds and no epsilon.
+//! worker counts {1, 2, 4} for **both sampling profiles**. The point of
+//! the artifact store in numbers: the budgeted fit happens once, while
+//! each served window costs milliseconds and no epsilon.
 //!
-//! `QUICK=1` shrinks the input and sample counts for smoke runs.
+//! Doubles as the fast-profile regression gate: the run exits non-zero
+//! when the `fast` profile's best sampling throughput drops below
+//! [`MIN_FAST_SPEEDUP`]x the `reference` profile's — so a change that
+//! quietly de-optimises the ziggurat/table/blocked-apply hot path fails
+//! CI instead of shipping.
+//!
+//! `QUICK=1` shrinks the input and sample counts for smoke runs and
+//! leaves the committed `BENCH_serving.json` untouched.
 
 use datagen::census::us_census;
-use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions, FittedModel};
+use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions, FittedModel, SamplingProfile};
 use dpmech::Epsilon;
 use obskit::Stopwatch;
 use std::fmt::Write as _;
+
+/// Regression gate: the fast profile must sample at least this many
+/// times faster than the reference profile (best rows/s over the
+/// benchmarked worker counts).
+const MIN_FAST_SPEEDUP: f64 = 4.0;
 
 fn median(samples: &mut [f64]) -> f64 {
     assert!(!samples.is_empty());
@@ -66,7 +78,7 @@ fn main() {
         bytes.len()
     );
 
-    // Serving throughput per worker count.
+    // Serving throughput per profile and worker count.
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"model_serving\",");
     let _ = writeln!(
@@ -80,35 +92,63 @@ fn main() {
     let _ = writeln!(out, "  \"artifact_bytes\": {},", bytes.len());
     let _ = writeln!(out, "  \"encode_median_s\": {encode_s:.6},");
     let _ = writeln!(out, "  \"load_validate_median_s\": {load_s:.6},");
+    let profiles = [SamplingProfile::Reference, SamplingProfile::Fast];
+    let mut best_rows_per_s = [0.0f64; 2];
     let _ = writeln!(out, "  \"serving\": [");
-    for (wi, &workers) in worker_counts.iter().enumerate() {
-        let mut times = Vec::with_capacity(samples);
-        for s in 0..samples {
-            // Rotate the window so runs do not share chunk boundaries.
-            let offset = s * serve_rows;
-            let t = Stopwatch::start();
-            let cols = model.sample_range(offset, serve_rows, workers);
-            times.push(t.elapsed().as_secs_f64());
-            assert_eq!(cols[0].len(), serve_rows);
+    for (pi, &profile) in profiles.iter().enumerate() {
+        for (wi, &workers) in worker_counts.iter().enumerate() {
+            let mut times = Vec::with_capacity(samples);
+            for s in 0..samples {
+                // Rotate the window so runs do not share chunk boundaries.
+                let offset = s * serve_rows;
+                let t = Stopwatch::start();
+                let cols = model.sample_range_profiled(profile, offset, serve_rows, workers);
+                times.push(t.elapsed().as_secs_f64());
+                assert_eq!(cols[0].len(), serve_rows);
+            }
+            let med = median(&mut times);
+            let rows_per_s = serve_rows as f64 / med;
+            best_rows_per_s[pi] = best_rows_per_s[pi].max(rows_per_s);
+            println!(
+                "serve profile={} workers={workers}: median {med:.4}s ({rows_per_s:.0} rows/s)",
+                profile.name()
+            );
+            let comma = if pi + 1 < profiles.len() || wi + 1 < worker_counts.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"profile\": \"{}\", \"workers\": {workers}, \"median_s\": {med:.6}, \
+                 \"rows_per_s\": {rows_per_s:.1}}}{comma}",
+                profile.name()
+            );
         }
-        let med = median(&mut times);
-        let rows_per_s = serve_rows as f64 / med;
-        println!("serve workers={workers}: median {med:.4}s ({rows_per_s:.0} rows/s)");
-        let comma = if wi + 1 < worker_counts.len() {
-            ","
-        } else {
-            ""
-        };
-        let _ = writeln!(
-            out,
-            "    {{\"workers\": {workers}, \"median_s\": {med:.6}, \
-             \"rows_per_s\": {rows_per_s:.1}}}{comma}"
-        );
     }
-    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "  ],");
+    let speedup = best_rows_per_s[1] / best_rows_per_s[0];
+    let _ = writeln!(out, "  \"fast_speedup\": {speedup:.3},");
+    let _ = writeln!(out, "  \"fast_speedup_floor\": {MIN_FAST_SPEEDUP}");
     out.push_str("}\n");
 
     let path = "BENCH_serving.json";
-    std::fs::write(path, &out).expect("write BENCH_serving.json");
-    println!("wrote {path}");
+    if quick {
+        println!("quick run: leaving {path} untouched");
+    } else {
+        std::fs::write(path, &out).expect("write BENCH_serving.json");
+        println!("wrote {path}");
+    }
+
+    println!(
+        "fast profile speedup: {speedup:.2}x (best {:.0} vs {:.0} rows/s, floor {MIN_FAST_SPEEDUP}x)",
+        best_rows_per_s[1], best_rows_per_s[0]
+    );
+    if speedup < MIN_FAST_SPEEDUP {
+        eprintln!(
+            "REGRESSION: fast profile is only {speedup:.2}x the reference sampling \
+             throughput (floor {MIN_FAST_SPEEDUP}x)"
+        );
+        std::process::exit(1);
+    }
 }

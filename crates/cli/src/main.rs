@@ -16,7 +16,7 @@
 use dpcopula::kendall::SamplingStrategy;
 use dpcopula::mle::PartitionStrategy;
 use dpcopula::synthesizer::{CorrelationMethod, DpCopulaConfig, MarginMethod};
-use dpcopula::{EngineOptions, FittedModel, SynthesisRequest};
+use dpcopula::{EngineOptions, FittedModel, SamplingProfile, SynthesisRequest};
 use dpmech::Epsilon;
 use obskit::{MetricsRegistry, MetricsSink};
 use rngkit::rngs::StdRng;
@@ -35,10 +35,10 @@ USAGE:
                        [--k RATIO] [--workers W] [--chunk C]
   dpcopula-cli inspect --model FILE
   dpcopula-cli sample  --model FILE --out FILE --rows N [--offset O]
-                       [--workers W]
+                       [--workers W] [--profile reference|fast]
   dpcopula-cli synth   --input FILE --out FILE [--rows N] [--epsilon E]
                        [--seed S] [--method M] [--margin NAME] [--k RATIO]
-                       [--workers W] [--chunk C]
+                       [--workers W] [--chunk C] [--profile reference|fast]
   dpcopula-cli eval    --synthetic FILE --reference FILE [--queries N]
                        [--seed S] [--sanity B]
 
@@ -51,7 +51,13 @@ stdout when the command writes no file.
 `fit` then `sample --offset 0 --rows N` reproduces `synth --rows N`
 byte-for-byte for the same input/seed/options: sampling a saved artifact
 is pure post-processing of the one budgeted release — with or without
-metrics, which only observe and never perturb a release.";
+metrics, which only observe and never perturb a release.
+
+`--profile fast` samples with the vectorized hot path: same fitted DP
+model, same privacy guarantee, much higher rows/s. Fast output is
+deterministic with itself (same seed/options => same bytes at any worker
+count) but on its own byte stream — it is not comparable to the
+reference profile byte-for-byte, only distributionally.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -203,6 +209,16 @@ fn parse_method(s: &str) -> Result<CorrelationMethod, String> {
         "spearman" => Ok(CorrelationMethod::Spearman),
         other => Err(format!(
             "unknown correlation method `{other}` (kendall, mle, spearman)"
+        )),
+    }
+}
+
+fn parse_profile(s: &str) -> Result<SamplingProfile, String> {
+    match s {
+        "reference" => Ok(SamplingProfile::Reference),
+        "fast" => Ok(SamplingProfile::Fast),
+        other => Err(format!(
+            "unknown sampling profile `{other}` (reference, fast)"
         )),
     }
 }
@@ -380,11 +396,12 @@ fn cmd_sample(flags: &Flags) -> Result<(), String> {
         .map_err(|_| "bad value for --rows".to_string())?;
     let offset = flags.parsed("offset", 0usize)?;
     let workers = flags.parsed("workers", 1usize)?;
+    let profile = parse_profile(flags.get("profile").unwrap_or("reference"))?;
     let metrics = Metrics::parse(flags)?;
     let model = FittedModel::load_observed(path, &metrics.sink())
         .map_err(|e| format!("reading {path}: {e}"))?;
     let columns = model
-        .try_sample_range(offset, rows, workers)
+        .try_sample_range_profiled(profile, offset, rows, workers)
         .map_err(|e| e.to_string())?;
     let attributes: Vec<datagen::Attribute> = model
         .artifact()
@@ -405,6 +422,7 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
     let input = flags.require("input")?;
     let out = flags.require("out")?;
     let (mut config, opts, seed) = parse_config(flags)?;
+    config = config.with_profile(parse_profile(flags.get("profile").unwrap_or("reference"))?);
     let metrics = Metrics::parse(flags)?;
     let dataset = load_dataset(input)?;
     if let Some(rows) = flags.get("rows") {

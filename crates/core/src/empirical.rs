@@ -92,6 +92,97 @@ impl MarginalDistribution {
     }
 }
 
+/// Precomputed inverse-CDF lookup table for the fast sampling profile:
+/// maps a standard-normal draw `z` straight to the margin's category,
+/// fusing Algorithm 3 steps 2 (`t = Φ(z)`) and 3 (`x = F̃⁻¹(t)`) into
+/// one table walk with **no** per-row Φ evaluation.
+///
+/// Construction: `zcut[k] = Φ⁻¹(cdf[k])` is the z-space threshold below
+/// which the sampled category is `<= k`; since Φ is strictly increasing,
+/// `smallest k with cdf[k] >= Φ(z)` equals `smallest k with
+/// zcut[k] >= z`. A uniform guide grid over `z ∈ [±GUIDE_Z_MAX]` gives
+/// the starting index for the (monotone) forward scan, so lookups are
+/// O(1) for any realistic z.
+///
+/// Exactness: for every z with `Φ(z)` computable (|z| ≲ 38, far beyond
+/// any double-precision normal draw), the result matches
+/// `margin.quantile(norm_cdf(z))` except on the measure-zero set where
+/// `Φ(z)` ties a CDF step within one floating-point ulp.
+#[derive(Debug, Clone)]
+pub struct QuantileTable {
+    /// `zcut[k] = Φ⁻¹(cdf[k])`; non-decreasing, last entry forced `+∞`.
+    zcut: Vec<f64>,
+    /// `guide[g]` = smallest `k` with `zcut[k] >= edge(g)`.
+    guide: Vec<u32>,
+    z_lo: f64,
+    inv_step: f64,
+}
+
+/// Guide-grid half-width. Draws beyond |z| = 4.5 (probability ≈ 7e-6
+/// per draw) clamp into the first/last slot and still resolve correctly
+/// via the forward scan — keeping the grid narrow spends its resolution
+/// where the standard-normal mass actually lands, so the scan almost
+/// always terminates on its first comparison.
+const GUIDE_Z_MAX: f64 = 4.5;
+
+impl QuantileTable {
+    /// Builds the z-space lookup table for `margin`.
+    pub fn new(margin: &MarginalDistribution) -> Self {
+        // Guard against cumulative-sum round-up: an intermediate cdf
+        // entry one ulp above 1.0 would send Φ⁻¹ to NaN.
+        let cdf: Vec<f64> = margin.cdf.iter().map(|c| c.min(1.0)).collect();
+        let mut zcut = vec![0.0; cdf.len()];
+        mathkit::batch::norm_quantile_slice(&cdf, &mut zcut);
+        // cdf ends at exactly 1.0 so the last cut is already +∞; force it
+        // anyway so the scan in `quantile_z` always terminates.
+        *zcut.last_mut().expect("non-empty margin") = f64::INFINITY;
+
+        let slots = (margin.cdf.len() * 2).clamp(64, 8192);
+        let z_lo = -GUIDE_Z_MAX;
+        let step = 2.0 * GUIDE_Z_MAX / slots as f64;
+        let mut guide = Vec::with_capacity(slots);
+        let mut k = 0usize;
+        for g in 0..slots {
+            // Slot g covers z >= edge(g); slot 0's edge is effectively
+            // -∞ (every z below z_lo clamps into it), so its guide entry
+            // must stay 0.
+            let edge = if g == 0 {
+                f64::NEG_INFINITY
+            } else {
+                z_lo + g as f64 * step
+            };
+            while zcut[k] < edge {
+                k += 1;
+            }
+            guide.push(k as u32);
+        }
+        Self {
+            zcut,
+            guide,
+            z_lo,
+            inv_step: 1.0 / step,
+        }
+    }
+
+    /// The category for a standard-normal draw `z`: the smallest `k`
+    /// with `Φ(z) <= cdf[k]`. NaN maps to category 0 (matching
+    /// `quantile(norm_cdf(NaN).clamp(0,1))`'s behaviour of clamping).
+    #[inline]
+    pub fn quantile_z(&self, z: f64) -> u32 {
+        if z.is_nan() {
+            return 0;
+        }
+        let slot = ((z - self.z_lo) * self.inv_step) as isize;
+        let slot = slot.clamp(0, self.guide.len() as isize - 1) as usize;
+        let mut k = self.guide[slot] as usize;
+        // zcut's last entry is +∞, so this scan always terminates.
+        while self.zcut[k] < z {
+            k += 1;
+        }
+        k as u32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +259,46 @@ mod tests {
     #[should_panic(expected = "empty histogram")]
     fn empty_histogram_panics() {
         let _ = MarginalDistribution::from_noisy_histogram(&[]);
+    }
+
+    #[test]
+    fn quantile_table_matches_exact_inversion_on_z_sweep() {
+        let margins = [
+            MarginalDistribution::from_noisy_histogram(&[1.0, 3.0, 0.0, 4.0]),
+            MarginalDistribution::from_noisy_histogram(&[0.0, 0.0, 5.0]),
+            MarginalDistribution::from_noisy_histogram(&[-1.0, -2.0, -3.0]),
+            MarginalDistribution::from_noisy_histogram(&[2.0]),
+            MarginalDistribution::from_noisy_histogram(
+                &(0..1000).map(f64::from).collect::<Vec<_>>(),
+            ),
+        ];
+        for m in &margins {
+            let table = QuantileTable::new(m);
+            let mut z = -10.0;
+            while z <= 10.0 {
+                let fast = table.quantile_z(z);
+                let exact = m.quantile(mathkit::special::norm_cdf(z));
+                assert_eq!(fast, exact, "domain {} z {z}", m.domain());
+                z += 0.00173;
+            }
+            // Extremes resolve to the first/last massive category.
+            assert_eq!(table.quantile_z(f64::NEG_INFINITY), m.quantile(0.0));
+            assert_eq!(table.quantile_z(f64::INFINITY), m.quantile(1.0));
+            assert_eq!(table.quantile_z(f64::NAN), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_table_is_monotone_in_z() {
+        let m = MarginalDistribution::from_noisy_histogram(&[1.0, 0.5, 0.0, 2.0, 0.25]);
+        let table = QuantileTable::new(&m);
+        let mut prev = table.quantile_z(-9.0);
+        let mut z = -9.0;
+        while z <= 9.0 {
+            let k = table.quantile_z(z);
+            assert!(k >= prev, "z {z}: {k} < {prev}");
+            prev = k;
+            z += 0.01;
+        }
     }
 }

@@ -36,7 +36,9 @@ use dphist::MarginRegistry;
 use dpmech::BudgetAccountant;
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::Matrix;
-use obskit::names::{ENGINE_WORKERS, PIPELINE_ROWS_OUT_TOTAL, PIPELINE_RUNS_TOTAL};
+use obskit::names::{
+    ENGINE_WORKERS, PIPELINE_ROWS_OUT_TOTAL, PIPELINE_RUNS_TOTAL, SAMPLING_PROFILE_ROWS_TOTAL,
+};
 use obskit::{MetricsSink, Unit};
 use std::time::Duration;
 
@@ -336,13 +338,18 @@ impl DpCopula {
         let (parts, mut timings) = self.fit_parts(columns, domains, base_seed, opts, sink)?;
 
         // Stage 5: copula sampling — one task per row chunk
-        // (post-processing, no budget).
+        // (post-processing, no budget). The profile picks the hot path;
+        // both draw from the same fitted DP model.
         let span = sink.span("sampling");
+        let profile = self.config().sampling_profile;
         let sampler = CopulaSampler::new(&parts.correlation, parts.margins)?;
         let n_out = self.config().output_records.unwrap_or(columns[0].len());
-        let out_columns = sampler.sample_columns_chunked_observed(
+        let out_columns = sampler.sample_columns_window_profile_observed(
+            profile,
+            0,
             n_out,
             base_seed,
+            STREAM_SAMPLER,
             workers,
             opts.sample_chunk,
             sink,
@@ -352,6 +359,12 @@ impl DpCopula {
 
         sink.add(PIPELINE_RUNS_TOTAL, Unit::Count, 1);
         sink.add(PIPELINE_ROWS_OUT_TOTAL, Unit::Count, n_out as u64);
+        sink.add_labeled(
+            SAMPLING_PROFILE_ROWS_TOTAL,
+            &[("profile", profile.name())],
+            Unit::Count,
+            n_out as u64,
+        );
         sink.gauge_set(ENGINE_WORKERS, Unit::Info, workers as u64);
         drop(pipeline);
 

@@ -61,6 +61,15 @@ pub enum DpCopulaError {
     /// the eigenvalue repair — numerically it is not positive definite,
     /// so no copula can be sampled from it.
     NotPositiveDefinite(CholeskyError),
+    /// A sampler was asked to pair a correlation matrix with a different
+    /// number of marginal distributions — one margin per matrix
+    /// dimension is required.
+    MarginCountMismatch {
+        /// Number of marginal distributions supplied.
+        margins: usize,
+        /// Dimension of the correlation matrix.
+        dims: usize,
+    },
     /// A stored model artifact failed decoding or its on-load validation
     /// (checksums, unit diagonal, symmetry, positive-definiteness) —
     /// serving it would produce garbage or panic downstream, so the load
@@ -125,6 +134,11 @@ impl std::fmt::Display for DpCopulaError {
             DpCopulaError::NotPositiveDefinite(e) => {
                 write!(f, "correlation matrix is not positive definite: {e}")
             }
+            DpCopulaError::MarginCountMismatch { margins, dims } => write!(
+                f,
+                "need one marginal distribution per matrix dimension: \
+                 {margins} margins for a {dims}-dimensional matrix"
+            ),
             DpCopulaError::CorruptModel { reason } => {
                 write!(f, "corrupt model artifact: {reason}")
             }

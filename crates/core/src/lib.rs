@@ -64,4 +64,5 @@ pub use engine::{EngineOptions, PipelineReport, StageTimings};
 pub use error::DpCopulaError;
 pub use model::FittedModel;
 pub use request::SynthesisRequest;
+pub use sampler::SamplingProfile;
 pub use synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod, Synthesis};

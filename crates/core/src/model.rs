@@ -30,7 +30,7 @@
 use crate::empirical::MarginalDistribution;
 use crate::engine::{EngineOptions, PipelineReport, STREAM_SAMPLER};
 use crate::error::DpCopulaError;
-use crate::sampler::CopulaSampler;
+use crate::sampler::{CopulaSampler, SamplingProfile};
 use crate::synthesizer::DpCopula;
 use crate::tcopula::TCopulaSampler;
 use dphist::MarginRegistry;
@@ -40,7 +40,8 @@ use modelstore::{
     StoreError,
 };
 use obskit::names::{
-    MODELSTORE_CORRUPTION_REJECTS_TOTAL, SERVE_ROWS_TOTAL, SERVE_WINDOWS_TOTAL, STAGE_SERVE,
+    MODELSTORE_CORRUPTION_REJECTS_TOTAL, SAMPLING_PROFILE_ROWS_TOTAL, SERVE_ROWS_TOTAL,
+    SERVE_WINDOWS_TOTAL, STAGE_SERVE,
 };
 use obskit::{MetricsSink, Unit};
 use std::path::Path;
@@ -140,9 +141,11 @@ impl FittedModel {
             .collect();
         let sampler = match artifact.family {
             CopulaFamily::Gaussian => {
-                ServingSampler::Gaussian(CopulaSampler::new(p, margins).map_err(|e| {
-                    corrupt(format!("correlation matrix is not positive definite: {e}"))
-                })?)
+                // The sampler's own error already names the violated
+                // invariant ("not positive definite" / margin count).
+                ServingSampler::Gaussian(
+                    CopulaSampler::new(p, margins).map_err(|e| corrupt(e.to_string()))?,
+                )
             }
             CopulaFamily::StudentT { dof } => {
                 if !dof.is_finite() || dof <= 0.0 {
@@ -261,14 +264,37 @@ impl FittedModel {
     /// one-machine output. `sample_range(0, n)` also reproduces
     /// `synthesize_staged`'s sampled rows for the same seed and chunk.
     pub fn sample_range(&self, offset: usize, n: usize, workers: usize) -> Vec<Vec<u32>> {
+        self.sample_range_profiled(SamplingProfile::Reference, offset, n, workers)
+    }
+
+    /// [`FittedModel::sample_range`] under an explicit
+    /// [`SamplingProfile`]. `Reference` reproduces the pinned serving
+    /// bytes; `Fast` serves an equally valid draw from the same model at
+    /// much higher throughput, deterministic with itself at any worker
+    /// count or window split. Student-t models have no vectorised path
+    /// yet and serve the reference stream under either profile.
+    pub fn sample_range_profiled(
+        &self,
+        profile: SamplingProfile,
+        offset: usize,
+        n: usize,
+        workers: usize,
+    ) -> Vec<Vec<u32>> {
         let sink = &self.sink;
         let span = sink.span("serve/window");
         sink.add(SERVE_WINDOWS_TOTAL, Unit::Count, 1);
         sink.add(SERVE_ROWS_TOTAL, Unit::Count, n as u64);
+        sink.add_labeled(
+            SAMPLING_PROFILE_ROWS_TOTAL,
+            &[("profile", profile.name())],
+            Unit::Count,
+            n as u64,
+        );
         let prov = &self.artifact.provenance;
         let chunk = prov.sample_chunk as usize;
         let out = match &self.sampler {
-            ServingSampler::Gaussian(s) => s.sample_columns_window_observed(
+            ServingSampler::Gaussian(s) => s.sample_columns_window_profile_observed(
+                profile,
                 offset,
                 n,
                 prov.base_seed,
@@ -322,10 +348,22 @@ impl FittedModel {
         n: usize,
         workers: usize,
     ) -> Result<Vec<Vec<u32>>, DpCopulaError> {
+        self.try_sample_range_profiled(SamplingProfile::Reference, offset, n, workers)
+    }
+
+    /// Checked variant of
+    /// [`sample_range_profiled`](Self::sample_range_profiled).
+    pub fn try_sample_range_profiled(
+        &self,
+        profile: SamplingProfile,
+        offset: usize,
+        n: usize,
+        workers: usize,
+    ) -> Result<Vec<Vec<u32>>, DpCopulaError> {
         if offset.checked_add(n).is_none() {
             return Err(DpCopulaError::RowWindowOverflow { offset, n });
         }
-        Ok(self.sample_range(offset, n, workers))
+        Ok(self.sample_range_profiled(profile, offset, n, workers))
     }
 
     /// Convenience for `sample_range(0, n, workers)`.

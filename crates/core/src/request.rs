@@ -25,6 +25,7 @@
 use crate::engine::{EngineOptions, PipelineReport};
 use crate::error::DpCopulaError;
 use crate::model::FittedModel;
+use crate::sampler::SamplingProfile;
 use crate::selection::{synthesize_adaptive, AdaptiveConfig, AdaptiveSynthesis};
 use crate::synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod, Synthesis};
 use dpmech::Epsilon;
@@ -95,6 +96,15 @@ impl<'d> SynthesisRequest<'d> {
     /// Overrides the output cardinality (default: input cardinality).
     pub fn output_records(mut self, n: usize) -> Self {
         self.config.output_records = Some(n);
+        self
+    }
+
+    /// Overrides the sampling profile (default:
+    /// [`SamplingProfile::Reference`]). Part of the config rather than
+    /// the engine options because the `Fast` profile changes the
+    /// released bytes (to an equally valid draw from the same model).
+    pub fn profile(mut self, profile: SamplingProfile) -> Self {
+        self.config = self.config.with_profile(profile);
         self
     }
 

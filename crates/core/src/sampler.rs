@@ -6,12 +6,45 @@
 //! 3. map back to the original domains through the inverse DP marginal
 //!    CDFs: `x_j = F~_j^{-1}(t_j)`.
 
-use crate::empirical::MarginalDistribution;
-use mathkit::cholesky::CholeskyError;
+use crate::empirical::{MarginalDistribution, QuantileTable};
+use crate::error::DpCopulaError;
 use mathkit::dist::MultivariateNormal;
 use mathkit::special::norm_cdf;
 use mathkit::Matrix;
+use rngkit::ziggurat;
 use rngkit::Rng;
+
+/// How the sampling hot path trades determinism pinning for speed.
+///
+/// Both profiles post-process the *same* fitted DP model, so the
+/// privacy guarantee is identical; they differ only in which
+/// reproducibility contract the emitted bytes satisfy (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplingProfile {
+    /// The pinned path: polar-method normals, per-row Cholesky apply,
+    /// scalar Φ then inverse-CDF search. Output is byte-identical to
+    /// every release since the determinism contract was introduced, at
+    /// any worker count or window split.
+    #[default]
+    Reference,
+    /// The vectorised path: ziggurat normals, blocked Cholesky apply,
+    /// and per-margin z-space lookup tables that skip Φ entirely.
+    /// Deterministic with *itself* (same seed ⇒ same bytes at any
+    /// worker count or window split) but not byte-comparable to
+    /// [`SamplingProfile::Reference`]; equality is enforced
+    /// distributionally by the statistical-equivalence test tier.
+    Fast,
+}
+
+impl SamplingProfile {
+    /// Stable lower-case label used for CLI flags and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplingProfile::Reference => "reference",
+            SamplingProfile::Fast => "fast",
+        }
+    }
+}
 
 /// A ready-to-sample DP copula model: DP correlation matrix plus DP
 /// marginal distributions.
@@ -19,25 +52,27 @@ use rngkit::Rng;
 pub struct CopulaSampler {
     mvn: MultivariateNormal,
     margins: Vec<MarginalDistribution>,
+    /// z-space inverse-CDF tables, one per margin (fast profile only).
+    tables: Vec<QuantileTable>,
 }
 
 impl CopulaSampler {
-    /// Builds the sampler. Fails when `p` is not positive definite
-    /// (run it through the repair of Algorithm 5 first) or when the
-    /// number of margins disagrees with `p`.
-    ///
-    /// # Panics
-    /// Panics on a margin-count mismatch (a programming error rather than
-    /// a data condition).
-    pub fn new(p: &Matrix, margins: Vec<MarginalDistribution>) -> Result<Self, CholeskyError> {
-        assert_eq!(
-            p.rows(),
-            margins.len(),
-            "one marginal distribution per matrix dimension"
-        );
+    /// Builds the sampler. Fails when the number of margins disagrees
+    /// with `p` ([`DpCopulaError::MarginCountMismatch`]) or when `p` is
+    /// not positive definite (run it through the repair of Algorithm 5
+    /// first).
+    pub fn new(p: &Matrix, margins: Vec<MarginalDistribution>) -> Result<Self, DpCopulaError> {
+        if p.rows() != margins.len() {
+            return Err(DpCopulaError::MarginCountMismatch {
+                margins: margins.len(),
+                dims: p.rows(),
+            });
+        }
+        let tables = margins.iter().map(QuantileTable::new).collect();
         Ok(Self {
             mvn: MultivariateNormal::new(p)?,
             margins,
+            tables,
         })
     }
 
@@ -179,23 +214,75 @@ impl CopulaSampler {
         sink: &obskit::MetricsSink,
         stage: &str,
     ) -> Vec<Vec<u32>> {
+        self.sample_columns_window_profile_observed(
+            SamplingProfile::Reference,
+            offset,
+            n,
+            base_seed,
+            stream,
+            workers,
+            chunk,
+            sink,
+            stage,
+        )
+    }
+
+    /// [`CopulaSampler::sample_columns_window`] under an explicit
+    /// [`SamplingProfile`]. `Reference` reproduces the pinned byte
+    /// stream; `Fast` draws an equally valid sample from the same model,
+    /// deterministic for a fixed `(base_seed, stream, chunk)` at any
+    /// worker count or window split, but on its own byte stream.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_columns_window_profile(
+        &self,
+        profile: SamplingProfile,
+        offset: usize,
+        n: usize,
+        base_seed: u64,
+        stream: u64,
+        workers: usize,
+        chunk: usize,
+    ) -> Vec<Vec<u32>> {
+        self.sample_columns_window_profile_observed(
+            profile,
+            offset,
+            n,
+            base_seed,
+            stream,
+            workers,
+            chunk,
+            &obskit::MetricsSink::off(),
+            "sampling",
+        )
+    }
+
+    /// [`CopulaSampler::sample_columns_window_profile`] with per-chunk
+    /// task metrics published to `sink`. Bytes are identical for any
+    /// sink.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_columns_window_profile_observed(
+        &self,
+        profile: SamplingProfile,
+        offset: usize,
+        n: usize,
+        base_seed: u64,
+        stream: u64,
+        workers: usize,
+        chunk: usize,
+        sink: &obskit::MetricsSink,
+        stage: &str,
+    ) -> Vec<Vec<u32>> {
         let d = self.dims();
         let windows = parkit::chunk_windows(offset, n, chunk);
         let pieces: Vec<Vec<Vec<u32>>> =
             parkit::par_map_observed(workers, &windows, sink, stage, |_, w| {
                 let mut rng = parkit::stream_rng(base_seed, stream, w.id as u64);
-                let mut cols = vec![Vec::with_capacity(w.take); d];
-                let mut buf = vec![0u32; d];
-                for _ in 0..w.skip {
-                    self.sample_record(&mut rng, &mut buf);
-                }
-                for _ in 0..w.take {
-                    self.sample_record(&mut rng, &mut buf);
-                    for (col, &v) in cols.iter_mut().zip(&buf) {
-                        col.push(v);
+                match profile {
+                    SamplingProfile::Reference => {
+                        self.sample_chunk_reference(&mut rng, w.skip, w.take)
                     }
+                    SamplingProfile::Fast => self.sample_chunk_fast(&mut rng, w.skip, w.take),
                 }
-                cols
             });
         let mut out = vec![Vec::with_capacity(n); d];
         for piece in pieces {
@@ -204,6 +291,60 @@ impl CopulaSampler {
             }
         }
         out
+    }
+
+    /// One chunk of the pinned reference path: row-at-a-time
+    /// [`CopulaSampler::sample_record`], burning `skip` rows first.
+    fn sample_chunk_reference<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        skip: usize,
+        take: usize,
+    ) -> Vec<Vec<u32>> {
+        let d = self.dims();
+        let mut cols = vec![Vec::with_capacity(take); d];
+        let mut buf = vec![0u32; d];
+        for _ in 0..skip {
+            self.sample_record(rng, &mut buf);
+        }
+        for _ in 0..take {
+            self.sample_record(rng, &mut buf);
+            for (col, &v) in cols.iter_mut().zip(&buf) {
+                col.push(v);
+            }
+        }
+        cols
+    }
+
+    /// One chunk of the fast path: ziggurat normals drawn row-major into
+    /// a structure-of-arrays batch, one blocked Cholesky apply, then a
+    /// z-space table walk per cell — no per-row Φ evaluation at all.
+    ///
+    /// Normals are consumed in row order (`d` draws per row, skipped
+    /// rows burn exactly `d` draws each) so any window split of a chunk
+    /// sees the same per-row draws — the property the window-stitching
+    /// contract rests on.
+    fn sample_chunk_fast<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        skip: usize,
+        take: usize,
+    ) -> Vec<Vec<u32>> {
+        let d = self.dims();
+        for _ in 0..skip * d {
+            ziggurat::standard_normal(rng);
+        }
+        let mut z = vec![vec![0.0f64; take]; d];
+        for row in 0..take {
+            for col in z.iter_mut() {
+                col[row] = ziggurat::standard_normal(rng);
+            }
+        }
+        self.mvn.apply_lower_blocked(&mut z);
+        z.iter()
+            .zip(&self.tables)
+            .map(|(col, table)| col.iter().map(|&v| table.quantile_z(v)).collect())
+            .collect()
     }
 }
 
@@ -327,12 +468,89 @@ mod tests {
     #[test]
     fn rejects_indefinite_matrix() {
         let margins = vec![uniform_margin(4), uniform_margin(4), uniform_margin(4)];
-        assert!(CopulaSampler::new(&equicorrelation(3, -0.9), margins).is_err());
+        let err = CopulaSampler::new(&equicorrelation(3, -0.9), margins).unwrap_err();
+        assert!(matches!(err, DpCopulaError::NotPositiveDefinite(_)));
     }
 
     #[test]
-    #[should_panic(expected = "one marginal distribution per")]
-    fn margin_count_must_match() {
-        let _ = CopulaSampler::new(&Matrix::identity(2), vec![uniform_margin(4)]);
+    fn margin_count_mismatch_is_an_error_not_a_panic() {
+        let err = CopulaSampler::new(&Matrix::identity(2), vec![uniform_margin(4)]).unwrap_err();
+        assert_eq!(
+            err,
+            DpCopulaError::MarginCountMismatch {
+                margins: 1,
+                dims: 2
+            }
+        );
+        assert!(err.to_string().contains("marginal distribution"));
+    }
+
+    #[test]
+    fn fast_profile_is_worker_count_invariant_with_itself() {
+        let margins = vec![uniform_margin(100), uniform_margin(100)];
+        let s = CopulaSampler::new(&equicorrelation(2, 0.6), margins).unwrap();
+        let stream = crate::engine::STREAM_SAMPLER;
+        let base =
+            s.sample_columns_window_profile(SamplingProfile::Fast, 0, 5_000, 77, stream, 1, 512);
+        for workers in [2, 7] {
+            assert_eq!(
+                s.sample_columns_window_profile(
+                    SamplingProfile::Fast,
+                    0,
+                    5_000,
+                    77,
+                    stream,
+                    workers,
+                    512
+                ),
+                base,
+                "workers={workers}"
+            );
+        }
+        assert_eq!(base[0].len(), 5_000);
+        // And it draws from the same copula: dependence survives.
+        let tau = kendall_tau(&base[0], &base[1]);
+        let expect = 2.0 / std::f64::consts::PI * 0.6_f64.asin();
+        assert!((tau - expect).abs() < 0.05, "tau {tau} vs {expect}");
+    }
+
+    #[test]
+    fn fast_profile_window_splits_seamlessly() {
+        let margins = vec![uniform_margin(60), uniform_margin(60)];
+        let s = CopulaSampler::new(&equicorrelation(2, 0.4), margins).unwrap();
+        let stream = crate::engine::STREAM_SAMPLER;
+        let fast = SamplingProfile::Fast;
+        let whole = s.sample_columns_window_profile(fast, 0, 1_000, 5, stream, 3, 128);
+        for k in [1usize, 127, 128, 129, 500, 999] {
+            let head = s.sample_columns_window_profile(fast, 0, k, 5, stream, 2, 128);
+            let tail = s.sample_columns_window_profile(fast, k, 1_000 - k, 5, stream, 7, 128);
+            let stitched: Vec<Vec<u32>> = head
+                .iter()
+                .zip(&tail)
+                .map(|(h, t)| h.iter().chain(t).copied().collect())
+                .collect();
+            assert_eq!(stitched, whole, "split at {k}");
+        }
+    }
+
+    #[test]
+    fn fast_profile_reproduces_margins() {
+        let skew = MarginalDistribution::from_noisy_histogram(&[70.0, 20.0, 10.0]);
+        let s =
+            CopulaSampler::new(&equicorrelation(2, 0.0), vec![skew, uniform_margin(4)]).unwrap();
+        let stream = crate::engine::STREAM_SAMPLER;
+        let cols =
+            s.sample_columns_window_profile(SamplingProfile::Fast, 0, 30_000, 2, stream, 4, 4096);
+        let f0 = cols[0].iter().filter(|&&v| v == 0).count() as f64 / 30_000.0;
+        let f2 = cols[0].iter().filter(|&&v| v == 2).count() as f64 / 30_000.0;
+        assert!((f0 - 0.7).abs() < 0.02, "f0 {f0}");
+        assert!((f2 - 0.1).abs() < 0.02, "f2 {f2}");
+    }
+
+    #[test]
+    fn profile_names_are_stable() {
+        assert_eq!(SamplingProfile::Reference.name(), "reference");
+        assert_eq!(SamplingProfile::Fast.name(), "fast");
+        assert_eq!(SamplingProfile::default(), SamplingProfile::Reference);
     }
 }

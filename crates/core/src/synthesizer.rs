@@ -106,6 +106,12 @@ pub struct DpCopulaConfig {
     /// Number of synthetic records to emit; `None` reproduces the input
     /// cardinality (what the paper does).
     pub output_records: Option<usize>,
+    /// Which sampling hot path emits the records. `Reference` (the
+    /// default) keeps the pinned byte-reproducibility contract; `Fast`
+    /// trades it for throughput while sampling the same distribution.
+    /// Part of the config (not [`EngineOptions`]) because it changes the
+    /// released bytes.
+    pub sampling_profile: crate::sampler::SamplingProfile,
 }
 
 impl DpCopulaConfig {
@@ -118,6 +124,7 @@ impl DpCopulaConfig {
             method: CorrelationMethod::Kendall(SamplingStrategy::Auto),
             margin: MarginMethod::Efpa,
             output_records: None,
+            sampling_profile: crate::sampler::SamplingProfile::Reference,
         }
     }
 
@@ -145,6 +152,12 @@ impl DpCopulaConfig {
     /// Overrides the output cardinality.
     pub fn with_output_records(mut self, n: usize) -> Self {
         self.output_records = Some(n);
+        self
+    }
+
+    /// Overrides the sampling profile.
+    pub fn with_profile(mut self, profile: crate::sampler::SamplingProfile) -> Self {
+        self.sampling_profile = profile;
         self
     }
 }

@@ -196,6 +196,73 @@ fn fitted_model_windows_are_bitwise_equal_across_worker_counts() {
 }
 
 #[test]
+fn reference_profile_is_the_default_and_pins_todays_bytes() {
+    // The two-profile contract, reference side: a config that never
+    // mentions profiles and one that asks for `Reference` explicitly
+    // release identical bytes at workers {1, 2, 7} — introducing the
+    // knob must not move the pinned stream.
+    let (columns, domains) = dataset(4, 3_000, 8);
+    let implicit = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()));
+    let explicit = DpCopula::new(
+        DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap())
+            .with_profile(dpcopula::SamplingProfile::Reference),
+    );
+    let mut opts = EngineOptions::with_workers(1);
+    opts.sample_chunk = 512;
+    let (base, _) = implicit
+        .synthesize_staged(&columns, &domains, 707, &opts)
+        .unwrap();
+    for &workers in &[1, 2, 7] {
+        let mut opts = EngineOptions::with_workers(workers);
+        opts.sample_chunk = 512;
+        let (exp, _) = explicit
+            .synthesize_staged(&columns, &domains, 707, &opts)
+            .unwrap();
+        assert_eq!(exp.columns, base.columns, "workers={workers}");
+    }
+}
+
+#[test]
+fn fast_profile_is_bitwise_equal_with_itself_across_worker_counts() {
+    // The two-profile contract, fast side: same seed ⇒ same bytes at any
+    // worker count, through the full engine and through serving.
+    let (columns, domains) = dataset(4, 3_000, 9);
+    let dp = DpCopula::new(
+        DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap())
+            .with_profile(dpcopula::SamplingProfile::Fast),
+    );
+    let mut opts = EngineOptions::with_workers(1);
+    opts.sample_chunk = 512;
+    let (serial, _) = dp
+        .synthesize_staged(&columns, &domains, 808, &opts)
+        .unwrap();
+    for workers in WORKER_COUNTS {
+        let mut opts = EngineOptions::with_workers(workers);
+        opts.sample_chunk = 512;
+        let (par, _) = dp
+            .synthesize_staged(&columns, &domains, 808, &opts)
+            .unwrap();
+        assert_eq!(par.columns, serial.columns, "workers={workers}");
+    }
+
+    // Serving side: fast windows split seamlessly, like reference ones.
+    let (model, _) = dp.fit_staged(&columns, &domains, 808, &opts).unwrap();
+    let fast = dpcopula::SamplingProfile::Fast;
+    let n = 2_000;
+    let whole = model.sample_range_profiled(fast, 0, n, 1);
+    for k in [1, 511, 512, 513, 1_999] {
+        for &workers in &[1, 2, 7] {
+            let head = model.sample_range_profiled(fast, 0, k, workers);
+            let tail = model.sample_range_profiled(fast, k, n - k, workers);
+            for j in 0..model.dims() {
+                let stitched: Vec<u32> = head[j].iter().chain(&tail[j]).copied().collect();
+                assert_eq!(stitched, whole[j], "split k={k} workers={workers} col {j}");
+            }
+        }
+    }
+}
+
+#[test]
 fn serial_api_reproduces_per_seed_on_any_worker_count() {
     // `synthesize` draws its base seed from the caller's rng and runs the
     // staged engine with default options — so the same caller seed must

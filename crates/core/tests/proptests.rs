@@ -2,7 +2,7 @@
 //! equivalence, the sensitivity bound of Lemma 4.1 verified empirically,
 //! marginal-distribution invariants, and synthesizer output contracts.
 
-use dpcopula::empirical::{pseudo_copula_column, MarginalDistribution};
+use dpcopula::empirical::{pseudo_copula_column, MarginalDistribution, QuantileTable};
 use dpcopula::kendall::{kendall_sensitivity, kendall_tau, kendall_tau_naive};
 use dpcopula::sampler::CopulaSampler;
 use dpcopula::synthesizer::{DpCopula, DpCopulaConfig};
@@ -113,6 +113,38 @@ property_tests! {
         let cols = sampler.sample_columns(50, &mut rng);
         for (col, &d) in cols.iter().zip(&domains) {
             prop_assert!(col.iter().all(|&v| (v as usize) < d));
+        }
+    }
+
+    fn quantile_table_is_monotone_and_matches_exact_inversion(
+        counts in vec(-50.0f64..500.0, 1..80),
+        zs in vec(-9.0f64..9.0, 1..60),
+    ) {
+        let m = MarginalDistribution::from_noisy_histogram(&counts);
+        let table = QuantileTable::new(&m);
+        let mut sorted = zs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0u32;
+        for (i, &z) in sorted.iter().enumerate() {
+            let fast = table.quantile_z(z);
+            // Monotone in z.
+            if i > 0 {
+                prop_assert!(fast >= prev, "z {z}: {fast} < {prev}");
+            }
+            prev = fast;
+            // Max-error contract vs exact inversion: identical except
+            // where Phi(z) lands within an ulp of a CDF step, where the
+            // two may disagree by that single boundary category.
+            let u = mathkit::special::norm_cdf(z);
+            let exact = m.quantile(u);
+            if fast != exact {
+                prop_assert!(fast.abs_diff(exact) == 1, "z {z}: {fast} vs {exact}");
+                let boundary = m.cdf(fast.min(exact));
+                prop_assert!(
+                    (boundary - u).abs() < 1e-9,
+                    "z {z}: non-boundary mismatch {fast} vs {exact}"
+                );
+            }
         }
     }
 

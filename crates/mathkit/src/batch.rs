@@ -1,0 +1,88 @@
+//! Structure-of-arrays batch kernels over contiguous `&[f64]` slices.
+//!
+//! The fast sampling profile processes whole row-blocks per column, so
+//! the hot loops want slice-in/slice-out variants of Φ and Φ⁻¹: one
+//! pass per column keeps the working set in cache and lets the
+//! optimizer unroll the polynomial evaluation across iterations.
+//!
+//! These kernels are defined to be **bit-identical** to the scalar
+//! [`special::norm_cdf`](crate::special::norm_cdf) and
+//! [`special::norm_quantile`](crate::special::norm_quantile) paths —
+//! they apply the exact same scalar function per element, so any output
+//! produced through a batch kernel is indistinguishable from the scalar
+//! pipeline. Property tests in `tests/proptests.rs` pin this contract.
+
+use crate::special::{norm_cdf, norm_quantile};
+
+/// Evaluates the standard normal CDF Φ over `xs`, writing into `out`.
+///
+/// Bit-identical to calling [`norm_cdf`] per element.
+///
+/// # Panics
+/// Panics when `xs` and `out` differ in length.
+pub fn norm_cdf_slice(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "one output slot per input");
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = norm_cdf(x);
+    }
+}
+
+/// Evaluates the standard normal quantile Φ⁻¹ over `ps`, writing into
+/// `out`.
+///
+/// Bit-identical to calling [`norm_quantile`] per element (including
+/// the ±∞ endpoints at `p ∈ {0, 1}` and NaN outside `[0, 1]`).
+///
+/// # Panics
+/// Panics when `ps` and `out` differ in length.
+pub fn norm_quantile_slice(ps: &[f64], out: &mut [f64]) {
+    assert_eq!(ps.len(), out.len(), "one output slot per input");
+    for (o, &p) in out.iter_mut().zip(ps) {
+        *o = norm_quantile(p);
+    }
+}
+
+/// In-place variant of [`norm_cdf_slice`]: maps `xs[i] ← Φ(xs[i])`.
+pub fn norm_cdf_in_place(xs: &mut [f64]) {
+    for x in xs {
+        *x = norm_cdf(*x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_cdf_matches_scalar_bitwise() {
+        let xs: Vec<f64> = (-400..=400).map(|i| i as f64 / 10.0).collect();
+        let mut out = vec![0.0; xs.len()];
+        norm_cdf_slice(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(o.to_bits(), norm_cdf(x).to_bits(), "x = {x}");
+        }
+        let mut in_place = xs.clone();
+        norm_cdf_in_place(&mut in_place);
+        assert_eq!(in_place, out);
+    }
+
+    #[test]
+    fn batch_quantile_matches_scalar_bitwise() {
+        let mut ps: Vec<f64> = (0..=1000).map(|i| i as f64 / 1000.0).collect();
+        ps.extend([1e-300, 1e-17, 1.0 - 1e-16]);
+        let mut out = vec![0.0; ps.len()];
+        norm_quantile_slice(&ps, &mut out);
+        for (&p, &o) in ps.iter().zip(&out) {
+            assert_eq!(o.to_bits(), norm_quantile(p).to_bits(), "p = {p}");
+        }
+        assert_eq!(out[0], f64::NEG_INFINITY);
+        assert_eq!(out[1000], f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per input")]
+    fn mismatched_lengths_panic() {
+        let mut out = [0.0; 2];
+        norm_cdf_slice(&[0.0; 3], &mut out);
+    }
+}

@@ -68,6 +68,66 @@ impl MultivariateNormal {
         }
         cols
     }
+
+    /// The lower-triangular Cholesky factor `L` with `P = L L^T`.
+    pub fn cholesky_factor(&self) -> &Matrix {
+        &self.chol
+    }
+
+    /// Applies `L` in place to a structure-of-arrays batch of vectors:
+    /// column `j` holds component `j` of every vector, and each row
+    /// (one slot across all columns) is replaced by `L·z` for that row's
+    /// `z`. Rows are processed in cache-sized blocks so the `d²/2`
+    /// factor entries are re-read once per ~[`Self::APPLY_BLOCK`] rows
+    /// instead of once per row.
+    ///
+    /// The per-row arithmetic — which products are formed and the order
+    /// they are summed — is independent of the row count and of the
+    /// blocking, so the result for any given row depends only on that
+    /// row's input.
+    ///
+    /// # Panics
+    /// Panics when `cols.len() != self.dim()` or the columns have
+    /// unequal lengths.
+    pub fn apply_lower_blocked(&self, cols: &mut [Vec<f64>]) {
+        let d = self.dim();
+        assert_eq!(cols.len(), d, "one column per dimension");
+        let n = cols.first().map_or(0, Vec::len);
+        assert!(
+            cols.iter().all(|c| c.len() == n),
+            "columns must have equal lengths"
+        );
+        let mut start = 0;
+        while start < n {
+            let end = (start + Self::APPLY_BLOCK).min(n);
+            // Bottom-up over output components so component i only reads
+            // inputs k <= i that have not been overwritten yet.
+            for i in (0..d).rev() {
+                let (head, tail) = cols.split_at_mut(i);
+                let ci = &mut tail[0][start..end];
+                let lii = self.chol[(i, i)];
+                for v in ci.iter_mut() {
+                    *v *= lii;
+                }
+                for (k, ck) in head.iter().enumerate() {
+                    let lik = self.chol[(i, k)];
+                    if lik != 0.0 {
+                        for (v, &z) in ci.iter_mut().zip(&ck[start..end]) {
+                            *v += lik * z;
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+    }
+}
+
+impl MultivariateNormal {
+    /// Row-block size for [`Self::apply_lower_blocked`]: 2048 rows × 8
+    /// bytes = 16 KiB per column, keeping a handful of columns resident
+    /// in L1/L2 while the factor is streamed over them.
+    pub const APPLY_BLOCK: usize = 2048;
 }
 
 #[cfg(test)]
@@ -112,6 +172,49 @@ mod tests {
                 assert!(r.abs() < 0.03, "r[{i}{j}] = {r}");
             }
         }
+    }
+
+    #[test]
+    fn blocked_apply_matches_per_row_product() {
+        use rngkit::Rng as _;
+        let p = equicorrelation(4, 0.45);
+        let mvn = MultivariateNormal::new(&p).unwrap();
+        let d = mvn.dim();
+        // Cover multiple blocks plus a ragged tail.
+        let n = MultivariateNormal::APPLY_BLOCK * 2 + 37;
+        let mut rng = StdRng::seed_from_u64(17);
+        let z: Vec<Vec<f64>> = (0..d)
+            .map(|_| (0..n).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect())
+            .collect();
+        let mut cols = z.clone();
+        mvn.apply_lower_blocked(&mut cols);
+        let l = mvn.cholesky_factor();
+        for row in [0, 1, 2047, 2048, 4095, 4096, n - 1] {
+            for i in 0..d {
+                let want: f64 = (0..=i).map(|k| l[(i, k)] * z[k][row]).sum();
+                let got = cols[i][row];
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "row {row} comp {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_apply_handles_empty_columns() {
+        let mvn = MultivariateNormal::new(&Matrix::identity(3)).unwrap();
+        let mut cols = vec![Vec::new(); 3];
+        mvn.apply_lower_blocked(&mut cols);
+        assert!(cols.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "one column per dimension")]
+    fn blocked_apply_checks_column_count() {
+        let mvn = MultivariateNormal::new(&Matrix::identity(2)).unwrap();
+        let mut cols = vec![vec![0.0; 4]; 3];
+        mvn.apply_lower_blocked(&mut cols);
     }
 
     #[test]

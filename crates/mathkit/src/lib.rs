@@ -4,6 +4,8 @@
 //! Rust statistics crates do not reliably provide, implemented from scratch:
 //!
 //! * [`special`] — error function family, normal CDF/quantile (AS241), `ln Γ`;
+//! * [`batch`] — slice-in/slice-out Φ and Φ⁻¹ kernels, bit-identical to
+//!   [`special`], backing the fast sampling profile;
 //! * [`matrix`] — a small dense row-major matrix type;
 //! * [`cholesky`] — Cholesky factorisation of symmetric positive-definite matrices;
 //! * [`eigen`] — cyclic-Jacobi symmetric eigendecomposition;
@@ -22,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cholesky;
 pub mod correlation;
 pub mod dct;

@@ -150,6 +150,61 @@ property_tests! {
         }
     }
 
+    fn batch_cdf_is_bit_identical_to_scalar(xs in vec(-40.0f64..40.0, 1..200)) {
+        let mut out = vec![0.0; xs.len()];
+        mathkit::batch::norm_cdf_slice(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            prop_assert!(o.to_bits() == norm_cdf(x).to_bits());
+        }
+        let mut in_place = xs.clone();
+        mathkit::batch::norm_cdf_in_place(&mut in_place);
+        prop_assert!(in_place == out);
+    }
+
+    fn batch_quantile_is_bit_identical_to_scalar(ps in vec(0.0f64..1.0, 1..200)) {
+        // Push the closed endpoints in explicitly: the contract covers
+        // the ±∞ returns at p ∈ {0, 1} too.
+        let mut ps = ps.clone();
+        ps.push(0.0);
+        ps.push(1.0);
+        let mut out = vec![0.0; ps.len()];
+        mathkit::batch::norm_quantile_slice(&ps, &mut out);
+        for (&p, &o) in ps.iter().zip(&out) {
+            prop_assert!(o.to_bits() == norm_quantile(p).to_bits());
+        }
+    }
+
+    fn blocked_cholesky_apply_matches_per_row(
+        seed in 0u64..200,
+        n in 1usize..80,
+        rho in -0.2f64..0.9,
+    ) {
+        use mathkit::dist::MultivariateNormal;
+        let d = 3;
+        let p = mathkit::correlation::equicorrelation(d, rho.max(-0.45));
+        let mvn = MultivariateNormal::new(&p).unwrap();
+        let mut v = seed as f64 * 0.613 + 0.21;
+        let z: Vec<Vec<f64>> = (0..d)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        v = (v * 127.3 + 0.19).fract();
+                        v * 6.0 - 3.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut cols = z.clone();
+        mvn.apply_lower_blocked(&mut cols);
+        let l = mvn.cholesky_factor();
+        for row in 0..n {
+            for i in 0..d {
+                let want: f64 = (0..=i).map(|k| l[(i, k)] * z[k][row]).sum();
+                prop_assert!((cols[i][row] - want).abs() < 1e-12);
+            }
+        }
+    }
+
     fn ranks_are_a_permutation_average(values in vec(-100i32..100, 1..50)) {
         let xs: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
         let r = ranks(&xs);

@@ -68,6 +68,11 @@ pub const SERVE_ROWS_TOTAL: &str = "serve_rows_total";
 /// Row windows served from a fitted model.
 pub const SERVE_WINDOWS_TOTAL: &str = "serve_windows_total";
 
+/// Synthetic rows emitted, by sampling `profile` (pipeline and serving).
+pub const SAMPLING_PROFILE_ROWS_TOTAL: &str = "sampling_profile_rows_total";
+/// The `profile` label values of [`SAMPLING_PROFILE_ROWS_TOTAL`].
+pub const SAMPLING_PROFILES: [&str; 2] = ["reference", "fast"];
+
 /// Span paths the instrumented pipeline and serving layer produce.
 pub const SPAN_PATHS: [&str; 10] = [
     "pipeline",
@@ -119,6 +124,13 @@ pub fn register_taxonomy(registry: &MetricsRegistry) {
 
     registry.ensure_counter(SERVE_ROWS_TOTAL, &[], Unit::Count);
     registry.ensure_counter(SERVE_WINDOWS_TOTAL, &[], Unit::Count);
+    for profile in SAMPLING_PROFILES {
+        registry.ensure_counter(
+            SAMPLING_PROFILE_ROWS_TOTAL,
+            &[("profile", profile)],
+            Unit::Count,
+        );
+    }
 
     for span in SPAN_PATHS {
         registry.ensure_hist(SPAN_NS, &[("span", span)], Unit::Nanos);

@@ -41,6 +41,7 @@ pub mod rngs;
 pub mod seq;
 mod splitmix;
 mod xoshiro;
+pub mod ziggurat;
 
 pub use range::SampleRange;
 pub use splitmix::SplitMix64;

@@ -1,0 +1,206 @@
+//! Marsaglia–Tsang ziggurat sampler for the standard normal.
+//!
+//! The fast sampling profile draws one normal per table lookup in the
+//! common case: a single `next_u64` supplies the layer index (low 8
+//! bits) and a signed 53-bit uniform, and ~98.8% of draws accept
+//! immediately with one multiply and one compare. The remaining draws
+//! fall through to the wedge test (one exp) or, for layer 0, the
+//! Marsaglia exponential tail.
+//!
+//! The tables are built once per process (`OnceLock`) from the classic
+//! 256-layer construction: `R = 3.654152885361008796` and the layer
+//! area `V = R·f(R) + ∫_R^∞ f` with `f(x) = exp(-x²/2)`. The tail
+//! integral is evaluated with a Mills-ratio continued fraction so the
+//! crate stays free of `mathkit` (rngkit sits below it in the
+//! dependency graph).
+//!
+//! This sampler is **not** used by the `Reference` sampling profile —
+//! that path keeps its pinned polar-method byte stream. `Fast` is held
+//! to distributional equality instead (see the workspace DESIGN.md).
+
+use crate::RngCore;
+use std::sync::OnceLock;
+
+/// Number of ziggurat layers.
+const LAYERS: usize = 256;
+
+/// Rightmost layer edge of the 256-layer normal ziggurat.
+const NORM_R: f64 = 3.654_152_885_361_009;
+
+/// Unnormalised standard-normal density `exp(-x²/2)`.
+#[inline]
+fn pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp()
+}
+
+/// Inverse of [`pdf`] on `x ≥ 0`: `sqrt(-2 ln y)`.
+#[inline]
+fn pdf_inv(y: f64) -> f64 {
+    (-2.0 * y.ln()).sqrt()
+}
+
+/// Upper tail mass `∫_r^∞ exp(-x²/2) dx` via the Mills-ratio continued
+/// fraction `f(r) / (r + 1/(r + 2/(r + 3/(r + …))))`, evaluated
+/// backwards over 64 terms — far more than needed for r ≈ 3.65, where
+/// the fraction converges to full double precision in ~25 terms.
+fn tail_area(r: f64) -> f64 {
+    let mut cf = 0.0;
+    for k in (1..=64).rev() {
+        cf = k as f64 / (r + cf);
+    }
+    pdf(r) / (r + cf)
+}
+
+/// Precomputed layer edges `x[0..=256]` and densities `f[i] = pdf(x[i])`.
+struct Tables {
+    x: [f64; LAYERS + 1],
+    f: [f64; LAYERS + 1],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        // Common layer area: base strip [0, R] × f(R) plus the tail.
+        let v = NORM_R * pdf(NORM_R) + tail_area(NORM_R);
+        let mut x = [0.0; LAYERS + 1];
+        // x[0] is the virtual base-strip edge V / f(R) (> R); x[1] = R.
+        x[0] = v / pdf(NORM_R);
+        x[1] = NORM_R;
+        for i in 1..LAYERS - 1 {
+            // Each layer has area v: f(x[i+1]) = f(x[i]) + v / x[i].
+            x[i + 1] = pdf_inv(pdf(x[i]) + v / x[i]);
+        }
+        x[LAYERS] = 0.0;
+        let mut f = [0.0; LAYERS + 1];
+        for i in 0..=LAYERS {
+            f[i] = pdf(x[i]);
+        }
+        Tables { x, f }
+    })
+}
+
+/// Uniform in the *open* interval `(0, 1)` — safe to pass to `ln`.
+#[inline]
+fn open01<G: RngCore + ?Sized>(rng: &mut G) -> f64 {
+    loop {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Draws one standard-normal variate with the 256-layer ziggurat.
+///
+/// Consumes a variable number of `next_u64` words (one in ~98.8% of
+/// calls); callers that need a reproducible stream must therefore fix
+/// the *sequence of calls*, not a per-call word budget.
+pub fn standard_normal<G: RngCore + ?Sized>(rng: &mut G) -> f64 {
+    let t = tables();
+    loop {
+        let bits = rng.next_u64();
+        let i = (bits & 0xff) as usize;
+        // Signed uniform in [-1, 1) from the top 53 bits.
+        let u = 2.0 * ((bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) - 1.0;
+        let x = u * t.x[i];
+        if x.abs() < t.x[i + 1] {
+            // Inside the layer's rectangle core: accept immediately.
+            return x;
+        }
+        if i == 0 {
+            // Tail: Marsaglia's exponential method beyond R.
+            loop {
+                let ex = -open01(rng).ln() / NORM_R;
+                let ey = -open01(rng).ln();
+                if 2.0 * ey > ex * ex {
+                    return if u < 0.0 { -(NORM_R + ex) } else { NORM_R + ex };
+                }
+            }
+        }
+        // Wedge: accept iff a uniform height under the layer falls
+        // below the density at x.
+        let h = t.f[i + 1]
+            + (t.f[i] - t.f[i + 1]) * ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64));
+        if h < pdf(x) {
+            return x;
+        }
+    }
+}
+
+/// Fills `out` with independent standard-normal draws; identical to
+/// calling [`standard_normal`] once per slot.
+pub fn fill_standard_normal<G: RngCore + ?Sized>(rng: &mut G, out: &mut [f64]) {
+    for slot in out {
+        *slot = standard_normal(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn tables_are_monotone_and_anchored() {
+        let t = tables();
+        assert_eq!(t.x[1], NORM_R);
+        assert_eq!(t.x[LAYERS], 0.0);
+        assert!(t.x[0] > t.x[1], "virtual edge exceeds R");
+        for i in 1..LAYERS {
+            assert!(t.x[i] > t.x[i + 1], "x must strictly decrease at {i}");
+        }
+        // f is pdf evaluated on x: increasing as x decreases, ending at 1.
+        assert_eq!(t.f[LAYERS], 1.0);
+        for i in 0..LAYERS {
+            assert!(t.f[i] < t.f[i + 1], "f must strictly increase at {i}");
+        }
+    }
+
+    #[test]
+    fn layer_areas_are_equal() {
+        // Every rectangle x[i] × (f(x[i+1]) - f(x[i])) has the common
+        // area v, by construction; spot-check it holds numerically.
+        let t = tables();
+        let v = NORM_R * pdf(NORM_R) + tail_area(NORM_R);
+        for i in 1..LAYERS {
+            let area = t.x[i] * (t.f[i + 1] - t.f[i]);
+            assert!(
+                (area - v).abs() < 1e-12,
+                "layer {i} area {area} deviates from {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_area_matches_erfc_pin() {
+        // sqrt(pi/2) * erfc(R / sqrt(2)) for R = 3.654152885361008796,
+        // computed independently to 30 significant digits.
+        let want = 3.233_957_646_633_212_6e-4;
+        let got = tail_area(NORM_R);
+        assert!((got - want).abs() < 1e-15, "tail area {got} vs {want}");
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            assert_eq!(
+                standard_normal(&mut a).to_bits(),
+                standard_normal(&mut b).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn fill_matches_sequential_draws() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut buf = [0.0; 257];
+        fill_standard_normal(&mut a, &mut buf);
+        for &v in &buf {
+            assert_eq!(v.to_bits(), standard_normal(&mut b).to_bits());
+        }
+    }
+}

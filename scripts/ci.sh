@@ -39,6 +39,25 @@ trap 'rm -rf "$SMOKE"' EXIT
 diff "$SMOKE/served.csv" "$SMOKE/synthed.csv"
 echo "    served rows are byte-identical to in-process synthesis"
 
+echo "==> dpcopula-cli smoke: fast sampling profile"
+# Fast is deterministic with itself (any worker count), draws a stream
+# distinct from reference, and serves identically to in-process synth.
+"$CLI" synth --input "$SMOKE/census.csv" --out "$SMOKE/fast-a.csv" --rows 1000 \
+    --epsilon 1.0 --seed 99 --profile fast
+"$CLI" synth --input "$SMOKE/census.csv" --out "$SMOKE/fast-b.csv" --rows 1000 \
+    --epsilon 1.0 --seed 99 --profile fast --workers 3
+diff "$SMOKE/fast-a.csv" "$SMOKE/fast-b.csv"
+echo "    fast profile is byte-identical with itself across worker counts"
+if cmp -s "$SMOKE/fast-a.csv" "$SMOKE/synthed.csv"; then
+    echo "    fast profile unexpectedly reproduced the reference stream" >&2
+    exit 1
+fi
+echo "    fast profile draws a stream distinct from reference"
+"$CLI" sample --model "$SMOKE/model.dpcm" --out "$SMOKE/fast-served.csv" --rows 1000 \
+    --workers 2 --profile fast
+diff "$SMOKE/fast-served.csv" "$SMOKE/fast-a.csv"
+echo "    fast served rows are byte-identical to in-process fast synthesis"
+
 echo "==> observability: CLI metrics smoke vs golden manifest"
 # synth with a JSON snapshot; the emitted metric *names* must match the
 # checked-in manifest exactly (taxonomy drift lands with a manifest
@@ -71,6 +90,12 @@ echo "    no stray Instant::now() outside obskit/testkit"
 
 echo "==> observability: disabled-sink overhead gate"
 QUICK=1 cargo run -p dpcopula-bench --release --offline --bin bench_obskit
+
+echo "==> serving-throughput regression gate (fast >= 4x reference)"
+# bench_serving exits nonzero when the fast profile's sampling
+# throughput falls below 4x the reference profile's. QUICK keeps the
+# committed BENCH_serving.json untouched.
+QUICK=1 cargo run -p dpcopula-bench --release --offline --bin bench_serving
 
 echo "==> statcheck smoke: empirical DP audit of every margin method"
 # Exits nonzero if any registered mechanism exceeds its declared epsilon
