@@ -10,12 +10,22 @@
 
 use datagen::census::us_census;
 use dpcopula::kendall::{dp_correlation_matrix, SamplingStrategy};
-use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions, SamplingProfile};
+use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions, SamplingProfile, SynthesisRequest};
 use dpmech::Epsilon;
-use obskit::Stopwatch;
+use obskit::{MetricsRegistry, MetricsSink, Stopwatch};
 use rngkit::rngs::StdRng;
 use rngkit::SeedableRng;
 use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Ceiling on summary-merge time as a fraction of the single-shard fit:
+/// sharding pays its parallel-composition bookkeeping out of the fit it
+/// accelerates, so the merge must stay a small tax.
+const MAX_MERGE_OVERHEAD: f64 = 0.15;
+
+/// Floor on the 4-shard fit speedup over the serial single-shard fit,
+/// asserted only on hosts with at least 4 cores.
+const MIN_SHARD_SPEEDUP: f64 = 2.0;
 
 /// min/median/p95 over a set of timing samples, in seconds.
 #[derive(Debug, Clone, Copy)]
@@ -191,6 +201,68 @@ fn main() {
     }
     let _ = writeln!(out, "  }},");
 
+    // Sharded fit: wall clock of the fit (no sampling) at shard counts
+    // {1, 2, 4} with workers matched to shards, so the single-shard
+    // entry is the serial fit the speedup is measured against. Per-run
+    // summary-build and summary-merge time comes from the engine's
+    // pipeline/shard_fit and pipeline/shard_merge spans.
+    let shard_counts = [1usize, 2, 4];
+    let mut fit_medians = Vec::new();
+    let mut merge_medians = Vec::new();
+    let _ = writeln!(out, "  \"fit_shards\": [");
+    for (si, &shards) in shard_counts.iter().enumerate() {
+        let mut fits = Vec::with_capacity(samples);
+        let mut builds = Vec::with_capacity(samples);
+        let mut merges = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let registry = Arc::new(MetricsRegistry::new());
+            let mut opts = EngineOptions::with_workers(shards);
+            opts.shards = shards;
+            let t0 = Stopwatch::start();
+            let (_, _) = SynthesisRequest::from_config(data.columns(), &data.domains(), config)
+                .engine(opts)
+                .seed(0xfee1 + s as u64)
+                .metrics(MetricsSink::to_registry(registry.clone()))
+                .fit()
+                .expect("census fit succeeds");
+            fits.push(t0.elapsed().as_secs_f64());
+            let span_sum = |path: &str| {
+                registry
+                    .snapshot()
+                    .get(&format!("span_ns{{span=\"{path}\"}}"))
+                    .and_then(|e| e.value.as_hist().map(|h| h.sum))
+                    .unwrap_or(0) as f64
+                    / 1e9
+            };
+            builds.push(span_sum("pipeline/shard_fit"));
+            merges.push(span_sum("pipeline/shard_merge"));
+        }
+        let fit = stats(&fits);
+        let merge = stats(&merges);
+        fit_medians.push(fit.median);
+        merge_medians.push(merge.median);
+        println!(
+            "fit shards={shards}: total median {:.4}s, summary build {:.4}s, merge {:.4}s",
+            fit.median,
+            stats(&builds).median,
+            merge.median
+        );
+        let comma = if si + 1 < shard_counts.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"shards\": {shards}, \"workers\": {shards}, \
+             \"fit\": {}, \"summary_build\": {}, \"summary_merge\": {}}}{comma}",
+            json_stats(fit),
+            json_stats(stats(&builds)),
+            json_stats(merge)
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let merge_overhead = merge_medians[shard_counts.len() - 1] / fit_medians[0];
+    let shard_speedup = fit_medians[0] / fit_medians[shard_counts.len() - 1];
+    let _ = writeln!(out, "  \"shard_merge_overhead_frac\": {merge_overhead:.4},");
+    let _ = writeln!(out, "  \"shard_speedup_4_vs_1\": {shard_speedup:.3},");
+
     // Correlation-stage speedup of the engine over the legacy serial
     // estimator, at each worker count (medians).
     let _ = writeln!(out, "  \"correlation_speedup_vs_legacy\": {{");
@@ -210,10 +282,43 @@ fn main() {
     out.push_str("}\n");
 
     let path = "BENCH_pipeline.json";
-    std::fs::write(path, &out).expect("write BENCH_pipeline.json");
-    println!("wrote {path}");
+    if quick {
+        println!("quick run: leaving {path} untouched");
+    } else {
+        std::fs::write(path, &out).expect("write BENCH_pipeline.json");
+        println!("wrote {path}");
+    }
     println!(
         "correlation speedup vs legacy at 4 workers: {:.2}x",
         legacy_stats.median / correlation_medians[worker_counts.len() - 1]
     );
+
+    // Gates. Merge overhead: combining per-shard summaries (histogram
+    // sums, cross-shard concordance, ledger max) must cost a small
+    // fraction of the fit it parallelises.
+    println!(
+        "shard merge overhead: {:.1}% of the single-shard fit (ceiling {:.0}%)",
+        merge_overhead * 100.0,
+        MAX_MERGE_OVERHEAD * 100.0
+    );
+    if merge_overhead >= MAX_MERGE_OVERHEAD {
+        eprintln!(
+            "REGRESSION: merging 4 shard summaries costs {:.1}% of the \
+             single-shard fit (ceiling {:.0}%)",
+            merge_overhead * 100.0,
+            MAX_MERGE_OVERHEAD * 100.0
+        );
+        std::process::exit(1);
+    }
+    // Speedup floor only means something with real cores to spread
+    // shards over; single-core CI boxes skip it.
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("4-shard fit speedup over serial fit: {shard_speedup:.2}x ({cores} cores)");
+    if cores >= 4 && shard_speedup < MIN_SHARD_SPEEDUP {
+        eprintln!(
+            "REGRESSION: 4-shard fit is only {shard_speedup:.2}x the serial \
+             single-shard fit (floor {MIN_SHARD_SPEEDUP}x on a {cores}-core host)"
+        );
+        std::process::exit(1);
+    }
 }

@@ -16,7 +16,7 @@
 use dpcopula::kendall::SamplingStrategy;
 use dpcopula::mle::PartitionStrategy;
 use dpcopula::synthesizer::{CorrelationMethod, DpCopulaConfig, MarginMethod};
-use dpcopula::{EngineOptions, FittedModel, SamplingProfile, SynthesisRequest};
+use dpcopula::{DpCopulaError, EngineOptions, FittedModel, SamplingProfile, SynthesisRequest};
 use dpmech::Epsilon;
 use obskit::{MetricsRegistry, MetricsSink};
 use rngkit::rngs::StdRng;
@@ -30,7 +30,8 @@ dpcopula-cli — differentially private data synthesis over .dpcm artifacts
 USAGE:
   dpcopula-cli gen     --out FILE [--dataset us-census|brazil-census]
                        [--records N] [--seed S]
-  dpcopula-cli fit     --input FILE --out FILE [--epsilon E] [--seed S]
+  dpcopula-cli fit     --input FILE [--input FILE ...] --out FILE
+                       [--epsilon E] [--seed S] [--shards N]
                        [--method kendall|mle|spearman] [--margin NAME]
                        [--k RATIO] [--workers W] [--chunk C]
   dpcopula-cli inspect --model FILE
@@ -52,6 +53,15 @@ stdout when the command writes no file.
 byte-for-byte for the same input/seed/options: sampling a saved artifact
 is pure post-processing of the one budgeted release — with or without
 metrics, which only observe and never perturb a release.
+
+`fit --shards N` partitions the input rows into N disjoint shards,
+builds each shard's noisy summaries in parallel, and merges them into
+one artifact: margin cost composes in parallel (per-label max across
+shards), Kendall concordance merges exactly before its single noise
+draw, so the guarantee and the spent budget match the unsharded fit.
+Repeating --input supplies explicit shards — the files must agree on
+the schema and --shards defaults to the file count. Sharded fits need
+--method kendall (mle/spearman have no mergeable summary).
 
 `--profile fast` samples with the vectorized hot path: same fitted DP
 model, same privacy guarantee, much higher rows/s. Fast output is
@@ -114,6 +124,15 @@ impl Flags {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of a repeatable flag, in argument order.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
@@ -291,12 +310,63 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Concatenates explicit shard inputs into one dataset, verifying every
+/// file releases the same schema as the first (names and domains) —
+/// summaries over disagreeing schemas cannot be merged into one model.
+fn merge_shard_inputs(
+    mut datasets: Vec<datagen::Dataset>,
+    paths: &[&str],
+) -> Result<datagen::Dataset, String> {
+    let first = datasets.remove(0);
+    if datasets.is_empty() {
+        return Ok(first);
+    }
+    let attributes = first.attributes().to_vec();
+    let mut columns: Vec<Vec<u32>> = first.into_columns();
+    for (i, d) in datasets.into_iter().enumerate() {
+        let shard = i + 1;
+        if let Some(reason) = schema_mismatch(&attributes, d.attributes()) {
+            let err = DpCopulaError::ShardSchemaMismatch { shard, reason };
+            return Err(format!("{err} (shard {shard} is {})", paths[shard]));
+        }
+        for (col, extra) in columns.iter_mut().zip(d.into_columns()) {
+            col.extend(extra);
+        }
+    }
+    Ok(datagen::Dataset::new(attributes, columns))
+}
+
+/// How `other` disagrees with the first input's schema, if it does.
+fn schema_mismatch(base: &[datagen::Attribute], other: &[datagen::Attribute]) -> Option<String> {
+    if base.len() != other.len() {
+        return Some(format!("{} attributes vs {}", other.len(), base.len()));
+    }
+    base.iter().zip(other).enumerate().find_map(|(j, (a, b))| {
+        (a != b).then(|| {
+            format!(
+                "attribute {j} is `{}` (domain {}) vs `{}` (domain {})",
+                b.name, b.domain, a.name, a.domain
+            )
+        })
+    })
+}
+
 fn cmd_fit(flags: &Flags) -> Result<(), String> {
-    let input = flags.require("input")?;
+    let inputs = flags.get_all("input");
+    if inputs.is_empty() {
+        return Err("missing required flag --input".into());
+    }
     let out = flags.require("out")?;
-    let (config, opts, seed) = parse_config(flags)?;
+    let (config, mut opts, seed) = parse_config(flags)?;
+    // Each extra --input is one explicit shard of rows; a single input
+    // can still be split into N balanced row ranges with --shards.
+    opts.shards = flags.parsed("shards", inputs.len())?;
     let metrics = Metrics::parse(flags)?;
-    let dataset = load_dataset(input)?;
+    let mut datasets = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        datasets.push(load_dataset(path)?);
+    }
+    let dataset = merge_shard_inputs(datasets, &inputs)?;
     let domains = dataset.domains();
     let (mut model, report) = SynthesisRequest::from_config(dataset.columns(), &domains, config)
         .engine(opts)
@@ -313,11 +383,12 @@ fn cmd_fit(flags: &Flags) -> Result<(), String> {
     model.save(out).map_err(|e| format!("writing {out}: {e}"))?;
     let ledger = &model.artifact().ledger;
     println!(
-        "fitted {} attributes from {} records in {:?} (seed {seed}, workers {})",
+        "fitted {} attributes from {} records in {:?} (seed {seed}, workers {}, shards {})",
         model.dims(),
         dataset.len(),
         report.timings.total(),
         report.workers,
+        opts.shards,
     );
     println!(
         "spent epsilon {:.6} of {:.6}; artifact: {out}",
@@ -333,12 +404,12 @@ fn cmd_inspect(flags: &Flags) -> Result<(), String> {
     let metrics = Metrics::parse(flags)?;
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     let sections = modelstore::probe(&bytes).map_err(|e| e.to_string())?;
+    let version = modelstore::probe_version(&bytes).map_err(|e| e.to_string())?;
     let artifact =
         modelstore::decode_observed(&bytes, &metrics.sink()).map_err(|e| e.to_string())?;
     println!(
-        "{path}: {} bytes, format v{}, {} sections",
+        "{path}: {} bytes, format v{version}, {} sections",
         bytes.len(),
-        modelstore::FORMAT_VERSION,
         sections.len()
     );
     for s in &sections {
@@ -370,11 +441,24 @@ fn cmd_inspect(flags: &Flags) -> Result<(), String> {
     for entry in &ledger.entries {
         println!("  {:<12} epsilon {:.6}", entry.label, entry.epsilon);
     }
+    for (s, entries) in ledger.shard_entries.iter().enumerate() {
+        let spent: f64 = entries.iter().map(|e| e.epsilon).sum();
+        println!(
+            "  shard {s:<6} epsilon {spent:.6} ({} entries, parallel-composed)",
+            entries.len()
+        );
+    }
     let p = &artifact.provenance;
     println!(
         "provenance: seed {}, chunk {}, stream {}, scheme {}",
         p.base_seed, p.sample_chunk, p.sampler_stream, p.scheme
     );
+    for (s, info) in p.shards.iter().enumerate() {
+        println!(
+            "  shard {s:<6} rows [{}, {})  seed index {}",
+            info.row_start, info.row_end, info.seed_index
+        );
+    }
     println!("correlation:");
     let m = artifact.correlation.rows();
     for i in 0..m {

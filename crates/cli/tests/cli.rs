@@ -185,6 +185,146 @@ fn inspect_reports_sections_and_budget() {
 }
 
 #[test]
+fn sharded_fit_matches_single_shard_budget_and_serves() {
+    let dir = Scratch::new("sharded");
+    let csv = gen_small(&dir, "census.csv");
+    let model = dir.path("model.dpcm");
+    let out = run_ok(&[
+        "fit",
+        "--input",
+        &csv,
+        "--out",
+        &model,
+        "--shards",
+        "4",
+        "--seed",
+        "11",
+        "--workers",
+        "2",
+    ]);
+    assert!(out.contains("shards 4"), "{out}");
+    assert!(out.contains("spent epsilon 1.000000"), "{out}");
+
+    // The sharded artifact carries per-shard provenance (format v2) and
+    // still serves rows like any other model.
+    let report = run_ok(&["inspect", "--model", &model]);
+    for needle in [
+        "format v2",
+        "shard 0",
+        "shard 3",
+        "parallel-composed",
+        "rows [0, 375)",
+        "seed index 3",
+        "spent 1.000000",
+    ] {
+        assert!(report.contains(needle), "missing `{needle}` in:\n{report}");
+    }
+    let served = dir.path("served.csv");
+    run_ok(&[
+        "sample", "--model", &model, "--out", &served, "--rows", "200",
+    ]);
+    assert_eq!(
+        std::fs::read_to_string(&served).unwrap().lines().count(),
+        201
+    );
+}
+
+#[test]
+fn explicit_shard_inputs_concatenate_and_fit() {
+    let dir = Scratch::new("multi_input");
+    let a = dir.path("a.csv");
+    let b = dir.path("b.csv");
+    run_ok(&["gen", "--out", &a, "--records", "700", "--seed", "1"]);
+    run_ok(&["gen", "--out", &b, "--records", "500", "--seed", "2"]);
+    let model = dir.path("model.dpcm");
+    let out = run_ok(&[
+        "fit", "--input", &a, "--input", &b, "--out", &model, "--seed", "9",
+    ]);
+    // --shards defaults to the input count; rows pool across files.
+    assert!(out.contains("from 1200 records"), "{out}");
+    assert!(out.contains("shards 2"), "{out}");
+    let report = run_ok(&["inspect", "--model", &model]);
+    assert!(report.contains("rows [600, 1200)"), "{report}");
+}
+
+#[test]
+fn shard_misuse_is_a_named_error_not_a_panic() {
+    let dir = Scratch::new("shard_errors");
+    let csv = gen_small(&dir, "census.csv");
+    let model = dir.path("model.dpcm");
+
+    // Zero shards: no partition to fit.
+    let out = run(&["fit", "--input", &csv, "--out", &model, "--shards", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("at least one shard"),
+        "error should name the problem: {stderr}"
+    );
+
+    // More shards than records: some shard would be empty.
+    let out = run(&["fit", "--input", &csv, "--out", &model, "--shards", "2000"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("2000 shards requested but only 1500 records"),
+        "error should count the shortfall: {stderr}"
+    );
+
+    // Estimators without a mergeable summary refuse to shard.
+    for method in ["mle", "spearman"] {
+        let out = run(&[
+            "fit", "--input", &csv, "--out", &model, "--shards", "2", "--method", method,
+        ]);
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("no mergeable summary"),
+            "{method}: {stderr}"
+        );
+    }
+    assert!(
+        !Path::new(&model).exists(),
+        "no artifact from a refused fit"
+    );
+}
+
+#[test]
+fn mismatched_shard_schemas_are_refused_with_the_culprit_named() {
+    let dir = Scratch::new("shard_schema");
+    // 4 US-census attributes vs 8 Brazil-census attributes.
+    let us = dir.path("us.csv");
+    let br = dir.path("br.csv");
+    run_ok(&["gen", "--out", &us, "--records", "400", "--seed", "1"]);
+    run_ok(&[
+        "gen",
+        "--out",
+        &br,
+        "--dataset",
+        "brazil-census",
+        "--records",
+        "400",
+        "--seed",
+        "1",
+    ]);
+    let out = run(&[
+        "fit",
+        "--input",
+        &us,
+        "--input",
+        &br,
+        "--out",
+        &dir.path("m.dpcm"),
+    ]);
+    assert!(!out.status.success(), "mismatched schemas must be refused");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("shard 1 schema does not match shard 0") && stderr.contains("br.csv"),
+        "error should name the disagreeing shard and file: {stderr}"
+    );
+}
+
+#[test]
 fn corrupt_artifact_is_rejected_with_precise_error() {
     let dir = Scratch::new("corrupt");
     let csv = gen_small(&dir, "census.csv");

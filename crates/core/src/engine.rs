@@ -26,20 +26,20 @@
 
 use crate::empirical::MarginalDistribution;
 use crate::error::{validate_columns, DpCopulaError};
-use crate::kendall::dp_tau_matrix_par;
 use crate::mle::dp_mle_matrix_par;
 use crate::sampler::CopulaSampler;
+use crate::shard;
 use crate::spearman::dp_spearman_matrix_par;
 use crate::synthesizer::{CorrelationMethod, DpCopula, Synthesis};
-use dphist::histogram::Histogram1D;
-use dphist::MarginRegistry;
 use dpmech::BudgetAccountant;
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::Matrix;
+use modelstore::{BudgetEntry, ShardInfo};
 use obskit::names::{
-    ENGINE_WORKERS, PIPELINE_ROWS_OUT_TOTAL, PIPELINE_RUNS_TOTAL, SAMPLING_PROFILE_ROWS_TOTAL,
+    ENGINE_SHARDS, ENGINE_WORKERS, PIPELINE_ROWS_OUT_TOTAL, PIPELINE_RUNS_TOTAL,
+    SAMPLING_PROFILE_ROWS_TOTAL, SHARD_EPS_SPENT_NEPS,
 };
-use obskit::{MetricsSink, Unit};
+use obskit::{MetricsSink, Stopwatch, Unit, SPAN_NS};
 use std::time::Duration;
 
 /// RNG stream for margin publication (index = attribute id).
@@ -87,6 +87,15 @@ pub struct EngineOptions {
     /// streams), so changing it changes the sampled records — unlike
     /// `workers`, which never does.
     pub sample_chunk: usize,
+    /// Disjoint row shards the fit partitions its input into, each
+    /// reduced to a mergeable [`crate::shard::ShardSummary`] and merged
+    /// into one model (DESIGN.md §12). `1` (the default) is the
+    /// unsharded fit — the same merge path, reproducing the pre-shard
+    /// pipeline byte for byte. Values above 1 change the released bytes
+    /// (per-shard noise terms and, under record sampling, per-shard row
+    /// subsamples), so like `sample_chunk` this is part of the released
+    /// value's identity.
+    pub shards: usize,
 }
 
 impl Default for EngineOptions {
@@ -94,6 +103,7 @@ impl Default for EngineOptions {
         Self {
             workers: parkit::default_workers(),
             sample_chunk: 8192,
+            shards: 1,
         }
     }
 }
@@ -103,6 +113,14 @@ impl EngineOptions {
     pub fn with_workers(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Options pinned to a specific shard count (workers at default).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
             ..Self::default()
         }
     }
@@ -191,6 +209,13 @@ pub(crate) struct FitParts {
     pub epsilon_margins: f64,
     /// Budget spent on correlations (`epsilon_2`; 0 for one attribute).
     pub epsilon_correlations: f64,
+    /// Per-shard provenance (row ranges + stream indices); empty for the
+    /// 1-shard fit so its artifact stays on format v1, byte-identical to
+    /// the pre-shard pipeline.
+    pub shards: Vec<ShardInfo>,
+    /// Per-shard budget sub-ledgers as artifact entries; empty for the
+    /// 1-shard fit.
+    pub shard_entries: Vec<Vec<BudgetEntry>>,
 }
 
 impl DpCopula {
@@ -222,26 +247,55 @@ impl DpCopula {
                 required: 2,
             });
         }
+        if opts.shards == 0 {
+            return Err(DpCopulaError::ZeroShards);
+        }
+        if opts.shards > n {
+            return Err(DpCopulaError::TooManyShards {
+                shards: opts.shards,
+                records: n,
+            });
+        }
         let cfg = self.config();
+        if opts.shards > 1 && m > 1 {
+            // Only Kendall's tau has a mergeable summary (DESIGN.md §12).
+            match cfg.method {
+                CorrelationMethod::Kendall(_) => {}
+                CorrelationMethod::Mle(_) => {
+                    return Err(DpCopulaError::ShardedCorrelationUnsupported { method: "mle" })
+                }
+                CorrelationMethod::Spearman => {
+                    return Err(DpCopulaError::ShardedCorrelationUnsupported { method: "spearman" })
+                }
+            }
+        }
         let (eps1, eps2) = cfg.epsilon.split_ratio(cfg.k_ratio);
         let mut accountant = BudgetAccountant::new(cfg.epsilon);
         let eps_margin = eps1.divide(m);
+        let specs = shard::shard_specs(n, opts.shards);
+        sink.gauge_set(ENGINE_SHARDS, Unit::Info, opts.shards as u64);
         timings.budget_plan = span.finish();
 
-        // Stage 2: DP margins — one task per attribute, eps1/m each.
+        // Stage 2: DP margins — one task per (shard, attribute), eps1/m
+        // each; shards hold disjoint rows, so parallel composition keeps
+        // the combined per-attribute cost at eps1/m (the per-shard max).
         let span = sink.span("margins");
         let margin_name = cfg.margin.registry_name();
-        let inputs: Vec<(usize, &Vec<u32>)> = columns.iter().enumerate().collect();
-        let noisy_margins: Vec<Vec<f64>> =
-            parkit::par_map_observed(workers, &inputs, sink, "margins", |j, &(_, col)| {
-                harvest_draws(sink, "margins", || {
-                    let exact = Histogram1D::from_values(col, domains[j]);
-                    let mut rng = parkit::stream_rng(base_seed, STREAM_MARGINS, j as u64);
-                    MarginRegistry::builtin()
-                        .publish(margin_name, exact.counts(), eps_margin, &mut rng)
-                        .expect("builtin registry covers every MarginMethod")
-                })
-            });
+        let fit_watch = Stopwatch::start();
+        let mut summaries = shard::build_margin_summaries(
+            columns,
+            domains,
+            &specs,
+            margin_name,
+            eps_margin,
+            base_seed,
+            workers,
+            sink,
+        );
+        let mut shard_fit_ns = fit_watch.elapsed_ns();
+        let merge_watch = Stopwatch::start();
+        let noisy_margins = shard::merge_margins(&summaries);
+        let mut shard_merge_ns = merge_watch.elapsed_ns();
         for _ in 0..m {
             accountant.spend_tracked(eps_margin, "margins", sink)?;
         }
@@ -258,8 +312,28 @@ impl DpCopula {
         } else {
             match cfg.method {
                 CorrelationMethod::Kendall(strategy) => {
-                    dp_tau_matrix_par(columns, eps2, strategy, base_seed, workers, sink)?
+                    // Summary building covers the per-shard τ layers AND
+                    // the cross-shard concordance fan-out (estimation
+                    // work that scales with shard pairs); only the
+                    // serial fold into the released matrix is merging.
+                    let watch = Stopwatch::start();
+                    shard::fill_tau(
+                        &mut summaries,
+                        columns,
+                        strategy,
+                        eps2,
+                        base_seed,
+                        workers,
+                        sink,
+                    );
+                    let cross = shard::cross_concordances(&summaries, workers, sink);
+                    shard_fit_ns += watch.elapsed_ns();
+                    let watch = Stopwatch::start();
+                    let p = shard::combine_tau(&summaries, &cross, eps2, base_seed, sink);
+                    shard_merge_ns += watch.elapsed_ns();
+                    p
                 }
+                // Stage-1 validation guarantees a single shard here.
                 CorrelationMethod::Mle(strategy) => {
                     dp_mle_matrix_par(columns, eps2, strategy, base_seed, workers, sink)?
                 }
@@ -284,6 +358,61 @@ impl DpCopula {
         };
         timings.pd_repair = span.finish();
 
+        // Shard observability: the two cost centres of the merge path
+        // (per-shard summary building vs. merging) and each shard's own
+        // ε expenditure.
+        if sink.enabled() {
+            sink.observe_labeled(
+                SPAN_NS,
+                &[("span", "pipeline/shard_fit")],
+                Unit::Nanos,
+                shard_fit_ns,
+            );
+            sink.observe_labeled(
+                SPAN_NS,
+                &[("span", "pipeline/shard_merge")],
+                Unit::Nanos,
+                shard_merge_ns,
+            );
+            for (s, summary) in summaries.iter().enumerate() {
+                sink.add_labeled(
+                    SHARD_EPS_SPENT_NEPS,
+                    &[("shard", &s.to_string())],
+                    Unit::NanoEps,
+                    summary.ledger.total_neps(),
+                );
+            }
+        }
+
+        // Per-shard provenance and sub-ledgers, only when actually
+        // sharded: the 1-shard artifact must stay on format v1.
+        let (shard_infos, shard_entries) = if opts.shards > 1 {
+            let infos = summaries
+                .iter()
+                .map(|s| ShardInfo {
+                    row_start: s.spec.start as u64,
+                    row_end: s.spec.end as u64,
+                    seed_index: s.spec.seed_index,
+                })
+                .collect();
+            let entries = summaries
+                .iter()
+                .map(|s| {
+                    s.ledger
+                        .entries()
+                        .iter()
+                        .map(|(label, neps)| BudgetEntry {
+                            label: label.clone(),
+                            epsilon: *neps as f64 * 1e-9,
+                        })
+                        .collect()
+                })
+                .collect();
+            (infos, entries)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
         Ok((
             FitParts {
                 margins,
@@ -291,6 +420,8 @@ impl DpCopula {
                 correlation,
                 epsilon_margins: eps1.value(),
                 epsilon_correlations: if m > 1 { eps2.value() } else { 0.0 },
+                shards: shard_infos,
+                shard_entries,
             },
             timings,
         ))
@@ -479,6 +610,81 @@ mod tests {
             .unwrap();
         assert_eq!(out.correlation, Matrix::identity(1));
         assert_eq!(out.epsilon_correlations, 0.0);
+    }
+
+    #[test]
+    fn sharded_fit_is_worker_count_invariant() {
+        let cols = test_columns(3, 2_400, 48, 21);
+        let domains = vec![48usize; 3];
+        let mut config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+        config.method = CorrelationMethod::Kendall(SamplingStrategy::Fixed(600));
+        let dp = DpCopula::new(config);
+        for shards in [2, 4] {
+            let mut opts = EngineOptions::with_workers(1);
+            opts.shards = shards;
+            let (base, _) = dp.synthesize_staged(&cols, &domains, 42, &opts).unwrap();
+            for workers in [2, 7] {
+                let mut opts = EngineOptions::with_workers(workers);
+                opts.shards = shards;
+                let (out, _) = dp.synthesize_staged(&cols, &domains, 42, &opts).unwrap();
+                assert_eq!(
+                    out.columns, base.columns,
+                    "shards={shards} workers={workers}"
+                );
+                assert_eq!(out.correlation, base.correlation);
+                assert_eq!(out.noisy_margins, base.noisy_margins);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_validation_returns_named_errors() {
+        let cols = test_columns(2, 100, 16, 22);
+        let domains = vec![16usize; 2];
+        let dp = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()));
+
+        let opts = EngineOptions::with_shards(0);
+        assert_eq!(
+            dp.synthesize_staged(&cols, &domains, 1, &opts).unwrap_err(),
+            DpCopulaError::ZeroShards
+        );
+
+        let opts = EngineOptions::with_shards(101);
+        assert_eq!(
+            dp.synthesize_staged(&cols, &domains, 1, &opts).unwrap_err(),
+            DpCopulaError::TooManyShards {
+                shards: 101,
+                records: 100
+            }
+        );
+
+        let opts = EngineOptions::with_shards(2);
+        for (method, name) in [
+            (CorrelationMethod::Mle(PartitionStrategy::Fixed(10)), "mle"),
+            (CorrelationMethod::Spearman, "spearman"),
+        ] {
+            let mut config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+            config.method = method;
+            assert_eq!(
+                DpCopula::new(config)
+                    .synthesize_staged(&cols, &domains, 1, &opts)
+                    .unwrap_err(),
+                DpCopulaError::ShardedCorrelationUnsupported { method: name },
+                "{method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_attribute_fit_accepts_multiple_shards() {
+        // Sharding only gates the correlation estimator when there are
+        // pairs to estimate; one attribute has none.
+        let cols = vec![(0..500u32).map(|i| i % 40).collect::<Vec<_>>()];
+        let dp = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()));
+        let (out, _) = dp
+            .synthesize_staged(&cols, &[40], 9, &EngineOptions::with_shards(3))
+            .unwrap();
+        assert_eq!(out.correlation, Matrix::identity(1));
     }
 
     #[test]

@@ -96,6 +96,33 @@ pub enum DpCopulaError {
         /// Requested window length.
         n: usize,
     },
+    /// A sharded fit was requested with zero shards — there is no data
+    /// partition to fit.
+    ZeroShards,
+    /// More shards were requested than the dataset has records, so some
+    /// shard would be empty (parallel composition needs every shard to
+    /// hold at least one record of the disjoint partition).
+    TooManyShards {
+        /// Shards requested.
+        shards: usize,
+        /// Records available.
+        records: usize,
+    },
+    /// Shard inputs disagree on the released schema (attribute count or
+    /// domains), so their summaries cannot be merged into one model.
+    ShardSchemaMismatch {
+        /// Index of the first disagreeing shard.
+        shard: usize,
+        /// How it disagrees with shard 0.
+        reason: String,
+    },
+    /// The configured correlation estimator has no mergeable summary, so
+    /// it cannot run across more than one shard (only Kendall's tau
+    /// merges exactly; see DESIGN.md §12).
+    ShardedCorrelationUnsupported {
+        /// Name of the unsupported estimator.
+        method: &'static str,
+    },
 }
 
 impl std::fmt::Display for DpCopulaError {
@@ -148,6 +175,22 @@ impl std::fmt::Display for DpCopulaError {
             DpCopulaError::RowWindowOverflow { offset, n } => write!(
                 f,
                 "row window [{offset}, {offset} + {n}) overflows the addressable row space"
+            ),
+            DpCopulaError::ZeroShards => {
+                write!(f, "sharded fit requires at least one shard, got 0")
+            }
+            DpCopulaError::TooManyShards { shards, records } => write!(
+                f,
+                "{shards} shards requested but only {records} records are \
+                 available — every shard needs at least one record"
+            ),
+            DpCopulaError::ShardSchemaMismatch { shard, reason } => {
+                write!(f, "shard {shard} schema does not match shard 0: {reason}")
+            }
+            DpCopulaError::ShardedCorrelationUnsupported { method } => write!(
+                f,
+                "correlation method {method} has no mergeable summary and \
+                 cannot fit across more than one shard (use kendall)"
             ),
         }
     }

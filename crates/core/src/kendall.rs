@@ -6,6 +6,7 @@
 use crate::engine::{STREAM_KENDALL_NOISE, STREAM_KENDALL_SAMPLE};
 use crate::error::DpCopulaError;
 use dpmech::{laplace_noise, Epsilon};
+use mathkit::concord::Concordance;
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::Matrix;
 use rngkit::seq::SliceRandom;
@@ -290,6 +291,20 @@ impl RankedColumn {
 /// # Panics
 /// Panics when the columns differ in length or have fewer than 2 elements.
 pub fn kendall_tau_cached(x: &RankedColumn, y: &RankedColumn) -> f64 {
+    concordance_cached(x, y).tau()
+}
+
+/// The mergeable integer core of [`kendall_tau_cached`]: the
+/// [`Concordance`] summary (`s = n_c - n_d`, `pairs = C(n,2)`) of one
+/// column pair. The sharded fit computes one summary per shard and folds
+/// them with [`mathkit::concord::cross_concordance`] /
+/// [`mathkit::concord::merge`] into the exact pooled summary;
+/// `Concordance::tau` then reproduces the pooled τ bit-for-bit
+/// (both integer operands sit below 2^53, where `f64` is exact).
+///
+/// # Panics
+/// Panics when the columns differ in length or have fewer than 2 elements.
+pub fn concordance_cached(x: &RankedColumn, y: &RankedColumn) -> Concordance {
     let n = x.len();
     assert_eq!(n, y.len(), "kendall_tau length mismatch");
     assert!(n >= 2, "kendall_tau needs at least 2 observations");
@@ -345,7 +360,10 @@ pub fn kendall_tau_cached(x: &RankedColumn, y: &RankedColumn) -> f64 {
     let total = (n as u64) * (n as u64 - 1) / 2;
     let ties = x.tie_pairs + y.tie_pairs - t_xy;
     let n_c = total - n_d - ties;
-    (n_c as f64 - n_d as f64) / total as f64
+    Concordance {
+        s: n_c as i64 - n_d as i64,
+        pairs: total,
+    }
 }
 
 /// How many records to use when computing each pairwise tau.

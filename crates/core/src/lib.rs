@@ -56,6 +56,7 @@ pub mod model;
 pub mod request;
 pub mod sampler;
 pub mod selection;
+pub mod shard;
 pub mod spearman;
 pub mod synthesizer;
 pub mod tcopula;
@@ -65,4 +66,5 @@ pub use error::DpCopulaError;
 pub use model::FittedModel;
 pub use request::SynthesisRequest;
 pub use sampler::SamplingProfile;
+pub use shard::{ShardSpec, ShardSummary};
 pub use synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod, Synthesis};

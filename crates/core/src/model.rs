@@ -433,12 +433,14 @@ impl DpCopula {
             ledger: BudgetLedger {
                 total: cfg.epsilon.value(),
                 entries,
+                shard_entries: parts.shard_entries,
             },
             provenance: RngProvenance {
                 base_seed,
                 sample_chunk: opts.sample_chunk.max(1) as u64,
                 sampler_stream: STREAM_SAMPLER,
                 scheme: STREAM_SCHEME.into(),
+                shards: parts.shards,
             },
         };
         let mut model = FittedModel::from_artifact(artifact)?;
@@ -498,6 +500,59 @@ mod tests {
         let ledger = &model.artifact().ledger;
         assert!((ledger.spent() - 1.0).abs() < 1e-9);
         assert_eq!(ledger.total, 1.0);
+    }
+
+    #[test]
+    fn sharded_fit_records_per_shard_provenance_and_round_trips() {
+        let cols = test_columns(3, 2_000, 32, 2);
+        let domains = vec![32usize; 3];
+        let dp = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap()));
+
+        let mut opts = EngineOptions::with_workers(2);
+        opts.shards = 4;
+        let (model, _) = dp.fit_staged(&cols, &domains, 42, &opts).unwrap();
+        let artifact = model.artifact();
+
+        // Four shard records covering the rows exactly, stream indices
+        // in shard order.
+        assert_eq!(artifact.provenance.shards.len(), 4);
+        assert_eq!(artifact.provenance.shards[0].row_start, 0);
+        assert_eq!(artifact.provenance.shards[3].row_end, 2_000);
+        for (s, info) in artifact.provenance.shards.iter().enumerate() {
+            assert_eq!(info.seed_index, s as u64);
+            assert!(info.row_end > info.row_start);
+        }
+
+        // Per-shard sub-ledgers: each shard spent the full eps1/m per
+        // attribute on its disjoint rows, and the combined entries are
+        // the per-label max — identical to the unsharded ledger.
+        assert_eq!(artifact.ledger.shard_entries.len(), 4);
+        let eps1 = 8.0 / 9.0; // split_ratio(8) of eps = 1.0
+        for entries in &artifact.ledger.shard_entries {
+            let margins: f64 = entries
+                .iter()
+                .filter(|e| e.label == "margins")
+                .map(|e| e.epsilon)
+                .sum();
+            assert!((margins - eps1).abs() < 1e-8, "margins {margins}");
+        }
+        assert!((artifact.ledger.spent() - 1.0).abs() < 1e-9);
+
+        // The sharded artifact uses format v2 and round-trips losslessly.
+        let bytes = artifact.encode();
+        assert_eq!(modelstore::probe_version(&bytes).unwrap(), 2);
+        assert_eq!(&ModelArtifact::decode(&bytes).unwrap(), artifact);
+
+        // The unsharded fit stays on v1 with no shard records at all.
+        let (plain, _) = dp
+            .fit_staged(&cols, &domains, 42, &EngineOptions::with_workers(2))
+            .unwrap();
+        assert!(plain.artifact().provenance.shards.is_empty());
+        assert!(plain.artifact().ledger.shard_entries.is_empty());
+        assert_eq!(
+            modelstore::probe_version(&plain.artifact().encode()).unwrap(),
+            1
+        );
     }
 
     #[test]

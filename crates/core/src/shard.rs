@@ -1,0 +1,695 @@
+//! The mergeable-summary layer of the sharded fit pipeline.
+//!
+//! Every fit stage consumes **mergeable summaries** instead of raw
+//! columns: the input rows are partitioned into contiguous disjoint
+//! shards, each shard independently reduces its rows to a
+//! [`ShardSummary`], and the summaries merge into exactly one model
+//! (DESIGN.md §12). The single-shard fit is the 1-shard case of this
+//! path — not a separate implementation — and reproduces the pre-shard
+//! pipeline byte for byte (pinned in `tests/shard_pin.rs`).
+//!
+//! What merges, and how exactly:
+//!
+//! * **Margins** — each shard publishes its own noisy histogram per
+//!   attribute through the [`MarginRegistry`]; merged counts are the
+//!   per-bin sums. Shards hold disjoint rows, so by parallel composition
+//!   (Theorem 3.2) the combined cost per attribute is the per-shard
+//!   **maximum** `ε₁/m`, not the sum — sharding is privacy-free for the
+//!   margins, paying instead with one extra noise term per shard in the
+//!   merged histogram.
+//! * **Kendall's τ** — each shard carries its within-shard integer
+//!   [`Concordance`] per attribute pair plus its (sub)sampled records;
+//!   the merge adds the cross-shard concordance corrections
+//!   ([`mathkit::concord::cross_concordance`]) and obtains **exactly**
+//!   the pooled `S / C(n, 2)`. The Laplace noise is drawn once at merge
+//!   time against the pooled sensitivity `4/(n+1)`, so the released
+//!   matrix is the same mechanism as the unsharded release. When record
+//!   sampling is on (`Auto`/`Fixed`), each shard subsamples its
+//!   proportional share of the global target — approximate relative to
+//!   the unsharded subsample (a different row set), exact in every other
+//!   respect.
+//! * **Budget** — each shard keeps a [`ShardLedger`];
+//!   [`ShardLedger::merge_parallel`] folds them with the per-label-max
+//!   rule into the combined ledger the artifact reports.
+
+use crate::engine::{harvest_draws, STREAM_KENDALL_NOISE, STREAM_KENDALL_SAMPLE, STREAM_MARGINS};
+use crate::error::DpCopulaError;
+use crate::kendall::{
+    concordance_cached, kendall_sensitivity, recommended_sample_size, RankedColumn,
+    SamplingStrategy,
+};
+use dphist::histogram::Histogram1D;
+use dphist::MarginRegistry;
+use dpmech::{laplace_noise, Epsilon, ShardLedger};
+use mathkit::concord::{cross_concordance, merge, Concordance};
+use mathkit::Matrix;
+use obskit::MetricsSink;
+use rngkit::seq::SliceRandom;
+
+/// One shard of the fit input: a contiguous row range plus the logical
+/// stream index its stochastic work derives under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// First row (inclusive).
+    pub start: usize,
+    /// One past the last row.
+    pub end: usize,
+    /// Logical RNG stream index of the shard: the Kendall row subsample
+    /// draws from `stream_rng(base_seed, STREAM_KENDALL_SAMPLE,
+    /// seed_index)` and attribute `j`'s margin noise from stream index
+    /// `seed_index * m + j` — shard 0 of a 1-shard fit therefore lands
+    /// on exactly the pre-shard stream keys.
+    pub seed_index: u64,
+}
+
+impl ShardSpec {
+    /// Number of rows in the shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the shard covers no rows (never true for specs produced
+    /// by [`shard_specs`]).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Partitions `n` rows into `shards` contiguous, disjoint, non-empty
+/// shards of near-equal size (the first `n % shards` shards get one
+/// extra row), with `seed_index = shard index`.
+///
+/// # Panics
+/// Panics when `shards` is zero or exceeds `n` — the engine validates
+/// both with named errors before partitioning.
+pub fn shard_specs(n: usize, shards: usize) -> Vec<ShardSpec> {
+    assert!(shards >= 1, "shard_specs needs at least one shard");
+    assert!(shards <= n, "shard_specs needs at least one row per shard");
+    let base = n / shards;
+    let extra = n % shards;
+    let mut specs = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        specs.push(ShardSpec {
+            start,
+            end: start + len,
+            seed_index: s as u64,
+        });
+        start += len;
+    }
+    specs
+}
+
+/// Splits a global row-sample target across shards proportionally to
+/// their sizes, exactly: shard `s` covering rows `[start, end)` of `n`
+/// gets `⌊target·end/n⌋ − ⌊target·start/n⌋` rows, which telescopes to
+/// `target` in total, never exceeds the shard's size, and equals
+/// `target` itself for a single shard.
+pub fn partition_sample_target(target: usize, specs: &[ShardSpec]) -> Vec<usize> {
+    let n = specs.last().map(|s| s.end).unwrap_or(0).max(1) as u128;
+    let t = target as u128;
+    specs
+        .iter()
+        .map(|s| ((t * s.end as u128) / n - (t * s.start as u128) / n) as usize)
+        .collect()
+}
+
+/// Everything one shard contributes to the merged fit: its noisy margin
+/// histograms, its (sub)sampled records and within-shard concordance
+/// summaries for the τ merge, and its privacy-budget sub-ledger.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// The rows and stream index this summary covers.
+    pub spec: ShardSpec,
+    /// Noisy histogram counts, one per attribute (published through the
+    /// `MarginRegistry` at the full per-attribute `ε₁/m` — parallel
+    /// composition across shards keeps that the combined cost).
+    pub noisy_margins: Vec<Vec<f64>>,
+    /// The shard's τ record sample, one column per attribute (all shard
+    /// rows under `SamplingStrategy::Full`). Empty until [`fill_tau`].
+    pub sampled: Vec<Vec<u32>>,
+    /// Within-shard concordance summary per attribute pair (pair ids in
+    /// `(i, j)` lexicographic order). Empty until [`fill_tau`].
+    pub within: Vec<Concordance>,
+    /// The shard's own budget expenditures.
+    pub ledger: ShardLedger,
+}
+
+/// Builds one summary per shard with the margin layer filled in: one
+/// noisy histogram per `(shard, attribute)` task, fanned out across
+/// `workers` under the `margins` stage, each keyed by stream index
+/// `shard * m + attribute`.
+#[allow(clippy::too_many_arguments)]
+pub fn build_margin_summaries(
+    columns: &[Vec<u32>],
+    domains: &[usize],
+    specs: &[ShardSpec],
+    margin_name: &str,
+    eps_margin: Epsilon,
+    base_seed: u64,
+    workers: usize,
+    sink: &MetricsSink,
+) -> Vec<ShardSummary> {
+    let m = columns.len();
+    let tasks: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..m).map(move |j| (s, j)))
+        .collect();
+    let published: Vec<Vec<f64>> =
+        parkit::par_map_observed(workers, &tasks, sink, "margins", |_, &(s, j)| {
+            harvest_draws(sink, "margins", || {
+                let spec = specs[s];
+                let exact = Histogram1D::from_values(&columns[j][spec.start..spec.end], domains[j]);
+                let mut rng = parkit::stream_rng(base_seed, STREAM_MARGINS, (s * m + j) as u64);
+                MarginRegistry::builtin()
+                    .publish(margin_name, exact.counts(), eps_margin, &mut rng)
+                    .expect("builtin registry covers every MarginMethod")
+            })
+        });
+
+    let mut published = published.into_iter();
+    specs
+        .iter()
+        .map(|&spec| {
+            let mut ledger = ShardLedger::new();
+            for _ in 0..m {
+                ledger.spend("margins", eps_margin);
+            }
+            ShardSummary {
+                spec,
+                noisy_margins: published.by_ref().take(m).collect(),
+                sampled: Vec::new(),
+                within: Vec::new(),
+                ledger,
+            }
+        })
+        .collect()
+}
+
+/// Merges the per-shard noisy margins into the released histograms: the
+/// per-bin sum over shards (each shard's histogram counts disjoint rows,
+/// so the sums estimate the pooled counts). With one shard this is that
+/// shard's histograms unchanged.
+pub fn merge_margins(summaries: &[ShardSummary]) -> Vec<Vec<f64>> {
+    let mut merged = summaries[0].noisy_margins.clone();
+    for summary in &summaries[1..] {
+        for (acc, add) in merged.iter_mut().zip(&summary.noisy_margins) {
+            for (a, &b) in acc.iter_mut().zip(add) {
+                *a += b;
+            }
+        }
+    }
+    merged
+}
+
+/// Fills the τ layer of each summary: draws the shard's proportional
+/// share of the global record-sample target (from
+/// `stream_rng(base_seed, STREAM_KENDALL_SAMPLE, seed_index)`, shuffling
+/// only when the target truncates the shard — the pre-shard guard), then
+/// computes the within-shard [`Concordance`] per attribute pair over
+/// cached rank structures. Shards below two sampled records contribute
+/// [`Concordance::EMPTY`] and participate only in cross terms.
+pub fn fill_tau(
+    summaries: &mut [ShardSummary],
+    columns: &[Vec<u32>],
+    strategy: SamplingStrategy,
+    eps2_total: Epsilon,
+    base_seed: u64,
+    workers: usize,
+    sink: &MetricsSink,
+) {
+    let m = columns.len();
+    let n = columns[0].len();
+    let target = match strategy {
+        SamplingStrategy::Full => n,
+        SamplingStrategy::Auto => recommended_sample_size(m, eps2_total.value()).min(n),
+        SamplingStrategy::Fixed(k) => k.clamp(2, n),
+    };
+    let specs: Vec<ShardSpec> = summaries.iter().map(|s| s.spec).collect();
+    let targets = partition_sample_target(target, &specs);
+
+    let sampled: Vec<Vec<Vec<u32>>> =
+        parkit::par_map_observed(workers, &specs, sink, "correlation", |s, spec| {
+            let shard_n = spec.len();
+            let locals: Vec<usize> = if targets[s] < shard_n {
+                let mut rng = parkit::stream_rng(base_seed, STREAM_KENDALL_SAMPLE, spec.seed_index);
+                let mut all: Vec<usize> = (0..shard_n).collect();
+                all.shuffle(&mut rng);
+                all.truncate(targets[s]);
+                all
+            } else {
+                (0..shard_n).collect()
+            };
+            columns
+                .iter()
+                .map(|col| locals.iter().map(|&r| col[spec.start + r]).collect())
+                .collect()
+        });
+
+    // Rank caches per (shard, attribute), then within-shard concordance
+    // per (shard, attribute pair) — both pure, keyed by logical indices.
+    let sj: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..m).map(move |j| (s, j)))
+        .collect();
+    let ranked: Vec<RankedColumn> =
+        parkit::par_map_observed(workers, &sj, sink, "correlation", |_, &(s, j)| {
+            RankedColumn::new(sampled[s][j].clone())
+        });
+    let pair_ids: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+        .collect();
+    let sk: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..pair_ids.len()).map(move |k| (s, k)))
+        .collect();
+    let within: Vec<Concordance> =
+        parkit::par_map_observed(workers, &sk, sink, "correlation", |_, &(s, k)| {
+            if sampled[s][0].len() < 2 {
+                Concordance::EMPTY
+            } else {
+                let (i, j) = pair_ids[k];
+                concordance_cached(&ranked[s * m + i], &ranked[s * m + j])
+            }
+        });
+
+    let pairs = pair_ids.len();
+    for (s, (summary, cols)) in summaries.iter_mut().zip(sampled).enumerate() {
+        summary.sampled = cols;
+        summary.within = within[s * pairs..(s + 1) * pairs].to_vec();
+    }
+}
+
+/// The cross-shard concordance corrections of a sharded τ estimate: one
+/// integer per `(shard s, shard t > s, attribute pair)` combination
+/// (none for a single shard).
+#[derive(Debug, Clone)]
+pub struct CrossTerms {
+    tasks: Vec<(usize, usize, usize)>,
+    values: Vec<i64>,
+}
+
+/// Computes every cross-shard concordance correction, fanned out across
+/// `workers` under the `correlation` stage. This is the parallelizable
+/// estimation half of the τ merge — its work grows with the shard count
+/// (each shard pair scores its pooled records), unlike the serial
+/// [`combine_tau`] bookkeeping that follows.
+///
+/// # Panics
+/// Panics when [`fill_tau`] has not populated the summaries.
+pub fn cross_concordances(
+    summaries: &[ShardSummary],
+    workers: usize,
+    sink: &MetricsSink,
+) -> CrossTerms {
+    let m = summaries[0].sampled.len();
+    assert!(m >= 2, "cross_concordances needs filled τ summaries");
+    let pairs = m * (m - 1) / 2;
+    let pair_ids: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+        .collect();
+    let tasks: Vec<(usize, usize, usize)> = (0..summaries.len())
+        .flat_map(|s| ((s + 1)..summaries.len()).map(move |t| (s, t)))
+        .flat_map(|(s, t)| (0..pairs).map(move |k| (s, t, k)))
+        .collect();
+    let values: Vec<i64> =
+        parkit::par_map_observed(workers, &tasks, sink, "correlation", |_, &(s, t, k)| {
+            let (i, j) = pair_ids[k];
+            cross_concordance(
+                &summaries[s].sampled[i],
+                &summaries[s].sampled[j],
+                &summaries[t].sampled[i],
+                &summaries[t].sampled[j],
+            )
+        });
+    CrossTerms { tasks, values }
+}
+
+/// Folds the within-shard summaries and the [`CrossTerms`] into the
+/// **raw** released correlation matrix: per attribute pair, the merge is
+/// exactly the pooled `S / C(n, 2)`, then one Laplace draw (stream
+/// `STREAM_KENDALL_NOISE`, index = pair id, pooled sensitivity
+/// `4/(n+1)`) and the `sin(π/2·τ)` map — the same mechanism as the
+/// unsharded release. Clamping and the positive-definite repair remain
+/// the pipeline's next stage. Serial: pure integer/float bookkeeping,
+/// `O(pairs · shards²)`.
+pub fn combine_tau(
+    summaries: &[ShardSummary],
+    cross: &CrossTerms,
+    eps2_total: Epsilon,
+    base_seed: u64,
+    sink: &MetricsSink,
+) -> Matrix {
+    let m = summaries[0].sampled.len();
+    let pair_ids: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
+        .collect();
+    let eps_pair = eps2_total.divide(pair_ids.len());
+    let n_pooled: usize = summaries.iter().map(|s| s.sampled[0].len()).sum();
+    let mut p = Matrix::identity(m);
+    harvest_draws(sink, "correlation", || {
+        let mut within = vec![Concordance::EMPTY; summaries.len()];
+        for (k, &(i, j)) in pair_ids.iter().enumerate() {
+            for (w, summary) in within.iter_mut().zip(summaries) {
+                *w = summary.within[k];
+            }
+            let mut cross_s = 0i64;
+            let mut cross_pairs = 0u64;
+            for (&(s, t, kk), &c) in cross.tasks.iter().zip(&cross.values) {
+                if kk == k {
+                    cross_s += c;
+                    cross_pairs +=
+                        (summaries[s].sampled[0].len() * summaries[t].sampled[0].len()) as u64;
+                }
+            }
+            let pooled = merge(&within, cross_s, cross_pairs);
+            let tau = pooled.tau();
+            let mut rng = parkit::stream_rng(base_seed, STREAM_KENDALL_NOISE, k as u64);
+            let noisy =
+                tau + laplace_noise(&mut rng, kendall_sensitivity(n_pooled) / eps_pair.value());
+            let r = (std::f64::consts::FRAC_PI_2 * noisy).sin();
+            p[(i, j)] = r;
+            p[(j, i)] = r;
+        }
+    });
+    p
+}
+
+/// Merges the τ layers into the **raw** released correlation matrix:
+/// [`cross_concordances`] then [`combine_tau`] (the engine calls the two
+/// halves separately to time summary building apart from merging).
+///
+/// # Panics
+/// Panics when [`fill_tau`] has not populated the summaries or fewer
+/// than two records were sampled in total.
+pub fn merged_tau_matrix(
+    summaries: &[ShardSummary],
+    eps2_total: Epsilon,
+    base_seed: u64,
+    workers: usize,
+    sink: &MetricsSink,
+) -> Matrix {
+    let cross = cross_concordances(summaries, workers, sink);
+    combine_tau(summaries, &cross, eps2_total, base_seed, sink)
+}
+
+/// Folds the per-shard sub-ledgers into the combined ledger with the
+/// parallel-composition per-label-max rule (shards hold disjoint rows).
+pub fn merge_ledgers(summaries: &[ShardSummary]) -> ShardLedger {
+    let ledgers: Vec<ShardLedger> = summaries.iter().map(|s| s.ledger.clone()).collect();
+    ShardLedger::merge_parallel(&ledgers)
+}
+
+/// The sharded DP Kendall-τ estimator end to end: builds bare summaries
+/// over `specs`, fills their τ layers, and merges — the sharded
+/// counterpart of [`crate::kendall::dp_tau_matrix_par`], returning the
+/// same **raw** (pre-repair) matrix. With one shard the result is
+/// bit-identical to the unsharded estimator; with any shard count under
+/// `SamplingStrategy::Full` it still is, because the merge is exact and
+/// the noise stream only depends on the pair id.
+pub fn dp_tau_matrix_sharded(
+    columns: &[Vec<u32>],
+    specs: &[ShardSpec],
+    eps2_total: Epsilon,
+    strategy: SamplingStrategy,
+    base_seed: u64,
+    workers: usize,
+    sink: &MetricsSink,
+) -> Result<Matrix, DpCopulaError> {
+    let m = columns.len();
+    if m == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    if m == 1 {
+        return Ok(Matrix::identity(1));
+    }
+    let n = columns[0].len();
+    if n < 2 {
+        return Err(DpCopulaError::TooFewRecords {
+            records: n,
+            required: 2,
+        });
+    }
+    let mut summaries: Vec<ShardSummary> = specs
+        .iter()
+        .map(|&spec| ShardSummary {
+            spec,
+            noisy_margins: Vec::new(),
+            sampled: Vec::new(),
+            within: Vec::new(),
+            ledger: ShardLedger::new(),
+        })
+        .collect();
+    fill_tau(
+        &mut summaries,
+        columns,
+        strategy,
+        eps2_total,
+        base_seed,
+        workers,
+        sink,
+    );
+    Ok(merged_tau_matrix(
+        &summaries, eps2_total, base_seed, workers, sink,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kendall::dp_tau_matrix_par;
+    use dpmech::nano_eps;
+    use rngkit::rngs::StdRng;
+    use rngkit::{Rng, SeedableRng};
+
+    fn off() -> MetricsSink {
+        MetricsSink::off()
+    }
+
+    fn test_columns(m: usize, n: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+        (0..m)
+            .map(|j| {
+                base.iter()
+                    .map(|&v| (v + rng.gen_range(0..domain / 4) + j as u32) % domain)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_specs_partition_exactly() {
+        for (n, shards) in [(10, 1), (10, 3), (7, 7), (1000, 4), (11, 2)] {
+            let specs = shard_specs(n, shards);
+            assert_eq!(specs.len(), shards);
+            assert_eq!(specs[0].start, 0);
+            assert_eq!(specs.last().unwrap().end, n);
+            for (s, w) in specs.windows(2).enumerate() {
+                assert_eq!(w[0].end, w[1].start, "n={n} shards={shards} s={s}");
+            }
+            for (s, spec) in specs.iter().enumerate() {
+                assert!(!spec.is_empty());
+                assert_eq!(spec.seed_index, s as u64);
+                // Balanced: sizes differ by at most one.
+                assert!(spec.len() == n / shards || spec.len() == n / shards + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_target_partition_is_exact_and_proportional() {
+        for (n, shards, target) in [(100, 1, 37), (100, 4, 37), (11, 3, 11), (5000, 7, 2700)] {
+            let specs = shard_specs(n, shards);
+            let targets = partition_sample_target(target, &specs);
+            assert_eq!(
+                targets.iter().sum::<usize>(),
+                target,
+                "n={n} shards={shards}"
+            );
+            for (spec, &t) in specs.iter().zip(&targets) {
+                assert!(t <= spec.len(), "target share exceeds shard size");
+            }
+            if shards == 1 {
+                assert_eq!(targets, vec![target]);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_tau_matrix_matches_unsharded_bitwise() {
+        let cols = test_columns(4, 3_000, 50, 5);
+        let eps = Epsilon::new(0.5).unwrap();
+        for strategy in [
+            SamplingStrategy::Full,
+            SamplingStrategy::Auto,
+            SamplingStrategy::Fixed(700),
+        ] {
+            let specs = shard_specs(cols[0].len(), 1);
+            let sharded =
+                dp_tau_matrix_sharded(&cols, &specs, eps, strategy, 42, 2, &off()).unwrap();
+            let plain = dp_tau_matrix_par(&cols, eps, strategy, 42, 2, &off()).unwrap();
+            assert_eq!(sharded, plain, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn full_strategy_is_shard_count_invariant_bitwise() {
+        // Under Full sampling the merge is exact and the noise stream
+        // depends only on the pair id, so ANY shard count releases the
+        // identical matrix.
+        let cols = test_columns(3, 901, 40, 6);
+        let eps = Epsilon::new(1.0).unwrap();
+        let one = dp_tau_matrix_sharded(
+            &cols,
+            &shard_specs(901, 1),
+            eps,
+            SamplingStrategy::Full,
+            7,
+            1,
+            &off(),
+        )
+        .unwrap();
+        for shards in [2, 3, 5] {
+            let many = dp_tau_matrix_sharded(
+                &cols,
+                &shard_specs(901, shards),
+                eps,
+                SamplingStrategy::Full,
+                7,
+                4,
+                &off(),
+            )
+            .unwrap();
+            assert_eq!(many, one, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_tau_is_worker_count_invariant() {
+        let cols = test_columns(3, 1_200, 30, 8);
+        let eps = Epsilon::new(1.0).unwrap();
+        let specs = shard_specs(1_200, 4);
+        let base = dp_tau_matrix_sharded(
+            &cols,
+            &specs,
+            eps,
+            SamplingStrategy::Fixed(400),
+            3,
+            1,
+            &off(),
+        )
+        .unwrap();
+        for workers in [2, 7] {
+            let p = dp_tau_matrix_sharded(
+                &cols,
+                &specs,
+                eps,
+                SamplingStrategy::Fixed(400),
+                3,
+                workers,
+                &off(),
+            )
+            .unwrap();
+            assert_eq!(p, base, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn margin_summaries_merge_to_per_bin_sums_and_max_ledger() {
+        let cols = test_columns(2, 400, 16, 9);
+        let domains = [16usize, 16];
+        let eps_margin = Epsilon::new(0.25).unwrap();
+        let specs = shard_specs(400, 4);
+        let summaries = build_margin_summaries(
+            &cols,
+            &domains,
+            &specs,
+            "identity",
+            eps_margin,
+            11,
+            2,
+            &off(),
+        );
+        assert_eq!(summaries.len(), 4);
+        let merged = merge_margins(&summaries);
+        for (j, bins) in merged.iter().enumerate() {
+            for (b, &val) in bins.iter().enumerate() {
+                let sum: f64 = summaries.iter().map(|s| s.noisy_margins[j][b]).sum();
+                assert_eq!(val.to_bits(), sum.to_bits(), "j={j} b={b}");
+            }
+        }
+        // Parallel composition: each shard spent m * eps_margin on the
+        // margins label; the combined ledger carries the max, which for
+        // identical sub-ledgers equals any one of them — NOT 4x.
+        let combined = merge_ledgers(&summaries);
+        let per_shard = 2 * nano_eps(eps_margin);
+        assert_eq!(combined.spent_neps("margins"), per_shard);
+        for s in &summaries {
+            assert_eq!(s.ledger.spent_neps("margins"), per_shard);
+        }
+    }
+
+    #[test]
+    fn one_shard_margin_summary_uses_pre_shard_streams() {
+        // With one shard the (shard, attr) stream index is `0 * m + j`,
+        // i.e. the pre-shard per-attribute key: publishing through the
+        // summary layer must equal publishing directly.
+        let cols = test_columns(3, 500, 16, 10);
+        let domains = [16usize, 16, 16];
+        let eps_margin = Epsilon::new(0.2).unwrap();
+        let specs = shard_specs(500, 1);
+        let summaries =
+            build_margin_summaries(&cols, &domains, &specs, "efpa", eps_margin, 13, 1, &off());
+        let merged = merge_margins(&summaries);
+        for (j, col) in cols.iter().enumerate() {
+            let exact = Histogram1D::from_values(col, domains[j]);
+            let mut rng = parkit::stream_rng(13, STREAM_MARGINS, j as u64);
+            let direct = MarginRegistry::builtin()
+                .publish("efpa", exact.counts(), eps_margin, &mut rng)
+                .unwrap();
+            assert_eq!(merged[j], direct, "attr {j}");
+        }
+    }
+
+    #[test]
+    fn tiny_shards_fall_back_to_cross_terms_only() {
+        // 2 records over 2 shards: both within summaries are EMPTY, the
+        // whole τ signal is the single cross pair — and must not panic.
+        let cols = vec![vec![0u32, 1], vec![0u32, 1]];
+        let specs = shard_specs(2, 2);
+        let p = dp_tau_matrix_sharded(
+            &cols,
+            &specs,
+            Epsilon::new(5.0).unwrap(),
+            SamplingStrategy::Full,
+            1,
+            1,
+            &off(),
+        )
+        .unwrap();
+        assert_eq!((p.rows(), p.cols()), (2, 2));
+        assert!(p[(0, 1)].is_finite());
+    }
+
+    #[test]
+    fn sharded_rejects_degenerate_inputs() {
+        let eps = Epsilon::new(1.0).unwrap();
+        assert_eq!(
+            dp_tau_matrix_sharded(&[], &[], eps, SamplingStrategy::Full, 1, 1, &off()).unwrap_err(),
+            DpCopulaError::EmptyInput
+        );
+        let one_record = vec![vec![1u32], vec![2u32]];
+        assert!(matches!(
+            dp_tau_matrix_sharded(
+                &one_record,
+                &shard_specs(1, 1),
+                eps,
+                SamplingStrategy::Full,
+                1,
+                1,
+                &off()
+            )
+            .unwrap_err(),
+            DpCopulaError::TooFewRecords { .. }
+        ));
+    }
+}

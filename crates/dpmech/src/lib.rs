@@ -28,7 +28,7 @@ pub mod exponential;
 pub mod geometric;
 pub mod laplace;
 
-pub use budget::{nano_eps, BudgetAccountant, BudgetError, Epsilon};
+pub use budget::{nano_eps, BudgetAccountant, BudgetError, Epsilon, ShardLedger};
 pub use draws::DrawCounts;
 pub use exponential::exponential_mechanism;
 pub use geometric::GeometricMechanism;

@@ -1,0 +1,278 @@
+//! Mergeable concordance summaries for Kendall's τ.
+//!
+//! Kendall's τ_a over `n` records is `S / C(n, 2)` where
+//! `S = n_c - n_d` (concordant minus discordant pairs, ties contributing
+//! zero). `S` is a plain integer sum over unordered record pairs, so it
+//! decomposes exactly over any partition of the records into disjoint
+//! shards:
+//!
+//! ```text
+//! S_pooled = Σ_s S_within(s)  +  Σ_{s<t} S_cross(s, t)
+//! ```
+//!
+//! Each shard contributes its within-shard `S` (a [`Concordance`]) and
+//! every shard pair contributes a cross term counted by
+//! [`cross_concordance`] in `O((n_a + n_b) log d)` — no shard ever sees
+//! another shard's raw rows twice. Because every quantity is an integer
+//! (exact in `f64` below 2^53), `merge(...)` followed by
+//! [`Concordance::tau`] is **bit-identical** to computing τ over the
+//! pooled records directly: this is the exactness contract the sharded
+//! fit pipeline's 1-shard byte-identity pin relies on (DESIGN.md §12).
+
+/// Integer concordance summary of one column pair over one record set:
+/// the numerator `s = n_c - n_d` and the pair count `pairs = C(n, 2)` of
+/// Kendall's τ_a. Summaries over disjoint record sets merge exactly via
+/// [`merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Concordance {
+    /// Concordant minus discordant pairs (ties contribute zero).
+    pub s: i64,
+    /// Total unordered record pairs, `C(n, 2)`.
+    pub pairs: u64,
+}
+
+impl Concordance {
+    /// A summary over zero or one records: no pairs, zero numerator.
+    pub const EMPTY: Concordance = Concordance { s: 0, pairs: 0 };
+
+    /// Kendall's τ_a, `s / pairs`.
+    ///
+    /// Bit-identical to the classical `(n_c - n_d) / C(n,2)` evaluation:
+    /// both subtrahends are integers below 2^53, so `n_c - n_d` is exact
+    /// in IEEE f64 and equals `s as f64`.
+    ///
+    /// # Panics
+    /// Panics when `pairs == 0` (τ is undefined below 2 records).
+    pub fn tau(&self) -> f64 {
+        assert!(self.pairs > 0, "Kendall's tau needs at least one pair");
+        self.s as f64 / self.pairs as f64
+    }
+}
+
+/// Merges per-shard within-summaries with the cross-shard terms.
+///
+/// `cross_s` is the sum of [`cross_concordance`] over all shard pairs and
+/// `cross_pairs` the number of cross-shard record pairs,
+/// `Σ_{s<t} n_s · n_t`. The result is exactly the [`Concordance`] of the
+/// pooled records.
+pub fn merge(within: &[Concordance], cross_s: i64, cross_pairs: u64) -> Concordance {
+    Concordance {
+        s: within.iter().map(|c| c.s).sum::<i64>() + cross_s,
+        pairs: within.iter().map(|c| c.pairs).sum::<u64>() + cross_pairs,
+    }
+}
+
+/// A 1-indexed Fenwick (binary indexed) tree over dense ranks.
+struct Fenwick(Vec<u32>);
+
+impl Fenwick {
+    fn new(groups: usize) -> Self {
+        Fenwick(vec![0u32; groups + 1])
+    }
+
+    /// Adds one occurrence of rank `r` (0-indexed).
+    fn add(&mut self, r: usize) {
+        let mut k = r + 1;
+        while k < self.0.len() {
+            self.0[k] += 1;
+            k += k & k.wrapping_neg();
+        }
+    }
+
+    /// Count of inserted ranks strictly below `r` (0-indexed).
+    fn below(&self, r: usize) -> u64 {
+        let mut k = r;
+        let mut s = 0u64;
+        while k > 0 {
+            s += u64::from(self.0[k]);
+            k &= k - 1;
+        }
+        s
+    }
+
+    /// Count of inserted ranks `<= r` (0-indexed).
+    fn at_or_below(&self, r: usize) -> u64 {
+        self.below(r + 1)
+    }
+}
+
+/// The cross-shard concordance term
+/// `S_cross(A, B) = Σ_{i∈A, j∈B} sign(x_i - x_j) · sign(y_i - y_j)`
+/// between two disjoint record shards, each given as parallel `(x, y)`
+/// column slices.
+///
+/// Runs in `O((n_a + n_b) log d)` (`d` = distinct pooled y values): both
+/// shards' records are walked in ascending-x order while two Fenwick
+/// trees fold in the y ranks already passed, so each record scores its
+/// concordant-minus-discordant balance against the *other* shard's
+/// smaller-x records in one prefix query. Equal-x blocks are scored
+/// before they are inserted, so tied-x cross pairs contribute zero, and
+/// tied y values cancel in the prefix arithmetic — exactly τ_a's tie
+/// convention.
+///
+/// # Panics
+/// Panics when either shard's x and y slices differ in length.
+pub fn cross_concordance(ax: &[u32], ay: &[u32], bx: &[u32], by: &[u32]) -> i64 {
+    assert_eq!(ax.len(), ay.len(), "shard A column length mismatch");
+    assert_eq!(bx.len(), by.len(), "shard B column length mismatch");
+    if ax.is_empty() || bx.is_empty() {
+        return 0;
+    }
+
+    // Dense y ranks over the pooled y values of both shards.
+    let mut ys: Vec<u32> = ay.iter().chain(by.iter()).copied().collect();
+    ys.sort_unstable();
+    ys.dedup();
+    let rank = |v: u32| ys.binary_search(&v).expect("pooled y value present") as u32;
+
+    // (x, dense y rank, record is from shard B), ascending by x.
+    let mut recs: Vec<(u32, u32, bool)> = ax
+        .iter()
+        .zip(ay)
+        .map(|(&x, &y)| (x, rank(y), false))
+        .chain(bx.iter().zip(by).map(|(&x, &y)| (x, rank(y), true)))
+        .collect();
+    recs.sort_unstable_by_key(|r| r.0);
+
+    let mut fa = Fenwick::new(ys.len());
+    let mut fb = Fenwick::new(ys.len());
+    let (mut seen_a, mut seen_b) = (0i64, 0i64);
+    let mut s = 0i64;
+    let mut i = 0;
+    while i < recs.len() {
+        let mut j = i;
+        while j < recs.len() && recs[j].0 == recs[i].0 {
+            j += 1;
+        }
+        // Score the whole equal-x block against strictly-smaller-x
+        // records of the other shard before inserting any of it.
+        for &(_, r, from_b) in &recs[i..j] {
+            let (other, seen_other) = if from_b { (&fa, seen_a) } else { (&fb, seen_b) };
+            let below = other.below(r as usize) as i64;
+            let at_or_below = other.at_or_below(r as usize) as i64;
+            let above = seen_other - at_or_below;
+            // Current record has the larger x, so smaller y on the other
+            // side is concordant, larger y discordant, ties zero.
+            s += below - above;
+        }
+        for &(_, r, from_b) in &recs[i..j] {
+            if from_b {
+                fb.add(r as usize);
+                seen_b += 1;
+            } else {
+                fa.add(r as usize);
+                seen_a += 1;
+            }
+        }
+        i = j;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic oracle for the cross term.
+    fn cross_naive(ax: &[u32], ay: &[u32], bx: &[u32], by: &[u32]) -> i64 {
+        let mut s = 0i64;
+        for (&xa, &ya) in ax.iter().zip(ay) {
+            for (&xb, &yb) in bx.iter().zip(by) {
+                let dx = i64::from(xa) - i64::from(xb);
+                let dy = i64::from(ya) - i64::from(yb);
+                s += dx.signum() * dy.signum();
+            }
+        }
+        s
+    }
+
+    /// Quadratic oracle for a within-shard summary.
+    fn within_naive(x: &[u32], y: &[u32]) -> Concordance {
+        let n = x.len() as u64;
+        let mut s = 0i64;
+        for i in 0..x.len() {
+            for j in (i + 1)..x.len() {
+                let dx = i64::from(x[i]) - i64::from(x[j]);
+                let dy = i64::from(y[i]) - i64::from(y[j]);
+                s += dx.signum() * dy.signum();
+            }
+        }
+        Concordance {
+            s,
+            pairs: n * (n - 1) / 2,
+        }
+    }
+
+    fn lcg_cols(seed: u64, n: usize, domain: u32) -> (Vec<u32>, Vec<u32>) {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % domain
+        };
+        let x: Vec<u32> = (0..n).map(|_| next()).collect();
+        let y: Vec<u32> = (0..n).map(|_| next()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn cross_concordance_matches_quadratic_oracle() {
+        for seed in 0..20u64 {
+            let domain = if seed % 2 == 0 { 5 } else { 1000 };
+            let (ax, ay) = lcg_cols(seed * 2 + 1, 3 + (seed as usize % 40), domain);
+            let (bx, by) = lcg_cols(seed * 2 + 2, 2 + (seed as usize % 37), domain);
+            assert_eq!(
+                cross_concordance(&ax, &ay, &bx, &by),
+                cross_naive(&ax, &ay, &bx, &by),
+                "seed {seed} domain {domain}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_concordance_handles_empty_and_degenerate_shards() {
+        assert_eq!(cross_concordance(&[], &[], &[1], &[2]), 0);
+        assert_eq!(cross_concordance(&[1], &[2], &[], &[]), 0);
+        // All-tied x: every cross pair ties in x, so the term is zero.
+        assert_eq!(cross_concordance(&[7, 7], &[1, 2], &[7], &[3]), 0);
+        // All-tied y likewise.
+        assert_eq!(cross_concordance(&[1, 2], &[5, 5], &[3], &[5]), 0);
+    }
+
+    #[test]
+    fn merged_summary_equals_pooled_summary_exactly() {
+        for seed in 0..12u64 {
+            let domain = if seed % 2 == 0 { 6 } else { 500 };
+            let (x, y) = lcg_cols(seed + 100, 40 + seed as usize * 7, domain);
+            // Split into three uneven shards.
+            let cuts = [0, x.len() / 4, x.len() / 2 + 3, x.len()];
+            let mut within = Vec::new();
+            let mut cross_s = 0i64;
+            let mut cross_pairs = 0u64;
+            for w in cuts.windows(2) {
+                within.push(within_naive(&x[w[0]..w[1]], &y[w[0]..w[1]]));
+            }
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    let (a0, a1, b0, b1) = (cuts[a], cuts[a + 1], cuts[b], cuts[b + 1]);
+                    cross_s += cross_concordance(&x[a0..a1], &y[a0..a1], &x[b0..b1], &y[b0..b1]);
+                    cross_pairs += ((a1 - a0) * (b1 - b0)) as u64;
+                }
+            }
+            let merged = merge(&within, cross_s, cross_pairs);
+            let pooled = within_naive(&x, &y);
+            assert_eq!(merged, pooled, "seed {seed}");
+            assert_eq!(merged.tau().to_bits(), pooled.tau().to_bits());
+        }
+    }
+
+    #[test]
+    fn tau_of_perfect_orders() {
+        let c = within_naive(&[1, 2, 3, 4], &[1, 2, 3, 4]);
+        assert_eq!(c.tau(), 1.0);
+        let c = within_naive(&[1, 2, 3, 4], &[4, 3, 2, 1]);
+        assert_eq!(c.tau(), -1.0);
+        assert_eq!(Concordance::EMPTY.pairs, 0);
+    }
+}

@@ -93,8 +93,16 @@ pub struct BudgetEntry {
 pub struct BudgetLedger {
     /// Total budget the fit was configured with.
     pub total: f64,
-    /// Individual expenditures, in spend order.
+    /// Individual expenditures, in spend order. For a sharded fit these
+    /// are the *combined* costs after parallel composition across the
+    /// shards.
     pub entries: Vec<BudgetEntry>,
+    /// Per-shard sub-ledgers of a sharded fit, one entry list per shard
+    /// in shard order (format v2). Empty for single-shard fits, which
+    /// keeps their encoding on format v1. The combined `entries` are the
+    /// per-label maximum over these sub-ledgers (parallel composition:
+    /// shards hold disjoint rows).
+    pub shard_entries: Vec<Vec<BudgetEntry>>,
 }
 
 impl BudgetLedger {
@@ -102,6 +110,20 @@ impl BudgetLedger {
     pub fn spent(&self) -> f64 {
         self.entries.iter().map(|e| e.epsilon).sum()
     }
+}
+
+/// Provenance of one shard of a sharded fit: which rows of the fit
+/// input it covered and which logical stream index its row subsample
+/// drew under (format v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// First input row (inclusive) the shard covered.
+    pub row_start: u64,
+    /// One past the last input row the shard covered.
+    pub row_end: u64,
+    /// Logical stream index the shard's Kendall row subsample derived
+    /// under: `stream_rng(base_seed, STREAM_KENDALL_SAMPLE, seed_index)`.
+    pub seed_index: u64,
 }
 
 /// How the fit's randomness was derived, recorded so that serving — at
@@ -119,6 +141,9 @@ pub struct RngProvenance {
     /// The stream-key scheme, e.g. `splitmix64x3/xoshiro256++` — a
     /// human-readable pin of the derivation in `parkit::stream_rng`.
     pub scheme: String,
+    /// Per-shard fit provenance, in shard order (format v2). Empty for
+    /// single-shard fits, which keeps their encoding on format v1.
+    pub shards: Vec<ShardInfo>,
 }
 
 /// A fitted DPCopula model: the ε-budgeted published marginals plus the

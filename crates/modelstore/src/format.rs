@@ -6,8 +6,8 @@
 //! ```text
 //! header (12 bytes):
 //!   0   magic          4 bytes   "DPCM"
-//!   4   version        u16       format version (currently 1)
-//!   6   section count  u16       6 in version 1
+//!   4   version        u16       format version (1 or 2)
+//!   6   section count  u16       6 in versions 1 and 2
 //!   8   header CRC     u32       CRC-32 of bytes 0..8
 //! then `section count` sections, each:
 //!   +0  tag            4 bytes   ASCII section name
@@ -16,23 +16,39 @@
 //!   +β  payload CRC    u32       CRC-32 of the payload
 //! ```
 //!
-//! Version-1 sections, in fixed order: `SCHM` (schema), `MRGN` (published
+//! Sections, in fixed order: `SCHM` (schema), `MRGN` (published
 //! marginal counts), `CORR` (repaired correlation matrix), `COPL` (copula
 //! family + params), `BDGT` (spent-budget ledger), `PROV` (RNG
 //! provenance). Every section carries its own CRC, so a single flipped
 //! byte anywhere in the file is rejected at load with the section name
 //! and byte offset of the damage.
 //!
+//! **Version 2** extends two payloads with sharded-fit provenance, after
+//! the version-1 fields:
+//!
+//! * `BDGT` — `u32` shard-ledger count, then per shard a `u32` entry
+//!   count followed by `(label, f64 epsilon)` entries: the per-shard
+//!   sub-ledgers whose per-label maximum (parallel composition) the
+//!   combined entries record;
+//! * `PROV` — `u32` shard count, then per shard
+//!   `(u64 row_start, u64 row_end, u64 seed_index)`.
+//!
+//! The encoder emits the **oldest version able to represent the
+//! artifact**: a fit without shard provenance encodes as version 1,
+//! byte-identical to a pre-v2 writer, so single-shard artifacts remain
+//! stable and old readers keep accepting them.
+//!
 //! ## Versioning policy
 //!
 //! The version is bumped whenever a change would make old readers decode
 //! wrong values (new/removed/reordered sections, payload layout changes).
-//! Readers reject versions they don't know rather than guessing —
+//! Readers accept every version from 1 up to [`FORMAT_VERSION`] and
+//! reject versions they don't know rather than guessing —
 //! a model artifact is a privacy-bearing release, so "best effort"
 //! parsing is never acceptable.
 
 use crate::artifact::{
-    AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance,
+    AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance, ShardInfo,
 };
 use crate::codec::{ByteReader, ByteWriter, ReadError};
 use crate::crc32::crc32;
@@ -43,10 +59,16 @@ use std::path::Path;
 /// File magic: the first four bytes of every `.dpcm` artifact.
 pub const MAGIC: [u8; 4] = *b"DPCM";
 
-/// Current format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// Newest format version this codec reads and writes. The encoder emits
+/// the oldest version able to represent the artifact (version 1 when no
+/// shard provenance is present), so bumping this never perturbs the
+/// bytes of artifacts that don't use the new fields.
+pub const FORMAT_VERSION: u16 = 2;
 
-/// Section tags of version 1, in their required file order.
+/// Oldest format version this codec still reads.
+const MIN_VERSION: u16 = 1;
+
+/// Section tags, in their required file order (same in every version).
 const SECTION_ORDER: [&[u8; 4]; 6] = [b"SCHM", b"MRGN", b"CORR", b"COPL", b"BDGT", b"PROV"];
 
 /// Human-readable names matching [`SECTION_ORDER`] (used in errors).
@@ -263,7 +285,7 @@ fn encode_copula(a: &ModelArtifact) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn encode_budget(a: &ModelArtifact) -> Vec<u8> {
+fn encode_budget(a: &ModelArtifact, version: u16) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_f64(a.ledger.total);
     w.put_u32(a.ledger.entries.len() as u32);
@@ -271,38 +293,68 @@ fn encode_budget(a: &ModelArtifact) -> Vec<u8> {
         w.put_str(&e.label);
         w.put_f64(e.epsilon);
     }
+    if version >= 2 {
+        w.put_u32(a.ledger.shard_entries.len() as u32);
+        for shard in &a.ledger.shard_entries {
+            w.put_u32(shard.len() as u32);
+            for e in shard {
+                w.put_str(&e.label);
+                w.put_f64(e.epsilon);
+            }
+        }
+    }
     w.into_bytes()
 }
 
-fn encode_provenance(a: &ModelArtifact) -> Vec<u8> {
+fn encode_provenance(a: &ModelArtifact, version: u16) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(a.provenance.base_seed);
     w.put_u64(a.provenance.sample_chunk);
     w.put_u64(a.provenance.sampler_stream);
     w.put_str(&a.provenance.scheme);
+    if version >= 2 {
+        w.put_u32(a.provenance.shards.len() as u32);
+        for s in &a.provenance.shards {
+            w.put_u64(s.row_start);
+            w.put_u64(s.row_end);
+            w.put_u64(s.seed_index);
+        }
+    }
     w.into_bytes()
+}
+
+/// The oldest format version able to represent `a`: version 1 unless
+/// the artifact carries sharded-fit provenance or per-shard sub-ledgers.
+fn required_version(a: &ModelArtifact) -> u16 {
+    if a.provenance.shards.is_empty() && a.ledger.shard_entries.is_empty() {
+        1
+    } else {
+        2
+    }
 }
 
 /// Encodes the artifact into `.dpcm` bytes. Deterministic: the same
 /// artifact always produces the same bytes (there is no timestamp or
-/// other ambient state in the format).
+/// other ambient state in the format). The version written is the oldest
+/// able to represent the artifact — see [`FORMAT_VERSION`].
 pub fn encode(a: &ModelArtifact) -> Vec<u8> {
+    let version = required_version(a);
     let payloads: [Vec<u8>; 6] = [
         encode_schema(a),
         encode_margins(a),
         encode_correlation(a),
         encode_copula(a),
-        encode_budget(a),
-        encode_provenance(a),
+        encode_budget(a, version),
+        encode_provenance(a, version),
     ];
     let mut w = ByteWriter::new();
     w.put_bytes(&MAGIC);
-    w.put_u16(FORMAT_VERSION);
+    w.put_u16(version);
     w.put_u16(SECTION_ORDER.len() as u16);
     let header_crc = {
         let mut head = Vec::with_capacity(8);
         head.extend_from_slice(&MAGIC);
-        head.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        head.extend_from_slice(&version.to_le_bytes());
         head.extend_from_slice(&(SECTION_ORDER.len() as u16).to_le_bytes());
         crc32(&head)
     };
@@ -330,9 +382,14 @@ fn field_err(section: &'static str, payload_offset: usize) -> impl Fn(ReadError)
     }
 }
 
-/// Validates header + section framing, returning each section's payload
-/// slice and location without decoding payload contents.
-fn split_sections(bytes: &[u8]) -> Result<Vec<(SectionInfo, &[u8])>, StoreError> {
+/// Section payload slices paired with their framing info, as returned by
+/// [`split_sections`] alongside the header version.
+type SectionSlices<'a> = Vec<(SectionInfo, &'a [u8])>;
+
+/// Validates header + section framing, returning the header version and
+/// each section's payload slice and location without decoding payload
+/// contents.
+fn split_sections(bytes: &[u8]) -> Result<(u16, SectionSlices<'_>), StoreError> {
     if bytes.len() < 12 {
         return Err(StoreError::Truncated {
             section: "header",
@@ -346,7 +403,7 @@ fn split_sections(bytes: &[u8]) -> Result<Vec<(SectionInfo, &[u8])>, StoreError>
         return Err(StoreError::BadMagic { found });
     }
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != FORMAT_VERSION {
+    if !(MIN_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion { found: version });
     }
     let stored_crc = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
@@ -363,7 +420,7 @@ fn split_sections(bytes: &[u8]) -> Result<Vec<(SectionInfo, &[u8])>, StoreError>
             section: "header",
             offset: 6,
             reason: format!(
-                "version {FORMAT_VERSION} requires {} sections, header declares {count}",
+                "version {version} requires {} sections, header declares {count}",
                 SECTION_ORDER.len()
             ),
         });
@@ -423,13 +480,23 @@ fn split_sections(bytes: &[u8]) -> Result<Vec<(SectionInfo, &[u8])>, StoreError>
     if pos != bytes.len() {
         return Err(StoreError::TrailingBytes { offset: pos });
     }
-    Ok(out)
+    Ok((version, out))
 }
 
 /// Lists the sections of an encoded artifact after validating all
 /// framing and checksums — the integrity check without the decode.
 pub fn probe(bytes: &[u8]) -> Result<Vec<SectionInfo>, StoreError> {
-    Ok(split_sections(bytes)?.into_iter().map(|(i, _)| i).collect())
+    Ok(split_sections(bytes)?
+        .1
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect())
+}
+
+/// The format version an encoded artifact carries, after validating all
+/// framing and checksums.
+pub fn probe_version(bytes: &[u8]) -> Result<u16, StoreError> {
+    Ok(split_sections(bytes)?.0)
 }
 
 fn decode_schema(payload: &[u8], base: usize) -> Result<Vec<AttributeSpec>, StoreError> {
@@ -604,7 +671,7 @@ fn decode_copula(payload: &[u8], base: usize) -> Result<CopulaFamily, StoreError
     }
 }
 
-fn decode_budget(payload: &[u8], base: usize) -> Result<BudgetLedger, StoreError> {
+fn decode_budget(payload: &[u8], base: usize, version: u16) -> Result<BudgetLedger, StoreError> {
     let err = field_err("budget", base);
     let mut r = ByteReader::new(payload);
     let total = r.f64("budget total").map_err(&err)?;
@@ -615,6 +682,21 @@ fn decode_budget(payload: &[u8], base: usize) -> Result<BudgetLedger, StoreError
         let epsilon = r.f64("ledger epsilon").map_err(&err)?;
         entries.push(BudgetEntry { label, epsilon });
     }
+    let mut shard_entries = Vec::new();
+    if version >= 2 {
+        let shards = r.u32("shard ledger count").map_err(&err)? as usize;
+        shard_entries.reserve(shards);
+        for _ in 0..shards {
+            let k = r.u32("shard ledger entry count").map_err(&err)? as usize;
+            let mut shard = Vec::with_capacity(k);
+            for _ in 0..k {
+                let label = r.str("shard ledger label").map_err(&err)?;
+                let epsilon = r.f64("shard ledger epsilon").map_err(&err)?;
+                shard.push(BudgetEntry { label, epsilon });
+            }
+            shard_entries.push(shard);
+        }
+    }
     if !r.is_exhausted() {
         return Err(StoreError::Malformed {
             section: "budget",
@@ -622,16 +704,47 @@ fn decode_budget(payload: &[u8], base: usize) -> Result<BudgetLedger, StoreError
             reason: "unconsumed bytes at end of payload".into(),
         });
     }
-    Ok(BudgetLedger { total, entries })
+    Ok(BudgetLedger {
+        total,
+        entries,
+        shard_entries,
+    })
 }
 
-fn decode_provenance(payload: &[u8], base: usize) -> Result<RngProvenance, StoreError> {
+fn decode_provenance(
+    payload: &[u8],
+    base: usize,
+    version: u16,
+) -> Result<RngProvenance, StoreError> {
     let err = field_err("provenance", base);
     let mut r = ByteReader::new(payload);
     let base_seed = r.u64("base seed").map_err(&err)?;
     let sample_chunk = r.u64("sample chunk").map_err(&err)?;
     let sampler_stream = r.u64("sampler stream").map_err(&err)?;
     let scheme = r.str("stream scheme").map_err(&err)?;
+    let mut shards = Vec::new();
+    if version >= 2 {
+        let count = r.u32("shard count").map_err(&err)? as usize;
+        shards.reserve(count);
+        for i in 0..count {
+            let at = r.position();
+            let row_start = r.u64("shard row start").map_err(&err)?;
+            let row_end = r.u64("shard row end").map_err(&err)?;
+            let seed_index = r.u64("shard seed index").map_err(&err)?;
+            if row_end <= row_start {
+                return Err(StoreError::Malformed {
+                    section: "provenance",
+                    offset: base + at,
+                    reason: format!("shard {i} has empty row range [{row_start}, {row_end})"),
+                });
+            }
+            shards.push(ShardInfo {
+                row_start,
+                row_end,
+                seed_index,
+            });
+        }
+    }
     if !r.is_exhausted() {
         return Err(StoreError::Malformed {
             section: "provenance",
@@ -644,6 +757,7 @@ fn decode_provenance(payload: &[u8], base: usize) -> Result<RngProvenance, Store
         sample_chunk,
         sampler_stream,
         scheme,
+        shards,
     })
 }
 
@@ -703,7 +817,7 @@ fn timed_section<T>(
 }
 
 fn decode_inner(bytes: &[u8], sink: &obskit::MetricsSink) -> Result<ModelArtifact, StoreError> {
-    let sections = split_sections(bytes)?;
+    let (version, sections) = split_sections(bytes)?;
     let at = |i: usize| (sections[i].1, sections[i].0.payload_offset);
 
     let (p, o) = at(0);
@@ -715,9 +829,9 @@ fn decode_inner(bytes: &[u8], sink: &obskit::MetricsSink) -> Result<ModelArtifac
     let (p, o) = at(3);
     let family = timed_section(sink, "COPL", || decode_copula(p, o))?;
     let (p, o) = at(4);
-    let ledger = timed_section(sink, "BDGT", || decode_budget(p, o))?;
+    let ledger = timed_section(sink, "BDGT", || decode_budget(p, o, version))?;
     let (p, o) = at(5);
-    let provenance = timed_section(sink, "PROV", || decode_provenance(p, o))?;
+    let provenance = timed_section(sink, "PROV", || decode_provenance(p, o, version))?;
 
     Ok(ModelArtifact {
         schema,

@@ -34,12 +34,14 @@
 //!     ledger: BudgetLedger {
 //!         total: 1.0,
 //!         entries: vec![BudgetEntry { label: "margins".into(), epsilon: 1.0 }],
+//!         shard_entries: vec![],
 //!     },
 //!     provenance: RngProvenance {
 //!         base_seed: 42,
 //!         sample_chunk: 8192,
 //!         sampler_stream: 6,
 //!         scheme: "splitmix64x3/xoshiro256++".into(),
+//!         shards: vec![],
 //!     },
 //! };
 //! let bytes = artifact.encode();
@@ -54,8 +56,9 @@ pub mod crc32;
 pub mod format;
 
 pub use artifact::{
-    AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance,
+    AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance, ShardInfo,
 };
 pub use format::{
-    decode, decode_observed, encode, probe, SectionInfo, StoreError, FORMAT_VERSION, MAGIC,
+    decode, decode_observed, encode, probe, probe_version, SectionInfo, StoreError, FORMAT_VERSION,
+    MAGIC,
 };

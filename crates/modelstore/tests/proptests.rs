@@ -5,14 +5,16 @@
 use mathkit::Matrix;
 use modelstore::format::StoreError;
 use modelstore::{
-    probe, AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance,
+    probe, probe_version, AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact,
+    RngProvenance, ShardInfo,
 };
 use rngkit::rngs::StdRng;
 use rngkit::{Rng, SeedableRng};
 use testkit::{prop_assert, prop_assert_eq, property_tests};
 
 /// Builds a randomized artifact: 1–5 attributes, domains 1–8, random
-/// names/edges/family/ledger — every format feature exercised.
+/// names/edges/family/ledger, and (half the time) per-shard provenance
+/// and sub-ledgers so both the v1 and v2 encodings are exercised.
 fn random_artifact(seed: u64) -> ModelArtifact {
     let mut rng = StdRng::seed_from_u64(seed);
     let m = rng.gen_range(1..6usize);
@@ -54,6 +56,33 @@ fn random_artifact(seed: u64) -> ModelArtifact {
             threshold: rng.gen_range(2..16u32),
         },
     };
+    let shard_count = if rng.gen_range(0..2u32) == 0 {
+        0
+    } else {
+        rng.gen_range(2..5usize)
+    };
+    let mut shards = Vec::with_capacity(shard_count);
+    let mut shard_entries = Vec::with_capacity(shard_count);
+    let mut row = 0u64;
+    for s in 0..shard_count {
+        let rows = rng.gen_range(1..500u64);
+        shards.push(ShardInfo {
+            row_start: row,
+            row_end: row + rows,
+            seed_index: s as u64,
+        });
+        row += rows;
+        shard_entries.push(vec![
+            BudgetEntry {
+                label: "margins".into(),
+                epsilon: rng.gen_range(0.01..2.0),
+            },
+            BudgetEntry {
+                label: "correlation".into(),
+                epsilon: rng.gen_range(0.01..2.0),
+            },
+        ]);
+    }
     ModelArtifact {
         schema,
         margin_method: ["efpa", "identity", "privelet"][rng.gen_range(0..3usize)].into(),
@@ -72,12 +101,14 @@ fn random_artifact(seed: u64) -> ModelArtifact {
                     epsilon: rng.gen_range(0.01..2.0),
                 },
             ],
+            shard_entries,
         },
         provenance: RngProvenance {
             base_seed: rng.gen_range(0..u64::MAX),
             sample_chunk: rng.gen_range(1..65536u64),
             sampler_stream: 6,
             scheme: "splitmix64x3/xoshiro256++".into(),
+            shards,
         },
     }
 }
@@ -213,8 +244,8 @@ fn save_load_round_trips_on_disk() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// `probe` validates framing without decoding and lists the v1 sections
-/// in order.
+/// `probe` validates framing without decoding and lists the six sections
+/// in order (same section set in both format versions).
 #[test]
 fn probe_lists_sections_in_order() {
     let bytes = random_artifact(3).encode();
@@ -230,4 +261,128 @@ fn probe_lists_sections_in_order() {
             "provenance"
         ]
     );
+}
+
+/// The encoder emits the oldest version able to represent the artifact:
+/// no shard data → v1 bytes, any shard data → v2. This is what keeps
+/// single-shard fits byte-identical to the pre-shard format.
+#[test]
+fn encoder_picks_minimal_version_for_shard_data() {
+    let mut artifact = random_artifact(5);
+    artifact.provenance.shards.clear();
+    artifact.ledger.shard_entries.clear();
+    let v1_bytes = artifact.encode();
+    assert_eq!(probe_version(&v1_bytes).unwrap(), 1);
+    assert_eq!(ModelArtifact::decode(&v1_bytes).unwrap(), artifact);
+
+    artifact.provenance.shards = vec![
+        ShardInfo {
+            row_start: 0,
+            row_end: 10,
+            seed_index: 0,
+        },
+        ShardInfo {
+            row_start: 10,
+            row_end: 25,
+            seed_index: 1,
+        },
+    ];
+    artifact.ledger.shard_entries = vec![
+        vec![BudgetEntry {
+            label: "margins".into(),
+            epsilon: 0.5,
+        }],
+        vec![BudgetEntry {
+            label: "margins".into(),
+            epsilon: 0.5,
+        }],
+    ];
+    let v2_bytes = artifact.encode();
+    assert_eq!(probe_version(&v2_bytes).unwrap(), 2);
+    assert_eq!(ModelArtifact::decode(&v2_bytes).unwrap(), artifact);
+    assert_ne!(v1_bytes, v2_bytes);
+}
+
+/// A v2 shard record claiming an empty row range is structurally
+/// malformed and rejected with the provenance section named.
+#[test]
+fn empty_shard_row_range_is_rejected() {
+    let mut artifact = random_artifact(9);
+    artifact.provenance.shards = vec![
+        ShardInfo {
+            row_start: 0,
+            row_end: 8,
+            seed_index: 0,
+        },
+        ShardInfo {
+            row_start: 8,
+            row_end: 8,
+            seed_index: 1,
+        },
+    ];
+    artifact.ledger.shard_entries = vec![Vec::new(), Vec::new()];
+    let bytes = artifact.encode();
+    match ModelArtifact::decode(&bytes).unwrap_err() {
+        StoreError::Malformed {
+            section, reason, ..
+        } => {
+            assert_eq!(section, "provenance");
+            assert!(reason.contains("shard 1"), "reason: {reason}");
+        }
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+/// A pre-refactor `.dpcm` written by the v1 encoder still loads: the
+/// checked-in fixture decodes to exactly the artifact that produced it,
+/// and re-encoding reproduces the fixture bytes (so old artifacts
+/// survive a rewrite cycle untouched).
+#[test]
+fn v1_fixture_still_loads_and_round_trips() {
+    let bytes = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/v1_model.dpcm"
+    ))
+    .expect("fixture present");
+    assert_eq!(probe_version(&bytes).unwrap(), 1);
+
+    let expected = ModelArtifact {
+        schema: vec![
+            AttributeSpec::new("age", 4),
+            AttributeSpec {
+                name: "income".into(),
+                domain: 3,
+                bin_edges: vec![0.0, 10.0, 20.0, 30.0],
+            },
+        ],
+        margin_method: "efpa".into(),
+        margins: vec![vec![3.5, 1.25, 0.0, 2.75], vec![5.0, -0.5, 1.5]],
+        correlation: Matrix::from_vec(2, 2, vec![1.0, 0.25, 0.25, 1.0]),
+        family: CopulaFamily::StudentT { dof: 7.5 },
+        ledger: BudgetLedger {
+            total: 1.0,
+            entries: vec![
+                BudgetEntry {
+                    label: "margins".into(),
+                    epsilon: 8.0 / 9.0,
+                },
+                BudgetEntry {
+                    label: "correlation".into(),
+                    epsilon: 1.0 / 9.0,
+                },
+            ],
+            shard_entries: Vec::new(),
+        },
+        provenance: RngProvenance {
+            base_seed: 424242,
+            sample_chunk: 8192,
+            sampler_stream: 6,
+            scheme: "splitmix64x3/xoshiro256++".into(),
+            shards: Vec::new(),
+        },
+    };
+
+    let decoded = ModelArtifact::decode(&bytes).expect("v1 fixture decodes");
+    assert_eq!(decoded, expected);
+    assert_eq!(decoded.encode(), bytes, "v1 bytes are reproduced exactly");
 }

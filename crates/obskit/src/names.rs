@@ -31,6 +31,14 @@ pub const PIPELINE_RUNS_TOTAL: &str = "pipeline_runs_total";
 pub const PIPELINE_ROWS_OUT_TOTAL: &str = "pipeline_rows_out_total";
 /// Worker threads the engine was configured with (environment fact).
 pub const ENGINE_WORKERS: &str = "engine_workers";
+/// Shards the fit partitioned its input rows into (configuration fact;
+/// `1` is the unsharded fit).
+pub const ENGINE_SHARDS: &str = "engine_shards";
+/// Privacy budget each fit shard's sub-ledger spent, in integer nano-ε,
+/// by `shard` index. Shards hold disjoint rows, so the combined fit cost
+/// is the per-label **max** of these, not their sum (parallel
+/// composition).
+pub const SHARD_EPS_SPENT_NEPS: &str = "shard_eps_spent_neps";
 
 /// Logical tasks executed by a parkit fan-out, by `stage`.
 pub const PARKIT_TASKS_TOTAL: &str = "parkit_tasks_total";
@@ -74,13 +82,19 @@ pub const SAMPLING_PROFILE_ROWS_TOTAL: &str = "sampling_profile_rows_total";
 pub const SAMPLING_PROFILES: [&str; 2] = ["reference", "fast"];
 
 /// Span paths the instrumented pipeline and serving layer produce.
-pub const SPAN_PATHS: [&str; 10] = [
+/// `pipeline/shard_fit` and `pipeline/shard_merge` cut across the
+/// margin and correlation stages: summary building (per-shard work plus
+/// the cross-shard concordance fan-out) vs. the serial fold of the
+/// summaries into one model, the sharded fit's two cost centres.
+pub const SPAN_PATHS: [&str; 12] = [
     "pipeline",
     "pipeline/budget_plan",
     "pipeline/margins",
     "pipeline/correlation",
     "pipeline/pd_repair",
     "pipeline/sampling",
+    "pipeline/shard_fit",
+    "pipeline/shard_merge",
     "serve/load",
     "serve/decode",
     "serve/validate",
@@ -93,6 +107,10 @@ pub fn register_taxonomy(registry: &MetricsRegistry) {
     registry.ensure_counter(PIPELINE_RUNS_TOTAL, &[], Unit::Count);
     registry.ensure_counter(PIPELINE_ROWS_OUT_TOTAL, &[], Unit::Count);
     registry.ensure_gauge(ENGINE_WORKERS, &[], Unit::Info);
+    registry.ensure_gauge(ENGINE_SHARDS, &[], Unit::Info);
+    // Per-shard series are keyed by dynamic shard indices; pre-create
+    // shard 0, which every fit (sharded or not) has.
+    registry.ensure_counter(SHARD_EPS_SPENT_NEPS, &[("shard", "0")], Unit::NanoEps);
 
     for stage in STAGES.iter().chain([STAGE_SERVE].iter()) {
         let labels = [("stage", *stage)];

@@ -15,12 +15,15 @@
 
 use datagen::margin::TableMargin;
 use datagen::synthetic::{MarginKind, SyntheticSpec};
-use dpcopula::kendall::kendall_tau;
+use dpcopula::kendall::{kendall_tau, SamplingStrategy};
+use dpcopula::shard::{build_margin_summaries, dp_tau_matrix_sharded, merge_margins, shard_specs};
 use dpcopula::synthesizer::CorrelationMethod;
 use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions, FittedModel};
+use dphist::histogram::Histogram1D;
 use dphist::MarginRegistry;
 use dpmech::Epsilon;
 use modelstore::ModelArtifact;
+use obskit::MetricsSink;
 use statcheck::{correlation_mean_abs_error, is_decreasing_trend};
 
 /// Expected counts of a discretised-Gaussian margin over `domain` bins,
@@ -81,6 +84,189 @@ fn every_margin_method_improves_with_epsilon() {
             errs[epsilons.len() - 1] < 0.30,
             "margin method `{name}` is inaccurate even at eps = 4: {errs:?}"
         );
+    }
+}
+
+#[test]
+fn sharded_margins_track_single_shard_error_on_every_method() {
+    // Sharding is privacy-free for the margins (parallel composition),
+    // paying instead with one extra noise term per shard in each merged
+    // bin: the error budget grows like sqrt(shards). For every
+    // registered margin method and N in {2, 4}, the sharded error must
+    // keep the decreasing error-vs-ε trend AND stay within the
+    // sqrt(N)-scaled tolerance band of the single-shard error.
+    let spec = SyntheticSpec {
+        records: 8_000,
+        dims: 2,
+        domain: 64,
+        margin: MarginKind::Gaussian,
+        rho: 0.5,
+        seed: 0x54A2D,
+    };
+    let data = spec.generate();
+    let col = &data.columns()[..1];
+    let n = col[0].len();
+    let exact: Vec<f64> = Histogram1D::from_values(&col[0], 64).counts().to_vec();
+    let epsilons = [0.1, 0.8, 6.4];
+    let seeds = 6u64;
+    let sink = MetricsSink::off();
+
+    let sweep = |name: &str, shards: usize| -> Vec<f64> {
+        epsilons
+            .iter()
+            .enumerate()
+            .map(|(ei, &eps)| {
+                let eps = Epsilon::new(eps).unwrap();
+                (0..seeds)
+                    .map(|s| {
+                        let specs = shard_specs(n, shards);
+                        let summaries = build_margin_summaries(
+                            col,
+                            &[64],
+                            &specs,
+                            name,
+                            eps,
+                            0xD1CE + 100 * ei as u64 + s,
+                            2,
+                            &sink,
+                        );
+                        l1_error(&merge_margins(&summaries)[0], &exact)
+                    })
+                    .sum::<f64>()
+                    / seeds as f64
+            })
+            .collect()
+    };
+
+    let registry = MarginRegistry::builtin();
+    for name in registry.names() {
+        let single = sweep(name, 1);
+        assert!(
+            is_decreasing_trend(&single),
+            "`{name}` single-shard error does not shrink with epsilon: {single:?}"
+        );
+        for shards in [2usize, 4] {
+            let sharded = sweep(name, shards);
+            assert!(
+                is_decreasing_trend(&sharded),
+                "`{name}` at {shards} shards: error does not shrink with epsilon: {sharded:?}"
+            );
+            let tolerance = (shards as f64).sqrt() * 1.8;
+            for (ei, (&s_err, &one_err)) in sharded.iter().zip(&single).enumerate() {
+                assert!(
+                    s_err <= one_err * tolerance + 0.02,
+                    "`{name}` at {shards} shards, eps {}: error {s_err} vs \
+                     single-shard {one_err} (tolerance x{tolerance:.2})",
+                    epsilons[ei]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_tau_stays_close_to_exact_pooled_tau() {
+    // The sharded Kendall path merges within-shard concordance summaries
+    // with cross-shard corrections; at a generous budget the remaining
+    // error is the record subsample, so the released τ must sit within
+    // MAE 0.05 of the exact pooled τ over ALL records, at pinned seeds.
+    let spec = SyntheticSpec {
+        records: 4_000,
+        dims: 3,
+        domain: 64,
+        margin: MarginKind::Gaussian,
+        rho: 0.6,
+        seed: 0x7A0,
+    };
+    let data = spec.generate();
+    let cols = data.columns();
+    let pairs = [(0usize, 1usize), (0, 2), (1, 2)];
+    let exact: Vec<f64> = pairs
+        .iter()
+        .map(|&(i, j)| kendall_tau(&cols[i], &cols[j]))
+        .collect();
+    let eps = Epsilon::new(40.0).unwrap();
+    for shards in [2usize, 4] {
+        for seed in [3u64, 17, 0xBAD5EED] {
+            let specs = shard_specs(cols[0].len(), shards);
+            let p = dp_tau_matrix_sharded(
+                cols,
+                &specs,
+                eps,
+                SamplingStrategy::Fixed(1_500),
+                seed,
+                2,
+                &MetricsSink::off(),
+            )
+            .unwrap();
+            // Invert the released sin(π/2·τ) map back to τ.
+            let mae: f64 = pairs
+                .iter()
+                .zip(&exact)
+                .map(|(&(i, j), &t)| {
+                    (p[(i, j)].clamp(-1.0, 1.0).asin() * std::f64::consts::FRAC_2_PI - t).abs()
+                })
+                .sum::<f64>()
+                / pairs.len() as f64;
+            assert!(
+                mae < 0.05,
+                "merged tau MAE vs exact pooled tau at {shards} shards, seed {seed}: {mae}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_fit_tracks_single_shard_error_end_to_end() {
+    // The full fit pipeline at N in {2, 4} shards: correlation recovery
+    // keeps its error-vs-ε trend and lands within tolerance of the
+    // single-shard fit at every budget level.
+    let spec = SyntheticSpec {
+        records: 2_000,
+        dims: 3,
+        domain: 64,
+        margin: MarginKind::Gaussian,
+        rho: 0.6,
+        seed: 0x5AFE,
+    };
+    let data = spec.generate();
+    let truth = spec.correlation();
+    let seeds = 6u64;
+    let sweep = |shards: usize| -> Vec<f64> {
+        [0.3, 2.0, 20.0]
+            .iter()
+            .enumerate()
+            .map(|(ei, &eps)| {
+                (0..seeds)
+                    .map(|s| {
+                        let dp = DpCopula::new(DpCopulaConfig::kendall(Epsilon::new(eps).unwrap()));
+                        let mut opts = EngineOptions::with_workers(2);
+                        opts.shards = shards;
+                        let seed = 1000 * (ei as u64 + 1) + s;
+                        let (model, _) = dp
+                            .fit_staged(data.columns(), &data.domains(), seed, &opts)
+                            .unwrap();
+                        correlation_mean_abs_error(&truth, &model.artifact().correlation)
+                    })
+                    .sum::<f64>()
+                    / seeds as f64
+            })
+            .collect()
+    };
+    let single = sweep(1);
+    for shards in [2usize, 4] {
+        let sharded = sweep(shards);
+        assert!(
+            is_decreasing_trend(&sharded),
+            "{shards}-shard fit error does not shrink with epsilon: {sharded:?}"
+        );
+        for (ei, (&s_err, &one_err)) in sharded.iter().zip(&single).enumerate() {
+            assert!(
+                s_err <= one_err * 1.5 + 0.03,
+                "{shards}-shard fit error {s_err} vs single-shard {one_err} at sweep \
+                 level {ei}"
+            );
+        }
     }
 }
 

@@ -97,6 +97,13 @@ echo "==> serving-throughput regression gate (fast >= 4x reference)"
 # committed BENCH_serving.json untouched.
 QUICK=1 cargo run -p dpcopula-bench --release --offline --bin bench_serving
 
+echo "==> sharded-fit regression gates (merge overhead < 15%, shard speedup)"
+# bench_pipeline exits nonzero when merging 4 shard summaries costs more
+# than 15% of the single-shard fit, or (on hosts with >= 4 cores) when
+# the 4-shard fit is under 2x the serial fit. QUICK keeps the committed
+# BENCH_pipeline.json untouched.
+QUICK=1 cargo run -p dpcopula-bench --release --offline --bin bench_pipeline
+
 echo "==> statcheck smoke: empirical DP audit of every margin method"
 # Exits nonzero if any registered mechanism exceeds its declared epsilon
 # empirically, or if the broken-Laplace negative control goes undetected.
