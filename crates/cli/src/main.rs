@@ -6,8 +6,9 @@
 //! as a `.dpcm` artifact, `inspect` prints what an artifact contains
 //! without sampling from it, `sample` serves any row window from a saved
 //! artifact (free post-processing), `synth` runs the classic one-shot
-//! fit-and-sample pipeline in process, and `eval` scores a synthetic CSV
-//! against a reference with random range-count queries.
+//! fit-and-sample pipeline in process, `eval` scores a synthetic CSV
+//! against a reference with random range-count queries, and `serve`
+//! runs the `dpcopula-serve` HTTP daemon over a model directory.
 //!
 //! Determinism contract: `fit` + `sample --offset 0 --rows n` produces
 //! byte-for-byte the CSV `synth` emits for the same input, seed, and
@@ -42,6 +43,10 @@ USAGE:
                        [--workers W] [--chunk C] [--profile reference|fast]
   dpcopula-cli eval    --synthetic FILE --reference FILE [--queries N]
                        [--seed S] [--sanity B]
+  dpcopula-cli serve   --model-dir DIR [--addr HOST:PORT] [--tenants FILE]
+                       [--default-epsilon E] [--cache-cap N]
+                       [--max-body-bytes N] [--pool N] [--workers W]
+                       [--max-rows N]
 
 Every subcommand also takes [--metrics json|prom|off] (default off) and
 [--metrics-out FILE]. With metrics on, the full obskit taxonomy is
@@ -82,6 +87,7 @@ fn main() -> ExitCode {
         "sample" => Flags::parse(rest).and_then(|f| cmd_sample(&f)),
         "synth" => Flags::parse(rest).and_then(|f| cmd_synth(&f)),
         "eval" => Flags::parse(rest).and_then(|f| cmd_eval(&f)),
+        "serve" => Flags::parse(rest).and_then(|f| cmd_serve(&f)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -568,4 +574,24 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
     );
     metrics.write(None)?;
     Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use dpcopula_serve::{ServeConfig, Server};
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: flags.get("addr").unwrap_or(&defaults.addr).to_string(),
+        model_dir: flags.require("model-dir")?.into(),
+        tenant_file: flags.get("tenants").map(Into::into),
+        default_epsilon: flags.parsed("default-epsilon", defaults.default_epsilon)?,
+        cache_capacity: flags.parsed("cache-cap", defaults.cache_capacity)?,
+        max_body_bytes: flags.parsed("max-body-bytes", defaults.max_body_bytes)?,
+        pool_workers: flags.parsed("pool", defaults.pool_workers)?,
+        sample_workers: flags.parsed("workers", defaults.sample_workers)?,
+        max_rows: flags.parsed("max-rows", defaults.max_rows)?,
+    };
+    let server = Server::bind(config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on http://{addr}");
+    server.run().map_err(|e| e.to_string())
 }

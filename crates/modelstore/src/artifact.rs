@@ -176,8 +176,87 @@ impl ModelArtifact {
         self.schema.len()
     }
 
+    /// Content identity of the artifact's canonical `.dpcm` encoding —
+    /// what a model registry caches decoded models under. Encoding is
+    /// deterministic (no timestamps or ambient state), so two artifacts
+    /// share a checksum exactly when they are equal, and for a
+    /// canonically written `.dpcm` file this equals
+    /// [`fnv1a64`](crate::crc32::fnv1a64) of the file's bytes.
+    ///
+    /// This is deliberately **not** the whole-file CRC-32: every
+    /// section already carries its own CRC-32 right after its payload,
+    /// and by CRC linearity `delta ‖ crc(delta)` is itself a CRC
+    /// codeword — so *any* two valid artifacts with equal section
+    /// lengths collide on the whole-file CRC-32 (see the
+    /// `whole_file_crc32_is_blind_to_section_rewrites` test). Identity
+    /// therefore uses an unrelated hash.
+    pub fn checksum(&self) -> u64 {
+        crate::crc32::fnv1a64(&self.encode())
+    }
+
     /// Per-attribute domain sizes.
     pub fn domains(&self) -> Vec<usize> {
         self.schema.iter().map(|a| a.domain).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> ModelArtifact {
+        ModelArtifact {
+            schema: vec![AttributeSpec::new("age", 3)],
+            margin_method: "efpa".into(),
+            margins: vec![vec![5.0, 2.0, 1.0]],
+            correlation: mathkit::Matrix::identity(1),
+            family: CopulaFamily::Gaussian,
+            ledger: BudgetLedger {
+                total: 1.0,
+                entries: vec![BudgetEntry {
+                    label: "margins".into(),
+                    epsilon: 1.0,
+                }],
+                shard_entries: vec![],
+            },
+            provenance: RngProvenance {
+                base_seed: 42,
+                sample_chunk: 8192,
+                sampler_stream: 6,
+                scheme: "splitmix64x3/xoshiro256++".into(),
+                shards: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn checksum_is_the_hash_of_the_canonical_bytes() {
+        let a = minimal();
+        assert_eq!(a.checksum(), crate::crc32::fnv1a64(&a.encode()));
+        // Stable across calls, and sensitive to any released value.
+        assert_eq!(a.checksum(), a.checksum());
+        let mut b = a.clone();
+        b.margins[0][1] += 1.0;
+        assert_ne!(a.checksum(), b.checksum());
+        let mut c = a.clone();
+        c.provenance.base_seed = 43;
+        assert_ne!(a.checksum(), c.checksum());
+    }
+
+    #[test]
+    fn whole_file_crc32_is_blind_to_section_rewrites() {
+        // Why `checksum()` is not CRC-32: each `.dpcm` section stores
+        // its own CRC-32 immediately after its payload, and the CRC of
+        // `delta ‖ crc(delta)` is zero (the append property), so two
+        // same-shape artifacts differing only in released values — here
+        // the base seed — produce *different* bytes with *identical*
+        // whole-file CRC-32. The FNV identity hash must still differ.
+        let a = minimal();
+        let mut c = a.clone();
+        c.provenance.base_seed = 43;
+        let (ea, ec) = (a.encode(), c.encode());
+        assert_ne!(ea, ec);
+        assert_eq!(crate::crc32::crc32(&ea), crate::crc32::crc32(&ec));
+        assert_ne!(a.checksum(), c.checksum());
     }
 }

@@ -40,6 +40,25 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     crc ^ 0xFFFF_FFFF
 }
 
+/// FNV-1a 64-bit hash of `bytes` — the *identity* hash for artifact
+/// bytes, as opposed to the *integrity* CRC-32 above.
+///
+/// The distinction matters for `.dpcm` files: because every section is
+/// followed by its own CRC-32 and CRC is linear, rewriting a section
+/// (payload *and* its trailing CRC) changes the whole-file CRC-32 by a
+/// CRC codeword — i.e. not at all. Whole-file CRC-32 is therefore
+/// constant across all valid artifacts with equal section lengths and
+/// useless as a cache key; FNV-1a shares no structure with the CRC and
+/// sees every rewrite.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +86,31 @@ mod tests {
                 assert_ne!(crc32(&corrupt), clean, "pos={pos} flip={flip:#x}");
             }
         }
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn fnv1a64_sees_crc_codeword_deltas() {
+        // The exact blind spot of the whole-stream CRC-32: a message
+        // with its own CRC-32 appended. Flipping payload bytes and
+        // fixing up the trailing CRC leaves crc32() of the whole block
+        // unchanged — fnv1a64 must still differ.
+        let payload_a = b"section payload A".to_vec();
+        let payload_b = b"section payload B".to_vec();
+        let block = |p: &[u8]| {
+            let mut v = p.to_vec();
+            v.extend_from_slice(&crc32(p).to_le_bytes());
+            v
+        };
+        let (a, b) = (block(&payload_a), block(&payload_b));
+        assert_eq!(crc32(&a), crc32(&b), "the CRC blind spot this guards");
+        assert_ne!(fnv1a64(&a), fnv1a64(&b));
     }
 }

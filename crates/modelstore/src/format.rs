@@ -153,6 +153,17 @@ pub enum StoreError {
         /// Absolute byte offset of the first trailing byte.
         offset: usize,
     },
+    /// An entry of a watched model directory failed to read or decode.
+    /// Directory scanners (a serving daemon's model registry) must wrap
+    /// the underlying failure in this named error instead of silently
+    /// skipping the entry — a model that stops being servable is an
+    /// operational event, not noise.
+    DirEntry {
+        /// Path of the offending directory entry.
+        path: String,
+        /// What went wrong with it.
+        source: Box<StoreError>,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -207,6 +218,9 @@ impl std::fmt::Display for StoreError {
                     f,
                     "trailing bytes after final section at byte offset {offset}"
                 )
+            }
+            StoreError::DirEntry { path, source } => {
+                write!(f, "model directory entry {path}: {source}")
             }
         }
     }

@@ -76,6 +76,28 @@ pub const SERVE_ROWS_TOTAL: &str = "serve_rows_total";
 /// Row windows served from a fitted model.
 pub const SERVE_WINDOWS_TOTAL: &str = "serve_windows_total";
 
+/// HTTP requests handled by the serving daemon, by `endpoint` and
+/// `status` (the response code as a string).
+pub const SERVE_REQUESTS_TOTAL: &str = "serve_requests_total";
+/// End-to-end request latency histogram of the serving daemon, by
+/// `endpoint` (parse → handle → response bytes written).
+pub const SERVE_REQUEST_NS: &str = "serve_request_ns";
+/// Decoded models currently resident in the registry's LRU cache.
+pub const REGISTRY_MODELS_LOADED: &str = "registry_models_loaded";
+/// Models evicted from the registry cache to respect its capacity.
+pub const REGISTRY_CACHE_EVICTIONS_TOTAL: &str = "registry_cache_evictions_total";
+/// Fit requests refused by per-tenant ε admission control, by `tenant`.
+/// Sampling requests never appear here: serving rows from a fitted
+/// model is ε-free post-processing and is never admission-controlled.
+pub const BUDGET_REJECTIONS_TOTAL: &str = "budget_rejections_total";
+/// The `endpoint` label values of [`SERVE_REQUESTS_TOTAL`] /
+/// [`SERVE_REQUEST_NS`] — one per route of the serving daemon, plus
+/// `other` for unroutable paths.
+pub const SERVE_ENDPOINTS: [&str; 6] = ["healthz", "metrics", "models", "sample", "fit", "other"];
+/// The `status` label values of [`SERVE_REQUESTS_TOTAL`]: every
+/// response code the daemon emits.
+pub const SERVE_STATUSES: [&str; 8] = ["200", "400", "403", "404", "405", "413", "429", "500"];
+
 /// Synthetic rows emitted, by sampling `profile` (pipeline and serving).
 pub const SAMPLING_PROFILE_ROWS_TOTAL: &str = "sampling_profile_rows_total";
 /// The `profile` label values of [`SAMPLING_PROFILE_ROWS_TOTAL`].
@@ -142,6 +164,26 @@ pub fn register_taxonomy(registry: &MetricsRegistry) {
 
     registry.ensure_counter(SERVE_ROWS_TOTAL, &[], Unit::Count);
     registry.ensure_counter(SERVE_WINDOWS_TOTAL, &[], Unit::Count);
+
+    for endpoint in SERVE_ENDPOINTS {
+        registry.ensure_hist(SERVE_REQUEST_NS, &[("endpoint", endpoint)], Unit::Nanos);
+        for status in SERVE_STATUSES {
+            registry.ensure_counter(
+                SERVE_REQUESTS_TOTAL,
+                &[("endpoint", endpoint), ("status", status)],
+                Unit::Count,
+            );
+        }
+    }
+    registry.ensure_gauge(REGISTRY_MODELS_LOADED, &[], Unit::Count);
+    registry.ensure_counter(REGISTRY_CACHE_EVICTIONS_TOTAL, &[], Unit::Count);
+    // Tenant names are deployment config; pre-create the label the
+    // daemon uses when no tenant file is configured.
+    registry.ensure_counter(
+        BUDGET_REJECTIONS_TOTAL,
+        &[("tenant", "default")],
+        Unit::Count,
+    );
     for profile in SAMPLING_PROFILES {
         registry.ensure_counter(
             SAMPLING_PROFILE_ROWS_TOTAL,

@@ -292,6 +292,94 @@ where
     out
 }
 
+/// A boxed unit of work for a [`TaskPool`].
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of long-lived worker threads draining a shared job
+/// queue — the substrate for workloads whose tasks *arrive over time*
+/// (accepted connections of a serving daemon) rather than existing up
+/// front like [`par_map`]'s slice.
+///
+/// Jobs are claimed in FIFO order by whichever worker frees up first. A
+/// job that panics is caught and discarded so one bad request cannot
+/// shrink the pool; the panic is reported on stderr. Dropping the pool
+/// closes the queue, lets the workers drain every job already submitted,
+/// and joins them — no job accepted by [`TaskPool::execute`] is lost.
+///
+/// The pool makes no determinism promise: unlike [`par_map`], job
+/// *effects* happen in whatever order workers get to them. Anything that
+/// must be reproducible (noise, sampling) still derives its randomness
+/// from logical indices via [`stream_rng`], never from arrival order.
+pub struct TaskPool {
+    queue: Option<std::sync::mpsc::Sender<PoolJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// Spawns a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = std::sync::mpsc::channel::<PoolJob>();
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = std::sync::Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("parkit-pool-{i}"))
+                    .spawn(move || loop {
+                        // The lock guards only the receive; the job runs
+                        // with the queue free for other workers.
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => {
+                                let run =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                                if run.is_err() {
+                                    eprintln!("parkit: pool job panicked (worker continues)");
+                                }
+                            }
+                            // Sender dropped: queue is closed and drained.
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn parkit pool worker")
+            })
+            .collect();
+        Self {
+            queue: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues `job`; some worker will run it. Never blocks on the
+    /// workers (the queue is unbounded — callers wanting back-pressure
+    /// bound their own accept loop).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.queue
+            .as_ref()
+            .expect("pool queue open until drop")
+            .send(Box::new(job))
+            .expect("pool workers outlive the queue");
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        drop(self.queue.take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// Fallible [`par_map`]: runs every task to completion and returns either
 /// all results in input order or the error of the **lowest-indexed**
 /// failing task — deterministic even when several tasks fail.
@@ -523,6 +611,55 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn task_pool_runs_every_submitted_job() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = TaskPool::new(4);
+            assert_eq!(pool.workers(), 4);
+            for _ in 0..100 {
+                let done = Arc::clone(&done);
+                pool.execute(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop drains the queue before joining.
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn task_pool_survives_panicking_jobs() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = TaskPool::new(2);
+            for i in 0..20 {
+                let done = Arc::clone(&done);
+                pool.execute(move || {
+                    if i % 5 == 0 {
+                        panic!("job {i} fails");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        // 4 of 20 panic; the other 16 still run to completion.
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn task_pool_clamps_to_one_worker() {
+        let pool = TaskPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.execute(move || tx.send(7u32).expect("receiver alive"));
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(7));
     }
 
     #[test]

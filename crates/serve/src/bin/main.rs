@@ -1,0 +1,85 @@
+//! `dpcopula-serve` — the synthesis-as-a-service daemon.
+//!
+//! ```text
+//! dpcopula-serve --model-dir models/ [--addr 127.0.0.1:8787]
+//!                [--tenants budgets.conf] [--default-epsilon 10]
+//!                [--cache-cap 8] [--max-body-bytes 8388608]
+//!                [--pool 4] [--workers 1] [--max-rows 10000000]
+//! ```
+//!
+//! Prints one `listening on http://ADDR` line once the socket is bound
+//! (what `scripts/ci.sh` and the load bench wait for), then serves
+//! until killed. All startup failures exit 2 with a named error on
+//! stderr; the daemon never panics on bad input.
+
+use dpcopula_serve::{ServeConfig, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    match parse_flags(&args).and_then(serve) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: dpcopula-serve --model-dir DIR [--addr HOST:PORT] [--tenants FILE]\n\
+         \x20                     [--default-epsilon EPS] [--cache-cap N] [--max-body-bytes N]\n\
+         \x20                     [--pool N] [--workers N] [--max-rows N]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut model_dir = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?.clone(),
+            "--model-dir" => model_dir = Some(value("--model-dir")?.clone()),
+            "--tenants" => config.tenant_file = Some(value("--tenants")?.into()),
+            "--default-epsilon" => {
+                let raw = value("--default-epsilon")?;
+                config.default_epsilon = raw
+                    .parse()
+                    .map_err(|_| format!("unparseable --default-epsilon `{raw}`"))?;
+            }
+            "--cache-cap" => {
+                config.cache_capacity = parse_usize(value("--cache-cap")?, "--cache-cap")?
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes = parse_usize(value("--max-body-bytes")?, "--max-body-bytes")?
+            }
+            "--pool" => config.pool_workers = parse_usize(value("--pool")?, "--pool")?,
+            "--workers" => config.sample_workers = parse_usize(value("--workers")?, "--workers")?,
+            "--max-rows" => config.max_rows = parse_usize(value("--max-rows")?, "--max-rows")?,
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    config.model_dir = model_dir.ok_or("missing required flag --model-dir")?.into();
+    Ok(config)
+}
+
+fn parse_usize(raw: &str, flag: &str) -> Result<usize, String> {
+    raw.parse()
+        .map_err(|_| format!("unparseable {flag} `{raw}`"))
+}
+
+fn serve(config: ServeConfig) -> Result<(), String> {
+    let server = Server::bind(config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on http://{addr}");
+    server.run().map_err(|e| e.to_string())
+}

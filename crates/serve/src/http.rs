@@ -1,0 +1,447 @@
+//! Hand-rolled HTTP/1.1 framing over [`std::net::TcpStream`] — just
+//! enough of RFC 9112 for a JSON API daemon: request-line + header
+//! parsing, `Content-Length` bodies with hard size limits, `Expect:
+//! 100-continue`, and keep-alive. Anything outside that subset (chunked
+//! transfer encoding, upgrades, multiple `Content-Length`s) is refused
+//! with a named error rather than guessed at.
+//!
+//! Limits are enforced *before* allocation: a request declaring a body
+//! beyond the configured cap is rejected with
+//! [`HttpError::PayloadTooLarge`] without reading it, and header blocks
+//! are capped at [`MAX_HEAD_BYTES`].
+
+use std::io::{BufRead, Write};
+
+/// Maximum bytes of request line + headers accepted per request.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open after the
+    /// response (HTTP/1.1 default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Everything that can go wrong reading one request off a connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending any request byte —
+    /// the clean end of a keep-alive session, not a protocol error.
+    Closed,
+    /// Socket-level failure (includes read timeouts on idle keep-alive
+    /// connections).
+    Io(std::io::Error),
+    /// The request violates the supported HTTP subset; the reason names
+    /// the violation.
+    BadRequest {
+        /// What was malformed.
+        reason: String,
+    },
+    /// The declared body exceeds the configured cap. Detected before
+    /// the body is read, so oversized uploads cost no memory.
+    PayloadTooLarge {
+        /// `Content-Length` the client declared.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The connection ended mid-body: fewer bytes arrived than
+    /// `Content-Length` declared.
+    TruncatedBody {
+        /// Bytes the client declared.
+        declared: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            HttpError::PayloadTooLarge { declared, limit } => write!(
+                f,
+                "request body of {declared} bytes exceeds the {limit}-byte limit"
+            ),
+            HttpError::TruncatedBody { declared, got } => write!(
+                f,
+                "request body truncated: Content-Length {declared}, got {got} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one request from `stream`. `reply` is the write half, used only
+/// to acknowledge `Expect: 100-continue` before the body is read.
+pub fn read_request<R: BufRead, W: Write>(
+    stream: &mut R,
+    reply: &mut W,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let request_line = read_head_line(stream, 0)?;
+    if request_line.is_empty() {
+        return Err(HttpError::Closed);
+    }
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest {
+                reason: format!("malformed request line `{request_line}`"),
+            })
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest {
+            reason: format!("unsupported protocol version `{version}`"),
+        });
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut headers = Vec::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_head_line(stream, head_bytes)?;
+        head_bytes += line.len() + 2;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest {
+                reason: format!("header line without `:` — `{line}`"),
+            });
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest {
+            reason: "chunked transfer encoding is not supported".into(),
+        });
+    }
+    let lengths: Vec<&str> = headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let declared = match lengths.as_slice() {
+        [] => 0usize,
+        [one] => one.parse().map_err(|_| HttpError::BadRequest {
+            reason: format!("unparseable Content-Length `{one}`"),
+        })?,
+        _ => {
+            return Err(HttpError::BadRequest {
+                reason: "multiple Content-Length headers".into(),
+            })
+        }
+    };
+    if declared > max_body {
+        return Err(HttpError::PayloadTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if declared == 0 {
+        return Ok(request);
+    }
+    if request
+        .header("expect")
+        .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+    {
+        reply
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .and_then(|()| reply.flush())
+            .map_err(HttpError::Io)?;
+    }
+    let mut body = vec![0u8; declared];
+    let mut got = 0;
+    while got < declared {
+        match stream.read(&mut body[got..]) {
+            Ok(0) => return Err(HttpError::TruncatedBody { declared, got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A read timeout mid-body is a truncated upload, not an
+            // idle connection.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(HttpError::TruncatedBody { declared, got })
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(Request { body, ..request })
+}
+
+/// Reads one CRLF-terminated head line (request line or header),
+/// rejecting heads that exceed [`MAX_HEAD_BYTES`] in total.
+fn read_head_line<R: BufRead>(stream: &mut R, already: usize) -> Result<String, HttpError> {
+    use std::io::Read as _;
+    let budget = MAX_HEAD_BYTES.saturating_sub(already);
+    let mut line = Vec::new();
+    // Byte-at-a-time via BufRead is buffered; heads are tiny.
+    for byte in stream.bytes() {
+        let b = byte.map_err(HttpError::Io)?;
+        if b == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line).map_err(|_| HttpError::BadRequest {
+                reason: "non-utf8 bytes in request head".into(),
+            });
+        }
+        line.push(b);
+        if line.len() > budget {
+            return Err(HttpError::BadRequest {
+                reason: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            });
+        }
+    }
+    if line.is_empty() {
+        // EOF between requests: clean close, signalled as empty line.
+        Ok(String::new())
+    } else {
+        Err(HttpError::BadRequest {
+            reason: "connection closed mid-line".into(),
+        })
+    }
+}
+
+/// One response, framed and written by [`Response::write_to`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A CSV response (the exact bytes `datagen::io::write_csv` emits).
+    pub fn csv(body: Vec<u8>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/csv",
+            body,
+        }
+    }
+
+    /// A JSON error body `{"error": reason}` with extra fields appended
+    /// verbatim (each already rendered as `"key":value`).
+    pub fn error(status: u16, reason: &str, extra: &[String]) -> Self {
+        let mut body = String::from("{\"error\":");
+        body.push_str(&crate::json::quote(reason));
+        for field in extra {
+            body.push(',');
+            body.push_str(field);
+        }
+        body.push_str("}\n");
+        Self::json(status, body)
+    }
+
+    /// Writes the framed response. `keep_alive` picks the `Connection`
+    /// header; the caller closes the stream when it is `false`.
+    pub fn write_to<W: Write>(&self, stream: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The reason phrase for every status the daemon emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let mut sink = Vec::new();
+        read_request(&mut BufReader::new(raw), &mut sink, 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/sample?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 11\r\n\r\nhello world";
+        let r = parse(raw).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/sample");
+        assert_eq!(r.header("host"), Some("localhost"));
+        assert_eq!(r.header("HOST"), Some("localhost"));
+        assert_eq!(r.body, b"hello world");
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!parse(raw).unwrap().keep_alive());
+    }
+
+    #[test]
+    fn empty_stream_reports_clean_close() {
+        assert!(matches!(parse(b"").unwrap_err(), HttpError::Closed));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_without_reading() {
+        let raw = b"POST /v1/fit HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+        match parse(raw).unwrap_err() {
+            HttpError::PayloadTooLarge { declared, limit } => {
+                assert_eq!(declared, 4096);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_named() {
+        let raw = b"POST /v1/fit HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-this";
+        match parse(raw).unwrap_err() {
+            HttpError::TruncatedBody { declared, got } => {
+                assert_eq!(declared, 100);
+                assert_eq!(got, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_heads_are_bad_requests() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".to_vec(),
+            b"GET /x HTTP/2\r\n\r\n".to_vec(),
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n".to_vec(),
+            b"POST /x HTTP/1.1\r\nContent-Length: many\r\n\r\n".to_vec(),
+            b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nab".to_vec(),
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+        ] {
+            assert!(
+                matches!(parse(&raw), Err(HttpError::BadRequest { .. })),
+                "accepted {:?}",
+                String::from_utf8_lossy(&raw)
+            );
+        }
+    }
+
+    #[test]
+    fn expect_100_continue_is_acknowledged() {
+        let raw = b"POST /v1/fit HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\nok";
+        let mut ack = Vec::new();
+        let r = read_request(&mut BufReader::new(&raw[..]), &mut ack, 1024).unwrap();
+        assert_eq!(r.body, b"ok");
+        assert_eq!(ack, b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    #[test]
+    fn responses_are_framed_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+
+        let mut out = Vec::new();
+        Response::error(429, "budget exhausted", &["\"remaining_eps\":0.25".into()])
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(
+            text.ends_with("{\"error\":\"budget exhausted\",\"remaining_eps\":0.25}\n"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! The hot-loading model registry: `.dpcm` artifacts in a watched
+//! directory, decoded on demand and LRU-cached by content checksum.
+//!
+//! The cache key is the FNV-1a 64 hash of the artifact's bytes on disk
+//! — for canonically written files exactly [`ModelArtifact::checksum`]
+//! of the decoded model. (Not the whole-file CRC-32: per-section CRCs
+//! make that constant across same-shape artifacts — see
+//! [`fnv1a64`].) So overwriting `{id}.dpcm` with new content is
+//! picked up on the next request without any notification machinery:
+//! every `get` re-reads the (small) file, and only *decoding and
+//! validating* is skipped on a checksum hit. Capacity is bounded; the
+//! least-recently-used entry is evicted when a decode would exceed it,
+//! with evictions and residency published through the metrics sink.
+//!
+//! [`ModelArtifact::checksum`]: modelstore::ModelArtifact::checksum
+
+use dpcopula::{DpCopulaError, FittedModel};
+use modelstore::crc32::fnv1a64;
+use modelstore::format::StoreError;
+use obskit::{names, MetricsSink, Unit};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Everything `get`/`list` can fail with, each mapped to one HTTP
+/// status by the server.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The model id contains characters outside `[A-Za-z0-9_-]` (which
+    /// would allow path traversal out of the model directory). → 400.
+    InvalidModelId {
+        /// The offending id.
+        id: String,
+    },
+    /// No `{id}.dpcm` exists in the model directory. → 404.
+    UnknownModel {
+        /// The id that was requested.
+        id: String,
+    },
+    /// The file exists but failed to decode or validate; the reason
+    /// names the damaged `.dpcm` section. → 500.
+    Corrupt {
+        /// Path of the damaged artifact.
+        path: String,
+        /// Decoder / validator failure, section name included.
+        source: DpCopulaError,
+    },
+    /// The file or directory could not be read. → 500.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::InvalidModelId { id } => {
+                write!(f, "invalid model id `{id}`: expected [A-Za-z0-9_-]+")
+            }
+            RegistryError::UnknownModel { id } => write!(f, "unknown model `{id}`"),
+            RegistryError::Corrupt { path, source } => {
+                write!(f, "corrupt model artifact {path}: {source}")
+            }
+            RegistryError::Io { path, source } => write!(f, "reading {path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One row of [`ModelRegistry::list`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Model id (file stem).
+    pub id: String,
+    /// Artifact size on disk.
+    pub bytes: u64,
+    /// FNV-1a 64 of the artifact bytes (the cache key).
+    pub checksum: u64,
+    /// Whether a decoded copy is currently resident in the cache.
+    pub cached: bool,
+    /// For entries that could not be read: the
+    /// [`StoreError::DirEntry`]-wrapped failure, rendered. Healthy
+    /// entries carry `None`.
+    pub error: Option<String>,
+}
+
+struct CacheEntry {
+    id: String,
+    key: u64,
+    model: Arc<FittedModel>,
+    stamp: u64,
+}
+
+struct CacheState {
+    entries: Vec<CacheEntry>,
+    clock: u64,
+}
+
+/// Checksum-keyed LRU of decoded models over a watched directory.
+pub struct ModelRegistry {
+    dir: PathBuf,
+    capacity: usize,
+    sink: MetricsSink,
+    cache: Mutex<CacheState>,
+}
+
+/// Whether `id` is safe to splice into a filename (also the charset
+/// tenant names use, keeping ids usable as metric label values).
+pub fn valid_model_id(id: &str) -> bool {
+    !id.is_empty()
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+impl ModelRegistry {
+    /// A registry over `dir`, caching at most `capacity` decoded models
+    /// (clamped to at least 1) and publishing through `sink`.
+    pub fn new(dir: impl Into<PathBuf>, capacity: usize, sink: MetricsSink) -> Self {
+        Self {
+            dir: dir.into(),
+            capacity: capacity.max(1),
+            sink,
+            cache: Mutex::new(CacheState {
+                entries: Vec::new(),
+                clock: 0,
+            }),
+        }
+    }
+
+    /// The watched directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path the artifact for `id` lives at.
+    pub fn path_for(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.dpcm"))
+    }
+
+    /// Returns the decoded model for `id`, from cache when the on-disk
+    /// bytes still match the cached checksum, decoding (and possibly
+    /// evicting) otherwise.
+    pub fn get(&self, id: &str) -> Result<Arc<FittedModel>, RegistryError> {
+        if !valid_model_id(id) {
+            return Err(RegistryError::InvalidModelId { id: id.into() });
+        }
+        let path = self.path_for(id);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(RegistryError::UnknownModel { id: id.into() })
+            }
+            Err(e) => {
+                return Err(RegistryError::Io {
+                    path: path.display().to_string(),
+                    source: e,
+                })
+            }
+        };
+        let key = fnv1a64(&bytes);
+        {
+            let mut cache = self.cache.lock().expect("registry cache poisoned");
+            let clock = cache.clock + 1;
+            cache.clock = clock;
+            if let Some(entry) = cache
+                .entries
+                .iter_mut()
+                .find(|e| e.id == id && e.key == key)
+            {
+                entry.stamp = clock;
+                return Ok(Arc::clone(&entry.model));
+            }
+        }
+        // Decode outside the cache lock: a slow decode must not stall
+        // cache hits for other models.
+        let artifact = modelstore::decode_observed(&bytes, &self.sink).map_err(|e| {
+            RegistryError::Corrupt {
+                path: path.display().to_string(),
+                source: DpCopulaError::from(StoreError::DirEntry {
+                    path: path.display().to_string(),
+                    source: Box::new(e),
+                }),
+            }
+        })?;
+        let mut model =
+            FittedModel::from_artifact(artifact).map_err(|e| RegistryError::Corrupt {
+                path: path.display().to_string(),
+                source: e,
+            })?;
+        model.set_metrics_sink(self.sink.clone());
+        let model = Arc::new(model);
+        self.insert_cached(id, key, Arc::clone(&model));
+        Ok(model)
+    }
+
+    /// Caches a freshly fitted model under its canonical checksum
+    /// ([`modelstore::ModelArtifact::checksum`]), as `POST /v1/fit`
+    /// does right after writing `{id}.dpcm`.
+    pub fn insert(&self, id: &str, model: Arc<FittedModel>) {
+        let key = model.artifact().checksum();
+        self.insert_cached(id, key, model);
+    }
+
+    fn insert_cached(&self, id: &str, key: u64, model: Arc<FittedModel>) {
+        let mut cache = self.cache.lock().expect("registry cache poisoned");
+        let clock = cache.clock + 1;
+        cache.clock = clock;
+        // A same-id entry with a stale checksum is replaced, not kept
+        // alongside: ids are unique in the cache.
+        cache.entries.retain(|e| e.id != id);
+        cache.entries.push(CacheEntry {
+            id: id.to_string(),
+            key,
+            model,
+            stamp: clock,
+        });
+        while cache.entries.len() > self.capacity {
+            let (oldest, _) = cache
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .expect("non-empty cache");
+            cache.entries.remove(oldest);
+            self.sink
+                .add(names::REGISTRY_CACHE_EVICTIONS_TOTAL, Unit::Count, 1);
+        }
+        self.sink.gauge_set(
+            names::REGISTRY_MODELS_LOADED,
+            Unit::Count,
+            cache.entries.len() as u64,
+        );
+    }
+
+    /// Number of decoded models currently resident.
+    pub fn cached_models(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("registry cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// Scans the watched directory: every `*.dpcm` entry, sorted by id,
+    /// with unreadable entries reported in-line (as the rendered
+    /// [`StoreError::DirEntry`]) rather than failing the whole listing.
+    pub fn list(&self) -> Result<Vec<ModelInfo>, RegistryError> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| RegistryError::Io {
+            path: self.dir.display().to_string(),
+            source: e,
+        })?;
+        let cached: Vec<(String, u64)> = {
+            let cache = self.cache.lock().expect("registry cache poisoned");
+            cache
+                .entries
+                .iter()
+                .map(|e| (e.id.clone(), e.key))
+                .collect()
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| RegistryError::Io {
+                path: self.dir.display().to_string(),
+                source: e,
+            })?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("dpcm") {
+                continue;
+            }
+            let Some(id) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+                continue;
+            };
+            match std::fs::read(&path) {
+                Ok(bytes) => {
+                    let checksum = fnv1a64(&bytes);
+                    out.push(ModelInfo {
+                        cached: cached.iter().any(|(i, k)| *i == id && *k == checksum),
+                        id,
+                        bytes: bytes.len() as u64,
+                        checksum,
+                        error: None,
+                    });
+                }
+                Err(e) => {
+                    let wrapped = StoreError::DirEntry {
+                        path: path.display().to_string(),
+                        source: Box::new(StoreError::from(e)),
+                    };
+                    out.push(ModelInfo {
+                        id,
+                        bytes: 0,
+                        checksum: 0,
+                        cached: false,
+                        error: Some(wrapped.to_string()),
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcopula::SynthesisRequest;
+    use dpmech::Epsilon;
+
+    fn fit_tiny(seed: u64) -> FittedModel {
+        let columns = vec![
+            (0..40u32).map(|i| i % 4).collect::<Vec<u32>>(),
+            (0..40u32).map(|i| (i / 2) % 3).collect(),
+        ];
+        let domains = vec![4usize, 3];
+        let (model, _) = SynthesisRequest::new(&columns, &domains, Epsilon::new(2.0).unwrap())
+            .seed(seed)
+            .fit()
+            .unwrap();
+        model
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dpcopula-serve-registry-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn get_decodes_once_and_rereads_after_overwrite() {
+        let dir = temp_dir("reload");
+        let reg = ModelRegistry::new(&dir, 4, MetricsSink::off());
+        fit_tiny(1).save(reg.path_for("m")).unwrap();
+        let first = reg.get("m").unwrap();
+        let again = reg.get("m").unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "same bytes must hit the cache");
+
+        // Overwriting the artifact is picked up without restart. (Same
+        // section lengths, different seed — the case whole-file CRC-32
+        // cannot distinguish, which is why the key is FNV-1a 64.)
+        fit_tiny(2).save(reg.path_for("m")).unwrap();
+        let reloaded = reg.get("m").unwrap();
+        assert!(!Arc::ptr_eq(&first, &reloaded));
+        assert_eq!(reg.cached_models(), 1, "stale entry replaced, not kept");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let dir = temp_dir("lru");
+        let registry = Arc::new(obskit::MetricsRegistry::new());
+        let sink = MetricsSink::to_registry(Arc::clone(&registry));
+        let reg = ModelRegistry::new(&dir, 2, sink);
+        for (i, id) in ["a", "b", "c"].iter().enumerate() {
+            fit_tiny(i as u64).save(reg.path_for(id)).unwrap();
+        }
+        reg.get("a").unwrap();
+        reg.get("b").unwrap();
+        reg.get("a").unwrap(); // refresh a: b is now the LRU entry
+        reg.get("c").unwrap(); // evicts b
+        assert_eq!(reg.cached_models(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("registry_cache_evictions_total")
+                .and_then(|e| e.value.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("registry_models_loaded")
+                .and_then(|e| e.value.as_u64()),
+            Some(2)
+        );
+        let listed = reg.list().unwrap();
+        let cached: Vec<&str> = listed
+            .iter()
+            .filter(|m| m.cached)
+            .map(|m| m.id.as_str())
+            .collect();
+        assert_eq!(cached, ["a", "c"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_named() {
+        let dir = temp_dir("errors");
+        let reg = ModelRegistry::new(&dir, 4, MetricsSink::off());
+        assert!(matches!(
+            reg.get("no-such-model"),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            reg.get("../escape"),
+            Err(RegistryError::InvalidModelId { .. })
+        ));
+        std::fs::write(reg.path_for("bad"), b"not a dpcm artifact").unwrap();
+        match reg.get("bad") {
+            Err(RegistryError::Corrupt { path, source }) => {
+                assert!(path.ends_with("bad.dpcm"));
+                let reason = source.to_string();
+                assert!(reason.contains("model directory entry"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn insert_uses_the_canonical_checksum() {
+        let dir = temp_dir("insert");
+        let reg = ModelRegistry::new(&dir, 4, MetricsSink::off());
+        let model = fit_tiny(7);
+        model.save(reg.path_for("fresh")).unwrap();
+        reg.insert("fresh", Arc::new(model));
+        // The cached entry's key equals the on-disk bytes' CRC, so the
+        // next get is a hit, not a decode.
+        let hit = reg.get("fresh").unwrap();
+        assert_eq!(reg.cached_models(), 1);
+        assert_eq!(hit.artifact().checksum(), fnv1a64(&model_bytes(&reg)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn model_bytes(reg: &ModelRegistry) -> Vec<u8> {
+        std::fs::read(reg.path_for("fresh")).unwrap()
+    }
+}

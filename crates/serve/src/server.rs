@@ -1,0 +1,708 @@
+//! The daemon: a thread-per-connection HTTP/1.1 server over
+//! [`std::net::TcpListener`], connections dispatched onto a
+//! [`parkit::TaskPool`], routing five endpoints:
+//!
+//! | route              | what it does                                     |
+//! |--------------------|--------------------------------------------------|
+//! | `GET /healthz`     | liveness: `ok\n`                                 |
+//! | `GET /metrics`     | the full metric taxonomy, Prometheus text        |
+//! | `GET /v1/models`   | watched-directory listing with cache state       |
+//! | `POST /v1/sample`  | row window from a registry model, CSV or JSON    |
+//! | `POST /v1/fit`     | ε-metered fit: CSV in, `.dpcm` + cache entry out |
+//!
+//! ## ε admission
+//!
+//! Only `/v1/fit` passes the [`BudgetGate`]: fitting releases new noisy
+//! statistics and spends the tenant's ε. `/v1/sample` draws rows from
+//! statistics that were already released, which is post-processing and
+//! ε-free — so sampling keeps serving (and stays unmetered) even for a
+//! tenant whose fit budget is exhausted. Admission happens *after*
+//! input validation (parsing a request body releases nothing) and
+//! *before* the fit; a fit that fails after admission keeps its debit,
+//! because partial pipelines may already have released noisy margins.
+//!
+//! ## Determinism
+//!
+//! Sampling goes through `FittedModel::try_sample_range_profiled`, so a
+//! window fetched over HTTP is byte-identical (as CSV) to the same
+//! window sampled in-process, at any worker count.
+
+use crate::budget::{BudgetGate, GateError, DEFAULT_TENANT};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::{quote, Json};
+use crate::registry::{valid_model_id, ModelRegistry, RegistryError};
+use dpcopula::{DpCopulaConfig, DpCopulaError, SamplingProfile, SynthesisRequest};
+use dpmech::Epsilon;
+use obskit::{names, MetricsRegistry, MetricsSink, Stopwatch, Unit};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the daemon needs to start.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:8787`. Port 0 binds an ephemeral
+    /// port (query it back via [`Server::local_addr`]).
+    pub addr: String,
+    /// Directory of `.dpcm` artifacts the registry watches.
+    pub model_dir: PathBuf,
+    /// Tenant budget file (`name = epsilon` per line); `None` runs a
+    /// single `default` tenant with [`ServeConfig::default_epsilon`].
+    pub tenant_file: Option<PathBuf>,
+    /// Budget of the implicit `default` tenant when no tenant file is
+    /// given.
+    pub default_epsilon: f64,
+    /// Decoded models the registry keeps resident.
+    pub cache_capacity: usize,
+    /// Hard cap on request body size.
+    pub max_body_bytes: usize,
+    /// Connection-handling threads.
+    pub pool_workers: usize,
+    /// Worker threads per sampling request (any value yields identical
+    /// bytes; it only changes parallelism).
+    pub sample_workers: usize,
+    /// Hard cap on rows per sample request.
+    pub max_rows: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8787".into(),
+            model_dir: PathBuf::from("."),
+            tenant_file: None,
+            default_epsilon: 10.0,
+            cache_capacity: 8,
+            max_body_bytes: 8 * 1024 * 1024,
+            pool_workers: 4,
+            sample_workers: 1,
+            max_rows: 10_000_000,
+        }
+    }
+}
+
+/// Startup failures, each naming what was wrong.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen address did not parse as `host:port`.
+    BadAddr {
+        /// The address as given.
+        addr: String,
+    },
+    /// The model directory does not exist or is not a directory.
+    ModelDirMissing {
+        /// The path as given.
+        path: String,
+    },
+    /// The tenant budget file could not be read.
+    TenantFileIo {
+        /// The path as given.
+        path: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The tenant budget file did not parse.
+    TenantConfig(crate::budget::TenantConfigError),
+    /// The default tenant's epsilon was invalid.
+    BadEpsilon(f64),
+    /// Binding or accepting on the socket failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadAddr { addr } => {
+                write!(f, "invalid listen address `{addr}`: expected host:port")
+            }
+            ServeError::ModelDirMissing { path } => {
+                write!(f, "model directory `{path}` does not exist")
+            }
+            ServeError::TenantFileIo { path, source } => {
+                write!(f, "reading tenant budget file {path}: {source}")
+            }
+            ServeError::TenantConfig(e) => write!(f, "{e}"),
+            ServeError::BadEpsilon(v) => {
+                write!(f, "invalid default epsilon {v}: must be finite and > 0")
+            }
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct ServerState {
+    registry: ModelRegistry,
+    gate: BudgetGate,
+    metrics: Arc<MetricsRegistry>,
+    sink: MetricsSink,
+    max_body_bytes: usize,
+    sample_workers: usize,
+    max_rows: usize,
+    stop: Arc<AtomicBool>,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks; use
+/// [`Server::shutdown_handle`] from another thread to stop it.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool_workers: usize,
+}
+
+/// Stops a running [`Server`] from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Flags the accept loop to stop and pokes the listener so it
+    /// notices immediately.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag on wakeup; a throwaway
+        // connection provides one. Failure is fine — the listener may
+        // already be gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Validates the config, binds the socket, builds the registry and
+    /// gate, and pre-registers the full metric taxonomy (so `/metrics`
+    /// always carries every series name).
+    pub fn bind(config: ServeConfig) -> Result<Self, ServeError> {
+        let addr: SocketAddr = config.addr.parse().map_err(|_| ServeError::BadAddr {
+            addr: config.addr.clone(),
+        })?;
+        if !config.model_dir.is_dir() {
+            return Err(ServeError::ModelDirMissing {
+                path: config.model_dir.display().to_string(),
+            });
+        }
+        let gate = match &config.tenant_file {
+            Some(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| ServeError::TenantFileIo {
+                    path: path.display().to_string(),
+                    source: e,
+                })?;
+                BudgetGate::from_config(&text).map_err(ServeError::TenantConfig)?
+            }
+            None => BudgetGate::single_tenant(
+                Epsilon::new(config.default_epsilon)
+                    .map_err(|_| ServeError::BadEpsilon(config.default_epsilon))?,
+            ),
+        };
+        let metrics = Arc::new(MetricsRegistry::new());
+        names::register_taxonomy(&metrics);
+        let sink = MetricsSink::to_registry(Arc::clone(&metrics));
+        let listener = TcpListener::bind(addr).map_err(ServeError::Io)?;
+        let state = Arc::new(ServerState {
+            registry: ModelRegistry::new(
+                config.model_dir.clone(),
+                config.cache_capacity,
+                sink.clone(),
+            ),
+            gate,
+            metrics,
+            sink,
+            max_body_bytes: config.max_body_bytes,
+            sample_workers: config.sample_workers.max(1),
+            max_rows: config.max_rows,
+            stop: Arc::new(AtomicBool::new(false)),
+        });
+        Ok(Self {
+            listener,
+            state,
+            pool_workers: config.pool_workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        self.listener.local_addr().map_err(ServeError::Io)
+    }
+
+    /// A handle that stops [`Server::run`] from another thread.
+    pub fn shutdown_handle(&self) -> Result<ShutdownHandle, ServeError> {
+        Ok(ShutdownHandle {
+            addr: self.local_addr()?,
+            stop: Arc::clone(&self.state.stop),
+        })
+    }
+
+    /// Accepts connections until shut down, dispatching each onto the
+    /// pool. Blocks the calling thread.
+    pub fn run(self) -> Result<(), ServeError> {
+        let pool = parkit::TaskPool::new(self.pool_workers);
+        for conn in self.listener.incoming() {
+            if self.state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // A single failed accept (peer gone before we got to
+                // it) must not take the daemon down.
+                Err(_) => continue,
+            };
+            let state = Arc::clone(&self.state);
+            pool.execute(move || handle_connection(stream, &state));
+        }
+        // Dropping the pool drains in-flight connections.
+        Ok(())
+    }
+}
+
+/// How long an idle keep-alive connection may sit between requests.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let watch = Stopwatch::start();
+        let request = read_request(&mut reader, &mut writer, state.max_body_bytes);
+        let (endpoint, response, keep_alive) = match &request {
+            Ok(req) => {
+                let (endpoint, response) = route(req, state);
+                (endpoint, response, req.keep_alive())
+            }
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            Err(e @ HttpError::PayloadTooLarge { .. }) => {
+                // Drain (a bounded amount of) the refused body before
+                // closing: closing with unread bytes in the receive
+                // buffer sends a TCP RST, which discards the 413 the
+                // client is about to read.
+                if let HttpError::PayloadTooLarge { declared, .. } = e {
+                    drain(&mut reader, *declared);
+                }
+                ("other", Response::error(413, &e.to_string(), &[]), false)
+            }
+            Err(e @ (HttpError::BadRequest { .. } | HttpError::TruncatedBody { .. })) => {
+                ("other", Response::error(400, &e.to_string(), &[]), false)
+            }
+        };
+        let ok = response.write_to(&mut writer, keep_alive).is_ok();
+        record_request(state, endpoint, response.status, &watch);
+        if !ok || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Reads and discards up to `declared` bytes (capped at 1 MiB — a body
+/// claiming gigabytes is not worth draining; those clients lose the
+/// response to the reset, which is acceptable).
+fn drain<R: std::io::Read>(reader: &mut R, declared: usize) {
+    let mut remaining = declared.min(1 << 20);
+    let mut scratch = [0u8; 8192];
+    while remaining > 0 {
+        let want = remaining.min(scratch.len());
+        match reader.read(&mut scratch[..want]) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => remaining -= n,
+        }
+    }
+}
+
+fn record_request(state: &ServerState, endpoint: &str, status: u16, watch: &Stopwatch) {
+    let status = status.to_string();
+    state.sink.add_labeled(
+        names::SERVE_REQUESTS_TOTAL,
+        &[("endpoint", endpoint), ("status", status.as_str())],
+        Unit::Count,
+        1,
+    );
+    state.sink.observe_labeled(
+        names::SERVE_REQUEST_NS,
+        &[("endpoint", endpoint)],
+        Unit::Nanos,
+        watch.elapsed_ns(),
+    );
+}
+
+/// Dispatches one request; returns the endpoint label (for metrics) and
+/// the response.
+fn route(req: &Request, state: &ServerState) -> (&'static str, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n".into())),
+        ("GET", "/metrics") => (
+            "metrics",
+            Response::text(200, state.metrics.snapshot().to_prometheus()),
+        ),
+        ("GET", "/v1/models") => ("models", handle_models(state)),
+        ("POST", "/v1/sample") => ("sample", handle_sample(req, state)),
+        ("POST", "/v1/fit") => ("fit", handle_fit(req, state)),
+        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/sample" | "/v1/fit") => {
+            let endpoint = match req.path.as_str() {
+                "/healthz" => "healthz",
+                "/metrics" => "metrics",
+                "/v1/models" => "models",
+                "/v1/sample" => "sample",
+                _ => "fit",
+            };
+            (
+                endpoint,
+                Response::error(405, &format!("method {} not allowed", req.method), &[]),
+            )
+        }
+        _ => (
+            "other",
+            Response::error(404, &format!("no route for {}", req.path), &[]),
+        ),
+    }
+}
+
+fn handle_models(state: &ServerState) -> Response {
+    let listing = match state.registry.list() {
+        Ok(l) => l,
+        Err(e) => return Response::error(500, &e.to_string(), &[]),
+    };
+    let mut body = String::from("{\"models\":[");
+    for (i, m) in listing.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        // 64-bit checksums exceed JSON's exact-integer range; hex string.
+        body.push_str(&format!(
+            "{{\"id\":{},\"bytes\":{},\"checksum\":\"{:016x}\",\"cached\":{}",
+            quote(&m.id),
+            m.bytes,
+            m.checksum,
+            m.cached
+        ));
+        if let Some(err) = &m.error {
+            body.push_str(&format!(",\"error\":{}", quote(err)));
+        }
+        body.push('}');
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
+}
+
+/// Parses the request body as a JSON object, or explains why not.
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::error(400, "request body is not utf-8", &[]))?;
+    match Json::parse(text) {
+        Ok(doc @ Json::Obj(_)) => Ok(doc),
+        Ok(_) => Err(Response::error(
+            400,
+            "request body must be a JSON object",
+            &[],
+        )),
+        Err(e) => Err(Response::error(
+            400,
+            &format!("invalid JSON body: {e}"),
+            &[],
+        )),
+    }
+}
+
+fn registry_error_response(e: &RegistryError) -> Response {
+    let status = match e {
+        RegistryError::InvalidModelId { .. } => 400,
+        RegistryError::UnknownModel { .. } => 404,
+        RegistryError::Corrupt { .. } | RegistryError::Io { .. } => 500,
+    };
+    Response::error(status, &e.to_string(), &[])
+}
+
+fn handle_sample(req: &Request, state: &ServerState) -> Response {
+    let doc = match parse_body(req) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let Some(model_id) = doc.get("model").and_then(Json::as_str) else {
+        return Response::error(400, "missing required string field `model`", &[]);
+    };
+    let Some(rows) = doc.get("rows").and_then(Json::as_u64) else {
+        return Response::error(400, "missing required integer field `rows`", &[]);
+    };
+    let offset = match doc.get("offset") {
+        None => 0,
+        Some(v) => match v.as_u64() {
+            Some(o) => o,
+            None => return Response::error(400, "`offset` must be a non-negative integer", &[]),
+        },
+    };
+    if rows as usize > state.max_rows {
+        return Response::error(
+            400,
+            &format!(
+                "`rows` {} exceeds the per-request cap {}",
+                rows, state.max_rows
+            ),
+            &[],
+        );
+    }
+    let profile = match doc.get("profile").map(|p| p.as_str()) {
+        None => SamplingProfile::Reference,
+        Some(Some("reference")) => SamplingProfile::Reference,
+        Some(Some("fast")) => SamplingProfile::Fast,
+        Some(other) => {
+            return Response::error(
+                400,
+                &format!(
+                    "`profile` must be \"reference\" or \"fast\", got {:?}",
+                    other.unwrap_or("<non-string>")
+                ),
+                &[],
+            )
+        }
+    };
+    let format = match doc.get("format").map(|f| f.as_str()) {
+        None | Some(Some("csv")) => "csv",
+        Some(Some("json")) => "json",
+        Some(other) => {
+            return Response::error(
+                400,
+                &format!(
+                    "`format` must be \"csv\" or \"json\", got {:?}",
+                    other.unwrap_or("<non-string>")
+                ),
+                &[],
+            )
+        }
+    };
+
+    let model = match state.registry.get(model_id) {
+        Ok(m) => m,
+        Err(e) => return registry_error_response(&e),
+    };
+    let columns = match model.try_sample_range_profiled(
+        profile,
+        offset as usize,
+        rows as usize,
+        state.sample_workers,
+    ) {
+        Ok(c) => c,
+        Err(e @ DpCopulaError::RowWindowOverflow { .. }) => {
+            return Response::error(400, &e.to_string(), &[])
+        }
+        Err(e) => return Response::error(500, &e.to_string(), &[]),
+    };
+
+    let attributes: Vec<datagen::Attribute> = model
+        .artifact()
+        .schema
+        .iter()
+        .map(|a| datagen::Attribute::new(a.name.clone(), a.domain))
+        .collect();
+    if format == "csv" {
+        // The exact bytes `datagen::io::write_csv` emits in-process —
+        // the byte-identity contract the integration tests pin.
+        let dataset = datagen::Dataset::new(attributes, columns);
+        let mut bytes = Vec::new();
+        if let Err(e) = datagen::io::write_csv(&dataset, &mut bytes) {
+            return Response::error(500, &format!("encoding csv: {e}"), &[]);
+        }
+        Response::csv(bytes)
+    } else {
+        let mut body = String::from("{\"columns\":[");
+        for (i, a) in attributes.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&quote(&a.name));
+        }
+        body.push_str("],\"rows\":[");
+        for r in 0..rows as usize {
+            if r > 0 {
+                body.push(',');
+            }
+            body.push('[');
+            for (j, col) in columns.iter().enumerate() {
+                if j > 0 {
+                    body.push(',');
+                }
+                body.push_str(&col[r].to_string());
+            }
+            body.push(']');
+        }
+        body.push_str("]}\n");
+        Response::json(200, body)
+    }
+}
+
+fn handle_fit(req: &Request, state: &ServerState) -> Response {
+    let doc = match parse_body(req) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let Some(id) = doc.get("id").and_then(Json::as_str) else {
+        return Response::error(400, "missing required string field `id`", &[]);
+    };
+    if !valid_model_id(id) {
+        return Response::error(
+            400,
+            &format!("invalid model id `{id}`: expected [A-Za-z0-9_-]+"),
+            &[],
+        );
+    }
+    let Some(csv) = doc.get("csv").and_then(Json::as_str) else {
+        return Response::error(400, "missing required string field `csv`", &[]);
+    };
+    let Some(eps_value) = doc.get("epsilon").and_then(Json::as_f64) else {
+        return Response::error(400, "missing required number field `epsilon`", &[]);
+    };
+    let tenant = match doc.get("tenant") {
+        None => DEFAULT_TENANT,
+        Some(t) => match t.as_str() {
+            Some(t) => t,
+            None => return Response::error(400, "`tenant` must be a string", &[]),
+        },
+    };
+    let seed = match doc.get("seed") {
+        None => 0,
+        Some(s) => match s.as_u64() {
+            Some(s) => s,
+            None => return Response::error(400, "`seed` must be a non-negative integer", &[]),
+        },
+    };
+    let k_ratio = match doc.get("k") {
+        None => None,
+        Some(k) => match k.as_f64() {
+            Some(k) if k.is_finite() && k > 0.0 => Some(k),
+            _ => return Response::error(400, "`k` must be a positive number", &[]),
+        },
+    };
+    let epsilon = match Epsilon::new(eps_value) {
+        Ok(e) => e,
+        Err(e) => return Response::error(400, &e.to_string(), &[]),
+    };
+
+    // Pure input validation first: parsing the CSV touches no ledger
+    // and releases nothing, so a malformed body costs the tenant no ε.
+    let dataset = match datagen::io::read_csv(csv.as_bytes()) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, &format!("invalid csv body: {e}"), &[]),
+    };
+
+    // Admission: debit the tenant *before* fitting. The debit is kept
+    // even if the fit fails — a pipeline that dies halfway may already
+    // have released noisy margins.
+    if let Err(e) = state.gate.admit(tenant, epsilon) {
+        return match e {
+            GateError::UnknownTenant { .. } => Response::error(403, &e.to_string(), &[]),
+            GateError::Exhausted { remaining_neps, .. } => {
+                state.sink.add_labeled(
+                    names::BUDGET_REJECTIONS_TOTAL,
+                    &[("tenant", tenant)],
+                    Unit::Count,
+                    1,
+                );
+                Response::error(
+                    429,
+                    &e.to_string(),
+                    &[format!("\"remaining_eps\":{}", remaining_neps as f64 / 1e9)],
+                )
+            }
+        };
+    }
+
+    let domains = dataset.domains();
+    let mut config = DpCopulaConfig::kendall(epsilon);
+    if let Some(k) = k_ratio {
+        config = config.with_k_ratio(k);
+    }
+    let fitted = SynthesisRequest::from_config(dataset.columns(), &domains, config)
+        .seed(seed)
+        .metrics(state.sink.clone())
+        .fit();
+    let (mut model, _report) = match fitted {
+        Ok(f) => f,
+        Err(e) => return Response::error(400, &format!("fit failed: {e}"), &[]),
+    };
+    let attr_names: Vec<&str> = dataset
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    model.set_attribute_names(&attr_names);
+
+    let path = state.registry.path_for(id);
+    if let Err(e) = model.save(&path) {
+        return Response::error(500, &format!("writing {}: {e}", path.display()), &[]);
+    }
+    let checksum = model.artifact().checksum();
+    let spent = model.artifact().ledger.spent();
+    state.registry.insert(id, Arc::new(model));
+
+    let remaining = state
+        .gate
+        .remaining_neps(tenant)
+        .map_or(0.0, |n| n as f64 / 1e9);
+    Response::json(
+        200,
+        format!(
+            "{{\"id\":{},\"checksum\":\"{checksum:016x}\",\"epsilon_spent\":{},\"remaining_eps\":{},\"rows\":{},\"attributes\":{}}}\n",
+            quote(id),
+            spent,
+            remaining,
+            dataset.len(),
+            attr_names.len(),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_validates_config_with_named_errors() {
+        let bad_addr = ServeConfig {
+            addr: "not-an-address".into(),
+            model_dir: std::env::temp_dir(),
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            Server::bind(bad_addr),
+            Err(ServeError::BadAddr { .. })
+        ));
+
+        let bad_dir = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            model_dir: PathBuf::from("/no/such/model/dir"),
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            Server::bind(bad_dir),
+            Err(ServeError::ModelDirMissing { .. })
+        ));
+
+        let bad_eps = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            model_dir: std::env::temp_dir(),
+            default_epsilon: -1.0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            Server::bind(bad_eps),
+            Err(ServeError::BadEpsilon(_))
+        ));
+    }
+
+    #[test]
+    fn bind_on_port_zero_reports_the_real_port() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            model_dir: std::env::temp_dir(),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        assert_ne!(server.local_addr().unwrap().port(), 0);
+    }
+}

@@ -28,7 +28,8 @@ QUICK=1 cargo run -p dpcopula-bench --release --offline --bin table02_domains
 echo "==> dpcopula-cli smoke: fit-once/sample-many bit-identity"
 CLI=target/release/dpcopula-cli
 SMOKE="$(mktemp -d)"
-trap 'rm -rf "$SMOKE"' EXIT
+SERVE_PID=""
+trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 "$CLI" gen --out "$SMOKE/census.csv" --records 2000 --seed 7
 "$CLI" fit --input "$SMOKE/census.csv" --out "$SMOKE/model.dpcm" --epsilon 1.0 --seed 99
 "$CLI" inspect --model "$SMOKE/model.dpcm" >/dev/null
@@ -96,6 +97,73 @@ echo "==> serving-throughput regression gate (fast >= 4x reference)"
 # throughput falls below 4x the reference profile's. QUICK keeps the
 # committed BENCH_serving.json untouched.
 QUICK=1 cargo run -p dpcopula-bench --release --offline --bin bench_serving
+
+echo "==> serve tier: daemon smoke over HTTP"
+# Start the daemon on an ephemeral port over a model dir seeded with the
+# CLI-fit artifact, wait for its listening line, then curl every route.
+mkdir -p "$SMOKE/models"
+cp "$SMOKE/model.dpcm" "$SMOKE/models/model.dpcm"
+printf 'default = 1.5\n' > "$SMOKE/tenants.conf"
+"$CLI" serve --model-dir "$SMOKE/models" --addr 127.0.0.1:0 \
+    --tenants "$SMOKE/tenants.conf" > "$SMOKE/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's#^listening on http://##p' "$SMOKE/serve.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "    daemon never reported its address" >&2
+    cat "$SMOKE/serve.log" >&2
+    exit 1
+fi
+curl -sf "http://$ADDR/healthz" | grep -q '^ok$'
+echo "    healthz answers"
+# A window sampled over HTTP must be byte-identical to the CLI-served
+# window from the same artifact (which itself matches in-process synth).
+curl -sf -X POST "http://$ADDR/v1/sample" \
+    -d '{"model":"model","offset":0,"rows":1000}' > "$SMOKE/http-served.csv"
+diff "$SMOKE/http-served.csv" "$SMOKE/served.csv"
+echo "    HTTP-served rows are byte-identical to CLI-served rows"
+# Fit over HTTP: first fit fits in the tenant budget, the second must be
+# refused with 429 (admission control), and sampling must keep serving.
+# sed joins lines with literal \n; tr strips the real trailing newline
+# sed appends, which would be a raw control byte inside the JSON string.
+{ printf '{"id":"httpfit","epsilon":1.0,"seed":99,"csv":"'
+  sed ':a;N;$!ba;s/\n/\\n/g' "$SMOKE/census.csv" | tr -d '\n'
+  printf '\\n"}'; } > "$SMOKE/fit.json"
+curl -sf -X POST "http://$ADDR/v1/fit" \
+    -H 'Content-Type: application/json' --data-binary "@$SMOKE/fit.json" \
+    | grep -q '"id":"httpfit"'
+echo "    fit over HTTP releases a model"
+FIT2_STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/fit" \
+    -H 'Content-Type: application/json' --data-binary "@$SMOKE/fit.json")"
+if [ "$FIT2_STATUS" != "429" ]; then
+    echo "    expected 429 for the over-budget fit, got $FIT2_STATUS" >&2
+    exit 1
+fi
+curl -sf -X POST "http://$ADDR/v1/sample" \
+    -d '{"model":"httpfit","rows":10}' > /dev/null
+echo "    exhausted tenant gets 429 on fit while sampling keeps serving"
+curl -sf "http://$ADDR/v1/models" | grep -q '"id":"httpfit"'
+echo "    model listing reflects the HTTP-fit artifact"
+# The daemon's /metrics must expose exactly the manifest's metric names.
+curl -sf "http://$ADDR/metrics" > "$SMOKE/serve.metrics.prom"
+sed -n 's/^# TYPE \([a-z_]*\) .*/\1/p' "$SMOKE/serve.metrics.prom" | sort -u \
+    > "$SMOKE/serve_metric_names.txt"
+diff scripts/metrics_manifest.txt "$SMOKE/serve_metric_names.txt"
+grep -q 'budget_rejections_total{tenant="default"} 1' "$SMOKE/serve.metrics.prom"
+echo "    /metrics matches the manifest and counts the rejection"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+echo "==> serve load-test regression gate (HTTP efficiency floor)"
+# bench_serve exits nonzero when end-to-end HTTP sampling throughput
+# falls below 15% of the in-process baseline. QUICK keeps the committed
+# BENCH_serve.json untouched.
+QUICK=1 cargo run -p dpcopula-bench --release --offline --bin bench_serve
 
 echo "==> sharded-fit regression gates (merge overhead < 15%, shard speedup)"
 # bench_pipeline exits nonzero when merging 4 shard summaries costs more

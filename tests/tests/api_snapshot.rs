@@ -1,8 +1,8 @@
 //! Pins the public API surface of the workspace's exported crates.
 //!
 //! A plain-text snapshot (`tests/api_snapshot.txt`) lists every `pub`
-//! item declared in the sources of `core`, `dpmech`, `modelstore` and
-//! `obskit`. Renaming, removing, or adding a public item makes this test
+//! item declared in the sources of `core`, `dpmech`, `modelstore`,
+//! `obskit` and `serve`. Renaming, removing, or adding a public item makes this test
 //! fail with a readable diff, so API changes are deliberate and land
 //! together with their snapshot update. Bless an intentional change with
 //!
@@ -21,11 +21,12 @@ use std::path::{Path, PathBuf};
 
 /// The crates whose API the snapshot pins, as `(name, src dir)` pairs
 /// relative to the workspace root.
-const CRATES: [(&str, &str); 4] = [
+const CRATES: [(&str, &str); 5] = [
     ("dpcopula", "crates/core/src"),
     ("dpmech", "crates/dpmech/src"),
     ("modelstore", "crates/modelstore/src"),
     ("obskit", "crates/obskit/src"),
+    ("dpcopula-serve", "crates/serve/src"),
 ];
 
 const KINDS: [&str; 8] = [

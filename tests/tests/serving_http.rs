@@ -1,0 +1,343 @@
+//! End-to-end tests of the `dpcopula-serve` daemon: a real server on an
+//! ephemeral port, a hand-rolled `std::net` HTTP client, and the two
+//! contracts the serving layer promises —
+//!
+//! 1. a row window fetched over HTTP is **byte-identical** to the same
+//!    window sampled in-process from the same artifact (sampling is
+//!    deterministic post-processing, the transport adds nothing);
+//! 2. per-tenant ε admission refuses fits once the budget is spent
+//!    (429, with the remaining budget in the body) while sampling keeps
+//!    serving, because it is ε-free.
+
+use dpcopula::FittedModel;
+use dpcopula_serve::{ServeConfig, Server, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+
+/// One running daemon over a temp model dir, torn down on drop.
+struct TestServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    model_dir: PathBuf,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start(tag: &str, configure: impl FnOnce(&mut ServeConfig)) -> Self {
+        let model_dir =
+            std::env::temp_dir().join(format!("dpcopula-serve-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&model_dir);
+        std::fs::create_dir_all(&model_dir).unwrap();
+        let mut config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            model_dir: model_dir.clone(),
+            ..ServeConfig::default()
+        };
+        configure(&mut config);
+        let server = Server::bind(config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = std::thread::spawn(move || {
+            server.run().unwrap();
+        });
+        Self {
+            addr,
+            handle,
+            model_dir,
+            join: Some(join),
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.model_dir);
+    }
+}
+
+/// Sends one request, reads the full response, returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    // The server may refuse (413) and close without reading the body;
+    // a broken-pipe here is part of the behaviour under test.
+    let _ = stream.write_all(body);
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> (u16, Vec<u8>) {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete response head");
+    let head = std::str::from_utf8(&raw[..split]).unwrap();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code in status line")
+        .parse()
+        .unwrap();
+    (status, raw[split + 4..].to_vec())
+}
+
+/// Escapes `s` into a JSON string literal (for embedding CSV bodies).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A small deterministic CSV in datagen's `name:domain` header format.
+fn training_csv() -> String {
+    let mut csv = String::from("age:5,income:4,region:3\n");
+    for i in 0..80u32 {
+        csv.push_str(&format!("{},{},{}\n", i % 5, (i / 3) % 4, (i * 7) % 3));
+    }
+    csv
+}
+
+fn fit_body(id: &str, tenant: &str, epsilon: f64, seed: u64) -> Vec<u8> {
+    format!(
+        "{{\"id\":\"{id}\",\"tenant\":\"{tenant}\",\"epsilon\":{epsilon},\"seed\":{seed},\"csv\":{}}}",
+        json_str(&training_csv())
+    )
+    .into_bytes()
+}
+
+fn write_tenants(dir: &Path, text: &str) -> PathBuf {
+    let path = dir.join("tenants.conf");
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn http_sample_window_is_byte_identical_to_in_process_sampling() {
+    let server = TestServer::start("identity", |c| {
+        c.sample_workers = 2; // any worker count must yield the same bytes
+    });
+    let (status, body) = http(
+        server.addr,
+        "POST",
+        "/v1/fit",
+        &fit_body("census", "default", 1.5, 42),
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let fit_reply = String::from_utf8(body).unwrap();
+    assert!(fit_reply.contains("\"id\":\"census\""), "{fit_reply}");
+    assert!(fit_reply.contains("\"checksum\":\""), "{fit_reply}");
+
+    // A mid-stream window over HTTP...
+    let (status, http_csv) = http(
+        server.addr,
+        "POST",
+        "/v1/sample",
+        br#"{"model":"census","offset":1000,"rows":200}"#,
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&http_csv));
+
+    // ...must be byte-for-byte what in-process sampling of the same
+    // artifact produces, at an unrelated worker count.
+    let model = FittedModel::load(server.model_dir.join("census.dpcm")).unwrap();
+    let columns = model.try_sample_range(1000, 200, 3).unwrap();
+    let attributes: Vec<datagen::Attribute> = model
+        .artifact()
+        .schema
+        .iter()
+        .map(|a| datagen::Attribute::new(a.name.clone(), a.domain))
+        .collect();
+    let dataset = datagen::Dataset::new(attributes, columns);
+    let mut in_process = Vec::new();
+    datagen::io::write_csv(&dataset, &mut in_process).unwrap();
+    assert_eq!(http_csv, in_process);
+
+    // The fitted attribute names round-tripped into the CSV header.
+    assert!(in_process.starts_with(b"age:5,income:4,region:3\n"));
+
+    // JSON format serves the same rows.
+    let (status, json_rows) = http(
+        server.addr,
+        "POST",
+        "/v1/sample",
+        br#"{"model":"census","offset":1000,"rows":1,"format":"json"}"#,
+    );
+    assert_eq!(status, 200);
+    let text = String::from_utf8(json_rows).unwrap();
+    assert!(
+        text.starts_with("{\"columns\":[\"age\",\"income\",\"region\"],\"rows\":[["),
+        "{text}"
+    );
+}
+
+#[test]
+fn exhausted_tenant_gets_429_while_sampling_keeps_serving() {
+    let server = TestServer::start("budget", |c| {
+        c.tenant_file = Some(write_tenants(&c.model_dir, "alpha = 1.0\nbeta = 0.25\n"));
+    });
+
+    // alpha's first fit spends its whole budget.
+    let (status, _) = http(
+        server.addr,
+        "POST",
+        "/v1/fit",
+        &fit_body("m1", "alpha", 1.0, 7),
+    );
+    assert_eq!(status, 200);
+
+    // The second is refused with the remaining budget in the body.
+    let (status, body) = http(
+        server.addr,
+        "POST",
+        "/v1/fit",
+        &fit_body("m2", "alpha", 0.5, 8),
+    );
+    assert_eq!(status, 429);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("budget exhausted"), "{text}");
+    assert!(text.contains("\"remaining_eps\":0"), "{text}");
+
+    // A rejected fit writes no artifact.
+    assert!(!server.model_dir.join("m2.dpcm").exists());
+
+    // Unknown tenants are 403, not 429.
+    let (status, body) = http(
+        server.addr,
+        "POST",
+        "/v1/fit",
+        &fit_body("m3", "mallory", 0.1, 9),
+    );
+    assert_eq!(status, 403);
+    assert!(String::from_utf8(body).unwrap().contains("unknown tenant"));
+
+    // Sampling from the fitted model still serves: ε-free post-processing.
+    let (status, csv) = http(
+        server.addr,
+        "POST",
+        "/v1/sample",
+        br#"{"model":"m1","rows":10}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(csv.iter().filter(|&&b| b == b'\n').count(), 11);
+
+    // The rejection is visible on /metrics, per tenant.
+    let (status, metrics) = http(server.addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8(metrics).unwrap();
+    assert!(
+        metrics.contains("budget_rejections_total{tenant=\"alpha\"} 1"),
+        "missing rejection counter"
+    );
+    assert!(metrics.contains("serve_requests_total{endpoint=\"fit\",status=\"429\"} 1"));
+    assert!(metrics.contains("serve_requests_total{endpoint=\"sample\",status=\"200\"} 1"));
+}
+
+#[test]
+fn error_paths_are_typed_and_never_kill_the_daemon() {
+    let server = TestServer::start("errors", |c| {
+        c.max_body_bytes = 4096;
+    });
+
+    // Unknown model → 404.
+    let (status, body) = http(
+        server.addr,
+        "POST",
+        "/v1/sample",
+        br#"{"model":"nope","rows":1}"#,
+    );
+    assert_eq!(status, 404);
+    assert!(String::from_utf8(body)
+        .unwrap()
+        .contains("unknown model `nope`"));
+
+    // Unknown route → 404; wrong method → 405.
+    assert_eq!(http(server.addr, "GET", "/v2/everything", b"").0, 404);
+    assert_eq!(http(server.addr, "GET", "/v1/sample", b"").0, 405);
+
+    // Corrupt artifact → 500 naming the damaged entry. Flip one byte in
+    // the middle of a valid artifact so a section checksum fails.
+    let fit = fit_body("good", "default", 1.0, 3);
+    assert_eq!(http(server.addr, "POST", "/v1/fit", &fit).0, 200);
+    let mut bytes = std::fs::read(server.model_dir.join("good.dpcm")).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(server.model_dir.join("bad.dpcm"), &bytes).unwrap();
+    let (status, body) = http(
+        server.addr,
+        "POST",
+        "/v1/sample",
+        br#"{"model":"bad","rows":1}"#,
+    );
+    assert_eq!(status, 500);
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("model directory entry") && text.contains("bad.dpcm"),
+        "{text}"
+    );
+
+    // Oversized body → 413 before the body is read.
+    let huge = vec![b' '; 8192];
+    let (status, body) = http(server.addr, "POST", "/v1/fit", &huge);
+    assert_eq!(status, 413);
+    assert!(String::from_utf8(body).unwrap().contains("8192"));
+
+    // Truncated body (Content-Length larger than what arrives) → 400.
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream
+        .write_all(b"POST /v1/fit HTTP/1.1\r\nContent-Length: 512\r\n\r\nshort")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let (status, body) = parse_response(&raw);
+    assert_eq!(status, 400);
+    assert!(String::from_utf8(body).unwrap().contains("truncated"));
+
+    // Malformed JSON and malformed CSV → 400 with positions.
+    let (status, body) = http(server.addr, "POST", "/v1/sample", b"{nope");
+    assert_eq!(status, 400);
+    assert!(String::from_utf8(body)
+        .unwrap()
+        .contains("invalid JSON body"));
+    let (status, body) = http(
+        server.addr,
+        "POST",
+        "/v1/fit",
+        br#"{"id":"x","epsilon":1.0,"csv":"not a header\n"}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(String::from_utf8(body)
+        .unwrap()
+        .contains("invalid csv body"));
+
+    // After all of that, the daemon still answers.
+    let (status, body) = http(server.addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+
+    // /v1/models lists the good and the damaged artifact side by side.
+    let (status, listing) = http(server.addr, "GET", "/v1/models", b"");
+    assert_eq!(status, 200);
+    let listing = String::from_utf8(listing).unwrap();
+    assert!(listing.contains("\"id\":\"good\""), "{listing}");
+    assert!(listing.contains("\"id\":\"bad\""), "{listing}");
+}
