@@ -31,12 +31,27 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 /// One keep-alive request/response cycle; returns the response body.
+/// Panics unless the daemon answers 200 — for the load sections where
+/// every request must be admitted.
 fn roundtrip(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     path: &str,
     body: &[u8],
 ) -> Vec<u8> {
+    let (status, body) = roundtrip_any(stream, reader, path, body);
+    assert_eq!(status, 200, "bench requests must succeed");
+    body
+}
+
+/// One keep-alive request/response cycle; returns status and body.
+/// Tolerates non-200 answers — the overload section *expects* 503s.
+fn roundtrip_any(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    path: &str,
+    body: &[u8],
+) -> (u16, Vec<u8>) {
     // Head and body in one write: a separate small head write trips
     // client-side Nagle against server-side delayed ACK (~40ms stalls).
     let mut request = format!(
@@ -70,10 +85,9 @@ fn roundtrip(
             content_length = v.parse().expect("content length");
         }
     }
-    assert_eq!(status, 200, "bench requests must succeed");
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).expect("response body");
-    body
+    (status, body)
 }
 
 fn sample_body(rows: usize, offset: usize) -> Vec<u8> {
@@ -163,6 +177,7 @@ fn main() {
     );
     let _ = writeln!(out, "  \"runs\": [");
     let mut best_rows_per_s = 0.0f64;
+    let mut loaded_p99_ms = 0.0f64;
     for (ci, &clients) in client_counts.iter().enumerate() {
         let wall = Stopwatch::start();
         let workers: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..clients)
@@ -201,6 +216,7 @@ fn main() {
             percentile(&latencies, 0.95) * 1e3,
             percentile(&latencies, 0.99) * 1e3,
         );
+        loaded_p99_ms = p99;
         println!(
             "clients={clients}: p50 {p50:.2}ms p95 {p95:.2}ms p99 {p99:.2}ms, {rows_per_s:.0} rows/s"
         );
@@ -216,6 +232,74 @@ fn main() {
         );
     }
     let _ = writeln!(out, "  ],");
+
+    // Overload: more concurrent clients than the sample gate admits,
+    // against a second daemon with a deliberately tiny `max_inflight`.
+    // The point under test is graceful shedding — the excess must turn
+    // into fast 503s instead of a queue, so the tail latency of *every*
+    // response (admitted or shed) stays bounded.
+    let overload_clients = if quick { 4 } else { 8 };
+    let overload_requests = if quick { 6 } else { 25 };
+    let max_inflight = if quick { 1 } else { 2 };
+    let overload_server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        model_dir: model_dir.clone(),
+        pool_workers: overload_clients,
+        max_inflight,
+        ..ServeConfig::default()
+    })
+    .expect("bind overload server");
+    let overload_addr = overload_server.local_addr().expect("overload addr");
+    let overload_handle = overload_server.shutdown_handle().expect("overload handle");
+    let overload_thread =
+        std::thread::spawn(move || overload_server.run().expect("overload server run"));
+    let workers: Vec<std::thread::JoinHandle<Vec<(u16, f64)>>> = (0..overload_clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(overload_addr).expect("overload connect");
+                stream.set_nodelay(true).expect("overload nodelay");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone overload stream"));
+                let mut outcomes = Vec::with_capacity(overload_requests);
+                for r in 0..overload_requests {
+                    let offset = (c * overload_requests + r) * rows_per_request;
+                    let body = sample_body(rows_per_request, offset);
+                    let t = Stopwatch::start();
+                    let (status, _) = roundtrip_any(&mut stream, &mut reader, "/v1/sample", &body);
+                    outcomes.push((status, t.elapsed().as_secs_f64()));
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let outcomes: Vec<(u16, f64)> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("overload client thread"))
+        .collect();
+    overload_handle.shutdown();
+    overload_thread.join().expect("overload server thread");
+    let admitted = outcomes.iter().filter(|(s, _)| *s == 200).count();
+    let shed = outcomes.iter().filter(|(s, _)| *s == 503).count();
+    assert_eq!(
+        admitted + shed,
+        outcomes.len(),
+        "overload responses must be 200 or 503, nothing else"
+    );
+    let mut overload_lat: Vec<f64> = outcomes.iter().map(|(_, l)| *l).collect();
+    overload_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let overload_p50 = percentile(&overload_lat, 0.50) * 1e3;
+    let overload_p99 = percentile(&overload_lat, 0.99) * 1e3;
+    println!(
+        "overload clients={overload_clients} max_inflight={max_inflight}: \
+         {admitted} admitted, {shed} shed, p50 {overload_p50:.2}ms p99 {overload_p99:.2}ms"
+    );
+    let _ = writeln!(
+        out,
+        "  \"overload\": {{\"clients\": {overload_clients}, \"max_inflight\": {max_inflight}, \
+         \"requests\": {}, \"admitted\": {admitted}, \"shed\": {shed}, \
+         \"p50_ms\": {overload_p50:.3}, \"p99_ms\": {overload_p99:.3}}},",
+        outcomes.len()
+    );
+
     let efficiency = best_rows_per_s / inprocess_rows_per_s;
     let _ = writeln!(out, "  \"best_rows_per_s\": {best_rows_per_s:.1},");
     let _ = writeln!(out, "  \"http_efficiency\": {efficiency:.3},");
@@ -242,6 +326,28 @@ fn main() {
         eprintln!(
             "REGRESSION: HTTP serving reaches only {efficiency:.2} of the in-process \
              sampling throughput (floor {MIN_HTTP_EFFICIENCY})"
+        );
+        std::process::exit(1);
+    }
+
+    // Overload gates: the admission gate must actually shed under 4x
+    // oversubscription, some requests must still get through, and
+    // shedding must keep the tail bounded — p99 across *all* overload
+    // responses may not exceed 25x the p99 of the fully-admitted run.
+    // (Without shedding, the excess queues and the tail grows with the
+    // queue; 25x is generous enough to absorb host-speed noise.)
+    let p99_bound_ms = 25.0 * loaded_p99_ms.max(1.0);
+    if admitted == 0 || shed == 0 {
+        eprintln!(
+            "REGRESSION: overload run expected both admissions and sheds, \
+             got {admitted} admitted / {shed} shed"
+        );
+        std::process::exit(1);
+    }
+    if overload_p99 > p99_bound_ms {
+        eprintln!(
+            "REGRESSION: overload p99 {overload_p99:.2}ms exceeds bound {p99_bound_ms:.2}ms \
+             (25x loaded p99 {loaded_p99_ms:.2}ms) — shedding is not keeping the tail bounded"
         );
         std::process::exit(1);
     }

@@ -46,7 +46,9 @@ USAGE:
   dpcopula-cli serve   --model-dir DIR [--addr HOST:PORT] [--tenants FILE]
                        [--default-epsilon E] [--cache-cap N]
                        [--max-body-bytes N] [--pool N] [--workers W]
-                       [--max-rows N]
+                       [--max-rows N] [--max-connections N] [--max-inflight N]
+                       [--read-timeout-ms N] [--write-timeout-ms N]
+                       [--head-timeout-ms N] [--body-timeout-ms N]
 
 Every subcommand also takes [--metrics json|prom|off] (default off) and
 [--metrics-out FILE]. With metrics on, the full obskit taxonomy is
@@ -589,9 +591,28 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         pool_workers: flags.parsed("pool", defaults.pool_workers)?,
         sample_workers: flags.parsed("workers", defaults.sample_workers)?,
         max_rows: flags.parsed("max-rows", defaults.max_rows)?,
+        max_connections: flags.parsed("max-connections", defaults.max_connections)?,
+        max_inflight: flags.parsed("max-inflight", defaults.max_inflight)?,
+        read_timeout: ms_flag(flags, "read-timeout-ms", defaults.read_timeout)?,
+        write_timeout: ms_flag(flags, "write-timeout-ms", defaults.write_timeout)?,
+        head_timeout: ms_flag(flags, "head-timeout-ms", defaults.head_timeout)?,
+        body_timeout: ms_flag(flags, "body-timeout-ms", defaults.body_timeout)?,
+        drain_deadline: defaults.drain_deadline,
     };
     let server = Server::bind(config).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!("listening on http://{addr}");
     server.run().map_err(|e| e.to_string())
+}
+
+fn ms_flag(
+    flags: &Flags,
+    name: &str,
+    default: std::time::Duration,
+) -> Result<std::time::Duration, String> {
+    let ms: u64 = flags.parsed(name, default.as_millis() as u64)?;
+    if ms == 0 {
+        return Err(format!("--{name} must be at least 1 millisecond"));
+    }
+    Ok(std::time::Duration::from_millis(ms))
 }

@@ -1,0 +1,482 @@
+//! Deterministic in-process TCP fault injection for serving tests.
+//!
+//! A [`FaultProxy`] sits between a test client and an upstream server
+//! (both on loopback), forwarding bytes while applying one [`Fault`]
+//! plan per accepted connection — byte throttling, mid-stream
+//! disconnects, split writes, stalls. Faults shape the *request*
+//! (client → upstream) direction; responses are relayed untouched, so
+//! any corruption a test observes was produced by the server, not the
+//! harness.
+//!
+//! [`flood`] drives a seeded burst of concurrent connections whose
+//! start offsets come from an [`rngkit`] schedule ([`jitter_schedule`]),
+//! and [`HttpReply`] parses what came back. The *schedule* is
+//! deterministic in the seed; which connections an overloaded server
+//! sheds is an OS-scheduling outcome the caller asserts properties of
+//! (counts, status sets), not exact membership.
+//!
+//! Everything here is plain `std::net` + threads: no async runtime, no
+//! external crates, usable straight from `#[test]` functions.
+
+use rngkit::rngs::StdRng;
+use rngkit::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// One connection's fault plan, applied to the client → upstream byte
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Relay untouched (the control arm).
+    Passthrough,
+    /// Relay in `chunk`-byte writes with `pause` between them: a slow
+    /// client. Pointed at the head bytes this is a slowloris; pointed
+    /// at a body it is a trickler.
+    Throttle {
+        /// Bytes per write.
+        chunk: usize,
+        /// Sleep between writes.
+        pause: Duration,
+    },
+    /// Relay exactly `bytes`, then hard-close both halves: the client
+    /// vanished mid-request.
+    CutAfter {
+        /// Bytes relayed before the disconnect.
+        bytes: usize,
+    },
+    /// Relay everything, but in `chunk`-byte writes flushed
+    /// back-to-back (no sleep): exercises reassembly, not timeouts.
+    SplitWrites {
+        /// Bytes per write.
+        chunk: usize,
+    },
+    /// Relay `bytes`, go silent for `pause`, then relay the rest: a
+    /// stalled-then-recovered sender.
+    StallAfter {
+        /// Bytes relayed before the stall.
+        bytes: usize,
+        /// Length of the silence.
+        pause: Duration,
+    },
+}
+
+/// A loopback TCP proxy applying one [`Fault`] per accepted connection:
+/// connection `i` gets `plans[i]`, connections past the end get
+/// [`Fault::Passthrough`].
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_loop: Option<thread::JoinHandle<()>>,
+}
+
+/// Safety valve so a forwarding thread whose peer never closes cannot
+/// outlive the test process by much.
+const RELAY_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl FaultProxy {
+    /// Binds an ephemeral loopback port and starts relaying to
+    /// `upstream`.
+    pub fn start(upstream: SocketAddr, plans: Vec<Fault>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_loop = thread::spawn(move || {
+            for (index, conn) in listener.incoming().enumerate() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = conn else { continue };
+                let plan = plans.get(index).copied().unwrap_or(Fault::Passthrough);
+                thread::spawn(move || relay(client, upstream, plan));
+            }
+        });
+        Ok(Self {
+            addr,
+            stop,
+            accept_loop: Some(accept_loop),
+        })
+    }
+
+    /// Where test clients connect.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag on wakeup.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_loop.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Connects one proxied pair and runs both directions: the fault on
+/// the request path in this thread, the response path in a helper.
+fn relay(client: TcpStream, upstream: SocketAddr, plan: Fault) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_read_timeout(Some(RELAY_READ_TIMEOUT));
+    let _ = server.set_read_timeout(Some(RELAY_READ_TIMEOUT));
+    let _ = server.set_nodelay(true);
+    let _ = client.set_nodelay(true);
+    let (Ok(server_read), Ok(client_write)) = (server.try_clone(), client.try_clone()) else {
+        return;
+    };
+    let response_path = thread::spawn(move || copy_until_eof(server_read, client_write));
+    forward_with_fault(client, server, plan);
+    let _ = response_path.join();
+}
+
+/// Plain byte relay until EOF or error; closes the write half after.
+fn copy_until_eof(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 8192];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+/// The request-direction relay, shaped by `plan`.
+fn forward_with_fault(mut from: TcpStream, mut to: TcpStream, plan: Fault) {
+    match plan {
+        Fault::Passthrough => copy_until_eof(from, to),
+        Fault::SplitWrites { chunk } => {
+            let _ = relay_chunked(&mut from, &mut to, chunk.max(1), None, usize::MAX);
+            let _ = to.shutdown(Shutdown::Write);
+        }
+        Fault::Throttle { chunk, pause } => {
+            let _ = relay_chunked(&mut from, &mut to, chunk.max(1), Some(pause), usize::MAX);
+            let _ = to.shutdown(Shutdown::Write);
+        }
+        Fault::CutAfter { bytes } => {
+            let _ = relay_chunked(&mut from, &mut to, 8192, None, bytes);
+            // Hard close both halves: from the server's side the client
+            // is simply gone, response undeliverable.
+            let _ = to.shutdown(Shutdown::Both);
+            let _ = from.shutdown(Shutdown::Both);
+        }
+        Fault::StallAfter { bytes, pause } => {
+            let _ = relay_chunked(&mut from, &mut to, 8192, None, bytes);
+            thread::sleep(pause);
+            copy_until_eof(from, to);
+        }
+    }
+}
+
+/// Relays up to `limit` bytes in `chunk`-sized flushed writes, sleeping
+/// `pause` after each. Returns bytes relayed.
+fn relay_chunked(
+    from: &mut TcpStream,
+    to: &mut TcpStream,
+    chunk: usize,
+    pause: Option<Duration>,
+    limit: usize,
+) -> usize {
+    let mut buf = vec![0u8; chunk];
+    let mut sent = 0usize;
+    while sent < limit {
+        let want = chunk.min(limit - sent);
+        let n = match from.read(&mut buf[..want]) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if to.write_all(&buf[..n]).is_err() || to.flush().is_err() {
+            break;
+        }
+        sent += n;
+        if let Some(pause) = pause {
+            thread::sleep(pause);
+        }
+    }
+    sent
+}
+
+/// A parsed HTTP/1.1 response: status, headers, and the
+/// `Content-Length`-framed body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// Numeric status code from the status line.
+    pub status: u16,
+    /// Header (name, value) pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body: exactly `Content-Length` bytes when declared, else
+    /// read to EOF.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// Reads one response off `reader`.
+    pub fn read_from<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<Self> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a status line",
+            ));
+        }
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed inside the header block"));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad("malformed header"))?;
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let declared = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        let body = match declared {
+            Some(len) => {
+                let mut body = vec![0u8; len];
+                reader.read_exact(&mut body)?;
+                body
+            }
+            None => {
+                let mut body = Vec::new();
+                reader.read_to_end(&mut body)?;
+                body
+            }
+        };
+        Ok(Self {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends `request` to `addr` and reads one response.
+pub fn send_request(addr: SocketAddr, request: &[u8]) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(RELAY_READ_TIMEOUT))?;
+    stream.write_all(request)?;
+    stream.flush()?;
+    HttpReply::read_from(&mut BufReader::new(stream))
+}
+
+/// The per-connection start offsets (milliseconds) `flood` uses:
+/// deterministic in `(seed, connections, max_jitter_ms)`.
+pub fn jitter_schedule(seed: u64, connections: usize, max_jitter_ms: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..connections)
+        .map(|_| rng.gen_range(0..max_jitter_ms.max(1)))
+        .collect()
+}
+
+/// Fires `connections` copies of `request` at `addr` concurrently,
+/// each delayed by its [`jitter_schedule`] offset. Slot `i` of the
+/// result is connection `i`'s reply, `None` when the connection or
+/// read failed (e.g. the server cut it).
+pub fn flood(
+    addr: SocketAddr,
+    seed: u64,
+    connections: usize,
+    max_jitter_ms: u64,
+    request: &[u8],
+) -> Vec<Option<HttpReply>> {
+    let schedule = jitter_schedule(seed, connections, max_jitter_ms);
+    let request = Arc::new(request.to_vec());
+    let workers: Vec<_> = schedule
+        .into_iter()
+        .map(|delay_ms| {
+            let request = Arc::clone(&request);
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(delay_ms));
+                send_request(addr, &request).ok()
+            })
+        })
+        .collect();
+    workers
+        .into_iter()
+        .map(|w| w.join().unwrap_or(None))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-shot upstream: accepts connections, reads until the blank
+    /// line plus any `Content-Length` body, and answers with a fixed
+    /// 200 whose body echoes how many request bytes it saw.
+    fn tiny_upstream() -> (SocketAddr, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                thread::spawn(move || {
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut total = 0usize;
+                    let mut declared = 0usize;
+                    loop {
+                        let mut line = String::new();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => return, // cut before the head ended
+                            Ok(n) => total += n,
+                        }
+                        let trimmed = line.trim_end_matches(['\r', '\n']);
+                        if let Some(v) = trimmed
+                            .to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(str::trim)
+                        {
+                            declared = v.parse().unwrap_or(0);
+                        }
+                        if trimmed.is_empty() {
+                            break;
+                        }
+                    }
+                    let mut body = vec![0u8; declared];
+                    if reader.read_exact(&mut body).is_err() {
+                        return; // cut inside the body
+                    }
+                    total += declared;
+                    let reply = format!("saw {total} bytes");
+                    let mut out = stream;
+                    let _ = out.write_all(
+                        format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{reply}",
+                            reply.len()
+                        )
+                        .as_bytes(),
+                    );
+                });
+            }
+        });
+        (addr, stop)
+    }
+
+    const REQUEST: &[u8] = b"POST /echo HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+
+    #[test]
+    fn passthrough_and_split_writes_deliver_identical_replies() {
+        let (upstream, stop) = tiny_upstream();
+        let direct = send_request(upstream, REQUEST).unwrap();
+        let proxy = FaultProxy::start(
+            upstream,
+            vec![Fault::Passthrough, Fault::SplitWrites { chunk: 3 }],
+        )
+        .unwrap();
+        let via_proxy = send_request(proxy.addr(), REQUEST).unwrap();
+        let split = send_request(proxy.addr(), REQUEST).unwrap();
+        assert_eq!(direct, via_proxy);
+        assert_eq!(direct, split);
+        assert_eq!(split.status, 200);
+        assert_eq!(split.body, b"saw 53 bytes");
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(upstream);
+    }
+
+    #[test]
+    fn cut_after_kills_the_connection_mid_body() {
+        let (upstream, stop) = tiny_upstream();
+        // 45 bytes is inside the body (head is 43 bytes): the upstream
+        // sees EOF mid-body and answers nothing.
+        let proxy = FaultProxy::start(upstream, vec![Fault::CutAfter { bytes: 45 }]).unwrap();
+        let err = send_request(proxy.addr(), REQUEST).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected error kind {:?}",
+            err.kind()
+        );
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(upstream);
+    }
+
+    #[test]
+    fn stall_after_recovers_and_delivers() {
+        let (upstream, stop) = tiny_upstream();
+        let proxy = FaultProxy::start(
+            upstream,
+            vec![Fault::StallAfter {
+                bytes: 20,
+                pause: Duration::from_millis(30),
+            }],
+        )
+        .unwrap();
+        let reply = send_request(proxy.addr(), REQUEST).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, b"saw 53 bytes");
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(upstream);
+    }
+
+    #[test]
+    fn jitter_schedule_is_deterministic_in_the_seed() {
+        let a = jitter_schedule(42, 16, 5);
+        let b = jitter_schedule(42, 16, 5);
+        let c = jitter_schedule(43, 16, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should disagree somewhere");
+        assert!(a.iter().all(|&ms| ms < 5));
+    }
+
+    #[test]
+    fn flood_answers_in_connection_order() {
+        let (upstream, stop) = tiny_upstream();
+        let replies = flood(upstream, 7, 6, 4, REQUEST);
+        assert_eq!(replies.len(), 6);
+        for reply in replies {
+            let reply = reply.expect("unfaulted flood against a healthy upstream");
+            assert_eq!(reply.status, 200);
+            assert_eq!(reply.body, b"saw 53 bytes");
+        }
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(upstream);
+    }
+}

@@ -93,10 +93,32 @@ pub const BUDGET_REJECTIONS_TOTAL: &str = "budget_rejections_total";
 /// The `endpoint` label values of [`SERVE_REQUESTS_TOTAL`] /
 /// [`SERVE_REQUEST_NS`] — one per route of the serving daemon, plus
 /// `other` for unroutable paths.
-pub const SERVE_ENDPOINTS: [&str; 6] = ["healthz", "metrics", "models", "sample", "fit", "other"];
+pub const SERVE_ENDPOINTS: [&str; 7] = [
+    "healthz", "metrics", "models", "sample", "fit", "delete", "other",
+];
 /// The `status` label values of [`SERVE_REQUESTS_TOTAL`]: every
 /// response code the daemon emits.
-pub const SERVE_STATUSES: [&str; 8] = ["200", "400", "403", "404", "405", "413", "429", "500"];
+pub const SERVE_STATUSES: [&str; 10] = [
+    "200", "400", "403", "404", "405", "408", "413", "429", "500", "503",
+];
+/// Work shed by overload admission control, by `route`: `connection`
+/// (the accept loop refused to queue a connection past the
+/// `--max-connections` pool bound) or a heavy route name (`sample`,
+/// `fit` — a request refused at the per-route `--max-inflight` cap).
+/// Every shed is answered `503` with `Retry-After` instead of queuing.
+pub const SERVER_SHED_TOTAL: &str = "server_shed_total";
+/// The `route` label values of [`SERVER_SHED_TOTAL`].
+pub const SHED_ROUTES: [&str; 3] = ["connection", "sample", "fit"];
+/// Requests cut off by a read deadline, by `phase`: `head` (request
+/// line + headers stalled past the head deadline — the slowloris
+/// defense) or `body` (a declared body stopped arriving). Both are
+/// answered `408` and the connection is closed.
+pub const SERVE_TIMEOUTS_TOTAL: &str = "serve_timeouts_total";
+/// The `phase` label values of [`SERVE_TIMEOUTS_TOTAL`].
+pub const TIMEOUT_PHASES: [&str; 2] = ["head", "body"];
+/// Models removed via `DELETE /v1/models/{id}` (cache entry evicted,
+/// artifact unlinked, id tombstoned until the removal is confirmed).
+pub const REGISTRY_DELETES_TOTAL: &str = "registry_deletes_total";
 
 /// Synthetic rows emitted, by sampling `profile` (pipeline and serving).
 pub const SAMPLING_PROFILE_ROWS_TOTAL: &str = "sampling_profile_rows_total";
@@ -175,8 +197,15 @@ pub fn register_taxonomy(registry: &MetricsRegistry) {
             );
         }
     }
+    for route in SHED_ROUTES {
+        registry.ensure_counter(SERVER_SHED_TOTAL, &[("route", route)], Unit::Count);
+    }
+    for phase in TIMEOUT_PHASES {
+        registry.ensure_counter(SERVE_TIMEOUTS_TOTAL, &[("phase", phase)], Unit::Count);
+    }
     registry.ensure_gauge(REGISTRY_MODELS_LOADED, &[], Unit::Count);
     registry.ensure_counter(REGISTRY_CACHE_EVICTIONS_TOTAL, &[], Unit::Count);
+    registry.ensure_counter(REGISTRY_DELETES_TOTAL, &[], Unit::Count);
     // Tenant names are deployment config; pre-create the label the
     // daemon uses when no tenant file is configured.
     registry.ensure_counter(
@@ -209,6 +238,29 @@ mod tests {
         assert!(first.entries.len() > 40, "{}", first.entries.len());
         register_taxonomy(&r);
         assert_eq!(r.snapshot(), first);
+    }
+
+    #[test]
+    fn taxonomy_carries_the_overload_and_lifecycle_series() {
+        let r = MetricsRegistry::new();
+        register_taxonomy(&r);
+        let snap = r.snapshot();
+        for route in SHED_ROUTES {
+            let id = format!("{SERVER_SHED_TOTAL}{{route=\"{route}\"}}");
+            assert!(snap.get(&id).is_some(), "missing {id}");
+        }
+        for phase in TIMEOUT_PHASES {
+            let id = format!("{SERVE_TIMEOUTS_TOTAL}{{phase=\"{phase}\"}}");
+            assert!(snap.get(&id).is_some(), "missing {id}");
+        }
+        assert!(snap.get(REGISTRY_DELETES_TOTAL).is_some());
+        // The shed/timeout answer codes are part of the status set.
+        for status in ["408", "503"] {
+            assert!(SERVE_STATUSES.contains(&status), "missing status {status}");
+            let id = format!("serve_requests_total{{endpoint=\"other\",status=\"{status}\"}}");
+            assert!(snap.get(&id).is_some(), "missing {id}");
+        }
+        assert!(SERVE_ENDPOINTS.contains(&"delete"));
     }
 
     #[test]

@@ -313,6 +313,55 @@ type PoolJob = Box<dyn FnOnce() + Send + 'static>;
 pub struct TaskPool {
     queue: Option<std::sync::mpsc::Sender<PoolJob>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    pending: std::sync::Arc<AtomicUsize>,
+}
+
+/// A bounded submission was refused: the pool already had `pending`
+/// jobs queued or running, at or above the caller's `depth` bound.
+/// The job was **not** enqueued; the caller sheds it (a serving
+/// front-end answers 503) instead of queueing unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSaturated {
+    /// Jobs queued or running at the moment of refusal.
+    pub pending: usize,
+    /// The caller's bound.
+    pub depth: usize,
+}
+
+impl std::fmt::Display for PoolSaturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task pool saturated: {} jobs pending at depth bound {}",
+            self.pending, self.depth
+        )
+    }
+}
+
+impl std::error::Error for PoolSaturated {}
+
+/// A reserved pending slot of a [`TaskPool`], returned by
+/// [`TaskPool::try_reserve`]. Consume it with [`PoolPermit::submit`];
+/// dropping it unused releases the slot.
+pub struct PoolPermit<'a> {
+    pool: &'a TaskPool,
+    armed: bool,
+}
+
+impl PoolPermit<'_> {
+    /// Enqueues `job` against the reserved slot.
+    pub fn submit(mut self, job: impl FnOnce() + Send + 'static) {
+        self.armed = false;
+        self.pool.send_reserved(Box::new(job));
+    }
+}
+
+impl Drop for PoolPermit<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.pool.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
 }
 
 impl TaskPool {
@@ -351,6 +400,7 @@ impl TaskPool {
         Self {
             queue: Some(tx),
             workers: handles,
+            pending: std::sync::Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -359,14 +409,86 @@ impl TaskPool {
         self.workers.len()
     }
 
+    /// Jobs currently queued or running (submitted but not finished).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
     /// Enqueues `job`; some worker will run it. Never blocks on the
-    /// workers (the queue is unbounded — callers wanting back-pressure
-    /// bound their own accept loop).
+    /// workers and never refuses — the queue is unbounded. Callers
+    /// wanting back-pressure use [`TaskPool::try_reserve`] /
+    /// [`TaskPool::try_submit`] instead.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.send_reserved(Box::new(job));
+    }
+
+    /// Reserves a pending slot if fewer than `depth` jobs are queued
+    /// or running, refusing with [`PoolSaturated`] otherwise. The
+    /// reservation counts toward [`TaskPool::pending`] until the
+    /// permit is submitted (and its job finishes) or dropped — so a
+    /// caller can decide what to move into the job *after* admission
+    /// (a serving accept loop sheds the connection on refusal instead
+    /// of losing it inside a rejected closure).
+    pub fn try_reserve(&self, depth: usize) -> Result<PoolPermit<'_>, PoolSaturated> {
+        let depth = depth.max(1);
+        let mut current = self.pending.load(Ordering::Acquire);
+        loop {
+            if current >= depth {
+                return Err(PoolSaturated {
+                    pending: current,
+                    depth,
+                });
+            }
+            match self.pending.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Ok(PoolPermit {
+                        pool: self,
+                        armed: true,
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Bounded-depth submission: enqueues `job` if fewer than `depth`
+    /// jobs are queued or running, refusing with [`PoolSaturated`]
+    /// (and dropping `job`) otherwise. Convenience over
+    /// [`TaskPool::try_reserve`] for jobs that own nothing worth
+    /// salvaging on refusal.
+    pub fn try_submit(
+        &self,
+        depth: usize,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Result<(), PoolSaturated> {
+        let permit = self.try_reserve(depth)?;
+        permit.submit(job);
+        Ok(())
+    }
+
+    /// Sends a job whose pending slot is already counted; the wrapper
+    /// releases the slot when the job finishes, even by panic.
+    fn send_reserved(&self, job: PoolJob) {
+        struct SlotGuard(std::sync::Arc<AtomicUsize>);
+        impl Drop for SlotGuard {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        let guard = SlotGuard(std::sync::Arc::clone(&self.pending));
         self.queue
             .as_ref()
             .expect("pool queue open until drop")
-            .send(Box::new(job))
+            .send(Box::new(move || {
+                let _slot = guard;
+                job();
+            }))
             .expect("pool workers outlive the queue");
     }
 }
@@ -651,6 +773,123 @@ mod tests {
         }
         // 4 of 20 panic; the other 16 still run to completion.
         assert_eq!(done.load(Ordering::SeqCst), 16);
+    }
+
+    /// Polls until the pool's pending count drains to `want` (bounded
+    /// wait; the jobs in these tests finish in microseconds once
+    /// released).
+    fn wait_pending(pool: &TaskPool, want: usize) {
+        for _ in 0..2000 {
+            if pool.pending() == want {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("pool never drained to {want} (pending={})", pool.pending());
+    }
+
+    #[test]
+    fn try_submit_saturates_at_depth_one_and_recovers_after_drain() {
+        use std::sync::mpsc::channel;
+        let pool = TaskPool::new(2);
+        let (release, gate) = channel::<()>();
+        let (started_tx, started) = channel::<()>();
+        pool.try_submit(1, move || {
+            started_tx.send(()).unwrap();
+            gate.recv().unwrap();
+        })
+        .expect("empty pool admits at depth 1");
+        started
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("job runs");
+
+        // One job in flight: depth 1 refuses, naming both numbers.
+        let refused = pool.try_submit(1, || {}).unwrap_err();
+        assert_eq!(
+            refused,
+            PoolSaturated {
+                pending: 1,
+                depth: 1
+            }
+        );
+        assert!(refused.to_string().contains("depth bound 1"), "{refused}");
+        // Depth 0 is clamped to 1, never a free pass.
+        assert!(pool.try_submit(0, || {}).is_err());
+        // The unbounded path still accepts (and raises pending).
+        let (done_tx, done) = channel::<()>();
+        pool.execute(move || done_tx.send(()).unwrap());
+        done.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("unbounded job still runs");
+
+        // Draining the blocked job reopens bounded admission.
+        release.send(()).unwrap();
+        wait_pending(&pool, 0);
+        assert!(pool.try_submit(1, || {}).is_ok());
+        wait_pending(&pool, 0);
+    }
+
+    #[test]
+    fn try_submit_counts_queued_and_running_jobs_at_depth_four() {
+        use std::sync::mpsc::channel;
+        use std::sync::Arc;
+        // One worker: job 1 runs, jobs 2-4 queue; all four count.
+        let pool = TaskPool::new(1);
+        let (release, gate) = channel::<()>();
+        let gate = Arc::new(std::sync::Mutex::new(gate));
+        let (started_tx, started) = channel::<()>();
+        for i in 0..4 {
+            let gate = Arc::clone(&gate);
+            let started_tx = started_tx.clone();
+            pool.try_submit(4, move || {
+                if i == 0 {
+                    started_tx.send(()).unwrap();
+                }
+                gate.lock().unwrap().recv().unwrap();
+            })
+            .unwrap_or_else(|e| panic!("job {i} refused: {e}"));
+        }
+        started
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("first job running");
+        assert_eq!(pool.pending(), 4);
+        let refused = pool.try_submit(4, || {}).unwrap_err();
+        assert_eq!(
+            refused,
+            PoolSaturated {
+                pending: 4,
+                depth: 4
+            }
+        );
+        // A larger bound still admits over the same backlog.
+        let (done_tx, done) = channel::<()>();
+        pool.try_submit(5, move || done_tx.send(()).unwrap())
+            .expect("depth 5 admits the fifth job");
+        for _ in 0..5 {
+            release.send(()).unwrap();
+        }
+        done.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("backlog drains in order");
+        wait_pending(&pool, 0);
+        assert!(pool.try_submit(4, || {}).is_ok());
+        wait_pending(&pool, 0);
+    }
+
+    #[test]
+    fn dropped_permit_releases_its_slot_and_panics_release_too() {
+        let pool = TaskPool::new(1);
+        {
+            let _permit = pool.try_reserve(1).expect("reserve");
+            assert_eq!(pool.pending(), 1);
+            assert!(pool.try_reserve(1).is_err(), "slot held by live permit");
+        }
+        assert_eq!(pool.pending(), 0, "dropped permit releases");
+
+        // A panicking job must release its slot on unwind.
+        pool.try_submit(1, || panic!("job panics"))
+            .expect("admitted before the panic");
+        wait_pending(&pool, 0);
+        assert!(pool.try_submit(1, || {}).is_ok());
+        wait_pending(&pool, 0);
     }
 
     #[test]

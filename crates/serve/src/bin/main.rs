@@ -5,6 +5,9 @@
 //!                [--tenants budgets.conf] [--default-epsilon 10]
 //!                [--cache-cap 8] [--max-body-bytes 8388608]
 //!                [--pool 4] [--workers 1] [--max-rows 10000000]
+//!                [--max-connections 256] [--max-inflight 64]
+//!                [--read-timeout-ms 5000] [--write-timeout-ms 10000]
+//!                [--head-timeout-ms 10000] [--body-timeout-ms 60000]
 //! ```
 //!
 //! Prints one `listening on http://ADDR` line once the socket is bound
@@ -33,7 +36,10 @@ fn print_usage() {
     println!(
         "usage: dpcopula-serve --model-dir DIR [--addr HOST:PORT] [--tenants FILE]\n\
          \x20                     [--default-epsilon EPS] [--cache-cap N] [--max-body-bytes N]\n\
-         \x20                     [--pool N] [--workers N] [--max-rows N]"
+         \x20                     [--pool N] [--workers N] [--max-rows N]\n\
+         \x20                     [--max-connections N] [--max-inflight N]\n\
+         \x20                     [--read-timeout-ms N] [--write-timeout-ms N]\n\
+         \x20                     [--head-timeout-ms N] [--body-timeout-ms N]"
     );
 }
 
@@ -65,6 +71,25 @@ fn parse_flags(args: &[String]) -> Result<ServeConfig, String> {
             "--pool" => config.pool_workers = parse_usize(value("--pool")?, "--pool")?,
             "--workers" => config.sample_workers = parse_usize(value("--workers")?, "--workers")?,
             "--max-rows" => config.max_rows = parse_usize(value("--max-rows")?, "--max-rows")?,
+            "--max-connections" => {
+                config.max_connections =
+                    parse_usize(value("--max-connections")?, "--max-connections")?
+            }
+            "--max-inflight" => {
+                config.max_inflight = parse_usize(value("--max-inflight")?, "--max-inflight")?
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout = parse_ms(value("--read-timeout-ms")?, "--read-timeout-ms")?
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout = parse_ms(value("--write-timeout-ms")?, "--write-timeout-ms")?
+            }
+            "--head-timeout-ms" => {
+                config.head_timeout = parse_ms(value("--head-timeout-ms")?, "--head-timeout-ms")?
+            }
+            "--body-timeout-ms" => {
+                config.body_timeout = parse_ms(value("--body-timeout-ms")?, "--body-timeout-ms")?
+            }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
@@ -75,6 +100,16 @@ fn parse_flags(args: &[String]) -> Result<ServeConfig, String> {
 fn parse_usize(raw: &str, flag: &str) -> Result<usize, String> {
     raw.parse()
         .map_err(|_| format!("unparseable {flag} `{raw}`"))
+}
+
+fn parse_ms(raw: &str, flag: &str) -> Result<std::time::Duration, String> {
+    let ms: u64 = raw
+        .parse()
+        .map_err(|_| format!("unparseable {flag} `{raw}`"))?;
+    if ms == 0 {
+        return Err(format!("{flag} must be at least 1 millisecond"));
+    }
+    Ok(std::time::Duration::from_millis(ms))
 }
 
 fn serve(config: ServeConfig) -> Result<(), String> {

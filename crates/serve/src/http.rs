@@ -9,11 +9,46 @@
 //! beyond the configured cap is rejected with
 //! [`HttpError::PayloadTooLarge`] without reading it, and header blocks
 //! are capped at [`MAX_HEAD_BYTES`].
+//!
+//! Time limits defend the workers: [`ReadLimits`] carries a wall-clock
+//! deadline for the head and one for the body, so a slowloris client
+//! trickling header bytes — or a body that stops arriving — is cut off
+//! with a named `408`-mapped error ([`HttpError::HeadTimeout`] /
+//! [`HttpError::BodyTimeout`]) instead of pinning a pool worker. The
+//! deadlines compose with the socket read timeout: a fully silent peer
+//! is noticed by the socket timeout, a trickling one by the deadline.
 
+use obskit::Stopwatch;
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 /// Maximum bytes of request line + headers accepted per request.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Size and time limits applied while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Hard cap on the declared body size.
+    pub max_body: usize,
+    /// Wall-clock budget for the head (request line + headers),
+    /// measured from the first head byte. `None` disables the check.
+    pub head_deadline: Option<Duration>,
+    /// Wall-clock budget for the body, measured from the end of the
+    /// head. `None` disables the check.
+    pub body_deadline: Option<Duration>,
+}
+
+impl ReadLimits {
+    /// Limits with only the body-size cap (no wall-clock deadlines) —
+    /// what in-memory parsing tests use.
+    pub fn size_only(max_body: usize) -> Self {
+        Self {
+            max_body,
+            head_deadline: None,
+            body_deadline: None,
+        }
+    }
+}
 
 /// One parsed request.
 #[derive(Debug, Clone)]
@@ -78,6 +113,20 @@ pub enum HttpError {
         /// Bytes that actually arrived.
         got: usize,
     },
+    /// The request head (line + headers) did not complete within the
+    /// head deadline — the slowloris signature. → `408`.
+    HeadTimeout {
+        /// Head bytes that had arrived when the deadline fired.
+        got: usize,
+    },
+    /// The declared body stopped arriving (socket read timed out or
+    /// the body deadline fired before `Content-Length` bytes). → `408`.
+    BodyTimeout {
+        /// Bytes the client declared.
+        declared: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for HttpError {
@@ -94,20 +143,47 @@ impl std::fmt::Display for HttpError {
                 f,
                 "request body truncated: Content-Length {declared}, got {got} bytes"
             ),
+            HttpError::HeadTimeout { got } => write!(
+                f,
+                "request head timed out after {got} bytes (slow or stalled client)"
+            ),
+            HttpError::BodyTimeout { declared, got } => write!(
+                f,
+                "request body timed out: Content-Length {declared}, got {got} bytes"
+            ),
         }
     }
 }
 
 impl std::error::Error for HttpError {}
 
-/// Reads one request from `stream`. `reply` is the write half, used only
-/// to acknowledge `Expect: 100-continue` before the body is read.
+/// Whether an I/O error is a socket read timeout (`set_read_timeout`
+/// surfaces as `WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from `stream` under `limits`. `reply` is the write
+/// half, used only to acknowledge `Expect: 100-continue` before the
+/// body is read.
+///
+/// The head deadline is measured from the start of the read, but only
+/// enforced once head bytes have arrived — an idle keep-alive
+/// connection that sends nothing is closed by the socket read timeout
+/// (surfaced as [`HttpError::Closed`]), not blamed with a timeout.
+/// Configure the socket read timeout at or below the head deadline so
+/// idle and stalled connections are told apart correctly.
 pub fn read_request<R: BufRead, W: Write>(
     stream: &mut R,
     reply: &mut W,
-    max_body: usize,
+    limits: ReadLimits,
 ) -> Result<Request, HttpError> {
-    let request_line = read_head_line(stream, 0)?;
+    let max_body = limits.max_body;
+    let watch = Stopwatch::start();
+    let request_line = read_head_line(stream, 0, &watch, limits.head_deadline, true)?;
     if request_line.is_empty() {
         return Err(HttpError::Closed);
     }
@@ -130,7 +206,7 @@ pub fn read_request<R: BufRead, W: Write>(
     let mut headers = Vec::new();
     let mut head_bytes = request_line.len();
     loop {
-        let line = read_head_line(stream, head_bytes)?;
+        let line = read_head_line(stream, head_bytes, &watch, limits.head_deadline, false)?;
         head_bytes += line.len() + 2;
         if line.is_empty() {
             break;
@@ -192,23 +268,26 @@ pub fn read_request<R: BufRead, W: Write>(
             .and_then(|()| reply.flush())
             .map_err(HttpError::Io)?;
     }
+    let body_watch = Stopwatch::start();
     let mut body = vec![0u8; declared];
     let mut got = 0;
     while got < declared {
         match stream.read(&mut body[got..]) {
             Ok(0) => return Err(HttpError::TruncatedBody { declared, got }),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            // A read timeout mid-body is a truncated upload, not an
-            // idle connection.
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                return Err(HttpError::TruncatedBody { declared, got })
+            Ok(n) => {
+                got += n;
+                // A body that keeps trickling still has to finish
+                // within the body deadline.
+                if let Some(d) = limits.body_deadline {
+                    if got < declared && body_watch.elapsed() >= d {
+                        return Err(HttpError::BodyTimeout { declared, got });
+                    }
+                }
             }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A read timeout mid-body: the declared bytes stopped
+            // arriving — the peer is stalled, not idle.
+            Err(e) if is_timeout(&e) => return Err(HttpError::BodyTimeout { declared, got }),
             Err(e) => return Err(HttpError::Io(e)),
         }
     }
@@ -216,14 +295,35 @@ pub fn read_request<R: BufRead, W: Write>(
 }
 
 /// Reads one CRLF-terminated head line (request line or header),
-/// rejecting heads that exceed [`MAX_HEAD_BYTES`] in total.
-fn read_head_line<R: BufRead>(stream: &mut R, already: usize) -> Result<String, HttpError> {
+/// rejecting heads that exceed [`MAX_HEAD_BYTES`] in total or stall
+/// past `deadline` on `watch`. `first` marks the request line: a
+/// socket timeout before any byte of it is an idle keep-alive
+/// connection ([`HttpError::Closed`]), not a stalled head.
+fn read_head_line<R: BufRead>(
+    stream: &mut R,
+    already: usize,
+    watch: &Stopwatch,
+    deadline: Option<Duration>,
+    first: bool,
+) -> Result<String, HttpError> {
     use std::io::Read as _;
     let budget = MAX_HEAD_BYTES.saturating_sub(already);
     let mut line = Vec::new();
     // Byte-at-a-time via BufRead is buffered; heads are tiny.
     for byte in stream.bytes() {
-        let b = byte.map_err(HttpError::Io)?;
+        let b = match byte {
+            Ok(b) => b,
+            Err(e) if is_timeout(&e) => {
+                if first && already == 0 && line.is_empty() {
+                    // Nothing of the request arrived: idle, not slow.
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::HeadTimeout {
+                    got: already + line.len(),
+                });
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
         if b == b'\n' {
             if line.last() == Some(&b'\r') {
                 line.pop();
@@ -237,6 +337,15 @@ fn read_head_line<R: BufRead>(stream: &mut R, already: usize) -> Result<String, 
             return Err(HttpError::BadRequest {
                 reason: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
             });
+        }
+        // Enforced only once bytes have arrived: the deadline cuts off
+        // trickling (slowloris) heads, never a quiet keep-alive wait.
+        if let Some(d) = deadline {
+            if watch.elapsed() >= d {
+                return Err(HttpError::HeadTimeout {
+                    got: already + line.len(),
+                });
+            }
         }
     }
     if line.is_empty() {
@@ -256,6 +365,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written verbatim after
+    /// the standard set — `Retry-After` on shed responses.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -266,6 +378,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -275,6 +388,7 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -284,8 +398,15 @@ impl Response {
         Self {
             status: 200,
             content_type: "text/csv",
+            headers: Vec::new(),
             body,
         }
+    }
+
+    /// Adds an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// A JSON error body `{"error": reason}` with extra fields appended
@@ -304,14 +425,21 @@ impl Response {
     /// Writes the framed response. `keep_alive` picks the `Connection`
     /// header; the caller closes the stream when it is `false`.
     pub fn write_to<W: Write>(&self, stream: &mut W, keep_alive: bool) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
@@ -326,8 +454,10 @@ pub fn reason_phrase(status: u16) -> &'static str {
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        503 => "Service Unavailable",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
@@ -340,7 +470,11 @@ mod tests {
 
     fn parse(raw: &[u8]) -> Result<Request, HttpError> {
         let mut sink = Vec::new();
-        read_request(&mut BufReader::new(raw), &mut sink, 1024)
+        read_request(
+            &mut BufReader::new(raw),
+            &mut sink,
+            ReadLimits::size_only(1024),
+        )
     }
 
     #[test]
@@ -412,9 +546,30 @@ mod tests {
     fn expect_100_continue_is_acknowledged() {
         let raw = b"POST /v1/fit HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\nok";
         let mut ack = Vec::new();
-        let r = read_request(&mut BufReader::new(&raw[..]), &mut ack, 1024).unwrap();
+        let r = read_request(
+            &mut BufReader::new(&raw[..]),
+            &mut ack,
+            ReadLimits::size_only(1024),
+        )
+        .unwrap();
         assert_eq!(r.body, b"ok");
         assert_eq!(ack, b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_before_the_blank_line() {
+        let mut out = Vec::new();
+        Response::error(503, "shed", &[])
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(head.contains("\r\nRetry-After: 1"), "{text}");
     }
 
     #[test]

@@ -18,8 +18,9 @@ use dpcopula::{DpCopulaError, FittedModel};
 use modelstore::crc32::fnv1a64;
 use modelstore::format::StoreError;
 use obskit::{names, MetricsSink, Unit};
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 
 /// Everything `get`/`list` can fail with, each mapped to one HTTP
 /// status by the server.
@@ -97,6 +98,11 @@ struct CacheEntry {
 struct CacheState {
     entries: Vec<CacheEntry>,
     clock: u64,
+    /// Ids whose artifact is being (or failed to finish being) removed
+    /// from disk: `get` answers 404 for these even if the file is still
+    /// present, and decode results are not re-cached. Cleared once the
+    /// file is confirmed gone, or by `insert` (a refit revives the id).
+    tombstones: HashSet<String>,
 }
 
 /// Checksum-keyed LRU of decoded models over a watched directory.
@@ -105,6 +111,10 @@ pub struct ModelRegistry {
     capacity: usize,
     sink: MetricsSink,
     cache: Mutex<CacheState>,
+    /// Per-id single-flight guards: concurrent `get`s for the same id
+    /// decode once, the losers wait and then take the cache hit. Weak
+    /// so an entry dies with its last in-flight request.
+    flights: Mutex<HashMap<String, Weak<Mutex<()>>>>,
 }
 
 /// Whether `id` is safe to splice into a filename (also the charset
@@ -127,7 +137,9 @@ impl ModelRegistry {
             cache: Mutex::new(CacheState {
                 entries: Vec::new(),
                 clock: 0,
+                tombstones: HashSet::new(),
             }),
+            flights: Mutex::new(HashMap::new()),
         }
     }
 
@@ -149,10 +161,23 @@ impl ModelRegistry {
             return Err(RegistryError::InvalidModelId { id: id.into() });
         }
         let path = self.path_for(id);
+        if self.lookup(id, None).is_err() {
+            // Tombstoned: the artifact is being deleted. 404 even if
+            // the file still lingers on disk.
+            return Err(RegistryError::UnknownModel { id: id.into() });
+        }
+        // Single-flight per id: one decode, concurrent callers wait
+        // and then take the cache hit. The guard covers the file read
+        // too, so delete-then-get interleavings stay deterministic.
+        let flight = self.flight_for(id);
+        let _decode_guard = flight.lock().expect("registry flight poisoned");
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(RegistryError::UnknownModel { id: id.into() })
+                // Confirmed gone: drop any stale cache entry (and
+                // tombstone) so the registry converges to "absent".
+                self.forget(id);
+                return Err(RegistryError::UnknownModel { id: id.into() });
             }
             Err(e) => {
                 return Err(RegistryError::Io {
@@ -162,18 +187,10 @@ impl ModelRegistry {
             }
         };
         let key = fnv1a64(&bytes);
-        {
-            let mut cache = self.cache.lock().expect("registry cache poisoned");
-            let clock = cache.clock + 1;
-            cache.clock = clock;
-            if let Some(entry) = cache
-                .entries
-                .iter_mut()
-                .find(|e| e.id == id && e.key == key)
-            {
-                entry.stamp = clock;
-                return Ok(Arc::clone(&entry.model));
-            }
+        match self.lookup(id, Some(key)) {
+            Ok(Some(model)) => return Ok(model),
+            Ok(None) => {}
+            Err(()) => return Err(RegistryError::UnknownModel { id: id.into() }),
         }
         // Decode outside the cache lock: a slow decode must not stall
         // cache hits for other models.
@@ -193,8 +210,96 @@ impl ModelRegistry {
             })?;
         model.set_metrics_sink(self.sink.clone());
         let model = Arc::new(model);
-        self.insert_cached(id, key, Arc::clone(&model));
+        self.insert_cached(id, key, Arc::clone(&model), false);
         Ok(model)
+    }
+
+    /// Deletes `{id}.dpcm` and invalidates the cache. The entry is
+    /// tombstoned (served as 404) from the moment the call starts until
+    /// the file is confirmed gone; in-flight samples holding the old
+    /// `Arc` finish safely on their own copy. Returns `UnknownModel`
+    /// when there was nothing to delete.
+    pub fn delete(&self, id: &str) -> Result<(), RegistryError> {
+        if !valid_model_id(id) {
+            return Err(RegistryError::InvalidModelId { id: id.into() });
+        }
+        {
+            let mut cache = self.cache.lock().expect("registry cache poisoned");
+            cache.entries.retain(|e| e.id != id);
+            cache.tombstones.insert(id.to_string());
+            self.sink.gauge_set(
+                names::REGISTRY_MODELS_LOADED,
+                Unit::Count,
+                cache.entries.len() as u64,
+            );
+        }
+        let path = self.path_for(id);
+        match std::fs::remove_file(&path) {
+            Ok(()) => {
+                self.forget(id);
+                self.sink.add(names::REGISTRY_DELETES_TOTAL, Unit::Count, 1);
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.forget(id);
+                Err(RegistryError::UnknownModel { id: id.into() })
+            }
+            // Removal unconfirmed: the tombstone stays, so the id keeps
+            // answering 404 until a retry or a refit resolves it.
+            Err(e) => Err(RegistryError::Io {
+                path: path.display().to_string(),
+                source: e,
+            }),
+        }
+    }
+
+    /// Cache probe under one lock: `Err(())` if tombstoned, a hit when
+    /// `key` matches, `Ok(None)` otherwise (also when `key` is `None`,
+    /// which only checks the tombstone).
+    #[allow(clippy::result_unit_err)]
+    fn lookup(&self, id: &str, key: Option<u64>) -> Result<Option<Arc<FittedModel>>, ()> {
+        let mut cache = self.cache.lock().expect("registry cache poisoned");
+        if cache.tombstones.contains(id) {
+            return Err(());
+        }
+        let Some(key) = key else { return Ok(None) };
+        let clock = cache.clock + 1;
+        cache.clock = clock;
+        if let Some(entry) = cache
+            .entries
+            .iter_mut()
+            .find(|e| e.id == id && e.key == key)
+        {
+            entry.stamp = clock;
+            return Ok(Some(Arc::clone(&entry.model)));
+        }
+        Ok(None)
+    }
+
+    /// Clears the tombstone and any cache entry for `id`: the artifact
+    /// is confirmed absent from disk.
+    fn forget(&self, id: &str) {
+        let mut cache = self.cache.lock().expect("registry cache poisoned");
+        cache.tombstones.remove(id);
+        cache.entries.retain(|e| e.id != id);
+        self.sink.gauge_set(
+            names::REGISTRY_MODELS_LOADED,
+            Unit::Count,
+            cache.entries.len() as u64,
+        );
+    }
+
+    /// The single-flight guard for `id`, creating (and pruning dead)
+    /// entries as needed.
+    fn flight_for(&self, id: &str) -> Arc<Mutex<()>> {
+        let mut flights = self.flights.lock().expect("registry flights poisoned");
+        if let Some(flight) = flights.get(id).and_then(Weak::upgrade) {
+            return flight;
+        }
+        flights.retain(|_, w| w.strong_count() > 0);
+        let flight = Arc::new(Mutex::new(()));
+        flights.insert(id.to_string(), Arc::downgrade(&flight));
+        flight
     }
 
     /// Caches a freshly fitted model under its canonical checksum
@@ -202,11 +307,21 @@ impl ModelRegistry {
     /// does right after writing `{id}.dpcm`.
     pub fn insert(&self, id: &str, model: Arc<FittedModel>) {
         let key = model.artifact().checksum();
-        self.insert_cached(id, key, model);
+        // A refit revives a tombstoned id: the new artifact was just
+        // written, so the pending deletion is superseded.
+        self.insert_cached(id, key, model, true);
     }
 
-    fn insert_cached(&self, id: &str, key: u64, model: Arc<FittedModel>) {
+    fn insert_cached(&self, id: &str, key: u64, model: Arc<FittedModel>, revive: bool) {
         let mut cache = self.cache.lock().expect("registry cache poisoned");
+        if revive {
+            cache.tombstones.remove(id);
+        } else if cache.tombstones.contains(id) {
+            // Deleted while we were decoding: hand the model to the
+            // caller (it already holds the Arc) but don't resurrect it
+            // in the cache.
+            return;
+        }
         let clock = cache.clock + 1;
         cache.clock = clock;
         // A same-id entry with a stale checksum is replaced, not kept
@@ -429,5 +544,58 @@ mod tests {
 
     fn model_bytes(reg: &ModelRegistry) -> Vec<u8> {
         std::fs::read(reg.path_for("fresh")).unwrap()
+    }
+
+    #[test]
+    fn delete_evicts_removes_the_file_and_404s_afterwards() {
+        let dir = temp_dir("delete");
+        let registry = Arc::new(obskit::MetricsRegistry::new());
+        let sink = MetricsSink::to_registry(Arc::clone(&registry));
+        let reg = ModelRegistry::new(&dir, 4, sink);
+        fit_tiny(3).save(reg.path_for("gone")).unwrap();
+        let held = reg.get("gone").unwrap();
+        assert_eq!(reg.cached_models(), 1);
+
+        reg.delete("gone").unwrap();
+        assert!(!reg.path_for("gone").exists());
+        assert_eq!(reg.cached_models(), 0);
+        assert!(matches!(
+            reg.get("gone"),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        // A second delete has nothing to remove.
+        assert!(matches!(
+            reg.delete("gone"),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("registry_deletes_total")
+                .and_then(|e| e.value.as_u64()),
+            Some(1)
+        );
+        // The Arc handed out before the delete still samples fine.
+        assert!(held.artifact().checksum() != 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refit_revives_a_tombstoned_id() {
+        let dir = temp_dir("revive");
+        let reg = ModelRegistry::new(&dir, 4, MetricsSink::off());
+        fit_tiny(4).save(reg.path_for("m")).unwrap();
+        reg.get("m").unwrap();
+        reg.delete("m").unwrap();
+        assert!(matches!(
+            reg.get("m"),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        // A refit (fit handler path: save then insert) brings it back.
+        let model = fit_tiny(5);
+        model.save(reg.path_for("m")).unwrap();
+        reg.insert("m", Arc::new(model));
+        assert!(reg.get("m").is_ok());
+        assert_eq!(reg.cached_models(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,14 +1,33 @@
 //! The daemon: a thread-per-connection HTTP/1.1 server over
 //! [`std::net::TcpListener`], connections dispatched onto a
-//! [`parkit::TaskPool`], routing five endpoints:
+//! [`parkit::TaskPool`], routing six endpoints:
 //!
-//! | route              | what it does                                     |
-//! |--------------------|--------------------------------------------------|
-//! | `GET /healthz`     | liveness: `ok\n`                                 |
-//! | `GET /metrics`     | the full metric taxonomy, Prometheus text        |
-//! | `GET /v1/models`   | watched-directory listing with cache state       |
-//! | `POST /v1/sample`  | row window from a registry model, CSV or JSON    |
-//! | `POST /v1/fit`     | ε-metered fit: CSV in, `.dpcm` + cache entry out |
+//! | route                     | what it does                                     |
+//! |---------------------------|--------------------------------------------------|
+//! | `GET /healthz`            | liveness: `ok\n`                                 |
+//! | `GET /metrics`            | the full metric taxonomy, Prometheus text        |
+//! | `GET /v1/models`          | watched-directory listing with cache state       |
+//! | `POST /v1/sample`         | row window from a registry model, CSV or JSON    |
+//! | `POST /v1/fit`            | ε-metered fit: CSV in, `.dpcm` + cache entry out |
+//! | `DELETE /v1/models/{id}`  | removes the artifact and invalidates the cache   |
+//!
+//! ## Overload behavior
+//!
+//! Admission is bounded at two levels, and excess load is shed fast
+//! with `503` + `Retry-After` instead of queueing unboundedly (the
+//! `server_shed_total{route}` counter records every shed):
+//!
+//! - **Connections**: accepted connections occupy pool slots reserved
+//!   via [`parkit::TaskPool::try_reserve`]; past
+//!   [`ServeConfig::max_connections`] the accept thread writes the 503
+//!   itself and closes.
+//! - **Requests**: `/v1/sample` and `/v1/fit` each pass a per-route
+//!   in-flight gate capped at [`ServeConfig::max_inflight`].
+//!
+//! Slow clients cannot pin workers: sockets carry read/write timeouts,
+//! and the request head and body each have a wall-clock deadline —
+//! exceeding one yields a named `408` (counted in
+//! `serve_timeouts_total{phase}`) and the connection closes.
 //!
 //! ## ε admission
 //!
@@ -28,7 +47,7 @@
 //! window sampled in-process, at any worker count.
 
 use crate::budget::{BudgetGate, GateError, DEFAULT_TENANT};
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{read_request, HttpError, ReadLimits, Request, Response};
 use crate::json::{quote, Json};
 use crate::registry::{valid_model_id, ModelRegistry, RegistryError};
 use dpcopula::{DpCopulaConfig, DpCopulaError, SamplingProfile, SynthesisRequest};
@@ -37,7 +56,7 @@ use obskit::{names, MetricsRegistry, MetricsSink, Stopwatch, Unit};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -66,6 +85,26 @@ pub struct ServeConfig {
     pub sample_workers: usize,
     /// Hard cap on rows per sample request.
     pub max_rows: usize,
+    /// Connections admitted at once (queued + running); excess is shed
+    /// with `503` + `Retry-After` from the accept thread.
+    pub max_connections: usize,
+    /// In-flight requests per gated route (`sample`, `fit`); excess is
+    /// shed with `503` + `Retry-After`.
+    pub max_inflight: usize,
+    /// Socket read timeout — how long one blocking read may wait. Also
+    /// how long an idle keep-alive connection may sit between requests.
+    pub read_timeout: Duration,
+    /// Socket write timeout — a client that stops reading its response
+    /// loses the connection after this long.
+    pub write_timeout: Duration,
+    /// Wall-clock deadline for receiving a complete request head once
+    /// its first byte has arrived (slowloris defense).
+    pub head_timeout: Duration,
+    /// Wall-clock deadline for receiving a complete declared body.
+    pub body_timeout: Duration,
+    /// How long shutdown waits for in-flight connections to finish
+    /// before abandoning them.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +119,13 @@ impl Default for ServeConfig {
             pool_workers: 4,
             sample_workers: 1,
             max_rows: 10_000_000,
+            max_connections: 256,
+            max_inflight: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(10),
+            head_timeout: Duration::from_secs(10),
+            body_timeout: Duration::from_secs(60),
+            drain_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -143,7 +189,55 @@ struct ServerState {
     max_body_bytes: usize,
     sample_workers: usize,
     max_rows: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    head_timeout: Duration,
+    body_timeout: Duration,
+    sample_gate: InflightGate,
+    fit_gate: InflightGate,
     stop: Arc<AtomicBool>,
+}
+
+/// A CAS-bounded in-flight counter: one per shed-gated route.
+struct InflightGate {
+    inflight: AtomicUsize,
+    cap: usize,
+}
+
+/// RAII slot in an [`InflightGate`], released on drop.
+struct InflightPermit<'a>(&'a InflightGate);
+
+impl InflightGate {
+    fn new(cap: usize) -> Self {
+        Self {
+            inflight: AtomicUsize::new(0),
+            cap: cap.max(1),
+        }
+    }
+
+    fn try_acquire(&self) -> Option<InflightPermit<'_>> {
+        let mut current = self.inflight.load(Ordering::Acquire);
+        loop {
+            if current >= self.cap {
+                return None;
+            }
+            match self.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(InflightPermit(self)),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks; use
@@ -152,6 +246,8 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
     pool_workers: usize,
+    max_connections: usize,
+    drain_deadline: Duration,
 }
 
 /// Stops a running [`Server`] from another thread.
@@ -215,12 +311,20 @@ impl Server {
             max_body_bytes: config.max_body_bytes,
             sample_workers: config.sample_workers.max(1),
             max_rows: config.max_rows,
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            head_timeout: config.head_timeout,
+            body_timeout: config.body_timeout,
+            sample_gate: InflightGate::new(config.max_inflight),
+            fit_gate: InflightGate::new(config.max_inflight),
             stop: Arc::new(AtomicBool::new(false)),
         });
         Ok(Self {
             listener,
             state,
             pool_workers: config.pool_workers.max(1),
+            max_connections: config.max_connections.max(1),
+            drain_deadline: config.drain_deadline,
         })
     }
 
@@ -238,7 +342,9 @@ impl Server {
     }
 
     /// Accepts connections until shut down, dispatching each onto the
-    /// pool. Blocks the calling thread.
+    /// pool. Blocks the calling thread. Admission is bounded: past
+    /// `max_connections` in flight, new connections get a direct `503`
+    /// from the accept thread instead of a pool slot.
     pub fn run(self) -> Result<(), ServeError> {
         let pool = parkit::TaskPool::new(self.pool_workers);
         for conn in self.listener.incoming() {
@@ -251,32 +357,67 @@ impl Server {
                 // it) must not take the daemon down.
                 Err(_) => continue,
             };
-            let state = Arc::clone(&self.state);
-            pool.execute(move || handle_connection(stream, &state));
+            match pool.try_reserve(self.max_connections) {
+                Ok(permit) => {
+                    let state = Arc::clone(&self.state);
+                    permit.submit(move || handle_connection(stream, &state));
+                }
+                Err(_) => shed_connection(stream, &self.state),
+            }
         }
-        // Dropping the pool drains in-flight connections.
+        // Graceful drain: the listener stops accepting (it is dropped
+        // with `self`), in-flight connections finish, and past the
+        // deadline the pool is abandoned rather than joined — a pinned
+        // worker must not wedge shutdown.
+        let watch = Stopwatch::start();
+        let deadline_ns = self.drain_deadline.as_nanos() as u64;
+        while pool.pending() > 0 && watch.elapsed_ns() < deadline_ns {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if pool.pending() > 0 {
+            std::mem::forget(pool);
+        }
         Ok(())
     }
 }
 
-/// How long an idle keep-alive connection may sit between requests.
-const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Writes the connection-level shed response directly on the accept
+/// thread (bounded by the write timeout) and closes.
+fn shed_connection(mut stream: TcpStream, state: &ServerState) {
+    state.sink.add_labeled(
+        names::SERVER_SHED_TOTAL,
+        &[("route", "connection")],
+        Unit::Count,
+        1,
+    );
+    let _ = stream.set_write_timeout(Some(state.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let _ = Response::error(503, "server at connection capacity", &[])
+        .with_header("Retry-After", "1")
+        .write_to(&mut stream, false);
+}
 
 fn handle_connection(stream: TcpStream, state: &ServerState) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(state.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.write_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let limits = ReadLimits {
+        max_body: state.max_body_bytes,
+        head_deadline: Some(state.head_timeout),
+        body_deadline: Some(state.body_timeout),
+    };
     loop {
         let watch = Stopwatch::start();
-        let request = read_request(&mut reader, &mut writer, state.max_body_bytes);
-        let (endpoint, response, keep_alive) = match &request {
+        let request = read_request(&mut reader, &mut writer, limits);
+        let (endpoint, response, permit, keep_alive) = match &request {
             Ok(req) => {
-                let (endpoint, response) = route(req, state);
-                (endpoint, response, req.keep_alive())
+                let (endpoint, response, permit) = route(req, state);
+                (endpoint, response, permit, req.keep_alive())
             }
             Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
             Err(e @ HttpError::PayloadTooLarge { .. }) => {
@@ -287,15 +428,47 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 if let HttpError::PayloadTooLarge { declared, .. } = e {
                     drain(&mut reader, *declared);
                 }
-                ("other", Response::error(413, &e.to_string(), &[]), false)
+                (
+                    "other",
+                    Response::error(413, &e.to_string(), &[]),
+                    None,
+                    false,
+                )
             }
-            Err(e @ (HttpError::BadRequest { .. } | HttpError::TruncatedBody { .. })) => {
-                ("other", Response::error(400, &e.to_string(), &[]), false)
+            Err(e @ (HttpError::BadRequest { .. } | HttpError::TruncatedBody { .. })) => (
+                "other",
+                Response::error(400, &e.to_string(), &[]),
+                None,
+                false,
+            ),
+            Err(e @ (HttpError::HeadTimeout { .. } | HttpError::BodyTimeout { .. })) => {
+                let phase = match e {
+                    HttpError::HeadTimeout { .. } => "head",
+                    _ => "body",
+                };
+                state.sink.add_labeled(
+                    names::SERVE_TIMEOUTS_TOTAL,
+                    &[("phase", phase)],
+                    Unit::Count,
+                    1,
+                );
+                (
+                    "other",
+                    Response::error(408, &e.to_string(), &[]),
+                    None,
+                    false,
+                )
             }
         };
+        // The in-flight permit (if the route took one) is held across
+        // the response write: a slow-reading client keeps occupying its
+        // slot until its bytes are actually delivered.
         let ok = response.write_to(&mut writer, keep_alive).is_ok();
+        drop(permit);
         record_request(state, endpoint, response.status, &watch);
-        if !ok || !keep_alive {
+        // A draining server closes keep-alive connections at the next
+        // request boundary.
+        if !ok || !keep_alive || state.stop.load(Ordering::SeqCst) {
             return;
         }
     }
@@ -332,18 +505,44 @@ fn record_request(state: &ServerState, endpoint: &str, status: u16, watch: &Stop
     );
 }
 
-/// Dispatches one request; returns the endpoint label (for metrics) and
-/// the response.
-fn route(req: &Request, state: &ServerState) -> (&'static str, Response) {
+/// Dispatches one request; returns the endpoint label (for metrics),
+/// the response, and — for gated routes — the in-flight permit, which
+/// the caller holds until the response bytes are written.
+fn route<'a>(
+    req: &Request,
+    state: &'a ServerState,
+) -> (&'static str, Response, Option<InflightPermit<'a>>) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n".into())),
+        ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n".into()), None),
         ("GET", "/metrics") => (
             "metrics",
             Response::text(200, state.metrics.snapshot().to_prometheus()),
+            None,
         ),
-        ("GET", "/v1/models") => ("models", handle_models(state)),
-        ("POST", "/v1/sample") => ("sample", handle_sample(req, state)),
-        ("POST", "/v1/fit") => ("fit", handle_fit(req, state)),
+        ("GET", "/v1/models") => ("models", handle_models(state), None),
+        ("POST", "/v1/sample") => {
+            let (response, permit) = gated(state, "sample", &state.sample_gate, || {
+                handle_sample(req, state)
+            });
+            ("sample", response, permit)
+        }
+        ("POST", "/v1/fit") => {
+            let (response, permit) =
+                gated(state, "fit", &state.fit_gate, || handle_fit(req, state));
+            ("fit", response, permit)
+        }
+        (method, path) if path.starts_with("/v1/models/") => {
+            let id = &path["/v1/models/".len()..];
+            if method == "DELETE" {
+                ("delete", handle_delete(id, state), None)
+            } else {
+                (
+                    "delete",
+                    Response::error(405, &format!("method {method} not allowed"), &[]),
+                    None,
+                )
+            }
+        }
         (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/sample" | "/v1/fit") => {
             let endpoint = match req.path.as_str() {
                 "/healthz" => "healthz",
@@ -355,12 +554,53 @@ fn route(req: &Request, state: &ServerState) -> (&'static str, Response) {
             (
                 endpoint,
                 Response::error(405, &format!("method {} not allowed", req.method), &[]),
+                None,
             )
         }
         _ => (
             "other",
             Response::error(404, &format!("no route for {}", req.path), &[]),
+            None,
         ),
+    }
+}
+
+/// Runs `f` under a route's in-flight gate, or sheds with `503` +
+/// `Retry-After` when the gate is full. On admission the permit is
+/// returned alongside the response so the slot stays occupied through
+/// response delivery, not just handler execution.
+fn gated<'a, F: FnOnce() -> Response>(
+    state: &ServerState,
+    route: &'static str,
+    gate: &'a InflightGate,
+    f: F,
+) -> (Response, Option<InflightPermit<'a>>) {
+    match gate.try_acquire() {
+        Some(permit) => (f(), Some(permit)),
+        None => {
+            state.sink.add_labeled(
+                names::SERVER_SHED_TOTAL,
+                &[("route", route)],
+                Unit::Count,
+                1,
+            );
+            (
+                Response::error(
+                    503,
+                    &format!("`{route}` at capacity: {} requests in flight", gate.cap),
+                    &[],
+                )
+                .with_header("Retry-After", "1"),
+                None,
+            )
+        }
+    }
+}
+
+fn handle_delete(id: &str, state: &ServerState) -> Response {
+    match state.registry.delete(id) {
+        Ok(()) => Response::json(200, format!("{{\"deleted\":{}}}\n", quote(id))),
+        Err(e) => registry_error_response(&e),
     }
 }
 

@@ -159,6 +159,69 @@ kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 
+echo "==> faults tier: deterministic fault-injection suite"
+# Every faultline fault (slowloris head, stalled body, mid-body cut,
+# split writes, seeded floods) must map to its pinned status code and
+# metrics delta. This is the same binary `cargo test` already ran; the
+# explicit invocation keeps the tier addressable on its own.
+cargo test -q --offline -p integration-tests --test serving_faults
+
+echo "==> faults tier: overload shed + lifecycle smoke against the live daemon"
+# A daemon with a deliberately tiny sample gate, hit by 12 concurrent
+# samples big enough to overlap: some must be admitted, the rest must
+# shed as 503s that show up in server_shed_total. Then the model is
+# DELETEd and must 404 afterwards.
+"$CLI" serve --model-dir "$SMOKE/models" --addr 127.0.0.1:0 --max-inflight 2 \
+    > "$SMOKE/faults.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's#^listening on http://##p' "$SMOKE/faults.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "    faults daemon never reported its address" >&2
+    cat "$SMOKE/faults.log" >&2
+    exit 1
+fi
+rm -f "$SMOKE"/flood-*.code
+CURL_PIDS=""
+for i in $(seq 1 12); do
+    curl -s -o /dev/null -w '%{http_code}\n' -X POST "http://$ADDR/v1/sample" \
+        -d '{"model":"model","rows":300000}' > "$SMOKE/flood-$i.code" &
+    CURL_PIDS="$CURL_PIDS $!"
+done
+for p in $CURL_PIDS; do wait "$p" || true; done
+ADMITTED="$(cat "$SMOKE"/flood-*.code | grep -c '^200$' || true)"
+SHED="$(cat "$SMOKE"/flood-*.code | grep -c '^503$' || true)"
+if [ "$ADMITTED" -lt 1 ]; then
+    echo "    flood expected at least one admitted sample, got $ADMITTED" >&2
+    exit 1
+fi
+curl -sf "http://$ADDR/metrics" > "$SMOKE/faults.metrics.prom"
+if ! grep -q 'server_shed_total{route="sample"} [1-9]' "$SMOKE/faults.metrics.prom"; then
+    echo "    flood never moved server_shed_total (admitted=$ADMITTED shed=$SHED)" >&2
+    exit 1
+fi
+echo "    flood: $ADMITTED admitted, $SHED shed, counter moved"
+DEL_STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X DELETE \
+    "http://$ADDR/v1/models/model")"
+if [ "$DEL_STATUS" != "200" ]; then
+    echo "    expected 200 deleting the model, got $DEL_STATUS" >&2
+    exit 1
+fi
+GONE_STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    "http://$ADDR/v1/sample" -d '{"model":"model","rows":10}')"
+if [ "$GONE_STATUS" != "404" ]; then
+    echo "    expected 404 sampling a deleted model, got $GONE_STATUS" >&2
+    exit 1
+fi
+echo "    DELETE invalidates the model and later samples 404"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
 echo "==> serve load-test regression gate (HTTP efficiency floor)"
 # bench_serve exits nonzero when end-to-end HTTP sampling throughput
 # falls below 15% of the in-process baseline. QUICK keeps the committed

@@ -341,3 +341,108 @@ fn error_paths_are_typed_and_never_kill_the_daemon() {
     assert!(listing.contains("\"id\":\"good\""), "{listing}");
     assert!(listing.contains("\"id\":\"bad\""), "{listing}");
 }
+
+/// Sends raw bytes on a fresh connection and returns everything the
+/// server answers before closing.
+fn raw_exchange(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(bytes).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    raw
+}
+
+#[test]
+fn request_head_exactly_at_the_cap_parses_and_one_byte_over_is_refused() {
+    use dpcopula_serve::http::MAX_HEAD_BYTES;
+    let server = TestServer::start("headcap", |_| {});
+    // The head budget covers the request-line content plus, per header
+    // line, its content and CRLF — and the final blank line still needs
+    // room for its CR. The longest padding that fits:
+    let overhead =
+        "GET /healthz HTTP/1.1".len() + "X-Pad: ".len() + 2 + "Connection: close".len() + 2 + 1;
+    let pad_max = MAX_HEAD_BYTES - overhead;
+    for (pad, expect) in [(pad_max, 200u16), (pad_max + 1, 400u16)] {
+        let head = format!(
+            "GET /healthz HTTP/1.1\r\nX-Pad: {}\r\nConnection: close\r\n\r\n",
+            "a".repeat(pad)
+        );
+        let (status, body) = parse_response(&raw_exchange(server.addr, head.as_bytes()));
+        assert_eq!(status, expect, "pad {pad}");
+        if expect == 400 {
+            assert!(
+                String::from_utf8_lossy(&body).contains("request head exceeds"),
+                "pad {pad}: {}",
+                String::from_utf8_lossy(&body)
+            );
+        } else {
+            assert_eq!(body, b"ok\n", "pad {pad}");
+        }
+    }
+}
+
+#[test]
+fn pipelined_keep_alive_serves_the_valid_request_then_refuses_the_malformed() {
+    let server = TestServer::start("pipeline", |_| {});
+    // Both requests in one write: the first is valid and keeps the
+    // connection alive, the second is garbage. The server must answer
+    // 200 then 400, then close — not tear down before replying, not
+    // let the garbage poison the first response.
+    let raw = raw_exchange(
+        server.addr,
+        b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nNOT-A-REQUEST\r\n\r\n",
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("ok\n"), "{text}");
+    let second = text
+        .find("HTTP/1.1 400")
+        .expect("second response on the same connection");
+    assert!(text[second..].contains("malformed request line"), "{text}");
+    // The 400 closes the session: no third response, stream ended.
+    assert!(text.ends_with("}\n"), "{text}");
+}
+
+#[test]
+fn content_length_mismatch_with_early_close_is_recorded_and_survivable() {
+    let server = TestServer::start("clmismatch", |_| {});
+
+    // Under-delivery then full close: the client declares 64 bytes,
+    // sends 8, and vanishes. The 400 may be undeliverable, but it is
+    // still typed, counted, and the daemon survives.
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream
+        .write_all(b"POST /v1/sample HTTP/1.1\r\nContent-Length: 64\r\n\r\n{\"model\"")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Both).unwrap();
+    drop(stream);
+    let deadline = 400; // polls of 5ms — the handler races our assert
+    let mut seen = false;
+    for _ in 0..deadline {
+        let (status, metrics) = http(server.addr, "GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        if String::from_utf8_lossy(&metrics)
+            .contains("serve_requests_total{endpoint=\"other\",status=\"400\"} 1")
+        {
+            seen = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(seen, "truncated-body 400 never showed up in /metrics");
+
+    // Over-delivery on keep-alive: 4 declared, 14 sent. The surplus is
+    // parsed as the next pipelined request and refused.
+    let raw = raw_exchange(
+        server.addr,
+        b"GET /healthz HTTP/1.1\r\nContent-Length: 4\r\n\r\nokokEXTRA JUNK\r\n\r\n",
+    );
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("HTTP/1.1 400"), "{text}");
+    assert!(text.contains("malformed request line"), "{text}");
+
+    let (status, body) = http(server.addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+}
