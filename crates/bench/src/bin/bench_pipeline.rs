@@ -9,6 +9,7 @@
 //! `QUICK=1` shrinks the input and sample count for smoke runs.
 
 use datagen::census::us_census;
+use datagen::RowSource;
 use dpcopula::kendall::{dp_correlation_matrix, SamplingStrategy};
 use dpcopula::{DpCopula, DpCopulaConfig, EngineOptions, SamplingProfile, SynthesisRequest};
 use dpmech::Epsilon;
@@ -52,6 +53,52 @@ fn json_stats(s: Stats) -> String {
         "{{\"min_s\": {:.6}, \"median_s\": {:.6}, \"p95_s\": {:.6}}}",
         s.min, s.median, s.p95
     )
+}
+
+/// A [`RowSource`] adapter counting the blocks it forwards and the
+/// largest one seen — the row-buffer census behind the out-of-core
+/// memory gate.
+struct BlockCensus<S> {
+    inner: S,
+    peak_block_rows: usize,
+    blocks: u64,
+}
+
+impl<S: RowSource> BlockCensus<S> {
+    fn new(inner: S) -> Self {
+        Self {
+            inner,
+            peak_block_rows: 0,
+            blocks: 0,
+        }
+    }
+}
+
+impl<S: RowSource> RowSource for BlockCensus<S> {
+    fn attributes(&self) -> &[datagen::Attribute] {
+        self.inner.attributes()
+    }
+
+    fn rewindable(&self) -> bool {
+        self.inner.rewindable()
+    }
+
+    fn next_block(&mut self) -> Result<Option<datagen::Block>, datagen::SourceError> {
+        let block = self.inner.next_block()?;
+        if let Some(b) = &block {
+            self.blocks += 1;
+            self.peak_block_rows = self.peak_block_rows.max(b.rows());
+        }
+        Ok(block)
+    }
+
+    fn rewind(&mut self) -> Result<(), datagen::SourceError> {
+        self.inner.rewind()
+    }
+
+    fn known_rows(&self) -> Option<usize> {
+        self.inner.known_rows()
+    }
 }
 
 const STAGE_NAMES: [&str; 5] = [
@@ -262,6 +309,93 @@ fn main() {
     let shard_speedup = fit_medians[0] / fit_medians[shard_counts.len() - 1];
     let _ = writeln!(out, "  \"shard_merge_overhead_frac\": {merge_overhead:.4},");
     let _ = writeln!(out, "  \"shard_speedup_4_vs_1\": {shard_speedup:.3},");
+
+    // Distributed out-of-core fit: the same census rows as 4 CSV part
+    // files on disk, `fit_shard` per part through a counting RowSource
+    // and one `merge_shards` — the coordinator path minus the process
+    // spawns. The row-buffer census proves the out-of-core claim: no
+    // ingested block ever exceeds the configured block size, so peak
+    // ingestion memory is bounded by `block_rows × dims × 4` bytes per
+    // shard worker regardless of shard row count.
+    let distfit_shards = 4usize;
+    let block_rows = 4096usize;
+    let dir = std::env::temp_dir().join(format!("dpcopula-bench-distfit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create distfit scratch dir");
+    let specs = dpcopula::shard::shard_specs(n, distfit_shards);
+    let part_paths: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let part_cols: Vec<Vec<u32>> = data
+                .columns()
+                .iter()
+                .map(|c| c[spec.start..spec.end].to_vec())
+                .collect();
+            let part = datagen::Dataset::new(data.attributes().to_vec(), part_cols);
+            let path = dir.join(format!("part{i}.csv"));
+            datagen::io::save_csv(&part, &path).expect("write shard csv");
+            path
+        })
+        .collect();
+
+    let mut shard_fit_totals = Vec::with_capacity(samples);
+    let mut merge_times = Vec::with_capacity(samples);
+    let mut peak_block_rows = 0usize;
+    let mut census_blocks = 0u64;
+    for s in 0..samples {
+        let mut artifacts = Vec::with_capacity(distfit_shards);
+        let t0 = Stopwatch::start();
+        for (i, path) in part_paths.iter().enumerate() {
+            let mut source = BlockCensus::new(
+                datagen::CsvFileSource::open_with_block_rows(path, block_rows)
+                    .expect("open shard csv"),
+            );
+            let artifact = dpcopula::fit_shard(
+                &mut source,
+                &config,
+                i,
+                distfit_shards,
+                n,
+                0xfee1 + s as u64,
+                &EngineOptions::with_workers(1),
+                &MetricsSink::off(),
+            )
+            .expect("shard fit succeeds");
+            peak_block_rows = peak_block_rows.max(source.peak_block_rows);
+            census_blocks += source.blocks;
+            artifacts.push((format!("part{i}.dpcs"), artifact));
+        }
+        shard_fit_totals.push(t0.elapsed().as_secs_f64());
+        let t1 = Stopwatch::start();
+        let merged = dpcopula::merge_shards(&artifacts, distfit_shards, &MetricsSink::off())
+            .expect("merge succeeds");
+        merge_times.push(t1.elapsed().as_secs_f64());
+        assert_eq!(merged.dims(), m);
+    }
+    std::fs::remove_dir_all(&dir).expect("remove distfit scratch dir");
+    let peak_block_bytes = peak_block_rows * m * std::mem::size_of::<u32>();
+    let distfit_fit = stats(&shard_fit_totals);
+    let distfit_merge = stats(&merge_times);
+    println!(
+        "distfit shards={distfit_shards}: fit-shard total median {:.4}s, merge median {:.4}s, \
+         peak block {peak_block_rows} rows ({peak_block_bytes} B) over {census_blocks} blocks",
+        distfit_fit.median, distfit_merge.median
+    );
+    let _ = writeln!(
+        out,
+        "  \"distfit\": {{\"shards\": {distfit_shards}, \"block_rows\": {block_rows}, \
+         \"fit_shard_total\": {}, \"merge\": {}, \"peak_block_rows\": {peak_block_rows}, \
+         \"peak_block_bytes\": {peak_block_bytes}, \"blocks\": {census_blocks}}},",
+        json_stats(distfit_fit),
+        json_stats(distfit_merge)
+    );
+    if peak_block_rows > block_rows {
+        eprintln!(
+            "REGRESSION: out-of-core ingestion produced a {peak_block_rows}-row block \
+             past the {block_rows}-row bound — the fit is no longer streaming"
+        );
+        std::process::exit(1);
+    }
 
     // Correlation-stage speedup of the engine over the legacy serial
     // estimator, at each worker count (medians).

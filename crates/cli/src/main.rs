@@ -35,6 +35,11 @@ USAGE:
                        [--epsilon E] [--seed S] [--shards N]
                        [--method kendall|mle|spearman] [--margin NAME]
                        [--k RATIO] [--workers W] [--chunk C]
+  dpcopula-cli fit-shard --input FILE --out FILE --shard-index I --shards N
+                       --total-rows R [--epsilon E] [--seed S]
+                       [--method kendall] [--margin NAME] [--k RATIO]
+                       [--chunk C]
+  dpcopula-cli merge   PART.dpcs [PART.dpcs ...] --out FILE [--workers W]
   dpcopula-cli inspect --model FILE
   dpcopula-cli sample  --model FILE --out FILE --rows N [--offset O]
                        [--workers W] [--profile reference|fast]
@@ -45,7 +50,8 @@ USAGE:
                        [--seed S] [--sanity B]
   dpcopula-cli serve   --model-dir DIR [--addr HOST:PORT] [--tenants FILE]
                        [--default-epsilon E] [--cache-cap N]
-                       [--max-body-bytes N] [--pool N] [--workers W]
+                       [--max-body-bytes N] [--max-fit-body N]
+                       [--pool N] [--workers W]
                        [--max-rows N] [--max-connections N] [--max-inflight N]
                        [--read-timeout-ms N] [--write-timeout-ms N]
                        [--head-timeout-ms N] [--body-timeout-ms N]
@@ -70,6 +76,16 @@ Repeating --input supplies explicit shards — the files must agree on
 the schema and --shards defaults to the file count. Sharded fits need
 --method kendall (mle/spearman have no mergeable summary).
 
+`fit-shard` + `merge` is the distributed, out-of-core form of
+`fit --shards N`: each worker streams its own CSV part (shard I of N,
+rows never fully resident) into a `.dpcs` shard summary, and `merge`
+combines the N summaries into a `.dpcm` byte-identical to the
+single-process `fit --shards N` on the concatenated input at the same
+seed and options. Every worker must be given the same --epsilon, --seed,
+--method, --margin, --k, --chunk, --shards, and --total-rows (the row
+count of the whole dataset, not the part); `merge` refuses mismatched or
+duplicate parts by file name.
+
 `--profile fast` samples with the vectorized hot path: same fitted DP
 model, same privacy guarantee, much higher rows/s. Fast output is
 deterministic with itself (same seed/options => same bytes at any worker
@@ -85,6 +101,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "gen" => Flags::parse(rest).and_then(|f| cmd_gen(&f)),
         "fit" => Flags::parse(rest).and_then(|f| cmd_fit(&f)),
+        "fit-shard" => Flags::parse(rest).and_then(|f| cmd_fit_shard(&f)),
+        "merge" => cmd_merge(rest),
         "inspect" => Flags::parse(rest).and_then(|f| cmd_inspect(&f)),
         "sample" => Flags::parse(rest).and_then(|f| cmd_sample(&f)),
         "synth" => Flags::parse(rest).and_then(|f| cmd_synth(&f)),
@@ -407,6 +425,107 @@ fn cmd_fit(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fit_shard(flags: &Flags) -> Result<(), String> {
+    let input = flags.require("input")?;
+    let out = flags.require("out")?;
+    let shard_index: usize = flags
+        .require("shard-index")?
+        .parse()
+        .map_err(|_| "bad value for --shard-index".to_string())?;
+    let shards: usize = flags
+        .require("shards")?
+        .parse()
+        .map_err(|_| "bad value for --shards".to_string())?;
+    let total_rows: usize = flags
+        .require("total-rows")?
+        .parse()
+        .map_err(|_| "bad value for --total-rows".to_string())?;
+    let (config, opts, seed) = parse_config(flags)?;
+    let metrics = Metrics::parse(flags)?;
+    // The part streams through block by block — only one block of rows
+    // is ever resident, which is the whole point of the shard worker.
+    let mut source =
+        datagen::CsvFileSource::open(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let artifact = dpcopula::fit_shard(
+        &mut source,
+        &config,
+        shard_index,
+        shards,
+        total_rows,
+        seed,
+        &opts,
+        &metrics.sink(),
+    )
+    .map_err(|e| format!("fit-shard failed: {e}"))?;
+    artifact
+        .save(out)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    let spent_neps: u64 = artifact.ledger.iter().map(|s| s.neps).sum();
+    println!(
+        "fitted shard {shard_index} of {shards}: rows [{}, {}) of {total_rows}, \
+         {} attributes (seed {seed})",
+        artifact.row_start,
+        artifact.row_end,
+        artifact.schema.len(),
+    );
+    println!(
+        "shard spent epsilon {:.6} (parallel-composed at merge); artifact: {out}",
+        spent_neps as f64 * 1e-9
+    );
+    metrics.write(Some(out))?;
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    // `merge` takes its shard inputs positionally (`merge a.dpcs b.dpcs
+    // --out m.dpcm`); every other argument is a regular --flag pair.
+    let mut inputs: Vec<String> = Vec::new();
+    let mut flag_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with("--") {
+            flag_args.push(arg.clone());
+            if let Some(value) = it.next() {
+                flag_args.push(value.clone());
+            }
+        } else {
+            inputs.push(arg.clone());
+        }
+    }
+    let flags = Flags::parse(&flag_args)?;
+    // `--input` also works, for symmetry with `fit`.
+    inputs.extend(flags.get_all("input").iter().map(|s| s.to_string()));
+    if inputs.is_empty() {
+        return Err("merge needs at least one .dpcs shard artifact".into());
+    }
+    let out = flags.require("out")?;
+    let workers = flags.parsed("workers", 1usize)?;
+    let metrics = Metrics::parse(&flags)?;
+    let mut artifacts = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        let artifact =
+            modelstore::ShardArtifact::load(path).map_err(|e| format!("reading {path}: {e}"))?;
+        artifacts.push((path.clone(), artifact));
+    }
+    let total_rows = artifacts[0].1.total_rows;
+    let model = dpcopula::merge_shards(&artifacts, workers, &metrics.sink())
+        .map_err(|e| format!("merge failed: {e}"))?;
+    model.save(out).map_err(|e| format!("writing {out}: {e}"))?;
+    let ledger = &model.artifact().ledger;
+    println!(
+        "merged {} shard artifacts covering {total_rows} records into {} attributes",
+        artifacts.len(),
+        model.dims(),
+    );
+    println!(
+        "spent epsilon {:.6} of {:.6}; artifact: {out}",
+        ledger.spent(),
+        ledger.total
+    );
+    metrics.write(Some(out))?;
+    Ok(())
+}
+
 fn cmd_inspect(flags: &Flags) -> Result<(), String> {
     let path = flags.require("model")?;
     let metrics = Metrics::parse(flags)?;
@@ -588,6 +707,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         default_epsilon: flags.parsed("default-epsilon", defaults.default_epsilon)?,
         cache_capacity: flags.parsed("cache-cap", defaults.cache_capacity)?,
         max_body_bytes: flags.parsed("max-body-bytes", defaults.max_body_bytes)?,
+        max_fit_body_bytes: flags.parsed("max-fit-body", defaults.max_fit_body_bytes)?,
         pool_workers: flags.parsed("pool", defaults.pool_workers)?,
         sample_workers: flags.parsed("workers", defaults.sample_workers)?,
         max_rows: flags.parsed("max-rows", defaults.max_rows)?,

@@ -493,6 +493,213 @@ fn truncated_artifact_is_refused_with_a_section_name() {
     }
 }
 
+/// Splits a written CSV into `shards` contiguous part files on the
+/// engine's shard boundaries (the first `n % shards` shards take one
+/// extra row), returning the part paths.
+fn split_csv(dir: &Scratch, csv: &str, shards: usize) -> Vec<String> {
+    let text = std::fs::read_to_string(csv).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().unwrap();
+    let rows: Vec<&str> = lines.collect();
+    let n = rows.len();
+    let base = n / shards;
+    let extra = n % shards;
+    let mut start = 0;
+    (0..shards)
+        .map(|i| {
+            let len = base + usize::from(i < extra);
+            let path = dir.path(&format!("part{i}.csv"));
+            let mut part = String::from(header);
+            part.push('\n');
+            for row in &rows[start..start + len] {
+                part.push_str(row);
+                part.push('\n');
+            }
+            std::fs::write(&path, part).unwrap();
+            start += len;
+            path
+        })
+        .collect()
+}
+
+#[test]
+fn fit_shard_plus_merge_reproduces_fit_shards_byte_for_byte() {
+    let dir = Scratch::new("distfit");
+    let csv = gen_small(&dir, "census.csv");
+    let reference = dir.path("reference.dpcm");
+    run_ok(&[
+        "fit",
+        "--input",
+        &csv,
+        "--out",
+        &reference,
+        "--shards",
+        "4",
+        "--seed",
+        "11",
+        "--epsilon",
+        "1.0",
+    ]);
+
+    // Four independent worker invocations, one part each.
+    let parts = split_csv(&dir, &csv, 4);
+    let mut dpcs = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        let out = dir.path(&format!("part{i}.dpcs"));
+        let index = i.to_string();
+        let stdout = run_ok(&[
+            "fit-shard",
+            "--input",
+            part,
+            "--out",
+            &out,
+            "--shard-index",
+            &index,
+            "--shards",
+            "4",
+            "--total-rows",
+            "1500",
+            "--seed",
+            "11",
+            "--epsilon",
+            "1.0",
+        ]);
+        assert!(
+            stdout.contains(&format!("fitted shard {i} of 4")),
+            "{stdout}"
+        );
+        dpcs.push(out);
+    }
+
+    let merged = dir.path("merged.dpcm");
+    let stdout = run_ok(
+        &[
+            &["merge"][..],
+            &dpcs.iter().map(|s| s.as_str()).collect::<Vec<_>>()[..],
+            &["--out", &merged][..],
+        ]
+        .concat(),
+    );
+    assert!(stdout.contains("merged 4 shard artifacts"), "{stdout}");
+    assert!(stdout.contains("spent epsilon 1.000000"), "{stdout}");
+
+    let a = std::fs::read(&merged).unwrap();
+    let b = std::fs::read(&reference).unwrap();
+    assert_eq!(
+        a, b,
+        "merged .dpcm must equal single-process fit --shards 4"
+    );
+}
+
+#[test]
+fn fit_shard_misuse_and_merge_misuse_are_named_errors() {
+    let dir = Scratch::new("distfit_errors");
+    let csv = gen_small(&dir, "census.csv");
+
+    // The part's rows must match the declared shard window exactly.
+    let out = run(&[
+        "fit-shard",
+        "--input",
+        &csv,
+        "--out",
+        &dir.path("x.dpcs"),
+        "--shard-index",
+        "0",
+        "--shards",
+        "4",
+        "--total-rows",
+        "1500",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("holds 1500 rows") && stderr.contains("covers 375"),
+        "error should count the mismatch: {stderr}"
+    );
+
+    // Non-mergeable estimators are refused before any rows stream.
+    let out = run(&[
+        "fit-shard",
+        "--input",
+        &csv,
+        "--out",
+        &dir.path("x.dpcs"),
+        "--shard-index",
+        "0",
+        "--shards",
+        "1",
+        "--total-rows",
+        "1500",
+        "--method",
+        "mle",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no mergeable summary"), "{stderr}");
+
+    // Merge with a missing part names the wrong count.
+    let parts = split_csv(&dir, &csv, 2);
+    let mut dpcs = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        let out = dir.path(&format!("part{i}.dpcs"));
+        let index = i.to_string();
+        run_ok(&[
+            "fit-shard",
+            "--input",
+            part,
+            "--out",
+            &out,
+            "--shard-index",
+            &index,
+            "--shards",
+            "2",
+            "--total-rows",
+            "1500",
+        ]);
+        dpcs.push(out);
+    }
+    let out = run(&["merge", &dpcs[0], "--out", &dir.path("m.dpcm")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("1 shard artifacts provided") && stderr.contains("declared as 2 shards"),
+        "error should count declared vs provided: {stderr}"
+    );
+
+    // A duplicated part names the culprit file.
+    let out = run(&["merge", &dpcs[0], &dpcs[0], "--out", &dir.path("m.dpcm")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("claims shard index") && stderr.contains("part0.dpcs"),
+        "error should name the duplicate: {stderr}"
+    );
+
+    // A corrupted .dpcs is rejected with section + offset, not a panic.
+    let mut bytes = std::fs::read(&dpcs[1]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&dpcs[1], &bytes).unwrap();
+    let out = run(&["merge", &dpcs[0], &dpcs[1], "--out", &dir.path("m.dpcm")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("offset") || stderr.contains("checksum"),
+        "error should localise the damage: {stderr}"
+    );
+
+    // Empty merge is refused.
+    let out = run(&["merge", "--out", &dir.path("m.dpcm")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("at least one"), "{stderr}");
+
+    assert!(
+        !Path::new(&dir.path("m.dpcm")).exists(),
+        "no artifact from a refused merge"
+    );
+}
+
 #[test]
 fn overflowing_sample_window_is_a_clean_error() {
     let dir = Scratch::new("overflow");

@@ -1,0 +1,692 @@
+//! Distributed out-of-core fit: one process per shard, a coordinator
+//! merge, and the streaming ingestion that feeds both.
+//!
+//! The fit phase reduces to mergeable sufficient statistics — per-shard
+//! noisy margins and Kendall-τ layers ([`crate::shard`]) — so it splits
+//! across processes with no loss of exactness:
+//!
+//! * [`fit_shard`] fits **one shard's** part of the input (a
+//!   [`RowSource`] holding exactly that shard's rows) into a durable
+//!   [`ShardArtifact`] (`.dpcs`), drawing the shard's margin noise and
+//!   τ subsample from the same streams the in-process sharded fit would;
+//! * [`merge_shards`] validates a complete set of `.dpcs` artifacts and
+//!   folds them into a served [`FittedModel`] — running exactly the
+//!   in-process merge half (margin sums, cross-shard concordance, pooled
+//!   τ noise, per-label-max ledger), so `fit_shard × N` + `merge_shards`
+//!   releases a `.dpcm` **byte-identical** to the single-process
+//!   `fit --shards N` at the same seeds (pinned in
+//!   `tests/distfit_identity.rs`);
+//! * [`gather_source`] is the streaming gather the in-process fit uses
+//!   to consume a [`RowSource`] without materializing the columns: block
+//!   memory stays bounded by the source's chunk size, while the resident
+//!   per-fit state is the exact histogram counts and the τ subsample.
+//!
+//! The ε accounting of the merge is the in-process sharded fit's
+//! (DESIGN.md §12, restated for the wire formats in §14): margins
+//! compose in parallel across shards (per-label max), and the pooled τ
+//! noise is drawn once at merge time against the pooled sensitivity.
+
+use crate::empirical::MarginalDistribution;
+use crate::engine::{EngineOptions, FitParts};
+use crate::error::DpCopulaError;
+use crate::kendall::SamplingStrategy;
+use crate::model::{assemble_artifact, ArtifactMeta, FittedModel, STREAM_SCHEME};
+use crate::shard::{self, ShardSpec, ShardSummary};
+use crate::synthesizer::{CorrelationMethod, DpCopulaConfig};
+use datagen::{Block, RowSource};
+use dpmech::{BudgetAccountant, Epsilon, ShardLedger};
+use mathkit::concord::Concordance;
+use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
+use mathkit::Matrix;
+use modelstore::{
+    AttributeSpec, SamplingSpec, ShardArtifact, ShardConcordance, ShardFitConfig, ShardSpend,
+};
+use obskit::names::{ENGINE_SHARDS, SHARD_EPS_SPENT_NEPS};
+use obskit::{MetricsSink, Stopwatch, Unit, SPAN_NS};
+
+/// Maps the typed sampling strategy onto its `.dpcs` wire form.
+fn sampling_spec(strategy: SamplingStrategy) -> SamplingSpec {
+    match strategy {
+        SamplingStrategy::Full => SamplingSpec::Full,
+        SamplingStrategy::Auto => SamplingSpec::Auto,
+        SamplingStrategy::Fixed(k) => SamplingSpec::Fixed(k as u64),
+    }
+}
+
+/// Inverts a subsample plan: `slots[local_row] = sample slot` for every
+/// participating local row, `u32::MAX` for the rest — the structure that
+/// lets a single streaming pass scatter rows into subsample order.
+fn invert_locals(locals: &[usize], shard_n: usize) -> Vec<u32> {
+    debug_assert!(shard_n < u32::MAX as usize, "shard too large for slot map");
+    let mut slots = vec![u32::MAX; shard_n];
+    for (slot, &local) in locals.iter().enumerate() {
+        slots[local] = slot as u32;
+    }
+    slots
+}
+
+/// Everything the streaming gather reduced a [`RowSource`] to: the
+/// schema, the row count, the shard partition, the **exact** per-shard
+/// histogram counts, and the per-shard τ record subsample.
+pub(crate) struct SourceGather {
+    /// Attribute names, in source order.
+    pub names: Vec<String>,
+    /// Attribute domains.
+    pub domains: Vec<usize>,
+    /// Total rows the source held.
+    pub n: usize,
+    /// The shard partition of those rows.
+    pub specs: Vec<ShardSpec>,
+    /// Exact histogram counts per `[shard][attribute][bin]` — what
+    /// `Histogram1D::from_values` would build on the resident slice.
+    pub exact: Vec<Vec<Vec<f64>>>,
+    /// τ record subsample per `[shard][attribute][slot]`, in subsample
+    /// order; empty for single-attribute fits.
+    pub sampled: Vec<Vec<Vec<u32>>>,
+}
+
+/// Streams a [`RowSource`] into [`SourceGather`] without materializing
+/// its columns.
+///
+/// Rewindable sources are read twice (count, then accumulate) and only
+/// ever hold one block resident; one-pass sources are buffered block by
+/// block on the first pass and replayed — the documented capability
+/// contract ([`RowSource::rewindable`]). Validation matches the eager
+/// path: empty input, too few records for pairwise estimation, more
+/// shards than rows, and per-value domain violations are all named
+/// errors, never panics.
+pub(crate) fn gather_source(
+    source: &mut dyn RowSource,
+    shards: usize,
+    strategy: SamplingStrategy,
+    eps2: Epsilon,
+    base_seed: u64,
+) -> Result<SourceGather, DpCopulaError> {
+    let attrs = source.attributes().to_vec();
+    let m = attrs.len();
+    if m == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    let names: Vec<String> = attrs.iter().map(|a| a.name.clone()).collect();
+    let domains: Vec<usize> = attrs.iter().map(|a| a.domain).collect();
+
+    // Pass 1: count rows (buffering the blocks when the source cannot
+    // rewind).
+    let mut n = 0usize;
+    let mut buffered: Option<Vec<Block>> = if source.rewindable() {
+        None
+    } else {
+        Some(Vec::new())
+    };
+    while let Some(block) = source.next_block()? {
+        if block.columns().len() != m {
+            return Err(DpCopulaError::ArityMismatch {
+                columns: block.columns().len(),
+                domains: m,
+            });
+        }
+        n += block.rows();
+        if let Some(buf) = buffered.as_mut() {
+            buf.push(block);
+        }
+    }
+    if n == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    if m > 1 && n < 2 {
+        return Err(DpCopulaError::TooFewRecords {
+            records: n,
+            required: 2,
+        });
+    }
+    if shards > n {
+        return Err(DpCopulaError::TooManyShards { shards, records: n });
+    }
+    let specs = shard::shard_specs(n, shards);
+
+    // The subsample plan is a pure function of (n, m, strategy, seed) —
+    // identical to the eager fill_tau plan.
+    let slot_maps: Vec<Vec<u32>> = if m > 1 {
+        let target = shard::kendall_sample_target(m, n, strategy, eps2);
+        let targets = shard::partition_sample_target(target, &specs);
+        specs
+            .iter()
+            .map(|&spec| {
+                let locals =
+                    shard::shard_locals(spec, targets[spec.seed_index as usize], base_seed);
+                invert_locals(&locals, spec.len())
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut exact: Vec<Vec<Vec<f64>>> = specs
+        .iter()
+        .map(|_| domains.iter().map(|&d| vec![0.0f64; d]).collect())
+        .collect();
+    let mut sampled: Vec<Vec<Vec<u32>>> = slot_maps
+        .iter()
+        .map(|slots| {
+            let k = slots.iter().filter(|&&s| s != u32::MAX).count();
+            (0..m).map(|_| vec![0u32; k]).collect()
+        })
+        .collect();
+
+    // Pass 2: accumulate — exact counts always, subsample scatter when
+    // there are pairs to estimate.
+    let mut cur = 0usize; // current shard index
+    let mut row = 0usize; // global row cursor
+    let mut accumulate = |block: &Block| -> Result<(), DpCopulaError> {
+        for r in 0..block.rows() {
+            while row >= specs[cur].end {
+                cur += 1;
+            }
+            let local = row - specs[cur].start;
+            for (j, col) in block.columns().iter().enumerate() {
+                let v = col[r];
+                if v as usize >= domains[j] {
+                    return Err(DpCopulaError::ValueOutOfDomain {
+                        dim: j,
+                        value: v,
+                        domain: domains[j],
+                    });
+                }
+                exact[cur][j][v as usize] += 1.0;
+                if m > 1 {
+                    let slot = slot_maps[cur][local];
+                    if slot != u32::MAX {
+                        sampled[cur][j][slot as usize] = v;
+                    }
+                }
+            }
+            row += 1;
+        }
+        Ok(())
+    };
+    match buffered {
+        Some(blocks) => {
+            for block in &blocks {
+                accumulate(block)?;
+            }
+        }
+        None => {
+            source.rewind()?;
+            while let Some(block) = source.next_block()? {
+                accumulate(&block)?;
+            }
+        }
+    }
+
+    Ok(SourceGather {
+        names,
+        domains,
+        n,
+        specs,
+        exact,
+        sampled,
+    })
+}
+
+/// A [`RowSource`] read fully into memory: schema, domains, columns.
+pub(crate) type MaterializedSource = (Vec<AttributeSpec>, Vec<usize>, Vec<Vec<u32>>);
+
+/// Materializes a [`RowSource`] into resident columns — the fallback
+/// for estimators without streamable sufficient statistics (MLE,
+/// Spearman) and for adaptive family selection, which partition the raw
+/// records.
+pub(crate) fn materialize_source(
+    source: &mut dyn RowSource,
+) -> Result<MaterializedSource, DpCopulaError> {
+    let attrs = source.attributes().to_vec();
+    let m = attrs.len();
+    if m == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    let schema: Vec<AttributeSpec> = attrs
+        .iter()
+        .map(|a| AttributeSpec::new(a.name.clone(), a.domain))
+        .collect();
+    let domains: Vec<usize> = attrs.iter().map(|a| a.domain).collect();
+    let mut columns: Vec<Vec<u32>> = vec![Vec::new(); m];
+    while let Some(block) = source.next_block()? {
+        if block.columns().len() != m {
+            return Err(DpCopulaError::ArityMismatch {
+                columns: block.columns().len(),
+                domains: m,
+            });
+        }
+        for (col, part) in columns.iter_mut().zip(block.columns()) {
+            col.extend_from_slice(part);
+        }
+    }
+    Ok((schema, domains, columns))
+}
+
+/// Fits **one shard** of a distributed fit from a streaming source
+/// holding exactly that shard's rows, producing the durable
+/// [`ShardArtifact`] the coordinator's [`merge_shards`] consumes.
+///
+/// `total_rows` is the *global* row count of the whole fit — the
+/// subsample plan and the τ sensitivity depend on it, so every worker
+/// must be told the same value the coordinator split the input by. The
+/// shard's slot of `shard_specs(total_rows, shards)` determines how many
+/// rows `source` must hold; a different count is refused with
+/// [`DpCopulaError::ShardRowCountMismatch`] because the merged release
+/// would silently diverge from the single-process fit.
+///
+/// The shard draws its margin noise from stream
+/// `STREAM_MARGINS[shard_index·m + j]` and its τ subsample from
+/// `STREAM_KENDALL_SAMPLE[shard_index]` — exactly the streams the
+/// in-process `fit --shards N` assigns this shard, which is what makes
+/// the distributed release byte-identical. Only the Kendall estimator
+/// has a mergeable summary; anything else is refused with
+/// [`DpCopulaError::ShardedCorrelationUnsupported`].
+#[allow(clippy::too_many_arguments)]
+pub fn fit_shard(
+    source: &mut dyn RowSource,
+    config: &DpCopulaConfig,
+    shard_index: usize,
+    shards: usize,
+    total_rows: usize,
+    base_seed: u64,
+    opts: &EngineOptions,
+    sink: &MetricsSink,
+) -> Result<ShardArtifact, DpCopulaError> {
+    let watch = Stopwatch::start();
+    let attrs = source.attributes().to_vec();
+    let m = attrs.len();
+    if m == 0 || total_rows == 0 {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    if shards == 0 {
+        return Err(DpCopulaError::ZeroShards);
+    }
+    if shard_index >= shards {
+        return Err(DpCopulaError::ShardIndexOutOfRange {
+            index: shard_index,
+            shards,
+        });
+    }
+    if shards > total_rows {
+        return Err(DpCopulaError::TooManyShards {
+            shards,
+            records: total_rows,
+        });
+    }
+    if m > 1 && total_rows < 2 {
+        return Err(DpCopulaError::TooFewRecords {
+            records: total_rows,
+            required: 2,
+        });
+    }
+    let strategy = match config.method {
+        CorrelationMethod::Kendall(strategy) => strategy,
+        CorrelationMethod::Mle(_) => {
+            return Err(DpCopulaError::ShardedCorrelationUnsupported { method: "mle" })
+        }
+        CorrelationMethod::Spearman => {
+            return Err(DpCopulaError::ShardedCorrelationUnsupported { method: "spearman" })
+        }
+    };
+    let domains: Vec<usize> = attrs.iter().map(|a| a.domain).collect();
+    let (eps1, eps2) = config.epsilon.split_ratio(config.k_ratio);
+    let eps_margin = eps1.divide(m);
+    let specs = shard::shard_specs(total_rows, shards);
+    let spec = specs[shard_index];
+    let expected = spec.len();
+    sink.gauge_set(ENGINE_SHARDS, Unit::Info, shards as u64);
+
+    // The shard's slot of the global subsample plan — a pure function of
+    // (total_rows, m, strategy, seed), no data needed.
+    let slot_map: Option<Vec<u32>> = if m > 1 {
+        let target = shard::kendall_sample_target(m, total_rows, strategy, eps2);
+        let targets = shard::partition_sample_target(target, &specs);
+        let locals = shard::shard_locals(spec, targets[shard_index], base_seed);
+        Some(invert_locals(&locals, expected))
+    } else {
+        None
+    };
+
+    // One streaming pass: exact histogram counts + subsample scatter.
+    // The expected row count is known up front, so no counting pass is
+    // needed; block memory stays bounded by the source's chunk size.
+    let mut exact: Vec<Vec<f64>> = domains.iter().map(|&d| vec![0.0f64; d]).collect();
+    let mut sampled: Vec<Vec<u32>> = match &slot_map {
+        Some(slots) => {
+            let k = slots.iter().filter(|&&s| s != u32::MAX).count();
+            vec![vec![0u32; k]; m]
+        }
+        None => Vec::new(),
+    };
+    let mut rows = 0usize;
+    while let Some(block) = source.next_block()? {
+        if block.columns().len() != m {
+            return Err(DpCopulaError::ArityMismatch {
+                columns: block.columns().len(),
+                domains: m,
+            });
+        }
+        for r in 0..block.rows() {
+            let local = rows + r;
+            if local >= expected {
+                continue; // keep counting; the mismatch errors below
+            }
+            for (j, col) in block.columns().iter().enumerate() {
+                let v = col[r];
+                if v as usize >= domains[j] {
+                    return Err(DpCopulaError::ValueOutOfDomain {
+                        dim: j,
+                        value: v,
+                        domain: domains[j],
+                    });
+                }
+                exact[j][v as usize] += 1.0;
+                if let Some(slots) = &slot_map {
+                    let slot = slots[local];
+                    if slot != u32::MAX {
+                        sampled[j][slot as usize] = v;
+                    }
+                }
+            }
+        }
+        rows += block.rows();
+    }
+    if rows != expected {
+        return Err(DpCopulaError::ShardRowCountMismatch {
+            expected,
+            found: rows,
+        });
+    }
+
+    // Publish this shard's noisy margins (stream seed_index·m + j) and
+    // score its within-shard concordances — the fit half of the shard
+    // pipeline, under the same stages and draw counters as in-process.
+    let workers = opts.workers.max(1);
+    let margin_name = config.margin.registry_name();
+    let exact_all = vec![exact];
+    let mut summaries = shard::build_margin_summaries_from_counts(
+        &exact_all,
+        &[spec],
+        margin_name,
+        eps_margin,
+        base_seed,
+        workers,
+        sink,
+    );
+    if m > 1 {
+        shard::fill_tau_from_sampled(&mut summaries, vec![sampled], workers, sink);
+    }
+    let summary = summaries.remove(0);
+
+    if sink.enabled() {
+        sink.observe_labeled(
+            SPAN_NS,
+            &[("span", "pipeline/shard_fit")],
+            Unit::Nanos,
+            watch.elapsed_ns(),
+        );
+        sink.add_labeled(
+            SHARD_EPS_SPENT_NEPS,
+            &[("shard", &shard_index.to_string())],
+            Unit::NanoEps,
+            summary.ledger.total_neps(),
+        );
+    }
+
+    Ok(ShardArtifact {
+        schema: attrs
+            .iter()
+            .map(|a| AttributeSpec::new(a.name.clone(), a.domain))
+            .collect(),
+        shard_index: shard_index as u64,
+        shard_count: shards as u64,
+        total_rows: total_rows as u64,
+        row_start: spec.start as u64,
+        row_end: spec.end as u64,
+        seed_index: spec.seed_index,
+        config: ShardFitConfig {
+            epsilon: config.epsilon.value(),
+            k_ratio: config.k_ratio,
+            margin_method: margin_name.to_string(),
+            strategy: sampling_spec(strategy),
+            base_seed,
+            sample_chunk: opts.sample_chunk.max(1) as u64,
+            scheme: STREAM_SCHEME.into(),
+        },
+        noisy_margins: summary.noisy_margins,
+        sampled: summary.sampled,
+        within: summary
+            .within
+            .iter()
+            .map(|c| ShardConcordance {
+                s: c.s,
+                pairs: c.pairs,
+            })
+            .collect(),
+        ledger: summary
+            .ledger
+            .entries()
+            .iter()
+            .map(|(label, neps)| ShardSpend {
+                label: label.clone(),
+                neps: *neps,
+            })
+            .collect(),
+    })
+}
+
+/// Validates that `artifact` agrees with the merge set's first artifact
+/// on everything the merge depends on, naming the culprit file.
+fn check_compatible(
+    first: &ShardArtifact,
+    first_file: &str,
+    artifact: &ShardArtifact,
+    file: &str,
+) -> Result<(), DpCopulaError> {
+    let mismatch = |reason: String| DpCopulaError::ShardArtifactMismatch {
+        file: file.to_string(),
+        reason,
+    };
+    if artifact.schema != first.schema {
+        return Err(mismatch(format!("schema differs from {first_file}")));
+    }
+    if artifact.config != first.config {
+        return Err(mismatch(format!(
+            "fit configuration differs from {first_file}"
+        )));
+    }
+    if artifact.shard_count != first.shard_count {
+        return Err(mismatch(format!(
+            "declares {} shards but {first_file} declares {}",
+            artifact.shard_count, first.shard_count
+        )));
+    }
+    if artifact.total_rows != first.total_rows {
+        return Err(mismatch(format!(
+            "declares {} total rows but {first_file} declares {}",
+            artifact.total_rows, first.total_rows
+        )));
+    }
+    Ok(())
+}
+
+/// Merges a complete set of `.dpcs` shard artifacts into a served
+/// [`FittedModel`] — the coordinator half of the distributed fit.
+///
+/// `artifacts` pairs each decoded artifact with the path it came from
+/// (used verbatim in error messages); order does not matter. The set
+/// must be complete and consistent: exactly the declared shard count,
+/// no duplicate shard indices, and agreement on schema, fit
+/// configuration, total rows and the row partition — each violation is
+/// a named [`DpCopulaError`] identifying the culprit file.
+///
+/// The merge itself is the in-process second half of `fit --shards N`:
+/// per-bin margin sums, cross-shard concordance corrections, one pooled
+/// Laplace draw per attribute pair, positive-definite repair, and the
+/// per-label-max ledger fold — so the resulting model encodes to bytes
+/// identical to the single-process sharded fit at the same seeds.
+pub fn merge_shards(
+    artifacts: &[(String, ShardArtifact)],
+    workers: usize,
+    sink: &MetricsSink,
+) -> Result<FittedModel, DpCopulaError> {
+    if artifacts.is_empty() {
+        return Err(DpCopulaError::EmptyInput);
+    }
+    let (first_file, first) = &artifacts[0];
+    let declared = first.shard_count as usize;
+    if artifacts.len() != declared {
+        return Err(DpCopulaError::ShardCountMismatch {
+            declared,
+            provided: artifacts.len(),
+        });
+    }
+    let mut by_index: Vec<Option<&(String, ShardArtifact)>> = vec![None; declared];
+    for pair in artifacts {
+        let (file, artifact) = pair;
+        check_compatible(first, first_file, artifact, file)?;
+        let idx = artifact.shard_index as usize;
+        // The decoder guarantees shard_index < shard_count, and
+        // check_compatible pins shard_count — so idx is in range.
+        if by_index[idx].is_some() {
+            return Err(DpCopulaError::DuplicateShardIndex {
+                index: idx,
+                file: file.clone(),
+            });
+        }
+        by_index[idx] = Some(pair);
+    }
+    // A full, duplicate-free set of in-range indices is a permutation.
+    let ordered: Vec<&(String, ShardArtifact)> = by_index
+        .into_iter()
+        .map(|p| p.expect("pigeonhole: N distinct indices below N"))
+        .collect();
+
+    // The row partition must be the coordinator's split.
+    let total_rows = first.total_rows as usize;
+    let specs = shard::shard_specs(total_rows, declared);
+    for (spec, (file, artifact)) in specs.iter().zip(&ordered) {
+        if artifact.row_start as usize != spec.start
+            || artifact.row_end as usize != spec.end
+            || artifact.seed_index != spec.seed_index
+        {
+            return Err(DpCopulaError::ShardArtifactMismatch {
+                file: file.clone(),
+                reason: format!(
+                    "covers rows [{}, {}) but shard {} of {} rows over {} shards is [{}, {})",
+                    artifact.row_start,
+                    artifact.row_end,
+                    artifact.shard_index,
+                    total_rows,
+                    declared,
+                    spec.start,
+                    spec.end
+                ),
+            });
+        }
+    }
+
+    // Reconstruct the in-process summaries (rank caches are recomputed
+    // from the stored samples — deterministic, no noise involved).
+    let summaries: Vec<ShardSummary> = ordered
+        .iter()
+        .zip(&specs)
+        .map(|((_, artifact), &spec)| {
+            let mut ledger = ShardLedger::new();
+            for e in &artifact.ledger {
+                ledger.spend_neps(&e.label, e.neps);
+            }
+            ShardSummary {
+                spec,
+                noisy_margins: artifact.noisy_margins.clone(),
+                sampled: artifact.sampled.clone(),
+                within: artifact
+                    .within
+                    .iter()
+                    .map(|c| Concordance {
+                        s: c.s,
+                        pairs: c.pairs,
+                    })
+                    .collect(),
+                ledger,
+            }
+        })
+        .collect();
+
+    // The merge proper — the exact second half of the in-process fit.
+    let conf = &first.config;
+    let m = first.schema.len();
+    let epsilon = Epsilon::new(conf.epsilon)?;
+    let (eps1, eps2) = epsilon.split_ratio(conf.k_ratio);
+    let mut accountant = BudgetAccountant::new(epsilon);
+    let eps_margin = eps1.divide(m);
+    sink.gauge_set(ENGINE_SHARDS, Unit::Info, declared as u64);
+
+    let merge_watch = Stopwatch::start();
+    let noisy_margins = shard::merge_margins(&summaries);
+    for _ in 0..m {
+        accountant.spend_tracked(eps_margin, "margins", sink)?;
+    }
+    let raw = if m == 1 {
+        Matrix::identity(1)
+    } else {
+        let cross = shard::cross_concordances(&summaries, workers, sink);
+        shard::combine_tau(&summaries, &cross, eps2, conf.base_seed, sink)
+    };
+    if m > 1 {
+        accountant.spend_tracked(eps2, "correlation", sink)?;
+    }
+    let correlation = if m == 1 {
+        raw
+    } else {
+        let mut p = raw;
+        clamp_to_correlation(&mut p);
+        repair_positive_definite(&p)
+    };
+    let shard_merge_ns = merge_watch.elapsed_ns();
+
+    if sink.enabled() {
+        sink.observe_labeled(
+            SPAN_NS,
+            &[("span", "pipeline/shard_merge")],
+            Unit::Nanos,
+            shard_merge_ns,
+        );
+        for (s, summary) in summaries.iter().enumerate() {
+            sink.add_labeled(
+                SHARD_EPS_SPENT_NEPS,
+                &[("shard", &s.to_string())],
+                Unit::NanoEps,
+                summary.ledger.total_neps(),
+            );
+        }
+    }
+
+    let (shard_infos, shard_entries) = crate::engine::shard_provenance(&summaries, declared);
+    let parts = FitParts {
+        margins: noisy_margins
+            .iter()
+            .map(|noisy| MarginalDistribution::from_noisy_histogram(noisy))
+            .collect(),
+        noisy_margins,
+        correlation,
+        epsilon_margins: eps1.value(),
+        epsilon_correlations: if m > 1 { eps2.value() } else { 0.0 },
+        shards: shard_infos,
+        shard_entries,
+    };
+    let artifact = assemble_artifact(
+        &ArtifactMeta {
+            epsilon_total: epsilon.value(),
+            margin_method: &conf.margin_method,
+            base_seed: conf.base_seed,
+            sample_chunk: conf.sample_chunk,
+        },
+        first.schema.clone(),
+        parts,
+    );
+    let mut model = FittedModel::from_artifact(artifact)?;
+    model.set_metrics_sink(sink.clone());
+    Ok(model)
+}

@@ -31,10 +31,11 @@ use crate::sampler::CopulaSampler;
 use crate::shard;
 use crate::spearman::dp_spearman_matrix_par;
 use crate::synthesizer::{CorrelationMethod, DpCopula, Synthesis};
+use datagen::RowSource;
 use dpmech::BudgetAccountant;
 use mathkit::correlation::{clamp_to_correlation, repair_positive_definite};
 use mathkit::Matrix;
-use modelstore::{BudgetEntry, ShardInfo};
+use modelstore::{AttributeSpec, BudgetEntry, ShardInfo};
 use obskit::names::{
     ENGINE_SHARDS, ENGINE_WORKERS, PIPELINE_ROWS_OUT_TOTAL, PIPELINE_RUNS_TOTAL,
     SAMPLING_PROFILE_ROWS_TOTAL, SHARD_EPS_SPENT_NEPS,
@@ -218,6 +219,40 @@ pub(crate) struct FitParts {
     pub shard_entries: Vec<Vec<BudgetEntry>>,
 }
 
+/// Per-shard provenance records and budget sub-ledgers for the model
+/// artifact, only when actually sharded: the 1-shard artifact must stay
+/// on format v1, byte-identical to the pre-shard pipeline.
+pub(crate) fn shard_provenance(
+    summaries: &[shard::ShardSummary],
+    shards: usize,
+) -> (Vec<ShardInfo>, Vec<Vec<BudgetEntry>>) {
+    if shards <= 1 {
+        return (Vec::new(), Vec::new());
+    }
+    let infos = summaries
+        .iter()
+        .map(|s| ShardInfo {
+            row_start: s.spec.start as u64,
+            row_end: s.spec.end as u64,
+            seed_index: s.spec.seed_index,
+        })
+        .collect();
+    let entries = summaries
+        .iter()
+        .map(|s| {
+            s.ledger
+                .entries()
+                .iter()
+                .map(|(label, neps)| BudgetEntry {
+                    label: label.clone(),
+                    epsilon: *neps as f64 * 1e-9,
+                })
+                .collect()
+        })
+        .collect();
+    (infos, entries)
+}
+
 impl DpCopula {
     /// Runs stages 1–4 of the pipeline (budget plan → margins →
     /// correlation → PD repair) — the *fit*, which is everything that
@@ -384,34 +419,7 @@ impl DpCopula {
             }
         }
 
-        // Per-shard provenance and sub-ledgers, only when actually
-        // sharded: the 1-shard artifact must stay on format v1.
-        let (shard_infos, shard_entries) = if opts.shards > 1 {
-            let infos = summaries
-                .iter()
-                .map(|s| ShardInfo {
-                    row_start: s.spec.start as u64,
-                    row_end: s.spec.end as u64,
-                    seed_index: s.spec.seed_index,
-                })
-                .collect();
-            let entries = summaries
-                .iter()
-                .map(|s| {
-                    s.ledger
-                        .entries()
-                        .iter()
-                        .map(|(label, neps)| BudgetEntry {
-                            label: label.clone(),
-                            epsilon: *neps as f64 * 1e-9,
-                        })
-                        .collect()
-                })
-                .collect();
-            (infos, entries)
-        } else {
-            (Vec::new(), Vec::new())
-        };
+        let (shard_infos, shard_entries) = shard_provenance(&summaries, opts.shards);
 
         Ok((
             FitParts {
@@ -424,6 +432,169 @@ impl DpCopula {
                 shard_entries,
             },
             timings,
+        ))
+    }
+
+    /// The streaming counterpart of [`DpCopula::fit_parts`]: runs stages
+    /// 1–4 against a [`RowSource`] without materializing its columns,
+    /// returning the fit parts plus the source's schema and row count.
+    ///
+    /// Under the Kendall estimator (the only one with streamable
+    /// sufficient statistics) the resident state is the exact histogram
+    /// counts, the τ record subsample and one block at a time — peak
+    /// memory is bounded by the source's block size, not its row count.
+    /// MLE and Spearman need the raw records partitioned, so they fall
+    /// back to materializing the source and delegating to the eager path
+    /// (the documented limitation; they also refuse `shards > 1`).
+    ///
+    /// For equal input the released values are byte-identical to the
+    /// eager path at the same `(config, base_seed, shards)`: the gather
+    /// accumulates exactly the counts `Histogram1D::from_values` builds
+    /// and the same subsample rows, and every noise stream keys off the
+    /// same logical indices (pinned in `tests/distfit_identity.rs`).
+    pub(crate) fn fit_parts_source(
+        &self,
+        source: &mut dyn RowSource,
+        base_seed: u64,
+        opts: &EngineOptions,
+        sink: &MetricsSink,
+    ) -> Result<(FitParts, StageTimings, Vec<AttributeSpec>, usize), DpCopulaError> {
+        let cfg = self.config();
+        let strategy = match cfg.method {
+            CorrelationMethod::Kendall(strategy) => strategy,
+            CorrelationMethod::Mle(_) | CorrelationMethod::Spearman => {
+                let (schema, domains, columns) = crate::distfit::materialize_source(source)?;
+                let (parts, timings) = self.fit_parts(&columns, &domains, base_seed, opts, sink)?;
+                let n = columns[0].len();
+                return Ok((parts, timings, schema, n));
+            }
+        };
+        let workers = opts.workers.max(1);
+        let mut timings = StageTimings::default();
+
+        // Stage 1: budget plan — including the streaming gather, whose
+        // passes over the source replace holding the columns resident.
+        let span = sink.span("budget_plan");
+        if opts.shards == 0 {
+            return Err(DpCopulaError::ZeroShards);
+        }
+        let (eps1, eps2) = cfg.epsilon.split_ratio(cfg.k_ratio);
+        let gather = crate::distfit::gather_source(source, opts.shards, strategy, eps2, base_seed)?;
+        let crate::distfit::SourceGather {
+            names,
+            domains,
+            n,
+            specs,
+            exact,
+            sampled,
+        } = gather;
+        let m = domains.len();
+        let mut accountant = BudgetAccountant::new(cfg.epsilon);
+        let eps_margin = eps1.divide(m);
+        sink.gauge_set(ENGINE_SHARDS, Unit::Info, opts.shards as u64);
+        timings.budget_plan = span.finish();
+
+        // Stage 2: DP margins from the exact streamed counts — the same
+        // (shard, attribute) task list, stream keys and noise draws as
+        // the eager path.
+        let span = sink.span("margins");
+        let margin_name = cfg.margin.registry_name();
+        let fit_watch = Stopwatch::start();
+        let mut summaries = shard::build_margin_summaries_from_counts(
+            &exact,
+            &specs,
+            margin_name,
+            eps_margin,
+            base_seed,
+            workers,
+            sink,
+        );
+        let mut shard_fit_ns = fit_watch.elapsed_ns();
+        let merge_watch = Stopwatch::start();
+        let noisy_margins = shard::merge_margins(&summaries);
+        let mut shard_merge_ns = merge_watch.elapsed_ns();
+        for _ in 0..m {
+            accountant.spend_tracked(eps_margin, "margins", sink)?;
+        }
+        let margins: Vec<MarginalDistribution> = noisy_margins
+            .iter()
+            .map(|noisy| MarginalDistribution::from_noisy_histogram(noisy))
+            .collect();
+        timings.margins = span.finish();
+
+        // Stage 3: DP Kendall correlation over the streamed subsample.
+        let span = sink.span("correlation");
+        let raw = if m == 1 {
+            Matrix::identity(1)
+        } else {
+            let watch = Stopwatch::start();
+            shard::fill_tau_from_sampled(&mut summaries, sampled, workers, sink);
+            let cross = shard::cross_concordances(&summaries, workers, sink);
+            shard_fit_ns += watch.elapsed_ns();
+            let watch = Stopwatch::start();
+            let p = shard::combine_tau(&summaries, &cross, eps2, base_seed, sink);
+            shard_merge_ns += watch.elapsed_ns();
+            p
+        };
+        if m > 1 {
+            accountant.spend_tracked(eps2, "correlation", sink)?;
+        }
+        timings.correlation = span.finish();
+
+        // Stage 4: clamp + positive-definite repair (post-processing).
+        let span = sink.span("pd_repair");
+        let correlation = if m == 1 {
+            raw
+        } else {
+            let mut p = raw;
+            clamp_to_correlation(&mut p);
+            repair_positive_definite(&p)
+        };
+        timings.pd_repair = span.finish();
+
+        if sink.enabled() {
+            sink.observe_labeled(
+                SPAN_NS,
+                &[("span", "pipeline/shard_fit")],
+                Unit::Nanos,
+                shard_fit_ns,
+            );
+            sink.observe_labeled(
+                SPAN_NS,
+                &[("span", "pipeline/shard_merge")],
+                Unit::Nanos,
+                shard_merge_ns,
+            );
+            for (s, summary) in summaries.iter().enumerate() {
+                sink.add_labeled(
+                    SHARD_EPS_SPENT_NEPS,
+                    &[("shard", &s.to_string())],
+                    Unit::NanoEps,
+                    summary.ledger.total_neps(),
+                );
+            }
+        }
+
+        let (shard_infos, shard_entries) = shard_provenance(&summaries, opts.shards);
+        let schema = names
+            .iter()
+            .zip(&domains)
+            .map(|(name, &d)| AttributeSpec::new(name.clone(), d))
+            .collect();
+
+        Ok((
+            FitParts {
+                margins,
+                noisy_margins,
+                correlation,
+                epsilon_margins: eps1.value(),
+                epsilon_correlations: if m > 1 { eps2.value() } else { 0.0 },
+                shards: shard_infos,
+                shard_entries,
+            },
+            timings,
+            schema,
+            n,
         ))
     }
 
@@ -464,17 +635,52 @@ impl DpCopula {
         opts: &EngineOptions,
         sink: &MetricsSink,
     ) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
-        let workers = opts.workers.max(1);
         let pipeline = sink.span("pipeline");
-        let (parts, mut timings) = self.fit_parts(columns, domains, base_seed, opts, sink)?;
+        let (parts, timings) = self.fit_parts(columns, domains, base_seed, opts, sink)?;
+        let out = self.sample_parts(parts, timings, columns[0].len(), base_seed, opts, sink)?;
+        drop(pipeline);
+        Ok(out)
+    }
 
-        // Stage 5: copula sampling — one task per row chunk
-        // (post-processing, no budget). The profile picks the hot path;
-        // both draw from the same fitted DP model.
+    /// The streaming counterpart of
+    /// [`DpCopula::synthesize_staged_with`]: fits from a [`RowSource`]
+    /// via [`DpCopula::fit_parts_source`] (bounded resident memory under
+    /// the Kendall estimator) and samples the released model. With
+    /// `output_records` unset the output row count is the source's row
+    /// count, exactly as the eager path defaults to the input length.
+    pub(crate) fn synthesize_source_with(
+        &self,
+        source: &mut dyn RowSource,
+        base_seed: u64,
+        opts: &EngineOptions,
+        sink: &MetricsSink,
+    ) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
+        let pipeline = sink.span("pipeline");
+        let (parts, timings, _schema, n) = self.fit_parts_source(source, base_seed, opts, sink)?;
+        let out = self.sample_parts(parts, timings, n, base_seed, opts, sink)?;
+        drop(pipeline);
+        Ok(out)
+    }
+
+    /// Stage 5: copula sampling — one task per row chunk
+    /// (post-processing, no budget). The profile picks the hot path; both
+    /// draw from the same fitted DP model. `n_default` is the output row
+    /// count when the config leaves `output_records` unset (the input's
+    /// row count, preserving the eager default).
+    fn sample_parts(
+        &self,
+        parts: FitParts,
+        mut timings: StageTimings,
+        n_default: usize,
+        base_seed: u64,
+        opts: &EngineOptions,
+        sink: &MetricsSink,
+    ) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
+        let workers = opts.workers.max(1);
         let span = sink.span("sampling");
         let profile = self.config().sampling_profile;
         let sampler = CopulaSampler::new(&parts.correlation, parts.margins)?;
-        let n_out = self.config().output_records.unwrap_or(columns[0].len());
+        let n_out = self.config().output_records.unwrap_or(n_default);
         let out_columns = sampler.sample_columns_window_profile_observed(
             profile,
             0,
@@ -497,7 +703,6 @@ impl DpCopula {
             n_out as u64,
         );
         sink.gauge_set(ENGINE_WORKERS, Unit::Info, workers as u64);
-        drop(pipeline);
 
         Ok((
             Synthesis {

@@ -123,6 +123,55 @@ pub enum DpCopulaError {
         /// Name of the unsupported estimator.
         method: &'static str,
     },
+    /// A streaming input source failed while being read (I/O error,
+    /// malformed row, or a rewind requested from a one-pass source).
+    InputSource {
+        /// What went wrong, as reported by the source.
+        reason: String,
+    },
+    /// A shard fit was requested for a shard index outside the declared
+    /// shard count.
+    ShardIndexOutOfRange {
+        /// Requested shard index.
+        index: usize,
+        /// Declared shard count.
+        shards: usize,
+    },
+    /// A shard fit's input part held a different number of rows than its
+    /// slot of the global partition — the part files do not line up with
+    /// `shard_specs(total_rows, shards)`, so the merged release would
+    /// not match the single-process fit.
+    ShardRowCountMismatch {
+        /// Rows the shard's partition slot covers.
+        expected: usize,
+        /// Rows the input part actually held.
+        found: usize,
+    },
+    /// A `.dpcs` shard artifact disagrees with the first artifact of the
+    /// merge set (schema, fit configuration, total rows, or row ranges),
+    /// naming the culprit file.
+    ShardArtifactMismatch {
+        /// Path of the disagreeing artifact.
+        file: String,
+        /// How it disagrees.
+        reason: String,
+    },
+    /// Two `.dpcs` artifacts of one merge set claim the same shard
+    /// index — the partition would double-count its rows.
+    DuplicateShardIndex {
+        /// The claimed-twice shard index.
+        index: usize,
+        /// Path of the second artifact claiming it.
+        file: String,
+    },
+    /// The merge was given a different number of shard artifacts than
+    /// the artifacts themselves declare the fit was split into.
+    ShardCountMismatch {
+        /// Shard count declared inside the artifacts.
+        declared: usize,
+        /// Artifacts actually provided.
+        provided: usize,
+    },
 }
 
 impl std::fmt::Display for DpCopulaError {
@@ -192,6 +241,34 @@ impl std::fmt::Display for DpCopulaError {
                 "correlation method {method} has no mergeable summary and \
                  cannot fit across more than one shard (use kendall)"
             ),
+            DpCopulaError::InputSource { reason } => {
+                write!(f, "input source failed: {reason}")
+            }
+            DpCopulaError::ShardIndexOutOfRange { index, shards } => write!(
+                f,
+                "shard index {index} is outside the declared shard count {shards}"
+            ),
+            DpCopulaError::ShardRowCountMismatch { expected, found } => write!(
+                f,
+                "shard input holds {found} rows but its slot of the global \
+                 partition covers {expected}"
+            ),
+            DpCopulaError::ShardArtifactMismatch { file, reason } => {
+                write!(
+                    f,
+                    "shard artifact {file} does not match the merge set: {reason}"
+                )
+            }
+            DpCopulaError::DuplicateShardIndex { index, file } => write!(
+                f,
+                "shard artifact {file} claims shard index {index}, which another \
+                 artifact of the merge set already holds"
+            ),
+            DpCopulaError::ShardCountMismatch { declared, provided } => write!(
+                f,
+                "{provided} shard artifacts provided but the fit was declared \
+                 as {declared} shards"
+            ),
         }
     }
 }
@@ -222,6 +299,14 @@ impl From<parkit::WindowOverflow> for DpCopulaError {
 impl From<modelstore::StoreError> for DpCopulaError {
     fn from(e: modelstore::StoreError) -> Self {
         DpCopulaError::CorruptModel {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<datagen::SourceError> for DpCopulaError {
+    fn from(e: datagen::SourceError) -> Self {
+        DpCopulaError::InputSource {
             reason: e.to_string(),
         }
     }

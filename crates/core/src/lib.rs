@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod distfit;
 pub mod empirical;
 pub mod empirical_copula;
 pub mod engine;
@@ -61,6 +62,7 @@ pub mod spearman;
 pub mod synthesizer;
 pub mod tcopula;
 
+pub use distfit::{fit_shard, merge_shards};
 pub use engine::{EngineOptions, PipelineReport, StageTimings};
 pub use error::DpCopulaError;
 pub use model::FittedModel;

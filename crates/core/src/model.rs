@@ -51,6 +51,60 @@ use std::path::Path;
 /// xoshiro256++ states.
 pub const STREAM_SCHEME: &str = "splitmix64x3/xoshiro256++";
 
+/// The artifact fields that do not come from the fitted parts: the
+/// configured budget total, the margin-method provenance name, and the
+/// sampling provenance knobs.
+pub(crate) struct ArtifactMeta<'a> {
+    /// The configured total ε (the ledger's `total`).
+    pub epsilon_total: f64,
+    /// Registry name of the margin mechanism.
+    pub margin_method: &'a str,
+    /// The base seed every stream generator derives from.
+    pub base_seed: u64,
+    /// Rows per sampling chunk (already clamped positive).
+    pub sample_chunk: u64,
+}
+
+/// Packages fitted parts into the released [`ModelArtifact`] — the one
+/// assembly path shared by the eager fit, the streaming fit and the
+/// distributed-shard merge, so all three release identical bytes for
+/// identical parts.
+pub(crate) fn assemble_artifact(
+    meta: &ArtifactMeta<'_>,
+    schema: Vec<AttributeSpec>,
+    parts: crate::engine::FitParts,
+) -> ModelArtifact {
+    let mut entries = vec![BudgetEntry {
+        label: "margins".into(),
+        epsilon: parts.epsilon_margins,
+    }];
+    if parts.epsilon_correlations > 0.0 {
+        entries.push(BudgetEntry {
+            label: "correlation".into(),
+            epsilon: parts.epsilon_correlations,
+        });
+    }
+    ModelArtifact {
+        schema,
+        margin_method: meta.margin_method.to_string(),
+        margins: parts.noisy_margins,
+        correlation: parts.correlation,
+        family: CopulaFamily::Gaussian,
+        ledger: BudgetLedger {
+            total: meta.epsilon_total,
+            entries,
+            shard_entries: parts.shard_entries,
+        },
+        provenance: RngProvenance {
+            base_seed: meta.base_seed,
+            sample_chunk: meta.sample_chunk,
+            sampler_stream: STREAM_SAMPLER,
+            scheme: STREAM_SCHEME.into(),
+            shards: parts.shards,
+        },
+    }
+}
+
 /// Tolerance for the on-load unit-diagonal / symmetry / range check of
 /// the stored correlation matrix. The fit writes exact repaired values,
 /// so anything beyond tiny float formatting noise is damage.
@@ -410,39 +464,78 @@ impl DpCopula {
         let (parts, timings) = self.fit_parts(columns, domains, base_seed, opts, sink)?;
         drop(pipeline);
         let cfg = self.config();
-        let mut entries = vec![BudgetEntry {
-            label: "margins".into(),
-            epsilon: parts.epsilon_margins,
-        }];
-        if parts.epsilon_correlations > 0.0 {
-            entries.push(BudgetEntry {
-                label: "correlation".into(),
-                epsilon: parts.epsilon_correlations,
-            });
-        }
-        let artifact = ModelArtifact {
-            schema: domains
-                .iter()
-                .enumerate()
-                .map(|(j, &d)| AttributeSpec::new(format!("attr{j}"), d))
-                .collect(),
-            margin_method: cfg.margin.registry_name().to_string(),
-            margins: parts.noisy_margins,
-            correlation: parts.correlation,
-            family: CopulaFamily::Gaussian,
-            ledger: BudgetLedger {
-                total: cfg.epsilon.value(),
-                entries,
-                shard_entries: parts.shard_entries,
-            },
-            provenance: RngProvenance {
+        let schema = domains
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| AttributeSpec::new(format!("attr{j}"), d))
+            .collect();
+        let artifact = assemble_artifact(
+            &ArtifactMeta {
+                epsilon_total: cfg.epsilon.value(),
+                margin_method: cfg.margin.registry_name(),
                 base_seed,
                 sample_chunk: opts.sample_chunk.max(1) as u64,
-                sampler_stream: STREAM_SAMPLER,
-                scheme: STREAM_SCHEME.into(),
-                shards: parts.shards,
             },
-        };
+            schema,
+            parts,
+        );
+        let mut model = FittedModel::from_artifact(artifact)?;
+        model.sink = sink.clone();
+        Ok((
+            model,
+            PipelineReport {
+                timings,
+                workers,
+                base_seed,
+            },
+        ))
+    }
+
+    /// The streaming counterpart of [`DpCopula::fit_staged`]: fits from
+    /// a [`datagen::RowSource`] without materializing its columns.
+    ///
+    /// The artifact's schema carries the source's attribute names (where
+    /// the eager path, fed bare columns, has to invent `attr{j}` names),
+    /// and under the Kendall estimator the resident fit state is bounded
+    /// by the source's block size rather than its row count — the
+    /// out-of-core path the CLI and the serving daemon use for inputs too
+    /// large to hold. MLE and Spearman have no streamable sufficient
+    /// statistics and fall back to materializing the source. Released
+    /// values are byte-identical to the eager fit on the same data at the
+    /// same `(config, base_seed, shards)`.
+    pub fn fit_source(
+        &self,
+        source: &mut dyn datagen::RowSource,
+        base_seed: u64,
+        opts: &EngineOptions,
+    ) -> Result<(FittedModel, PipelineReport), DpCopulaError> {
+        self.fit_source_with(source, base_seed, opts, &MetricsSink::off())
+    }
+
+    /// [`DpCopula::fit_source`] with a metrics sink, mirroring
+    /// [`DpCopula::fit_staged_with`].
+    pub(crate) fn fit_source_with(
+        &self,
+        source: &mut dyn datagen::RowSource,
+        base_seed: u64,
+        opts: &EngineOptions,
+        sink: &MetricsSink,
+    ) -> Result<(FittedModel, PipelineReport), DpCopulaError> {
+        let workers = opts.workers.max(1);
+        let pipeline = sink.span("pipeline");
+        let (parts, timings, schema, _n) = self.fit_parts_source(source, base_seed, opts, sink)?;
+        drop(pipeline);
+        let cfg = self.config();
+        let artifact = assemble_artifact(
+            &ArtifactMeta {
+                epsilon_total: cfg.epsilon.value(),
+                margin_method: cfg.margin.registry_name(),
+                base_seed,
+                sample_chunk: opts.sample_chunk.max(1) as u64,
+            },
+            schema,
+            parts,
+        );
         let mut model = FittedModel::from_artifact(artifact)?;
         model.sink = sink.clone();
         Ok((

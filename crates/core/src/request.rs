@@ -21,6 +21,18 @@
 //! path), so for equal inputs the request API releases **byte-identical**
 //! output — switching call styles never changes a published synthesis.
 //! See `DESIGN.md` §10 for the migration path and deprecation policy.
+//!
+//! ## Streaming input
+//!
+//! A request's input is either borrowed resident columns (the original
+//! surface, via [`SynthesisRequest::new`] / `from_config`) or a streaming
+//! [`RowSource`] (via [`SynthesisRequest::from_source`] or the
+//! [`SynthesisRequest::input`] setter) — the out-of-core path, whose
+//! resident fit state under the Kendall estimator is bounded by the
+//! source's block size rather than its row count (`DESIGN.md` §14). Both
+//! release byte-identical values for equal data; the eager constructors
+//! are *soft-deprecated* in favour of the source surface, staying exactly
+//! as they are (same bytes, pinned) but receiving no new capabilities.
 
 use crate::engine::{EngineOptions, PipelineReport};
 use crate::error::DpCopulaError;
@@ -28,22 +40,55 @@ use crate::model::FittedModel;
 use crate::sampler::SamplingProfile;
 use crate::selection::{synthesize_adaptive, AdaptiveConfig, AdaptiveSynthesis};
 use crate::synthesizer::{CorrelationMethod, DpCopula, DpCopulaConfig, MarginMethod, Synthesis};
+use datagen::RowSource;
 use dpmech::Epsilon;
 use obskit::MetricsSink;
 use rngkit::rngs::StdRng;
 use rngkit::SeedableRng;
+use std::cell::RefCell;
+
+/// The data a request runs against: resident columns (eager, borrowed)
+/// or a streaming [`RowSource`] (owned for the request's lifetime; in a
+/// `RefCell` because reading advances the source while the finishers
+/// take `&self`).
+enum RequestInput<'d> {
+    Columns {
+        columns: &'d [Vec<u32>],
+        domains: &'d [usize],
+    },
+    Source(RefCell<Box<dyn RowSource + 'd>>),
+}
+
+impl std::fmt::Debug for RequestInput<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestInput::Columns { columns, domains } => f
+                .debug_struct("Columns")
+                .field("columns", &columns.len())
+                .field("domains", domains)
+                .finish(),
+            RequestInput::Source(source) => match source.try_borrow() {
+                Ok(s) => f
+                    .debug_struct("Source")
+                    .field("attributes", &s.attributes().len())
+                    .field("rewindable", &s.rewindable())
+                    .finish(),
+                Err(_) => f.write_str("Source(<in use>)"),
+            },
+        }
+    }
+}
 
 /// A fully-described synthesis run: data, schema, privacy budget,
 /// estimator choices, execution knobs, seed, and metrics sink.
 ///
-/// Borrows the input columns and domains (the pipeline never mutates
-/// them); everything else is owned. The builder methods are
-/// by-value-chainable and each has a sensible default, so the minimal
-/// request is just data + schema + ε.
-#[derive(Debug, Clone)]
+/// The input is either borrowed resident columns (the pipeline never
+/// mutates them) or an owned streaming [`RowSource`]; everything else is
+/// owned. The builder methods are by-value-chainable and each has a
+/// sensible default, so the minimal request is just data + schema + ε.
+#[derive(Debug)]
 pub struct SynthesisRequest<'d> {
-    columns: &'d [Vec<u32>],
-    domains: &'d [usize],
+    input: RequestInput<'d>,
     config: DpCopulaConfig,
     opts: EngineOptions,
     base_seed: u64,
@@ -54,24 +99,59 @@ impl<'d> SynthesisRequest<'d> {
     /// A request with the paper's default configuration
     /// ([`DpCopulaConfig::kendall`]: EFPA margins, Kendall estimator,
     /// `k = 8`), default engine options, base seed 0, and metrics off.
+    ///
+    /// *Soft-deprecated:* prefer [`SynthesisRequest::from_source`] (e.g.
+    /// over a [`datagen::DatasetSource`] for resident data), which adds
+    /// schema names and out-of-core fitting to the same run. This eager
+    /// surface stays byte-identical to what it always released.
     pub fn new(columns: &'d [Vec<u32>], domains: &'d [usize], epsilon: Epsilon) -> Self {
         Self::from_config(columns, domains, DpCopulaConfig::kendall(epsilon))
     }
 
     /// A request around an existing [`DpCopulaConfig`].
+    ///
+    /// *Soft-deprecated:* prefer [`SynthesisRequest::from_source_config`]
+    /// — see [`SynthesisRequest::new`].
     pub fn from_config(
         columns: &'d [Vec<u32>],
         domains: &'d [usize],
         config: DpCopulaConfig,
     ) -> Self {
         Self {
-            columns,
-            domains,
+            input: RequestInput::Columns { columns, domains },
             config,
             opts: EngineOptions::default(),
             base_seed: 0,
             sink: MetricsSink::off(),
         }
+    }
+
+    /// A request reading from a streaming [`RowSource`] with the paper's
+    /// default configuration — the out-of-core front door. The source's
+    /// schema (names + domains) replaces the separate `domains` slice,
+    /// and fitted artifacts carry its attribute names.
+    pub fn from_source(source: impl RowSource + 'd, epsilon: Epsilon) -> Self {
+        Self::from_source_config(source, DpCopulaConfig::kendall(epsilon))
+    }
+
+    /// A request reading from a streaming [`RowSource`] around an
+    /// existing [`DpCopulaConfig`].
+    pub fn from_source_config(source: impl RowSource + 'd, config: DpCopulaConfig) -> Self {
+        Self {
+            input: RequestInput::Source(RefCell::new(Box::new(source))),
+            config,
+            opts: EngineOptions::default(),
+            base_seed: 0,
+            sink: MetricsSink::off(),
+        }
+    }
+
+    /// Replaces this request's input with a streaming [`RowSource`],
+    /// keeping every other knob — the migration hop from the eager
+    /// constructors (`DESIGN.md` §10).
+    pub fn input(mut self, source: impl RowSource + 'd) -> Self {
+        self.input = RequestInput::Source(RefCell::new(Box::new(source)));
+        self
     }
 
     /// Overrides the budget ratio `k = eps1 / eps2` between margins and
@@ -154,30 +234,58 @@ impl<'d> SynthesisRequest<'d> {
         &self.opts
     }
 
+    /// Rewinds a source so repeated finishers re-read it from the top.
+    /// One-pass sources are left as they are: their single pass backs at
+    /// most one run, and a second run sees an empty stream and fails with
+    /// a named error rather than silently fitting on nothing.
+    fn reset_source(source: &mut dyn RowSource) -> Result<(), DpCopulaError> {
+        if source.rewindable() {
+            source.rewind()?;
+        }
+        Ok(())
+    }
+
     /// Runs the full five-stage pipeline. Equivalent to
     /// [`DpCopula::synthesize_staged`] with this request's parameters —
-    /// same bytes, plus whatever the metrics sink records.
+    /// same bytes, plus whatever the metrics sink records. A streaming
+    /// input fits out of core first (same released bytes for equal data).
     pub fn run(&self) -> Result<(Synthesis, PipelineReport), DpCopulaError> {
-        DpCopula::new(self.config).synthesize_staged_with(
-            self.columns,
-            self.domains,
-            self.base_seed,
-            &self.opts,
-            &self.sink,
-        )
+        match &self.input {
+            RequestInput::Columns { columns, domains } => DpCopula::new(self.config)
+                .synthesize_staged_with(columns, domains, self.base_seed, &self.opts, &self.sink),
+            RequestInput::Source(source) => {
+                let mut source = source.borrow_mut();
+                Self::reset_source(source.as_mut())?;
+                DpCopula::new(self.config).synthesize_source_with(
+                    source.as_mut(),
+                    self.base_seed,
+                    &self.opts,
+                    &self.sink,
+                )
+            }
+        }
     }
 
     /// Runs stages 1–4 and packages the releases as a durable
     /// [`FittedModel`] (equivalent to [`DpCopula::fit_staged`]). The
-    /// model keeps this request's sink for its serving-path metrics.
+    /// model keeps this request's sink for its serving-path metrics. A
+    /// streaming input fits out of core and names the artifact's schema
+    /// from the source's attributes.
     pub fn fit(&self) -> Result<(FittedModel, PipelineReport), DpCopulaError> {
-        DpCopula::new(self.config).fit_staged_with(
-            self.columns,
-            self.domains,
-            self.base_seed,
-            &self.opts,
-            &self.sink,
-        )
+        match &self.input {
+            RequestInput::Columns { columns, domains } => DpCopula::new(self.config)
+                .fit_staged_with(columns, domains, self.base_seed, &self.opts, &self.sink),
+            RequestInput::Source(source) => {
+                let mut source = source.borrow_mut();
+                Self::reset_source(source.as_mut())?;
+                DpCopula::new(self.config).fit_source_with(
+                    source.as_mut(),
+                    self.base_seed,
+                    &self.opts,
+                    &self.sink,
+                )
+            }
+        }
     }
 
     /// Runs DP copula-family selection and then the pipeline with the
@@ -203,7 +311,21 @@ impl<'d> SynthesisRequest<'d> {
             partitions: config.partitions,
         };
         let mut rng = StdRng::seed_from_u64(self.base_seed);
-        synthesize_adaptive(&config, self.columns, self.domains, &mut rng)
+        match &self.input {
+            RequestInput::Columns { columns, domains } => {
+                synthesize_adaptive(&config, columns, domains, &mut rng)
+            }
+            RequestInput::Source(source) => {
+                // Family selection partitions the raw records, so a
+                // streaming input is materialized first (the documented
+                // limitation — adaptive selection is not out-of-core).
+                let mut source = source.borrow_mut();
+                Self::reset_source(source.as_mut())?;
+                let (_schema, domains, columns) =
+                    crate::distfit::materialize_source(source.as_mut())?;
+                synthesize_adaptive(&config, &columns, &domains, &mut rng)
+            }
+        }
     }
 }
 

@@ -324,27 +324,42 @@ impl CopulaSampler {
     /// rows burn exactly `d` draws each) so any window split of a chunk
     /// sees the same per-row draws — the property the window-stitching
     /// contract rests on.
+    ///
+    /// The z-matrix lives in a per-thread scratch reused across chunks:
+    /// every cell is overwritten before the Cholesky apply reads it, so
+    /// the emitted bytes are independent of what a previous chunk (or a
+    /// previous model on the same worker thread) left behind.
     fn sample_chunk_fast<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         skip: usize,
         take: usize,
     ) -> Vec<Vec<u32>> {
+        thread_local! {
+            static FAST_Z: std::cell::RefCell<Vec<Vec<f64>>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
         let d = self.dims();
         for _ in 0..skip * d {
             ziggurat::standard_normal(rng);
         }
-        let mut z = vec![vec![0.0f64; take]; d];
-        for row in 0..take {
+        FAST_Z.with(|cell| {
+            let mut z = cell.borrow_mut();
+            z.resize_with(d, Vec::new);
             for col in z.iter_mut() {
-                col[row] = ziggurat::standard_normal(rng);
+                col.resize(take, 0.0);
             }
-        }
-        self.mvn.apply_lower_blocked(&mut z);
-        z.iter()
-            .zip(&self.tables)
-            .map(|(col, table)| col.iter().map(|&v| table.quantile_z(v)).collect())
-            .collect()
+            for row in 0..take {
+                for col in z.iter_mut() {
+                    col[row] = ziggurat::standard_normal(rng);
+                }
+            }
+            self.mvn.apply_lower_blocked(&mut z);
+            z.iter()
+                .zip(&self.tables)
+                .map(|(col, table)| col.iter().map(|&v| table.quantile_z(v)).collect())
+                .collect()
+        })
     }
 }
 

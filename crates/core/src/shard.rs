@@ -160,9 +160,66 @@ pub fn build_margin_summaries(
             harvest_draws(sink, "margins", || {
                 let spec = specs[s];
                 let exact = Histogram1D::from_values(&columns[j][spec.start..spec.end], domains[j]);
-                let mut rng = parkit::stream_rng(base_seed, STREAM_MARGINS, (s * m + j) as u64);
+                let mut rng = parkit::stream_rng(
+                    base_seed,
+                    STREAM_MARGINS,
+                    spec.seed_index * m as u64 + j as u64,
+                );
                 MarginRegistry::builtin()
                     .publish(margin_name, exact.counts(), eps_margin, &mut rng)
+                    .expect("builtin registry covers every MarginMethod")
+            })
+        });
+
+    let mut published = published.into_iter();
+    specs
+        .iter()
+        .map(|&spec| {
+            let mut ledger = ShardLedger::new();
+            for _ in 0..m {
+                ledger.spend("margins", eps_margin);
+            }
+            ShardSummary {
+                spec,
+                noisy_margins: published.by_ref().take(m).collect(),
+                sampled: Vec::new(),
+                within: Vec::new(),
+                ledger,
+            }
+        })
+        .collect()
+}
+
+/// [`build_margin_summaries`] from precomputed exact histogram counts
+/// (`exact[shard][attribute][bin]`) instead of resident columns — the
+/// entry point of the streaming fit, whose single pass over a
+/// [`datagen::RowSource`] accumulates exactly the counts
+/// `Histogram1D::from_values` would build. The task list, stream keys
+/// and noise draws are identical to the eager path, so for equal counts
+/// the published margins are byte-identical.
+pub fn build_margin_summaries_from_counts(
+    exact: &[Vec<Vec<f64>>],
+    specs: &[ShardSpec],
+    margin_name: &str,
+    eps_margin: Epsilon,
+    base_seed: u64,
+    workers: usize,
+    sink: &MetricsSink,
+) -> Vec<ShardSummary> {
+    let m = exact[0].len();
+    let tasks: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..m).map(move |j| (s, j)))
+        .collect();
+    let published: Vec<Vec<f64>> =
+        parkit::par_map_observed(workers, &tasks, sink, "margins", |_, &(s, j)| {
+            harvest_draws(sink, "margins", || {
+                let mut rng = parkit::stream_rng(
+                    base_seed,
+                    STREAM_MARGINS,
+                    specs[s].seed_index * m as u64 + j as u64,
+                );
+                MarginRegistry::builtin()
+                    .publish(margin_name, &exact[s][j], eps_margin, &mut rng)
                     .expect("builtin registry covers every MarginMethod")
             })
         });
@@ -202,53 +259,55 @@ pub fn merge_margins(summaries: &[ShardSummary]) -> Vec<Vec<f64>> {
     merged
 }
 
-/// Fills the τ layer of each summary: draws the shard's proportional
-/// share of the global record-sample target (from
-/// `stream_rng(base_seed, STREAM_KENDALL_SAMPLE, seed_index)`, shuffling
-/// only when the target truncates the shard — the pre-shard guard), then
-/// computes the within-shard [`Concordance`] per attribute pair over
-/// cached rank structures. Shards below two sampled records contribute
-/// [`Concordance::EMPTY`] and participate only in cross terms.
-pub fn fill_tau(
-    summaries: &mut [ShardSummary],
-    columns: &[Vec<u32>],
+/// The global Kendall record-sample target for `n` rows of `m`
+/// attributes under `strategy` — the pre-shard rule, shared verbatim by
+/// the in-process fit and the distributed `fit-shard` path (which must
+/// replicate the plan from the *global* row count, not its part's).
+pub fn kendall_sample_target(
+    m: usize,
+    n: usize,
     strategy: SamplingStrategy,
     eps2_total: Epsilon,
-    base_seed: u64,
-    workers: usize,
-    sink: &MetricsSink,
-) {
-    let m = columns.len();
-    let n = columns[0].len();
-    let target = match strategy {
+) -> usize {
+    match strategy {
         SamplingStrategy::Full => n,
         SamplingStrategy::Auto => recommended_sample_size(m, eps2_total.value()).min(n),
         SamplingStrategy::Fixed(k) => k.clamp(2, n),
-    };
-    let specs: Vec<ShardSpec> = summaries.iter().map(|s| s.spec).collect();
-    let targets = partition_sample_target(target, &specs);
+    }
+}
 
-    let sampled: Vec<Vec<Vec<u32>>> =
-        parkit::par_map_observed(workers, &specs, sink, "correlation", |s, spec| {
-            let shard_n = spec.len();
-            let locals: Vec<usize> = if targets[s] < shard_n {
-                let mut rng = parkit::stream_rng(base_seed, STREAM_KENDALL_SAMPLE, spec.seed_index);
-                let mut all: Vec<usize> = (0..shard_n).collect();
-                all.shuffle(&mut rng);
-                all.truncate(targets[s]);
-                all
-            } else {
-                (0..shard_n).collect()
-            };
-            columns
-                .iter()
-                .map(|col| locals.iter().map(|&r| col[spec.start + r]).collect())
-                .collect()
-        });
+/// The shard's subsample plan: which local rows (0-based within the
+/// shard) participate in the τ estimate, in sample order. Shuffles with
+/// `stream_rng(base_seed, STREAM_KENDALL_SAMPLE, seed_index)` only when
+/// the target truncates the shard — the pre-shard guard that keeps
+/// `Full` sampling allocation-order-stable.
+pub fn shard_locals(spec: ShardSpec, target: usize, base_seed: u64) -> Vec<usize> {
+    let shard_n = spec.len();
+    if target < shard_n {
+        let mut rng = parkit::stream_rng(base_seed, STREAM_KENDALL_SAMPLE, spec.seed_index);
+        let mut all: Vec<usize> = (0..shard_n).collect();
+        all.shuffle(&mut rng);
+        all.truncate(target);
+        all
+    } else {
+        (0..shard_n).collect()
+    }
+}
 
-    // Rank caches per (shard, attribute), then within-shard concordance
-    // per (shard, attribute pair) — both pure, keyed by logical indices.
-    let sj: Vec<(usize, usize)> = (0..specs.len())
+/// The rank-and-score half of [`fill_tau`]: given each shard's sampled
+/// columns (already in subsample order), builds the per-(shard,
+/// attribute) rank caches and the within-shard [`Concordance`] per
+/// attribute pair, and stores both into the summaries. Shards below two
+/// sampled records contribute [`Concordance::EMPTY`] and participate
+/// only in cross terms.
+pub fn fill_tau_from_sampled(
+    summaries: &mut [ShardSummary],
+    sampled: Vec<Vec<Vec<u32>>>,
+    workers: usize,
+    sink: &MetricsSink,
+) {
+    let m = sampled[0].len();
+    let sj: Vec<(usize, usize)> = (0..summaries.len())
         .flat_map(|s| (0..m).map(move |j| (s, j)))
         .collect();
     let ranked: Vec<RankedColumn> =
@@ -258,7 +317,7 @@ pub fn fill_tau(
     let pair_ids: Vec<(usize, usize)> = (0..m)
         .flat_map(|i| ((i + 1)..m).map(move |j| (i, j)))
         .collect();
-    let sk: Vec<(usize, usize)> = (0..specs.len())
+    let sk: Vec<(usize, usize)> = (0..summaries.len())
         .flat_map(|s| (0..pair_ids.len()).map(move |k| (s, k)))
         .collect();
     let within: Vec<Concordance> =
@@ -276,6 +335,37 @@ pub fn fill_tau(
         summary.sampled = cols;
         summary.within = within[s * pairs..(s + 1) * pairs].to_vec();
     }
+}
+
+/// Fills the τ layer of each summary: draws the shard's proportional
+/// share of the global record-sample target (via [`shard_locals`]), then
+/// computes the within-shard [`Concordance`] per attribute pair over
+/// cached rank structures ([`fill_tau_from_sampled`]).
+pub fn fill_tau(
+    summaries: &mut [ShardSummary],
+    columns: &[Vec<u32>],
+    strategy: SamplingStrategy,
+    eps2_total: Epsilon,
+    base_seed: u64,
+    workers: usize,
+    sink: &MetricsSink,
+) {
+    let m = columns.len();
+    let n = columns[0].len();
+    let target = kendall_sample_target(m, n, strategy, eps2_total);
+    let specs: Vec<ShardSpec> = summaries.iter().map(|s| s.spec).collect();
+    let targets = partition_sample_target(target, &specs);
+
+    let sampled: Vec<Vec<Vec<u32>>> =
+        parkit::par_map_observed(workers, &specs, sink, "correlation", |s, spec| {
+            let locals = shard_locals(*spec, targets[s], base_seed);
+            columns
+                .iter()
+                .map(|col| locals.iter().map(|&r| col[spec.start + r]).collect())
+                .collect()
+        });
+
+    fill_tau_from_sampled(summaries, sampled, workers, sink);
 }
 
 /// The cross-shard concordance corrections of a sharded τ estimate: one

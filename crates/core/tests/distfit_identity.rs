@@ -1,0 +1,431 @@
+//! The distributed-fit correctness anchor: `fit_shard × N` +
+//! `merge_shards` must release a model **byte-identical** to the
+//! single-process `fit --shards N` at the same seeds, the streaming
+//! `RowSource` fit must be byte-identical to the eager fit, and every
+//! merge-misuse path must surface a named error (never a panic).
+
+use datagen::{Attribute, Block, CsvFileSource, Dataset, DatasetSource, RowSource, SourceError};
+use dpcopula::synthesizer::{DpCopula, DpCopulaConfig};
+use dpcopula::{distfit, CorrelationMethod, DpCopulaError, EngineOptions, SynthesisRequest};
+use dpmech::Epsilon;
+use obskit::MetricsSink;
+use rngkit::rngs::StdRng;
+use rngkit::{Rng, SeedableRng};
+
+fn off() -> MetricsSink {
+    MetricsSink::off()
+}
+
+fn test_columns(m: usize, n: usize, domain: u32, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<u32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+    (0..m)
+        .map(|j| {
+            base.iter()
+                .map(|&v| (v + rng.gen_range(0..domain / 4) + j as u32) % domain)
+                .collect()
+        })
+        .collect()
+}
+
+fn test_dataset(m: usize, n: usize, domain: u32, seed: u64) -> Dataset {
+    let columns = test_columns(m, n, domain, seed);
+    let attributes = (0..m)
+        .map(|j| Attribute::new(format!("attr{j}"), domain as usize))
+        .collect();
+    Dataset::new(attributes, columns)
+}
+
+/// Runs `fit_shard` for every shard of `dataset` under `shards`, each
+/// from its own `DatasetSource` slice — the in-test stand-in for N
+/// separate worker processes.
+fn fit_all_shards(
+    dataset: &Dataset,
+    config: &DpCopulaConfig,
+    shards: usize,
+    base_seed: u64,
+    opts: &EngineOptions,
+) -> Vec<(String, modelstore::ShardArtifact)> {
+    let n = dataset.len();
+    let specs = dpcopula::shard::shard_specs(n, shards);
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let part_cols: Vec<Vec<u32>> = dataset
+                .columns()
+                .iter()
+                .map(|col| col[spec.start..spec.end].to_vec())
+                .collect();
+            let part = Dataset::new(dataset.attributes().to_vec(), part_cols);
+            let mut source = DatasetSource::new(part);
+            let artifact =
+                distfit::fit_shard(&mut source, config, i, shards, n, base_seed, opts, &off())
+                    .unwrap();
+            (format!("part{i}.dpcs"), artifact)
+        })
+        .collect()
+}
+
+#[test]
+fn fit_shard_plus_merge_matches_in_process_sharded_fit_bytewise() {
+    let dataset = test_dataset(3, 2_003, 32, 7);
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+    for shards in [1usize, 4] {
+        let mut opts = EngineOptions::with_workers(2);
+        opts.shards = shards;
+
+        // Reference: the single-process sharded fit on resident columns.
+        let (mut reference, _) = DpCopula::new(config)
+            .fit_staged(dataset.columns(), &dataset.domains(), 42, &opts)
+            .unwrap();
+        let names: Vec<&str> = dataset
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        reference.set_attribute_names(&names);
+
+        // Distributed: N fit-shard workers + one merge.
+        let parts = fit_all_shards(&dataset, &config, shards, 42, &opts);
+        let merged = distfit::merge_shards(&parts, 2, &off()).unwrap();
+
+        assert_eq!(
+            merged.artifact().encode(),
+            reference.artifact().encode(),
+            "shards={shards}: merged .dpcm bytes differ from fit --shards"
+        );
+        // And the served rows agree (follows from artifact equality, but
+        // pins the whole serve path too).
+        assert_eq!(
+            merged.sample_range(0, 500, 3),
+            reference.sample_range(0, 500, 1),
+            "shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn fit_shard_identity_holds_under_record_sampling_and_other_margins() {
+    // Fixed-k subsampling exercises the per-shard shuffle plan; the
+    // margin registry name rides through the `.dpcs` config section.
+    let dataset = test_dataset(3, 1_501, 24, 11);
+    let mut config = DpCopulaConfig::kendall(Epsilon::new(2.0).unwrap());
+    config.method = CorrelationMethod::Kendall(dpcopula::kendall::SamplingStrategy::Fixed(400));
+    let config = config.with_margin(dpcopula::MarginMethod::Privelet);
+    let mut opts = EngineOptions::with_workers(3);
+    opts.shards = 4;
+    let (mut reference, _) = DpCopula::new(config)
+        .fit_staged(dataset.columns(), &dataset.domains(), 9, &opts)
+        .unwrap();
+    let names: Vec<&str> = dataset
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    reference.set_attribute_names(&names);
+
+    let parts = fit_all_shards(&dataset, &config, 4, 9, &opts);
+    let merged = distfit::merge_shards(&parts, 1, &off()).unwrap();
+    assert_eq!(merged.artifact().encode(), reference.artifact().encode());
+}
+
+#[test]
+fn dpcs_artifacts_round_trip_through_disk() {
+    let dataset = test_dataset(2, 407, 16, 3);
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+    let mut opts = EngineOptions::with_workers(1);
+    opts.shards = 2;
+    let parts = fit_all_shards(&dataset, &config, 2, 5, &opts);
+
+    let dir = std::env::temp_dir().join(format!("dpcs_roundtrip_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let loaded: Vec<(String, modelstore::ShardArtifact)> = parts
+        .iter()
+        .map(|(name, artifact)| {
+            let path = dir.join(name);
+            artifact.save(&path).unwrap();
+            (
+                name.clone(),
+                modelstore::ShardArtifact::load(&path).unwrap(),
+            )
+        })
+        .collect();
+    for ((_, a), (_, b)) in parts.iter().zip(&loaded) {
+        assert_eq!(a, b);
+    }
+    let from_disk = distfit::merge_shards(&loaded, 2, &off()).unwrap();
+    let from_memory = distfit::merge_shards(&parts, 2, &off()).unwrap();
+    assert_eq!(
+        from_disk.artifact().encode(),
+        from_memory.artifact().encode()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn streaming_source_fit_matches_eager_fit_bytewise() {
+    let dataset = test_dataset(3, 1_200, 20, 13);
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+    for shards in [1usize, 3] {
+        let mut opts = EngineOptions::with_workers(2);
+        opts.shards = shards;
+        let (mut eager, _) = DpCopula::new(config)
+            .fit_staged(dataset.columns(), &dataset.domains(), 21, &opts)
+            .unwrap();
+        let names: Vec<&str> = dataset
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        eager.set_attribute_names(&names);
+
+        // Small blocks force the gather across many block boundaries.
+        let mut source = DatasetSource::with_block_rows(dataset.clone(), 97);
+        let (streamed, _) = DpCopula::new(config)
+            .fit_source(&mut source, 21, &opts)
+            .unwrap();
+        assert_eq!(
+            streamed.artifact().encode(),
+            eager.artifact().encode(),
+            "shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn streaming_csv_source_fit_matches_eager_fit_bytewise() {
+    // The CSV file source is the out-of-core ingestion the CLI and the
+    // daemon use; its parse must feed the exact same values.
+    let dataset = test_dataset(2, 803, 12, 17);
+    let dir = std::env::temp_dir().join(format!("distfit_csv_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("input.csv");
+    datagen::io::save_csv(&dataset, &path).unwrap();
+
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+    let opts = EngineOptions::with_workers(2);
+    let (mut eager, _) = DpCopula::new(config)
+        .fit_staged(dataset.columns(), &dataset.domains(), 5, &opts)
+        .unwrap();
+    let names: Vec<&str> = dataset
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    eager.set_attribute_names(&names);
+
+    let mut source = CsvFileSource::open_with_block_rows(&path, 128).unwrap();
+    let (streamed, _) = DpCopula::new(config)
+        .fit_source(&mut source, 5, &opts)
+        .unwrap();
+    assert_eq!(streamed.artifact().encode(), eager.artifact().encode());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn source_request_surface_matches_eager_request_bytewise() {
+    let dataset = test_dataset(3, 900, 16, 23);
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+
+    // run(): released synthesis identical.
+    let (eager, _) = SynthesisRequest::from_config(dataset.columns(), &dataset.domains(), config)
+        .seed(31)
+        .workers(2)
+        .run()
+        .unwrap();
+    let (streamed, _) =
+        SynthesisRequest::from_source_config(DatasetSource::new(dataset.clone()), config)
+            .seed(31)
+            .workers(2)
+            .run()
+            .unwrap();
+    assert_eq!(streamed.columns, eager.columns);
+    assert_eq!(streamed.correlation, eager.correlation);
+    assert_eq!(streamed.noisy_margins, eager.noisy_margins);
+
+    // A rewindable source backs repeated runs.
+    let request = SynthesisRequest::from_source_config(DatasetSource::new(dataset.clone()), config)
+        .seed(31)
+        .workers(2);
+    let (a, _) = request.run().unwrap();
+    let (b, _) = request.run().unwrap();
+    assert_eq!(a.columns, b.columns);
+
+    // The .input() migration hop releases the same bytes as from_source.
+    let (hopped, _) = SynthesisRequest::from_config(dataset.columns(), &dataset.domains(), config)
+        .input(DatasetSource::new(dataset.clone()))
+        .seed(31)
+        .workers(2)
+        .run()
+        .unwrap();
+    assert_eq!(hopped.columns, eager.columns);
+
+    // fit() through a source names the schema from the source.
+    let (model, _) = SynthesisRequest::from_source_config(DatasetSource::new(dataset), config)
+        .seed(31)
+        .fit()
+        .unwrap();
+    let got: Vec<&str> = model
+        .artifact()
+        .schema
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    assert_eq!(got, vec!["attr0", "attr1", "attr2"]);
+}
+
+#[test]
+fn fit_shard_misuse_returns_named_errors() {
+    let dataset = test_dataset(2, 100, 8, 29);
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+    let opts = EngineOptions::default();
+
+    let mut source = DatasetSource::new(dataset.clone());
+    assert_eq!(
+        distfit::fit_shard(&mut source, &config, 0, 0, 100, 1, &opts, &off()).unwrap_err(),
+        DpCopulaError::ZeroShards
+    );
+    let mut source = DatasetSource::new(dataset.clone());
+    assert_eq!(
+        distfit::fit_shard(&mut source, &config, 4, 4, 100, 1, &opts, &off()).unwrap_err(),
+        DpCopulaError::ShardIndexOutOfRange {
+            index: 4,
+            shards: 4
+        }
+    );
+    let mut source = DatasetSource::new(dataset.clone());
+    assert_eq!(
+        distfit::fit_shard(&mut source, &config, 0, 101, 100, 1, &opts, &off()).unwrap_err(),
+        DpCopulaError::TooManyShards {
+            shards: 101,
+            records: 100
+        }
+    );
+    // The part holds all 100 rows but shard 0 of 4 covers only 25.
+    let mut source = DatasetSource::new(dataset.clone());
+    assert_eq!(
+        distfit::fit_shard(&mut source, &config, 0, 4, 100, 1, &opts, &off()).unwrap_err(),
+        DpCopulaError::ShardRowCountMismatch {
+            expected: 25,
+            found: 100
+        }
+    );
+    // Non-mergeable estimators are refused up front.
+    let mut mle = config;
+    mle.method = CorrelationMethod::Mle(dpcopula::mle::PartitionStrategy::Fixed(10));
+    let mut source = DatasetSource::new(dataset);
+    assert_eq!(
+        distfit::fit_shard(&mut source, &mle, 0, 1, 100, 1, &opts, &off()).unwrap_err(),
+        DpCopulaError::ShardedCorrelationUnsupported { method: "mle" }
+    );
+}
+
+#[test]
+fn merge_misuse_names_the_culprit_file() {
+    let dataset = test_dataset(2, 403, 8, 37);
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+    let mut opts = EngineOptions::with_workers(1);
+    opts.shards = 3;
+    let parts = fit_all_shards(&dataset, &config, 3, 2, &opts);
+
+    // Wrong artifact count vs the declared shard count.
+    assert_eq!(
+        distfit::merge_shards(&parts[..2], 1, &off()).unwrap_err(),
+        DpCopulaError::ShardCountMismatch {
+            declared: 3,
+            provided: 2
+        }
+    );
+
+    // Duplicate shard index: replace part2 with a copy of part1.
+    let mut dup = parts.clone();
+    dup[2] = ("dup.dpcs".into(), parts[1].1.clone());
+    assert_eq!(
+        distfit::merge_shards(&dup, 1, &off()).unwrap_err(),
+        DpCopulaError::DuplicateShardIndex {
+            index: 1,
+            file: "dup.dpcs".into()
+        }
+    );
+
+    // Schema mismatch names the culprit file, not just "a mismatch".
+    let mut alien = parts.clone();
+    let mut bad = alien[1].1.clone();
+    bad.schema[0] = modelstore::AttributeSpec::new("other", 9);
+    alien[1] = ("alien.dpcs".into(), bad);
+    match distfit::merge_shards(&alien, 1, &off()).unwrap_err() {
+        DpCopulaError::ShardArtifactMismatch { file, reason } => {
+            assert_eq!(file, "alien.dpcs");
+            assert!(reason.contains("schema"), "{reason}");
+        }
+        other => panic!("unexpected error {other}"),
+    }
+
+    // Config mismatch (different ε) likewise.
+    let mut skewed = parts.clone();
+    let mut bad = skewed[2].1.clone();
+    bad.config.epsilon = 2.0;
+    skewed[2] = ("skewed.dpcs".into(), bad);
+    match distfit::merge_shards(&skewed, 1, &off()).unwrap_err() {
+        DpCopulaError::ShardArtifactMismatch { file, reason } => {
+            assert_eq!(file, "skewed.dpcs");
+            assert!(reason.contains("configuration"), "{reason}");
+        }
+        other => panic!("unexpected error {other}"),
+    }
+
+    // An empty merge set is refused.
+    assert_eq!(
+        distfit::merge_shards(&[], 1, &off()).unwrap_err(),
+        DpCopulaError::EmptyInput
+    );
+}
+
+/// A deliberately misbehaving source: advertises domain 4 but emits a 9.
+/// `Dataset` can't represent this (its constructor validates), which is
+/// exactly why the streaming gather must catch it itself.
+struct LyingSource {
+    attrs: Vec<Attribute>,
+    done: bool,
+}
+
+impl RowSource for LyingSource {
+    fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+    fn rewindable(&self) -> bool {
+        true
+    }
+    fn next_block(&mut self) -> Result<Option<Block>, SourceError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        Ok(Some(Block::new(vec![vec![0, 1, 2, 3], vec![0, 1, 9, 3]])))
+    }
+    fn rewind(&mut self) -> Result<(), SourceError> {
+        self.done = false;
+        Ok(())
+    }
+}
+
+#[test]
+fn streaming_gather_validates_like_the_eager_path() {
+    let config = DpCopulaConfig::kendall(Epsilon::new(1.0).unwrap());
+    let mut source = LyingSource {
+        attrs: vec![Attribute::new("a", 4), Attribute::new("b", 4)],
+        done: false,
+    };
+    let err = DpCopula::new(config)
+        .fit_source(&mut source, 1, &EngineOptions::default())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        DpCopulaError::ValueOutOfDomain {
+            dim: 1,
+            value: 9,
+            domain: 4
+        }
+    );
+}

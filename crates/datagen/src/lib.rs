@@ -9,7 +9,9 @@
 //! * [`census`] — simulated stand-ins for the paper's IPUMS US and Brazil
 //!   census extracts, matching Table 2's attribute domains and realistic
 //!   marginal shapes (see DESIGN.md §2 for the substitution rationale);
-//! * [`io`] — CSV import/export.
+//! * [`io`] — CSV import/export;
+//! * [`rowsource`] — streaming block-at-a-time ingestion ([`RowSource`])
+//!   with eager-dataset and out-of-core CSV adapters.
 
 #![warn(missing_docs)]
 
@@ -17,7 +19,9 @@ pub mod census;
 pub mod dataset;
 pub mod io;
 pub mod margin;
+pub mod rowsource;
 pub mod stream;
 pub mod synthetic;
 
 pub use dataset::{Attribute, Dataset};
+pub use rowsource::{Block, CsvFileSource, DatasetSource, RowSource, SourceError};

@@ -92,15 +92,20 @@ const SECTION_NAMES: [&str; 6] = [
 pub enum StoreError {
     /// Underlying file I/O failure.
     Io(std::io::Error),
-    /// The file does not start with the `DPCM` magic.
+    /// The file does not start with the container's magic (`DPCM` for
+    /// model artifacts, `DPCS` for shard summaries).
     BadMagic {
         /// The four bytes actually found (zero-padded if shorter).
         found: [u8; 4],
+        /// The magic the container requires.
+        expected: [u8; 4],
     },
     /// The format version is newer than this reader understands.
     UnsupportedVersion {
         /// Version found in the header.
         found: u16,
+        /// Newest version this reader accepts for the container.
+        max: u16,
     },
     /// The header failed its own CRC — the fixed 12-byte prelude is
     /// damaged.
@@ -170,12 +175,12 @@ impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "io error: {e}"),
-            StoreError::BadMagic { found } => {
-                write!(f, "not a .dpcm artifact: magic {found:?} != {MAGIC:?}")
+            StoreError::BadMagic { found, expected } => {
+                write!(f, "bad artifact magic: {found:?} != {expected:?}")
             }
-            StoreError::UnsupportedVersion { found } => write!(
+            StoreError::UnsupportedVersion { found, max } => write!(
                 f,
-                "unsupported .dpcm version {found} (this reader understands <= {FORMAT_VERSION})"
+                "unsupported artifact version {found} (this reader understands <= {max})"
             ),
             StoreError::HeaderChecksum { expected, actual } => write!(
                 f,
@@ -252,10 +257,12 @@ pub struct SectionInfo {
 // Encoding
 // ---------------------------------------------------------------------
 
-fn encode_schema(a: &ModelArtifact) -> Vec<u8> {
+/// Encodes a schema payload — shared verbatim by the `.dpcm` `SCHM`
+/// section and the `.dpcs` shard-summary format.
+pub(crate) fn encode_schema_payload(schema: &[AttributeSpec]) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    w.put_u32(a.schema.len() as u32);
-    for attr in &a.schema {
+    w.put_u32(schema.len() as u32);
+    for attr in schema {
         w.put_str(&attr.name);
         w.put_u64(attr.domain as u64);
         w.put_u32(attr.bin_edges.len() as u32);
@@ -264,6 +271,10 @@ fn encode_schema(a: &ModelArtifact) -> Vec<u8> {
         }
     }
     w.into_bytes()
+}
+
+fn encode_schema(a: &ModelArtifact) -> Vec<u8> {
+    encode_schema_payload(&a.schema)
 }
 
 fn encode_margins(a: &ModelArtifact) -> Vec<u8> {
@@ -361,25 +372,7 @@ pub fn encode(a: &ModelArtifact) -> Vec<u8> {
         encode_budget(a, version),
         encode_provenance(a, version),
     ];
-    let mut w = ByteWriter::new();
-    w.put_bytes(&MAGIC);
-    w.put_u16(version);
-    w.put_u16(SECTION_ORDER.len() as u16);
-    let header_crc = {
-        let mut head = Vec::with_capacity(8);
-        head.extend_from_slice(&MAGIC);
-        head.extend_from_slice(&version.to_le_bytes());
-        head.extend_from_slice(&(SECTION_ORDER.len() as u16).to_le_bytes());
-        crc32(&head)
-    };
-    w.put_u32(header_crc);
-    for (tag, payload) in SECTION_ORDER.iter().zip(&payloads) {
-        w.put_bytes(*tag);
-        w.put_u64(payload.len() as u64);
-        w.put_bytes(payload);
-        w.put_u32(crc32(payload));
-    }
-    w.into_bytes()
+    encode_framed(&DPCM_FRAMING, version, &payloads)
 }
 
 // ---------------------------------------------------------------------
@@ -388,7 +381,10 @@ pub fn encode(a: &ModelArtifact) -> Vec<u8> {
 
 /// Maps a primitive read failure inside a section payload to a
 /// file-absolute [`StoreError::Malformed`].
-fn field_err(section: &'static str, payload_offset: usize) -> impl Fn(ReadError) -> StoreError {
+pub(crate) fn field_err(
+    section: &'static str,
+    payload_offset: usize,
+) -> impl Fn(ReadError) -> StoreError {
     move |e: ReadError| StoreError::Malformed {
         section,
         offset: payload_offset + e.offset,
@@ -398,12 +394,58 @@ fn field_err(section: &'static str, payload_offset: usize) -> impl Fn(ReadError)
 
 /// Section payload slices paired with their framing info, as returned by
 /// [`split_sections`] alongside the header version.
-type SectionSlices<'a> = Vec<(SectionInfo, &'a [u8])>;
+pub(crate) type SectionSlices<'a> = Vec<(SectionInfo, &'a [u8])>;
 
-/// Validates header + section framing, returning the header version and
-/// each section's payload slice and location without decoding payload
-/// contents.
-fn split_sections(bytes: &[u8]) -> Result<(u16, SectionSlices<'_>), StoreError> {
+/// The framing parameters of one artifact container — `.dpcm` and
+/// `.dpcs` share the identical header + section layout (and therefore
+/// the identical corruption-rejection behaviour), differing only in
+/// these constants.
+pub(crate) struct Framing {
+    /// File magic.
+    pub magic: [u8; 4],
+    /// Oldest readable version.
+    pub min_version: u16,
+    /// Newest readable version.
+    pub max_version: u16,
+    /// Section tags, in required file order.
+    pub section_order: &'static [&'static [u8; 4]],
+    /// Human-readable names matching `section_order`.
+    pub section_names: &'static [&'static str],
+}
+
+/// Encodes a framed container: header (magic, version, section count,
+/// header CRC) followed by each payload as `tag + u64 len + payload +
+/// u32 payload CRC`.
+pub(crate) fn encode_framed(framing: &Framing, version: u16, payloads: &[Vec<u8>]) -> Vec<u8> {
+    assert_eq!(payloads.len(), framing.section_order.len());
+    let mut w = ByteWriter::new();
+    w.put_bytes(&framing.magic);
+    w.put_u16(version);
+    w.put_u16(framing.section_order.len() as u16);
+    let header_crc = {
+        let mut head = Vec::with_capacity(8);
+        head.extend_from_slice(&framing.magic);
+        head.extend_from_slice(&version.to_le_bytes());
+        head.extend_from_slice(&(framing.section_order.len() as u16).to_le_bytes());
+        crc32(&head)
+    };
+    w.put_u32(header_crc);
+    for (tag, payload) in framing.section_order.iter().zip(payloads) {
+        w.put_bytes(*tag);
+        w.put_u64(payload.len() as u64);
+        w.put_bytes(payload);
+        w.put_u32(crc32(payload));
+    }
+    w.into_bytes()
+}
+
+/// Validates header + section framing against `framing`, returning the
+/// header version and each section's payload slice and location without
+/// decoding payload contents.
+pub(crate) fn split_framed<'a>(
+    bytes: &'a [u8],
+    framing: &Framing,
+) -> Result<(u16, SectionSlices<'a>), StoreError> {
     if bytes.len() < 12 {
         return Err(StoreError::Truncated {
             section: "header",
@@ -411,14 +453,20 @@ fn split_sections(bytes: &[u8]) -> Result<(u16, SectionSlices<'_>), StoreError> 
         });
     }
     let magic = &bytes[0..4];
-    if magic != MAGIC {
+    if magic != framing.magic {
         let mut found = [0u8; 4];
         found.copy_from_slice(magic);
-        return Err(StoreError::BadMagic { found });
+        return Err(StoreError::BadMagic {
+            found,
+            expected: framing.magic,
+        });
     }
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if !(MIN_VERSION..=FORMAT_VERSION).contains(&version) {
-        return Err(StoreError::UnsupportedVersion { found: version });
+    if !(framing.min_version..=framing.max_version).contains(&version) {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            max: framing.max_version,
+        });
     }
     let stored_crc = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
     let actual_crc = crc32(&bytes[0..8]);
@@ -429,20 +477,20 @@ fn split_sections(bytes: &[u8]) -> Result<(u16, SectionSlices<'_>), StoreError> 
         });
     }
     let count = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
-    if count != SECTION_ORDER.len() {
+    if count != framing.section_order.len() {
         return Err(StoreError::Malformed {
             section: "header",
             offset: 6,
             reason: format!(
                 "version {version} requires {} sections, header declares {count}",
-                SECTION_ORDER.len()
+                framing.section_order.len()
             ),
         });
     }
 
     let mut out = Vec::with_capacity(count);
     let mut pos = 12usize;
-    for (tag, name) in SECTION_ORDER.iter().zip(SECTION_NAMES) {
+    for (tag, &name) in framing.section_order.iter().zip(framing.section_names) {
         if bytes.len() - pos < 12 {
             return Err(StoreError::Truncated {
                 section: name,
@@ -497,6 +545,22 @@ fn split_sections(bytes: &[u8]) -> Result<(u16, SectionSlices<'_>), StoreError> 
     Ok((version, out))
 }
 
+/// The `.dpcm` container's framing constants.
+const DPCM_FRAMING: Framing = Framing {
+    magic: MAGIC,
+    min_version: MIN_VERSION,
+    max_version: FORMAT_VERSION,
+    section_order: &SECTION_ORDER,
+    section_names: &SECTION_NAMES,
+};
+
+/// Validates header + section framing, returning the header version and
+/// each section's payload slice and location without decoding payload
+/// contents.
+fn split_sections(bytes: &[u8]) -> Result<(u16, SectionSlices<'_>), StoreError> {
+    split_framed(bytes, &DPCM_FRAMING)
+}
+
 /// Lists the sections of an encoded artifact after validating all
 /// framing and checksums — the integrity check without the decode.
 pub fn probe(bytes: &[u8]) -> Result<Vec<SectionInfo>, StoreError> {
@@ -513,7 +577,7 @@ pub fn probe_version(bytes: &[u8]) -> Result<u16, StoreError> {
     Ok(split_sections(bytes)?.0)
 }
 
-fn decode_schema(payload: &[u8], base: usize) -> Result<Vec<AttributeSpec>, StoreError> {
+pub(crate) fn decode_schema(payload: &[u8], base: usize) -> Result<Vec<AttributeSpec>, StoreError> {
     let err = field_err("schema", base);
     let mut r = ByteReader::new(payload);
     let m = r.u32("attribute count").map_err(&err)? as usize;

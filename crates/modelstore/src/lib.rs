@@ -14,6 +14,9 @@
 //! * the `.dpcm` wire format ([`format`]) — versioned, little-endian,
 //!   with a CRC-32 per section so any single-byte corruption is rejected
 //!   at load with the damaged section's name and byte offset;
+//! * the `.dpcs` shard-summary format ([`shard_format`]) — one shard's
+//!   sufficient statistics for a distributed fit, under the same framing
+//!   and corruption-rejection contract;
 //! * an in-repo [`crc32`](crc32::crc32) and byte [`codec`] — the
 //!   workspace is dependency-free by design.
 //!
@@ -54,6 +57,7 @@ pub mod artifact;
 pub mod codec;
 pub mod crc32;
 pub mod format;
+pub mod shard_format;
 
 pub use artifact::{
     AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact, RngProvenance, ShardInfo,
@@ -61,4 +65,8 @@ pub use artifact::{
 pub use format::{
     decode, decode_observed, encode, probe, probe_version, SectionInfo, StoreError, FORMAT_VERSION,
     MAGIC,
+};
+pub use shard_format::{
+    decode_shard_artifact, encode_shard_artifact, probe_shard_artifact, SamplingSpec,
+    ShardArtifact, ShardConcordance, ShardFitConfig, ShardSpend, SHARD_FORMAT_VERSION, SHARD_MAGIC,
 };

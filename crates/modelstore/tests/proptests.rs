@@ -5,8 +5,9 @@
 use mathkit::Matrix;
 use modelstore::format::StoreError;
 use modelstore::{
-    probe, probe_version, AttributeSpec, BudgetEntry, BudgetLedger, CopulaFamily, ModelArtifact,
-    RngProvenance, ShardInfo,
+    probe, probe_shard_artifact, probe_version, AttributeSpec, BudgetEntry, BudgetLedger,
+    CopulaFamily, ModelArtifact, RngProvenance, SamplingSpec, ShardArtifact, ShardConcordance,
+    ShardFitConfig, ShardInfo, ShardSpend,
 };
 use rngkit::rngs::StdRng;
 use rngkit::{Rng, SeedableRng};
@@ -149,6 +150,210 @@ property_tests! {
         let cut = (cut_pick % bytes.len() as u64) as usize;
         prop_assert!(ModelArtifact::decode(&bytes[..cut]).is_err(), "cut at {cut}");
     }
+}
+
+/// Builds a randomized `.dpcs` shard artifact with a consistent
+/// topology, schema-matched margins, and a valid τ layer — the same
+/// role [`random_artifact`] plays for `.dpcm`.
+fn random_shard_artifact(seed: u64) -> ShardArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = rng.gen_range(1..6usize);
+    let schema: Vec<AttributeSpec> = (0..m)
+        .map(|j| {
+            let name = format!("attr_{j}_{}", rng.gen_range(0..1000u32));
+            let domain = rng.gen_range(1..9usize);
+            AttributeSpec::new(name, domain)
+        })
+        .collect();
+    let noisy_margins: Vec<Vec<f64>> = schema
+        .iter()
+        .map(|a| (0..a.domain).map(|_| rng.gen_range(-3.0..50.0)).collect())
+        .collect();
+
+    let shard_count = rng.gen_range(1..5u64);
+    let shard_index = rng.gen_range(0..shard_count);
+    let rows = rng.gen_range(2..300u64);
+    let row_start = rng.gen_range(0..1000u64);
+    let row_end = row_start + rows;
+    let total_rows = row_end + rng.gen_range(shard_count..1000u64);
+
+    let sampled_len = rng.gen_range(1..=rows.min(40)) as usize;
+    let (sampled, within) = if m > 1 {
+        let cols = (0..m)
+            .map(|j| {
+                (0..sampled_len)
+                    .map(|_| rng.gen_range(0..schema[j].domain as u32))
+                    .collect()
+            })
+            .collect();
+        let pairs = sampled_len as u64 * (sampled_len as u64 - 1) / 2;
+        let concordances = (0..m * (m - 1) / 2)
+            .map(|_| ShardConcordance {
+                s: rng.gen_range(-(pairs as i64)..=pairs as i64),
+                pairs,
+            })
+            .collect();
+        (cols, concordances)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    let strategy = match rng.gen_range(0..3u32) {
+        0 => SamplingSpec::Full,
+        1 => SamplingSpec::Auto,
+        _ => SamplingSpec::Fixed(rng.gen_range(1..5000u64)),
+    };
+    ShardArtifact {
+        schema,
+        shard_index,
+        shard_count,
+        total_rows,
+        row_start,
+        row_end,
+        seed_index: shard_index,
+        config: ShardFitConfig {
+            epsilon: rng.gen_range(0.1..4.0),
+            k_ratio: rng.gen_range(0.1..16.0),
+            margin_method: ["efpa", "identity", "privelet"][rng.gen_range(0..3usize)].into(),
+            strategy,
+            base_seed: rng.gen_range(0..u64::MAX),
+            sample_chunk: rng.gen_range(1..65536u64),
+            scheme: "splitmix64x3/xoshiro256++".into(),
+        },
+        noisy_margins,
+        sampled,
+        within,
+        ledger: ["margins", "correlation"]
+            .into_iter()
+            .map(|label| ShardSpend {
+                label: label.into(),
+                neps: rng.gen_range(1..4_000_000_000u64),
+            })
+            .collect(),
+    }
+}
+
+property_tests! {
+    fn shard_round_trip_is_lossless(seed in 0u64..100_000) {
+        let artifact = random_shard_artifact(seed);
+        let bytes = artifact.encode();
+        let back = ShardArtifact::decode(&bytes).expect("clean bytes decode");
+        prop_assert_eq!(back, artifact);
+        prop_assert_eq!(ShardArtifact::decode(&bytes).unwrap().encode(), bytes);
+    }
+
+    fn shard_any_single_byte_flip_is_rejected(
+        seed in 0u64..100_000,
+        pos_pick in 0u64..1_000_000,
+        bit in 0u32..8,
+    ) {
+        let artifact = random_shard_artifact(seed);
+        let mut bytes = artifact.encode();
+        let pos = (pos_pick % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        let err = match ShardArtifact::decode(&bytes) {
+            Ok(_) => panic!("flip at byte {pos} went undetected"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        prop_assert!(!matches!(err, StoreError::Io(_)), "got io error: {msg}");
+        prop_assert!(!msg.is_empty());
+    }
+
+    fn shard_truncation_at_any_point_is_rejected(
+        seed in 0u64..100_000,
+        cut_pick in 0u64..1_000_000,
+    ) {
+        let artifact = random_shard_artifact(seed);
+        let bytes = artifact.encode();
+        let cut = (cut_pick % bytes.len() as u64) as usize;
+        prop_assert!(ShardArtifact::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+}
+
+/// `.dpcs` damage is diagnosed with the same precision as `.dpcm`: a
+/// flipped payload byte names its section at the payload's offset, and
+/// header damage maps to the dedicated header errors.
+#[test]
+fn shard_corruption_errors_name_section_and_offset() {
+    let artifact = random_shard_artifact(7);
+    let clean = artifact.encode();
+    let sections = probe_shard_artifact(&clean).unwrap();
+    assert_eq!(
+        sections.iter().map(|s| s.name).collect::<Vec<_>>(),
+        vec!["schema", "shard", "config", "margins", "tau", "budget"]
+    );
+
+    for info in &sections {
+        if info.payload_len == 0 {
+            continue;
+        }
+        let flip_at = info.payload_offset + info.payload_len / 2;
+        let mut bytes = clean.clone();
+        bytes[flip_at] ^= 0x40;
+        match ShardArtifact::decode(&bytes).unwrap_err() {
+            StoreError::SectionChecksum {
+                section, offset, ..
+            } => {
+                assert_eq!(section, info.name, "flip at {flip_at}");
+                assert_eq!(offset, info.payload_offset);
+            }
+            other => panic!("section {}: unexpected error {other}", info.name),
+        }
+    }
+
+    let mut bad_magic = clean.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        ShardArtifact::decode(&bad_magic).unwrap_err(),
+        StoreError::BadMagic { .. }
+    ));
+
+    let mut bad_version = clean.clone();
+    bad_version[4] ^= 0x01;
+    assert!(matches!(
+        ShardArtifact::decode(&bad_version).unwrap_err(),
+        StoreError::UnsupportedVersion { .. }
+    ));
+
+    let mut bad_header_crc = clean.clone();
+    bad_header_crc[9] ^= 0x10;
+    assert!(matches!(
+        ShardArtifact::decode(&bad_header_crc).unwrap_err(),
+        StoreError::HeaderChecksum { .. }
+    ));
+
+    let mut padded = clean.clone();
+    padded.push(0);
+    match ShardArtifact::decode(&padded).unwrap_err() {
+        StoreError::TrailingBytes { offset } => assert_eq!(offset, clean.len()),
+        other => panic!("unexpected error {other}"),
+    }
+
+    // A `.dpcm` is not a `.dpcs`: cross-feeding the decoders fails on
+    // the magic, not deep inside a section parse.
+    let model_bytes = random_artifact(7).encode();
+    assert!(matches!(
+        ShardArtifact::decode(&model_bytes).unwrap_err(),
+        StoreError::BadMagic { .. }
+    ));
+    assert!(matches!(
+        ModelArtifact::decode(&clean).unwrap_err(),
+        StoreError::BadMagic { .. }
+    ));
+}
+
+/// `.dpcs` save/load round-trips through a real temp file.
+#[test]
+fn shard_save_load_round_trips_on_disk() {
+    let artifact = random_shard_artifact(11);
+    let dir = std::env::temp_dir().join(format!("modelstore_shard_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("part.dpcs");
+    artifact.save(&path).unwrap();
+    let back = ShardArtifact::load(&path).unwrap();
+    assert_eq!(back, artifact);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Pins the *kind* and precision of the error for damage in each region

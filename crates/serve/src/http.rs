@@ -20,6 +20,9 @@
 
 use obskit::Stopwatch;
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Maximum bytes of request line + headers accepted per request.
@@ -50,6 +53,49 @@ impl ReadLimits {
     }
 }
 
+/// Spooling policy for one route: bodies too large for the in-memory
+/// cap are streamed to a temp file instead of refused, up to a larger
+/// cap. Used by `POST /v1/fit` for out-of-core CSV ingestion.
+#[derive(Debug, Clone)]
+pub struct SpoolPolicy {
+    /// The only request path eligible for spooling.
+    pub path: String,
+    /// Hard cap on a spooled body (bytes on disk, not in memory).
+    pub max_body: usize,
+    /// Directory the spool files are created in.
+    pub dir: PathBuf,
+}
+
+/// A request body spooled to disk. The file is deleted when the last
+/// clone of the owning [`Request`] drops.
+#[derive(Debug)]
+pub struct SpooledBody {
+    path: PathBuf,
+}
+
+/// Distinguishes concurrent spool files within one process.
+static SPOOL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl SpooledBody {
+    fn create(dir: &Path) -> std::io::Result<(std::fs::File, Self)> {
+        let seq = SPOOL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("dpcopula-spool-{}-{seq}.csv", std::process::id()));
+        let file = std::fs::File::create(&path)?;
+        Ok((file, Self { path }))
+    }
+
+    /// Where the body bytes landed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpooledBody {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// One parsed request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -57,10 +103,16 @@ pub struct Request {
     pub method: String,
     /// Request target path, query string stripped.
     pub path: String,
+    /// The raw query string (after `?`, empty when none was sent).
+    pub query: String,
     /// Headers in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
-    /// The request body (empty when no `Content-Length` was sent).
+    /// The request body (empty when no `Content-Length` was sent, or
+    /// when the body was spooled to disk).
     pub body: Vec<u8>,
+    /// A body too large for memory, spooled to disk under a
+    /// [`SpoolPolicy`]. Mutually exclusive with a non-empty `body`.
+    pub spooled: Option<Arc<SpooledBody>>,
 }
 
 impl Request {
@@ -181,6 +233,22 @@ pub fn read_request<R: BufRead, W: Write>(
     reply: &mut W,
     limits: ReadLimits,
 ) -> Result<Request, HttpError> {
+    read_request_spooled(stream, reply, limits, None)
+}
+
+/// [`read_request`] with an optional [`SpoolPolicy`]: a body that
+/// exceeds `limits.max_body` on the policy's path is streamed to a
+/// temp file (never held in memory) up to the policy's own cap, and
+/// surfaced via [`Request::spooled`]. Everything else is unchanged —
+/// in particular, oversized bodies on other paths (or past the spool
+/// cap) are still refused with [`HttpError::PayloadTooLarge`] before
+/// any byte of the body is read.
+pub fn read_request_spooled<R: BufRead, W: Write>(
+    stream: &mut R,
+    reply: &mut W,
+    limits: ReadLimits,
+    spool: Option<&SpoolPolicy>,
+) -> Result<Request, HttpError> {
     let max_body = limits.max_body;
     let watch = Stopwatch::start();
     let request_line = read_head_line(stream, 0, &watch, limits.head_deadline, true)?;
@@ -201,7 +269,10 @@ pub fn read_request<R: BufRead, W: Write>(
             reason: format!("unsupported protocol version `{version}`"),
         });
     }
-    let path = target.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     let mut head_bytes = request_line.len();
@@ -243,18 +314,30 @@ pub fn read_request<R: BufRead, W: Write>(
             })
         }
     };
-    if declared > max_body {
-        return Err(HttpError::PayloadTooLarge {
-            declared,
-            limit: max_body,
-        });
-    }
+    // A body past the in-memory cap either spools (eligible path, under
+    // the spool cap) or is refused before any byte of it is read.
+    let spool_to = if declared <= max_body {
+        None
+    } else {
+        match spool {
+            Some(p) if path == p.path && declared <= p.max_body => Some(p),
+            _ => {
+                let limit = match spool {
+                    Some(p) if path == p.path => p.max_body.max(max_body),
+                    _ => max_body,
+                };
+                return Err(HttpError::PayloadTooLarge { declared, limit });
+            }
+        }
+    };
 
     let request = Request {
         method: method.to_string(),
         path,
+        query,
         headers,
         body: Vec::new(),
+        spooled: None,
     };
     if declared == 0 {
         return Ok(request);
@@ -269,29 +352,69 @@ pub fn read_request<R: BufRead, W: Write>(
             .map_err(HttpError::Io)?;
     }
     let body_watch = Stopwatch::start();
-    let mut body = vec![0u8; declared];
-    let mut got = 0;
-    while got < declared {
-        match stream.read(&mut body[got..]) {
-            Ok(0) => return Err(HttpError::TruncatedBody { declared, got }),
-            Ok(n) => {
-                got += n;
-                // A body that keeps trickling still has to finish
-                // within the body deadline.
-                if let Some(d) = limits.body_deadline {
-                    if got < declared && body_watch.elapsed() >= d {
-                        return Err(HttpError::BodyTimeout { declared, got });
+    match spool_to {
+        None => {
+            let mut body = vec![0u8; declared];
+            let mut got = 0;
+            while got < declared {
+                match stream.read(&mut body[got..]) {
+                    Ok(0) => return Err(HttpError::TruncatedBody { declared, got }),
+                    Ok(n) => {
+                        got += n;
+                        // A body that keeps trickling still has to finish
+                        // within the body deadline.
+                        if let Some(d) = limits.body_deadline {
+                            if got < declared && body_watch.elapsed() >= d {
+                                return Err(HttpError::BodyTimeout { declared, got });
+                            }
+                        }
                     }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    // A read timeout mid-body: the declared bytes stopped
+                    // arriving — the peer is stalled, not idle.
+                    Err(e) if is_timeout(&e) => {
+                        return Err(HttpError::BodyTimeout { declared, got })
+                    }
+                    Err(e) => return Err(HttpError::Io(e)),
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            // A read timeout mid-body: the declared bytes stopped
-            // arriving — the peer is stalled, not idle.
-            Err(e) if is_timeout(&e) => return Err(HttpError::BodyTimeout { declared, got }),
-            Err(e) => return Err(HttpError::Io(e)),
+            Ok(Request { body, ..request })
+        }
+        Some(policy) => {
+            // Stream to disk chunk by chunk: peak memory is one scratch
+            // buffer regardless of the declared size. The SpooledBody
+            // guard deletes the file on every exit path.
+            let (mut file, spooled) = SpooledBody::create(&policy.dir).map_err(HttpError::Io)?;
+            let mut scratch = [0u8; 64 * 1024];
+            let mut got = 0;
+            while got < declared {
+                let want = scratch.len().min(declared - got);
+                match stream.read(&mut scratch[..want]) {
+                    Ok(0) => return Err(HttpError::TruncatedBody { declared, got }),
+                    Ok(n) => {
+                        file.write_all(&scratch[..n]).map_err(HttpError::Io)?;
+                        got += n;
+                        if let Some(d) = limits.body_deadline {
+                            if got < declared && body_watch.elapsed() >= d {
+                                return Err(HttpError::BodyTimeout { declared, got });
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) if is_timeout(&e) => {
+                        return Err(HttpError::BodyTimeout { declared, got })
+                    }
+                    Err(e) => return Err(HttpError::Io(e)),
+                }
+            }
+            file.flush().map_err(HttpError::Io)?;
+            drop(file);
+            Ok(Request {
+                spooled: Some(Arc::new(spooled)),
+                ..request
+            })
         }
     }
-    Ok(Request { body, ..request })
 }
 
 /// Reads one CRLF-terminated head line (request line or header),

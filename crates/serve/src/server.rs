@@ -47,9 +47,10 @@
 //! window sampled in-process, at any worker count.
 
 use crate::budget::{BudgetGate, GateError, DEFAULT_TENANT};
-use crate::http::{read_request, HttpError, ReadLimits, Request, Response};
+use crate::http::{read_request_spooled, HttpError, ReadLimits, Request, Response, SpoolPolicy};
 use crate::json::{quote, Json};
 use crate::registry::{valid_model_id, ModelRegistry, RegistryError};
+use datagen::RowSource;
 use dpcopula::{DpCopulaConfig, DpCopulaError, SamplingProfile, SynthesisRequest};
 use dpmech::Epsilon;
 use obskit::{names, MetricsRegistry, MetricsSink, Stopwatch, Unit};
@@ -78,6 +79,13 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Hard cap on request body size.
     pub max_body_bytes: usize,
+    /// When larger than `max_body_bytes`, a `POST /v1/fit` CSV body up
+    /// to this size is spooled to a temp file and fed through the
+    /// out-of-core streaming fit instead of being refused with `413` —
+    /// peak memory stays bounded by the ingestion block size, not the
+    /// body. `0` (the default) disables spooling; every other route
+    /// keeps the `max_body_bytes` cap either way.
+    pub max_fit_body_bytes: usize,
     /// Connection-handling threads.
     pub pool_workers: usize,
     /// Worker threads per sampling request (any value yields identical
@@ -116,6 +124,7 @@ impl Default for ServeConfig {
             default_epsilon: 10.0,
             cache_capacity: 8,
             max_body_bytes: 8 * 1024 * 1024,
+            max_fit_body_bytes: 0,
             pool_workers: 4,
             sample_workers: 1,
             max_rows: 10_000_000,
@@ -187,6 +196,7 @@ struct ServerState {
     metrics: Arc<MetricsRegistry>,
     sink: MetricsSink,
     max_body_bytes: usize,
+    max_fit_body_bytes: usize,
     sample_workers: usize,
     max_rows: usize,
     read_timeout: Duration,
@@ -309,6 +319,7 @@ impl Server {
             metrics,
             sink,
             max_body_bytes: config.max_body_bytes,
+            max_fit_body_bytes: config.max_fit_body_bytes,
             sample_workers: config.sample_workers.max(1),
             max_rows: config.max_rows,
             read_timeout: config.read_timeout,
@@ -411,9 +422,16 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         head_deadline: Some(state.head_timeout),
         body_deadline: Some(state.body_timeout),
     };
+    // Fit bodies past the in-memory cap spool to a temp file when the
+    // operator opted in with a larger `max_fit_body_bytes`.
+    let spool = (state.max_fit_body_bytes > state.max_body_bytes).then(|| SpoolPolicy {
+        path: "/v1/fit".to_string(),
+        max_body: state.max_fit_body_bytes,
+        dir: std::env::temp_dir(),
+    });
     loop {
         let watch = Stopwatch::start();
-        let request = read_request(&mut reader, &mut writer, limits);
+        let request = read_request_spooled(&mut reader, &mut writer, limits, spool.as_ref());
         let (endpoint, response, permit, keep_alive) = match &request {
             Ok(req) => {
                 let (endpoint, response, permit) = route(req, state);
@@ -777,6 +795,21 @@ fn handle_sample(req: &Request, state: &ServerState) -> Response {
 }
 
 fn handle_fit(req: &Request, state: &ServerState) -> Response {
+    // Two request shapes: the JSON envelope (CSV embedded as a string
+    // field), and a raw CSV body — spooled to disk past the in-memory
+    // cap, or sent directly with `Content-Type: text/csv` — with the
+    // fit parameters in the query string.
+    let raw_csv = req.spooled.is_some()
+        || req.header("content-type").is_some_and(|v| {
+            v.split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .eq_ignore_ascii_case("text/csv")
+        });
+    if raw_csv {
+        return handle_fit_csv(req, state);
+    }
     let doc = match parse_body(req) {
         Ok(d) => d,
         Err(r) => return r,
@@ -829,29 +862,144 @@ fn handle_fit(req: &Request, state: &ServerState) -> Response {
         Ok(d) => d,
         Err(e) => return Response::error(400, &format!("invalid csv body: {e}"), &[]),
     };
+    fit_dataset(state, id, tenant, epsilon, seed, k_ratio, dataset)
+}
 
-    // Admission: debit the tenant *before* fitting. The debit is kept
-    // even if the fit fails — a pipeline that dies halfway may already
-    // have released noisy margins.
-    if let Err(e) = state.gate.admit(tenant, epsilon) {
-        return match e {
-            GateError::UnknownTenant { .. } => Response::error(403, &e.to_string(), &[]),
-            GateError::Exhausted { remaining_neps, .. } => {
-                state.sink.add_labeled(
-                    names::BUDGET_REJECTIONS_TOTAL,
-                    &[("tenant", tenant)],
-                    Unit::Count,
-                    1,
-                );
-                Response::error(
-                    429,
-                    &e.to_string(),
-                    &[format!("\"remaining_eps\":{}", remaining_neps as f64 / 1e9)],
-                )
-            }
+/// One `key=value` out of a query string. Fit parameters are plain
+/// identifiers and numbers, so no percent-decoding is applied.
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then_some(v)
+    })
+}
+
+/// The raw-CSV fit: parameters from the query string, training data as
+/// the body — in memory under the cap, spooled to disk above it.
+fn handle_fit_csv(req: &Request, state: &ServerState) -> Response {
+    let q = req.query.as_str();
+    let Some(id) = query_param(q, "id") else {
+        return Response::error(400, "missing required query parameter `id`", &[]);
+    };
+    if !valid_model_id(id) {
+        return Response::error(
+            400,
+            &format!("invalid model id `{id}`: expected [A-Za-z0-9_-]+"),
+            &[],
+        );
+    }
+    let Some(eps_str) = query_param(q, "epsilon") else {
+        return Response::error(400, "missing required query parameter `epsilon`", &[]);
+    };
+    let Ok(eps_value) = eps_str.parse::<f64>() else {
+        return Response::error(400, "`epsilon` must be a number", &[]);
+    };
+    let tenant = query_param(q, "tenant").unwrap_or(DEFAULT_TENANT);
+    let seed = match query_param(q, "seed") {
+        None => 0,
+        Some(s) => match s.parse::<u64>() {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, "`seed` must be a non-negative integer", &[]),
+        },
+    };
+    let k_ratio = match query_param(q, "k") {
+        None => None,
+        Some(k) => match k.parse::<f64>() {
+            Ok(k) if k.is_finite() && k > 0.0 => Some(k),
+            _ => return Response::error(400, "`k` must be a positive number", &[]),
+        },
+    };
+    let epsilon = match Epsilon::new(eps_value) {
+        Ok(e) => e,
+        Err(e) => return Response::error(400, &e.to_string(), &[]),
+    };
+
+    let Some(spooled) = &req.spooled else {
+        // Small enough for memory: parse eagerly, exactly like the JSON
+        // envelope's embedded CSV.
+        let dataset = match datagen::io::read_csv(&req.body[..]) {
+            Ok(d) => d,
+            Err(e) => return Response::error(400, &format!("invalid csv body: {e}"), &[]),
         };
+        return fit_dataset(state, id, tenant, epsilon, seed, k_ratio, dataset);
+    };
+
+    // Spooled: stream the file once to validate it and count rows — a
+    // malformed body must cost the tenant no ε, same as the eager path —
+    // then rewind and fit out-of-core.
+    let mut source = match datagen::CsvFileSource::open(spooled.path()) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &format!("invalid csv body: {e}"), &[]),
+    };
+    let mut rows = 0usize;
+    loop {
+        match source.next_block() {
+            Ok(Some(block)) => rows += block.rows(),
+            Ok(None) => break,
+            Err(e) => return Response::error(400, &format!("invalid csv body: {e}"), &[]),
+        }
+    }
+    if let Err(e) = source.rewind() {
+        return Response::error(500, &format!("rewinding spooled body: {e}"), &[]);
     }
 
+    if let Err(r) = admit_tenant(state, tenant, epsilon) {
+        return r;
+    }
+    let mut config = DpCopulaConfig::kendall(epsilon);
+    if let Some(k) = k_ratio {
+        config = config.with_k_ratio(k);
+    }
+    let fitted = SynthesisRequest::from_source_config(source, config)
+        .seed(seed)
+        .metrics(state.sink.clone())
+        .fit();
+    let (model, _report) = match fitted {
+        Ok(f) => f,
+        Err(e) => return Response::error(400, &format!("fit failed: {e}"), &[]),
+    };
+    // The streaming fit names the schema from the source's CSV header;
+    // no rename needed.
+    let attributes = model.dims();
+    respond_fitted(state, id, tenant, model, rows, attributes)
+}
+
+/// Debits `tenant` before fitting, or renders the refusal. The debit is
+/// kept even if the fit fails — a pipeline that dies halfway may
+/// already have released noisy margins.
+fn admit_tenant(state: &ServerState, tenant: &str, epsilon: Epsilon) -> Result<(), Response> {
+    state.gate.admit(tenant, epsilon).map_err(|e| match e {
+        GateError::UnknownTenant { .. } => Response::error(403, &e.to_string(), &[]),
+        GateError::Exhausted { remaining_neps, .. } => {
+            state.sink.add_labeled(
+                names::BUDGET_REJECTIONS_TOTAL,
+                &[("tenant", tenant)],
+                Unit::Count,
+                1,
+            );
+            Response::error(
+                429,
+                &e.to_string(),
+                &[format!("\"remaining_eps\":{}", remaining_neps as f64 / 1e9)],
+            )
+        }
+    })
+}
+
+/// The eager fit path shared by the JSON envelope and small raw-CSV
+/// bodies: admit, fit the resident columns, name the schema, respond.
+fn fit_dataset(
+    state: &ServerState,
+    id: &str,
+    tenant: &str,
+    epsilon: Epsilon,
+    seed: u64,
+    k_ratio: Option<f64>,
+    dataset: datagen::Dataset,
+) -> Response {
+    if let Err(r) = admit_tenant(state, tenant, epsilon) {
+        return r;
+    }
     let domains = dataset.domains();
     let mut config = DpCopulaConfig::kendall(epsilon);
     if let Some(k) = k_ratio {
@@ -871,7 +1019,20 @@ fn handle_fit(req: &Request, state: &ServerState) -> Response {
         .map(|a| a.name.as_str())
         .collect();
     model.set_attribute_names(&attr_names);
+    let attributes = attr_names.len();
+    respond_fitted(state, id, tenant, model, dataset.len(), attributes)
+}
 
+/// Persists the fitted model, registers it, and renders the fit
+/// response.
+fn respond_fitted(
+    state: &ServerState,
+    id: &str,
+    tenant: &str,
+    model: dpcopula::FittedModel,
+    rows: usize,
+    attributes: usize,
+) -> Response {
     let path = state.registry.path_for(id);
     if let Err(e) = model.save(&path) {
         return Response::error(500, &format!("writing {}: {e}", path.display()), &[]);
@@ -891,8 +1052,8 @@ fn handle_fit(req: &Request, state: &ServerState) -> Response {
             quote(id),
             spent,
             remaining,
-            dataset.len(),
-            attr_names.len(),
+            rows,
+            attributes,
         ),
     )
 }

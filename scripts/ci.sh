@@ -59,6 +59,37 @@ echo "    fast profile draws a stream distinct from reference"
 diff "$SMOKE/fast-served.csv" "$SMOKE/fast-a.csv"
 echo "    fast served rows are byte-identical to in-process fast synthesis"
 
+echo "==> distfit tier: fit-shard x4 + merge vs fit --shards 4 (byte identity)"
+# Split the census CSV at the global shard boundaries (first rows%N
+# shards take one extra row, like shard_specs), fit each part in its own
+# process, merge the .dpcs artifacts, and demand the merged model is
+# byte-identical to the single-process sharded fit.
+"$CLI" fit --input "$SMOKE/census.csv" --out "$SMOKE/sharded.dpcm" \
+    --epsilon 1.0 --seed 99 --shards 4
+ROWS=$(( $(wc -l < "$SMOKE/census.csv") - 1 ))
+BASE=$(( ROWS / 4 )); EXTRA=$(( ROWS % 4 )); START=0
+for i in 0 1 2 3; do
+    TAKE=$BASE
+    [ "$i" -lt "$EXTRA" ] && TAKE=$(( BASE + 1 ))
+    { head -n 1 "$SMOKE/census.csv"
+      tail -n +2 "$SMOKE/census.csv" | sed -n "$(( START + 1 )),$(( START + TAKE ))p"
+    } > "$SMOKE/part$i.csv"
+    "$CLI" fit-shard --input "$SMOKE/part$i.csv" --out "$SMOKE/part$i.dpcs" \
+        --shard-index "$i" --shards 4 --total-rows "$ROWS" --epsilon 1.0 --seed 99
+    START=$(( START + TAKE ))
+done
+"$CLI" merge "$SMOKE/part0.dpcs" "$SMOKE/part1.dpcs" "$SMOKE/part2.dpcs" \
+    "$SMOKE/part3.dpcs" --out "$SMOKE/merged.dpcm"
+cmp "$SMOKE/merged.dpcm" "$SMOKE/sharded.dpcm"
+echo "    fit-shard x4 + merge reproduces fit --shards 4 byte-for-byte"
+# Degenerate single-shard form: one worker over the whole CSV must
+# reproduce the plain (unsharded) fit of the same seed and budget.
+"$CLI" fit-shard --input "$SMOKE/census.csv" --out "$SMOKE/whole.dpcs" \
+    --shard-index 0 --shards 1 --total-rows "$ROWS" --epsilon 1.0 --seed 99
+"$CLI" merge "$SMOKE/whole.dpcs" --out "$SMOKE/merged1.dpcm"
+cmp "$SMOKE/merged1.dpcm" "$SMOKE/model.dpcm"
+echo "    fit-shard x1 + merge reproduces the plain fit byte-for-byte"
+
 echo "==> observability: CLI metrics smoke vs golden manifest"
 # synth with a JSON snapshot; the emitted metric *names* must match the
 # checked-in manifest exactly (taxonomy drift lands with a manifest

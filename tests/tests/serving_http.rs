@@ -403,6 +403,156 @@ fn pipelined_keep_alive_serves_the_valid_request_then_refuses_the_malformed() {
     assert!(text.ends_with("}\n"), "{text}");
 }
 
+/// Sends one raw-CSV request (`Content-Type: text/csv`, fit params in
+/// the query string) and returns (status, body).
+fn http_csv(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Type: text/csv\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    let _ = stream.write_all(body);
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    parse_response(&raw)
+}
+
+/// A deterministic CSV with enough rows to exceed a byte budget.
+fn csv_rows(rows: u32) -> String {
+    let mut csv = String::from("age:5,income:4,region:3\n");
+    for i in 0..rows {
+        csv.push_str(&format!("{},{},{}\n", i % 5, (i / 3) % 4, (i * 7) % 3));
+    }
+    csv
+}
+
+/// The 16-hex-digit checksum out of a fit response body.
+fn checksum_of(reply: &str) -> &str {
+    let at = reply.find("\"checksum\":\"").expect("checksum field") + "\"checksum\":\"".len();
+    &reply[at..at + 16]
+}
+
+#[test]
+fn oversized_fit_body_spools_to_disk_and_matches_the_eager_fit() {
+    let csv = csv_rows(1000); // ~6 KiB, past the 4 KiB in-memory cap
+    assert!(csv.len() > 4096 && csv.len() < 16 * 1024);
+
+    let spooling = TestServer::start("spool", |c| {
+        c.max_body_bytes = 4096;
+        c.max_fit_body_bytes = 16 * 1024;
+        c.tenant_file = Some(write_tenants(&c.model_dir, "default = 10.0\ngamma = 1.0\n"));
+    });
+
+    // The oversized body spools, streams through the out-of-core fit,
+    // and fits the same model the eager path releases.
+    let (status, body) = http_csv(
+        spooling.addr,
+        "/v1/fit?id=big&epsilon=1.0&seed=42",
+        csv.as_bytes(),
+    );
+    let reply = String::from_utf8(body).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"rows\":1000"), "{reply}");
+    let spooled_checksum = checksum_of(&reply).to_string();
+
+    // Reference: the same CSV through the JSON envelope on a server
+    // with a cap large enough to hold it in memory.
+    let eager = TestServer::start("spool-ref", |_| {});
+    let json = format!(
+        "{{\"id\":\"ref\",\"epsilon\":1.0,\"seed\":42,\"csv\":{}}}",
+        json_str(&csv)
+    );
+    let (status, body) = http(eager.addr, "POST", "/v1/fit", json.as_bytes());
+    let reply = String::from_utf8(body).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    assert_eq!(
+        checksum_of(&reply),
+        spooled_checksum,
+        "spooled fit must release the same artifact as the eager fit"
+    );
+
+    // The spooled-fit model serves rows like any other.
+    let (status, rows) = http(
+        spooling.addr,
+        "POST",
+        "/v1/sample",
+        br#"{"model":"big","rows":10}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(rows.iter().filter(|&&b| b == b'\n').count(), 11);
+
+    // A small raw-CSV body (under the in-memory cap) takes the same
+    // query-parameter surface without spooling.
+    let small = csv_rows(40);
+    assert!(small.len() < 4096);
+    let (status, body) = http_csv(
+        spooling.addr,
+        "/v1/fit?id=small&epsilon=0.5&seed=7",
+        small.as_bytes(),
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+
+    // Past the spool cap the 413 contract is unchanged — refused before
+    // the body is read, naming the declared size.
+    let giant = csv_rows(4000); // ~24 KiB > the 16 KiB spool cap
+    let (status, body) = http_csv(
+        spooling.addr,
+        "/v1/fit?id=nope&epsilon=0.5",
+        giant.as_bytes(),
+    );
+    assert_eq!(status, 413);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains(&giant.len().to_string()), "{text}");
+    assert!(!spooling.model_dir.join("nope.dpcm").exists());
+
+    // Spooling is fit-only: other routes keep the in-memory cap.
+    let (status, _) = http(spooling.addr, "POST", "/v1/sample", &vec![b' '; 8192]);
+    assert_eq!(status, 413);
+
+    // A malformed spooled body is a 400 that costs the tenant no ε:
+    // gamma's whole 1.0 budget is still there for the real fit.
+    let garbage = vec![b'#'; 6000];
+    let (status, body) = http_csv(
+        spooling.addr,
+        "/v1/fit?id=junk&epsilon=1.0&tenant=gamma",
+        &garbage,
+    );
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("invalid csv body"));
+    let (status, _) = http_csv(
+        spooling.addr,
+        "/v1/fit?id=gamma-model&epsilon=1.0&tenant=gamma&seed=3",
+        csv.as_bytes(),
+    );
+    assert_eq!(status, 200, "the failed fit must not have debited gamma");
+
+    // Spool files are deleted once their request is done.
+    let pid = std::process::id();
+    let mut leftovers = usize::MAX;
+    for _ in 0..400 {
+        leftovers = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with(&format!("dpcopula-spool-{pid}-"))
+            })
+            .count();
+        if leftovers == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(leftovers, 0, "spool files must not outlive their request");
+
+    // Missing query parameters on the raw surface are named.
+    let (status, body) = http_csv(spooling.addr, "/v1/fit?epsilon=1.0", small.as_bytes());
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("query parameter `id`"));
+}
+
 #[test]
 fn content_length_mismatch_with_early_close_is_recorded_and_survivable() {
     let server = TestServer::start("clmismatch", |_| {});
